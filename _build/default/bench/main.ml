@@ -1,0 +1,633 @@
+(* The experiment harness: regenerates every table and figure of the
+   paper's evaluation (Section 4), plus the ablations DESIGN.md calls out
+   and Bechamel micro-benchmarks of the compiler pipeline itself.
+
+     dune exec bench/main.exe              -- run everything
+     dune exec bench/main.exe -- fig4      -- one experiment
+     dune exec bench/main.exe -- list      -- list experiment ids
+
+   Experiment ids: fig4 fig5 fig6 table1 table2 analysis stencilflow
+   ports ablation vck5000 bechamel.
+
+   As in the paper, results are averaged over 10 runs; the simulator is
+   deterministic, so the averaging is protocol parity rather than noise
+   suppression (the Bechamel benches measure real wall-clock noise). *)
+
+module Table = Shmls_support.Table
+module Stats = Shmls_support.Stats
+module PW = Shmls_kernels.Pw_advection
+module TA = Shmls_kernels.Tracer_advection
+
+let runs = 10
+
+let flows_of k grid =
+  (* average of [runs] evaluations, per the paper's protocol *)
+  let samples = List.init runs (fun _ -> Shmls.evaluate_all k ~grid) in
+  let first = List.hd samples in
+  List.mapi
+    (fun i outcome ->
+      match outcome with
+      | Shmls.Flow.Success s ->
+        let mpts =
+          Stats.mean
+            (List.map
+               (fun sample ->
+                 match List.nth sample i with
+                 | Shmls.Flow.Success s' -> s'.s_est.e_mpts
+                 | Shmls.Flow.Failure _ -> 0.0)
+               samples)
+        in
+        Shmls.Flow.Success { s with s_est = { s.s_est with e_mpts = mpts } }
+      | failure -> failure)
+    first
+
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+
+let section title =
+  Printf.printf "\n==================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "==================================================================\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figure 4: performance comparison in MPt/s *)
+
+let fig4 () =
+  section
+    "Figure 4 -- performance of PW advection and tracer advection across\n\
+     the frameworks, in MPt/s (higher is better)";
+  let run_kernel name (k : Shmls.Ast.kernel) sizes =
+    Printf.printf "\n%s:\n" name;
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Left ]
+        [ "size"; "Stencil-HMLS"; "DaCe"; "SODA-opt"; "Vitis HLS"; "StencilFlow" ]
+    in
+    List.iter
+      (fun (label, grid) ->
+        let cells =
+          List.map
+            (fun o ->
+              match o with
+              | Shmls.Flow.Success s -> f2 s.s_est.e_mpts
+              | Shmls.Flow.Failure _ -> "--")
+            (flows_of k grid)
+        in
+        match cells with
+        | [ hmls; dace; soda; vitis; sf ] ->
+          Table.add_row t
+            [ label; hmls; dace; soda; vitis; (if sf = "--" then "fails" else sf) ]
+        | _ -> assert false)
+      sizes;
+    Table.print t
+  in
+  run_kernel "PW advection" PW.kernel PW.sizes;
+  run_kernel "tracer advection" TA.kernel TA.sizes;
+  Printf.printf
+    "\npaper's shape: Stencil-HMLS 90-100x over DaCe (next best) on PW\n\
+     advection, 14-21x on tracer advection; DaCe absent at PW 134M\n\
+     (compile failure); StencilFlow produces no runtime numbers.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Figures 5 and 6: power and energy *)
+
+let power_energy name (k : Shmls.Ast.kernel) sizes =
+  Printf.printf "\n%s:\n" name;
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      [ "size"; "framework"; "avg power (W)"; "energy (J)" ]
+  in
+  List.iter
+    (fun (label, grid) ->
+      List.iter
+        (fun o ->
+          match o with
+          | Shmls.Flow.Success s ->
+            Table.add_row t
+              [ label; s.s_flow; f1 s.s_power.p_total_w; f1 s.s_power.p_energy_j ]
+          | Shmls.Flow.Failure f -> Table.add_row t [ label; f.f_flow; "--"; "--" ])
+        (flows_of k grid))
+    sizes;
+  Table.print t
+
+let fig5 () =
+  section
+    "Figure 5 -- average power draw and energy consumption of PW advection\n\
+     (lower is better)";
+  power_energy "PW advection" PW.kernel PW.sizes;
+  Printf.printf
+    "\npaper's shape: Stencil-HMLS draws marginally more power but consumes\n\
+     85x (8M) and 92x (32M) less energy than DaCe, the next most efficient.\n"
+
+let fig6 () =
+  section
+    "Figure 6 -- average power draw and energy consumption of tracer\n\
+     advection (lower is better)";
+  power_energy "tracer advection" TA.kernel TA.sizes;
+  Printf.printf
+    "\npaper's shape: 14x (8M) and 22x (33M) less energy than DaCe;\n\
+     SODA-opt draws the least power but consumes far more energy.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Tables 1 and 2: resource usage *)
+
+(* paper values: (framework, size, %LUT, %FF, %BRAM, %DSP) *)
+let paper_table1 =
+  [
+    ("Stencil-HMLS", "8M", 4.30, 3.02, 14.29, 1.31);
+    ("Stencil-HMLS", "32M", 4.31, 3.03, 14.48, 1.31);
+    ("Stencil-HMLS", "134M", 4.33, 3.03, 14.09, 1.31);
+    ("DaCe", "8M", 8.35, 2.00, 5.51, 0.49);
+    ("DaCe", "32M", 8.36, 2.00, 5.51, 0.49);
+    ("SODA-opt", "8M", 0.82, 0.51, 0.10, 0.16);
+    ("SODA-opt", "32M", 0.82, 0.51, 0.10, 0.16);
+    ("SODA-opt", "134M", 0.82, 0.51, 0.10, 0.16);
+    ("Vitis HLS", "8M", 1.10, 0.52, 0.10, 0.12);
+    ("Vitis HLS", "32M", 1.10, 0.52, 0.10, 0.12);
+    ("Vitis HLS", "134M", 1.11, 0.52, 0.10, 0.12);
+    ("StencilFlow", "8M", 4.80, 3.06, 16.87, 3.67);
+    ("StencilFlow", "32M", 4.81, 3.07, 16.87, 3.67);
+  ]
+
+let paper_table2 =
+  [
+    ("Stencil-HMLS", "8M", 27.05, 18.87, 62.75, 4.12);
+    ("Stencil-HMLS", "33M", 27.14, 18.90, 62.75, 4.12);
+    ("DaCe", "8M", 11.47, 3.65, 10.07, 0.68);
+    ("DaCe", "33M", 11.52, 3.67, 10.07, 0.71);
+    ("SODA-opt", "8M", 14.81, 2.79, 0.74, 0.24);
+    ("SODA-opt", "33M", 14.77, 2.80, 0.74, 0.24);
+    ("Vitis HLS", "8M", 14.00, 2.50, 0.74, 0.24);
+    ("Vitis HLS", "33M", 14.02, 2.50, 0.74, 0.24);
+  ]
+
+let usage_of_flow (k : Shmls.Ast.kernel) grid flow_name =
+  let outcomes = Shmls.evaluate_all k ~grid in
+  List.find_map
+    (fun o ->
+      match o with
+      | Shmls.Flow.Success s when s.s_flow = flow_name -> Some s.s_usage
+      | _ -> None)
+    outcomes
+
+let resource_table ~title (k : Shmls.Ast.kernel) sizes paper ~with_stencilflow =
+  section title;
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+          Table.Right; Table.Right; Table.Left ]
+      [ "framework"; "size"; "%LUT"; "%FF"; "%BRAM"; "%URAM"; "%DSP";
+        "paper %LUT/%FF/%BRAM/%DSP" ]
+  in
+  let flows =
+    [ "Stencil-HMLS"; "DaCe"; "SODA-opt"; "Vitis HLS" ]
+    @ if with_stencilflow then [ "StencilFlow" ] else []
+  in
+  List.iter
+    (fun flow ->
+      List.iter
+        (fun (label, grid) ->
+          let usage =
+            if flow = "StencilFlow" then
+              (* the paper reports StencilFlow's built bitstreams even
+                 though runs deadlock; use the resource model directly *)
+              if label = "134M" then None
+              else Some (Shmls_baselines.Stencilflow.resource_usage k)
+            else usage_of_flow k grid flow
+          in
+          let paper_cell =
+            match
+              List.find_opt (fun (f, s, _, _, _, _) -> f = flow && s = label) paper
+            with
+            | Some (_, _, l, ff, b, d) ->
+              Printf.sprintf "%.2f / %.2f / %.2f / %.2f" l ff b d
+            | None -> "--"
+          in
+          match usage with
+          | Some u ->
+            let p = Shmls.Resources.to_percentages u in
+            Table.add_row t
+              [
+                flow; label; f2 p.pct_luts; f2 p.pct_ffs; f2 p.pct_bram;
+                f2 p.pct_uram; f2 p.pct_dsps; paper_cell;
+              ]
+          | None ->
+            Table.add_row t [ flow; label; "--"; "--"; "--"; "--"; "--"; paper_cell ])
+        sizes)
+    flows;
+  Table.print t;
+  Printf.printf
+    "\n(the paper's table has no URAM column; in this model the plane-sized\n\
+     shift-buffer windows and delay FIFOs above 36 KiB are URAM-resident,\n\
+     so our %%BRAM runs lower than the paper's for the same design -- see\n\
+     DESIGN.md and EXPERIMENTS.md.)\n"
+
+let table1 () =
+  resource_table
+    ~title:"Table 1 -- resource usage for the PW advection kernel"
+    PW.kernel PW.sizes paper_table1 ~with_stencilflow:true
+
+let table2 () =
+  resource_table
+    ~title:"Table 2 -- resource usage for the tracer advection kernel"
+    TA.kernel TA.sizes paper_table2 ~with_stencilflow:false
+
+(* ------------------------------------------------------------------ *)
+(* E7: the II / speedup-decomposition analysis of Section 4 *)
+
+let analysis () =
+  section
+    "Section 4 analysis -- initiation intervals and the paper's speedup\n\
+     decomposition";
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right ]
+      [ "kernel"; "framework"; "model II"; "paper II" ]
+  in
+  let add (kernel : Shmls.Ast.kernel) grid paper_iis =
+    List.iter
+      (fun o ->
+        match o with
+        | Shmls.Flow.Success s ->
+          let paper =
+            match List.assoc_opt s.s_flow paper_iis with
+            | Some v -> v
+            | None -> "--"
+          in
+          Table.add_row t
+            [ kernel.k_name; s.s_flow; string_of_int s.s_est.e_ii; paper ]
+        | Shmls.Flow.Failure _ -> ())
+      (Shmls.evaluate_all kernel ~grid)
+  in
+  add PW.kernel PW.grid_8m [ ("Stencil-HMLS", "1"); ("DaCe", "9") ];
+  add TA.kernel TA.grid_8m
+    [ ("Stencil-HMLS", "1"); ("DaCe", "9"); ("SODA-opt", "164"); ("Vitis HLS", "163") ];
+  Table.print t;
+  (match Shmls.evaluate_all PW.kernel ~grid:PW.grid_8m with
+  | Shmls.Flow.Success hmls :: Shmls.Flow.Success dace :: _ ->
+    Printf.printf
+      "\nPW speedup decomposition: measured %.0fx; the paper explains it as\n\
+       4 (CUs) x 9 (1/9 of DaCe's II) x 3 (per-field split) = 108x, which\n\
+       'roughly approximates the advantage seen in Figure 4'.\n"
+      (hmls.s_est.e_mpts /. dace.s_est.e_mpts)
+  | _ -> ());
+  match Shmls.evaluate_all TA.kernel ~grid:TA.grid_8m with
+  | Shmls.Flow.Success hmls :: Shmls.Flow.Success dace :: _ ->
+    Printf.printf
+      "tracer: measured %.0fx (paper: 14-21x) -- the dependency chains deny\n\
+       the 3x split and the 17-port budget allows a single CU.\n"
+      (hmls.s_est.e_mpts /. dace.s_est.e_mpts)
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* E8: StencilFlow outcomes *)
+
+let stencilflow () =
+  section "StencilFlow outcomes (Section 4: no runtime numbers obtainable)";
+  List.iter
+    (fun (name, (k : Shmls.Ast.kernel), grid) ->
+      match Shmls_baselines.Stencilflow.evaluate k ~grid with
+      | Shmls.Flow.Success s -> Printf.printf "%-24s OK: %s\n" name s.s_note
+      | Shmls.Flow.Failure f -> Printf.printf "%-24s %s\n" name f.f_reason)
+    [
+      ("PW advection 8M", PW.kernel, PW.grid_8m);
+      ("PW advection 32M", PW.kernel, PW.grid_32m);
+      ("PW advection 134M", PW.kernel, PW.grid_134m);
+      ("tracer advection 8M", TA.kernel, TA.grid_8m);
+      ("heat_3d (control)", Shmls_kernels.Didactic.heat_3d, [ 64; 32; 16 ]);
+    ];
+  Printf.printf
+    "\npaper: PW compiled for 8M/32M but never finished within 10 minutes (a\n\
+     likely deadlock); tracer could not be expressed (sub-selections); the\n\
+     tool does reach II=1 where it runs -- matched by the control kernel.\n"
+
+(* ------------------------------------------------------------------ *)
+(* E9: port budget / CU replication *)
+
+let ports () =
+  section "Port budget and CU replication (Section 4)";
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right ]
+      [ "kernel"; "fields"; "smalls"; "ports/CU"; "CUs (32-port shell)" ]
+  in
+  List.iter
+    (fun ((k : Shmls.Ast.kernel), grid) ->
+      let c = Shmls.compile k ~grid in
+      Table.add_row t
+        [
+          k.k_name;
+          string_of_int (List.length k.k_fields);
+          string_of_int (List.length k.k_smalls);
+          string_of_int c.c_ports_per_cu;
+          string_of_int c.c_cu;
+        ])
+    [ (PW.kernel, PW.grid_small); (TA.kernel, TA.grid_small) ];
+  Table.print t;
+  Printf.printf
+    "\npaper: PW advection 7 ports/CU (one per field + one for the small\n\
+     data) -> 4 CUs; tracer advection 17 ports -> 1 CU (bundling to 13\n\
+     would allow 2 CUs but was rejected on performance grounds).\n"
+
+(* ------------------------------------------------------------------ *)
+(* Ablations *)
+
+let ablation () =
+  section "Ablations (A1-A3): the design choices behind the headline numbers";
+  let c = Shmls.compile PW.kernel ~grid:PW.grid_8m in
+  let d = c.c_design in
+  let base = Shmls.Perf_model.estimate_design d in
+  (* A1: per-field dataflow split on/off.  Without step 4 the three field
+     computations share one pipeline and each point is processed three
+     times (the monolithic behaviour the paper contrasts with). *)
+  let unsplit =
+    Shmls.Perf_model.estimate
+      ~total_padded:(Shmls.Design.total_padded d)
+      ~interior:(Shmls.Design.interior_points d)
+      ~fill:base.e_fill ~ii:1
+      ~serial:(List.length PW.kernel.k_stencils)
+      ~cu:d.d_cu ~ports:(d.d_cu * d.d_ports_per_cu)
+      ~bytes_per_point:(Shmls.Perf_model.design_bytes_per_point d)
+      ~clock_hz:Shmls.U280.clock_hz ()
+  in
+  (* A2: 512-bit packing off.  Un-packed scalar accesses cannot form DRAM
+     bursts, so a port sustains roughly one 64-bit word per 8 cycles
+     instead of 64 bytes per cycle (Brown & Dolman [6], the paper's
+     step-2 citation): effective port rate ~1 byte/cycle. *)
+  let unpacked =
+    Shmls.Perf_model.estimate ~port_bytes:1
+      ~total_padded:(Shmls.Design.total_padded d)
+      ~interior:(Shmls.Design.interior_points d)
+      ~fill:base.e_fill ~ii:1 ~serial:1 ~cu:d.d_cu
+      ~ports:(d.d_cu * d.d_ports_per_cu)
+      ~bytes_per_point:(Shmls.Perf_model.design_bytes_per_point d)
+      ~clock_hz:Shmls.U280.clock_hz ()
+  in
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right ]
+      [ "variant (PW advection, 8M)"; "MPt/s"; "vs full design" ]
+  in
+  let row name (est : Shmls.Perf_model.estimate) =
+    Table.add_row t
+      [ name; f2 est.e_mpts; Printf.sprintf "%.2fx" (est.e_mpts /. base.e_mpts) ]
+  in
+  row "full Stencil-HMLS design" base;
+  row "A1: no per-field split (serialised compute)" unsplit;
+  row "A2: no 512-bit packing (64-bit ports)" unpacked;
+  List.iter
+    (fun cu ->
+      row
+        (Printf.sprintf "A3: %d compute unit(s)" cu)
+        (Shmls.Perf_model.estimate_design ~cu d))
+    [ 1; 2; 3; 4 ];
+  Table.print t;
+  Printf.printf
+    "\nthe paper's 108x decomposition assigns 3x to the split and 4x to CU\n\
+     replication; A1 and A3 recover exactly those factors, and A2 shows\n\
+     whether the 512-bit packing keeps the design compute-bound.\n"
+
+(* ------------------------------------------------------------------ *)
+(* A4: the VCK5000 future-work study *)
+
+let vck5000 () =
+  section
+    "Future-work study (Section 5, item 3): CU replication when the port\n\
+     budget is not the limit (VCK5000-style shell)";
+  let c = Shmls.compile PW.kernel ~grid:PW.grid_8m in
+  let d = c.c_design in
+  let rec max_cu cu =
+    if cu > 64 then 64
+    else if Shmls.Resources.fits (Shmls.Resources.of_design ~cu d) then
+      max_cu (cu + 1)
+    else cu - 1
+  in
+  let fit = max_cu 1 in
+  let t =
+    Table.create ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "configuration"; "CUs"; "MPt/s"; "%LUT" ]
+  in
+  List.iter
+    (fun cu ->
+      let est = Shmls.Perf_model.estimate_design ~cu d in
+      let u = Shmls.Resources.to_percentages (Shmls.Resources.of_design ~cu d) in
+      Table.add_row t
+        [
+          (if cu = 4 then "U280 shell limit (32 AXI ports)"
+           else if cu = fit then "resource-limited (no port limit)"
+           else "");
+          string_of_int cu; f2 est.e_mpts; f2 u.pct_luts;
+        ])
+    (List.sort_uniq compare [ 1; 2; 4; max 4 (fit / 2); fit ]);
+  Table.print t;
+  Printf.printf
+    "\nwith the AXI port restriction lifted, PW advection replicates to %d\n\
+     CUs before the U280's fabric runs out -- the further-replication\n\
+     headroom the paper expects on the VCK5000.\n"
+    fit
+
+(* ------------------------------------------------------------------ *)
+(* Future-work study (Section 5, item 2): static vs dynamic shapes *)
+
+let dynamic () =
+  section
+    "Future-work study (Section 5, item 2): the cost of static shapes\n\
+     (one bitstream per problem size)";
+  (* a static-shape design always traverses its full compiled iteration
+     space: running a smaller problem on the worst-case bitstream wastes
+     the difference.  A dynamic-shape stencil dialect would avoid both
+     that and the per-size bitstream builds. *)
+  let worst = Shmls.compile PW.kernel ~grid:PW.grid_134m in
+  let worst_est = Shmls.Perf_model.estimate_design worst.c_design in
+  let t =
+    Table.create
+      ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+      [ "problem size"; "per-size bitstream MPt/s"; "134M bitstream MPt/s";
+        "efficiency" ]
+  in
+  List.iter
+    (fun (label, grid) ->
+      let dedicated =
+        Shmls.Perf_model.estimate_design (Shmls.compile PW.kernel ~grid).c_design
+      in
+      (* same cycles as the worst-case run, but only this size's interior
+         points are useful output *)
+      let interior = List.fold_left ( * ) 1 grid in
+      let on_worst = float_of_int interior /. worst_est.e_seconds /. 1e6 in
+      Table.add_row t
+        [
+          label; f2 dedicated.e_mpts; f2 on_worst;
+          Printf.sprintf "%.0f%%" (100.0 *. on_worst /. dedicated.e_mpts);
+        ])
+    PW.sizes;
+  Table.print t;
+  Printf.printf
+    "\neach row's dedicated bitstream is a separate synthesis run (hours on\n\
+     real tooling -- the pain the paper's future work wants to remove);\n\
+     reusing one worst-case bitstream costs the efficiency column.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Extension: the kernel zoo (generalisation beyond the paper's kernels) *)
+
+let zoo () =
+  section
+    "Extension -- the kernel zoo: the transformation generalises beyond\n\
+     PW/tracer advection (bit-exactness and II~1 asserted by the tests)";
+  let t =
+    Table.create
+      ~aligns:
+        [ Table.Left; Table.Right; Table.Right; Table.Right; Table.Right;
+          Table.Right ]
+      [ "kernel"; "halo"; "stages"; "HMLS MPt/s"; "DaCe MPt/s"; "speedup" ]
+  in
+  List.iter
+    (fun ((k : Shmls.Ast.kernel), _) ->
+      let grid =
+        match k.k_rank with 2 -> [ 512; 256 ] | _ -> [ 256; 128; 64 ]
+      in
+      let c = Shmls.compile k ~grid in
+      match Shmls.evaluate_all k ~grid with
+      | Shmls.Flow.Success hmls :: Shmls.Flow.Success dace :: _ ->
+        Table.add_row t
+          [
+            k.k_name;
+            String.concat "," (List.map string_of_int c.c_design.d_halo);
+            string_of_int (List.length c.c_design.d_stages);
+            f2 hmls.s_est.e_mpts;
+            f2 dace.s_est.e_mpts;
+            Printf.sprintf "%.0fx" (hmls.s_est.e_mpts /. dace.s_est.e_mpts);
+          ]
+      | _ -> Table.add_row t [ k.k_name; "--"; "--"; "--"; "--"; "--" ])
+    Shmls_kernels.Zoo.all;
+  Table.print t
+
+(* ------------------------------------------------------------------ *)
+(* Extension: multi-FPGA domain decomposition *)
+
+let multi_fpga () =
+  section
+    "Extension -- PW advection decomposed over multiple U280s (slabs along\n\
+     the streamed dimension, halo overlap; bit-exactness is asserted by\n\
+     the test suite)";
+  let grid = [ 128; 32; 16 ] in
+  let t =
+    Table.create ~aligns:[ Table.Right; Table.Right; Table.Right ]
+      [ "devices"; "aggregate MPt/s"; "scaling" ]
+  in
+  let params = [ ("tcx", 0.12); ("tcy", 0.09) ] in
+  let base = ref 0.0 in
+  List.iter
+    (fun slabs ->
+      let r = Shmls_host.Partition.run PW.kernel ~grid ~slabs ~params () in
+      let mpts = Shmls_host.Partition.aggregate_mpts ~grid r in
+      if slabs = 1 then base := mpts;
+      Table.add_row t
+        [ string_of_int slabs; f2 mpts; Printf.sprintf "%.2fx" (mpts /. !base) ])
+    [ 1; 2; 4; 8 ];
+  Table.print t;
+  Printf.printf
+    "\n(scaling is sub-linear at this laptop-scale grid because every slab\n\
+     pays the same shift-buffer fill latency; at the paper's sizes the\n\
+     fill is negligible and scaling is essentially linear.)\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: cost of the pipeline itself *)
+
+let bechamel () =
+  section "Bechamel -- wall-clock cost of the pipeline stages (this machine)";
+  let open Bechamel in
+  let grid = [ 24; 16; 8 ] in
+  let compiled = Shmls.compile PW.kernel ~grid in
+  let tests =
+    [
+      (* one Test.make per table/figure-producing pipeline, per DESIGN.md's
+         bench inventory, plus the pipeline stages themselves *)
+      Test.make ~name:"fig4_pw_evaluate_all"
+        (Staged.stage (fun () ->
+             ignore (Shmls.evaluate_all PW.kernel ~grid:PW.grid_8m)));
+      Test.make ~name:"fig4_tracer_evaluate_all"
+        (Staged.stage (fun () ->
+             ignore (Shmls.evaluate_all TA.kernel ~grid:TA.grid_8m)));
+      Test.make ~name:"fig5_fig6_power_model"
+        (Staged.stage (fun () ->
+             let u = Shmls.Resources.of_design compiled.c_design in
+             let est = Shmls.Perf_model.estimate_design compiled.c_design in
+             ignore
+               (Shmls.Power.of_estimate ~usage:u ~est ~bytes_per_point:48
+                  ~interior:(Shmls.Design.interior_points compiled.c_design))));
+      Test.make ~name:"table1_table2_resource_model"
+        (Staged.stage (fun () -> ignore (Shmls.Resources.of_design compiled.c_design)));
+      Test.make ~name:"pipeline_compile_pw"
+        (Staged.stage (fun () -> ignore (Shmls.compile PW.kernel ~grid)));
+      Test.make ~name:"pipeline_functional_sim"
+        (Staged.stage (fun () -> ignore (Shmls.verify compiled)));
+      Test.make ~name:"pipeline_cycle_sim"
+        (Staged.stage (fun () -> ignore (Shmls.Cycle_sim.run compiled.c_design)));
+      Test.make ~name:"pipeline_llvm_emit_fpp"
+        (Staged.stage (fun () ->
+             let ll = Shmls_llvmir.Emit.emit_module compiled.c_hls_module in
+             ignore (Shmls_llvmir.Fplusplus.run ll)));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"shmls" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.iter
+    (fun (name, est) ->
+      if est >= 1e6 then Printf.printf "  %-36s %10.2f ms/run\n" name (est /. 1e6)
+      else Printf.printf "  %-36s %10.1f ns/run\n" name est)
+    (List.sort compare !rows)
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig4", fig4);
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("table1", table1);
+    ("table2", table2);
+    ("analysis", analysis);
+    ("stencilflow", stencilflow);
+    ("ports", ports);
+    ("ablation", ablation);
+    ("vck5000", vck5000);
+    ("dynamic", dynamic);
+    ("multi-fpga", multi_fpga);
+    ("zoo", zoo);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] ->
+    Printf.printf
+      "Stencil-HMLS evaluation harness -- reproducing every table and figure\n\
+       of the paper (simulated U280; see DESIGN.md for the substitutions).\n";
+    List.iter (fun (_, f) -> f ()) experiments
+  | _ :: [ "list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
+  | _ :: args ->
+    List.iter
+      (fun arg ->
+        match List.assoc_opt arg experiments with
+        | Some f -> f ()
+        | None ->
+          Printf.eprintf "unknown experiment %S (try 'list')\n" arg;
+          exit 1)
+      args
+  | [] -> ()

@@ -1,0 +1,166 @@
+(* shmls-compile: the end-to-end driver (the paper's Figure 1 flow).
+
+   Takes a kernel — a built-in one by name, or a textual kernel file in
+   the PSyclone-stand-in language — and a grid, runs the full
+   Stencil-HMLS pipeline, and writes/prints the artefacts:
+
+     shmls-compile pw_advection --grid 64x64x32 --emit all -o out/
+     shmls-compile my_kernel.psy --grid 32x32x16 --verify --evaluate *)
+
+let builtin_kernels =
+  [
+    ("pw_advection", Shmls_kernels.Pw_advection.kernel);
+    ("tracer_advection", Shmls_kernels.Tracer_advection.kernel);
+    ("sum_neighbours_1d", Shmls_kernels.Didactic.sum_neighbours_1d);
+    ("laplace_2d", Shmls_kernels.Didactic.laplace_2d);
+    ("heat_3d", Shmls_kernels.Didactic.heat_3d);
+    ("gradient_smooth_3d", Shmls_kernels.Didactic.gradient_smooth_3d);
+  ]
+
+let parse_grid s =
+  String.split_on_char 'x' s
+  |> List.map String.trim
+  |> List.map (fun d ->
+         match int_of_string_opt d with
+         | Some n when n > 0 -> n
+         | _ -> failwith ("bad grid dimension: " ^ d))
+
+let load_kernel spec =
+  match List.assoc_opt spec builtin_kernels with
+  | Some k -> k
+  | None ->
+    if Sys.file_exists spec then Shmls.Psy_parser.parse_file spec
+    else
+      failwith
+        (Printf.sprintf
+           "unknown kernel %S (not a built-in: %s; and no such file)" spec
+           (String.concat ", " (List.map fst builtin_kernels)))
+
+let write_file dir name contents =
+  let path = Filename.concat dir name in
+  let oc = open_out path in
+  output_string oc contents;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
+let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace =
+  try
+    let kernel = load_kernel kernel_spec in
+    let grid = parse_grid grid_spec in
+    let c = Shmls.compile kernel ~grid in
+    Printf.printf "kernel %s on %s: %d CU(s) x %d AXI ports, %d dataflow stages, %d streams\n"
+      kernel.k_name grid_spec c.c_cu c.c_ports_per_cu
+      (List.length c.c_design.d_stages)
+      (List.length c.c_design.d_streams);
+    if emit = "stencil" || emit = "all" then begin
+      if outdir = "" then print_endline (Shmls.emit_stencil_text c)
+      else write_file outdir (kernel.k_name ^ ".stencil.mlir") (Shmls.emit_stencil_text c)
+    end;
+    if emit = "hls" || emit = "all" then begin
+      if outdir = "" then print_endline (Shmls.emit_hls_text c)
+      else write_file outdir (kernel.k_name ^ ".hls.mlir") (Shmls.emit_hls_text c)
+    end;
+    if emit = "llvm" || emit = "all" then begin
+      if outdir = "" then print_endline (Shmls.emit_llvm_text c)
+      else begin
+        write_file outdir (kernel.k_name ^ ".ll") (Shmls.emit_llvm_text c);
+        write_file outdir (kernel.k_name ^ ".cfg") c.c_connectivity
+      end
+    end;
+    if emit = "circt" || emit = "all" then begin
+      if outdir = "" then print_endline (Shmls.emit_circt_text c)
+      else write_file outdir (kernel.k_name ^ ".circt.mlir") (Shmls.emit_circt_text c)
+    end;
+    if report then print_string (Shmls.report_text c);
+    if trace <> "" then begin
+      let result, t = Shmls.Trace.capture c.c_design in
+      let oc = open_out trace in
+      output_string oc (Shmls.Trace.to_csv t);
+      close_out oc;
+      Printf.printf "wrote %s (%d samples, %d cycles%s)\n" trace
+        (List.length t.tr_samples) result.cycles
+        (if result.deadlocked then ", DEADLOCKED" else "");
+      print_string (Shmls.Trace.to_ascii t c.c_design)
+    end;
+    if verify then begin
+      let v = Shmls.verify c in
+      List.iter
+        (fun (f, d) -> Printf.printf "verify %-12s max |diff| = %g\n" f d)
+        v.v_fields;
+      if v.v_max_diff > 1e-9 then failwith "verification FAILED"
+      else print_endline "verification OK (simulated design matches the reference interpreter)"
+    end;
+    if evaluate then begin
+      Printf.printf "\nevaluation on %s (all flows):\n" grid_spec;
+      List.iter
+        (fun outcome ->
+          match outcome with
+          | Shmls.Flow.Success s ->
+            Format.printf "  %-14s %a@.                 %a@.                 %a@."
+              s.s_flow Shmls.Perf_model.pp_estimate s.s_est Shmls.Resources.pp
+              s.s_usage Shmls.Power.pp s.s_power
+          | Shmls.Flow.Failure f ->
+            Printf.printf "  %-14s FAILED: %s\n" f.f_flow f.f_reason)
+        (Shmls.evaluate_all kernel ~grid)
+    end;
+    `Ok ()
+  with
+  | Shmls_support.Err.Error e -> `Error (false, Shmls_support.Err.to_string e)
+  | Failure msg -> `Error (false, msg)
+
+open Cmdliner
+
+let kernel_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"KERNEL" ~doc:"Built-in kernel name or .psy kernel file.")
+
+let grid_arg =
+  Arg.(
+    value & opt string "32x32x16"
+    & info [ "g"; "grid" ] ~docv:"GRID" ~doc:"Grid extents, e.g. 256x256x128.")
+
+let emit_arg =
+  Arg.(
+    value
+    & opt (enum [ ("none", "none"); ("stencil", "stencil"); ("hls", "hls"); ("llvm", "llvm"); ("circt", "circt"); ("all", "all") ]) "none"
+    & info [ "emit" ] ~docv:"STAGE" ~doc:"Print/write IR: stencil, hls, llvm, circt or all.")
+
+let outdir_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "o"; "outdir" ] ~docv:"DIR" ~doc:"Write artefacts here instead of stdout.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify" ]
+        ~doc:"Run the functional simulator against the reference interpreter.")
+
+let evaluate_arg =
+  Arg.(
+    value & flag
+    & info [ "evaluate" ] ~doc:"Report performance/resources/power for all five flows.")
+
+let report_arg =
+  Arg.(
+    value & flag
+    & info [ "report" ] ~doc:"Print a Vitis-style synthesis report for the design.")
+
+let trace_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Cycle-simulate and write a FIFO-occupancy CSV trace.")
+
+let cmd =
+  let doc = "compile stencil kernels through the Stencil-HMLS pipeline" in
+  Cmd.v
+    (Cmd.info "shmls-compile" ~doc)
+    Term.(
+      ret
+        (const run_tool $ kernel_arg $ grid_arg $ emit_arg $ outdir_arg
+       $ verify_arg $ evaluate_arg $ report_arg $ trace_arg))
+
+let () = exit (Cmd.eval cmd)

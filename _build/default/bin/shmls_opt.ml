@@ -1,0 +1,89 @@
+(* shmls-opt: the mlir-opt equivalent for this compiler.
+
+   Reads a module in the generic textual form, runs a comma-separated
+   pass pipeline, and prints the result:
+
+     shmls-opt --passes stencil-shape-inference,stencil-to-hls input.mlir
+     shmls-opt --list-passes
+     echo '...' | shmls-opt --passes canonicalize - *)
+
+let read_all ic =
+  let buf = Buffer.create 4096 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 4096
+     done
+   with End_of_file -> ());
+  Buffer.contents buf
+
+let run_tool passes_spec verify_each stats list_passes input =
+  Shmls_dialects.Register.all ();
+  (* the passes register themselves at module init; reference the
+     libraries so the linker keeps them *)
+  ignore Shmls_transforms.Shape_inference.pass;
+  ignore Shmls_transforms.Stencil_to_cpu.pass;
+  ignore Shmls_transforms.Stencil_to_hls.pass;
+  ignore Shmls_transforms.Apply_split.pass;
+  ignore Shmls_transforms.Loop_raise.pass;
+  ignore Shmls_ir.Dce.pass;
+  ignore Shmls_ir.Cse.pass;
+  ignore Shmls_ir.Fold.pass;
+  if list_passes then begin
+    List.iter print_endline (Shmls_ir.Pass.registered_passes ());
+    `Ok ()
+  end
+  else
+    try
+      let src =
+        match input with
+        | "-" -> read_all stdin
+        | path ->
+          let ic = open_in path in
+          let s = read_all ic in
+          close_in ic;
+          s
+      in
+      let m = Shmls_ir.Parser.parse_module src in
+      Shmls_ir.Verifier.verify_exn m;
+      let passes = Shmls_ir.Pass.parse_pipeline passes_spec in
+      let run_stats =
+        Shmls_ir.Pass.run_pipeline ~verify_each passes m
+      in
+      if stats then
+        List.iter
+          (fun s -> Format.eprintf "%a@." Shmls_ir.Pass.pp_stat s)
+          run_stats;
+      print_endline (Shmls_ir.Printer.to_string m);
+      `Ok ()
+    with Shmls_support.Err.Error e ->
+      `Error (false, Shmls_support.Err.to_string e)
+
+open Cmdliner
+
+let passes_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "p"; "passes" ] ~docv:"PIPELINE"
+        ~doc:"Comma-separated pass pipeline to run.")
+
+let verify_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-each" ] ~doc:"Verify the module after every pass.")
+
+let stats_arg =
+  Arg.(value & flag & info [ "stats" ] ~doc:"Print per-pass statistics to stderr.")
+
+let list_arg =
+  Arg.(value & flag & info [ "list-passes" ] ~doc:"List registered passes and exit.")
+
+let input_arg =
+  Arg.(value & pos 0 string "-" & info [] ~docv:"INPUT" ~doc:"Input file ('-' for stdin).")
+
+let cmd =
+  let doc = "run compiler passes over Stencil-HMLS IR modules" in
+  Cmd.v
+    (Cmd.info "shmls-opt" ~doc)
+    Term.(ret (const run_tool $ passes_arg $ verify_arg $ stats_arg $ list_arg $ input_arg))
+
+let () = exit (Cmd.eval cmd)

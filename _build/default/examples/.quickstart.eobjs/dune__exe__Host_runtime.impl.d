@@ -1,0 +1,1 @@
+examples/host_runtime.ml: List Printf Shmls Shmls_host Shmls_kernels String

@@ -1,0 +1,1 @@
+examples/jacobi_iteration.ml: Float List Printf Shmls Shmls_host Shmls_kernels

@@ -1,0 +1,1 @@
+examples/psy_frontend.ml: List Printf Shmls String

@@ -1,0 +1,1 @@
+examples/psy_frontend.mli:

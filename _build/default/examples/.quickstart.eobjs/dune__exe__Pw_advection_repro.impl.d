@@ -1,0 +1,1 @@
+examples/pw_advection_repro.ml: Format List Printf Shmls Shmls_kernels String

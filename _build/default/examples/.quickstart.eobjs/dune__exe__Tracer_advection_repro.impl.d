@@ -1,0 +1,1 @@
+examples/tracer_advection_repro.ml: Format List Printf Shmls Shmls_kernels

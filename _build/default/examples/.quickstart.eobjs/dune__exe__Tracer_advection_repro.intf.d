@@ -1,0 +1,1 @@
+examples/tracer_advection_repro.mli:

@@ -1,0 +1,56 @@
+(* PW advection walk-through: the paper's first evaluation kernel,
+   end to end.
+
+   Demonstrates the port-budget reasoning (7 AXI ports per CU -> 4 CUs),
+   the per-field dataflow split, bit-exact functional verification, and
+   the five-flow comparison at one paper size.
+
+     dune exec examples/pw_advection_repro.exe *)
+
+module PW = Shmls_kernels.Pw_advection
+
+let () =
+  let k = PW.kernel in
+  Printf.printf "PW advection: %d stencil computations over fields [%s]\n"
+    (List.length k.k_stencils)
+    (String.concat "; " (Shmls.Ast.field_names k));
+
+  (* laptop-scale grid: full functional verification *)
+  let c = Shmls.compile k ~grid:PW.grid_small in
+  Printf.printf
+    "port budget: %d ports per CU (6 fields + 1 small-data bundle) -> %d CUs \
+     on the %d-port U280 shell\n"
+    c.c_ports_per_cu c.c_cu Shmls.U280.max_axi_ports;
+  let v = Shmls.verify c in
+  List.iter
+    (fun (f, d) -> Printf.printf "  %-3s simulated vs reference: max |diff| = %g\n" f d)
+    v.v_fields;
+
+  (* the cycle simulator confirms the II=1 streaming behaviour *)
+  let sim = Shmls.Cycle_sim.run c.c_design in
+  Printf.printf "cycle sim: %d cycles for %d elements -> effective II %.3f\n"
+    sim.cycles
+    (Shmls.Design.total_padded c.c_design)
+    (float_of_int sim.cycles /. float_of_int (Shmls.Design.total_padded c.c_design));
+
+  (* paper-scale evaluation: who wins and by how much *)
+  let grid = PW.grid_8m in
+  Printf.printf "\n=== all flows at the paper's 8M size ===\n";
+  let outcomes = Shmls.evaluate_all k ~grid in
+  List.iter
+    (fun o ->
+      match o with
+      | Shmls.Flow.Success s ->
+        Format.printf "  %-14s %8.2f MPt/s  %5.1f W  %8.2f J@." s.s_flow
+          s.s_est.e_mpts s.s_power.p_total_w s.s_power.p_energy_j
+      | Shmls.Flow.Failure f -> Printf.printf "  %-14s -- %s\n" f.f_flow f.f_reason)
+    outcomes;
+  (match outcomes with
+  | Shmls.Flow.Success hmls :: Shmls.Flow.Success dace :: _ ->
+    Printf.printf
+      "\nStencil-HMLS vs DaCe (the next-best flow): %.0fx faster, %.0fx less \
+       energy\n(the paper reports 90-100x and 85-92x; its own estimate is \
+       4 CUs x 9 II x 3 split = 108x)\n"
+      (hmls.s_est.e_mpts /. dace.s_est.e_mpts)
+      (dace.s_power.p_energy_j /. hmls.s_power.p_energy_j)
+  | _ -> ())

@@ -1,0 +1,1 @@
+lib/baselines/dace.ml: Array Flow Hashtbl List Option Printf Shmls_fpga Shmls_frontend

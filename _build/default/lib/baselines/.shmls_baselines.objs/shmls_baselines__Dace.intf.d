@@ -1,0 +1,1 @@
+lib/baselines/dace.mli: Flow Shmls_fpga Shmls_frontend

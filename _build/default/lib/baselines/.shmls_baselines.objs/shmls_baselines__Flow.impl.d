@@ -1,0 +1,1 @@
+lib/baselines/flow.ml: Array Int List Shmls_fpga Shmls_frontend

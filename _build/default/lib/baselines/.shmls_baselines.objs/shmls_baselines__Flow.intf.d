@@ -1,0 +1,1 @@
+lib/baselines/flow.mli: Shmls_fpga Shmls_frontend

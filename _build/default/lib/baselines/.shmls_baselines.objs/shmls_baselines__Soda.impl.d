@@ -1,0 +1,1 @@
+lib/baselines/soda.ml: Flow List Printf Shmls_fpga Shmls_frontend Vitis

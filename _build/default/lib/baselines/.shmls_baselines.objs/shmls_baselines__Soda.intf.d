@@ -1,0 +1,1 @@
+lib/baselines/soda.mli: Flow Shmls_fpga Shmls_frontend

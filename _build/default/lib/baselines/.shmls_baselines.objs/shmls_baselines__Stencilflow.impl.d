@@ -1,0 +1,1 @@
+lib/baselines/stencilflow.ml: Ast Dace Err Flow List Lower Printf Shmls_fpga Shmls_frontend Shmls_ir Shmls_transforms

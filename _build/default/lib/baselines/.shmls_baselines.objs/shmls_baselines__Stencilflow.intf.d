@@ -1,0 +1,1 @@
+lib/baselines/stencilflow.mli: Ast Flow Shmls_fpga Shmls_frontend

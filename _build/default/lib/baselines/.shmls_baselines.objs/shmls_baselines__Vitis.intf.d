@@ -1,0 +1,1 @@
+lib/baselines/vitis.mli: Flow Shmls_fpga Shmls_frontend

@@ -1,0 +1,33 @@
+(** DaCe baseline model [3]: a small SDFG substrate (states, maps,
+    tasklets, memlets) plus the structural facts the paper measured —
+    pipeline II 9, one monolithic pipeline per dependency component
+    (serialised), no CU replication, no automatic multi-bank HBM
+    assignment (PW 134M fails to compile). *)
+
+type memlet = { ml_data : string; ml_volume : int }
+
+type node =
+  | Access of string
+  | Map_entry of { me_label : string; me_range : int }
+  | Map_exit of string
+  | Tasklet of { t_label : string; t_flops : int; t_inputs : string list }
+
+type edge = { e_src : int; e_dst : int; e_memlet : memlet }
+type state = { st_label : string; st_nodes : node array; st_edges : edge list }
+type sdfg = { sd_name : string; sd_states : state list }
+
+(** Build the SDFG: one state per weakly-connected component. *)
+val sdfg_of_kernel : Shmls_frontend.Ast.kernel -> grid:int list -> sdfg
+
+val n_states : sdfg -> int
+val sdfg_flops : sdfg -> int
+val sdfg_tasklets : sdfg -> int
+
+(** Measured by the paper for DaCe's generated FPGA code. *)
+val pipeline_ii : int
+
+(** One fixed bank group per container: 512 MiB. *)
+val max_container_bytes : int
+
+val resources : Shmls_frontend.Ast.kernel -> Shmls_fpga.Resources.usage
+val evaluate : Shmls_frontend.Ast.kernel -> grid:int list -> Flow.outcome

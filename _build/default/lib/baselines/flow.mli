@@ -1,0 +1,37 @@
+(** Common shape of a baseline-flow evaluation: each model reproduces
+    the structure the paper measured for that tool and the shared
+    performance/power models account the cycles. *)
+
+type success = {
+  s_flow : string;
+  s_est : Shmls_fpga.Perf_model.estimate;
+  s_usage : Shmls_fpga.Resources.usage;
+  s_power : Shmls_fpga.Power.report;
+  s_note : string;
+}
+
+type outcome =
+  | Success of success
+  | Failure of { f_flow : string; f_reason : string }
+
+val flow_name : outcome -> string
+
+(** Structural kernel statistics the flow models consume. *)
+type kernel_stats = {
+  ks_fields : int;
+  ks_inputs : int;
+  ks_outputs : int;
+  ks_smalls : int;
+  ks_stencils : int;
+  ks_intermediates : int;
+  ks_components : int;  (** weakly-connected dependency components *)
+  ks_refs_per_stencil : int list;  (** field references, with multiplicity *)
+  ks_small_refs_per_stencil : int list;
+  ks_flops : int;
+  ks_halo : int list;
+}
+
+val stats_of_kernel : Shmls_frontend.Ast.kernel -> kernel_stats
+val total_padded : grid:int list -> halo:int list -> int
+val interior : grid:int list -> int
+val bytes_per_point : reads:int -> writes:int -> int

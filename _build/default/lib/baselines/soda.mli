@@ -1,0 +1,24 @@
+(** SODA-opt baseline [2]: Polygeist-outlined affine loops through
+    SODA-opt's DSE with the Vitis backend. Reproduces the paper's two
+    concessions: the full-unroll candidate is rejected on the resource
+    check (unrolling disabled) and the malloc-lowered internal buffers
+    are removed, pushing small-data reads to external memory — which
+    drops SODA-opt below naive Vitis on PW advection while matching
+    II 164 vs 163 on tracer advection. *)
+
+val loop_ii : refs:int -> small_refs:int -> int
+val critical_ii : Flow.kernel_stats -> int
+val cycles_per_point : Flow.kernel_stats -> int
+
+val resources :
+  ?unroll:int -> Shmls_frontend.Ast.kernel -> cu:int -> Shmls_fpga.Resources.usage
+
+(** Returns (chosen unroll factor, usage, rejected full-unroll usage). *)
+val design_space_explore :
+  Shmls_frontend.Ast.kernel ->
+  cu:int ->
+  grid:int list ->
+  int * Shmls_fpga.Resources.usage * Shmls_fpga.Resources.usage option
+
+val cu_count : Flow.kernel_stats -> int
+val evaluate : Shmls_frontend.Ast.kernel -> grid:int list -> Flow.outcome

@@ -1,0 +1,167 @@
+(* StencilFlow baseline (de Fine Licht et al. [8]): stencil programs
+   mapped onto a dataflow graph atop DaCe, reaching II = 1 — but, in the
+   paper's evaluation, unable to produce results on either kernel:
+
+     - PW advection compiled (for 8M and 32M) but runs never finished
+       inside ten minutes, "a likely indicator of deadlock";
+     - tracer advection could not be expressed at all for lack of
+       sub-selection support (the selection/limiter constructs at the
+       heart of the MUSCL scheme);
+     - like DaCe, no automatic multi-bank assignment, so 134M cannot be
+       built.
+
+   The model reproduces the deadlock *mechanically*: it reuses our own
+   stencil-to-hls pipeline to build the II=1 dataflow graph but skips
+   the stream-depth balancing pass, leaving the default shallow FIFOs —
+   then lets the cycle simulator run the network on a proxy grid.  Any
+   kernel with converging paths of different delay (PW advection reads
+   three shift buffers per compute stage) wedges exactly as the real
+   tool did. *)
+
+open Shmls_frontend
+
+let has_subselection (k : Ast.kernel) =
+  let rec expr_has = function
+    | Ast.Binop ((Ast.Min | Ast.Max), _, _) -> true
+    | Ast.Binop (_, a, b) -> expr_has a || expr_has b
+    | Ast.Unop (_, a) -> expr_has a
+    | Ast.Field_ref _ | Ast.Small_ref _ | Ast.Param_ref _ | Ast.Const _ -> false
+  in
+  List.exists (fun (s : Ast.stencil_def) -> expr_has s.sd_expr) k.k_stencils
+
+(* Proxy grid for the deadlock check: same rank, laptop-sized. *)
+let proxy_grid grid = List.map (fun g -> min g 12) grid
+
+let resources (k : Ast.kernel) =
+  let stats = Flow.stats_of_kernel k in
+  (* an II=1 dataflow graph like ours, plus DaCe-generation overhead and
+     deep delay buffers *)
+  {
+    Shmls_fpga.Resources.r_luts =
+      36_000 + (160 * stats.ks_flops) + (1_800 * stats.ks_fields);
+    r_ffs = 46_000 + (420 * stats.ks_flops);
+    r_bram = 220 + (24 * stats.ks_inputs);
+    r_uram = 0;
+    r_dsps = 110 + (3 * stats.ks_flops);
+  }
+
+type build = {
+  b_usage : Shmls_fpga.Resources.usage;
+  b_sim : Shmls_fpga.Cycle_sim.result;
+}
+
+(* StencilFlow has no notion of the per-level coefficient arrays (small
+   data): the PW advection port expresses tzc1(k) etc. as an auxiliary
+   input *stream*, but the generated graph under-provisions its
+   replication — one token stream is drained by every consuming compute
+   node, so the producers run dry at 1/n of the run and the network
+   wedges.  This is the mechanical stand-in for the deadlock the paper
+   observed ("did not complete execution under 10 minutes, a likely
+   indicator of deadlock"). *)
+let inject_coefficient_stream (d : Shmls_fpga.Design.t) =
+  let max_id =
+    List.fold_left
+      (fun acc (s : Shmls_fpga.Design.stream) -> max acc s.st_id)
+      0 d.d_streams
+  in
+  let coef_id = max_id + 1 in
+  let coef_stream =
+    {
+      Shmls_fpga.Design.st_id = coef_id;
+      st_elem = Shmls_ir.Ty.F64;
+      st_depth = 4;
+      st_width_bits = 64;
+    }
+  in
+  let producer = Shmls_fpga.Design.Load { out_streams = [ coef_id ]; ptr_args = [] } in
+  let stages =
+    producer
+    :: List.map
+         (fun stage ->
+           match stage with
+           | Shmls_fpga.Design.Compute c ->
+             Shmls_fpga.Design.Compute
+               { c with in_streams = c.in_streams @ [ coef_id ] }
+           | other -> other)
+         d.d_stages
+  in
+  { d with d_streams = coef_stream :: d.d_streams; d_stages = stages }
+
+(* Build the unbalanced dataflow design and run the cycle simulator. *)
+let build_and_simulate (k : Ast.kernel) ~grid =
+  let l = Lower.lower k ~grid:(proxy_grid grid) in
+  Shmls_transforms.Shape_inference.run_on_module l.l_module;
+  let m_hls, _ = Shmls_transforms.Stencil_to_hls.run l.l_module in
+  let designs = Shmls_fpga.Extract.extract_module m_hls in
+  match designs with
+  | [ d ] ->
+    (* deliberately NO Depth_balance: StencilFlow's generated FIFOs keep
+       their default depths; and the coefficient arrays ride a shared,
+       under-replicated stream *)
+    let d = if k.k_smalls <> [] then inject_coefficient_stream d else d in
+    { b_usage = resources k; b_sim = Shmls_fpga.Cycle_sim.run d }
+  | _ -> Err.raise_error "stencilflow: expected one kernel design"
+
+let evaluate (k : Ast.kernel) ~grid =
+  let stats = Flow.stats_of_kernel k in
+  let field_bytes = 8 * Flow.total_padded ~grid ~halo:stats.ks_halo in
+  if has_subselection k then
+    Flow.Failure
+      {
+        f_flow = "StencilFlow";
+        f_reason =
+          "not expressible: the kernel's selection/limiter constructs need \
+           sub-selections, which StencilFlow does not support";
+      }
+  else if field_bytes > Dace.max_container_bytes then
+    Flow.Failure
+      {
+        f_flow = "StencilFlow";
+        f_reason =
+          "compile failure: built atop DaCe, same single-bank-group limit";
+      }
+  else begin
+    let b = build_and_simulate k ~grid in
+    if b.b_sim.deadlocked then
+      Flow.Failure
+        {
+          f_flow = "StencilFlow";
+          f_reason =
+            Printf.sprintf
+              "bitstream built (II=1) but execution deadlocks%s — run did \
+               not complete within the 10-minute budget"
+              (match b.b_sim.stalled_stage with
+              | Some s -> " (wedged at " ^ s ^ ")"
+              | None -> "");
+        }
+    else
+      (* if the network happens to complete, report it like other flows *)
+      let est =
+        Shmls_fpga.Perf_model.estimate
+          ~total_padded:(Flow.total_padded ~grid ~halo:stats.ks_halo)
+          ~interior:(Flow.interior ~grid)
+          ~fill:2000.0 ~ii:1 ~serial:1 ~cu:1 ~ports:stats.ks_fields
+          ~bytes_per_point:
+            (Flow.bytes_per_point ~reads:stats.ks_inputs ~writes:stats.ks_outputs)
+          ~clock_hz:Shmls_fpga.U280.clock_hz ()
+      in
+      let usage = b.b_usage in
+      let power =
+        Shmls_fpga.Power.of_estimate ~usage ~est
+          ~bytes_per_point:
+            (Flow.bytes_per_point ~reads:stats.ks_inputs ~writes:stats.ks_outputs)
+          ~interior:(Flow.interior ~grid)
+      in
+      Flow.Success
+        {
+          s_flow = "StencilFlow";
+          s_est = est;
+          s_usage = usage;
+          s_power = power;
+          s_note = "II=1 dataflow graph completed";
+        }
+  end
+
+(* Resource usage is reported in the paper's Table 1 even though the runs
+   deadlock: the bitstreams did build. *)
+let resource_usage = resources

@@ -1,0 +1,30 @@
+(** StencilFlow baseline [8]: reaches II = 1 but produced no results in
+    the paper's evaluation. The model reproduces the failure modes
+    mechanically: default (unbalanced) FIFO depths plus an
+    under-replicated coefficient stream wedge PW advection in the cycle
+    simulator; kernels with selection/limiter constructs (the
+    sub-selection stand-in) are rejected as inexpressible; the DaCe
+    bank-group limit blocks 134M. *)
+
+open Shmls_frontend
+
+(** Does the kernel need sub-selections (min/max limiter constructs)? *)
+val has_subselection : Ast.kernel -> bool
+
+val proxy_grid : int list -> int list
+val resources : Ast.kernel -> Shmls_fpga.Resources.usage
+
+type build = {
+  b_usage : Shmls_fpga.Resources.usage;
+  b_sim : Shmls_fpga.Cycle_sim.result;
+}
+
+(** Build the unbalanced design (with the shared coefficient stream when
+    the kernel has small data) and cycle-simulate it on a proxy grid. *)
+val build_and_simulate : Ast.kernel -> grid:int list -> build
+
+val evaluate : Ast.kernel -> grid:int list -> Flow.outcome
+
+(** Resource usage of the built bitstream (reported by the paper's
+    Table 1 even though runs deadlock). *)
+val resource_usage : Ast.kernel -> Shmls_fpga.Resources.usage

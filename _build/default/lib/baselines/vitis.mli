@@ -1,0 +1,15 @@
+(** Naive Vitis HLS baseline: the kernel ported to C and synthesised
+    directly as Von Neumann loop nests. Cost model: one pipelined loop
+    per stencil with II = 3 + 8 x refs (on-demand 64-bit external reads,
+    no bursts) — which puts the tracer kernel's 20-reference critical
+    loop at the paper's measured II of 163. *)
+
+val loop_ii : refs:int -> int
+val critical_ii : Flow.kernel_stats -> int
+
+(** Total cycles per point (the loops run sequentially). *)
+val cycles_per_point : Flow.kernel_stats -> int
+
+val cu_count : Flow.kernel_stats -> int
+val resources : Shmls_frontend.Ast.kernel -> cu:int -> Shmls_fpga.Resources.usage
+val evaluate : Shmls_frontend.Ast.kernel -> grid:int list -> Flow.outcome

@@ -1,0 +1,1 @@
+lib/circt/circt.ml: Buffer Design Err Hashtbl List Printf Shmls_ir String Ty

@@ -1,0 +1,1 @@
+lib/circt/circt.mli: Design Shmls_ir

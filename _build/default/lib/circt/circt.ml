@@ -1,0 +1,282 @@
+(* Lowering the HLS dialect to CIRCT — the paper's first further-work
+   item ("explore ... the lowering of the HLS dialect to CIRCT [9]").
+
+   The extracted dataflow design maps naturally onto CIRCT's hardware
+   netlist dialects: every stage becomes an [hw.instance] of an external
+   stage module, and every stream becomes an ESI channel
+   ([!esi.channel<T>] — CIRCT's latency-insensitive, back-pressured
+   channel type, the hardware analogue of hls.stream).  FIFO depths from
+   the balancing pass surface as [esi.buffer] stages.
+
+   The output is CIRCT-compatible textual MLIR: a set of
+   [hw.module.extern] declarations (the runtime stage library: load,
+   shift buffer, duplicate, write) plus one [hw.module] per kernel
+   wiring the instances together.  Compute stages reference the
+   generated datapath by symbol; their body remains in the LLVM-IR path
+   (Shmls_llvmir), as the two backends share it. *)
+
+open Shmls_ir
+
+type port = { p_name : string; p_ty : string; p_dir : [ `In | `Out ] }
+
+type extern_module = { em_name : string; em_ports : port list }
+
+type instance = {
+  i_name : string;
+  i_module : string;
+  i_inputs : (string * string) list; (* port name -> SSA value *)
+  i_outputs : (string * string * string) list; (* result ssa, port, type *)
+}
+
+type buffer_stage = {
+  b_result : string;
+  b_input : string;
+  b_depth : int;
+  b_ty : string;
+}
+
+type hw_module = {
+  m_name : string;
+  m_args : (string * string) list; (* name, type *)
+  m_instances : instance list;
+  m_buffers : buffer_stage list;
+}
+
+type circuit = {
+  c_externs : extern_module list;
+  c_modules : hw_module list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Types *)
+
+let channel_ty (elem : Ty.t) =
+  match elem with
+  | Ty.F64 -> "!esi.channel<f64>"
+  | Ty.Array (n, Ty.F64) -> Printf.sprintf "!esi.channel<!hw.array<%dxf64>>" n
+  | t -> Err.raise_error "circt: unsupported channel element %s" (Ty.to_string t)
+
+let memory_port_ty = "!esi.channel<i512>" (* 512-bit packed AXI beats *)
+
+(* ------------------------------------------------------------------ *)
+(* Building the circuit from a design *)
+
+let stream_ssa id = Printf.sprintf "%%s%d" id
+
+let build (d : Design.t) : circuit =
+  let externs : (string, extern_module) Hashtbl.t = Hashtbl.create 16 in
+  let declare_extern name ports =
+    if not (Hashtbl.mem externs name) then
+      Hashtbl.replace externs name { em_name = name; em_ports = ports }
+  in
+  let stream_ty id = channel_ty (Design.find_stream d id).st_elem in
+  let buffers = ref [] in
+  (* streams with non-trivial depth get an explicit esi.buffer between
+     producer and consumer; producers write the "_raw" value *)
+  let raw_of id =
+    let s = Design.find_stream d id in
+    if s.st_depth > 1 then begin
+      let raw = stream_ssa id ^ "_raw" in
+      buffers :=
+        {
+          b_result = stream_ssa id;
+          b_input = raw;
+          b_depth = s.st_depth;
+          b_ty = stream_ty id;
+        }
+        :: !buffers;
+      raw
+    end
+    else stream_ssa id
+  in
+  let args =
+    List.map
+      (fun (iface : Design.interface) ->
+        (Printf.sprintf "%%arg%d" iface.if_arg, memory_port_ty))
+      d.d_interfaces
+  in
+  let instances =
+    List.mapi
+      (fun idx stage ->
+        match stage with
+        | Design.Load { out_streams; ptr_args } ->
+          let name = "load_data" in
+          declare_extern name
+            (List.mapi
+               (fun i _ -> { p_name = Printf.sprintf "mem%d" i; p_ty = memory_port_ty; p_dir = `In })
+               ptr_args
+            @ List.mapi
+                (fun i s ->
+                  { p_name = Printf.sprintf "out%d" i; p_ty = stream_ty s; p_dir = `Out })
+                out_streams);
+          {
+            i_name = Printf.sprintf "load%d" idx;
+            i_module = name;
+            i_inputs =
+              List.mapi
+                (fun i a -> (Printf.sprintf "mem%d" i, Printf.sprintf "%%arg%d" a))
+                ptr_args;
+            i_outputs =
+              List.mapi
+                (fun i s -> (raw_of s, Printf.sprintf "out%d" i, stream_ty s))
+                out_streams;
+          }
+        | Design.Shift { input; output; halo; extent } ->
+          ignore extent;
+          let nb = List.fold_left (fun acc h -> acc * ((2 * h) + 1)) 1 halo in
+          let name = Printf.sprintf "shift_buffer_nb%d" nb in
+          declare_extern name
+            [
+              { p_name = "in"; p_ty = stream_ty input; p_dir = `In };
+              { p_name = "out"; p_ty = stream_ty output; p_dir = `Out };
+            ];
+          {
+            i_name = Printf.sprintf "shift%d" idx;
+            i_module = name;
+            i_inputs = [ ("in", stream_ssa input) ];
+            i_outputs = [ (raw_of output, "out", stream_ty output) ];
+          }
+        | Design.Dup { input; outputs } ->
+          (* handshake-style fork *)
+          let name = Printf.sprintf "fork%d" (List.length outputs) in
+          declare_extern name
+            ({ p_name = "in"; p_ty = stream_ty input; p_dir = `In }
+            :: List.mapi
+                 (fun i s ->
+                   { p_name = Printf.sprintf "out%d" i; p_ty = stream_ty s; p_dir = `Out })
+                 outputs);
+          {
+            i_name = Printf.sprintf "dup%d" idx;
+            i_module = name;
+            i_inputs = [ ("in", stream_ssa input) ];
+            i_outputs =
+              List.mapi
+                (fun i s -> (raw_of s, Printf.sprintf "out%d" i, stream_ty s))
+                outputs;
+          }
+        | Design.Compute c ->
+          let name = Printf.sprintf "%s_compute_%s" d.d_name c.name in
+          declare_extern name
+            (List.mapi
+               (fun i s ->
+                 { p_name = Printf.sprintf "in%d" i; p_ty = stream_ty s; p_dir = `In })
+               c.in_streams
+            @ [ { p_name = "out"; p_ty = stream_ty c.out_stream; p_dir = `Out } ]);
+          {
+            i_name = Printf.sprintf "compute_%s" c.name;
+            i_module = name;
+            i_inputs =
+              List.mapi
+                (fun i s -> (Printf.sprintf "in%d" i, stream_ssa s))
+                c.in_streams;
+            i_outputs = [ (raw_of c.out_stream, "out", stream_ty c.out_stream) ];
+          }
+        | Design.Write { in_streams; ptr_args; _ } ->
+          let name = "write_data" in
+          declare_extern name
+            (List.mapi
+               (fun i s ->
+                 { p_name = Printf.sprintf "in%d" i; p_ty = stream_ty s; p_dir = `In })
+               in_streams
+            @ List.mapi
+                (fun i _ ->
+                  { p_name = Printf.sprintf "mem%d" i; p_ty = memory_port_ty; p_dir = `Out })
+                ptr_args);
+          {
+            i_name = Printf.sprintf "write%d" idx;
+            i_module = name;
+            i_inputs =
+              List.mapi
+                (fun i s -> (Printf.sprintf "in%d" i, stream_ssa s))
+                in_streams;
+            i_outputs =
+              List.mapi
+                (fun i a ->
+                  ( Printf.sprintf "%%wb%d" a,
+                    Printf.sprintf "mem%d" i,
+                    memory_port_ty ))
+                ptr_args;
+          })
+      d.d_stages
+  in
+  {
+    c_externs =
+      Hashtbl.fold (fun _ em acc -> em :: acc) externs []
+      |> List.sort (fun a b -> String.compare a.em_name b.em_name);
+    c_modules =
+      [
+        {
+          m_name = d.d_name;
+          m_args = args;
+          m_instances = instances;
+          m_buffers = List.rev !buffers;
+        };
+      ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Emission *)
+
+let emit_extern buf (em : extern_module) =
+  let ins =
+    List.filter_map
+      (fun p -> if p.p_dir = `In then Some (Printf.sprintf "in %%%s : %s" p.p_name p.p_ty) else None)
+      em.em_ports
+  in
+  let outs =
+    List.filter_map
+      (fun p -> if p.p_dir = `Out then Some (Printf.sprintf "out %s : %s" p.p_name p.p_ty) else None)
+      em.em_ports
+  in
+  Buffer.add_string buf
+    (Printf.sprintf "hw.module.extern @%s(%s)\n" em.em_name
+       (String.concat ", " (ins @ outs)))
+
+let emit_module buf (m : hw_module) =
+  Buffer.add_string buf
+    (Printf.sprintf "hw.module @%s(%s) {\n" m.m_name
+       (String.concat ", "
+          (List.map (fun (n, t) -> Printf.sprintf "in %s : %s" n t) m.m_args)));
+  List.iter
+    (fun (i : instance) ->
+      let results = List.map (fun (ssa, _, _) -> ssa) i.i_outputs in
+      let result_prefix =
+        if results = [] then "" else String.concat ", " results ^ " = "
+      in
+      let inputs =
+        List.map (fun (port, ssa) -> Printf.sprintf "%s: %s" port ssa) i.i_inputs
+      in
+      let out_sig =
+        List.map (fun (_, port, ty) -> Printf.sprintf "%s: %s" port ty) i.i_outputs
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %shw.instance \"%s\" @%s(%s) -> (%s)\n" result_prefix
+           i.i_name i.i_module (String.concat ", " inputs)
+           (String.concat ", " out_sig)))
+    m.m_instances;
+  List.iter
+    (fun (b : buffer_stage) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s = esi.buffer %s {depth = %d} : %s\n" b.b_result
+           b.b_input b.b_depth b.b_ty))
+    m.m_buffers;
+  Buffer.add_string buf "  hw.output\n}\n"
+
+let emit_circuit (c : circuit) =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "// CIRCT lowering of a Stencil-HMLS design (hw + esi dialects)\n";
+  List.iter (emit_extern buf) c.c_externs;
+  Buffer.add_char buf '\n';
+  List.iter (emit_module buf) c.c_modules;
+  Buffer.contents buf
+
+(* The public entry point: design -> CIRCT-compatible textual MLIR. *)
+let emit (d : Design.t) = emit_circuit (build d)
+
+(* Structural counters for tests and reporting. *)
+let stats (c : circuit) =
+  let m = List.hd c.c_modules in
+  ( List.length c.c_externs,
+    List.length m.m_instances,
+    List.length m.m_buffers )

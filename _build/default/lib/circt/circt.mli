@@ -1,0 +1,44 @@
+(** Lowering the HLS dialect to CIRCT (the paper's first further-work
+    item): the extracted dataflow design becomes a CIRCT-compatible
+    hardware netlist in the [hw] + [esi] dialects — stages as
+    [hw.instance]s of an external stage library, streams as
+    back-pressured [!esi.channel<T>] values, balanced FIFO depths as
+    [esi.buffer] stages. *)
+
+type port = { p_name : string; p_ty : string; p_dir : [ `In | `Out ] }
+type extern_module = { em_name : string; em_ports : port list }
+
+type instance = {
+  i_name : string;
+  i_module : string;
+  i_inputs : (string * string) list;
+  i_outputs : (string * string * string) list;
+}
+
+type buffer_stage = {
+  b_result : string;
+  b_input : string;
+  b_depth : int;
+  b_ty : string;
+}
+
+type hw_module = {
+  m_name : string;
+  m_args : (string * string) list;
+  m_instances : instance list;
+  m_buffers : buffer_stage list;
+}
+
+type circuit = { c_externs : extern_module list; c_modules : hw_module list }
+
+(** The ESI channel type for a stream element type. *)
+val channel_ty : Shmls_ir.Ty.t -> string
+
+val build : Design.t -> circuit
+val emit_circuit : circuit -> string
+
+(** Design -> CIRCT-compatible textual MLIR. *)
+val emit : Design.t -> string
+
+(** (extern modules, instances, buffers) of the first module. *)
+val stats : circuit -> int * int * int

@@ -1,0 +1,197 @@
+(* Stencil-HMLS: the public driver API.
+
+   Ties the whole pipeline of the paper's Figure 1 together:
+
+     kernel description (PSyclone stand-in: eDSL or textual)
+       -> stencil dialect            (Shmls_frontend.Lower)
+       -> shape inference            (Shmls_transforms.Shape_inference)
+       -> apply splitting            (step 4 precondition)
+       -> HLS dialect                (Shmls_transforms.Stencil_to_hls)
+       -> stream-depth balancing     (Shmls_fpga.Depth_balance)
+       -> annotated LLVM-IR + f++    (Shmls_llvmir)
+       -> U280 simulation            (Shmls_fpga: functional / cycle /
+                                      analytic + resources + power)
+
+   plus the four baseline flows (Shmls_baselines) for the comparison
+   experiments. *)
+
+module Ast = Shmls_frontend.Ast
+module Psy_parser = Shmls_frontend.Psy_parser
+module Lower = Shmls_frontend.Lower
+module Ir = Shmls_ir.Ir
+module Ty = Shmls_ir.Ty
+module Attr = Shmls_ir.Attr
+module Printer = Shmls_ir.Printer
+module Parser = Shmls_ir.Parser
+module Verifier = Shmls_ir.Verifier
+module Pass = Shmls_ir.Pass
+module Grid = Shmls_interp.Grid
+module Interp = Shmls_interp.Interp
+module Design = Shmls_fpga.Design
+module Functional = Shmls_fpga.Functional
+module Cycle_sim = Shmls_fpga.Cycle_sim
+module Perf_model = Shmls_fpga.Perf_model
+module Resources = Shmls_fpga.Resources
+module Power = Shmls_fpga.Power
+module U280 = Shmls_fpga.U280
+module Report = Shmls_fpga.Report
+module Trace = Shmls_fpga.Trace
+module Flow = Shmls_baselines.Flow
+module Circt = Shmls_circt.Circt
+module Err = Shmls_support.Err
+
+let () = Shmls_dialects.Register.all ()
+
+type compiled = {
+  c_kernel : Ast.kernel;
+  c_grid : int list;
+  c_lowered : Lower.lowered; (* stencil-dialect module (shape-inferred) *)
+  c_hls_module : Ir.op; (* HLS-dialect module *)
+  c_design : Design.t; (* extracted, depth-balanced design *)
+  c_cu : int;
+  c_ports_per_cu : int;
+  c_llvm : Shmls_llvmir.Ll.modul; (* after f++ *)
+  c_fpp : Shmls_llvmir.Fplusplus.report;
+  c_connectivity : string; (* v++ connectivity config *)
+}
+
+(* Run the full Stencil-HMLS compilation pipeline on one kernel. *)
+let compile ?(balance_depths = true) ?(split_applies = true)
+    (kernel : Ast.kernel) ~grid =
+  Shmls_dialects.Register.all ();
+  let lowered = Lower.lower kernel ~grid in
+  Shmls_transforms.Shape_inference.run_on_module lowered.l_module;
+  if split_applies then
+    ignore (Shmls_transforms.Apply_split.run_on_module lowered.l_module);
+  Verifier.verify_exn lowered.l_module;
+  let hls_module, plans = Shmls_transforms.Stencil_to_hls.run lowered.l_module in
+  Verifier.verify_exn hls_module;
+  let plan, func =
+    match plans with
+    | [ p ] -> p
+    | _ -> Err.raise_error "compile: expected exactly one kernel function"
+  in
+  let design = Shmls_fpga.Extract.extract func in
+  let design =
+    if balance_depths then Shmls_fpga.Depth_balance.balance_and_reextract design
+    else design
+  in
+  let llvm = Shmls_llvmir.Emit.emit_module hls_module in
+  let fpp = Shmls_llvmir.Fplusplus.run llvm in
+  let connectivity =
+    Shmls_llvmir.Fplusplus.connectivity_config ~kernel:kernel.k_name fpp
+  in
+  {
+    c_kernel = kernel;
+    c_grid = grid;
+    c_lowered = lowered;
+    c_hls_module = hls_module;
+    c_design = design;
+    c_cu = plan.p_cu;
+    c_ports_per_cu = plan.p_ports_per_cu;
+    c_llvm = llvm;
+    c_fpp = fpp;
+    c_connectivity = connectivity;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Verification: run the generated design functionally and compare with
+   the reference interpreter on identical inputs. *)
+
+type verification = {
+  v_fields : (string * float) list; (* per output field: max |diff| *)
+  v_max_diff : float;
+}
+
+let verify ?(seed = 7) (c : compiled) =
+  (* reference *)
+  let ref_state = Interp.run_lowered ~seed c.c_lowered in
+  (* simulated design on identical fresh inputs *)
+  let sim_state = Interp.alloc_state ~seed c.c_lowered in
+  let args =
+    List.map (fun (_, g) -> Functional.Ptr (g.Grid.data, 0)) sim_state.fields
+    @ List.map (fun (_, g) -> Functional.Ptr (g.Grid.data, 0)) sim_state.smalls
+    @ List.map (fun (_, v) -> Functional.F v) sim_state.params
+    |> Array.of_list
+  in
+  Functional.run c.c_design ~args;
+  let interior = Ty.make_bounds ~lb:(List.map (fun _ -> 0) c.c_grid) ~ub:c.c_grid in
+  let outputs =
+    List.filter
+      (fun (fd : Ast.field_decl) -> fd.fd_role = Ast.Output || fd.fd_role = Ast.Inout)
+      c.c_kernel.k_fields
+  in
+  let fields =
+    List.map
+      (fun (fd : Ast.field_decl) ->
+        let a = List.assoc fd.fd_name ref_state.fields in
+        let b = List.assoc fd.fd_name sim_state.fields in
+        (fd.fd_name, Grid.max_abs_diff_on interior a b))
+      outputs
+  in
+  let max_diff = List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 fields in
+  { v_fields = fields; v_max_diff = max_diff }
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation: the Stencil-HMLS flow reported in the same shape as the
+   baselines, so the benches can tabulate them together. *)
+
+let evaluate_hmls ?(cu = -1) (c : compiled) : Flow.outcome =
+  let est = Perf_model.estimate_design ?cu:(if cu > 0 then Some cu else None) c.c_design in
+  let usage = Resources.of_design ?cu:(if cu > 0 then Some cu else None) c.c_design in
+  if not (Resources.fits usage) then
+    Flow.Failure
+      {
+        f_flow = "Stencil-HMLS";
+        f_reason =
+          Format.asprintf "design exceeds the %s's resources (%a)" U280.name
+            Resources.pp usage;
+      }
+  else
+  let bytes = Perf_model.design_bytes_per_point c.c_design in
+  let power =
+    Power.of_estimate ~usage ~est ~bytes_per_point:bytes
+      ~interior:(Design.interior_points c.c_design)
+  in
+  Flow.Success
+    {
+      s_flow = "Stencil-HMLS";
+      s_est = est;
+      s_usage = usage;
+      s_power = power;
+      s_note =
+        Printf.sprintf "II=%d, %d CU(s) x %d ports, %d dataflow stages" est.e_ii
+          est.e_cu c.c_ports_per_cu
+          (List.length c.c_design.d_stages);
+    }
+
+(* All five flows on one kernel/size, in the paper's order. *)
+let evaluate_all (kernel : Ast.kernel) ~grid =
+  let hmls =
+    try
+      let c = compile kernel ~grid in
+      evaluate_hmls c
+    with Err.Error e ->
+      Flow.Failure { f_flow = "Stencil-HMLS"; f_reason = Err.to_string e }
+  in
+  [
+    hmls;
+    Shmls_baselines.Dace.evaluate kernel ~grid;
+    Shmls_baselines.Soda.evaluate kernel ~grid;
+    Shmls_baselines.Vitis.evaluate kernel ~grid;
+    Shmls_baselines.Stencilflow.evaluate kernel ~grid;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Artefact output *)
+
+let emit_llvm_text (c : compiled) = Shmls_llvmir.Ll.to_string c.c_llvm
+
+(* The alternative backend path of the paper's future work: the same
+   design lowered to a CIRCT hw/esi netlist. *)
+let emit_circt_text (c : compiled) = Shmls_circt.Circt.emit c.c_design
+
+(* A Vitis-style synthesis report for the compiled design. *)
+let report_text (c : compiled) = Shmls_fpga.Report.render c.c_design
+let emit_stencil_text (c : compiled) = Printer.to_string c.c_lowered.l_module
+let emit_hls_text (c : compiled) = Printer.to_string c.c_hls_module

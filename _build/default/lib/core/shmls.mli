@@ -1,0 +1,82 @@
+(** Stencil-HMLS: the public driver API.
+
+    Ties the pipeline of the paper's Figure 1 together — kernel
+    description, stencil dialect, the nine-step HLS transformation,
+    LLVM-IR + f++, and the simulated U280 — plus the baseline flows for
+    the comparison experiments. The sub-module aliases re-export the
+    layer APIs so [Shmls] is the only module most users need. *)
+
+module Ast = Shmls_frontend.Ast
+module Psy_parser = Shmls_frontend.Psy_parser
+module Lower = Shmls_frontend.Lower
+module Ir = Shmls_ir.Ir
+module Ty = Shmls_ir.Ty
+module Attr = Shmls_ir.Attr
+module Printer = Shmls_ir.Printer
+module Parser = Shmls_ir.Parser
+module Verifier = Shmls_ir.Verifier
+module Pass = Shmls_ir.Pass
+module Grid = Shmls_interp.Grid
+module Interp = Shmls_interp.Interp
+module Design = Shmls_fpga.Design
+module Functional = Shmls_fpga.Functional
+module Cycle_sim = Shmls_fpga.Cycle_sim
+module Perf_model = Shmls_fpga.Perf_model
+module Resources = Shmls_fpga.Resources
+module Power = Shmls_fpga.Power
+module U280 = Shmls_fpga.U280
+module Report = Shmls_fpga.Report
+module Trace = Shmls_fpga.Trace
+module Flow = Shmls_baselines.Flow
+module Circt = Shmls_circt.Circt
+module Err = Shmls_support.Err
+
+(** Everything the pipeline produced for one kernel at one grid. *)
+type compiled = {
+  c_kernel : Ast.kernel;
+  c_grid : int list;
+  c_lowered : Lower.lowered;  (** stencil-dialect module, shape-inferred *)
+  c_hls_module : Ir.op;  (** HLS-dialect module *)
+  c_design : Design.t;  (** extracted, depth-balanced design *)
+  c_cu : int;
+  c_ports_per_cu : int;
+  c_llvm : Shmls_llvmir.Ll.modul;  (** LLVM-IR after f++ *)
+  c_fpp : Shmls_llvmir.Fplusplus.report;
+  c_connectivity : string;  (** v++ connectivity config *)
+}
+
+(** Run the full Stencil-HMLS compilation pipeline. [balance_depths]
+    and [split_applies] exist for ablations and tests; leave them on. *)
+val compile :
+  ?balance_depths:bool -> ?split_applies:bool -> Ast.kernel -> grid:int list ->
+  compiled
+
+type verification = {
+  v_fields : (string * float) list;  (** per output field: max |diff| *)
+  v_max_diff : float;
+}
+
+(** Execute the generated design in the functional simulator against the
+    reference interpreter on identical inputs. *)
+val verify : ?seed:int -> compiled -> verification
+
+(** The Stencil-HMLS flow's performance/resources/power, in the same
+    shape as the baselines. *)
+val evaluate_hmls : ?cu:int -> compiled -> Flow.outcome
+
+(** All five flows (Stencil-HMLS, DaCe, SODA-opt, Vitis HLS,
+    StencilFlow), in the paper's order. *)
+val evaluate_all : Ast.kernel -> grid:int list -> Flow.outcome list
+
+(** {2 Artefact output} *)
+
+val emit_llvm_text : compiled -> string
+
+(** The CIRCT hw/esi netlist (the paper's future-work backend). *)
+val emit_circt_text : compiled -> string
+
+(** A Vitis-style synthesis report. *)
+val report_text : compiled -> string
+
+val emit_stencil_text : compiled -> string
+val emit_hls_text : compiled -> string

@@ -1,0 +1,1 @@
+lib/dialects/arith.ml: Attr Builder Dialect Err Ir List Shmls_ir Ty

@@ -1,0 +1,1 @@
+lib/dialects/arith.mli: Builder Ir Shmls_ir Ty

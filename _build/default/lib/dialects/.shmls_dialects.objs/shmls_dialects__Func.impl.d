@@ -1,0 +1,1 @@
+lib/dialects/func.ml: Attr Builder Dialect Err Ir List Shmls_ir Ty

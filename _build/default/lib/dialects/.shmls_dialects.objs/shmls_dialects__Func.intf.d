@@ -1,0 +1,1 @@
+lib/dialects/func.mli: Builder Ir Shmls_ir Ty

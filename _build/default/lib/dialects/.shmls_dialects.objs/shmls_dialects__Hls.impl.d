@@ -1,0 +1,1 @@
+lib/dialects/hls.ml: Attr Builder Dialect Err Ir Shmls_ir Ty

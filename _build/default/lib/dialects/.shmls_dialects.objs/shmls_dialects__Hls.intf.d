@@ -1,0 +1,1 @@
+lib/dialects/hls.mli: Builder Ir Shmls_ir Ty

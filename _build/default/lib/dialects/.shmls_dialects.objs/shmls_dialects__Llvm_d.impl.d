@@ -1,0 +1,1 @@
+lib/dialects/llvm_d.ml: Attr Builder Dialect Err Ir Shmls_ir Ty

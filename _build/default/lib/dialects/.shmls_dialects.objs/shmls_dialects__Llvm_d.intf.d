@@ -1,0 +1,1 @@
+lib/dialects/llvm_d.mli: Builder Ir Shmls_ir Ty

@@ -1,0 +1,1 @@
+lib/dialects/math_d.ml: Builder Dialect Err Ir List Shmls_ir Ty

@@ -1,0 +1,1 @@
+lib/dialects/math_d.mli: Builder Ir Shmls_ir

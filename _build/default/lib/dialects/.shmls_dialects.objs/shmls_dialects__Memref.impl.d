@@ -1,0 +1,1 @@
+lib/dialects/memref.ml: Builder Dialect Err Ir List Shmls_ir Ty

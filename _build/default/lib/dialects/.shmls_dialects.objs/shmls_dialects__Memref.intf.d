@@ -1,0 +1,1 @@
+lib/dialects/memref.mli: Builder Ir Shmls_ir Ty

@@ -1,0 +1,1 @@
+lib/dialects/register.ml: Arith Func Hls Llvm_d Math_d Memref Scf Stencil

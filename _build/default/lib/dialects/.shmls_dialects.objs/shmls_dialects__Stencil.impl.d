@@ -1,0 +1,1 @@
+lib/dialects/stencil.ml: Attr Builder Dialect Err Ir List Shmls_ir Ty

@@ -1,0 +1,1 @@
+lib/dialects/stencil.mli: Builder Ir Shmls_ir Ty

@@ -1,0 +1,127 @@
+(* The arith dialect: constants, integer/float arithmetic, comparisons. *)
+
+open Shmls_ir
+
+let constant_op = "arith.constant"
+
+let binary_float_ops = [ "arith.addf"; "arith.subf"; "arith.mulf"; "arith.divf";
+                         "arith.maximumf"; "arith.minimumf" ]
+
+let binary_int_ops =
+  [ "arith.addi"; "arith.subi"; "arith.muli"; "arith.divsi"; "arith.remsi" ]
+
+let verify_constant (op : Ir.op) =
+  match (Ir.Op.get_attr op "value", Ir.Op.results op) with
+  | Some (Attr.Float _), [ r ] when Ty.is_float (Ir.Value.ty r) -> Ok ()
+  | Some (Attr.Int _), [ r ]
+    when Ty.is_int (Ir.Value.ty r) || Ty.is_index (Ir.Value.ty r) ->
+    Ok ()
+  | _ -> Err.fail "arith.constant: value attr kind must match result type"
+
+let verify_same_type_binary (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op) with
+  | [ a; b ], [ r ]
+    when Ty.equal (Ir.Value.ty a) (Ir.Value.ty b)
+         && Ty.equal (Ir.Value.ty a) (Ir.Value.ty r) ->
+    Ok ()
+  | _ -> Err.fail "binary arith op: operand/result types must agree"
+
+let verify_cmp (op : Ir.op) =
+  match (Ir.Op.get_attr op "predicate", Ir.Op.operands op, Ir.Op.results op) with
+  | Some (Attr.Str _), [ a; b ], [ r ]
+    when Ty.equal (Ir.Value.ty a) (Ir.Value.ty b) && Ty.equal (Ir.Value.ty r) Ty.I1
+    ->
+    Ok ()
+  | _ -> Err.fail "cmp op: needs predicate attr, equal operand types, i1 result"
+
+let verify_select (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op) with
+  | [ c; a; b ], [ r ]
+    when Ty.equal (Ir.Value.ty c) Ty.I1
+         && Ty.equal (Ir.Value.ty a) (Ir.Value.ty b)
+         && Ty.equal (Ir.Value.ty a) (Ir.Value.ty r) ->
+    Ok ()
+  | _ -> Err.fail "arith.select: (i1, T, T) -> T"
+
+let register () =
+  Dialect.register constant_op ~verify:verify_constant ~traits:[ Dialect.Pure ];
+  List.iter
+    (fun name ->
+      let traits =
+        if name = "arith.addf" || name = "arith.mulf" || name = "arith.maximumf"
+           || name = "arith.minimumf"
+        then [ Dialect.Pure; Dialect.Commutative ]
+        else [ Dialect.Pure ]
+      in
+      Dialect.register name ~verify:verify_same_type_binary ~traits)
+    binary_float_ops;
+  List.iter
+    (fun name ->
+      let traits =
+        if name = "arith.addi" || name = "arith.muli" then
+          [ Dialect.Pure; Dialect.Commutative ]
+        else [ Dialect.Pure ]
+      in
+      Dialect.register name ~verify:verify_same_type_binary ~traits)
+    binary_int_ops;
+  Dialect.register "arith.cmpf" ~verify:verify_cmp ~traits:[ Dialect.Pure ];
+  Dialect.register "arith.cmpi" ~verify:verify_cmp ~traits:[ Dialect.Pure ];
+  Dialect.register "arith.select" ~verify:verify_select ~traits:[ Dialect.Pure ];
+  Dialect.register "arith.negf" ~traits:[ Dialect.Pure ];
+  Dialect.register "arith.index_cast" ~traits:[ Dialect.Pure ];
+  Dialect.register "arith.sitofp" ~traits:[ Dialect.Pure ];
+  Dialect.register "arith.fptosi" ~traits:[ Dialect.Pure ]
+
+(* ------------------------------------------------------------------ *)
+(* Builders *)
+
+let constant_f b ?(ty = Ty.F64) v =
+  Builder.insert_op1 b ~name:constant_op ~result_ty:ty
+    ~attrs:[ ("value", Attr.Float v) ]
+    ()
+
+let constant_i b ?(ty = Ty.I64) v =
+  Builder.insert_op1 b ~name:constant_op ~result_ty:ty
+    ~attrs:[ ("value", Attr.Int v) ]
+    ()
+
+let constant_index b v = constant_i b ~ty:Ty.Index v
+
+let binary b name x y =
+  Builder.insert_op1 b ~name ~operands:[ x; y ] ~result_ty:(Ir.Value.ty x) ()
+
+let addf b x y = binary b "arith.addf" x y
+let subf b x y = binary b "arith.subf" x y
+let mulf b x y = binary b "arith.mulf" x y
+let divf b x y = binary b "arith.divf" x y
+let maxf b x y = binary b "arith.maximumf" x y
+let minf b x y = binary b "arith.minimumf" x y
+let addi b x y = binary b "arith.addi" x y
+let subi b x y = binary b "arith.subi" x y
+let muli b x y = binary b "arith.muli" x y
+let divsi b x y = binary b "arith.divsi" x y
+let remsi b x y = binary b "arith.remsi" x y
+
+let negf b x =
+  Builder.insert_op1 b ~name:"arith.negf" ~operands:[ x ]
+    ~result_ty:(Ir.Value.ty x) ()
+
+let cmpf b ~predicate x y =
+  Builder.insert_op1 b ~name:"arith.cmpf" ~operands:[ x; y ] ~result_ty:Ty.I1
+    ~attrs:[ ("predicate", Attr.Str predicate) ]
+    ()
+
+let cmpi b ~predicate x y =
+  Builder.insert_op1 b ~name:"arith.cmpi" ~operands:[ x; y ] ~result_ty:Ty.I1
+    ~attrs:[ ("predicate", Attr.Str predicate) ]
+    ()
+
+let select b c x y =
+  Builder.insert_op1 b ~name:"arith.select" ~operands:[ c; x; y ]
+    ~result_ty:(Ir.Value.ty x) ()
+
+let index_cast b ~to_ty x =
+  Builder.insert_op1 b ~name:"arith.index_cast" ~operands:[ x ] ~result_ty:to_ty ()
+
+let sitofp b ~to_ty x =
+  Builder.insert_op1 b ~name:"arith.sitofp" ~operands:[ x ] ~result_ty:to_ty ()

@@ -1,0 +1,39 @@
+(** The arith dialect: constants, integer/float arithmetic, comparisons.
+
+    Binary builders take operands of equal type and produce that type;
+    the registered verifiers enforce this on raw IR too. *)
+
+open Shmls_ir
+
+val constant_op : string
+
+val register : unit -> unit
+
+val constant_f : Builder.t -> ?ty:Ty.t -> float -> Ir.value
+val constant_i : Builder.t -> ?ty:Ty.t -> int -> Ir.value
+val constant_index : Builder.t -> int -> Ir.value
+
+(** Generic same-type binary op by name, e.g. ["arith.addf"]. *)
+val binary : Builder.t -> string -> Ir.value -> Ir.value -> Ir.value
+
+val addf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val subf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val mulf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val divf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val maxf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val minf : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val addi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val subi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val muli : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val divsi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val remsi : Builder.t -> Ir.value -> Ir.value -> Ir.value
+val negf : Builder.t -> Ir.value -> Ir.value
+
+(** [predicate] is an MLIR cmpf/cmpi predicate string (["olt"], ["sle"],
+    ...); the result has type i1. *)
+val cmpf : Builder.t -> predicate:string -> Ir.value -> Ir.value -> Ir.value
+
+val cmpi : Builder.t -> predicate:string -> Ir.value -> Ir.value -> Ir.value
+val select : Builder.t -> Ir.value -> Ir.value -> Ir.value -> Ir.value
+val index_cast : Builder.t -> to_ty:Ty.t -> Ir.value -> Ir.value
+val sitofp : Builder.t -> to_ty:Ty.t -> Ir.value -> Ir.value

@@ -1,0 +1,80 @@
+(* The func dialect: functions, returns and calls.  builtin.module is
+   registered here too since it has no dialect module of its own. *)
+
+open Shmls_ir
+
+let module_op = "builtin.module"
+let func_op = "func.func"
+let return_op = "func.return"
+let call_op = "func.call"
+
+let verify_module (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op, Ir.Op.regions op) with
+  | [], [], [ _ ] -> Ok ()
+  | _ -> Err.fail "builtin.module takes no operands/results and one region"
+
+let function_type (f : Ir.op) =
+  match Attr.ty_exn (Ir.Op.get_attr_exn f "function_type") with
+  | Ty.Func (args, results) -> (args, results)
+  | _ -> Err.raise_error "func.func: function_type is not a function type"
+
+let sym_name (f : Ir.op) = Attr.str_exn (Ir.Op.get_attr_exn f "sym_name")
+
+let verify_func (op : Ir.op) =
+  match (Ir.Op.get_attr op "sym_name", Ir.Op.get_attr op "function_type") with
+  | Some (Attr.Str _), Some (Attr.Ty (Ty.Func (args, _))) -> (
+    match Ir.Op.regions op with
+    | [ r ] ->
+      let entry = Ir.Region.entry r in
+      let arg_tys = List.map Ir.Value.ty (Ir.Block.args entry) in
+      if List.length arg_tys = List.length args && List.for_all2 Ty.equal arg_tys args
+      then Ok ()
+      else Err.fail "func.func: entry block args disagree with function_type"
+    | _ -> Err.fail "func.func: exactly one region required")
+  | _ -> Err.fail "func.func: needs sym_name (string) and function_type attrs"
+
+let verify_return (op : Ir.op) =
+  match Ir.Op.parent op with
+  | None -> Err.fail "func.return: orphan op"
+  | Some _ -> Ok ()
+
+let verify_call (op : Ir.op) =
+  match Ir.Op.get_attr op "callee" with
+  | Some (Attr.Sym _) -> Ok ()
+  | _ -> Err.fail "func.call: needs callee symbol attr"
+
+let register () =
+  Dialect.register module_op ~verify:verify_module
+    ~traits:[ Dialect.Isolated_from_above ];
+  Dialect.register func_op ~verify:verify_func
+    ~traits:[ Dialect.Isolated_from_above ];
+  Dialect.register return_op ~verify:verify_return ~traits:[ Dialect.Terminator ];
+  Dialect.register call_op ~verify:verify_call
+
+(* ------------------------------------------------------------------ *)
+(* Builders *)
+
+(* Create a function and append it to the module body.  [f] populates the
+   body given a builder at the end of the entry block and the entry args. *)
+let build_func module_op_ ~name ~arg_tys ~result_tys f =
+  let region = Builder.build_region ~arg_tys f in
+  let func =
+    Ir.Op.create ~name:func_op
+      ~attrs:
+        [
+          ("sym_name", Attr.Str name);
+          ("function_type", Attr.Ty (Ty.Func (arg_tys, result_tys)));
+        ]
+      ~regions:[ region ] ()
+  in
+  Ir.Block.append (Ir.Module_.body module_op_) func;
+  func
+
+let return_ b values =
+  ignore
+    (Builder.insert_op b ~name:return_op ~operands:values ())
+
+let call b ~callee ~operands ~result_tys =
+  Builder.insert_op b ~name:call_op ~operands ~result_tys
+    ~attrs:[ ("callee", Attr.Sym callee) ]
+    ()

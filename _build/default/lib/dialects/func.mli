@@ -1,0 +1,33 @@
+(** The func dialect: functions, returns and calls (plus registration of
+    [builtin.module]). *)
+
+open Shmls_ir
+
+val module_op : string
+val func_op : string
+val return_op : string
+val call_op : string
+
+(** Argument and result types from the [function_type] attribute. *)
+val function_type : Ir.op -> Ty.t list * Ty.t list
+
+val sym_name : Ir.op -> string
+
+(** Register builtin.module, func.func, func.return and func.call. *)
+val register : unit -> unit
+
+(** Create a function and append it to the module body; the callback
+    populates the body given a builder at the end of the entry block and
+    the entry arguments. *)
+val build_func :
+  Ir.op ->
+  name:string ->
+  arg_tys:Ty.t list ->
+  result_tys:Ty.t list ->
+  (Builder.t -> Ir.value list -> unit) ->
+  Ir.op
+
+val return_ : Builder.t -> Ir.value list -> unit
+
+val call :
+  Builder.t -> callee:string -> operands:Ir.value list -> result_tys:Ty.t list -> Ir.op

@@ -1,0 +1,200 @@
+(* The HLS dialect — contribution (1) of the paper.
+
+   A vendor-agnostic abstraction of the high-level-synthesis features of
+   AMD Xilinx Vitis: streams connecting concurrent dataflow regions, loop
+   pipelining/unrolling directives, array partitioning and AXI interface
+   assignment.  Ten operations, as in the paper's Listing 3:
+
+     %s = hls.create_stream()         {elem_type, depth}   -> !hls.stream<T>
+     %v = hls.read(%s)                                     -> T
+          hls.write(%v, %s)
+     %b = hls.empty(%s) / hls.full(%s)                     -> i1
+          hls.pipeline()              {ii}        marker inside a loop body
+          hls.unroll()                {factor}    marker inside a loop body
+          hls.array_partition(%m)     {kind, factor, dim}
+          hls.dataflow() ({ region })            a concurrent dataflow stage
+          hls.interface(%arg)         {mode, bundle, protocol, hbm_bank}
+
+   The AXI protocol attribute is encoded as an i32 code (paper Listing 2):
+   0 = AXI4, 1 = AXI4-Lite, 2 = AXI4-Stream. *)
+
+open Shmls_ir
+
+let create_stream_op = "hls.create_stream"
+let read_op = "hls.read"
+let write_op = "hls.write"
+let empty_op = "hls.empty"
+let full_op = "hls.full"
+let pipeline_op = "hls.pipeline"
+let unroll_op = "hls.unroll"
+let array_partition_op = "hls.array_partition"
+let dataflow_op = "hls.dataflow"
+let interface_op = "hls.interface"
+
+let axi4 = 0
+let axi4_lite = 1
+let axi4_stream = 2
+
+(* Default FIFO depth used when create_stream has no explicit depth; 2 is
+   the Vitis default for inter-stage streams. *)
+let default_stream_depth = 2
+
+(* ------------------------------------------------------------------ *)
+(* Verifiers *)
+
+let verify_create_stream (op : Ir.op) =
+  match (Ir.Op.results op, Ir.Op.get_attr op "elem_type") with
+  | [ r ], Some (Attr.Ty elem) -> (
+    match Ir.Value.ty r with
+    | Ty.Stream e when Ty.equal e elem -> Ok ()
+    | _ -> Err.fail "hls.create_stream: result must be !hls.stream<elem_type>")
+  | _ -> Err.fail "hls.create_stream: one result and elem_type attr required"
+
+let verify_read (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op) with
+  | [ s ], [ r ] -> (
+    match Ir.Value.ty s with
+    | Ty.Stream e when Ty.equal e (Ir.Value.ty r) -> Ok ()
+    | Ty.Stream _ -> Err.fail "hls.read: result type disagrees with stream"
+    | _ -> Err.fail "hls.read: operand must be a stream")
+  | _ -> Err.fail "hls.read: (stream) -> elem"
+
+let verify_write (op : Ir.op) =
+  match Ir.Op.operands op with
+  | [ v; s ] -> (
+    match Ir.Value.ty s with
+    | Ty.Stream e when Ty.equal e (Ir.Value.ty v) -> Ok ()
+    | Ty.Stream _ -> Err.fail "hls.write: value type disagrees with stream"
+    | _ -> Err.fail "hls.write: second operand must be a stream")
+  | _ -> Err.fail "hls.write: (value, stream)"
+
+let verify_status (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op) with
+  | [ s ], [ r ]
+    when (match Ir.Value.ty s with Ty.Stream _ -> true | _ -> false)
+         && Ty.equal (Ir.Value.ty r) Ty.I1 ->
+    Ok ()
+  | _ -> Err.fail "hls.empty/full: (stream) -> i1"
+
+let verify_pipeline (op : Ir.op) =
+  match Ir.Op.get_attr op "ii" with
+  | Some (Attr.Int ii) when ii >= 1 -> Ok ()
+  | _ -> Err.fail "hls.pipeline: needs ii >= 1"
+
+let verify_unroll (op : Ir.op) =
+  match Ir.Op.get_attr op "factor" with
+  | Some (Attr.Int f) when f >= 0 -> Ok ()
+  | _ -> Err.fail "hls.unroll: needs factor >= 0 (0 = full unroll)"
+
+let verify_array_partition (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.get_attr op "kind") with
+  | [ _ ], Some (Attr.Str ("complete" | "cyclic" | "block")) -> Ok ()
+  | _ ->
+    Err.fail "hls.array_partition: one operand, kind in {complete,cyclic,block}"
+
+let verify_dataflow (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op, Ir.Op.regions op) with
+  | [], [], [ _ ] -> Ok ()
+  | _ -> Err.fail "hls.dataflow: no operands/results, one region"
+
+let verify_interface (op : Ir.op) =
+  match
+    (Ir.Op.operands op, Ir.Op.get_attr op "mode", Ir.Op.get_attr op "bundle")
+  with
+  | [ _ ], Some (Attr.Str _), Some (Attr.Str _) -> Ok ()
+  | _ -> Err.fail "hls.interface: (arg) with mode and bundle attrs"
+
+let register () =
+  Dialect.register create_stream_op ~verify:verify_create_stream;
+  Dialect.register read_op ~verify:verify_read;
+  Dialect.register write_op ~verify:verify_write;
+  Dialect.register empty_op ~verify:verify_status;
+  Dialect.register full_op ~verify:verify_status;
+  Dialect.register pipeline_op ~verify:verify_pipeline;
+  Dialect.register unroll_op ~verify:verify_unroll;
+  Dialect.register array_partition_op ~verify:verify_array_partition;
+  Dialect.register dataflow_op ~verify:verify_dataflow;
+  Dialect.register interface_op ~verify:verify_interface
+
+(* ------------------------------------------------------------------ *)
+(* Builders *)
+
+let create_stream b ?(depth = default_stream_depth) ~elem () =
+  Builder.insert_op1 b ~name:create_stream_op ~result_ty:(Ty.Stream elem)
+    ~attrs:[ ("elem_type", Attr.Ty elem); ("depth", Attr.Int depth) ]
+    ()
+
+let read b stream =
+  let elem =
+    match Ir.Value.ty stream with
+    | Ty.Stream e -> e
+    | t -> Err.raise_error "hls.read of non-stream %s" (Ty.to_string t)
+  in
+  Builder.insert_op1 b ~name:read_op ~operands:[ stream ] ~result_ty:elem ()
+
+let write b value stream =
+  ignore (Builder.insert_op b ~name:write_op ~operands:[ value; stream ] ())
+
+let empty b stream =
+  Builder.insert_op1 b ~name:empty_op ~operands:[ stream ] ~result_ty:Ty.I1 ()
+
+let full b stream =
+  Builder.insert_op1 b ~name:full_op ~operands:[ stream ] ~result_ty:Ty.I1 ()
+
+let pipeline b ~ii =
+  ignore
+    (Builder.insert_op b ~name:pipeline_op ~attrs:[ ("ii", Attr.Int ii) ] ())
+
+let unroll b ~factor =
+  ignore
+    (Builder.insert_op b ~name:unroll_op ~attrs:[ ("factor", Attr.Int factor) ] ())
+
+let array_partition b ?(factor = 0) ?(dim = 0) ~kind mr =
+  ignore
+    (Builder.insert_op b ~name:array_partition_op ~operands:[ mr ]
+       ~attrs:
+         [
+           ("kind", Attr.Str kind);
+           ("factor", Attr.Int factor);
+           ("dim", Attr.Int dim);
+         ]
+       ())
+
+(* A dataflow stage: the region body runs concurrently with its siblings,
+   synchronised only through the streams it reads and writes. *)
+let dataflow b ?(stage = "") body =
+  let region = Builder.build_region (fun bb _ -> body bb) in
+  let attrs = if stage = "" then [] else [ ("stage", Attr.Str stage) ] in
+  Builder.insert_op b ~name:dataflow_op ~regions:[ region ] ~attrs ()
+
+let interface b ?(protocol = axi4) ?(hbm_bank = -1) ~mode ~bundle arg =
+  ignore
+    (Builder.insert_op b ~name:interface_op ~operands:[ arg ]
+       ~attrs:
+         [
+           ("mode", Attr.Str mode);
+           ("bundle", Attr.Str bundle);
+           ("protocol", Attr.Int protocol);
+           ("hbm_bank", Attr.Int hbm_bank);
+         ]
+       ())
+
+(* ------------------------------------------------------------------ *)
+(* Accessors *)
+
+let stream_depth (op : Ir.op) =
+  match Ir.Op.get_attr op "depth" with
+  | Some (Attr.Int d) -> d
+  | _ -> default_stream_depth
+
+let stream_elem (op : Ir.op) = Attr.ty_exn (Ir.Op.get_attr_exn op "elem_type")
+
+let dataflow_body (op : Ir.op) =
+  match Ir.Op.regions op with
+  | [ r ] -> Ir.Region.entry r
+  | _ -> Err.raise_error "hls.dataflow: expected one region"
+
+let dataflow_stage (op : Ir.op) =
+  match Ir.Op.get_attr op "stage" with Some (Attr.Str s) -> s | _ -> ""
+
+let pipeline_ii (op : Ir.op) = Attr.int_exn (Ir.Op.get_attr_exn op "ii")

@@ -1,0 +1,66 @@
+(** The HLS dialect — contribution (1) of the paper: a vendor-agnostic
+    abstraction of Vitis HLS's dataflow features.
+
+    Ten operations (paper Listing 3): [create_stream], [read], [write],
+    [empty], [full], [pipeline], [unroll], [array_partition], [dataflow],
+    [interface]. AXI protocols are encoded as i32 codes (paper
+    Listing 2). *)
+
+open Shmls_ir
+
+val create_stream_op : string
+val read_op : string
+val write_op : string
+val empty_op : string
+val full_op : string
+val pipeline_op : string
+val unroll_op : string
+val array_partition_op : string
+val dataflow_op : string
+val interface_op : string
+
+val axi4 : int
+val axi4_lite : int
+val axi4_stream : int
+
+(** FIFO depth used when [create_stream] has no explicit depth. *)
+val default_stream_depth : int
+
+val register : unit -> unit
+
+val create_stream : Builder.t -> ?depth:int -> elem:Ty.t -> unit -> Ir.value
+val read : Builder.t -> Ir.value -> Ir.value
+val write : Builder.t -> Ir.value -> Ir.value -> unit
+val empty : Builder.t -> Ir.value -> Ir.value
+val full : Builder.t -> Ir.value -> Ir.value
+
+(** Marker inside a loop body: pipeline the enclosing loop at the given
+    initiation interval. *)
+val pipeline : Builder.t -> ii:int -> unit
+
+(** Marker: unroll the enclosing loop ([factor = 0] = full unroll). *)
+val unroll : Builder.t -> factor:int -> unit
+
+val array_partition :
+  Builder.t -> ?factor:int -> ?dim:int -> kind:string -> Ir.value -> unit
+
+(** A concurrent dataflow stage; [stage] labels it for design
+    extraction. *)
+val dataflow : Builder.t -> ?stage:string -> (Builder.t -> unit) -> Ir.op
+
+val interface :
+  Builder.t ->
+  ?protocol:int ->
+  ?hbm_bank:int ->
+  mode:string ->
+  bundle:string ->
+  Ir.value ->
+  unit
+
+(** {2 Accessors} *)
+
+val stream_depth : Ir.op -> int
+val stream_elem : Ir.op -> Ty.t
+val dataflow_body : Ir.op -> Ir.block
+val dataflow_stage : Ir.op -> string
+val pipeline_ii : Ir.op -> int

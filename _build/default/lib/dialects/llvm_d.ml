@@ -1,0 +1,91 @@
+(* The llvm dialect subset the HLS lowering targets: pointer/struct
+   manipulation, marker calls and intrinsics.  The names follow MLIR's llvm
+   dialect; the final textual LLVM-IR is produced by Shmls_llvmir. *)
+
+open Shmls_ir
+
+let alloca_op = "llvm.alloca"
+let gep_op = "llvm.getelementptr"
+let load_op = "llvm.load"
+let store_op = "llvm.store"
+let call_op = "llvm.call"
+let constant_op = "llvm.mlir.constant"
+let undef_op = "llvm.mlir.undef"
+let return_op = "llvm.return"
+let bitcast_op = "llvm.bitcast"
+let extractvalue_op = "llvm.extractvalue"
+let insertvalue_op = "llvm.insertvalue"
+
+let verify_gep (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op) with
+  | base :: _, [ r ] -> (
+    match (Ir.Value.ty base, Ir.Value.ty r) with
+    | Ty.Ptr _, Ty.Ptr _ -> Ok ()
+    | _ -> Err.fail "llvm.getelementptr: pointer in, pointer out")
+  | _ -> Err.fail "llvm.getelementptr: needs base pointer and one result"
+
+let verify_load (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op) with
+  | [ p ], [ r ] -> (
+    match Ir.Value.ty p with
+    | Ty.Ptr elem when Ty.equal elem (Ir.Value.ty r) -> Ok ()
+    | Ty.Ptr _ -> Err.fail "llvm.load: result type disagrees with pointee"
+    | _ -> Err.fail "llvm.load: operand must be a pointer")
+  | _ -> Err.fail "llvm.load: (ptr) -> elem"
+
+let verify_store (op : Ir.op) =
+  match Ir.Op.operands op with
+  | [ v; p ] -> (
+    match Ir.Value.ty p with
+    | Ty.Ptr elem when Ty.equal elem (Ir.Value.ty v) -> Ok ()
+    | Ty.Ptr _ -> Err.fail "llvm.store: value type disagrees with pointee"
+    | _ -> Err.fail "llvm.store: second operand must be a pointer")
+  | _ -> Err.fail "llvm.store: (value, ptr)"
+
+let verify_call (op : Ir.op) =
+  match Ir.Op.get_attr op "callee" with
+  | Some (Attr.Sym _) -> Ok ()
+  | _ -> Err.fail "llvm.call: needs callee symbol attr"
+
+let register () =
+  Dialect.register alloca_op;
+  Dialect.register gep_op ~verify:verify_gep ~traits:[ Dialect.Pure ];
+  Dialect.register load_op ~verify:verify_load;
+  Dialect.register store_op ~verify:verify_store;
+  Dialect.register call_op ~verify:verify_call;
+  Dialect.register constant_op ~traits:[ Dialect.Pure ];
+  Dialect.register undef_op ~traits:[ Dialect.Pure ];
+  Dialect.register return_op ~traits:[ Dialect.Terminator ];
+  Dialect.register bitcast_op ~traits:[ Dialect.Pure ];
+  Dialect.register extractvalue_op ~traits:[ Dialect.Pure ];
+  Dialect.register insertvalue_op ~traits:[ Dialect.Pure ]
+
+(* ------------------------------------------------------------------ *)
+(* Builders *)
+
+let alloca b ~elem =
+  Builder.insert_op1 b ~name:alloca_op ~result_ty:(Ty.Ptr elem) ()
+
+(* Constant-index GEP, as used for stream structs: offsets like [0, 0]. *)
+let gep b ~indices ~result_ty base =
+  Builder.insert_op1 b ~name:gep_op ~operands:[ base ] ~result_ty
+    ~attrs:[ ("indices", Attr.Ints indices) ]
+    ()
+
+let load b p =
+  let elem =
+    match Ir.Value.ty p with
+    | Ty.Ptr elem -> elem
+    | t -> Err.raise_error "llvm.load of non-pointer %s" (Ty.to_string t)
+  in
+  Builder.insert_op1 b ~name:load_op ~operands:[ p ] ~result_ty:elem ()
+
+let store b v p = ignore (Builder.insert_op b ~name:store_op ~operands:[ v; p ] ())
+
+let call b ~callee ?(operands = []) ?(result_tys = []) () =
+  Builder.insert_op b ~name:call_op ~operands ~result_tys
+    ~attrs:[ ("callee", Attr.Sym callee) ]
+    ()
+
+let return_ b values =
+  ignore (Builder.insert_op b ~name:return_op ~operands:values ())

@@ -1,0 +1,38 @@
+(** The llvm dialect subset targeted by the HLS lowering: pointer and
+    struct manipulation, calls, intrinsic markers. *)
+
+open Shmls_ir
+
+val alloca_op : string
+val gep_op : string
+val load_op : string
+val store_op : string
+val call_op : string
+val constant_op : string
+val undef_op : string
+val return_op : string
+val bitcast_op : string
+val extractvalue_op : string
+val insertvalue_op : string
+
+val register : unit -> unit
+
+val alloca : Builder.t -> elem:Ty.t -> Ir.value
+
+(** Constant-index GEP via the [indices] attribute (e.g. [[0; 0]] for the
+    first element of a stream struct). A dynamic index can be passed as a
+    second operand with [indices = []]. *)
+val gep : Builder.t -> indices:int list -> result_ty:Ty.t -> Ir.value -> Ir.value
+
+val load : Builder.t -> Ir.value -> Ir.value
+val store : Builder.t -> Ir.value -> Ir.value -> unit
+
+val call :
+  Builder.t ->
+  callee:string ->
+  ?operands:Ir.value list ->
+  ?result_tys:Ty.t list ->
+  unit ->
+  Ir.op
+
+val return_ : Builder.t -> Ir.value list -> unit

@@ -1,0 +1,44 @@
+(* The math dialect: transcendental and other float intrinsics that lower
+   directly to LLVM intrinsics on the Vitis HLS backend. *)
+
+open Shmls_ir
+
+let unary_ops = [ "math.sqrt"; "math.exp"; "math.log"; "math.absf"; "math.tanh" ]
+let binary_ops = [ "math.powf"; "math.atan2" ]
+
+let verify_unary (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op) with
+  | [ a ], [ r ]
+    when Ty.is_float (Ir.Value.ty a) && Ty.equal (Ir.Value.ty a) (Ir.Value.ty r) ->
+    Ok ()
+  | _ -> Err.fail "unary math op: (float) -> same float"
+
+let verify_binary (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op) with
+  | [ a; b ], [ r ]
+    when Ty.is_float (Ir.Value.ty a)
+         && Ty.equal (Ir.Value.ty a) (Ir.Value.ty b)
+         && Ty.equal (Ir.Value.ty a) (Ir.Value.ty r) ->
+    Ok ()
+  | _ -> Err.fail "binary math op: (float, float) -> same float"
+
+let register () =
+  List.iter
+    (fun name -> Dialect.register name ~verify:verify_unary ~traits:[ Dialect.Pure ])
+    unary_ops;
+  List.iter
+    (fun name -> Dialect.register name ~verify:verify_binary ~traits:[ Dialect.Pure ])
+    binary_ops
+
+let unary b name x =
+  Builder.insert_op1 b ~name ~operands:[ x ] ~result_ty:(Ir.Value.ty x) ()
+
+let sqrt b x = unary b "math.sqrt" x
+let exp b x = unary b "math.exp" x
+let log b x = unary b "math.log" x
+let absf b x = unary b "math.absf" x
+let tanh b x = unary b "math.tanh" x
+
+let powf b x y =
+  Builder.insert_op1 b ~name:"math.powf" ~operands:[ x; y ]
+    ~result_ty:(Ir.Value.ty x) ()

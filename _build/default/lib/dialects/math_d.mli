@@ -1,0 +1,13 @@
+(** The math dialect: float intrinsics that lower to LLVM intrinsics on
+    the Vitis backend. *)
+
+open Shmls_ir
+
+val register : unit -> unit
+
+val sqrt : Builder.t -> Ir.value -> Ir.value
+val exp : Builder.t -> Ir.value -> Ir.value
+val log : Builder.t -> Ir.value -> Ir.value
+val absf : Builder.t -> Ir.value -> Ir.value
+val tanh : Builder.t -> Ir.value -> Ir.value
+val powf : Builder.t -> Ir.value -> Ir.value -> Ir.value

@@ -1,0 +1,81 @@
+(* The memref dialect: allocation and memory access on shaped buffers. *)
+
+open Shmls_ir
+
+let alloc_op = "memref.alloc"
+let alloca_op = "memref.alloca"
+let dealloc_op = "memref.dealloc"
+let load_op = "memref.load"
+let store_op = "memref.store"
+let copy_op = "memref.copy"
+
+let verify_alloc (op : Ir.op) =
+  match Ir.Op.results op with
+  | [ r ] -> (
+    match Ir.Value.ty r with
+    | Ty.Memref _ -> Ok ()
+    | _ -> Err.fail "alloc: result must be a memref")
+  | _ -> Err.fail "alloc: exactly one result"
+
+let verify_load (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.results op) with
+  | mr :: indices, [ r ] -> (
+    match Ir.Value.ty mr with
+    | Ty.Memref (shape, elem)
+      when List.length indices = List.length shape
+           && List.for_all (fun i -> Ty.is_index (Ir.Value.ty i)) indices
+           && Ty.equal elem (Ir.Value.ty r) ->
+      Ok ()
+    | _ -> Err.fail "memref.load: (memref, index...) -> elem, rank must match")
+  | _ -> Err.fail "memref.load: needs memref operand and one result"
+
+let verify_store (op : Ir.op) =
+  match Ir.Op.operands op with
+  | value :: mr :: indices -> (
+    match Ir.Value.ty mr with
+    | Ty.Memref (shape, elem)
+      when List.length indices = List.length shape
+           && List.for_all (fun i -> Ty.is_index (Ir.Value.ty i)) indices
+           && Ty.equal elem (Ir.Value.ty value) ->
+      Ok ()
+    | _ -> Err.fail "memref.store: (elem, memref, index...), rank must match")
+  | _ -> Err.fail "memref.store: needs value and memref operands"
+
+let verify_copy (op : Ir.op) =
+  match Ir.Op.operands op with
+  | [ src; dst ] when Ty.equal (Ir.Value.ty src) (Ir.Value.ty dst) -> Ok ()
+  | _ -> Err.fail "memref.copy: (memref, memref) of equal type"
+
+let register () =
+  Dialect.register alloc_op ~verify:verify_alloc;
+  Dialect.register alloca_op ~verify:verify_alloc;
+  Dialect.register dealloc_op;
+  Dialect.register load_op ~verify:verify_load;
+  Dialect.register store_op ~verify:verify_store;
+  Dialect.register copy_op ~verify:verify_copy;
+  Dialect.register "memref.dim" ~traits:[ Dialect.Pure ]
+
+(* ------------------------------------------------------------------ *)
+(* Builders *)
+
+let alloc b ~shape ~elem =
+  Builder.insert_op1 b ~name:alloc_op ~result_ty:(Ty.Memref (shape, elem)) ()
+
+let alloca b ~shape ~elem =
+  Builder.insert_op1 b ~name:alloca_op ~result_ty:(Ty.Memref (shape, elem)) ()
+
+let dealloc b mr = ignore (Builder.insert_op b ~name:dealloc_op ~operands:[ mr ] ())
+
+let load b mr indices =
+  let elem =
+    match Ir.Value.ty mr with
+    | Ty.Memref (_, elem) -> elem
+    | t -> Err.raise_error "memref.load of non-memref %s" (Ty.to_string t)
+  in
+  Builder.insert_op1 b ~name:load_op ~operands:(mr :: indices) ~result_ty:elem ()
+
+let store b value mr indices =
+  ignore (Builder.insert_op b ~name:store_op ~operands:(value :: mr :: indices) ())
+
+let copy b ~src ~dst =
+  ignore (Builder.insert_op b ~name:copy_op ~operands:[ src; dst ] ())

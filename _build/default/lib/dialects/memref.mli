@@ -1,0 +1,22 @@
+(** The memref dialect: allocation and memory access on shaped buffers. *)
+
+open Shmls_ir
+
+val alloc_op : string
+val alloca_op : string
+val dealloc_op : string
+val load_op : string
+val store_op : string
+val copy_op : string
+
+val register : unit -> unit
+
+val alloc : Builder.t -> shape:int list -> elem:Ty.t -> Ir.value
+val alloca : Builder.t -> shape:int list -> elem:Ty.t -> Ir.value
+val dealloc : Builder.t -> Ir.value -> unit
+
+(** [load b mr indices]: indices are index-typed, one per dimension. *)
+val load : Builder.t -> Ir.value -> Ir.value list -> Ir.value
+
+val store : Builder.t -> Ir.value -> Ir.value -> Ir.value list -> unit
+val copy : Builder.t -> src:Ir.value -> dst:Ir.value -> unit

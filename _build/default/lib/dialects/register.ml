@@ -1,0 +1,12 @@
+(* One-stop registration of every dialect.  Registration is idempotent, so
+   calling [all] repeatedly (e.g. from each test suite) is safe. *)
+
+let all () =
+  Func.register ();
+  Arith.register ();
+  Math_d.register ();
+  Scf.register ();
+  Memref.register ();
+  Llvm_d.register ();
+  Stencil.register ();
+  Hls.register ()

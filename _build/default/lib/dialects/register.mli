@@ -1,0 +1,3 @@
+(** One-stop registration of every dialect (idempotent). *)
+
+val all : unit -> unit

@@ -1,0 +1,91 @@
+(* The scf dialect: structured control flow (for loops, conditionals). *)
+
+open Shmls_ir
+
+let for_op = "scf.for"
+let if_op = "scf.if"
+let yield_op = "scf.yield"
+
+let verify_for (op : Ir.op) =
+  match Ir.Op.operands op with
+  | lb :: ub :: step :: iter_inits -> (
+    let index_ok =
+      Ty.is_index (Ir.Value.ty lb)
+      && Ty.is_index (Ir.Value.ty ub)
+      && Ty.is_index (Ir.Value.ty step)
+    in
+    if not index_ok then Err.fail "scf.for: lb/ub/step must be index"
+    else
+      match Ir.Op.regions op with
+      | [ r ] -> (
+        let entry = Ir.Region.entry r in
+        let args = Ir.Block.args entry in
+        match args with
+        | iv :: iters
+          when Ty.is_index (Ir.Value.ty iv)
+               && List.length iters = List.length iter_inits ->
+          if
+            List.for_all2
+              (fun a b -> Ty.equal (Ir.Value.ty a) (Ir.Value.ty b))
+              iters iter_inits
+            && List.length (Ir.Op.results op) = List.length iter_inits
+          then Ok ()
+          else Err.fail "scf.for: iter_args/results type mismatch"
+        | _ -> Err.fail "scf.for: body must start with an index induction arg")
+      | _ -> Err.fail "scf.for: exactly one region")
+  | _ -> Err.fail "scf.for: needs lb, ub, step operands"
+
+let verify_if (op : Ir.op) =
+  match (Ir.Op.operands op, Ir.Op.regions op) with
+  | [ c ], ([ _ ] | [ _; _ ]) when Ty.equal (Ir.Value.ty c) Ty.I1 -> Ok ()
+  | _ -> Err.fail "scf.if: (i1) with one or two regions"
+
+let register () =
+  Dialect.register for_op ~verify:verify_for;
+  Dialect.register if_op ~verify:verify_if;
+  Dialect.register yield_op ~traits:[ Dialect.Terminator ]
+
+(* ------------------------------------------------------------------ *)
+(* Builders *)
+
+let yield b values = ignore (Builder.insert_op b ~name:yield_op ~operands:values ())
+
+(* [for_ b ~lb ~ub ~step body] builds a loop; [body] receives a builder at
+   the end of the loop block and the induction variable. *)
+let for_ b ~lb ~ub ~step body =
+  let region =
+    Builder.build_region ~arg_tys:[ Ty.Index ] (fun body_builder args ->
+        match args with
+        | [ iv ] ->
+          body body_builder iv;
+          (* add the implicit terminator if the body didn't *)
+          (match Ir.Block.terminator (Builder.current_block body_builder) with
+          | Some _ -> ()
+          | None -> yield body_builder [])
+        | _ -> assert false)
+  in
+  Builder.insert_op b ~name:for_op ~operands:[ lb; ub; step ] ~regions:[ region ] ()
+
+(* Loop with loop-carried values.  [body] gets the builder, the induction
+   variable and the current iter values, and must return the next values. *)
+let for_iter b ~lb ~ub ~step ~init body =
+  let arg_tys = Ty.Index :: List.map Ir.Value.ty init in
+  let region =
+    Builder.build_region ~arg_tys (fun body_builder args ->
+        match args with
+        | iv :: iters ->
+          let next = body body_builder iv iters in
+          yield body_builder next
+        | [] -> assert false)
+  in
+  Builder.insert_op b ~name:for_op
+    ~operands:([ lb; ub; step ] @ init)
+    ~result_tys:(List.map Ir.Value.ty init)
+    ~regions:[ region ] ()
+
+let if_ b ~cond ~then_ ~else_ ~result_tys =
+  let then_region = Builder.build_region (fun bb _ -> then_ bb) in
+  let else_region = Builder.build_region (fun bb _ -> else_ bb) in
+  Builder.insert_op b ~name:if_op ~operands:[ cond ] ~result_tys
+    ~regions:[ then_region; else_region ]
+    ()

@@ -1,0 +1,43 @@
+(** The scf dialect: structured control flow. *)
+
+open Shmls_ir
+
+val for_op : string
+val if_op : string
+val yield_op : string
+
+val register : unit -> unit
+
+val yield : Builder.t -> Ir.value list -> unit
+
+(** [for_ b ~lb ~ub ~step body]: a loop over [lb, ub) by [step] (all of
+    index type); [body] receives a builder at the end of the loop block
+    and the induction variable. A trailing [scf.yield] is added if the
+    body does not end in a terminator. *)
+val for_ :
+  Builder.t ->
+  lb:Ir.value ->
+  ub:Ir.value ->
+  step:Ir.value ->
+  (Builder.t -> Ir.value -> unit) ->
+  Ir.op
+
+(** Loop with loop-carried values: [body] receives the builder, the
+    induction variable and the current iteration values, and returns the
+    next values; the loop op's results are the final values. *)
+val for_iter :
+  Builder.t ->
+  lb:Ir.value ->
+  ub:Ir.value ->
+  step:Ir.value ->
+  init:Ir.value list ->
+  (Builder.t -> Ir.value -> Ir.value list -> Ir.value list) ->
+  Ir.op
+
+val if_ :
+  Builder.t ->
+  cond:Ir.value ->
+  then_:(Builder.t -> unit) ->
+  else_:(Builder.t -> unit) ->
+  result_tys:Ty.t list ->
+  Ir.op

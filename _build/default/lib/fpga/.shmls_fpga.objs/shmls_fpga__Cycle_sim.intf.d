@@ -1,0 +1,1 @@
+lib/fpga/cycle_sim.mli: Design

@@ -1,0 +1,1 @@
+lib/fpga/depth_balance.ml: Attr Design Extract Hashtbl Ir List Shmls_dialects Shmls_ir

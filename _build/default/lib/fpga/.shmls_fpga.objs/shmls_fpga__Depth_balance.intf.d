@@ -1,0 +1,1 @@
+lib/fpga/depth_balance.mli: Design Hashtbl

@@ -1,0 +1,1 @@
+lib/fpga/design.ml: Array Err Hashtbl Ir List Shmls_ir Ty

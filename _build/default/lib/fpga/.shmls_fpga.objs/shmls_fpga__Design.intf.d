@@ -1,0 +1,1 @@
+lib/fpga/design.mli: Ir Shmls_ir Ty

@@ -1,0 +1,1 @@
+lib/fpga/extract.ml: Attr Design Err Func Hls Int Ir List Llvm_d Shmls_dialects Shmls_ir String Ty

@@ -1,0 +1,1 @@
+lib/fpga/extract.mli: Design Ir Shmls_ir

@@ -1,0 +1,1 @@
+lib/fpga/functional.ml: Array Attr Design Err Float Hashtbl Hls Ir List Shmls_dialects Shmls_ir Ty

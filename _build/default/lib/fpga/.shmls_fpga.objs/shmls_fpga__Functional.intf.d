@@ -1,0 +1,1 @@
+lib/fpga/functional.mli: Design

@@ -1,0 +1,1 @@
+lib/fpga/perf_model.ml: Depth_balance Design Float Format Hashtbl List U280

@@ -1,0 +1,1 @@
+lib/fpga/perf_model.mli: Design Format

@@ -1,0 +1,1 @@
+lib/fpga/power.ml: Format Perf_model Resources U280

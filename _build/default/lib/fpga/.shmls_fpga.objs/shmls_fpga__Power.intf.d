@@ -1,0 +1,1 @@
+lib/fpga/power.mli: Format Perf_model Resources

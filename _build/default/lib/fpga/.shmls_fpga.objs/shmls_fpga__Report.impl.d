@@ -1,0 +1,1 @@
+lib/fpga/report.ml: Buffer Design List Perf_model Printf Resources String U280

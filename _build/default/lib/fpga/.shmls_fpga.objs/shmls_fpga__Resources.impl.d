@@ -1,0 +1,1 @@
+lib/fpga/resources.ml: Design Format List U280

@@ -1,0 +1,1 @@
+lib/fpga/resources.mli: Design Format

@@ -1,0 +1,1 @@
+lib/fpga/trace.ml: Array Buffer Cycle_sim Design Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/fpga/trace.mli: Cycle_sim Design

@@ -1,0 +1,1 @@
+lib/fpga/u280.mli:

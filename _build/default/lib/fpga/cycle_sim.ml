@@ -1,0 +1,244 @@
+(* Token-level cycle simulation of an extracted design.
+
+   Simulates the dataflow network cycle by cycle with *bounded* FIFOs and
+   back-pressure — the behaviour the paper's Figure 3 structure exhibits
+   in hardware.  Tokens are counted, not valued (numerics are the
+   functional simulator's job); what this measures is timing: fill
+   latency, steady-state initiation interval, and completion cycles, plus
+   deadlock detection (the StencilFlow failure mode reported in the
+   paper's evaluation).
+
+   Firing rules per stage and cycle:
+     load     pushes up to 8 elements per output stream (512-bit words)
+     shift    consumes 1 element; emits neighbourhood n once element
+              n + lookahead has been consumed (or the input is exhausted)
+     dup      moves 1 element to all copies when all have space
+     compute  starts one iteration per II when every input has a token
+              and the result (after a pipeline latency) fits downstream
+     write    retires 1 element per stream per cycle *)
+
+type result = {
+  cycles : int;
+  deadlocked : bool;
+  stalled_stage : string option; (* where progress stopped, if deadlocked *)
+  progress : (string * int * int) list; (* stage, tokens done, target *)
+  fifo_occupancy : (int * int * int) list; (* stream, occ, cap (at end) *)
+}
+
+type fifo = { mutable occ : int; cap : int }
+
+type stage_state =
+  | S_load of { mutable remaining : int array } (* per output stream *)
+  | S_shift of {
+      mutable consumed : int;
+      mutable produced : int;
+      lookahead : int;
+      window : int;
+      total : int;
+    }
+  | S_dup of { mutable moved : int; total : int }
+  | S_compute of {
+      mutable started : int;
+      mutable retired : int;
+      ii : int;
+      latency : int;
+      total : int;
+      mutable in_flight : (int * int) list; (* (ready_cycle, 1) *)
+      mutable last_start : int;
+    }
+  | S_write of { mutable retired : int array (* per input stream *) }
+
+let max_cycles_factor = 64
+
+let run ?(on_cycle = fun _ _ -> ()) (d : Design.t) =
+  if
+    not
+      (List.exists
+         (fun s -> match s with Design.Write _ -> true | _ -> false)
+         d.d_stages)
+  then Err.raise_error "cycle sim: design has no write_data stage";
+  let total = Design.total_padded d in
+  let fifos = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Design.stream) ->
+      Hashtbl.replace fifos s.st_id { occ = 0; cap = s.st_depth })
+    d.d_streams;
+  let fifo id =
+    match Hashtbl.find_opt fifos id with
+    | Some f -> f
+    | None -> Err.raise_error "cycle sim: unknown stream %d" id
+  in
+  let states =
+    List.map
+      (fun stage ->
+        let st =
+          match stage with
+          | Design.Load { out_streams; _ } ->
+            S_load { remaining = Array.make (List.length out_streams) total }
+          | Design.Shift { halo; extent; _ } ->
+            let la = Design.shift_lookahead ~halo ~extent in
+            S_shift
+              {
+                consumed = 0;
+                produced = 0;
+                lookahead = la;
+                window = (2 * la) + 1;
+                total;
+              }
+          | Design.Dup _ -> S_dup { moved = 0; total }
+          | Design.Compute c ->
+            S_compute
+              {
+                started = 0;
+                retired = 0;
+                ii = c.ii;
+                latency = 8 + c.flops;
+                total;
+                in_flight = [];
+                last_start = -1_000_000; (* "long ago", without overflow *)
+              }
+          | Design.Write { in_streams; _ } ->
+            S_write { retired = Array.make (List.length in_streams) 0 }
+        in
+        (stage, st))
+      d.d_stages
+  in
+  let complete () =
+    List.for_all
+      (fun (_, st) ->
+        match st with
+        | S_write w -> Array.for_all (fun r -> r >= total) w.retired
+        | _ -> true)
+      states
+  in
+  let cycle = ref 0 in
+  let progressed = ref true in
+  let stalled = ref None in
+  let budget = max_cycles_factor * (total + 1000) in
+  while (not (complete ())) && !progressed && !cycle < budget do
+    progressed := false;
+    List.iter
+      (fun (stage, st) ->
+        match (stage, st) with
+        | Design.Load { out_streams; _ }, S_load l ->
+          List.iteri
+            (fun i sid ->
+              let f = fifo sid in
+              let burst = min 8 (min l.remaining.(i) (f.cap - f.occ)) in
+              if burst > 0 then begin
+                f.occ <- f.occ + burst;
+                l.remaining.(i) <- l.remaining.(i) - burst;
+                progressed := true
+              end)
+            out_streams
+        | Design.Shift { input; output; _ }, S_shift s ->
+          let fin = fifo input and fout = fifo output in
+          (* consume *)
+          if s.consumed < s.total && fin.occ > 0 && s.consumed - s.produced < s.window
+          then begin
+            fin.occ <- fin.occ - 1;
+            s.consumed <- s.consumed + 1;
+            progressed := true
+          end;
+          (* produce *)
+          if
+            s.produced < s.total
+            && (s.consumed >= s.produced + s.lookahead + 1 || s.consumed = s.total)
+            && fout.occ < fout.cap
+          then begin
+            fout.occ <- fout.occ + 1;
+            s.produced <- s.produced + 1;
+            progressed := true
+          end
+        | Design.Dup { input; outputs }, S_dup du ->
+          let fin = fifo input in
+          let fouts = List.map fifo outputs in
+          if
+            du.moved < du.total && fin.occ > 0
+            && List.for_all (fun f -> f.occ < f.cap) fouts
+          then begin
+            fin.occ <- fin.occ - 1;
+            List.iter (fun f -> f.occ <- f.occ + 1) fouts;
+            du.moved <- du.moved + 1;
+            progressed := true
+          end
+        | Design.Compute { in_streams; out_stream; _ }, S_compute c ->
+          let fins = List.map fifo in_streams in
+          (* start a new iteration *)
+          if
+            c.started < c.total
+            && !cycle - c.last_start >= c.ii
+            && List.for_all (fun f -> f.occ > 0) fins
+          then begin
+            List.iter (fun f -> f.occ <- f.occ - 1) fins;
+            c.started <- c.started + 1;
+            c.last_start <- !cycle;
+            c.in_flight <- c.in_flight @ [ (!cycle + c.latency, 1) ];
+            progressed := true
+          end;
+          (* retire finished iterations *)
+          (match c.in_flight with
+          | (ready, _) :: rest when ready <= !cycle ->
+            let fout = fifo out_stream in
+            if fout.occ < fout.cap then begin
+              fout.occ <- fout.occ + 1;
+              c.retired <- c.retired + 1;
+              c.in_flight <- rest;
+              progressed := true
+            end
+          | (ready, _) :: _ when ready > !cycle ->
+            (* results draining through the pipeline: time passing is
+               progress, not deadlock *)
+            progressed := true
+          | _ -> ())
+        | Design.Write { in_streams; _ }, S_write w ->
+          List.iteri
+            (fun i sid ->
+              let f = fifo sid in
+              if w.retired.(i) < total && f.occ > 0 then begin
+                f.occ <- f.occ - 1;
+                w.retired.(i) <- w.retired.(i) + 1;
+                progressed := true
+              end)
+            in_streams
+        | _ -> assert false)
+      states;
+    on_cycle !cycle
+      (Hashtbl.fold (fun id f acc -> (id, f.occ) :: acc) fifos []);
+    incr cycle
+  done;
+  let deadlocked = not (complete ()) in
+  if deadlocked then
+    stalled :=
+      List.find_map
+        (fun (stage, st) ->
+          let blocked =
+            match st with
+            | S_load l -> Array.exists (fun r -> r > 0) l.remaining
+            | S_shift s -> s.produced < s.total
+            | S_dup du -> du.moved < du.total
+            | S_compute c -> c.retired < c.total
+            | S_write w -> Array.exists (fun r -> r < total) w.retired
+          in
+          if blocked then Some (Design.stage_name stage) else None)
+        states;
+  let progress =
+    List.map
+      (fun (stage, st) ->
+        let done_, target =
+          match st with
+          | S_load l -> (Array.fold_left (fun a r -> a + (total - r)) 0 l.remaining,
+                         total * Array.length l.remaining)
+          | S_shift s -> (s.produced, s.total)
+          | S_dup du -> (du.moved, du.total)
+          | S_compute c -> (c.retired, c.total)
+          | S_write w -> (Array.fold_left ( + ) 0 w.retired, total * Array.length w.retired)
+        in
+        (Design.stage_name stage, done_, target))
+      states
+  in
+  let fifo_occupancy =
+    Hashtbl.fold (fun id f acc -> (id, f.occ, f.cap) :: acc) fifos []
+    |> List.sort compare
+  in
+  { cycles = !cycle; deadlocked; stalled_stage = !stalled; progress; fifo_occupancy }

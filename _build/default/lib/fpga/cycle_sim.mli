@@ -1,0 +1,16 @@
+(** Token-level cycle simulation with bounded FIFOs and back-pressure:
+    measures fill latency, steady-state II and completion cycles, and
+    detects deadlock (the StencilFlow failure mode). Values are the
+    functional simulator's business; this counts tokens. *)
+
+type result = {
+  cycles : int;
+  deadlocked : bool;
+  stalled_stage : string option;  (** where progress stopped *)
+  progress : (string * int * int) list;  (** stage, tokens done, target *)
+  fifo_occupancy : (int * int * int) list;  (** stream, occ, cap at end *)
+}
+
+(** [on_cycle] is called after every simulated cycle with the FIFO
+    occupancies (stream id, tokens); use {!Trace} to collect them. *)
+val run : ?on_cycle:(int -> (int * int) list -> unit) -> Design.t -> result

@@ -1,0 +1,197 @@
+(* The extracted dataflow design: the structural view of an HLS-dialect
+   kernel function that the functional simulator, cycle simulator,
+   performance model and resource model all consume.
+
+   Extraction (see {!Extract}) pattern-matches the stage structure that
+   the stencil-to-hls transformation emits; streams are identified by the
+   SSA id of their hls.create_stream result. *)
+
+open Shmls_ir
+
+type stream = {
+  st_id : int; (* SSA value id *)
+  st_elem : Ty.t;
+  st_depth : int;
+  st_width_bits : int;
+}
+
+type stage =
+  | Load of { out_streams : int list; ptr_args : int list }
+  | Shift of {
+      input : int;
+      output : int;
+      halo : int list;
+      extent : int list; (* padded extent the buffer slides over *)
+    }
+  | Dup of { input : int; outputs : int list }
+  | Compute of {
+      name : string;
+      df_op : Ir.op; (* the hls.dataflow op, for interpretation *)
+      in_streams : int list;
+      out_stream : int;
+      ii : int;
+      flops : int;
+      small_copies : int; (* local BRAM arrays materialised in this stage *)
+      small_bytes : int;
+    }
+  | Write of {
+      in_streams : int list;
+      ptr_args : int list;
+      halo : int list;
+      extent : int list;
+    }
+
+type interface = {
+  if_arg : int; (* argument index *)
+  if_bundle : string;
+  if_hbm_bank : int;
+}
+
+type t = {
+  d_name : string;
+  d_func : Ir.op;
+  d_grid : int list;
+  d_halo : int list;
+  d_cu : int;
+  d_ports_per_cu : int;
+  d_streams : stream list;
+  d_stages : stage list; (* in topological order *)
+  d_interfaces : interface list;
+}
+
+let padded_extent d = List.map2 (fun g h -> g + (2 * h)) d.d_grid d.d_halo
+let total_padded d = List.fold_left ( * ) 1 (padded_extent d)
+let interior_points d = List.fold_left ( * ) 1 d.d_grid
+
+let find_stream d id =
+  match List.find_opt (fun s -> s.st_id = id) d.d_streams with
+  | Some s -> s
+  | None -> Err.raise_error "design: unknown stream %d" id
+
+(* Row-major lookahead distance of a shift buffer: how many elements
+   beyond the centre the neighbourhood extends. *)
+let shift_lookahead ~halo ~extent =
+  let rec go hs es =
+    match (hs, es) with
+    | [], [] -> 0
+    | h :: hs', _ :: es' ->
+      let tail = List.fold_left ( * ) 1 es' in
+      (h * tail) + go hs' es'
+    | _ -> Err.raise_error "design: halo/extent rank mismatch"
+  in
+  go halo extent
+
+(* Total elements a shift buffer holds: the window spanning from the
+   furthest-behind to the furthest-ahead neighbourhood member. *)
+let shift_window ~halo ~extent = (2 * shift_lookahead ~halo ~extent) + 1
+
+let stage_name = function
+  | Load _ -> "load_data"
+  | Shift _ -> "shift_buffer"
+  | Dup _ -> "duplicate"
+  | Compute c -> "compute:" ^ c.name
+  | Write _ -> "write_data"
+
+let inputs_of_stage = function
+  | Load _ -> []
+  | Shift s -> [ s.input ]
+  | Dup s -> [ s.input ]
+  | Compute c -> c.in_streams
+  | Write w -> w.in_streams
+
+let outputs_of_stage = function
+  | Load l -> l.out_streams
+  | Shift s -> [ s.output ]
+  | Dup s -> s.outputs
+  | Compute c -> [ c.out_stream ]
+  | Write _ -> []
+
+(* Topologically order stages by stream dependencies. *)
+let toposort stages =
+  let producer = Hashtbl.create 32 in
+  List.iteri
+    (fun i st -> List.iter (fun s -> Hashtbl.replace producer s i) (outputs_of_stage st))
+    stages;
+  let n = List.length stages in
+  let arr = Array.of_list stages in
+  let state = Array.make n `White in
+  let order = ref [] in
+  let rec visit i =
+    match state.(i) with
+    | `Black -> ()
+    | `Grey -> Err.raise_error "design: cyclic stage graph"
+    | `White ->
+      state.(i) <- `Grey;
+      List.iter
+        (fun s ->
+          match Hashtbl.find_opt producer s with
+          | Some j -> visit j
+          | None -> ())
+        (inputs_of_stage arr.(i));
+      state.(i) <- `Black;
+      order := arr.(i) :: !order
+  in
+  for i = 0 to n - 1 do
+    visit i
+  done;
+  List.rev !order
+
+(* Aggregate counters used by the resource and performance models. *)
+type summary = {
+  n_load : int;
+  n_shift : int;
+  n_dup : int;
+  n_compute : int;
+  n_write : int;
+  n_streams : int;
+  shift_bytes : int; (* total shift-buffer storage *)
+  small_bytes : int; (* total BRAM copies of small data *)
+  fifo_bytes : int; (* total stream FIFO storage *)
+  flops : int;
+  max_ii : int;
+}
+
+let summarise d =
+  let elem_bytes = 8 in
+  let count p = List.length (List.filter p d.d_stages) in
+  let shift_bytes =
+    List.fold_left
+      (fun acc st ->
+        match st with
+        | Shift s -> acc + (elem_bytes * shift_window ~halo:s.halo ~extent:s.extent)
+        | _ -> acc)
+      0 d.d_stages
+  in
+  let small_bytes =
+    List.fold_left
+      (fun acc st -> match st with Compute c -> acc + c.small_bytes | _ -> acc)
+      0 d.d_stages
+  in
+  let fifo_bytes =
+    List.fold_left
+      (fun acc s -> acc + (s.st_depth * ((s.st_width_bits + 7) / 8)))
+      0 d.d_streams
+  in
+  let flops =
+    List.fold_left
+      (fun acc st -> match st with Compute c -> acc + c.flops | _ -> acc)
+      0 d.d_stages
+  in
+  let max_ii =
+    List.fold_left
+      (fun acc st -> match st with Compute c -> max acc c.ii | _ -> acc)
+      1 d.d_stages
+  in
+  {
+    n_load = count (function Load _ -> true | _ -> false);
+    n_shift = count (function Shift _ -> true | _ -> false);
+    n_dup = count (function Dup _ -> true | _ -> false);
+    n_compute = count (function Compute _ -> true | _ -> false);
+    n_write = count (function Write _ -> true | _ -> false);
+    n_streams = List.length d.d_streams;
+    shift_bytes;
+    small_bytes;
+    fifo_bytes;
+    flops;
+    max_ii;
+  }

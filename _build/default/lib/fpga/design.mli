@@ -1,0 +1,82 @@
+(** The extracted dataflow design: the structural view of an HLS-dialect
+    kernel consumed by the simulators and models. Streams are identified
+    by the SSA id of their [hls.create_stream] result. *)
+
+open Shmls_ir
+
+type stream = {
+  st_id : int;
+  st_elem : Ty.t;
+  st_depth : int;
+  st_width_bits : int;
+}
+
+type stage =
+  | Load of { out_streams : int list; ptr_args : int list }
+  | Shift of { input : int; output : int; halo : int list; extent : int list }
+  | Dup of { input : int; outputs : int list }
+  | Compute of {
+      name : string;
+      df_op : Ir.op;  (** the hls.dataflow op, for interpretation *)
+      in_streams : int list;
+      out_stream : int;
+      ii : int;
+      flops : int;
+      small_copies : int;
+      small_bytes : int;
+    }
+  | Write of {
+      in_streams : int list;
+      ptr_args : int list;
+      halo : int list;
+      extent : int list;
+    }
+
+type interface = { if_arg : int; if_bundle : string; if_hbm_bank : int }
+
+type t = {
+  d_name : string;
+  d_func : Ir.op;
+  d_grid : int list;
+  d_halo : int list;
+  d_cu : int;
+  d_ports_per_cu : int;
+  d_streams : stream list;
+  d_stages : stage list;  (** in topological order *)
+  d_interfaces : interface list;
+}
+
+val padded_extent : t -> int list
+val total_padded : t -> int
+val interior_points : t -> int
+val find_stream : t -> int -> stream
+
+(** Row-major distance the neighbourhood extends past the centre. *)
+val shift_lookahead : halo:int list -> extent:int list -> int
+
+(** Elements a shift buffer holds: [2*lookahead + 1]. *)
+val shift_window : halo:int list -> extent:int list -> int
+
+val stage_name : stage -> string
+val inputs_of_stage : stage -> int list
+val outputs_of_stage : stage -> int list
+
+(** Order stages so every stream is produced before consumed; raises on
+    cyclic graphs. *)
+val toposort : stage list -> stage list
+
+type summary = {
+  n_load : int;
+  n_shift : int;
+  n_dup : int;
+  n_compute : int;
+  n_write : int;
+  n_streams : int;
+  shift_bytes : int;
+  small_bytes : int;
+  fifo_bytes : int;
+  flops : int;
+  max_ii : int;
+}
+
+val summarise : t -> summary

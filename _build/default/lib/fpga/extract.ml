@@ -1,0 +1,232 @@
+(* Design extraction: HLS-dialect kernel function -> {!Design.t}.
+
+   Walks the function body emitted by the stencil-to-hls transformation:
+   hls.create_stream ops define the streams, hls.interface ops the AXI
+   bundle map, and each hls.dataflow op becomes a stage identified by its
+   "stage" attribute ("load_data", "shift:<src>", "dup:<src>",
+   "compute:<target>", "write_data"). *)
+
+open Shmls_ir
+open Shmls_dialects
+
+let arg_index (func : Ir.op) v =
+  let body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
+  let rec go i = function
+    | [] -> None
+    | a :: rest -> if Ir.Value.equal a v then Some i else go (i + 1) rest
+  in
+  go 0 (Ir.Block.args body)
+
+let stream_ids_of_operands (ops : Ir.value list) =
+  List.filter_map
+    (fun v ->
+      match Ir.Value.ty v with
+      | Ty.Stream _ -> Some (Ir.Value.id v)
+      | _ -> None)
+    ops
+
+let arg_indices_of_operands func (ops : Ir.value list) =
+  List.filter_map
+    (fun v ->
+      match Ir.Value.ty v with
+      | Ty.Ptr _ -> arg_index func v
+      | _ -> None)
+    ops
+
+let ints_attr op key = Attr.ints_exn (Ir.Op.get_attr_exn op key)
+
+(* The single top-level func.call inside a dataflow region. *)
+let region_call (df : Ir.op) =
+  let body = Hls.dataflow_body df in
+  List.find_opt
+    (fun (o : Ir.op) -> Ir.Op.name o = Llvm_d.call_op || Ir.Op.name o = "func.call")
+    (Ir.Block.ops body)
+
+(* Properties of a compute stage region. *)
+let compute_props (df : Ir.op) =
+  let reads = ref [] in
+  let writes = ref [] in
+  let flops = ref 0 in
+  let ii = ref 1 in
+  let small_copies = ref 0 in
+  let small_bytes = ref 0 in
+  Ir.Op.walk df (fun o ->
+      match Ir.Op.name o with
+      | "hls.read" -> reads := Ir.Value.id (Ir.Op.operand o 0) :: !reads
+      | "hls.write" -> writes := Ir.Value.id (Ir.Op.operand o 1) :: !writes
+      | "hls.pipeline" -> ii := max !ii (Hls.pipeline_ii o)
+      | "arith.addf" | "arith.subf" | "arith.mulf" | "arith.divf"
+      | "arith.maximumf" | "arith.minimumf" | "arith.negf" | "math.sqrt"
+      | "math.exp" | "math.log" | "math.absf" | "math.powf" | "math.tanh" ->
+        incr flops
+      | "memref.alloca" -> (
+        incr small_copies;
+        match Ir.Value.ty (Ir.Op.result o 0) with
+        | Ty.Memref (shape, elem) ->
+          small_bytes :=
+            !small_bytes
+            + List.fold_left ( * ) (Ty.byte_size elem) shape
+        | _ -> ())
+      | _ -> ());
+  ( List.sort_uniq Int.compare !reads,
+    List.sort_uniq Int.compare !writes,
+    !flops,
+    !ii,
+    !small_copies,
+    !small_bytes )
+
+let extract (func : Ir.op) : Design.t =
+  let name = Func.sym_name func in
+  let grid = Attr.ints_exn (Ir.Op.get_attr_exn func "grid") in
+  let halo = Attr.ints_exn (Ir.Op.get_attr_exn func "field_halo") in
+  let cu = Attr.int_exn (Ir.Op.get_attr_exn func "cu") in
+  let ports = Attr.int_exn (Ir.Op.get_attr_exn func "ports_per_cu") in
+  let body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
+  let streams = ref [] in
+  let stages = ref [] in
+  let interfaces = ref [] in
+  List.iter
+    (fun (op : Ir.op) ->
+      match Ir.Op.name op with
+      | "hls.create_stream" ->
+        let elem = Hls.stream_elem op in
+        let width =
+          match elem with
+          | Ty.Array (n, t) -> n * Ty.bitwidth t
+          | t -> Ty.bitwidth t
+        in
+        streams :=
+          {
+            Design.st_id = Ir.Value.id (Ir.Op.result op 0);
+            st_elem = elem;
+            st_depth = Hls.stream_depth op;
+            st_width_bits = width;
+          }
+          :: !streams
+      | "hls.interface" ->
+        let argi =
+          match arg_index func (Ir.Op.operand op 0) with
+          | Some i -> i
+          | None -> Err.raise_error "extract: interface on non-argument"
+        in
+        interfaces :=
+          {
+            Design.if_arg = argi;
+            if_bundle = Attr.str_exn (Ir.Op.get_attr_exn op "bundle");
+            if_hbm_bank = Attr.int_exn (Ir.Op.get_attr_exn op "hbm_bank");
+          }
+          :: !interfaces
+      | "hls.dataflow" -> (
+        let stage = Hls.dataflow_stage op in
+        let prefix =
+          match String.index_opt stage ':' with
+          | Some i -> String.sub stage 0 i
+          | None -> stage
+        in
+        match prefix with
+        | "load_data" -> (
+          match region_call op with
+          | Some call ->
+            let operands = Ir.Op.operands call in
+            stages :=
+              Design.Load
+                {
+                  out_streams = stream_ids_of_operands operands;
+                  ptr_args = arg_indices_of_operands func operands;
+                }
+              :: !stages
+          | None -> Err.raise_error "extract: load_data without runtime call")
+        | "shift" -> (
+          match region_call op with
+          | Some call -> (
+            match stream_ids_of_operands (Ir.Op.operands call) with
+            | [ input; output ] ->
+              stages :=
+                Design.Shift
+                  {
+                    input;
+                    output;
+                    halo = ints_attr op "halo";
+                    extent = ints_attr op "extent";
+                  }
+                :: !stages
+            | _ -> Err.raise_error "extract: shift stage needs 2 streams")
+          | None -> Err.raise_error "extract: shift without runtime call")
+        | "dup" ->
+          let reads = ref [] and writes = ref [] in
+          Ir.Op.walk op (fun o ->
+              match Ir.Op.name o with
+              | "hls.read" -> reads := Ir.Value.id (Ir.Op.operand o 0) :: !reads
+              | "hls.write" -> writes := Ir.Value.id (Ir.Op.operand o 1) :: !writes
+              | _ -> ());
+          (match (List.sort_uniq Int.compare !reads, List.rev !writes) with
+          | [ input ], (_ :: _ as outputs) ->
+            stages :=
+              Design.Dup { input; outputs = List.sort_uniq Int.compare outputs }
+              :: !stages
+          | _ -> Err.raise_error "extract: malformed dup stage")
+        | "compute" ->
+          let target =
+            match Ir.Op.get_attr op "target" with
+            | Some (Attr.Str s) -> s
+            | _ -> stage
+          in
+          let in_streams, out_streams, flops, ii, small_copies, small_bytes =
+            compute_props op
+          in
+          let out_stream =
+            match out_streams with
+            | [ o ] -> o
+            | _ -> Err.raise_error "extract: compute stage must write 1 stream"
+          in
+          stages :=
+            Design.Compute
+              {
+                name = target;
+                df_op = op;
+                in_streams;
+                out_stream;
+                ii;
+                flops;
+                small_copies;
+                small_bytes;
+              }
+            :: !stages
+        | "write_data" -> (
+          match region_call op with
+          | Some call ->
+            let operands = Ir.Op.operands call in
+            stages :=
+              Design.Write
+                {
+                  in_streams = stream_ids_of_operands operands;
+                  ptr_args = arg_indices_of_operands func operands;
+                  halo = ints_attr op "halo";
+                  extent = ints_attr op "extent";
+                }
+              :: !stages
+          | None -> Err.raise_error "extract: write_data without runtime call")
+        | other -> Err.raise_error "extract: unknown stage kind %S" other)
+      | "func.return" -> ()
+      | _ -> ())
+    (Ir.Block.ops body);
+  {
+    Design.d_name = name;
+    d_func = func;
+    d_grid = grid;
+    d_halo = halo;
+    d_cu = cu;
+    d_ports_per_cu = ports;
+    d_streams = List.rev !streams;
+    d_stages = Design.toposort (List.rev !stages);
+    d_interfaces = List.rev !interfaces;
+  }
+
+(* Extract every HLS kernel in a module. *)
+let extract_module (m : Ir.op) =
+  Ir.Module_.funcs m
+  |> List.filter (fun f ->
+         match Ir.Op.get_attr f "hls_kernel" with
+         | Some (Attr.Bool true) -> true
+         | _ -> false)
+  |> List.map extract

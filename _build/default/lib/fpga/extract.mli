@@ -1,0 +1,10 @@
+(** Design extraction: HLS-dialect kernel function -> {!Design.t},
+    pattern-matching the stage structure the stencil-to-hls
+    transformation emits (via the dataflow ops' "stage" attributes). *)
+
+open Shmls_ir
+
+val extract : Ir.op -> Design.t
+
+(** Extract every function tagged [hls_kernel] in a module. *)
+val extract_module : Ir.op -> Design.t list

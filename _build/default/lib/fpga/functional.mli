@@ -1,0 +1,24 @@
+(** Functional simulation of an extracted design: stages run to
+    completion in topological order over unbounded stream buffers (Kahn
+    semantics), and compute stages are executed by *interpreting their
+    generated IR* — so the simulator runs the code the compiler actually
+    produced. Deterministic and, for correct designs, value-identical to
+    the hardware. *)
+
+type token = Scalar of float | Vector of float array
+
+type value =
+  | F of float
+  | I of int
+  | B of bool
+  | T of token
+  | Ptr of float array * int
+      (** external-memory pointer: padded row-major grid + offset *)
+  | Mem of float array  (** local BRAM array *)
+
+(** Run the design. [args] follow the kernel's argument order: [Ptr] for
+    field and small-data pointers (flat padded row-major arrays), [F]
+    for scalars. Output fields are written in place. Raises
+    {!Err.Error} on mis-wired designs (empty-stream reads, undrained
+    streams). *)
+val run : Design.t -> args:value array -> unit

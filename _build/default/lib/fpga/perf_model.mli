@@ -1,0 +1,45 @@
+(** Analytic performance model (DESIGN.md section 6): charges cycles by
+    initiation interval, stage serialisation, fill latency, CU
+    replication and AXI port bandwidth. *)
+
+type estimate = {
+  e_cycles : float;
+  e_seconds : float;
+  e_mpts : float;  (** interior mega-points per second *)
+  e_ii : int;
+  e_serial : int;
+  e_cu : int;
+  e_fill : float;
+  e_bandwidth_bound : bool;
+}
+
+(** Generic streaming estimate. [serial] models flows that pass each
+    point through the pipeline several times; [port_bytes] is the
+    sustained bytes/cycle per AXI port (default: the 512-bit burst
+    rate). *)
+val estimate :
+  ?port_bytes:int ->
+  total_padded:int ->
+  interior:int ->
+  fill:float ->
+  ii:int ->
+  serial:int ->
+  cu:int ->
+  ports:int ->
+  bytes_per_point:int ->
+  clock_hz:float ->
+  unit ->
+  estimate
+
+(** Longest stream-delay path of a design (its fill latency). *)
+val design_fill : Design.t -> int
+
+(** AXI bytes moved per grid point (one read per loaded field, one write
+    per stored field). *)
+val design_bytes_per_point : Design.t -> int
+
+(** Estimate for a Stencil-HMLS design; [cu] overrides the plan's CU
+    count. *)
+val estimate_design : ?cu:int -> Design.t -> estimate
+
+val pp_estimate : Format.formatter -> estimate -> unit

@@ -1,0 +1,4 @@
+(** A Vitis-HLS-style synthesis report for a compiled design:
+    performance, stage and stream tables, utilisation, interface map. *)
+
+val render : Design.t -> string

@@ -1,0 +1,35 @@
+(* AMD Xilinx Alveo U280 device model: the resource envelope, HBM
+   subsystem and shell limits the paper's evaluation runs against.
+   Figures from the Alveo U280 data sheet (DS963). *)
+
+let name = "Alveo U280"
+
+(* Programmable-logic resources. *)
+let luts = 1_304_000
+let ffs = 2_607_000
+let bram36 = 2016 (* 36 Kbit blocks: ~9 MB total *)
+let uram = 960 (* 288 Kbit blocks: ~34 MB total *)
+let dsps = 9024
+
+let bram36_bytes = 36 * 1024 / 8
+let uram_bytes = 288 * 1024 / 8
+
+(* HBM2: 8 GB over 32 pseudo-channels. *)
+let hbm_bytes = 8 * 1024 * 1024 * 1024
+let hbm_channels = 32
+let hbm_bandwidth_per_channel = 14.375e9 (* bytes/s; 460 GB/s aggregate *)
+
+(* The XDMA shell supports at most 32 AXI4 master ports (the paper's
+   CU-count limiter). *)
+let max_axi_ports = 32
+
+(* Kernel clock: Vitis' default target for the U280. *)
+let clock_hz = 300.0e6
+
+(* AXI port width used by the 512-bit packing optimisation. *)
+let axi_bits = 512
+let axi_bytes = axi_bits / 8
+
+(* Typical board power envelope (W): shell + HBM idle draw, and the slope
+   used by the activity-linear dynamic model in {!Power}. *)
+let static_power_w = 22.0

@@ -1,0 +1,32 @@
+(** AMD Xilinx Alveo U280 device model: the resource envelope, HBM
+    subsystem and shell limits the evaluation runs against (from data
+    sheet DS963). *)
+
+val name : string
+val luts : int
+val ffs : int
+
+(** 36 Kbit block-RAM count. *)
+val bram36 : int
+
+(** 288 Kbit UltraRAM count. *)
+val uram : int
+
+val dsps : int
+val bram36_bytes : int
+val uram_bytes : int
+val hbm_bytes : int
+val hbm_channels : int
+val hbm_bandwidth_per_channel : float
+
+(** The XDMA shell's AXI4 master-port limit (the paper's CU limiter). *)
+val max_axi_ports : int
+
+(** Kernel clock in Hz (Vitis' U280 default target). *)
+val clock_hz : float
+
+val axi_bits : int
+val axi_bytes : int
+
+(** Shell + HBM idle draw in watts. *)
+val static_power_w : float

@@ -1,0 +1,1 @@
+lib/frontend/lower.ml: Arith Ast Err Func Ir List Math_d Shmls_dialects Shmls_ir Stencil String Ty

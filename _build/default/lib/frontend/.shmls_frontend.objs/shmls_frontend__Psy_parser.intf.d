@@ -1,0 +1,1 @@
+lib/frontend/psy_parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/frontend/psy_printer.ml: Ast Buffer Float List Printf String

@@ -1,0 +1,1 @@
+lib/frontend/psy_printer.mli: Ast

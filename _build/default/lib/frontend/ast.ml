@@ -1,0 +1,258 @@
+(* Kernel-description AST: the common input language of the pipeline.
+
+   This plays the role of PSyclone's algorithm/kernel layer in the paper: a
+   declarative description of a (possibly multi-stage) stencil kernel which
+   the frontend lowers into the stencil dialect.  Both the OCaml eDSL
+   combinators (below) and the Fortran-like textual parser
+   ({!Psy_parser}) produce this AST. *)
+
+type binop = Add | Sub | Mul | Div | Min | Max
+
+type unop = Neg | Sqrt | Exp | Abs
+
+type expr =
+  | Field_ref of string * int list
+      (* grid field or intermediate, at a constant offset from the point *)
+  | Small_ref of string * int
+      (* small 1D coefficient array, indexed by the current position along
+         its axis plus a constant offset (PW advection's tzc1(k) etc.) *)
+  | Param_ref of string (* scalar kernel parameter *)
+  | Const of float
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type field_role = Input | Output | Inout
+
+type field_decl = { fd_name : string; fd_role : field_role }
+
+(* Small data: a 1D array spanning the grid along [sd_axis] (plus halo),
+   classified as a constant kernel argument — transformation step 8 copies
+   these into BRAM. *)
+type small_decl = { sd_name : string; sd_axis : int }
+
+type stencil_def = {
+  sd_target : string;
+      (* a declared field (result is stored to external memory) or an
+         undeclared intermediate (result only feeds later stencils) *)
+  sd_expr : expr;
+}
+
+type kernel = {
+  k_name : string;
+  k_rank : int;
+  k_fields : field_decl list;
+  k_smalls : small_decl list;
+  k_params : string list;
+  k_stencils : stencil_def list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* eDSL combinators *)
+
+let fld name offset = Field_ref (name, offset)
+let small ?(offset = 0) name = Small_ref (name, offset)
+let param name = Param_ref name
+let const v = Const v
+let ( +: ) a b = Binop (Add, a, b)
+let ( -: ) a b = Binop (Sub, a, b)
+let ( *: ) a b = Binop (Mul, a, b)
+let ( /: ) a b = Binop (Div, a, b)
+let min_ a b = Binop (Min, a, b)
+let max_ a b = Binop (Max, a, b)
+let neg a = Unop (Neg, a)
+let sqrt_ a = Unop (Sqrt, a)
+let exp_ a = Unop (Exp, a)
+let abs_ a = Unop (Abs, a)
+
+(* ------------------------------------------------------------------ *)
+(* Queries *)
+
+let rec fold_expr f acc e =
+  let acc = f acc e in
+  match e with
+  | Binop (_, a, b) -> fold_expr f (fold_expr f acc a) b
+  | Unop (_, a) -> fold_expr f acc a
+  | Field_ref _ | Small_ref _ | Param_ref _ | Const _ -> acc
+
+(* All (name, offset) field references in an expression. *)
+let field_refs e =
+  fold_expr
+    (fun acc e ->
+      match e with Field_ref (n, o) -> (n, o) :: acc | _ -> acc)
+    [] e
+  |> List.rev
+
+let small_refs e =
+  fold_expr
+    (fun acc e -> match e with Small_ref (n, o) -> (n, o) :: acc | _ -> acc)
+    [] e
+  |> List.rev
+
+let param_refs e =
+  fold_expr
+    (fun acc e -> match e with Param_ref n -> n :: acc | _ -> acc)
+    [] e
+  |> List.rev
+
+let field_names k = List.map (fun fd -> fd.fd_name) k.k_fields
+
+let is_field k name = List.exists (fun fd -> fd.fd_name = name) k.k_fields
+
+let field_role k name =
+  match List.find_opt (fun fd -> fd.fd_name = name) k.k_fields with
+  | Some fd -> Some fd.fd_role
+  | None -> None
+
+(* Names produced by stencils but not declared as fields. *)
+let intermediates k =
+  List.filter_map
+    (fun s -> if is_field k s.sd_target then None else Some s.sd_target)
+    k.k_stencils
+  |> List.sort_uniq String.compare
+
+(* Names a stencil reads (fields or intermediates), deduplicated. *)
+let stencil_reads s =
+  field_refs s.sd_expr |> List.map fst |> List.sort_uniq String.compare
+
+(* Dependency edges between stencils: (producer index, consumer index)
+   whenever a later stencil reads an earlier stencil's target. *)
+let dependencies k =
+  let targets = List.mapi (fun i s -> (s.sd_target, i)) k.k_stencils in
+  List.concat
+    (List.mapi
+       (fun j s ->
+         stencil_reads s
+         |> List.filter_map (fun name ->
+                match List.assoc_opt name targets with
+                | Some i when i < j -> Some (i, j)
+                | _ -> None))
+       k.k_stencils)
+
+(* The halo per dimension: the margin external fields need around the
+   interior so every stencil in every dependency chain reads in-bounds.
+   Offsets *accumulate* along producer chains (a stencil reading an
+   intermediate at offset 1 which itself read a field at offset 1 needs
+   the field 2 cells out), so this is a longest-path computation over
+   the dependency DAG, not a simple max. *)
+let halo k =
+  let n = List.length k.k_stencils in
+  let producer = Hashtbl.create 16 in
+  List.iteri (fun i s -> Hashtbl.replace producer s.sd_target i) k.k_stencils;
+  (* req.(i).(d): margin needed around the interior for stencil i's output *)
+  let req = Array.make_matrix n k.k_rank 0 in
+  let field_h = Array.make k.k_rank 0 in
+  let stencils = Array.of_list k.k_stencils in
+  for j = n - 1 downto 0 do
+    List.iter
+      (fun (name, offset) ->
+        match Hashtbl.find_opt producer name with
+        | Some i when i < j ->
+          List.iteri
+            (fun d o -> req.(i).(d) <- max req.(i).(d) (req.(j).(d) + abs o))
+            offset
+        | _ ->
+          (* external field *)
+          List.iteri
+            (fun d o -> field_h.(d) <- max field_h.(d) (req.(j).(d) + abs o))
+            offset)
+      (field_refs stencils.(j).sd_expr);
+    (* small-array reads index position + offset along their axis, so they
+       need the same margin treatment as field reads *)
+    List.iter
+      (fun (name, off) ->
+        match List.find_opt (fun sd -> sd.sd_name = name) k.k_smalls with
+        | Some sd ->
+          let d = sd.sd_axis in
+          field_h.(d) <- max field_h.(d) (req.(j).(d) + abs off)
+        | None -> ())
+      (small_refs stencils.(j).sd_expr)
+  done;
+  (* every stencil's output must be computable over its required margin
+     inside the padded region, even when its inputs are constants: the
+     halo covers the largest per-stencil requirement too *)
+  Array.iter
+    (fun row ->
+      Array.iteri (fun d r -> field_h.(d) <- max field_h.(d) r) row)
+    req;
+  Array.to_list field_h
+
+(* Count of distinct grid points read per output point, i.e. stencil
+   size, for the performance model. *)
+let points_read s =
+  field_refs s.sd_expr |> List.sort_uniq compare |> List.length
+
+(* Number of floating-point operations per output point. *)
+let rec flops_expr = function
+  | Binop (_, a, b) -> 1 + flops_expr a + flops_expr b
+  | Unop (_, a) -> 1 + flops_expr a
+  | Field_ref _ | Small_ref _ | Param_ref _ | Const _ -> 0
+
+let flops k =
+  List.fold_left (fun acc s -> acc + flops_expr s.sd_expr) 0 k.k_stencils
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let validate k =
+  let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
+  let* () =
+    if k.k_rank < 1 || k.k_rank > 3 then Err.fail "kernel rank must be 1..3"
+    else Ok ()
+  in
+  let* () =
+    if k.k_stencils = [] then Err.fail "kernel has no stencils" else Ok ()
+  in
+  let names = field_names k @ intermediates k in
+  let smalls = List.map (fun sd -> sd.sd_name) k.k_smalls in
+  let defined_before = Hashtbl.create 16 in
+  List.iter
+    (fun fd ->
+      if fd.fd_role <> Output then Hashtbl.replace defined_before fd.fd_name ())
+    k.k_fields;
+  let rec check_stencils i = function
+    | [] -> Ok ()
+    | s :: rest ->
+      let* () =
+        match field_role k s.sd_target with
+        | Some Input -> Err.fail "stencil %d writes input field %s" i s.sd_target
+        | _ -> Ok ()
+      in
+      let* () =
+        let rec check_refs = function
+          | [] -> Ok ()
+          | (name, offset) :: more ->
+            if not (List.mem name names) then
+              Err.fail "stencil %d reads undeclared name %s" i name
+            else if List.length offset <> k.k_rank then
+              Err.fail "stencil %d: offset rank mismatch on %s" i name
+            else if not (Hashtbl.mem defined_before name) then
+              Err.fail "stencil %d reads %s before it is produced" i name
+            else check_refs more
+        in
+        check_refs (field_refs s.sd_expr)
+      in
+      let* () =
+        let rec check_smalls = function
+          | [] -> Ok ()
+          | (name, _) :: more ->
+            if List.mem name smalls then check_smalls more
+            else Err.fail "stencil %d reads undeclared small array %s" i name
+        in
+        check_smalls (small_refs s.sd_expr)
+      in
+      let* () =
+        let rec check_params = function
+          | [] -> Ok ()
+          | name :: more ->
+            if List.mem name k.k_params then check_params more
+            else Err.fail "stencil %d reads undeclared parameter %s" i name
+        in
+        check_params (param_refs s.sd_expr)
+      in
+      Hashtbl.replace defined_before s.sd_target ();
+      check_stencils (i + 1) rest
+  in
+  check_stencils 0 k.k_stencils
+
+let validate_exn k =
+  match validate k with Ok () -> () | Error e -> raise (Err.Error e)

@@ -1,0 +1,104 @@
+(** Kernel-description AST: the common input language of the pipeline
+    (the PSyclone algorithm/kernel layer stand-in). Produced by the eDSL
+    combinators below or by the textual parser ({!Psy_parser}); consumed
+    by {!Lower}. *)
+
+type binop = Add | Sub | Mul | Div | Min | Max
+type unop = Neg | Sqrt | Exp | Abs
+
+type expr =
+  | Field_ref of string * int list
+      (** grid field or intermediate, at a constant per-dimension offset *)
+  | Small_ref of string * int
+      (** small 1D coefficient array, indexed by the current position
+          along its axis plus a constant offset *)
+  | Param_ref of string  (** scalar kernel parameter *)
+  | Const of float
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+
+type field_role = Input | Output | Inout
+
+type field_decl = { fd_name : string; fd_role : field_role }
+
+(** Small data: a 1D array along grid dimension [sd_axis]; the
+    transformation's step 8 copies these into BRAM. *)
+type small_decl = { sd_name : string; sd_axis : int }
+
+type stencil_def = {
+  sd_target : string;
+      (** a declared field (stored to external memory) or an undeclared
+          intermediate (feeds later stencils only) *)
+  sd_expr : expr;
+}
+
+type kernel = {
+  k_name : string;
+  k_rank : int;
+  k_fields : field_decl list;
+  k_smalls : small_decl list;
+  k_params : string list;
+  k_stencils : stencil_def list;  (** in execution order *)
+}
+
+(** {2 eDSL combinators} *)
+
+val fld : string -> int list -> expr
+val small : ?offset:int -> string -> expr
+val param : string -> expr
+val const : float -> expr
+val ( +: ) : expr -> expr -> expr
+val ( -: ) : expr -> expr -> expr
+val ( *: ) : expr -> expr -> expr
+val ( /: ) : expr -> expr -> expr
+val min_ : expr -> expr -> expr
+val max_ : expr -> expr -> expr
+val neg : expr -> expr
+val sqrt_ : expr -> expr
+val exp_ : expr -> expr
+val abs_ : expr -> expr
+
+(** {2 Queries} *)
+
+val fold_expr : ('a -> expr -> 'a) -> 'a -> expr -> 'a
+
+(** All (name, offset) field references, with multiplicity, in source
+    order. *)
+val field_refs : expr -> (string * int list) list
+
+val small_refs : expr -> (string * int) list
+val param_refs : expr -> string list
+val field_names : kernel -> string list
+val is_field : kernel -> string -> bool
+val field_role : kernel -> string -> field_role option
+
+(** Names produced by stencils but not declared as fields. *)
+val intermediates : kernel -> string list
+
+(** Distinct names a stencil reads (fields or intermediates). *)
+val stencil_reads : stencil_def -> string list
+
+(** Dependency edges (producer index, consumer index). *)
+val dependencies : kernel -> (int * int) list
+
+(** The margin external fields need around the interior so every stencil
+    in every dependency chain reads in-bounds: a longest-path
+    accumulation over the dependency DAG, covering field offsets, small
+    offsets and constant-producing chains. *)
+val halo : kernel -> int list
+
+(** Distinct grid points read per output point of one stencil. *)
+val points_read : stencil_def -> int
+
+val flops_expr : expr -> int
+
+(** Floating-point operations per grid point across all stencils. *)
+val flops : kernel -> int
+
+(** {2 Validation} *)
+
+(** Structural checks: name resolution, offset ranks, read-after-produce
+    ordering, no writes to inputs. *)
+val validate : kernel -> (unit, Err.t) result
+
+val validate_exn : kernel -> unit

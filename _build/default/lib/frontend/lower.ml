@@ -1,0 +1,191 @@
+(* Lowering from the kernel AST to the stencil dialect.
+
+   This is the DSL-frontend step of the paper's Figure 1: PSyclone/Devito/
+   Flang emit stencil-dialect IR; here the kernel description plus a
+   concrete grid produces the same IR (the stencil dialect's shapes are
+   static — the paper notes a new bitstream is generated per problem
+   size).
+
+   Generated function (one per kernel):
+     func.func @<name>(fields..., smalls..., params...) with
+       - one !stencil.field per external field, bounds [-h, n+h) per dim
+       - one 1D !stencil.field per small-data array
+       - one f64 per scalar parameter
+     body: stencil.load of every read field, one stencil.apply per stencil
+     definition (chained through temps for intermediates), stencil.store
+     of every apply that targets an external field. *)
+
+open Shmls_ir
+open Shmls_dialects
+
+type lowered = {
+  l_module : Ir.op;
+  l_func : Ir.op;
+  l_kernel : Ast.kernel;
+  l_grid : int list;
+  l_halo : int list;
+}
+
+let field_ty ~grid ~halo =
+  let lb = List.map (fun h -> -h) halo in
+  let ub = List.map2 ( + ) grid halo in
+  Ty.Field (Ty.make_bounds ~lb ~ub, Ty.F64)
+
+let small_ty ~grid ~halo ~axis =
+  let n = List.nth grid axis and h = List.nth halo axis in
+  Ty.Field (Ty.make_bounds ~lb:[ -h ] ~ub:[ n + h ], Ty.F64)
+
+(* Environment mapping names to SSA values during lowering. *)
+type env = {
+  mutable temps : (string * Ir.value) list; (* loaded fields + intermediates *)
+  mutable small_temps : (string * Ir.value) list;
+  params : (string * Ir.value) list;
+}
+
+let rec lower_expr (k : Ast.kernel) b args = function
+  | Ast.Const v -> Arith.constant_f b v
+  | Ast.Param_ref name -> List.assoc name args
+  | Ast.Field_ref (name, offset) ->
+    let temp = List.assoc name args in
+    Stencil.access b temp ~offset
+  | Ast.Small_ref (name, off) ->
+    let temp = List.assoc name args in
+    let axis =
+      match List.find_opt (fun sd -> sd.Ast.sd_name = name) k.k_smalls with
+      | Some sd -> sd.sd_axis
+      | None -> Err.raise_error "unknown small array %s" name
+    in
+    let idx = Stencil.index b ~dim:axis in
+    let idx =
+      if off = 0 then idx
+      else Arith.addi b idx (Arith.constant_index b off)
+    in
+    Stencil.dyn_access b temp ~indices:[ idx ]
+  | Ast.Binop (op, x, y) ->
+    let vx = lower_expr k b args x in
+    let vy = lower_expr k b args y in
+    (match op with
+    | Ast.Add -> Arith.addf b vx vy
+    | Ast.Sub -> Arith.subf b vx vy
+    | Ast.Mul -> Arith.mulf b vx vy
+    | Ast.Div -> Arith.divf b vx vy
+    | Ast.Min -> Arith.minf b vx vy
+    | Ast.Max -> Arith.maxf b vx vy)
+  | Ast.Unop (op, x) ->
+    let vx = lower_expr k b args x in
+    (match op with
+    | Ast.Neg -> Arith.negf b vx
+    | Ast.Sqrt -> Math_d.sqrt b vx
+    | Ast.Exp -> Math_d.exp b vx
+    | Ast.Abs -> Math_d.absf b vx)
+
+let lower ?(module_op = None) (k : Ast.kernel) ~grid =
+  Ast.validate_exn k;
+  if List.length grid <> k.k_rank then
+    Err.raise_error "lower %s: grid rank %d, kernel rank %d" k.k_name
+      (List.length grid) k.k_rank;
+  let halo = Ast.halo k in
+  let m = match module_op with Some m -> m | None -> Ir.Module_.create () in
+  let field_tys = List.map (fun _ -> field_ty ~grid ~halo) k.k_fields in
+  let small_tys =
+    List.map (fun sd -> small_ty ~grid ~halo ~axis:sd.Ast.sd_axis) k.k_smalls
+  in
+  let param_tys = List.map (fun _ -> Ty.F64) k.k_params in
+  let func =
+    Func.build_func m ~name:k.k_name
+      ~arg_tys:(field_tys @ small_tys @ param_tys)
+      ~result_tys:[]
+      (fun b args ->
+        let n_fields = List.length k.k_fields in
+        let n_smalls = List.length k.k_smalls in
+        let field_args =
+          List.combine (Ast.field_names k)
+            (List.filteri (fun i _ -> i < n_fields) args)
+        in
+        let small_args =
+          List.combine
+            (List.map (fun sd -> sd.Ast.sd_name) k.k_smalls)
+            (List.filteri
+               (fun i _ -> i >= n_fields && i < n_fields + n_smalls)
+               args)
+        in
+        let param_args =
+          List.combine k.k_params
+            (List.filteri (fun i _ -> i >= n_fields + n_smalls) args)
+        in
+        let env = { temps = []; small_temps = []; params = param_args } in
+        (* load every field some stencil reads *before* a stencil
+           produces it (reads after a write see the producing apply's
+           temp instead, so the field load would be dead) *)
+        let first_producer name =
+          let rec go i = function
+            | [] -> max_int
+            | (s : Ast.stencil_def) :: rest ->
+              if s.sd_target = name then i else go (i + 1) rest
+          in
+          go 0 k.k_stencils
+        in
+        let read_before_produced name =
+          let rec go i = function
+            | [] -> false
+            | (s : Ast.stencil_def) :: rest ->
+              (* a read inside the producing stencil itself sees the
+                 pre-update field values (gather semantics) *)
+              (List.mem name (Ast.stencil_reads s) && i <= first_producer name)
+              || go (i + 1) rest
+          in
+          go 0 k.k_stencils
+        in
+        List.iter
+          (fun (name, v) ->
+            if read_before_produced name then
+              env.temps <- (name, Stencil.load b v) :: env.temps)
+          field_args;
+        let read_smalls =
+          List.concat_map
+            (fun (s : Ast.stencil_def) -> List.map fst (Ast.small_refs s.sd_expr))
+            k.k_stencils
+          |> List.sort_uniq String.compare
+        in
+        List.iter
+          (fun (name, v) ->
+            if List.mem name read_smalls then
+              env.small_temps <- (name, Stencil.load b v) :: env.small_temps)
+          small_args;
+        (* one stencil.apply per stencil definition, in order *)
+        List.iter
+          (fun (s : Ast.stencil_def) ->
+            let reads = Ast.stencil_reads s in
+            let smalls =
+              Ast.small_refs s.sd_expr |> List.map fst
+              |> List.sort_uniq String.compare
+            in
+            let params =
+              Ast.param_refs s.sd_expr |> List.sort_uniq String.compare
+            in
+            let operand_bindings =
+              List.map (fun n -> (n, List.assoc n env.temps)) reads
+              @ List.map (fun n -> (n, List.assoc n env.small_temps)) smalls
+              @ List.map (fun n -> (n, List.assoc n env.params)) params
+            in
+            let operands = List.map snd operand_bindings in
+            let apply =
+              Stencil.apply b ~operands ~result_elems:[ Ty.F64 ]
+                (fun bb block_args ->
+                  let args =
+                    List.map2
+                      (fun (name, _) v -> (name, v))
+                      operand_bindings block_args
+                  in
+                  [ lower_expr k bb args s.sd_expr ])
+            in
+            let result = Ir.Op.result apply 0 in
+            env.temps <- (s.sd_target, result) :: env.temps;
+            if Ast.is_field k s.sd_target then
+              let dest = List.assoc s.sd_target field_args in
+              Stencil.store b result dest ~lb:(List.map (fun _ -> 0) grid)
+                ~ub:grid)
+          k.k_stencils;
+        Func.return_ b [])
+  in
+  { l_module = m; l_func = func; l_kernel = k; l_grid = grid; l_halo = halo }

@@ -1,0 +1,24 @@
+(** Lowering from the kernel AST to the stencil dialect — the
+    DSL-frontend step of the paper's Figure 1.
+
+    Shapes are static (the paper notes a new bitstream is generated per
+    problem size): the same kernel lowered at two grids yields two
+    modules. *)
+
+open Shmls_ir
+
+type lowered = {
+  l_module : Ir.op;  (** the stencil-dialect module *)
+  l_func : Ir.op;
+  l_kernel : Ast.kernel;
+  l_grid : int list;
+  l_halo : int list;
+}
+
+(** Field argument type at a given grid/halo. *)
+val field_ty : grid:int list -> halo:int list -> Ty.t
+
+(** [lower k ~grid] validates and lowers [k]; raises {!Err.Error} on
+    invalid kernels or rank mismatch. Pass [module_op] to append into an
+    existing module. *)
+val lower : ?module_op:Ir.op option -> Ast.kernel -> grid:int list -> lowered

@@ -1,0 +1,64 @@
+(* Printing kernels back to the textual kernel language: the inverse of
+   {!Psy_parser}, so kernels defined with the eDSL can be saved as .psy
+   files (and the parser can be property-tested by round-tripping). *)
+
+let print_float v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.17g" v
+
+(* Fully parenthesised: precedence never matters on re-parse. *)
+let rec print_expr (e : Ast.expr) =
+  match e with
+  | Ast.Field_ref (name, offset) ->
+    Printf.sprintf "%s[%s]" name
+      (String.concat "," (List.map string_of_int offset))
+  | Ast.Small_ref (name, off) -> Printf.sprintf "%s(%d)" name off
+  | Ast.Param_ref name -> name
+  | Ast.Const v ->
+    if v < 0.0 then Printf.sprintf "(%s)" (print_float v) else print_float v
+  | Ast.Binop (op, a, b) -> (
+    let sa = print_expr a and sb = print_expr b in
+    match op with
+    | Ast.Add -> Printf.sprintf "(%s + %s)" sa sb
+    | Ast.Sub -> Printf.sprintf "(%s - %s)" sa sb
+    | Ast.Mul -> Printf.sprintf "(%s * %s)" sa sb
+    | Ast.Div -> Printf.sprintf "(%s / %s)" sa sb
+    | Ast.Min -> Printf.sprintf "min(%s, %s)" sa sb
+    | Ast.Max -> Printf.sprintf "max(%s, %s)" sa sb)
+  | Ast.Unop (op, a) -> (
+    let sa = print_expr a in
+    match op with
+    | Ast.Neg -> Printf.sprintf "(-%s)" sa
+    | Ast.Sqrt -> Printf.sprintf "sqrt(%s)" sa
+    | Ast.Exp -> Printf.sprintf "exp(%s)" sa
+    | Ast.Abs -> Printf.sprintf "abs(%s)" sa)
+
+let to_string (k : Ast.kernel) =
+  let buf = Buffer.create 512 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  line "kernel %s" k.k_name;
+  line "rank %d" k.k_rank;
+  List.iter
+    (fun (fd : Ast.field_decl) ->
+      let role =
+        match fd.fd_role with
+        | Ast.Input -> "input"
+        | Ast.Output -> "output"
+        | Ast.Inout -> "inout"
+      in
+      line "%s %s" role fd.fd_name)
+    k.k_fields;
+  List.iter
+    (fun (sd : Ast.small_decl) -> line "small %s axis %d" sd.sd_name sd.sd_axis)
+    k.k_smalls;
+  List.iter (fun p -> line "param %s" p) k.k_params;
+  List.iter
+    (fun (s : Ast.stencil_def) -> line "%s = %s" s.sd_target (print_expr s.sd_expr))
+    k.k_stencils;
+  line "end";
+  Buffer.contents buf
+
+let to_file path k =
+  let oc = open_out path in
+  output_string oc (to_string k);
+  close_out oc

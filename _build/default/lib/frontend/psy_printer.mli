@@ -1,0 +1,7 @@
+(** Printing kernels back to the textual kernel language — the inverse
+    of {!Psy_parser}; [Psy_parser.parse (to_string k)] reconstructs [k]
+    for any valid kernel. *)
+
+val print_expr : Ast.expr -> string
+val to_string : Ast.kernel -> string
+val to_file : string -> Ast.kernel -> unit

@@ -1,0 +1,1 @@
+lib/host/host.ml: Array Err List Shmls Shmls_fpga Shmls_interp Shmls_ir

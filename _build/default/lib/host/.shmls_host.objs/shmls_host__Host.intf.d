@@ -1,0 +1,1 @@
+lib/host/host.mli: Shmls Shmls_interp

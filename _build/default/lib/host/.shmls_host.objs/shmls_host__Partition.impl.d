@@ -1,0 +1,1 @@
+lib/host/partition.ml: Err Float Host List Shmls Shmls_interp

@@ -1,0 +1,1 @@
+lib/host/partition.mli: Host Shmls Shmls_interp

@@ -1,0 +1,37 @@
+(** Domain decomposition across (simulated) devices: split the grid into
+    slabs along the streamed dimension with halo overlap, run each slab
+    on its own device, and reassemble — the host-side counterpart of the
+    stencil dialect's distributed-memory lowerings. Single-sweep kernels
+    need no mid-run exchange: each slab's halo is seeded from its
+    neighbours' data, as an MPI exchange would have delivered. *)
+
+type partitioned_run = {
+  pr_outputs : (string * Shmls_interp.Grid.t) list;
+  pr_events : Host.event list;
+  pr_slabs : int;
+}
+
+(** Run a kernel over [slabs] devices. Raises {!Err.Error} when there are
+    more slabs than rows or a parameter is missing. *)
+val run :
+  Shmls.Ast.kernel ->
+  grid:int list ->
+  slabs:int ->
+  ?seed:int ->
+  params:(string * float) list ->
+  unit ->
+  partitioned_run
+
+(** Max |difference| of the reassembled result against a single-device
+    reference run on identical data (0 when bit-exact). *)
+val verify_against_reference :
+  Shmls.Ast.kernel ->
+  grid:int list ->
+  slabs:int ->
+  ?seed:int ->
+  params:(string * float) list ->
+  unit ->
+  float
+
+(** Aggregate MPt/s with all slabs running concurrently. *)
+val aggregate_mpts : grid:int list -> partitioned_run -> float

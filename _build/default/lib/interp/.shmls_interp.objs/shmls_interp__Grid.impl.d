@@ -1,0 +1,1 @@
+lib/interp/grid.ml: Array Err Float Int64 List Shmls_ir Ty

@@ -1,0 +1,1 @@
+lib/interp/grid.mli: Shmls_ir Ty

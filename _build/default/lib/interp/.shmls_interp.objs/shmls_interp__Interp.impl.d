@@ -1,0 +1,1 @@
+lib/interp/interp.ml: Array Attr Err Float Func Grid Hashtbl Ir List Shmls_dialects Shmls_frontend Shmls_ir Stencil Ty

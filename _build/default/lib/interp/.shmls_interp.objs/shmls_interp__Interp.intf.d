@@ -1,0 +1,1 @@
+lib/interp/interp.mli: Grid Ir Shmls_frontend Shmls_ir

@@ -1,0 +1,97 @@
+(* Dense rank-1..3 float grids over integer bounds, the runtime data
+   representation shared by the reference interpreter and the functional
+   FPGA simulator.  Indexing is row-major over [lb, ub) per dimension. *)
+
+open Shmls_ir
+
+type t = { bounds : Ty.bounds; data : float array }
+
+let extent t = Ty.bounds_extent t.bounds
+let size t = Ty.bounds_points t.bounds
+let rank t = Ty.bounds_rank t.bounds
+
+let create bounds =
+  { bounds; data = Array.make (Ty.bounds_points bounds) 0.0 }
+
+let copy t = { t with data = Array.copy t.data }
+
+let linear_index t idx =
+  let rec go lbs ubs idx acc =
+    match (lbs, ubs, idx) with
+    | [], [], [] -> acc
+    | lb :: lbs', ub :: ubs', i :: idx' ->
+      if i < lb || i >= ub then
+        Err.raise_error "Grid: index %d outside [%d,%d)" i lb ub;
+      go lbs' ubs' idx' ((acc * (ub - lb)) + (i - lb))
+    | _ -> Err.raise_error "Grid: index rank mismatch"
+  in
+  go t.bounds.lb t.bounds.ub idx 0
+
+let get t idx = t.data.(linear_index t idx)
+let set t idx v = t.data.(linear_index t idx) <- v
+
+(* Iterate f over every point of [bounds] (row-major). *)
+let iter_bounds (bounds : Ty.bounds) f =
+  let rank = Ty.bounds_rank bounds in
+  let lb = Array.of_list bounds.lb and ub = Array.of_list bounds.ub in
+  let idx = Array.copy lb in
+  let rec go d =
+    if d = rank then f (Array.to_list idx)
+    else
+      for i = lb.(d) to ub.(d) - 1 do
+        idx.(d) <- i;
+        go (d + 1)
+      done
+  in
+  go 0
+
+let iter t f = iter_bounds t.bounds (fun idx -> f idx (get t idx))
+
+let map_inplace t f =
+  iter_bounds t.bounds (fun idx -> set t idx (f idx (get t idx)))
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+(* Deterministic pseudo-random initialisation (splitmix-style hash of the
+   linear index), so every flow sees identical input data without carrying
+   an RNG around. *)
+let init_hash ?(seed = 42) t =
+  let n = Array.length t.data in
+  for i = 0 to n - 1 do
+    let z = ref (Int64.of_int ((i + 1) * 0x9E3779B9 + seed)) in
+    z := Int64.mul !z 0xBF58476D1CE4E5B9L;
+    z := Int64.logxor !z (Int64.shift_right_logical !z 31);
+    let u =
+      Int64.to_float (Int64.logand !z 0xFFFFFFFFL) /. 4294967296.0
+    in
+    t.data.(i) <- (2.0 *. u) -. 1.0
+  done
+
+(* Reindex from [lb, ub) to [0, ub-lb) sharing the same storage: the
+   row-major layout is unchanged, so writes through either view alias. *)
+let rebase_zero t =
+  let extent = Ty.bounds_extent t.bounds in
+  {
+    t with
+    bounds = Ty.make_bounds ~lb:(List.map (fun _ -> 0) extent) ~ub:extent;
+  }
+
+let max_abs_diff a b =
+  if Array.length a.data <> Array.length b.data then
+    Err.raise_error "Grid.max_abs_diff: size mismatch";
+  let d = ref 0.0 in
+  Array.iteri
+    (fun i x -> d := Float.max !d (Float.abs (x -. b.data.(i))))
+    a.data;
+  !d
+
+let equal_within ~tol a b = max_abs_diff a b <= tol
+
+(* Restrict comparison to the interior region [lb, ub). *)
+let max_abs_diff_on bounds a b =
+  let d = ref 0.0 in
+  iter_bounds bounds (fun idx ->
+      d := Float.max !d (Float.abs (get a idx -. get b idx)));
+  !d
+
+let checksum t = Array.fold_left ( +. ) 0.0 t.data

@@ -1,0 +1,41 @@
+(** Dense rank-1..3 float grids over integer bounds: the runtime data
+    representation shared by the reference interpreter and the
+    functional FPGA simulator. Row-major over [lb, ub) per dimension. *)
+
+open Shmls_ir
+
+type t = { bounds : Ty.bounds; data : float array }
+
+val create : Ty.bounds -> t
+val copy : t -> t
+val extent : t -> int list
+val size : t -> int
+val rank : t -> int
+
+(** Raises {!Err.Error} when an index is outside the bounds. *)
+val get : t -> int list -> float
+
+val set : t -> int list -> float -> unit
+
+(** Iterate over every point of [bounds] in row-major order. *)
+val iter_bounds : Ty.bounds -> (int list -> unit) -> unit
+
+val iter : t -> (int list -> float -> unit) -> unit
+val map_inplace : t -> (int list -> float -> float) -> unit
+val fill : t -> float -> unit
+
+(** Deterministic pseudo-random contents in [-1, 1] (splitmix-style hash
+    of the linear index), so every flow sees identical input data. *)
+val init_hash : ?seed:int -> t -> unit
+
+(** Reindex from [lb, ub) to [0, ub-lb) sharing the same storage (the
+    row-major layout is unchanged, so writes alias). *)
+val rebase_zero : t -> t
+
+val max_abs_diff : t -> t -> float
+val equal_within : tol:float -> t -> t -> bool
+
+(** Max |difference| restricted to the given region. *)
+val max_abs_diff_on : Ty.bounds -> t -> t -> float
+
+val checksum : t -> float

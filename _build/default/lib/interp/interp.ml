@@ -1,0 +1,355 @@
+(* Reference interpreter for stencil-dialect IR.
+
+   Executes a shape-inferred module on concrete grids, providing the
+   ground-truth results that the FPGA functional simulator and all
+   baseline flows are checked against.  Gather semantics: each
+   stencil.apply computes into fresh grids before stencil.store copies the
+   written region into the destination field, so in-place (Inout) kernels
+   behave like their PSyclone originals. *)
+
+open Shmls_ir
+open Shmls_dialects
+
+type rval =
+  | F of float
+  | I of int
+  | B of bool
+  | G of Grid.t
+
+type env = {
+  vals : (int, rval) Hashtbl.t; (* value id -> runtime value *)
+  mutable position : int array; (* current grid point inside an apply *)
+}
+
+let make_env () = { vals = Hashtbl.create 64; position = [||] }
+
+let bind env v rv = Hashtbl.replace env.vals (Ir.Value.id v) rv
+
+let lookup env v =
+  match Hashtbl.find_opt env.vals (Ir.Value.id v) with
+  | Some rv -> rv
+  | None -> Err.raise_error "interp: unbound value %%v%d" (Ir.Value.id v)
+
+let as_f env v =
+  match lookup env v with
+  | F f -> f
+  | I i -> float_of_int i
+  | B _ | G _ -> Err.raise_error "interp: expected float"
+
+let as_i env v =
+  match lookup env v with
+  | I i -> i
+  | F _ | B _ | G _ -> Err.raise_error "interp: expected int"
+
+let as_g env v =
+  match lookup env v with
+  | G g -> g
+  | F _ | I _ | B _ -> Err.raise_error "interp: expected grid"
+
+let temp_bounds v =
+  match Ir.Value.ty v with
+  | Ty.Temp (Some b, _) -> b
+  | Ty.Temp (None, _) ->
+    Err.raise_error "interp: temp without bounds (run shape inference first)"
+  | t -> Err.raise_error "interp: expected temp, got %s" (Ty.to_string t)
+
+(* Evaluate one op inside an apply body (or at function level for arith
+   constants etc.).  Returns false for terminators. *)
+let eval_simple_op env (op : Ir.op) =
+  let bin f =
+    let x = as_f env (Ir.Op.operand op 0) and y = as_f env (Ir.Op.operand op 1) in
+    bind env (Ir.Op.result op 0) (F (f x y))
+  in
+  let bini f =
+    let x = as_i env (Ir.Op.operand op 0) and y = as_i env (Ir.Op.operand op 1) in
+    bind env (Ir.Op.result op 0) (I (f x y))
+  in
+  let un f =
+    let x = as_f env (Ir.Op.operand op 0) in
+    bind env (Ir.Op.result op 0) (F (f x))
+  in
+  match Ir.Op.name op with
+  | "arith.constant" -> (
+    match Ir.Op.get_attr_exn op "value" with
+    | Attr.Float f -> bind env (Ir.Op.result op 0) (F f)
+    | Attr.Int i -> bind env (Ir.Op.result op 0) (I i)
+    | _ -> Err.raise_error "interp: bad arith.constant")
+  | "arith.addf" -> bin ( +. )
+  | "arith.subf" -> bin ( -. )
+  | "arith.mulf" -> bin ( *. )
+  | "arith.divf" -> bin ( /. )
+  | "arith.maximumf" -> bin Float.max
+  | "arith.minimumf" -> bin Float.min
+  | "arith.addi" -> bini ( + )
+  | "arith.subi" -> bini ( - )
+  | "arith.muli" -> bini ( * )
+  | "arith.divsi" -> bini ( / )
+  | "arith.remsi" -> bini (fun a b -> a mod b)
+  | "arith.negf" -> un (fun x -> -.x)
+  | "arith.sitofp" ->
+    bind env (Ir.Op.result op 0) (F (float_of_int (as_i env (Ir.Op.operand op 0))))
+  | "arith.index_cast" -> bind env (Ir.Op.result op 0) (I (as_i env (Ir.Op.operand op 0)))
+  | "arith.select" ->
+    let c =
+      match lookup env (Ir.Op.operand op 0) with
+      | B b -> b
+      | I i -> i <> 0
+      | _ -> Err.raise_error "interp: select condition"
+    in
+    bind env (Ir.Op.result op 0)
+      (lookup env (Ir.Op.operand op (if c then 1 else 2)))
+  | "arith.cmpf" ->
+    let x = as_f env (Ir.Op.operand op 0) and y = as_f env (Ir.Op.operand op 1) in
+    let p = Attr.str_exn (Ir.Op.get_attr_exn op "predicate") in
+    let r =
+      match p with
+      | "olt" | "ult" -> x < y
+      | "ole" | "ule" -> x <= y
+      | "ogt" | "ugt" -> x > y
+      | "oge" | "uge" -> x >= y
+      | "oeq" | "ueq" -> x = y
+      | "one" | "une" -> x <> y
+      | _ -> Err.raise_error "interp: cmpf predicate %s" p
+    in
+    bind env (Ir.Op.result op 0) (B r)
+  | "math.sqrt" -> un sqrt
+  | "math.exp" -> un exp
+  | "math.log" -> un log
+  | "math.absf" -> un Float.abs
+  | "math.tanh" -> un tanh
+  | "math.powf" -> bin ( ** )
+  | "stencil.index" ->
+    let dim = Attr.int_exn (Ir.Op.get_attr_exn op "dim") in
+    bind env (Ir.Op.result op 0) (I env.position.(dim))
+  | "stencil.access" ->
+    let g = as_g env (Ir.Op.operand op 0) in
+    let offset = Stencil.access_offset op in
+    let idx = List.mapi (fun d o -> env.position.(d) + o) offset in
+    bind env (Ir.Op.result op 0) (F (Grid.get g idx))
+  | "stencil.dyn_access" ->
+    let g = as_g env (Ir.Op.operand op 0) in
+    let indices =
+      List.filteri (fun i _ -> i > 0) (Ir.Op.operands op)
+      |> List.map (as_i env)
+    in
+    bind env (Ir.Op.result op 0) (F (Grid.get g indices))
+  | name -> Err.raise_error "interp: unsupported op %s in stencil body" name
+
+let run_apply env (op : Ir.op) =
+  let block = Stencil.apply_block op in
+  let args = Ir.Block.args block in
+  List.iteri
+    (fun i arg -> bind env arg (lookup env (Ir.Op.operand op i)))
+    args;
+  let results =
+    List.map (fun res -> Grid.create (temp_bounds res)) (Ir.Op.results op)
+  in
+  let bounds = temp_bounds (Ir.Op.result op 0) in
+  let body_ops = Ir.Block.ops block in
+  Grid.iter_bounds bounds (fun idx ->
+      env.position <- Array.of_list idx;
+      List.iter
+        (fun (o : Ir.op) ->
+          if Ir.Op.name o = Stencil.return_op then
+            List.iteri
+              (fun ri operand ->
+                Grid.set (List.nth results ri) idx (as_f env operand))
+              (Ir.Op.operands o)
+          else eval_simple_op env o)
+        body_ops);
+  List.iteri (fun i res -> bind env res (G (List.nth results i))) (Ir.Op.results op)
+
+let run_store env (op : Ir.op) =
+  let src = as_g env (Ir.Op.operand op 0) in
+  let dst = as_g env (Ir.Op.operand op 1) in
+  let bounds = Stencil.store_bounds op in
+  Grid.iter_bounds bounds (fun idx -> Grid.set dst idx (Grid.get src idx))
+
+(* Execute one function on the given argument values. Grids are mutated
+   in place (fields written by stencil.store). *)
+let run_func (func : Ir.op) ~(args : rval list) =
+  let env = make_env () in
+  let body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
+  let block_args = Ir.Block.args body in
+  if List.length block_args <> List.length args then
+    Err.raise_error "interp: %s expects %d args, got %d" (Func.sym_name func)
+      (List.length block_args) (List.length args);
+  List.iter2 (fun v rv -> bind env v rv) block_args args;
+  List.iter
+    (fun (op : Ir.op) ->
+      match Ir.Op.name op with
+      | "stencil.load" ->
+        (* the temp shares the field's storage: reads see the field *)
+        bind env (Ir.Op.result op 0) (lookup env (Ir.Op.operand op 0))
+      | "stencil.external_load" | "stencil.cast" ->
+        bind env (Ir.Op.result op 0) (lookup env (Ir.Op.operand op 0))
+      | name when name = Stencil.apply_op -> run_apply env op
+      | name when name = Stencil.store_op -> run_store env op
+      | "func.return" -> ()
+      | _ -> eval_simple_op env op)
+    (Ir.Block.ops body);
+  env
+
+(* ------------------------------------------------------------------ *)
+(* Generic executor for the CPU-lowered form (scf + memref + arith).
+   Used to validate the stencil-to-cpu lowering against the stencil-level
+   interpreter above. *)
+
+let rec exec_generic_op env (op : Ir.op) =
+  match Ir.Op.name op with
+  | "memref.alloc" | "memref.alloca" ->
+    let shape =
+      match Ir.Value.ty (Ir.Op.result op 0) with
+      | Ty.Memref (shape, _) -> shape
+      | _ -> Err.raise_error "interp: alloc result not a memref"
+    in
+    let bounds =
+      Ty.make_bounds ~lb:(List.map (fun _ -> 0) shape) ~ub:shape
+    in
+    bind env (Ir.Op.result op 0) (G (Grid.create bounds))
+  | "memref.dealloc" -> ()
+  | "memref.load" ->
+    let g = as_g env (Ir.Op.operand op 0) in
+    let indices =
+      List.filteri (fun i _ -> i > 0) (Ir.Op.operands op) |> List.map (as_i env)
+    in
+    bind env (Ir.Op.result op 0) (F (Grid.get g indices))
+  | "memref.store" ->
+    let v = as_f env (Ir.Op.operand op 0) in
+    let g = as_g env (Ir.Op.operand op 1) in
+    let indices =
+      List.filteri (fun i _ -> i > 1) (Ir.Op.operands op) |> List.map (as_i env)
+    in
+    Grid.set g indices v
+  | "memref.copy" ->
+    let src = as_g env (Ir.Op.operand op 0) in
+    let dst = as_g env (Ir.Op.operand op 1) in
+    Array.blit src.Grid.data 0 dst.Grid.data 0 (Array.length src.Grid.data)
+  | "scf.for" ->
+    let lb = as_i env (Ir.Op.operand op 0) in
+    let ub = as_i env (Ir.Op.operand op 1) in
+    let step = as_i env (Ir.Op.operand op 2) in
+    let block = Ir.Region.entry (List.hd (Ir.Op.regions op)) in
+    let iv =
+      match Ir.Block.args block with
+      | iv :: _ -> iv
+      | [] -> Err.raise_error "interp: scf.for without induction arg"
+    in
+    let iters =
+      List.filteri (fun i _ -> i >= 1) (Ir.Block.args block)
+    in
+    let inits =
+      List.filteri (fun i _ -> i >= 3) (Ir.Op.operands op)
+      |> List.map (lookup env)
+    in
+    let current = ref inits in
+    let i = ref lb in
+    while !i < ub do
+      bind env iv (I !i);
+      List.iter2 (fun v rv -> bind env v rv) iters !current;
+      List.iter
+        (fun (o : Ir.op) ->
+          if Ir.Op.name o = "scf.yield" then
+            current := List.map (lookup env) (Ir.Op.operands o)
+          else exec_generic_op env o)
+        (Ir.Block.ops block);
+      i := !i + step
+    done;
+    List.iteri
+      (fun ri res -> bind env res (List.nth !current ri))
+      (Ir.Op.results op)
+  | "scf.if" ->
+    let c =
+      match lookup env (Ir.Op.operand op 0) with
+      | B b -> b
+      | I i -> i <> 0
+      | _ -> Err.raise_error "interp: scf.if condition"
+    in
+    let regions = Ir.Op.regions op in
+    let region =
+      match (c, regions) with
+      | true, r :: _ -> Some r
+      | false, [ _; r ] -> Some r
+      | false, [ _ ] -> None
+      | _, _ -> Err.raise_error "interp: scf.if regions"
+    in
+    (match region with
+    | None -> ()
+    | Some r ->
+      let block = Ir.Region.entry r in
+      let yielded = ref [] in
+      List.iter
+        (fun (o : Ir.op) ->
+          if Ir.Op.name o = "scf.yield" then
+            yielded := List.map (lookup env) (Ir.Op.operands o)
+          else exec_generic_op env o)
+        (Ir.Block.ops block);
+      List.iteri (fun ri res -> bind env res (List.nth !yielded ri)) (Ir.Op.results op))
+  | "func.return" -> ()
+  | _ -> eval_simple_op env op
+
+(* Execute a CPU-lowered function (no stencil ops) on grid/scalar args. *)
+let run_generic_func (func : Ir.op) ~(args : rval list) =
+  let env = make_env () in
+  let body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
+  let block_args = Ir.Block.args body in
+  if List.length block_args <> List.length args then
+    Err.raise_error "interp: %s expects %d args, got %d" (Func.sym_name func)
+      (List.length block_args) (List.length args);
+  List.iter2 (fun v rv -> bind env v rv) block_args args;
+  List.iter (exec_generic_op env) (Ir.Block.ops body);
+  env
+
+(* ------------------------------------------------------------------ *)
+(* Kernel-level convenience *)
+
+(* Allocate grids for a lowered kernel: one per field (with halo), one per
+   small array, deterministic pseudo-random contents. *)
+type kernel_state = {
+  fields : (string * Grid.t) list;
+  smalls : (string * Grid.t) list;
+  params : (string * float) list;
+}
+
+let alloc_state ?(seed = 7) (l : Shmls_frontend.Lower.lowered) =
+  let k = l.l_kernel in
+  let halo = l.l_halo in
+  let bounds =
+    Ty.make_bounds
+      ~lb:(List.map (fun h -> -h) halo)
+      ~ub:(List.map2 ( + ) l.l_grid halo)
+  in
+  let fields =
+    List.mapi
+      (fun i fd ->
+        let g = Grid.create bounds in
+        Grid.init_hash ~seed:(seed + i) g;
+        (fd.Shmls_frontend.Ast.fd_name, g))
+      k.k_fields
+  in
+  let smalls =
+    List.mapi
+      (fun i sd ->
+        let axis = sd.Shmls_frontend.Ast.sd_axis in
+        let n = List.nth l.l_grid axis and h = List.nth halo axis in
+        let g = Grid.create (Ty.make_bounds ~lb:[ -h ] ~ub:[ n + h ]) in
+        Grid.init_hash ~seed:(seed + 100 + i) g;
+        (sd.sd_name, g))
+      k.k_smalls
+  in
+  let params =
+    List.mapi (fun i name -> (name, 0.1 +. (0.05 *. float_of_int i))) k.k_params
+  in
+  { fields; smalls; params }
+
+let state_args (s : kernel_state) =
+  List.map (fun (_, g) -> G g) s.fields
+  @ List.map (fun (_, g) -> G g) s.smalls
+  @ List.map (fun (_, v) -> F v) s.params
+
+(* Run a lowered kernel end to end on a fresh state; returns the state
+   after execution. *)
+let run_lowered ?seed (l : Shmls_frontend.Lower.lowered) =
+  let state = alloc_state ?seed l in
+  ignore (run_func l.l_func ~args:(state_args state));
+  state

@@ -1,0 +1,1 @@
+lib/ir/attr.ml: Float Format List String Ty

@@ -1,0 +1,1 @@
+lib/ir/cse.ml: Array Attr Dialect Hashtbl Int Ir List Pass String

@@ -1,0 +1,1 @@
+lib/ir/dce.ml: Array Dialect Ir List Pass

@@ -1,0 +1,1 @@
+lib/ir/dialect.ml: Err Hashtbl Ir List String

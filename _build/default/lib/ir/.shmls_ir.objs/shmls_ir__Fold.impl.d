@@ -1,0 +1,1 @@
+lib/ir/fold.ml: Attr Dce Err Ir Pass Rewriter

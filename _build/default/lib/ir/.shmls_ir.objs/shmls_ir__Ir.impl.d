@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Array Attr Err Idgen Int List Map Set Ty

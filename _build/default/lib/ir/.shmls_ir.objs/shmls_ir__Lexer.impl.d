@@ -1,0 +1,1 @@
+lib/ir/lexer.ml: Buffer Err Format Printf Scanf String

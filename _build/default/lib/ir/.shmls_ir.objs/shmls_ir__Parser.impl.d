@@ -1,0 +1,1 @@
+lib/ir/parser.ml: Attr Err Format Hashtbl Ir Lexer List Ty

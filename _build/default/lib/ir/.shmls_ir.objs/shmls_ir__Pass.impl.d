@@ -1,0 +1,1 @@
+lib/ir/pass.ml: Err Format Hashtbl Ir List String Unix Verifier

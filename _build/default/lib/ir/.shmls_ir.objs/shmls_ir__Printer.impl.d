@@ -1,0 +1,1 @@
+lib/ir/printer.ml: Attr Buffer Format Hashtbl Idgen Ir List Printf String Ty

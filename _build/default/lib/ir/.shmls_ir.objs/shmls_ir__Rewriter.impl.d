@@ -1,0 +1,1 @@
+lib/ir/rewriter.ml: Err Int Ir List

@@ -1,0 +1,1 @@
+lib/ir/rewriter.mli: Ir

@@ -1,0 +1,92 @@
+(* Operation attributes: compile-time constants attached to ops.  Mirrors
+   the MLIR attribute kinds the stencil / hls dialects need. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ty of Ty.t
+  | Ints of int list (* dense integer array, e.g. stencil offsets <[-1,0,1]> *)
+  | Arr of t list
+  | Sym of string (* symbol reference, printed @name *)
+  | Dict of (string * t) list
+
+let rec equal a b =
+  match (a, b) with
+  | Unit, Unit -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Str x, Str y -> String.equal x y
+  | Ty x, Ty y -> Ty.equal x y
+  | Ints x, Ints y -> x = y
+  | Arr x, Arr y -> List.length x = List.length y && List.for_all2 equal x y
+  | Sym x, Sym y -> String.equal x y
+  | Dict x, Dict y ->
+    List.length x = List.length y
+    && List.for_all2 (fun (k1, v1) (k2, v2) -> String.equal k1 k2 && equal v1 v2) x y
+  | (Unit | Bool _ | Int _ | Float _ | Str _ | Ty _ | Ints _ | Arr _ | Sym _ | Dict _), _
+    ->
+    false
+
+let as_int = function Int i -> Some i | _ -> None
+let as_float = function Float f -> Some f | _ -> None
+let as_str = function Str s -> Some s | _ -> None
+let as_sym = function Sym s -> Some s | _ -> None
+let as_ints = function Ints l -> Some l | _ -> None
+let as_ty = function Ty t -> Some t | _ -> None
+let as_bool = function Bool b -> Some b | _ -> None
+
+let int_exn a =
+  match as_int a with Some i -> i | None -> invalid_arg "Attr.int_exn"
+
+let float_exn a =
+  match as_float a with Some f -> f | None -> invalid_arg "Attr.float_exn"
+
+let str_exn a =
+  match as_str a with Some s -> s | None -> invalid_arg "Attr.str_exn"
+
+let sym_exn a =
+  match as_sym a with Some s -> s | None -> invalid_arg "Attr.sym_exn"
+
+let ints_exn a =
+  match as_ints a with Some l -> l | None -> invalid_arg "Attr.ints_exn"
+
+let ty_exn a = match as_ty a with Some t -> t | None -> invalid_arg "Attr.ty_exn"
+
+let bool_exn a =
+  match as_bool a with Some b -> b | None -> invalid_arg "Attr.bool_exn"
+
+let pp_float ppf f =
+  (* Keep a decimal point so the parser can distinguish floats from ints. *)
+  if Float.is_integer f && Float.abs f < 1e15 then Format.fprintf ppf "%.1f" f
+  else Format.fprintf ppf "%.17g" f
+
+let rec pp ppf a =
+  let open Format in
+  match a with
+  | Unit -> pp_print_string ppf "unit"
+  | Bool b -> pp_print_bool ppf b
+  | Int i -> pp_print_int ppf i
+  | Float f -> pp_float ppf f
+  | Str s -> fprintf ppf "%S" s
+  | Ty t -> Ty.pp ppf t
+  | Ints l ->
+    fprintf ppf "<[%a]>"
+      (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp_print_int)
+      l
+  | Arr l ->
+    fprintf ppf "[%a]"
+      (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp)
+      l
+  | Sym s -> fprintf ppf "@%s" s
+  | Dict kvs ->
+    fprintf ppf "{%a}"
+      (pp_print_list
+         ~pp_sep:(fun ppf () -> pp_print_string ppf ", ")
+         (fun ppf (k, v) -> fprintf ppf "%s = %a" k pp v))
+      kvs
+
+let to_string a = Format.asprintf "%a" pp a

@@ -1,0 +1,37 @@
+(** Operation attributes: compile-time constants attached to ops. *)
+
+type t =
+  | Unit
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Ty of Ty.t
+  | Ints of int list
+      (** dense integer array, e.g. stencil offsets [<[-1, 0, 1]>] *)
+  | Arr of t list
+  | Sym of string  (** symbol reference, printed [@name] *)
+  | Dict of (string * t) list
+
+val equal : t -> t -> bool
+
+val as_int : t -> int option
+val as_float : t -> float option
+val as_str : t -> string option
+val as_sym : t -> string option
+val as_ints : t -> int list option
+val as_ty : t -> Ty.t option
+val as_bool : t -> bool option
+
+(** [*_exn] accessors raise [Invalid_argument] on kind mismatch. *)
+
+val int_exn : t -> int
+val float_exn : t -> float
+val str_exn : t -> string
+val sym_exn : t -> string
+val ints_exn : t -> int list
+val ty_exn : t -> Ty.t
+val bool_exn : t -> bool
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,53 @@
+(* Insertion-point based IR construction, mirroring MLIR's OpBuilder.
+   A builder owns a current block and an insertion position; every [insert]
+   drops the op at that point and advances.  Dialect modules layer typed
+   constructors on top of [insert_op]. *)
+
+type point =
+  | At_end of Ir.block
+  | Before of Ir.block * Ir.op
+  | After of Ir.block * Ir.op
+
+type t = { mutable point : point }
+
+let at_end block = { point = At_end block }
+let before block op = { point = Before (block, op) }
+let after block op = { point = After (block, op) }
+
+let set_at_end t block = t.point <- At_end block
+let set_before t block op = t.point <- Before (block, op)
+let set_after t block op = t.point <- After (block, op)
+
+let current_block t =
+  match t.point with At_end b | Before (b, _) | After (b, _) -> b
+
+let insert t op =
+  (match t.point with
+  | At_end b -> Ir.Block.append b op
+  | Before (b, anchor) -> Ir.Block.insert_before b ~anchor op
+  | After (b, anchor) ->
+    Ir.Block.insert_after b ~anchor op;
+    (* keep appending after the op just inserted *)
+    t.point <- After (b, op));
+  op
+
+let insert_op t ~name ?(operands = []) ?(result_tys = []) ?(attrs = [])
+    ?(regions = []) () =
+  insert t (Ir.Op.create ~name ~operands ~result_tys ~attrs ~regions ())
+
+(* Insert an op expected to have exactly one result and return it. *)
+let insert_op1 t ~name ?(operands = []) ~result_ty ?(attrs = []) ?(regions = [])
+    () =
+  let op =
+    insert_op t ~name ~operands ~result_tys:[ result_ty ] ~attrs ~regions ()
+  in
+  Ir.Op.result op 0
+
+(* Build a single-block region populated by [f], which receives a builder
+   positioned at the end of the entry block and the block's arguments. *)
+let build_region ?(arg_tys = []) f =
+  let block = Ir.Block.create ~arg_tys () in
+  let region = Ir.Region.create ~blocks:[ block ] () in
+  let builder = at_end block in
+  f builder (Ir.Block.args block);
+  region

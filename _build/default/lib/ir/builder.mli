@@ -1,0 +1,41 @@
+(** Insertion-point based IR construction, mirroring MLIR's OpBuilder. *)
+
+type t
+
+val at_end : Ir.block -> t
+val before : Ir.block -> Ir.op -> t
+val after : Ir.block -> Ir.op -> t
+val set_at_end : t -> Ir.block -> unit
+val set_before : t -> Ir.block -> Ir.op -> unit
+val set_after : t -> Ir.block -> Ir.op -> unit
+val current_block : t -> Ir.block
+
+(** Insert a pre-built op at the insertion point and return it. When the
+    point is [After], it advances past the inserted op. *)
+val insert : t -> Ir.op -> Ir.op
+
+val insert_op :
+  t ->
+  name:string ->
+  ?operands:Ir.value list ->
+  ?result_tys:Ty.t list ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Ir.region list ->
+  unit ->
+  Ir.op
+
+(** Like {!insert_op} for single-result ops; returns the result value. *)
+val insert_op1 :
+  t ->
+  name:string ->
+  ?operands:Ir.value list ->
+  result_ty:Ty.t ->
+  ?attrs:(string * Attr.t) list ->
+  ?regions:Ir.region list ->
+  unit ->
+  Ir.value
+
+(** Build a single-block region: [f] gets a builder at the end of the
+    entry block and the block arguments. *)
+val build_region :
+  ?arg_tys:Ty.t list -> (t -> Ir.value list -> unit) -> Ir.region

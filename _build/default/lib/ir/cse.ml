@@ -1,0 +1,69 @@
+(* Common subexpression elimination.
+
+   Within each block, two Pure ops with the same name, attributes and
+   operands compute the same values; the later one is replaced by the
+   earlier.  Ops with regions are skipped (their equivalence would require
+   region isomorphism, which no current producer needs). *)
+
+type key = {
+  k_name : string;
+  k_operands : int list; (* value ids *)
+  k_attrs : (string * string) list; (* attr name -> printed form *)
+}
+
+let key_of_op (op : Ir.op) =
+  {
+    k_name = op.o_name;
+    k_operands = Array.to_list op.o_operands |> List.map Ir.Value.id;
+    k_attrs =
+      List.map (fun (k, v) -> (k, Attr.to_string v)) op.o_attrs
+      |> List.sort (fun (a, _) (b, _) -> String.compare a b);
+  }
+
+let commutative_normalise key op =
+  if Dialect.has_trait (Ir.Op.name op) Dialect.Commutative then
+    { key with k_operands = List.sort Int.compare key.k_operands }
+  else key
+
+let eligible (op : Ir.op) =
+  Dialect.has_trait op.o_name Dialect.Pure
+  && op.o_regions = []
+  && Array.length op.o_results > 0
+
+let run_on_block (b : Ir.block) =
+  let seen : (key, Ir.op) Hashtbl.t = Hashtbl.create 16 in
+  let replaced = ref 0 in
+  List.iter
+    (fun op ->
+      if eligible op then begin
+        let key = commutative_normalise (key_of_op op) op in
+        match Hashtbl.find_opt seen key with
+        | Some earlier ->
+          Ir.replace_op op (Ir.Op.results earlier);
+          incr replaced
+        | None -> Hashtbl.add seen key op
+      end)
+    (Ir.Block.ops b);
+  !replaced
+
+let run_on_op root =
+  let total = ref 0 in
+  let rec walk_op (op : Ir.op) =
+    List.iter
+      (fun (r : Ir.region) ->
+        List.iter
+          (fun b ->
+            total := !total + run_on_block b;
+            List.iter walk_op b.Ir.b_ops)
+          r.Ir.r_blocks)
+      op.o_regions
+  in
+  walk_op root;
+  !total
+
+let pass =
+  Pass.make ~name:"cse"
+    ~description:"deduplicate pure operations within each block"
+    (fun module_op -> ignore (run_on_op module_op))
+
+let () = Pass.register pass

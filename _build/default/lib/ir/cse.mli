@@ -1,0 +1,7 @@
+(** Common subexpression elimination for region-free [Pure] ops. *)
+
+(** Deduplicate within every block under [root]; returns the number of ops
+    replaced. *)
+val run_on_op : Ir.op -> int
+
+val pass : Pass.t

@@ -1,0 +1,36 @@
+(* Dead code elimination: repeatedly erase Pure ops whose results are all
+   unused.  Region-carrying pure ops are erased wholesale (the nested ops
+   die with them). *)
+
+let is_dead (op : Ir.op) =
+  Dialect.has_trait (Ir.Op.name op) Dialect.Pure
+  && (not (Dialect.has_trait (Ir.Op.name op) Dialect.Terminator))
+  && not (Array.exists Ir.Value.has_uses op.o_results)
+
+let run_on_op root =
+  let removed = ref 0 in
+  let rec fixpoint () =
+    let dead =
+      Ir.Op.collect root (fun op -> (not (Ir.Op.equal op root)) && is_dead op)
+    in
+    (* Erase in reverse pre-order so users die before producers. *)
+    let erased_any = ref false in
+    List.iter
+      (fun op ->
+        if is_dead op && op.Ir.o_parent <> None then begin
+          Ir.Op.erase op;
+          incr removed;
+          erased_any := true
+        end)
+      (List.rev dead);
+    if !erased_any then fixpoint ()
+  in
+  fixpoint ();
+  !removed
+
+let pass =
+  Pass.make ~name:"dce"
+    ~description:"erase pure operations whose results are unused"
+    (fun module_op -> ignore (run_on_op module_op))
+
+let () = Pass.register pass

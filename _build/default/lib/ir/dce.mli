@@ -1,0 +1,7 @@
+(** Dead code elimination for [Pure] ops. *)
+
+(** Erase dead pure ops under [root] to a fixpoint; returns the number of
+    ops removed. *)
+val run_on_op : Ir.op -> int
+
+val pass : Pass.t

@@ -1,0 +1,50 @@
+(* Dialect registry: maps op names to their verifier and traits.  Dialect
+   modules register their ops explicitly (registration is idempotent); the
+   verifier, CSE and DCE consult the registry. *)
+
+type trait =
+  | Terminator (* must be last in its block *)
+  | Pure (* no side effects: eligible for CSE/DCE *)
+  | Isolated_from_above (* regions may not reference outer SSA values *)
+  | Commutative
+
+type op_info = {
+  op_name : string;
+  dialect : string;
+  traits : trait list;
+  verify : Ir.op -> (unit, Err.t) result;
+}
+
+let registry : (string, op_info) Hashtbl.t = Hashtbl.create 128
+
+let no_verify (_ : Ir.op) = Ok ()
+
+let register ?(traits = []) ?(verify = no_verify) op_name =
+  let dialect =
+    match String.index_opt op_name '.' with
+    | Some i -> String.sub op_name 0 i
+    | None -> op_name
+  in
+  Hashtbl.replace registry op_name { op_name; dialect; traits; verify }
+
+let lookup name = Hashtbl.find_opt registry name
+
+let is_registered name = Hashtbl.mem registry name
+
+let has_trait name trait =
+  match lookup name with
+  | Some info -> List.mem trait info.traits
+  | None -> false
+
+let verify_op op =
+  match lookup (Ir.Op.name op) with
+  | Some info -> info.verify op
+  | None -> Err.fail "unregistered operation %S" (Ir.Op.name op)
+
+let registered_ops () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+let registered_dialects () =
+  Hashtbl.fold (fun _ info acc -> info.dialect :: acc) registry []
+  |> List.sort_uniq String.compare

@@ -1,0 +1,33 @@
+(** Dialect registry: op names, traits and per-op verifiers. *)
+
+type trait =
+  | Terminator  (** must be last in its block *)
+  | Pure  (** no side effects: eligible for CSE/DCE *)
+  | Isolated_from_above
+      (** regions may not reference SSA values from enclosing scopes *)
+  | Commutative
+
+type op_info = {
+  op_name : string;
+  dialect : string;
+  traits : trait list;
+  verify : Ir.op -> (unit, Err.t) result;
+}
+
+(** Register (or re-register) an op. The dialect name is the prefix before
+    the first ['.']. *)
+val register :
+  ?traits:trait list ->
+  ?verify:(Ir.op -> (unit, Err.t) result) ->
+  string ->
+  unit
+
+val lookup : string -> op_info option
+val is_registered : string -> bool
+val has_trait : string -> trait -> bool
+
+(** Run the registered verifier; fails for unregistered ops. *)
+val verify_op : Ir.op -> (unit, Err.t) result
+
+val registered_ops : unit -> string list
+val registered_dialects : unit -> string list

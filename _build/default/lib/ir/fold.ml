@@ -1,0 +1,113 @@
+(* Constant folding and algebraic simplification for arith ops.  Lives in
+   the IR library (keyed purely on op names) so the canonicalize pass can be
+   assembled without depending on the dialect constructors. *)
+
+let const_float_of (v : Ir.value) =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = "arith.constant" ->
+    Attr.as_float (Ir.Op.get_attr_exn op "value")
+  | _ -> None
+
+let const_int_of (v : Ir.value) =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = "arith.constant" ->
+    Attr.as_int (Ir.Op.get_attr_exn op "value")
+  | _ -> None
+
+let build_const_float ~anchor ty f =
+  let op =
+    Ir.Op.create ~name:"arith.constant" ~result_tys:[ ty ]
+      ~attrs:[ ("value", Attr.Float f) ] ()
+  in
+  (match anchor.Ir.o_parent with
+  | Some b -> Ir.Block.insert_before b ~anchor op
+  | None -> Err.raise_error "fold: anchor has no parent block");
+  Ir.Op.result op 0
+
+let build_const_int ~anchor ty i =
+  let op =
+    Ir.Op.create ~name:"arith.constant" ~result_tys:[ ty ]
+      ~attrs:[ ("value", Attr.Int i) ] ()
+  in
+  (match anchor.Ir.o_parent with
+  | Some b -> Ir.Block.insert_before b ~anchor op
+  | None -> Err.raise_error "fold: anchor has no parent block");
+  Ir.Op.result op 0
+
+let float_binop_of_name = function
+  | "arith.addf" -> Some ( +. )
+  | "arith.subf" -> Some ( -. )
+  | "arith.mulf" -> Some ( *. )
+  | "arith.divf" -> Some ( /. )
+  | _ -> None
+
+let int_binop_of_name = function
+  | "arith.addi" -> Some ( + )
+  | "arith.subi" -> Some ( - )
+  | "arith.muli" -> Some ( * )
+  | _ -> None
+
+(* Fold op if possible; returns true when the IR changed. *)
+let try_fold (op : Ir.op) =
+  let name = Ir.Op.name op in
+  match (float_binop_of_name name, int_binop_of_name name) with
+  | Some f, _ when Ir.Op.num_operands op = 2 -> (
+    let a = Ir.Op.operand op 0 and b = Ir.Op.operand op 1 in
+    match (const_float_of a, const_float_of b) with
+    | Some x, Some y ->
+      let r = build_const_float ~anchor:op (Ir.Value.ty (Ir.Op.result op 0)) (f x y) in
+      Ir.replace_op op [ r ];
+      true
+    | Some 0.0, None when name = "arith.addf" ->
+      Ir.replace_op op [ b ];
+      true
+    | None, Some 0.0 when name = "arith.addf" || name = "arith.subf" ->
+      Ir.replace_op op [ a ];
+      true
+    | Some 1.0, None when name = "arith.mulf" ->
+      Ir.replace_op op [ b ];
+      true
+    | None, Some 1.0 when name = "arith.mulf" || name = "arith.divf" ->
+      Ir.replace_op op [ a ];
+      true
+    | _ -> false)
+  | _, Some f when Ir.Op.num_operands op = 2 -> (
+    let a = Ir.Op.operand op 0 and b = Ir.Op.operand op 1 in
+    match (const_int_of a, const_int_of b) with
+    | Some x, Some y ->
+      let r = build_const_int ~anchor:op (Ir.Value.ty (Ir.Op.result op 0)) (f x y) in
+      Ir.replace_op op [ r ];
+      true
+    | Some 0, None when name = "arith.addi" ->
+      Ir.replace_op op [ b ];
+      true
+    | None, Some 0 when name = "arith.addi" || name = "arith.subi" ->
+      Ir.replace_op op [ a ];
+      true
+    | Some 1, None when name = "arith.muli" ->
+      Ir.replace_op op [ b ];
+      true
+    | None, Some 1 when name = "arith.muli" ->
+      Ir.replace_op op [ a ];
+      true
+    | _ -> false)
+  | _ -> false
+
+let fold_pattern =
+  Rewriter.make_pattern ~benefit:2 ~name:"arith-fold"
+    ~matches:(fun op ->
+      (match float_binop_of_name (Ir.Op.name op) with Some _ -> true | None -> false)
+      || match int_binop_of_name (Ir.Op.name op) with Some _ -> true | None -> false)
+    ~rewrite:try_fold ()
+
+let canonicalize_op root =
+  let changed = Rewriter.apply_patterns ~name:"canonicalize" [ fold_pattern ] root in
+  let removed = Dce.run_on_op root in
+  changed || removed > 0
+
+let pass =
+  Pass.make ~name:"canonicalize"
+    ~description:"constant-fold arith ops and erase dead code"
+    (fun module_op -> ignore (canonicalize_op module_op))
+
+let () = Pass.register pass

@@ -1,0 +1,12 @@
+(** Constant folding and algebraic simplification for arith ops, packaged
+    as the canonicalize pass. *)
+
+(** Fold one op in place if possible; returns [true] if the IR changed. *)
+val try_fold : Ir.op -> bool
+
+val fold_pattern : Rewriter.pattern
+
+(** Apply folding to a fixpoint then run DCE; [true] if anything changed. *)
+val canonicalize_op : Ir.op -> bool
+
+val pass : Pass.t

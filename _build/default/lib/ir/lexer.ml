@@ -1,0 +1,251 @@
+(* Hand-written lexer for the generic IR syntax produced by {!Printer}. *)
+
+type token =
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LT
+  | GT
+  | COMMA
+  | EQUAL
+  | COLON
+  | ARROW
+  | QUESTION
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | PCT_ID of string (* %0, %arg3 *)
+  | CARET_ID of string (* ^bb0 *)
+  | AT_ID of string (* @symbol *)
+  | IDENT of string (* f64, memref, x, true, unit, ... (dots allowed) *)
+  | BANG_IDENT of string (* !stencil.field *)
+  | EOF
+
+type t = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable tok : token;
+}
+
+let token_to_string = function
+  | LPAREN -> "("
+  | RPAREN -> ")"
+  | LBRACE -> "{"
+  | RBRACE -> "}"
+  | LBRACKET -> "["
+  | RBRACKET -> "]"
+  | LT -> "<"
+  | GT -> ">"
+  | COMMA -> ","
+  | EQUAL -> "="
+  | COLON -> ":"
+  | ARROW -> "->"
+  | QUESTION -> "?"
+  | INT i -> string_of_int i
+  | FLOAT f -> string_of_float f
+  | STRING s -> Printf.sprintf "%S" s
+  | PCT_ID s -> "%" ^ s
+  | CARET_ID s -> "^" ^ s
+  | AT_ID s -> "@" ^ s
+  | IDENT s -> s
+  | BANG_IDENT s -> s
+  | EOF -> "<eof>"
+
+let error t fmt =
+  Format.kasprintf
+    (fun msg -> Err.raise_error "lex error at line %d: %s" t.line msg)
+    fmt
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '.'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char t = if t.pos < String.length t.src then Some t.src.[t.pos] else None
+
+let advance t = t.pos <- t.pos + 1
+
+let rec skip_ws t =
+  match peek_char t with
+  | Some (' ' | '\t' | '\r') ->
+    advance t;
+    skip_ws t
+  | Some '\n' ->
+    t.line <- t.line + 1;
+    advance t;
+    skip_ws t
+  | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
+    (* // line comment *)
+    while peek_char t <> None && peek_char t <> Some '\n' do
+      advance t
+    done;
+    skip_ws t
+  | _ -> ()
+
+let lex_ident t =
+  let start = t.pos in
+  while
+    match peek_char t with Some c -> is_ident_char c | None -> false
+  do
+    advance t
+  done;
+  String.sub t.src start (t.pos - start)
+
+let lex_number t ~negative =
+  let start = t.pos in
+  while match peek_char t with Some c -> is_digit c | None -> false do
+    advance t
+  done;
+  let is_float = ref false in
+  (match peek_char t with
+  | Some '.' ->
+    is_float := true;
+    advance t;
+    while match peek_char t with Some c -> is_digit c | None -> false do
+      advance t
+    done
+  | _ -> ());
+  (match peek_char t with
+  | Some ('e' | 'E') ->
+    (* exponent only counts as part of the number if followed by digits *)
+    let save = t.pos in
+    advance t;
+    (match peek_char t with
+    | Some ('+' | '-') -> advance t
+    | _ -> ());
+    if match peek_char t with Some c -> is_digit c | None -> false then begin
+      is_float := true;
+      while match peek_char t with Some c -> is_digit c | None -> false do
+        advance t
+      done
+    end
+    else t.pos <- save
+  | _ -> ());
+  let text = String.sub t.src start (t.pos - start) in
+  let sign = if negative then -1.0 else 1.0 in
+  if !is_float then FLOAT (sign *. float_of_string text)
+  else INT ((if negative then -1 else 1) * int_of_string text)
+
+let lex_string t =
+  (* opening quote consumed by caller *)
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek_char t with
+    | None -> error t "unterminated string"
+    | Some '"' -> advance t
+    | Some '\\' ->
+      Buffer.add_char buf '\\';
+      advance t;
+      (match peek_char t with
+      | None -> error t "unterminated escape"
+      | Some c ->
+        Buffer.add_char buf c;
+        advance t);
+      go ()
+    | Some c ->
+      Buffer.add_char buf c;
+      advance t;
+      go ()
+  in
+  go ();
+  (* Buffer holds the raw escaped body; Scanf.unescaped inverts %S. *)
+  try Scanf.unescaped (Buffer.contents buf)
+  with Scanf.Scan_failure _ -> error t "bad string escape"
+
+let next_token t =
+  skip_ws t;
+  match peek_char t with
+  | None -> EOF
+  | Some c -> (
+    match c with
+    | '(' ->
+      advance t;
+      LPAREN
+    | ')' ->
+      advance t;
+      RPAREN
+    | '{' ->
+      advance t;
+      LBRACE
+    | '}' ->
+      advance t;
+      RBRACE
+    | '[' ->
+      advance t;
+      LBRACKET
+    | ']' ->
+      advance t;
+      RBRACKET
+    | '<' ->
+      advance t;
+      LT
+    | '>' ->
+      advance t;
+      GT
+    | ',' ->
+      advance t;
+      COMMA
+    | '=' ->
+      advance t;
+      EQUAL
+    | ':' ->
+      advance t;
+      COLON
+    | '?' ->
+      advance t;
+      QUESTION
+    | '-' ->
+      advance t;
+      (match peek_char t with
+      | Some '>' ->
+        advance t;
+        ARROW
+      | Some c' when is_digit c' -> lex_number t ~negative:true
+      | _ -> error t "unexpected '-'")
+    | '"' ->
+      advance t;
+      STRING (lex_string t)
+    | '%' ->
+      advance t;
+      let rec go start =
+        match peek_char t with
+        | Some c' when is_ident_char c' ->
+          advance t;
+          go start
+        | _ -> String.sub t.src start (t.pos - start)
+      in
+      PCT_ID (go t.pos)
+    | '^' ->
+      advance t;
+      CARET_ID (lex_ident t)
+    | '@' ->
+      advance t;
+      AT_ID (lex_ident t)
+    | '!' ->
+      advance t;
+      BANG_IDENT ("!" ^ lex_ident t)
+    | c when is_digit c -> lex_number t ~negative:false
+    | c when is_ident_start c -> IDENT (lex_ident t)
+    | c -> error t "unexpected character %C" c)
+
+let create src =
+  let t = { src; pos = 0; line = 1; tok = EOF } in
+  t.tok <- next_token t;
+  t
+
+let token t = t.tok
+let line t = t.line
+
+let consume t = t.tok <- next_token t
+
+let expect t tok =
+  if t.tok = tok then consume t
+  else
+    error t "expected %s, found %s" (token_to_string tok)
+      (token_to_string t.tok)

@@ -1,0 +1,39 @@
+(** Hand-written lexer for the generic IR syntax produced by {!Printer}. *)
+
+type token =
+  | LPAREN
+  | RPAREN
+  | LBRACE
+  | RBRACE
+  | LBRACKET
+  | RBRACKET
+  | LT
+  | GT
+  | COMMA
+  | EQUAL
+  | COLON
+  | ARROW
+  | QUESTION
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | PCT_ID of string
+  | CARET_ID of string
+  | AT_ID of string
+  | IDENT of string
+  | BANG_IDENT of string
+  | EOF
+
+type t
+
+val token_to_string : token -> string
+val create : string -> t
+
+(** Current lookahead token. *)
+val token : t -> token
+
+val line : t -> int
+val consume : t -> unit
+
+(** Consume the lookahead if it equals [tok], else raise {!Err.Error}. *)
+val expect : t -> token -> unit

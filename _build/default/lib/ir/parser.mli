@@ -1,0 +1,9 @@
+(** Recursive-descent parser for the generic IR form emitted by
+    {!Printer}. Raises {!Err.Error} on malformed input. *)
+
+(** Parse a single (possibly nested) operation. *)
+val parse_string : string -> Ir.op
+
+(** Like {!parse_string} but requires the top-level op to be
+    [builtin.module]. *)
+val parse_module : string -> Ir.op

@@ -1,0 +1,54 @@
+(* Pass manager.  A pass transforms a module in place; pipelines run passes
+   in order, optionally verifying after each one, and record wall-clock and
+   op-count statistics that shmls-opt can print. *)
+
+type t = { pass_name : string; description : string; run : Ir.op -> unit }
+
+type stat = {
+  stat_pass : string;
+  duration_s : float;
+  ops_before : int;
+  ops_after : int;
+}
+
+let make ~name ?(description = "") run = { pass_name = name; description; run }
+
+let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+let register pass = Hashtbl.replace registry pass.pass_name pass
+
+let lookup name = Hashtbl.find_opt registry name
+
+let lookup_exn name =
+  match lookup name with
+  | Some p -> p
+  | None -> Err.raise_error "unknown pass %S" name
+
+let registered_passes () =
+  Hashtbl.fold (fun name _ acc -> name :: acc) registry []
+  |> List.sort String.compare
+
+let run_one ?(verify = false) pass module_op =
+  let ops_before = Ir.count_ops module_op in
+  let t0 = Unix.gettimeofday () in
+  Err.with_context ("pass " ^ pass.pass_name) (fun () -> pass.run module_op);
+  let duration_s = Unix.gettimeofday () -. t0 in
+  if verify then
+    Err.with_context
+      ("verification after pass " ^ pass.pass_name)
+      (fun () -> Verifier.verify_exn module_op);
+  { stat_pass = pass.pass_name; duration_s; ops_before; ops_after = Ir.count_ops module_op }
+
+let run_pipeline ?(verify_each = false) passes module_op =
+  List.map (fun pass -> run_one ~verify:verify_each pass module_op) passes
+
+(* Parse "pass1,pass2,..." into a pipeline using the registry. *)
+let parse_pipeline spec =
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.map lookup_exn
+
+let pp_stat ppf s =
+  Format.fprintf ppf "%-32s %8.3f ms  ops %d -> %d" s.stat_pass
+    (s.duration_s *. 1000.0) s.ops_before s.ops_after

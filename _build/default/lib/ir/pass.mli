@@ -1,0 +1,29 @@
+(** Pass manager: in-place module transformations with statistics. *)
+
+type t = { pass_name : string; description : string; run : Ir.op -> unit }
+
+type stat = {
+  stat_pass : string;
+  duration_s : float;
+  ops_before : int;
+  ops_after : int;
+}
+
+val make : name:string -> ?description:string -> (Ir.op -> unit) -> t
+
+(** Global pass registry, used by the shmls-opt driver. *)
+val register : t -> unit
+
+val lookup : string -> t option
+val lookup_exn : string -> t
+val registered_passes : unit -> string list
+
+(** Run one pass; optionally verify the module afterwards. *)
+val run_one : ?verify:bool -> t -> Ir.op -> stat
+
+val run_pipeline : ?verify_each:bool -> t list -> Ir.op -> stat list
+
+(** Parse ["pass1,pass2"] into passes via the registry. *)
+val parse_pipeline : string -> t list
+
+val pp_stat : Format.formatter -> stat -> unit

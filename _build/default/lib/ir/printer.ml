@@ -1,0 +1,129 @@
+(* Textual IR output in the MLIR generic form:
+
+     %0, %1 = "dialect.op"(%a, %b) ({ region... }) {attr = v} : (tys) -> (tys)
+
+   Value and block names are assigned sequentially over the printed
+   subtree, like mlir-opt does, so output is stable given stable IR
+   structure and print -> parse -> print is the identity.  Indentation is
+   emitted explicitly (two spaces per nesting level). *)
+
+type env = {
+  value_names : (int, string) Hashtbl.t;
+  block_names : (int, string) Hashtbl.t;
+  next_value : Idgen.t;
+  next_block : Idgen.t;
+  buf : Buffer.t;
+}
+
+let make_env () =
+  {
+    value_names = Hashtbl.create 64;
+    block_names = Hashtbl.create 16;
+    next_value = Idgen.create ();
+    next_block = Idgen.create ();
+    buf = Buffer.create 1024;
+  }
+
+let value_name env (v : Ir.value) =
+  match Hashtbl.find_opt env.value_names v.v_id with
+  | Some n -> n
+  | None ->
+    let n = Printf.sprintf "%%%d" (Idgen.fresh env.next_value) in
+    Hashtbl.add env.value_names v.v_id n;
+    n
+
+let block_name env (b : Ir.block) =
+  match Hashtbl.find_opt env.block_names b.b_id with
+  | Some n -> n
+  | None ->
+    let n = Printf.sprintf "^bb%d" (Idgen.fresh env.next_block) in
+    Hashtbl.add env.block_names b.b_id n;
+    n
+
+let ty_list tys =
+  Printf.sprintf "(%s)" (String.concat ", " (List.map Ty.to_string tys))
+
+let indent env n = Buffer.add_string env.buf (String.make (2 * n) ' ')
+
+let rec emit_op env level (op : Ir.op) =
+  indent env level;
+  (match Ir.Op.results op with
+  | [] -> ()
+  | results ->
+    Buffer.add_string env.buf
+      (String.concat ", " (List.map (value_name env) results));
+    Buffer.add_string env.buf " = ");
+  Buffer.add_string env.buf (Printf.sprintf "%S" op.o_name);
+  Buffer.add_string env.buf
+    (Printf.sprintf "(%s)"
+       (String.concat ", " (List.map (value_name env) (Ir.Op.operands op))));
+  (match op.o_regions with
+  | [] -> ()
+  | regions ->
+    Buffer.add_string env.buf " (";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string env.buf ", ";
+        emit_region env level r)
+      regions;
+    Buffer.add_string env.buf ")");
+  (match List.sort (fun (a, _) (b, _) -> String.compare a b) op.o_attrs with
+  | [] -> ()
+  | attrs ->
+    Buffer.add_string env.buf " {";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string env.buf ", ";
+        Buffer.add_string env.buf (Printf.sprintf "%s = %s" k (Attr.to_string v)))
+      attrs;
+    Buffer.add_string env.buf "}");
+  Buffer.add_string env.buf
+    (Printf.sprintf " : %s -> %s"
+       (ty_list (List.map Ir.Value.ty (Ir.Op.operands op)))
+       (ty_list (List.map Ir.Value.ty (Ir.Op.results op))));
+  Buffer.add_char env.buf '\n'
+
+and emit_region env level (r : Ir.region) =
+  Buffer.add_string env.buf "{\n";
+  List.iter (emit_block env level) r.r_blocks;
+  indent env level;
+  Buffer.add_char env.buf '}'
+
+and emit_block env level (b : Ir.block) =
+  let args = Ir.Block.args b in
+  (* Single entry blocks with no args omit their header, like MLIR's
+     pretty form; otherwise print ^bbN(%a: ty, ...): *)
+  let needs_header =
+    args <> []
+    ||
+    match b.b_parent with
+    | Some r -> List.length r.r_blocks > 1
+    | None -> false
+  in
+  if needs_header then begin
+    indent env level;
+    Buffer.add_string env.buf (block_name env b);
+    Buffer.add_char env.buf '(';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_string env.buf ", ";
+        Buffer.add_string env.buf
+          (Printf.sprintf "%s: %s" (value_name env v)
+             (Ty.to_string (Ir.Value.ty v))))
+      args;
+    Buffer.add_string env.buf "):\n"
+  end;
+  List.iter (emit_op env (level + 1)) b.b_ops
+
+let to_string op =
+  let env = make_env () in
+  emit_op env 0 op;
+  (* drop the trailing newline so callers control line endings *)
+  let s = Buffer.contents env.buf in
+  if String.length s > 0 && s.[String.length s - 1] = '\n' then
+    String.sub s 0 (String.length s - 1)
+  else s
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+
+let print op = print_endline (to_string op)

@@ -1,0 +1,5 @@
+(** Textual IR output in the MLIR generic form; {!Parser} reads it back. *)
+
+val pp : Format.formatter -> Ir.op -> unit
+val to_string : Ir.op -> string
+val print : Ir.op -> unit

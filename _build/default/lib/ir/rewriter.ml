@@ -1,0 +1,53 @@
+(* Greedy pattern-rewrite driver, the moral equivalent of MLIR's
+   applyPatternsAndFoldGreedily.  Patterns carry a benefit; at each op the
+   highest-benefit matching pattern is applied.  The driver iterates to a
+   fixpoint with an iteration cap as a safety net against ping-ponging
+   pattern sets. *)
+
+type pattern = {
+  pat_name : string;
+  benefit : int;
+  matches : Ir.op -> bool;
+  rewrite : Ir.op -> bool; (* true iff it changed the IR *)
+}
+
+let make_pattern ?(benefit = 1) ~name ~matches ~rewrite () =
+  { pat_name = name; benefit; matches; rewrite }
+
+let max_iterations = 64
+
+(* Snapshot the op list first: patterns may erase or insert ops while we
+   iterate.  Erased ops are detected by their parent pointer being unset. *)
+let ops_in_tree root =
+  let acc = ref [] in
+  Ir.Op.walk root (fun op -> if not (Ir.Op.equal op root) then acc := op :: !acc);
+  List.rev !acc
+
+let still_attached (op : Ir.op) =
+  (* an op detached by erase loses its parent *)
+  match op.o_parent with None -> false | Some _ -> true
+
+let apply_patterns ?(name = "rewrite") patterns root =
+  let patterns =
+    List.sort (fun a b -> Int.compare b.benefit a.benefit) patterns
+  in
+  let changed_total = ref false in
+  let rec fixpoint iter =
+    if iter >= max_iterations then
+      Err.raise_error "pattern driver %S did not converge after %d iterations"
+        name max_iterations;
+    let changed = ref false in
+    List.iter
+      (fun op ->
+        if still_attached op then
+          match List.find_opt (fun p -> p.matches op) patterns with
+          | Some p -> if p.rewrite op then changed := true
+          | None -> ())
+      (ops_in_tree root);
+    if !changed then begin
+      changed_total := true;
+      fixpoint (iter + 1)
+    end
+  in
+  fixpoint 0;
+  !changed_total

@@ -1,0 +1,22 @@
+(** Greedy pattern-rewrite driver (cf. MLIR's
+    applyPatternsAndFoldGreedily). *)
+
+type pattern = {
+  pat_name : string;
+  benefit : int;
+  matches : Ir.op -> bool;
+  rewrite : Ir.op -> bool;  (** must return [true] iff the IR changed *)
+}
+
+val make_pattern :
+  ?benefit:int ->
+  name:string ->
+  matches:(Ir.op -> bool) ->
+  rewrite:(Ir.op -> bool) ->
+  unit ->
+  pattern
+
+(** Apply patterns greedily to a fixpoint over the subtree under [root]
+    (excluding [root] itself). Returns [true] if anything changed. Raises
+    {!Err.Error} if no fixpoint is reached within an iteration cap. *)
+val apply_patterns : ?name:string -> pattern list -> Ir.op -> bool

@@ -1,0 +1,148 @@
+(* The type system shared by every dialect in the compiler.  Unlike MLIR we
+   use one closed variant covering the builtin, memref, llvm, stencil and
+   hls type constructors: the set of dialects in this reproduction is fixed,
+   and a closed type keeps pattern matches exhaustive and checkable. *)
+
+type bounds = { lb : int list; ub : int list }
+
+type t =
+  | F16
+  | F32
+  | F64
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | Index
+  | None_ty
+  | Memref of int list * t (* static shape; -1 encodes a dynamic dim *)
+  | Field of bounds * t (* stencil.field<[lb,ub]...xT> *)
+  | Temp of bounds option * t (* stencil.temp, bounds optional before shape inference *)
+  | Stream of t (* hls.stream carrying elements of a given type *)
+  | Struct of t list (* llvm.struct *)
+  | Array of int * t (* llvm.array *)
+  | Ptr of t (* llvm.ptr *)
+  | Func of t list * t list
+
+let rec equal a b =
+  match (a, b) with
+  | F16, F16 | F32, F32 | F64, F64 -> true
+  | I1, I1 | I8, I8 | I16, I16 | I32, I32 | I64, I64 -> true
+  | Index, Index | None_ty, None_ty -> true
+  | Memref (s1, t1), Memref (s2, t2) -> s1 = s2 && equal t1 t2
+  | Field (b1, t1), Field (b2, t2) -> b1 = b2 && equal t1 t2
+  | Temp (b1, t1), Temp (b2, t2) -> b1 = b2 && equal t1 t2
+  | Stream t1, Stream t2 -> equal t1 t2
+  | Struct ts1, Struct ts2 ->
+    List.length ts1 = List.length ts2 && List.for_all2 equal ts1 ts2
+  | Array (n1, t1), Array (n2, t2) -> n1 = n2 && equal t1 t2
+  | Ptr t1, Ptr t2 -> equal t1 t2
+  | Func (a1, r1), Func (a2, r2) ->
+    List.length a1 = List.length a2
+    && List.length r1 = List.length r2
+    && List.for_all2 equal a1 a2
+    && List.for_all2 equal r1 r2
+  | ( ( F16 | F32 | F64 | I1 | I8 | I16 | I32 | I64 | Index | None_ty
+      | Memref _ | Field _ | Temp _ | Stream _ | Struct _ | Array _ | Ptr _
+      | Func _ ),
+      _ ) ->
+    false
+
+let is_float = function F16 | F32 | F64 -> true | _ -> false
+let is_int = function I1 | I8 | I16 | I32 | I64 -> true | _ -> false
+let is_index = function Index -> true | _ -> false
+let is_scalar t = is_float t || is_int t || is_index t
+
+let bitwidth = function
+  | I1 -> 1
+  | I8 -> 8
+  | F16 | I16 -> 16
+  | F32 | I32 -> 32
+  | F64 | I64 | Index -> 64
+  | t ->
+    ignore t;
+    invalid_arg "Ty.bitwidth: not a scalar type"
+
+(* Storage size in bytes for data-movement accounting. *)
+let rec byte_size = function
+  | I1 | I8 -> 1
+  | F16 | I16 -> 2
+  | F32 | I32 -> 4
+  | F64 | I64 | Index -> 8
+  | Struct ts -> List.fold_left (fun acc t -> acc + byte_size t) 0 ts
+  | Array (n, t) -> n * byte_size t
+  | Memref (shape, t) ->
+    List.fold_left (fun acc d -> acc * max d 1) (byte_size t) shape
+  | Field (b, t) | Temp (Some b, t) ->
+    let extent = List.map2 (fun l u -> u - l) b.lb b.ub in
+    List.fold_left (fun acc d -> acc * max d 1) (byte_size t) extent
+  | Ptr _ -> 8
+  | Temp (None, _) | Stream _ | Func _ | None_ty ->
+    invalid_arg "Ty.byte_size: unsized type"
+
+let bounds_rank b = List.length b.lb
+
+let bounds_extent b = List.map2 (fun l u -> u - l) b.lb b.ub
+
+let bounds_points b =
+  List.fold_left (fun acc d -> acc * d) 1 (bounds_extent b)
+
+let make_bounds ~lb ~ub =
+  if List.length lb <> List.length ub then
+    invalid_arg "Ty.make_bounds: rank mismatch";
+  List.iter2
+    (fun l u -> if u < l then invalid_arg "Ty.make_bounds: ub < lb")
+    lb ub;
+  { lb; ub }
+
+let element = function
+  | Memref (_, t) | Field (_, t) | Temp (_, t) | Stream t | Array (_, t)
+  | Ptr t ->
+    t
+  | t -> t
+
+let rec pp ppf t =
+  let open Format in
+  match t with
+  | F16 -> pp_print_string ppf "f16"
+  | F32 -> pp_print_string ppf "f32"
+  | F64 -> pp_print_string ppf "f64"
+  | I1 -> pp_print_string ppf "i1"
+  | I8 -> pp_print_string ppf "i8"
+  | I16 -> pp_print_string ppf "i16"
+  | I32 -> pp_print_string ppf "i32"
+  | I64 -> pp_print_string ppf "i64"
+  | Index -> pp_print_string ppf "index"
+  | None_ty -> pp_print_string ppf "none"
+  | Memref (shape, elem) ->
+    fprintf ppf "memref<%a%a>" pp_shape shape pp elem
+  | Field (b, elem) -> fprintf ppf "!stencil.field<%a%a>" pp_bounds b pp elem
+  | Temp (None, elem) -> fprintf ppf "!stencil.temp<? x %a>" pp elem
+  | Temp (Some b, elem) -> fprintf ppf "!stencil.temp<%a%a>" pp_bounds b pp elem
+  | Stream elem -> fprintf ppf "!hls.stream<%a>" pp elem
+  | Struct ts ->
+    fprintf ppf "!llvm.struct<(%a)>"
+      (pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp)
+      ts
+  | Array (n, elem) -> fprintf ppf "!llvm.array<%d x %a>" n pp elem
+  | Ptr elem -> fprintf ppf "!llvm.ptr<%a>" pp elem
+  | Func (args, results) ->
+    let pp_list =
+      pp_print_list ~pp_sep:(fun ppf () -> pp_print_string ppf ", ") pp
+    in
+    fprintf ppf "(%a) -> (%a)" pp_list args pp_list results
+
+and pp_shape ppf shape =
+  (* Spaces around the 'x' separators keep the textual form lexable with a
+     context-free lexer (unlike MLIR's fused "4x4xf64"). *)
+  List.iter
+    (fun d ->
+      if d < 0 then Format.pp_print_string ppf "? x "
+      else Format.fprintf ppf "%d x " d)
+    shape
+
+and pp_bounds ppf b =
+  List.iter2 (fun l u -> Format.fprintf ppf "[%d,%d] x " l u) b.lb b.ub
+
+let to_string t = Format.asprintf "%a" pp t

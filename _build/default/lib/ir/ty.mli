@@ -1,0 +1,62 @@
+(** The type system shared by every dialect.
+
+    One closed variant covers the builtin, memref, llvm, stencil and hls
+    type constructors; the set of dialects in this reproduction is fixed,
+    so a closed type keeps pattern matches exhaustive. *)
+
+(** Half-open integer bounds per dimension: the covered index set of a
+    stencil field/temp is [lb.(d), ub.(d)) in each dimension [d]. *)
+type bounds = { lb : int list; ub : int list }
+
+type t =
+  | F16
+  | F32
+  | F64
+  | I1
+  | I8
+  | I16
+  | I32
+  | I64
+  | Index
+  | None_ty
+  | Memref of int list * t  (** static shape; [-1] encodes a dynamic dim *)
+  | Field of bounds * t  (** [stencil.field]: a named grid in external memory *)
+  | Temp of bounds option * t
+      (** [stencil.temp]: a value grid; bounds appear after shape inference *)
+  | Stream of t  (** [hls.stream] carrying elements of the given type *)
+  | Struct of t list  (** [llvm.struct] *)
+  | Array of int * t  (** [llvm.array] *)
+  | Ptr of t  (** [llvm.ptr] *)
+  | Func of t list * t list
+
+val equal : t -> t -> bool
+val is_float : t -> bool
+val is_int : t -> bool
+val is_index : t -> bool
+val is_scalar : t -> bool
+
+(** Bit width of a scalar type; raises [Invalid_argument] otherwise. *)
+val bitwidth : t -> int
+
+(** Storage size in bytes for data-movement accounting. Raises
+    [Invalid_argument] for unsized types (streams, functions, unbounded
+    temps, none). *)
+val byte_size : t -> int
+
+val bounds_rank : bounds -> int
+
+(** Extent per dimension, [ub - lb]. *)
+val bounds_extent : bounds -> int list
+
+(** Total number of grid points covered. *)
+val bounds_points : bounds -> int
+
+(** Smart constructor; raises [Invalid_argument] on rank mismatch or
+    inverted bounds. *)
+val make_bounds : lb:int list -> ub:int list -> bounds
+
+(** Element type of a container type; identity on scalars. *)
+val element : t -> t
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,133 @@
+(* Structural IR verification.
+
+   Generic checks, run over every op in the tree:
+   - every op name is registered with some dialect;
+   - terminators are last in their block, and only terminators are last
+     where the parent op requires one (single-block region bodies);
+   - SSA def-before-use within each block, and uses of out-of-region values
+     are rejected inside Isolated_from_above ops;
+   - use-def chain consistency (each operand records this use).
+
+   Dialect-specific invariants (operand counts, type agreement) live in the
+   per-op verifiers stored in {!Dialect}. *)
+
+let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e
+
+let verify_use_def_consistency (op : Ir.op) =
+  let ok = ref (Ok ()) in
+  Array.iteri
+    (fun i v ->
+      let recorded =
+        List.exists
+          (fun (u : Ir.use) -> u.u_op == op && u.u_index = i)
+          v.Ir.v_uses
+      in
+      if not recorded && !ok = Ok () then
+        ok :=
+          Err.fail "op %s: operand %d not recorded in value's use list"
+            op.o_name i)
+    op.o_operands;
+  !ok
+
+let verify_terminator_position (b : Ir.block) =
+  let rec go = function
+    | [] -> Ok ()
+    | [ _last ] -> Ok ()
+    | op :: rest ->
+      if Dialect.has_trait (Ir.Op.name op) Dialect.Terminator then
+        Err.fail "terminator %s is not last in its block" (Ir.Op.name op)
+      else go rest
+  in
+  go b.b_ops
+
+(* Collect every value visible at region entry: walking up through parents
+   until (and excluding) an Isolated_from_above boundary. *)
+let rec visible_above (r : Ir.region) =
+  match r.r_parent with
+  | None -> Ir.Value_set.empty
+  | Some op ->
+    let from_op_scope =
+      match op.o_parent with
+      | None -> Ir.Value_set.empty
+      | Some b ->
+        let set = ref Ir.Value_set.empty in
+        Array.iter (fun v -> set := Ir.Value_set.add v !set) b.b_args;
+        (* all results of ops in the parent block are visible (we only do
+           def-before-use checking per block separately) *)
+        List.iter
+          (fun (o : Ir.op) ->
+            Array.iter (fun v -> set := Ir.Value_set.add v !set) o.o_results)
+          b.b_ops;
+        !set
+    in
+    if Dialect.has_trait op.o_name Dialect.Isolated_from_above then
+      from_op_scope
+    else
+      match op.o_parent with
+      | Some b -> (
+        match b.b_parent with
+        | Some outer -> Ir.Value_set.union from_op_scope (visible_above outer)
+        | None -> from_op_scope)
+      | None -> from_op_scope
+
+let verify_block_ssa visible (b : Ir.block) =
+  let defined = ref visible in
+  Array.iter (fun v -> defined := Ir.Value_set.add v !defined) b.b_args;
+  let rec go = function
+    | [] -> Ok ()
+    | (op : Ir.op) :: rest ->
+      let bad =
+        Array.to_list op.o_operands
+        |> List.find_opt (fun v -> not (Ir.Value_set.mem v !defined))
+      in
+      (match bad with
+      | Some v ->
+        Err.fail "op %s: operand %%v%d used before definition" op.o_name
+          v.Ir.v_id
+      | None ->
+        Array.iter (fun v -> defined := Ir.Value_set.add v !defined) op.o_results;
+        go rest)
+  in
+  go b.b_ops
+
+let rec verify_op_tree (op : Ir.op) =
+  let* () =
+    match Dialect.lookup (Ir.Op.name op) with
+    | None -> Err.fail "unregistered operation %S" (Ir.Op.name op)
+    | Some info -> (
+      match info.verify op with
+      | Ok () -> Ok ()
+      | Error e -> Error (Err.add_context ("op " ^ Ir.Op.name op) e))
+  in
+  let* () = verify_use_def_consistency op in
+  let rec regions = function
+    | [] -> Ok ()
+    | r :: rest ->
+      let visible =
+        if Dialect.has_trait op.o_name Dialect.Isolated_from_above then
+          Ir.Value_set.empty
+        else visible_above r
+      in
+      let rec blocks = function
+        | [] -> Ok ()
+        | b :: more ->
+          let* () = verify_terminator_position b in
+          let* () = verify_block_ssa visible b in
+          let rec ops = function
+            | [] -> Ok ()
+            | o :: os ->
+              let* () = verify_op_tree o in
+              ops os
+          in
+          let* () = ops b.b_ops in
+          blocks more
+      in
+      let* () = blocks r.r_blocks in
+      regions rest
+  in
+  regions op.o_regions
+
+let verify op = verify_op_tree op
+
+let verify_exn op =
+  match verify op with Ok () -> () | Error e -> raise (Err.Error e)

@@ -1,0 +1,8 @@
+(** Structural IR verification: registered ops, terminator placement,
+    SSA def-before-use, use-def chain consistency, plus the per-op
+    dialect verifiers from {!Dialect}. *)
+
+val verify : Ir.op -> (unit, Err.t) result
+
+(** Like {!verify} but raises {!Err.Error}. *)
+val verify_exn : Ir.op -> unit

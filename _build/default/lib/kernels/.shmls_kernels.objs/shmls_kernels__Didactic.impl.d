@@ -1,0 +1,1 @@
+lib/kernels/didactic.ml: Shmls_frontend

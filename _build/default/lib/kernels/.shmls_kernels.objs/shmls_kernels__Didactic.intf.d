@@ -1,0 +1,1 @@
+lib/kernels/didactic.mli: Shmls_frontend

@@ -1,0 +1,1 @@
+lib/kernels/pw_advection.ml: Shmls_frontend

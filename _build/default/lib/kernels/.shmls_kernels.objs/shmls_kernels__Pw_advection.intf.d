@@ -1,0 +1,1 @@
+lib/kernels/pw_advection.mli: Shmls_frontend

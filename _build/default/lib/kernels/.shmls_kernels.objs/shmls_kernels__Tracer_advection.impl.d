@@ -1,0 +1,1 @@
+lib/kernels/tracer_advection.ml: List Shmls_frontend

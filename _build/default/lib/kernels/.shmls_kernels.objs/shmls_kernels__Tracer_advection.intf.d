@@ -1,0 +1,1 @@
+lib/kernels/tracer_advection.mli: Shmls_frontend

@@ -1,0 +1,1 @@
+lib/kernels/zoo.ml: List Shmls_frontend

@@ -1,0 +1,1 @@
+lib/kernels/zoo.mli: Shmls_frontend

@@ -1,0 +1,111 @@
+(* Small self-contained kernels used by the examples, tests and
+   ablations: cheap to simulate exactly, covering 1D/2D/3D and the
+   single-stencil / chained / multi-output shapes. *)
+
+open Shmls_frontend.Ast
+
+(* 3-point 1D smoothing: the paper's Listing 1 example. *)
+let sum_neighbours_1d =
+  {
+    k_name = "sum_neighbours_1d";
+    k_rank = 1;
+    k_fields =
+      [
+        { fd_name = "inp"; fd_role = Input };
+        { fd_name = "out"; fd_role = Output };
+      ];
+    k_smalls = [];
+    k_params = [];
+    k_stencils =
+      [ { sd_target = "out"; sd_expr = fld "inp" [ -1 ] +: fld "inp" [ 1 ] } ];
+  }
+
+(* 5-point 2D Laplace relaxation step. *)
+let laplace_2d =
+  {
+    k_name = "laplace_2d";
+    k_rank = 2;
+    k_fields =
+      [
+        { fd_name = "phi"; fd_role = Input };
+        { fd_name = "phi_new"; fd_role = Output };
+      ];
+    k_smalls = [];
+    k_params = [];
+    k_stencils =
+      [
+        {
+          sd_target = "phi_new";
+          sd_expr =
+            const 0.25
+            *: (fld "phi" [ -1; 0 ] +: fld "phi" [ 1; 0 ] +: fld "phi" [ 0; -1 ]
+               +: fld "phi" [ 0; 1 ]);
+        };
+      ];
+  }
+
+(* 7-point 3D heat diffusion with a diffusion coefficient parameter. *)
+let heat_3d =
+  {
+    k_name = "heat_3d";
+    k_rank = 3;
+    k_fields =
+      [
+        { fd_name = "t"; fd_role = Input };
+        { fd_name = "t_new"; fd_role = Output };
+      ];
+    k_smalls = [];
+    k_params = [ "alpha" ];
+    k_stencils =
+      [
+        {
+          sd_target = "t_new";
+          sd_expr =
+            fld "t" [ 0; 0; 0 ]
+            +: (param "alpha"
+               *: (fld "t" [ -1; 0; 0 ] +: fld "t" [ 1; 0; 0 ]
+                  +: fld "t" [ 0; -1; 0 ] +: fld "t" [ 0; 1; 0 ]
+                  +: fld "t" [ 0; 0; -1 ] +: fld "t" [ 0; 0; 1 ]
+                  -: (const 6.0 *: fld "t" [ 0; 0; 0 ])));
+        };
+      ];
+  }
+
+(* A chained 3D kernel (gradient magnitude then smoothing): exercises
+   intermediate shift buffers and per-level small data. *)
+let gradient_smooth_3d =
+  {
+    k_name = "gradient_smooth_3d";
+    k_rank = 3;
+    k_fields =
+      [
+        { fd_name = "f"; fd_role = Input };
+        { fd_name = "g"; fd_role = Output };
+      ];
+    k_smalls = [ { sd_name = "scale"; sd_axis = 2 } ];
+    k_params = [];
+    k_stencils =
+      [
+        {
+          sd_target = "grad";
+          sd_expr =
+            sqrt_
+              (((fld "f" [ 1; 0; 0 ] -: fld "f" [ -1; 0; 0 ])
+               *: (fld "f" [ 1; 0; 0 ] -: fld "f" [ -1; 0; 0 ]))
+              +: ((fld "f" [ 0; 1; 0 ] -: fld "f" [ 0; -1; 0 ])
+                 *: (fld "f" [ 0; 1; 0 ] -: fld "f" [ 0; -1; 0 ]))
+              +: ((fld "f" [ 0; 0; 1 ] -: fld "f" [ 0; 0; -1 ])
+                 *: (fld "f" [ 0; 0; 1 ] -: fld "f" [ 0; 0; -1 ])));
+        };
+        {
+          sd_target = "g";
+          sd_expr =
+            small "scale"
+            *: (fld "grad" [ 0; 0; 0 ]
+               +: (const 0.5 *: (fld "grad" [ 0; 0; -1 ] +: fld "grad" [ 0; 0; 1 ])));
+        };
+      ];
+  }
+
+let all =
+  [ sum_neighbours_1d; laplace_2d; heat_3d; gradient_smooth_3d ]

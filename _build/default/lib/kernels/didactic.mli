@@ -1,0 +1,11 @@
+(** Small self-contained kernels for examples, tests and ablations:
+    1D/2D/3D, single-stencil / chained / small-data shapes. *)
+
+val sum_neighbours_1d : Shmls_frontend.Ast.kernel
+
+(** The paper's Listing 1 example: out(i) = inp(i-1) + inp(i+1). *)
+
+val laplace_2d : Shmls_frontend.Ast.kernel
+val heat_3d : Shmls_frontend.Ast.kernel
+val gradient_smooth_3d : Shmls_frontend.Ast.kernel
+val all : Shmls_frontend.Ast.kernel list

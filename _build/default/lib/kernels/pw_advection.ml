@@ -1,0 +1,94 @@
+(* The Piacsek–Williams advection scheme [14], as used in the Met Office
+   MONC atmospheric model — the paper's first evaluation kernel.
+
+   Reconstructed from the PW scheme and its published FPGA ports (Brown,
+   CLUSTER'21): three independent stencil computations (su, sv, sw)
+   over the three wind fields (u, v, w), each combining horizontal
+   advection terms weighted by the scalar coefficients tcx/tcy with
+   vertical terms weighted by the per-level coefficient arrays
+   tzc1(k)/tzc2(k) (small data, copied to BRAM by step 8).
+
+   Structure matches the paper's accounting exactly:
+     - 3 stencil computations across 3 input fields,
+     - 6 field arguments (u, v, w in; su, sv, sw out) + small data
+       -> 7 AXI ports per compute unit -> 4 CUs on the 32-port U280 shell,
+     - halo 1 in every dimension (27-point neighbourhoods). *)
+
+open Shmls_frontend.Ast
+
+(* grid convention: dim 0 = i (streamed, grows with the problem size),
+   dim 1 = j (256), dim 2 = k (vertical, 128) *)
+
+let u o = fld "u" o
+let v o = fld "v" o
+let w o = fld "w" o
+
+let horizontal f tc =
+  (param tc
+  *: ((f [ -1; 0; 0 ] *: (f [ 0; 0; 0 ] +: f [ -1; 0; 0 ]))
+     -: (f [ 1; 0; 0 ] *: (f [ 0; 0; 0 ] +: f [ 1; 0; 0 ]))))
+
+let su_expr =
+  horizontal u "tcx"
+  +: (param "tcy"
+     *: ((u [ 0; -1; 0 ] *: (v [ 0; -1; 0 ] +: v [ -1; -1; 0 ]))
+        -: (u [ 0; 1; 0 ] *: (v [ 0; 0; 0 ] +: v [ -1; 0; 0 ]))))
+  +: (small "tzc1" *: (u [ 0; 0; -1 ] *: (w [ 0; 0; -1 ] +: w [ -1; 0; -1 ])))
+  -: (small "tzc2" *: (u [ 0; 0; 1 ] *: (w [ 0; 0; 0 ] +: w [ -1; 0; 0 ])))
+
+let sv_expr =
+  (param "tcx"
+  *: ((v [ -1; 0; 0 ] *: (u [ -1; 0; 0 ] +: u [ -1; 1; 0 ]))
+     -: (v [ 1; 0; 0 ] *: (u [ 0; 0; 0 ] +: u [ 0; 1; 0 ]))))
+  +: horizontal v "tcy"
+  +: (small "tzc1" *: (v [ 0; 0; -1 ] *: (w [ 0; 0; -1 ] +: w [ 0; -1; -1 ])))
+  -: (small "tzc2" *: (v [ 0; 0; 1 ] *: (w [ 0; 0; 0 ] +: w [ 0; -1; 0 ])))
+
+let sw_expr =
+  (param "tcx"
+  *: ((w [ -1; 0; 0 ] *: (u [ -1; 0; 0 ] +: u [ -1; 0; 1 ]))
+     -: (w [ 1; 0; 0 ] *: (u [ 0; 0; 0 ] +: u [ 0; 0; 1 ]))))
+  +: (param "tcy"
+     *: ((w [ 0; -1; 0 ] *: (v [ 0; -1; 0 ] +: v [ 0; -1; 1 ]))
+        -: (w [ 0; 1; 0 ] *: (v [ 0; 0; 0 ] +: v [ 0; 0; 1 ]))))
+  +: (small "tzd1" *: (w [ 0; 0; -1 ] *: (w [ 0; 0; 0 ] +: w [ 0; 0; -1 ])))
+  -: (small "tzd2" *: (w [ 0; 0; 1 ] *: (w [ 0; 0; 0 ] +: w [ 0; 0; 1 ])))
+
+let kernel =
+  {
+    k_name = "pw_advection";
+    k_rank = 3;
+    k_fields =
+      [
+        { fd_name = "u"; fd_role = Input };
+        { fd_name = "v"; fd_role = Input };
+        { fd_name = "w"; fd_role = Input };
+        { fd_name = "su"; fd_role = Output };
+        { fd_name = "sv"; fd_role = Output };
+        { fd_name = "sw"; fd_role = Output };
+      ];
+    k_smalls =
+      [
+        { sd_name = "tzc1"; sd_axis = 2 };
+        { sd_name = "tzc2"; sd_axis = 2 };
+        { sd_name = "tzd1"; sd_axis = 2 };
+        { sd_name = "tzd2"; sd_axis = 2 };
+      ];
+    k_params = [ "tcx"; "tcy" ];
+    k_stencils =
+      [
+        { sd_target = "su"; sd_expr = su_expr };
+        { sd_target = "sv"; sd_expr = sv_expr };
+        { sd_target = "sw"; sd_expr = sw_expr };
+      ];
+  }
+
+(* The paper's problem sizes: only the streamed dimension grows. *)
+let grid_8m = [ 256; 256; 128 ] (* 8.4M points *)
+let grid_32m = [ 1024; 256; 128 ] (* 33.6M *)
+let grid_134m = [ 4096; 256; 128 ] (* 134.2M *)
+
+let sizes = [ ("8M", grid_8m); ("32M", grid_32m); ("134M", grid_134m) ]
+
+(* A laptop-scale grid with the same shape, for tests and examples. *)
+let grid_small = [ 16; 12; 10 ]

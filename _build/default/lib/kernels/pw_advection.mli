@@ -1,0 +1,20 @@
+(** The Piacsek-Williams advection scheme [14] (MONC), the paper's first
+    evaluation kernel: three independent stencil computations (su, sv,
+    sw) over the wind fields (u, v, w) with per-level vertical
+    coefficient arrays (small data).
+
+    Structure matches the paper exactly: 3 stencils, 6 field arguments +
+    1 shared small-data port = 7 AXI ports per CU, 4 CUs on the 32-port
+    U280 shell, halo 1 everywhere. *)
+
+val kernel : Shmls_frontend.Ast.kernel
+
+(** The paper's problem sizes: only the streamed dimension grows. *)
+val grid_8m : int list
+
+val grid_32m : int list
+val grid_134m : int list
+val sizes : (string * int list) list
+
+(** Laptop-scale grid with the same shape, for tests and examples. *)
+val grid_small : int list

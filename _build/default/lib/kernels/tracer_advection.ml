@@ -1,0 +1,211 @@
+(* The tracer-advection kernel from the NEMO ocean model (PSycloneBench
+   suite [16]) — the paper's second evaluation kernel.
+
+   Reconstructed to the structural parameters the paper reports, which
+   are what the evaluation depends on:
+     - 24 stencil computations across 6 output fields,
+     - 17 kernel arguments, each mapped to its own AXI port
+       -> 17 ports per compute unit -> 1 CU on the 32-port U280 shell
+       (2 CUs would need bundling, which the paper rejects),
+     - dependency chains between the stencils which, unlike PW advection,
+       do not allow a clean per-field split (two weakly-connected chains:
+       the horizontal MUSCL slope/flux chain and the vertical chain),
+     - a critical-path stencil with 20 field references (the paper
+       measures Vitis HLS at II=163 = 3 + 8 x 20 under the naive-flow
+       cost model in {!Shmls_baselines.Vitis}).
+
+   The arithmetic follows the MUSCL advection pattern (gradients, slope
+   limiting with min/max, upwinded fluxes, divergence update); constants
+   are representative. *)
+
+open Shmls_frontend.Ast
+
+let tsn o = fld "tsn" o
+let pun o = fld "pun" o
+let pvn o = fld "pvn" o
+let pwn o = fld "pwn" o
+let dom o = fld "mydomain" o
+let zind o = fld "zind" o
+
+let half = const 0.5
+let quarter = const 0.25
+
+(* -- component A: horizontal MUSCL chain --------------------------- *)
+
+let zwx = dom [ 0; 0; 0 ] *: (tsn [ 0; 1; 0 ] -: tsn [ 0; 0; 0 ])
+let zwy = dom [ 0; 0; 0 ] *: (tsn [ 0; 0; 1 ] -: tsn [ 0; 0; 0 ])
+
+let slope f =
+  half *: (fld f [ 0; 0; 0 ] +: fld f [ 0; -1; 0 ])
+  *: (half
+     *: (const 1.0 +: abs_ (fld f [ 0; 0; 0 ] +: fld f [ 0; -1; 0 ])))
+
+let slope_y f =
+  half *: (fld f [ 0; 0; 0 ] +: fld f [ 0; 0; -1 ])
+  *: (half
+     *: (const 1.0 +: abs_ (fld f [ 0; 0; 0 ] +: fld f [ 0; 0; -1 ])))
+
+let limit f g =
+  min_ (abs_ (fld f [ 0; 0; 0 ]))
+    (min_
+       (const 2.0 *: abs_ (fld g [ 0; -1; 0 ]))
+       (const 2.0 *: abs_ (fld g [ 0; 0; 0 ])))
+  *: fld "umask" [ 0; 0; 0 ]
+
+let limit_y f g =
+  min_ (abs_ (fld f [ 0; 0; 0 ]))
+    (min_
+       (const 2.0 *: abs_ (fld g [ 0; 0; -1 ]))
+       (const 2.0 *: abs_ (fld g [ 0; 0; 0 ])))
+  *: fld "vmask" [ 0; 0; 0 ]
+
+(* upwinded flux; deliberately the reference-heavy stencil of the chain *)
+let flux_x =
+  (half *: pun [ 0; 0; 0 ]
+  *: ((const 1.0 +: zind [ 0; 0; 0 ]) *: (tsn [ 0; 0; 0 ] +: fld "zslpx2" [ 0; 0; 0 ])
+     +: ((const 1.0 -: zind [ 0; 0; 0 ])
+        *: (tsn [ 0; 1; 0 ] -: fld "zslpx2" [ 0; 1; 0 ]))))
+  +: (quarter *: pun [ 0; -1; 0 ] *: (tsn [ 0; 0; 0 ] +: tsn [ 0; -1; 0 ]))
+
+let flux_y =
+  (half *: pvn [ 0; 0; 0 ]
+  *: ((const 1.0 +: zind [ 0; 0; 0 ]) *: (tsn [ 0; 0; 0 ] +: fld "zslpy2" [ 0; 0; 0 ])
+     +: ((const 1.0 -: zind [ 0; 0; 0 ])
+        *: (tsn [ 0; 0; 1 ] -: fld "zslpy2" [ 0; 0; 1 ]))))
+  +: (quarter *: pvn [ 0; 0; -1 ] *: (tsn [ 0; 0; 0 ] +: tsn [ 0; 0; -1 ]))
+
+let upstream_x =
+  fld "upsmsk" [ 0; 0; 0 ]
+  *: (pun [ 0; 0; 0 ] *: (tsn [ 0; 0; 0 ] +: tsn [ 0; 1; 0 ]) *: half)
+
+let upstream_y =
+  fld "upsmsk" [ 0; 0; 0 ]
+  *: (pvn [ 0; 0; 0 ] *: (tsn [ 0; 0; 0 ] +: tsn [ 0; 0; 1 ]) *: half)
+
+let divergence_h =
+  dom [ 0; 0; 0 ]
+  *: (fld "zwx2" [ 0; 0; 0 ] -: fld "zwx2" [ 0; -1; 0 ]
+     +: fld "zwy2" [ 0; 0; 0 ] -: fld "zwy2" [ 0; 0; -1 ]
+     +: fld "zakx" [ 0; 0; 0 ] -: fld "zakx" [ 0; -1; 0 ]
+     +: fld "zaky" [ 0; 0; 0 ] -: fld "zaky" [ 0; 0; -1 ])
+
+(* -- component B: vertical chain ------------------------------------ *)
+
+let zwz =
+  fld "rnfmsk" [ 0; 0; 0 ]
+  *: (tsn [ 0; 0; 1 ] -: tsn [ 0; 0; 0 ])
+  *: (const 1.0 -: fld "ztfreez" [ 0; 0; 0 ])
+
+let slope_z =
+  half *: (fld "zwz" [ 0; 0; 0 ] +: fld "zwz" [ 0; 0; -1 ])
+  *: (half *: (const 1.0 +: abs_ (fld "zwz" [ 0; 0; -1 ])))
+
+let limit_z =
+  min_
+    (abs_ (fld "zslpz" [ 0; 0; 0 ]))
+    (min_
+       (const 2.0 *: abs_ (fld "zwz" [ 0; 0; -1 ]))
+       (const 2.0 *: abs_ (fld "zwz" [ 0; 0; 0 ])))
+
+(* the 20-reference critical-path stencil the paper's II numbers imply *)
+let flux_z =
+  (half *: pwn [ 0; 0; 0 ]
+  *: ((const 1.0 +: fld "rnfmsk" [ 0; 0; 0 ]) *: (tsn [ 0; 0; 0 ] +: fld "zslpz2" [ 0; 0; 0 ])
+     +: ((const 1.0 -: fld "rnfmsk" [ 0; 0; 1 ])
+        *: (tsn [ 0; 0; 1 ] -: fld "zslpz2" [ 0; 0; 1 ]))))
+  +: (quarter *: pwn [ 0; 0; -1 ]
+     *: (tsn [ 0; 0; 0 ] +: tsn [ 0; 0; -1 ] +: fld "ztfreez" [ 0; 0; -1 ]))
+  +: (quarter *: pwn [ 0; 0; 1 ]
+     *: (tsn [ 0; 0; 1 ] +: fld "ztfreez" [ 0; 0; 0 ] +: fld "ztfreez" [ 0; 0; 1 ]))
+  +: (half *: fld "upsmsk" [ 0; 0; 0 ]
+     *: (fld "rnfmsk" [ 0; 0; -1 ] +: fld "zslpz2" [ 0; 0; -1 ]))
+  +: (quarter *: (tsn [ 1; 0; 0 ] -: tsn [ -1; 0; 0 ]))
+
+let upstream_z =
+  fld "upsmsk" [ 0; 0; 0 ]
+  *: (pwn [ 0; 0; 0 ] *: (tsn [ 0; 0; 0 ] +: tsn [ 0; 0; 1 ]) *: half)
+
+let divergence_z =
+  dom [ 0; 0; 0 ]
+  *: (fld "zwz2" [ 0; 0; 0 ] -: fld "zwz2" [ 0; 0; -1 ]
+     +: fld "zakz" [ 0; 0; 0 ] -: fld "zakz" [ 0; 0; -1 ])
+
+let kernel =
+  {
+    k_name = "tracer_advection";
+    k_rank = 3;
+    k_fields =
+      [
+        (* 11 inputs *)
+        { fd_name = "tsn"; fd_role = Input };
+        { fd_name = "pun"; fd_role = Input };
+        { fd_name = "pvn"; fd_role = Input };
+        { fd_name = "pwn"; fd_role = Input };
+        { fd_name = "mydomain"; fd_role = Input };
+        { fd_name = "umask"; fd_role = Input };
+        { fd_name = "vmask"; fd_role = Input };
+        { fd_name = "zind"; fd_role = Input };
+        { fd_name = "ztfreez"; fd_role = Input };
+        { fd_name = "rnfmsk"; fd_role = Input };
+        { fd_name = "upsmsk"; fd_role = Input };
+        (* 6 outputs *)
+        { fd_name = "tsn_out"; fd_role = Output };
+        { fd_name = "sx_out"; fd_role = Output };
+        { fd_name = "sy_out"; fd_role = Output };
+        { fd_name = "tsb_out"; fd_role = Output };
+        { fd_name = "wflux_out"; fd_role = Output };
+        { fd_name = "diag_out"; fd_role = Output };
+      ];
+    k_smalls = [];
+    k_params = [ "rdt" ];
+    k_stencils =
+      [
+        (* component A: horizontal chain (14 stencils) *)
+        { sd_target = "zwx"; sd_expr = zwx };
+        { sd_target = "zwy"; sd_expr = zwy };
+        { sd_target = "zslpx"; sd_expr = slope "zwx" };
+        { sd_target = "zslpy"; sd_expr = slope_y "zwy" };
+        { sd_target = "zslpx2"; sd_expr = limit "zslpx" "zwx" };
+        { sd_target = "zslpy2"; sd_expr = limit_y "zslpy" "zwy" };
+        { sd_target = "zwx2"; sd_expr = flux_x };
+        { sd_target = "zwy2"; sd_expr = flux_y };
+        { sd_target = "zakx"; sd_expr = upstream_x };
+        { sd_target = "zaky"; sd_expr = upstream_y };
+        { sd_target = "ztra"; sd_expr = divergence_h };
+        { sd_target = "tsn_out";
+          sd_expr = tsn [ 0; 0; 0 ] +: (param "rdt" *: fld "ztra" [ 0; 0; 0 ]) };
+        { sd_target = "sx_out";
+          sd_expr = fld "zslpx2" [ 0; 0; 0 ] *: fld "umask" [ 0; 0; 0 ] };
+        { sd_target = "sy_out";
+          sd_expr = fld "zslpy2" [ 0; 0; 0 ] *: fld "vmask" [ 0; 0; 0 ] };
+        (* component B: vertical chain (10 stencils) *)
+        { sd_target = "zwz"; sd_expr = zwz };
+        { sd_target = "zslpz"; sd_expr = slope_z };
+        { sd_target = "zslpz2"; sd_expr = limit_z };
+        { sd_target = "zwz2"; sd_expr = flux_z };
+        { sd_target = "zakz"; sd_expr = upstream_z };
+        { sd_target = "ztraz"; sd_expr = divergence_z };
+        { sd_target = "tsb_out";
+          sd_expr = tsn [ 0; 0; 0 ] +: (param "rdt" *: fld "ztraz" [ 0; 0; 0 ]) };
+        { sd_target = "zbig";
+          sd_expr =
+            (fld "zwz2" [ 0; 0; 0 ] *: fld "rnfmsk" [ 0; 0; 0 ])
+            +: (fld "zakz" [ 0; 0; 0 ] *: fld "upsmsk" [ 0; 0; 0 ]) };
+        { sd_target = "wflux_out";
+          sd_expr = fld "zwz2" [ 0; 0; 0 ] +: fld "zakz" [ 0; 0; 0 ] };
+        { sd_target = "diag_out";
+          sd_expr = fld "zbig" [ 0; 0; 0 ] *: dom [ 0; 0; 0 ] };
+      ];
+  }
+
+(* the paper's problem sizes for this kernel *)
+let grid_8m = [ 256; 256; 128 ] (* 8.4M *)
+let grid_33m = [ 1024; 256; 128 ] (* 33.6M *)
+
+let sizes = [ ("8M", grid_8m); ("33M", grid_33m) ]
+
+let grid_small = [ 12; 10; 8 ]
+
+(* Structural facts the evaluation relies on; asserted by the tests. *)
+let n_stencils = List.length kernel.k_stencils
+let n_args = List.length kernel.k_fields

@@ -1,0 +1,17 @@
+(** The NEMO tracer-advection kernel (PSycloneBench [16]), the paper's
+    second evaluation kernel, reconstructed to its reported structural
+    parameters: 24 chained stencil computations (MUSCL gradients, slope
+    limiting, upwinded fluxes, divergence updates) over 17 memory
+    arguments, forming two weakly-connected dependency chains, with a
+    20-reference critical-path stencil. 17 ports per CU -> 1 CU. *)
+
+val kernel : Shmls_frontend.Ast.kernel
+val grid_8m : int list
+val grid_33m : int list
+val sizes : (string * int list) list
+val grid_small : int list
+
+(** Structural facts asserted by the tests. *)
+val n_stencils : int
+
+val n_args : int

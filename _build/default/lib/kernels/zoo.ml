@@ -1,0 +1,245 @@
+(* A kernel zoo beyond the paper's two evaluation kernels: the stencil
+   shapes HPC codes actually use (wider halos, high-order star stencils,
+   anisotropic mixes, chained pipelines).  The zoo backs the
+   generalisation experiment (bench `zoo`): the transformation sustains
+   II=1 across all of them, not just on PW/tracer advection. *)
+
+open Shmls_frontend.Ast
+
+(* 13-point 4th-order acoustic wave stencil (halo 2 in every dim):
+   the seismic-imaging workhorse. *)
+let acoustic_wave_3d =
+  let lap4 f d =
+    (* 4th-order second derivative along dimension d *)
+    let off c = List.mapi (fun i _ -> if i = d then c else 0) [ 0; 0; 0 ] in
+    (const (-1.0 /. 12.0) *: (fld f (off (-2)) +: fld f (off 2)))
+    +: (const (4.0 /. 3.0) *: (fld f (off (-1)) +: fld f (off 1)))
+    -: (const 2.5 *: fld f (off 0))
+  in
+  {
+    k_name = "acoustic_wave_3d";
+    k_rank = 3;
+    k_fields =
+      [
+        { fd_name = "p"; fd_role = Input };
+        { fd_name = "p_prev"; fd_role = Input };
+        { fd_name = "vel"; fd_role = Input };
+        { fd_name = "p_next"; fd_role = Output };
+      ];
+    k_smalls = [];
+    k_params = [ "dt2" ];
+    k_stencils =
+      [
+        {
+          sd_target = "p_next";
+          sd_expr =
+            (const 2.0 *: fld "p" [ 0; 0; 0 ])
+            -: fld "p_prev" [ 0; 0; 0 ]
+            +: (param "dt2" *: fld "vel" [ 0; 0; 0 ]
+               *: (lap4 "p" 0 +: lap4 "p" 1 +: lap4 "p" 2));
+        };
+      ];
+  }
+
+(* 13-point biharmonic operator in 2D (halo 2; plate bending /
+   Cahn-Hilliard style). *)
+let biharmonic_2d =
+  {
+    k_name = "biharmonic_2d";
+    k_rank = 2;
+    k_fields =
+      [
+        { fd_name = "w"; fd_role = Input }; { fd_name = "out"; fd_role = Output };
+      ];
+    k_smalls = [];
+    k_params = [];
+    k_stencils =
+      [
+        {
+          sd_target = "out";
+          sd_expr =
+            (const 20.0 *: fld "w" [ 0; 0 ])
+            -: (const 8.0
+               *: (fld "w" [ -1; 0 ] +: fld "w" [ 1; 0 ] +: fld "w" [ 0; -1 ]
+                  +: fld "w" [ 0; 1 ]))
+            +: (const 2.0
+               *: (fld "w" [ -1; -1 ] +: fld "w" [ -1; 1 ] +: fld "w" [ 1; -1 ]
+                  +: fld "w" [ 1; 1 ]))
+            +: fld "w" [ -2; 0 ] +: fld "w" [ 2; 0 ] +: fld "w" [ 0; -2 ]
+            +: fld "w" [ 0; 2 ];
+        };
+      ];
+  }
+
+(* 19-point anisotropic diffusion: face + edge neighbours with distinct
+   coefficients. *)
+let anisotropic_diffusion_3d =
+  let face =
+    fld "c" [ -1; 0; 0 ] +: fld "c" [ 1; 0; 0 ] +: fld "c" [ 0; -1; 0 ]
+    +: fld "c" [ 0; 1; 0 ] +: fld "c" [ 0; 0; -1 ] +: fld "c" [ 0; 0; 1 ]
+  in
+  let edge =
+    fld "c" [ -1; -1; 0 ] +: fld "c" [ -1; 1; 0 ] +: fld "c" [ 1; -1; 0 ]
+    +: fld "c" [ 1; 1; 0 ] +: fld "c" [ 0; -1; -1 ] +: fld "c" [ 0; -1; 1 ]
+    +: fld "c" [ 0; 1; -1 ] +: fld "c" [ 0; 1; 1 ] +: fld "c" [ -1; 0; -1 ]
+    +: fld "c" [ -1; 0; 1 ] +: fld "c" [ 1; 0; -1 ] +: fld "c" [ 1; 0; 1 ]
+  in
+  {
+    k_name = "anisotropic_diffusion_3d";
+    k_rank = 3;
+    k_fields =
+      [
+        { fd_name = "c"; fd_role = Input };
+        { fd_name = "c_new"; fd_role = Output };
+      ];
+    k_smalls = [];
+    k_params = [ "af"; "ae" ];
+    k_stencils =
+      [
+        {
+          sd_target = "c_new";
+          sd_expr =
+            fld "c" [ 0; 0; 0 ]
+            +: (param "af" *: (face -: (const 6.0 *: fld "c" [ 0; 0; 0 ])))
+            +: (param "ae" *: (edge -: (const 12.0 *: fld "c" [ 0; 0; 0 ])));
+        };
+      ];
+  }
+
+(* A three-stage image/field pipeline: gradient -> diffusivity -> update
+   (Perona-Malik flavoured), exercising chained intermediates with
+   offsets on both stages. *)
+let nonlinear_diffusion_2d =
+  {
+    k_name = "nonlinear_diffusion_2d";
+    k_rank = 2;
+    k_fields =
+      [
+        { fd_name = "u"; fd_role = Input };
+        { fd_name = "u_new"; fd_role = Output };
+      ];
+    k_smalls = [];
+    k_params = [ "kappa"; "tau" ];
+    k_stencils =
+      [
+        {
+          sd_target = "gmag";
+          sd_expr =
+            ((fld "u" [ 1; 0 ] -: fld "u" [ -1; 0 ])
+            *: (fld "u" [ 1; 0 ] -: fld "u" [ -1; 0 ]))
+            +: ((fld "u" [ 0; 1 ] -: fld "u" [ 0; -1 ])
+               *: (fld "u" [ 0; 1 ] -: fld "u" [ 0; -1 ]));
+        };
+        {
+          sd_target = "g";
+          sd_expr = exp_ (neg (fld "gmag" [ 0; 0 ] /: param "kappa"));
+        };
+        {
+          sd_target = "u_new";
+          sd_expr =
+            fld "u" [ 0; 0 ]
+            +: (param "tau"
+               *: ((fld "g" [ 1; 0 ] *: (fld "u" [ 1; 0 ] -: fld "u" [ 0; 0 ]))
+                  +: (fld "g" [ -1; 0 ] *: (fld "u" [ -1; 0 ] -: fld "u" [ 0; 0 ]))
+                  +: (fld "g" [ 0; 1 ] *: (fld "u" [ 0; 1 ] -: fld "u" [ 0; 0 ]))
+                  +: (fld "g" [ 0; -1 ] *: (fld "u" [ 0; -1 ] -: fld "u" [ 0; 0 ]))));
+        };
+      ];
+  }
+
+(* Vertical implicit-style column sweep flavour: per-level coefficients
+   on both faces (small data at offsets -1, 0, +1). *)
+let column_physics_3d =
+  {
+    k_name = "column_physics_3d";
+    k_rank = 3;
+    k_fields =
+      [
+        { fd_name = "q"; fd_role = Input };
+        { fd_name = "flux"; fd_role = Output };
+        { fd_name = "q_new"; fd_role = Output };
+      ];
+    k_smalls =
+      [ { sd_name = "ka"; sd_axis = 2 }; { sd_name = "kb"; sd_axis = 2 } ];
+    k_params = [ "dt" ];
+    k_stencils =
+      [
+        {
+          sd_target = "flx";
+          sd_expr =
+            (small "ka" *: (fld "q" [ 0; 0; 1 ] -: fld "q" [ 0; 0; 0 ]))
+            -: (small "kb" ~offset:(-1)
+               *: (fld "q" [ 0; 0; 0 ] -: fld "q" [ 0; 0; -1 ]));
+        };
+        { sd_target = "flux"; sd_expr = fld "flx" [ 0; 0; 0 ] };
+        {
+          sd_target = "q_new";
+          sd_expr =
+            fld "q" [ 0; 0; 0 ]
+            +: (param "dt"
+               *: (fld "flx" [ 0; 0; 0 ]
+                  +: (const 0.5
+                     *: (fld "flx" [ 0; 0; -1 ] +: fld "flx" [ 0; 0; 1 ]))));
+        };
+      ];
+  }
+
+(* A wide shallow-water style multi-output kernel: three independent
+   outputs like PW advection but rank 2. *)
+let shallow_water_2d =
+  {
+    k_name = "shallow_water_2d";
+    k_rank = 2;
+    k_fields =
+      [
+        { fd_name = "h"; fd_role = Input };
+        { fd_name = "hu"; fd_role = Input };
+        { fd_name = "hv"; fd_role = Input };
+        { fd_name = "dh"; fd_role = Output };
+        { fd_name = "dhu"; fd_role = Output };
+        { fd_name = "dhv"; fd_role = Output };
+      ];
+    k_smalls = [];
+    k_params = [ "dx"; "g2" ];
+    k_stencils =
+      [
+        {
+          sd_target = "dh";
+          sd_expr =
+            param "dx"
+            *: (fld "hu" [ 1; 0 ] -: fld "hu" [ -1; 0 ] +: fld "hv" [ 0; 1 ]
+               -: fld "hv" [ 0; -1 ]);
+        };
+        {
+          sd_target = "dhu";
+          sd_expr =
+            param "dx"
+            *: ((fld "hu" [ 1; 0 ] *: fld "hu" [ 1; 0 ] /: fld "h" [ 1; 0 ])
+               -: (fld "hu" [ -1; 0 ] *: fld "hu" [ -1; 0 ] /: fld "h" [ -1; 0 ])
+               +: (param "g2"
+                  *: ((fld "h" [ 1; 0 ] *: fld "h" [ 1; 0 ])
+                     -: (fld "h" [ -1; 0 ] *: fld "h" [ -1; 0 ]))));
+        };
+        {
+          sd_target = "dhv";
+          sd_expr =
+            param "dx"
+            *: ((fld "hv" [ 0; 1 ] *: fld "hv" [ 0; 1 ] /: fld "h" [ 0; 1 ])
+               -: (fld "hv" [ 0; -1 ] *: fld "hv" [ 0; -1 ] /: fld "h" [ 0; -1 ])
+               +: (param "g2"
+                  *: ((fld "h" [ 0; 1 ] *: fld "h" [ 0; 1 ])
+                     -: (fld "h" [ 0; -1 ] *: fld "h" [ 0; -1 ]))));
+        };
+      ];
+  }
+
+(* (name, kernel, laptop-scale grid) *)
+let all =
+  [
+    (acoustic_wave_3d, [ 12; 10; 8 ]);
+    (biharmonic_2d, [ 16; 14 ]);
+    (anisotropic_diffusion_3d, [ 10; 8; 8 ]);
+    (nonlinear_diffusion_2d, [ 16; 12 ]);
+    (column_physics_3d, [ 10; 8; 8 ]);
+    (shallow_water_2d, [ 18; 14 ]);
+  ]

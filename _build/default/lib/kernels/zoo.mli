@@ -1,0 +1,14 @@
+(** A kernel zoo beyond the paper's two evaluation kernels: wider halos
+    (halo-2 high-order stencils), anisotropic mixes, chained pipelines,
+    multi-output systems, column physics with small data. Backs the
+    generalisation experiment (bench [zoo]). *)
+
+val acoustic_wave_3d : Shmls_frontend.Ast.kernel
+val biharmonic_2d : Shmls_frontend.Ast.kernel
+val anisotropic_diffusion_3d : Shmls_frontend.Ast.kernel
+val nonlinear_diffusion_2d : Shmls_frontend.Ast.kernel
+val column_physics_3d : Shmls_frontend.Ast.kernel
+val shallow_water_2d : Shmls_frontend.Ast.kernel
+
+(** (kernel, laptop-scale grid) pairs. *)
+val all : (Shmls_frontend.Ast.kernel * int list) list

@@ -1,0 +1,1 @@
+lib/llvmir/emit.ml: Attr Err Func Hashtbl Hls Idgen Ir List Ll Printf Shmls_dialects Shmls_ir String Ty

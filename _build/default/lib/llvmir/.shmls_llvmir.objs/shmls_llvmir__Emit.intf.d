@@ -1,0 +1,1 @@
+lib/llvmir/emit.mli: Ir Ll Shmls_ir

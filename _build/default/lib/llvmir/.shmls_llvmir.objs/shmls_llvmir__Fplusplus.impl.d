@@ -1,0 +1,1 @@
+lib/llvmir/fplusplus.ml: Buffer Hashtbl List Ll Option Printf String

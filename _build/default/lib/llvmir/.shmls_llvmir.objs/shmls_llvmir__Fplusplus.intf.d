@@ -1,0 +1,1 @@
+lib/llvmir/fplusplus.mli: Ll

@@ -1,0 +1,1 @@
+lib/llvmir/ll.ml: Buffer Float List Printf String

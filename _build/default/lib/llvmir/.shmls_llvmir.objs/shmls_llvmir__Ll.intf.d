@@ -1,0 +1,1 @@
+lib/llvmir/ll.mli:

@@ -1,0 +1,20 @@
+(** Lowering the HLS-dialect kernels to textual LLVM-IR — contribution
+    (3) of the paper, following the Fortran-HLS approach it adopts:
+    directives as void marker-function calls, streams as pointers to
+    single-field structs with [@llvm.fpga.set.stream.depth] on the first
+    element, and each dataflow region outlined into its own function. *)
+
+open Shmls_ir
+
+val marker_pipeline : int -> string
+val marker_unroll : int -> string
+val marker_array_partition : string -> int -> string
+val marker_dataflow : string
+val marker_interface : bundle:string -> bank:int -> string
+val set_stream_depth : string
+
+(** Emit one kernel function into the LLVM module. *)
+val emit_kernel : Ll.modul -> Ir.op -> Ll.func
+
+(** Emit every function tagged [hls_kernel]. *)
+val emit_module : Ir.op -> Ll.modul

@@ -1,0 +1,227 @@
+(* The f++ preprocessing tool (Fortran-HLS [15], as used in the paper's
+   Figure 1): pattern-matches the void marker-function calls that encode
+   HLS directives in the emitted LLVM-IR and rewrites them into the
+   artefacts the AMD Xilinx HLS backend expects:
+
+     _shmls_pipeline_ii_N()        -> !llvm.loop pipeline metadata on the
+                                      enclosing loop's latch branch (f++
+                                      walks the loop tree to find it)
+     _shmls_unroll_N()             -> !llvm.loop unroll metadata
+     _shmls_array_partition_K_F()  -> function-level partition annotation
+     _shmls_dataflow()             -> "dataflow" function attribute
+     _shmls_interface_B_bankN()    -> an entry in the v++ connectivity
+                                      configuration (the .cfg file that
+                                      maps each bundle to an HBM bank)
+
+   @llvm.fpga.set.stream.depth calls are legal backend intrinsics and are
+   left in place. *)
+
+type report = {
+  pipelines : int;
+  unrolls : int;
+  partitions : int;
+  dataflows : int;
+  interfaces : int;
+  connectivity : (string * int) list; (* bundle -> HBM bank *)
+}
+
+let empty_report =
+  {
+    pipelines = 0;
+    unrolls = 0;
+    partitions = 0;
+    dataflows = 0;
+    interfaces = 0;
+    connectivity = [];
+  }
+
+let prefix = "_shmls_"
+
+let starts_with ~p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+let parse_trailing_int s =
+  match String.rindex_opt s '_' with
+  | Some i -> int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1))
+  | None -> None
+
+(* The loop id of a block labelled "forN.header" / "forN.body" / ... *)
+let loop_of_label label =
+  if starts_with ~p:"for" label then
+    match String.index_opt label '.' with
+    | Some dot -> int_of_string_opt (String.sub label 3 (dot - 3))
+    | None -> None
+  else None
+
+let run_on_func (m : Ll.modul) (fn : Ll.func) =
+  let report = ref empty_report in
+  let is_dataflow = ref false in
+  (* loop id -> (metadata strings to attach) *)
+  let loop_md : (int, string list) Hashtbl.t = Hashtbl.create 8 in
+  let add_loop_md loop s =
+    let cur = Option.value ~default:[] (Hashtbl.find_opt loop_md loop) in
+    Hashtbl.replace loop_md loop (cur @ [ s ])
+  in
+  (* pass 1: find and remove markers *)
+  List.iter
+    (fun (b : Ll.block) ->
+      let keep =
+        List.filter
+          (fun (i : Ll.instr) ->
+            match i with
+            | Ll.Call (None, Ll.Void, callee, [], _) when starts_with ~p:prefix callee
+              -> (
+              let body = String.sub callee (String.length prefix)
+                           (String.length callee - String.length prefix) in
+              if starts_with ~p:"pipeline_ii_" body then begin
+                (match (loop_of_label b.bl_label, parse_trailing_int body) with
+                | Some loop, Some ii ->
+                  add_loop_md loop
+                    (Printf.sprintf
+                       "!{!\"llvm.loop.pipeline.enable\", i32 %d, i1 false}" ii)
+                | _ -> ());
+                report := { !report with pipelines = !report.pipelines + 1 };
+                false
+              end
+              else if starts_with ~p:"unroll_" body then begin
+                (match (loop_of_label b.bl_label, parse_trailing_int body) with
+                | Some loop, Some factor ->
+                  add_loop_md loop
+                    (if factor = 0 then "!{!\"llvm.loop.unroll.full\"}"
+                     else
+                       Printf.sprintf "!{!\"llvm.loop.unroll.count\", i32 %d}"
+                         factor)
+                | _ -> ());
+                report := { !report with unrolls = !report.unrolls + 1 };
+                false
+              end
+              else if starts_with ~p:"array_partition_" body then begin
+                report := { !report with partitions = !report.partitions + 1 };
+                false
+              end
+              else if body = "dataflow" then begin
+                is_dataflow := true;
+                report := { !report with dataflows = !report.dataflows + 1 };
+                false
+              end
+              else if starts_with ~p:"interface_" body then begin
+                (* interface_<bundle>_bank<N> *)
+                let rest =
+                  String.sub body 10 (String.length body - 10)
+                in
+                (match String.rindex_opt rest '_' with
+                | Some i ->
+                  let bundle = String.sub rest 0 i in
+                  let bank_s = String.sub rest (i + 1) (String.length rest - i - 1) in
+                  let bank =
+                    if starts_with ~p:"bank" bank_s then
+                      Option.value ~default:(-1)
+                        (int_of_string_opt
+                           (String.sub bank_s 4 (String.length bank_s - 4)))
+                    else -1
+                  in
+                  report :=
+                    {
+                      !report with
+                      interfaces = !report.interfaces + 1;
+                      connectivity = !report.connectivity @ [ (bundle, bank) ];
+                    }
+                | None -> ());
+                false
+              end
+              else true)
+            | _ -> true)
+          (List.rev b.bl_instrs)
+      in
+      b.bl_instrs <- List.rev keep)
+    fn.fn_blocks;
+  (* pass 2: attach loop metadata to latch branches *)
+  List.iter
+    (fun (b : Ll.block) ->
+      match loop_of_label b.bl_label with
+      | Some loop
+        when starts_with ~p:(Printf.sprintf "for%d.latch" loop) b.bl_label -> (
+        match Hashtbl.find_opt loop_md loop with
+        | Some mds when mds <> [] ->
+          let md_refs =
+            List.map (fun body -> Printf.sprintf "!%d" (Ll.add_metadata m body)) mds
+          in
+          let self = Ll.add_metadata m "distinct !{null}" in
+          let loop_md_id =
+            Ll.add_metadata m
+              (Printf.sprintf "distinct !{!%d, %s}" self
+                 (String.concat ", " md_refs))
+          in
+          b.bl_instrs <-
+            List.map
+              (fun (i : Ll.instr) ->
+                match i with
+                | Ll.Br target -> Ll.BrLoop (target, Printf.sprintf "!%d" loop_md_id)
+                | other -> other)
+              b.bl_instrs
+        | _ -> ())
+      | _ -> ())
+    fn.fn_blocks;
+  (!report, !is_dataflow)
+
+(* Run f++ over the whole module; returns the aggregate report and the
+   v++ connectivity configuration text. *)
+let run (m : Ll.modul) =
+  let total = ref empty_report in
+  List.iter
+    (fun fn ->
+      let r, df = run_on_func m fn in
+      if df then fn.Ll.fn_attrs <- fn.Ll.fn_attrs @ [ "\"fpga.dataflow.func\"" ];
+      total :=
+        {
+          pipelines = !total.pipelines + r.pipelines;
+          unrolls = !total.unrolls + r.unrolls;
+          partitions = !total.partitions + r.partitions;
+          dataflows = !total.dataflows + r.dataflows;
+          interfaces = !total.interfaces + r.interfaces;
+          connectivity = !total.connectivity @ r.connectivity;
+        })
+    (List.rev m.m_funcs);
+  !total
+
+(* The v++ linker configuration the paper describes writing manually:
+   one sp line per bundle -> HBM bank assignment. *)
+let connectivity_config ~kernel (report : report) =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "[connectivity]\n";
+  (* arguments sharing a bundle (the small data) share one port: dedup *)
+  let seen = Hashtbl.create 8 in
+  let entries =
+    List.filter
+      (fun (bundle, _) ->
+        if Hashtbl.mem seen bundle then false
+        else begin
+          Hashtbl.add seen bundle ();
+          true
+        end)
+      report.connectivity
+  in
+  List.iter
+    (fun (bundle, bank) ->
+      if bank >= 0 then
+        Buffer.add_string buf
+          (Printf.sprintf "sp=%s_1.m_axi_%s:HBM[%d]\n" kernel bundle bank)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf "sp=%s_1.m_axi_%s:HBM[30:31]\n" kernel bundle))
+    entries;
+  Buffer.contents buf
+
+(* Count remaining marker calls (should be zero after [run]). *)
+let remaining_markers (m : Ll.modul) =
+  let n = ref 0 in
+  List.iter
+    (fun fn ->
+      Ll.iter_instrs
+        (fun i ->
+          match i with
+          | Ll.Call (_, _, callee, _, _) when starts_with ~p:prefix callee -> incr n
+          | _ -> ())
+        fn)
+    m.m_funcs;
+  !n

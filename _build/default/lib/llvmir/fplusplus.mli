@@ -1,0 +1,31 @@
+(** The f++ preprocessing tool (Fortran-HLS [15], as in the paper's
+    Figure 1): pattern-matches the marker calls encoding HLS directives
+    and rewrites them into loop metadata, function attributes and the
+    v++ connectivity configuration. Backend intrinsics
+    ([@llvm.fpga.set.stream.depth]) are left in place. *)
+
+type report = {
+  pipelines : int;
+  unrolls : int;
+  partitions : int;
+  dataflows : int;
+  interfaces : int;
+  connectivity : (string * int) list;  (** bundle -> HBM bank (-1 shared) *)
+}
+
+val empty_report : report
+
+(** Rewrite one function; returns its report and whether it is a
+    dataflow kernel. *)
+val run_on_func : Ll.modul -> Ll.func -> report * bool
+
+(** Rewrite the whole module (idempotent); aggregates reports and tags
+    dataflow kernels with the ["fpga.dataflow.func"] attribute. *)
+val run : Ll.modul -> report
+
+(** The v++ linker configuration: one sp line per *bundle* (arguments
+    sharing a bundle — the small data — share one port). *)
+val connectivity_config : kernel:string -> report -> string
+
+(** Marker calls still present (0 after {!run}). *)
+val remaining_markers : Ll.modul -> int

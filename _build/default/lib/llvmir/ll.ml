@@ -1,0 +1,219 @@
+(* A minimal textual LLVM-IR representation: enough to carry the lowered
+   kernels to the AMD Xilinx HLS backend the way the paper does — typed
+   instructions, CFG blocks with phis, declarations, metadata.
+
+   This is deliberately a *syntactic* layer: the semantic work happens in
+   the MLIR-style dialects; what matters here is that the emitted .ll is
+   structurally faithful (marker functions, stream structs, the
+   set-stream-depth intrinsic, loop metadata after f++). *)
+
+type ty =
+  | Void
+  | I1
+  | I32
+  | I64
+  | Double
+  | Ptr of ty
+  | Array of int * ty
+  | Struct of ty list
+
+let rec string_of_ty = function
+  | Void -> "void"
+  | I1 -> "i1"
+  | I32 -> "i32"
+  | I64 -> "i64"
+  | Double -> "double"
+  | Ptr t -> string_of_ty t ^ "*"
+  | Array (n, t) -> Printf.sprintf "[%d x %s]" n (string_of_ty t)
+  | Struct ts ->
+    Printf.sprintf "{ %s }" (String.concat ", " (List.map string_of_ty ts))
+
+type operand =
+  | Reg of string (* %name *)
+  | Global of string (* @name *)
+  | CInt of int
+  | CFloat of float
+  | Undef
+
+let string_of_operand = function
+  | Reg r -> "%" ^ r
+  | Global g -> "@" ^ g
+  | CInt i -> string_of_int i
+  | CFloat f ->
+    if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.6e" f
+    else Printf.sprintf "%.17e" f
+  | Undef -> "undef"
+
+type instr =
+  | Binop of string * string * ty * operand * operand (* %r = fadd double a, b *)
+  | Icmp of string * string * ty * operand * operand
+  | Fcmp of string * string * ty * operand * operand
+  | Select of string * ty * operand * operand * operand
+  | Alloca of string * ty
+  | Load of string * ty * operand
+  | Store of ty * operand * operand
+  | Gep of string * ty * operand * operand list
+  | Call of string option * ty * string * (ty * operand) list * string list
+      (* result, ret ty, callee, args, metadata suffixes *)
+  | Br of string
+  | CondBr of operand * string * string
+  | BrLoop of string * string (* latch branch carrying !llvm.loop metadata *)
+  | Ret of ty * operand option
+  | Phi of string * ty * (operand * string) list
+  | Sitofp of string * ty * operand * ty
+  | Comment of string
+
+type block = { bl_label : string; mutable bl_instrs : instr list (* reversed *) }
+
+type func = {
+  fn_name : string;
+  fn_ret : ty;
+  fn_args : (ty * string) list;
+  mutable fn_blocks : block list; (* reversed *)
+  mutable fn_attrs : string list;
+}
+
+type metadata = { md_id : int; md_body : string }
+
+type modul = {
+  mutable m_funcs : func list; (* reversed *)
+  mutable m_decls : (string * ty * ty list) list;
+  mutable m_metadata : metadata list; (* reversed *)
+  mutable m_next_md : int;
+}
+
+let create_module () =
+  { m_funcs = []; m_decls = []; m_metadata = []; m_next_md = 0 }
+
+let declare m ~name ~ret ~args =
+  if not (List.exists (fun (n, _, _) -> n = name) m.m_decls) then
+    m.m_decls <- (name, ret, args) :: m.m_decls
+
+let add_metadata m body =
+  let id = m.m_next_md in
+  m.m_next_md <- id + 1;
+  m.m_metadata <- { md_id = id; md_body = body } :: m.m_metadata;
+  id
+
+let create_func m ~name ~ret ~args ~attrs =
+  let f = { fn_name = name; fn_ret = ret; fn_args = args; fn_blocks = []; fn_attrs = attrs } in
+  m.m_funcs <- f :: m.m_funcs;
+  f
+
+let add_block f label =
+  let b = { bl_label = label; bl_instrs = [] } in
+  f.fn_blocks <- b :: f.fn_blocks;
+  b
+
+let emit b instr = b.bl_instrs <- instr :: b.bl_instrs
+
+(* ------------------------------------------------------------------ *)
+(* Printing *)
+
+let string_of_args args =
+  String.concat ", "
+    (List.map
+       (fun (t, o) -> string_of_ty t ^ " " ^ string_of_operand o)
+       args)
+
+let string_of_instr = function
+  | Binop (r, op, t, a, b) ->
+    Printf.sprintf "%%%s = %s %s %s, %s" r op (string_of_ty t)
+      (string_of_operand a) (string_of_operand b)
+  | Icmp (r, pred, t, a, b) ->
+    Printf.sprintf "%%%s = icmp %s %s %s, %s" r pred (string_of_ty t)
+      (string_of_operand a) (string_of_operand b)
+  | Fcmp (r, pred, t, a, b) ->
+    Printf.sprintf "%%%s = fcmp %s %s %s, %s" r pred (string_of_ty t)
+      (string_of_operand a) (string_of_operand b)
+  | Select (r, t, c, a, b) ->
+    Printf.sprintf "%%%s = select i1 %s, %s %s, %s %s" r (string_of_operand c)
+      (string_of_ty t) (string_of_operand a) (string_of_ty t)
+      (string_of_operand b)
+  | Alloca (r, t) -> Printf.sprintf "%%%s = alloca %s" r (string_of_ty t)
+  | Load (r, t, p) ->
+    Printf.sprintf "%%%s = load %s, %s %s" r (string_of_ty t)
+      (string_of_ty (Ptr t))
+      (string_of_operand p)
+  | Store (t, v, p) ->
+    Printf.sprintf "store %s %s, %s %s" (string_of_ty t) (string_of_operand v)
+      (string_of_ty (Ptr t))
+      (string_of_operand p)
+  | Gep (r, t, base, indices) ->
+    Printf.sprintf "%%%s = getelementptr %s, %s %s, %s" r (string_of_ty t)
+      (string_of_ty (Ptr t))
+      (string_of_operand base)
+      (String.concat ", "
+         (List.map (fun i -> "i64 " ^ string_of_operand i) indices))
+  | Call (res, ret, callee, args, mds) ->
+    let prefix = match res with Some r -> Printf.sprintf "%%%s = " r | None -> "" in
+    let suffix = if mds = [] then "" else ", " ^ String.concat ", " mds in
+    Printf.sprintf "%scall %s @%s(%s)%s" prefix (string_of_ty ret) callee
+      (string_of_args args) suffix
+  | Br label -> Printf.sprintf "br label %%%s" label
+  | CondBr (c, t, f) ->
+    Printf.sprintf "br i1 %s, label %%%s, label %%%s" (string_of_operand c) t f
+  | BrLoop (label, md) -> Printf.sprintf "br label %%%s, !llvm.loop %s" label md
+  | Ret (t, v) -> (
+    match v with
+    | None -> "ret void"
+    | Some v -> Printf.sprintf "ret %s %s" (string_of_ty t) (string_of_operand v))
+  | Phi (r, t, incoming) ->
+    Printf.sprintf "%%%s = phi %s %s" r (string_of_ty t)
+      (String.concat ", "
+         (List.map
+            (fun (v, l) ->
+              Printf.sprintf "[ %s, %%%s ]" (string_of_operand v) l)
+            incoming))
+  | Sitofp (r, from_ty, v, to_ty) ->
+    Printf.sprintf "%%%s = sitofp %s %s to %s" r (string_of_ty from_ty)
+      (string_of_operand v) (string_of_ty to_ty)
+  | Comment c -> "; " ^ c
+
+let print_func buf f =
+  Buffer.add_string buf
+    (Printf.sprintf "define %s @%s(%s)%s {\n" (string_of_ty f.fn_ret) f.fn_name
+       (String.concat ", "
+          (List.map
+             (fun (t, n) -> string_of_ty t ^ " %" ^ n)
+             f.fn_args))
+       (match f.fn_attrs with
+       | [] -> ""
+       | attrs -> " " ^ String.concat " " attrs));
+  List.iter
+    (fun b ->
+      Buffer.add_string buf (b.bl_label ^ ":\n");
+      List.iter
+        (fun i -> Buffer.add_string buf ("  " ^ string_of_instr i ^ "\n"))
+        (List.rev b.bl_instrs))
+    (List.rev f.fn_blocks);
+  Buffer.add_string buf "}\n\n"
+
+let to_string m =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "; ModuleID = 'stencil-hmls'\n";
+  Buffer.add_string buf
+    "target datalayout = \"e-m:e-i64:64-i128:128-n32:64-S128\"\n";
+  Buffer.add_string buf "target triple = \"fpga64-xilinx-none\"\n\n";
+  List.iter
+    (fun (name, ret, args) ->
+      Buffer.add_string buf
+        (Printf.sprintf "declare %s @%s(%s)\n" (string_of_ty ret) name
+           (String.concat ", " (List.map string_of_ty args))))
+    (List.rev m.m_decls);
+  Buffer.add_char buf '\n';
+  List.iter (print_func buf) (List.rev m.m_funcs);
+  List.iter
+    (fun md -> Buffer.add_string buf (Printf.sprintf "!%d = %s\n" md.md_id md.md_body))
+    (List.rev m.m_metadata);
+  Buffer.contents buf
+
+(* Iterate over all instructions of a function (in program order) with
+   replacement: [f] maps each instruction to its replacement list. *)
+let rewrite_instrs f fn =
+  List.iter
+    (fun b -> b.bl_instrs <- List.rev (List.concat_map f (List.rev b.bl_instrs)))
+    fn.fn_blocks
+
+let iter_instrs f fn =
+  List.iter (fun b -> List.iter f (List.rev b.bl_instrs)) (List.rev fn.fn_blocks)

@@ -1,0 +1,1 @@
+lib/support/err.ml: Format Printf Result String

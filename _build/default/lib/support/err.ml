@@ -1,0 +1,38 @@
+(* Structured errors shared across the compiler stack.  Verification and
+   lowering failures carry a context trail (innermost first) so that a
+   failure deep inside a pass reports the op / pass / kernel it occurred
+   in. *)
+
+type t = { message : string; context : string list }
+
+exception Error of t
+
+let make ?(context = []) message = { message; context }
+
+let add_context ctx t = { t with context = ctx :: t.context }
+
+let to_string t =
+  match t.context with
+  | [] -> t.message
+  | ctx -> Printf.sprintf "%s [in %s]" t.message (String.concat " < " ctx)
+
+let raise_error ?context fmt =
+  Format.kasprintf (fun message -> raise (Error (make ?context message))) fmt
+
+let fail ?context fmt =
+  (* NB: [Result.error], since the [Error] exception shadows the result
+     constructor in this module. *)
+  Format.kasprintf (fun message -> Result.error (make ?context message)) fmt
+
+let with_context ctx f =
+  try f () with Error e -> raise (Error (add_context ctx e))
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+let result_to_string = function
+  | Ok _ -> "ok"
+  | Error e -> to_string e
+
+let get = function
+  | Ok v -> v
+  | Error e -> raise (Error e)

@@ -1,0 +1,29 @@
+(** Structured compiler errors with a context trail. *)
+
+type t = { message : string; context : string list }
+
+exception Error of t
+
+val make : ?context:string list -> string -> t
+
+(** Push a context frame (innermost first). *)
+val add_context : string -> t -> t
+
+val to_string : t -> string
+
+(** [raise_error fmt ...] raises {!Error} with a formatted message. *)
+val raise_error : ?context:string list -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** [fail fmt ...] builds an [Error _] result with a formatted message. *)
+val fail :
+  ?context:string list -> ('a, Format.formatter, unit, ('b, t) result) format4 -> 'a
+
+(** Run [f]; if it raises {!Error}, re-raise with [ctx] pushed. *)
+val with_context : string -> (unit -> 'a) -> 'a
+
+val pp : Format.formatter -> t -> unit
+
+val result_to_string : ('a, t) result -> string
+
+(** Unwrap a result, raising {!Error} on failure. *)
+val get : ('a, t) result -> 'a

@@ -1,0 +1,15 @@
+(* Monotonic id generators.  Each IR entity class (values, ops, blocks,
+   regions) draws from its own counter so ids stay small and printable. *)
+
+type t = { mutable next : int }
+
+let create () = { next = 0 }
+
+let fresh t =
+  let id = t.next in
+  t.next <- id + 1;
+  id
+
+let reset t = t.next <- 0
+
+let peek t = t.next

@@ -1,0 +1,14 @@
+(** Monotonic id generators for IR entities. *)
+
+type t
+
+val create : unit -> t
+
+(** [fresh t] returns the next id and advances the counter. *)
+val fresh : t -> int
+
+(** Reset the counter to zero (used by tests for stable printing). *)
+val reset : t -> unit
+
+(** Next id that would be returned, without advancing. *)
+val peek : t -> int

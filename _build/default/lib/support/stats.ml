@@ -1,0 +1,38 @@
+(* Small descriptive-statistics helpers used by the benchmark harness
+   (the paper averages all measurements over 10 runs). *)
+
+let mean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.mean: empty"
+  | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+let variance xs =
+  match xs with
+  | [] | [ _ ] -> 0.0
+  | _ ->
+    let m = mean xs in
+    let n = float_of_int (List.length xs) in
+    List.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 xs /. (n -. 1.0)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max = function
+  | [] -> invalid_arg "Stats.min_max: empty"
+  | x :: xs ->
+    List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
+
+let median xs =
+  match xs with
+  | [] -> invalid_arg "Stats.median: empty"
+  | _ ->
+    let sorted = List.sort Float.compare xs in
+    let arr = Array.of_list sorted in
+    let n = Array.length arr in
+    if n mod 2 = 1 then arr.(n / 2) else (arr.((n / 2) - 1) +. arr.(n / 2)) /. 2.0
+
+let geomean xs =
+  match xs with
+  | [] -> invalid_arg "Stats.geomean: empty"
+  | _ ->
+    let n = float_of_int (List.length xs) in
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)

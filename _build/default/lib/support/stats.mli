@@ -1,0 +1,13 @@
+(** Descriptive statistics for the benchmark harness.
+
+    All functions raise [Invalid_argument] on an empty list. *)
+
+val mean : float list -> float
+
+(** Sample variance (Bessel-corrected); [0.] for singletons. *)
+val variance : float list -> float
+
+val stddev : float list -> float
+val min_max : float list -> float * float
+val median : float list -> float
+val geomean : float list -> float

@@ -1,0 +1,62 @@
+(* Plain-text table rendering for the experiment harness: the benches print
+   the same rows the paper's tables and figure series report. *)
+
+type align = Left | Right
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : string list list; (* reverse order *)
+}
+
+let create ?aligns headers =
+  let aligns =
+    match aligns with
+    | Some a ->
+      if List.length a <> List.length headers then
+        invalid_arg "Table.create: aligns/headers length mismatch";
+      a
+    | None -> List.map (fun _ -> Right) headers
+  in
+  { headers; aligns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong arity";
+  t.rows <- row :: t.rows
+
+let rows t = List.rev t.rows
+
+let column_widths t =
+  let all = t.headers :: rows t in
+  List.mapi
+    (fun i _ ->
+      List.fold_left (fun w row -> max w (String.length (List.nth row i))) 0 all)
+    t.headers
+
+let pad align width s =
+  let n = width - String.length s in
+  if n <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make n ' '
+    | Right -> String.make n ' ' ^ s
+
+let render t =
+  let widths = column_widths t in
+  let render_row row =
+    let cells =
+      List.map2
+        (fun (cell, align) width -> pad align width cell)
+        (List.combine row t.aligns)
+        widths
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule =
+    "|" ^ String.concat "|" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|"
+  in
+  let body = List.map render_row (rows t) in
+  String.concat "\n" ((render_row t.headers :: rule :: body) @ [ "" ])
+
+let print t = print_string (render t)

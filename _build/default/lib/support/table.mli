@@ -1,0 +1,21 @@
+(** Plain-text table rendering for the experiment harness. *)
+
+type align = Left | Right
+
+type t
+
+(** [create headers] makes an empty table; alignment defaults to [Right]
+    for every column. Raises [Invalid_argument] if [aligns] is supplied
+    with a different length than [headers]. *)
+val create : ?aligns:align list -> string list -> t
+
+(** Append a row. Raises [Invalid_argument] on arity mismatch. *)
+val add_row : t -> string list -> unit
+
+(** Rows in insertion order. *)
+val rows : t -> string list list
+
+(** Render as a GitHub-style markdown table (trailing newline included). *)
+val render : t -> string
+
+val print : t -> unit

@@ -1,0 +1,1 @@
+lib/transforms/apply_split.ml: Builder Err Hashtbl Ir List Pass Shmls_dialects Shmls_ir Stencil Ty

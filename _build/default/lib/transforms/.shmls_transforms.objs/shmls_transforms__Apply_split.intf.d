@@ -1,0 +1,1 @@
+lib/transforms/apply_split.mli: Ir Pass Shmls_ir

@@ -1,0 +1,1 @@
+lib/transforms/loop_raise.ml: Arith Array Attr Builder Dialect Err Func Hashtbl Ir List Memref Pass Scf Shmls_dialects Shmls_ir Stencil Ty

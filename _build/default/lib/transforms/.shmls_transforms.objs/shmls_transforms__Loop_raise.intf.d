@@ -1,0 +1,1 @@
+lib/transforms/loop_raise.mli: Ir Pass Shmls_ir

@@ -1,0 +1,1 @@
+lib/transforms/shape_inference.ml: Err Fun Hashtbl Ir List Pass Shmls_dialects Shmls_ir Stencil Ty

@@ -1,0 +1,1 @@
+lib/transforms/shape_inference.mli: Ir Pass Shmls_ir

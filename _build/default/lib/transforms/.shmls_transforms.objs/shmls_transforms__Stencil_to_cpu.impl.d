@@ -1,0 +1,1 @@
+lib/transforms/stencil_to_cpu.ml: Arith Array Attr Builder Err Func Hashtbl Ir List Memref Pass Scf Shmls_dialects Shmls_ir Stencil Ty

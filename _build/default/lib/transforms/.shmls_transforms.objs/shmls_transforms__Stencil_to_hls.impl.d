@@ -1,0 +1,1 @@
+lib/transforms/stencil_to_hls.ml: Arith Array Attr Builder Err Func Hashtbl Hls Ir List Llvm_d Memref Pass Printf Scf Shmls_dialects Shmls_ir Stencil Ty

@@ -1,0 +1,1 @@
+lib/transforms/stencil_to_hls.mli: Ir Pass Shmls_ir

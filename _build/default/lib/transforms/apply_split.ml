@@ -1,0 +1,240 @@
+(* Step 4 of the Stencil-HMLS transformation works on single-result
+   stencil.apply ops: each result field's computation becomes its own
+   dataflow stage.  CPU/GPU stencil pipelines prefer the opposite (fused,
+   multi-result applies), so this module provides both directions:
+
+   - [split]: a multi-result apply becomes one apply per result, each
+     containing the backward slice of the corresponding returned value.
+   - [fuse]: consecutive independent single-result applies with identical
+     operand lists are merged into one multi-result apply (used to build
+     the "no split" ablation and to exercise [split]). *)
+
+open Shmls_ir
+open Shmls_dialects
+
+(* Backward slice: the ops inside [block] needed to compute [root]. *)
+let backward_slice (block : Ir.block) (roots : Ir.value list) =
+  let needed = Hashtbl.create 32 in
+  let rec mark v =
+    match Ir.Value.defining_op v with
+    | Some op when op.Ir.o_parent <> None -> (
+      match op.Ir.o_parent with
+      | Some b when Ir.Block.equal b block ->
+        if not (Hashtbl.mem needed op.Ir.o_id) then begin
+          Hashtbl.replace needed op.Ir.o_id ();
+          List.iter mark (Ir.Op.operands op)
+        end
+      | _ -> ())
+    | _ -> ()
+  in
+  List.iter mark roots;
+  List.filter (fun (o : Ir.op) -> Hashtbl.mem needed o.Ir.o_id) (Ir.Block.ops block)
+
+(* Clone [ops] into builder [b], remapping operands through [mapping]
+   (initialised with block-arg substitutions). Returns the mapping. *)
+let clone_ops b mapping ops =
+  let remap v =
+    match Hashtbl.find_opt mapping (Ir.Value.id v) with
+    | Some nv -> nv
+    | None -> v
+  in
+  List.iter
+    (fun (op : Ir.op) ->
+      let cloned =
+        Builder.insert_op b ~name:(Ir.Op.name op)
+          ~operands:(List.map remap (Ir.Op.operands op))
+          ~result_tys:(List.map Ir.Value.ty (Ir.Op.results op))
+          ~attrs:(Ir.Op.attrs op) ()
+      in
+      List.iteri
+        (fun i r -> Hashtbl.replace mapping (Ir.Value.id r) (Ir.Op.result cloned i))
+        (Ir.Op.results op))
+    ops;
+  mapping
+
+let split_one (apply : Ir.op) =
+  if Ir.Op.num_results apply <= 1 then false
+  else begin
+    let block = Stencil.apply_block apply in
+    let term =
+      match Ir.Block.terminator block with
+      | Some t -> t
+      | None -> Err.raise_error "apply-split: apply without terminator"
+    in
+    let parent =
+      match Ir.Op.parent apply with
+      | Some b -> b
+      | None -> Err.raise_error "apply-split: detached apply"
+    in
+    let b = Builder.before parent apply in
+    let replacements =
+      List.mapi
+        (fun i returned ->
+          let slice = backward_slice block [ returned ] in
+          let new_apply =
+            Stencil.apply b ~operands:(Ir.Op.operands apply)
+              ~result_elems:[ Ty.element (Ir.Value.ty (Ir.Op.result apply i)) ]
+              (fun bb args ->
+                let mapping = Hashtbl.create 32 in
+                List.iter2
+                  (fun old_arg new_arg ->
+                    Hashtbl.replace mapping (Ir.Value.id old_arg) new_arg)
+                  (Ir.Block.args block) args;
+                let mapping = clone_ops bb mapping slice in
+                let remapped =
+                  match Hashtbl.find_opt mapping (Ir.Value.id returned) with
+                  | Some nv -> nv
+                  | None -> returned (* returned a block arg or outer value *)
+                in
+                [ remapped ])
+          in
+          (* preserve inferred result bounds *)
+          (Ir.Op.result new_apply 0).Ir.v_ty <- Ir.Value.ty (Ir.Op.result apply i);
+          let ba = Ir.Block.args (Stencil.apply_block new_apply) in
+          List.iteri
+            (fun ai arg ->
+              arg.Ir.v_ty <- Ir.Value.ty (Ir.Op.operand new_apply ai))
+            ba;
+          Ir.Op.result new_apply 0)
+        (Ir.Op.operands term)
+    in
+    Ir.replace_op apply replacements;
+    true
+  end
+
+let run_on_module (m : Ir.op) =
+  let applies =
+    Ir.Op.collect m (fun o ->
+        Ir.Op.name o = Stencil.apply_op && Ir.Op.num_results o > 1)
+  in
+  List.fold_left (fun n apply -> if split_one apply then n + 1 else n) 0 applies
+
+let pass =
+  Pass.make ~name:"stencil-apply-split"
+    ~description:"split multi-result stencil.apply ops into one per result"
+    (fun m -> ignore (run_on_module m))
+
+let () = Pass.register pass
+
+(* ------------------------------------------------------------------ *)
+(* Fusion (inverse direction) *)
+
+(* Fuse a run of independent single-result applies into one multi-result
+   apply over the union of their operands. *)
+let fuse_group (applies : Ir.op list) =
+  match applies with
+  | [] | [ _ ] -> false
+  | first :: _ ->
+    let parent =
+      match Ir.Op.parent first with
+      | Some b -> b
+      | None -> Err.raise_error "apply-fuse: detached apply"
+    in
+    let operands =
+      List.concat_map Ir.Op.operands applies
+      |> List.fold_left
+           (fun acc v ->
+             if List.exists (Ir.Value.equal v) acc then acc else acc @ [ v ])
+           []
+    in
+    let b = Builder.before parent first in
+    let result_elems =
+      List.map
+        (fun a -> Ty.element (Ir.Value.ty (Ir.Op.result a 0)))
+        applies
+    in
+    let result_tys = List.map (fun a -> Ir.Value.ty (Ir.Op.result a 0)) applies in
+    let fused =
+      Stencil.apply b ~operands ~result_elems (fun bb args ->
+          List.map
+            (fun (apply : Ir.op) ->
+              let block = Stencil.apply_block apply in
+              let term =
+                match Ir.Block.terminator block with
+                | Some t -> t
+                | None -> Err.raise_error "apply-fuse: no terminator"
+              in
+              let body_ops =
+                List.filter
+                  (fun o -> not (Ir.Op.equal o term))
+                  (Ir.Block.ops block)
+              in
+              let mapping = Hashtbl.create 32 in
+              (* each apply's block args map to the fused block arg of the
+                 corresponding operand in the union *)
+              List.iteri
+                (fun i old_arg ->
+                  let operand = Ir.Op.operand apply i in
+                  let rec find j = function
+                    | [] -> Err.raise_error "apply-fuse: operand not in union"
+                    | o :: rest ->
+                      if Ir.Value.equal o operand then List.nth args j
+                      else find (j + 1) rest
+                  in
+                  Hashtbl.replace mapping (Ir.Value.id old_arg) (find 0 operands))
+                (Ir.Block.args block);
+              let mapping = clone_ops bb mapping body_ops in
+              match Ir.Op.operands term with
+              | [ r ] -> (
+                match Hashtbl.find_opt mapping (Ir.Value.id r) with
+                | Some nv -> nv
+                | None -> r)
+              | _ -> Err.raise_error "apply-fuse: expected single result")
+            applies)
+    in
+    List.iteri (fun i ty -> (Ir.Op.result fused i).Ir.v_ty <- ty) result_tys;
+    let ba = Ir.Block.args (Stencil.apply_block fused) in
+    List.iteri
+      (fun ai arg -> arg.Ir.v_ty <- Ir.Value.ty (Ir.Op.operand fused ai))
+      ba;
+    List.iteri
+      (fun i apply -> Ir.replace_op apply [ Ir.Op.result fused i ])
+      applies;
+    true
+
+(* Find fusable runs in each block: maximal groups of single-result
+   applies with equal operand lists where no later apply uses an earlier
+   one's result. *)
+let run_fuse_on_module (m : Ir.op) =
+  let fused = ref 0 in
+  let independent group apply =
+    let results = List.concat_map Ir.Op.results group in
+    List.for_all
+      (fun opnd -> not (List.exists (Ir.Value.equal opnd) results))
+      (Ir.Op.operands apply)
+  in
+  let rec scan_block (blk : Ir.block) =
+    let applies =
+      List.filter
+        (fun (o : Ir.op) ->
+          Ir.Op.name o = Stencil.apply_op && Ir.Op.num_results o = 1)
+        (Ir.Block.ops blk)
+    in
+    let rec group acc = function
+      | [] -> List.rev acc
+      | a :: rest -> (
+        match acc with
+        | g :: gs when independent g a ->
+          group ((g @ [ a ]) :: gs) rest
+        | _ -> group ([ a ] :: acc) rest)
+    in
+    let groups = group [] applies in
+    let changed = List.exists (fun g -> List.length g > 1) groups in
+    if changed then begin
+      List.iter (fun g -> if fuse_group g then incr fused) groups;
+      scan_block blk
+    end
+  in
+  Ir.Op.walk m (fun op ->
+      if Ir.Op.name op = "func.func" then
+        List.iter
+          (fun r -> List.iter scan_block (Ir.Region.blocks r))
+          (Ir.Op.regions op));
+  !fused
+
+let fuse_pass =
+  Pass.make ~name:"stencil-apply-fuse"
+    ~description:"fuse independent same-operand stencil.apply ops"
+    (fun m -> ignore (run_fuse_on_module m))
+
+let () = Pass.register fuse_pass

@@ -1,0 +1,21 @@
+(** Splitting and fusing of stencil.apply ops (step 4 of the
+    transformation works on single-result applies; CPU pipelines prefer
+    the fused form). *)
+
+open Shmls_ir
+
+(** Split one multi-result apply into one apply per result (backward
+    slice per returned value); [false] if it was already single-result. *)
+val split_one : Ir.op -> bool
+
+(** Split every multi-result apply in the module; returns the count. *)
+val run_on_module : Ir.op -> int
+
+val pass : Pass.t
+
+(** Fuse runs of mutually independent single-result applies into one
+    multi-result apply over the union of their operands; returns the
+    number of fusions performed. *)
+val run_fuse_on_module : Ir.op -> int
+
+val fuse_pass : Pass.t

@@ -1,0 +1,454 @@
+(* Raising scf/memref loop nests back into the stencil dialect.
+
+   The paper's Figure 1 shows three frontends feeding the stencil
+   dialect; for Flang "a transformation has been developed ... that will
+   also transform suitable loops into the stencil dialect".  This pass is
+   that path's stand-in: it recognises perfect scf.for nests over
+   memrefs whose accesses are constant offsets from the induction
+   variables — exactly the code shape Fortran stencil loops (and our own
+   stencil-to-cpu lowering) produce — and rebuilds stencil
+   load/apply/store structure from them, after which the whole
+   Stencil-HMLS pipeline applies.
+
+   Like the real raising pass, it is pattern-based and conservative: a
+   nest is raised only when
+     - it is perfectly nested with constant bounds [0, n_d) and step 1,
+     - every memref access index is [iv_d] or [iv_d + c] with constant c,
+     - the body is pure arithmetic plus exactly one store, and
+     - the offsets stay inside the memref's symmetric padding
+       (h_d = (extent_d - n_d) / 2).
+   Nests that do not match are left untouched. *)
+
+open Shmls_ir
+open Shmls_dialects
+
+type nest = {
+  n_loops : Ir.op list; (* outermost first *)
+  n_extents : int list;
+  n_body : Ir.block; (* innermost loop body *)
+}
+
+let const_index_of (v : Ir.value) =
+  match Ir.Value.defining_op v with
+  | Some op when Ir.Op.name op = Arith.constant_op ->
+    Attr.as_int (Ir.Op.get_attr_exn op "value")
+  | _ -> None
+
+(* Match a perfect nest of scf.for with bounds [0, n) step 1; the body of
+   each outer loop must contain exactly the inner loop (plus its bound
+   constants) and a terminator. *)
+let rec match_nest (op : Ir.op) : nest option =
+  if Ir.Op.name op <> Scf.for_op then None
+  else
+    match
+      ( const_index_of (Ir.Op.operand op 0),
+        const_index_of (Ir.Op.operand op 1),
+        const_index_of (Ir.Op.operand op 2) )
+    with
+    | Some 0, Some n, Some 1 -> (
+      let body = Ir.Region.entry (List.hd (Ir.Op.regions op)) in
+      let real_ops =
+        List.filter
+          (fun (o : Ir.op) ->
+            (not (Ir.Op.is_terminator o)) && Ir.Op.name o <> Arith.constant_op)
+          (Ir.Block.ops body)
+      in
+      match real_ops with
+      | [ inner ] when Ir.Op.name inner = Scf.for_op -> (
+        match match_nest inner with
+        | Some nest ->
+          Some
+            {
+              n_loops = op :: nest.n_loops;
+              n_extents = n :: nest.n_extents;
+              n_body = nest.n_body;
+            }
+        | None -> None)
+      | _ -> Some { n_loops = [ op ]; n_extents = [ n ]; n_body = body })
+    | _ -> None
+
+(* Decompose a memref access index list into per-dimension shifts
+   relative to the induction variables (outermost first). *)
+let index_shifts ~ivs (indices : Ir.value list) =
+  if List.length ivs <> List.length indices then None
+  else
+    let rec go ivs indices acc =
+      match (ivs, indices) with
+      | [], [] -> Some (List.rev acc)
+      | iv :: ivs', idx :: indices' ->
+        if Ir.Value.equal iv idx then go ivs' indices' (0 :: acc)
+        else (
+          match Ir.Value.defining_op idx with
+          | Some op
+            when Ir.Op.name op = "arith.addi"
+                 && Ir.Value.equal (Ir.Op.operand op 0) iv -> (
+            match const_index_of (Ir.Op.operand op 1) with
+            | Some c -> go ivs' indices' (c :: acc)
+            | None -> None)
+          | _ -> None)
+      | _ -> None
+    in
+    go ivs indices []
+
+type raised_access = { ra_memref : Ir.value; ra_offset : int list }
+
+type raised_nest = {
+  rn_extents : int list;
+  rn_loads : (Ir.op * raised_access) list; (* memref.load op -> access *)
+  rn_store : Ir.op * raised_access;
+  rn_arith : Ir.op list; (* pure body ops, in order *)
+  rn_scalars : Ir.value list; (* outer scalar values the body reads *)
+}
+
+(* Halo of a memref relative to the nest extents: symmetric padding. *)
+let memref_halo (mr : Ir.value) extents =
+  match Ir.Value.ty mr with
+  | Ty.Memref (shape, _) when List.length shape = List.length extents ->
+    let halos = List.map2 (fun e n -> (e - n) / 2) shape extents in
+    if
+      List.for_all2
+        (fun h (e, n) -> h >= 0 && e = n + (2 * h))
+        halos
+        (List.combine shape extents)
+    then Some halos
+    else None
+  | _ -> None
+
+(* Analyse one matched nest; None if anything falls outside the raisable
+   pattern. *)
+let analyse (nest : nest) : raised_nest option =
+  let ivs =
+    List.map
+      (fun loop ->
+        Ir.Block.arg (Ir.Region.entry (List.hd (Ir.Op.regions loop))) 0)
+      nest.n_loops
+  in
+  let exception Not_raisable in
+  try
+    let loads = ref [] in
+    let store = ref None in
+    let arith = ref [] in
+    let scalars = ref [] in
+    List.iter
+      (fun (op : Ir.op) ->
+        match Ir.Op.name op with
+        | name when name = Memref.load_op -> (
+          let mr = Ir.Op.operand op 0 in
+          let indices = List.tl (Ir.Op.operands op) in
+          match index_shifts ~ivs indices with
+          | Some shifts ->
+            loads := (op, { ra_memref = mr; ra_offset = shifts }) :: !loads
+          | None -> raise Not_raisable)
+        | name when name = Memref.store_op -> (
+          if !store <> None then raise Not_raisable;
+          let mr = Ir.Op.operand op 1 in
+          let indices = List.filteri (fun i _ -> i > 1) (Ir.Op.operands op) in
+          (* a value stored straight from outside the nest (e.g. a bare
+             scalar parameter) is a free scalar read *)
+          let v = Ir.Op.operand op 0 in
+          let defined_inside =
+            match Ir.Value.owner_block v with
+            | Some b -> Ir.Block.equal b nest.n_body
+            | None -> false
+          in
+          if (not defined_inside) && not (Ty.is_index (Ir.Value.ty v)) then
+            if not (List.exists (Ir.Value.equal v) !scalars) then
+              scalars := v :: !scalars;
+          match index_shifts ~ivs indices with
+          | Some shifts -> store := Some (op, { ra_memref = mr; ra_offset = shifts })
+          | None -> raise Not_raisable)
+        | name when name = Arith.constant_op ->
+          if
+            not
+              (List.for_all
+                 (fun r -> Ty.is_index (Ir.Value.ty r))
+                 (Ir.Op.results op))
+          then arith := op :: !arith
+        | _
+          when List.for_all
+                 (fun r -> Ty.is_index (Ir.Value.ty r))
+                 (Ir.Op.results op)
+               && Ir.Op.results op <> [] ->
+          (* address arithmetic (iv + c): consumed by index_shifts *)
+          ()
+        | name
+          when Dialect.has_trait name Dialect.Pure
+               && Ir.Op.regions op = [] ->
+          arith := op :: !arith;
+          (* record reads of values defined outside the nest *)
+          List.iter
+            (fun v ->
+              let defined_inside =
+                match Ir.Value.owner_block v with
+                | Some b ->
+                  List.exists
+                    (fun loop ->
+                      List.exists
+                        (fun (r : Ir.region) ->
+                          List.exists (fun blk -> Ir.Block.equal blk b) r.Ir.r_blocks)
+                        (Ir.Op.regions loop))
+                    nest.n_loops
+                | None -> false
+              in
+              let is_index = Ty.is_index (Ir.Value.ty v) in
+              if (not defined_inside) && not is_index then
+                if not (List.exists (Ir.Value.equal v) !scalars) then
+                  scalars := v :: !scalars)
+            (Ir.Op.operands op)
+        | _ -> raise Not_raisable)
+      (List.filter
+         (fun (o : Ir.op) -> not (Ir.Op.is_terminator o))
+         (Ir.Block.ops nest.n_body));
+    match !store with
+    | Some st ->
+      Some
+        {
+          rn_extents = nest.n_extents;
+          rn_loads = List.rev !loads;
+          rn_store = st;
+          rn_arith = List.rev !arith;
+          rn_scalars = List.rev !scalars;
+        }
+    | None -> None
+  with Not_raisable -> None
+
+(* ------------------------------------------------------------------ *)
+(* Rebuilding the stencil function *)
+
+let raise_func (m_new : Ir.op) (func : Ir.op) =
+  let name = Func.sym_name func in
+  let old_body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
+  let old_args = Ir.Block.args old_body in
+  (* collect the raisable nests in order; give up (copy nothing) if any
+     top-level op is not a raisable nest or a bound constant *)
+  let nests =
+    List.filter_map
+      (fun (op : Ir.op) ->
+        match match_nest op with
+        | Some nest -> (
+          match analyse nest with Some rn -> Some (op, rn) | None -> None)
+        | None -> None)
+      (Ir.Block.ops old_body)
+  in
+  let raisable =
+    nests <> []
+    && List.for_all
+         (fun (op : Ir.op) ->
+           Ir.Op.name op = Arith.constant_op
+           || Ir.Op.name op = Memref.alloc_op
+           || Ir.Op.name op = Memref.alloca_op
+           || Ir.Op.is_terminator op
+           || List.exists (fun (n, _) -> Ir.Op.equal n op) nests)
+         (Ir.Block.ops old_body)
+  in
+  if not raisable then None
+  else begin
+    (* every raised nest must agree on the interior extents *)
+    let extents = (snd (List.hd nests)).rn_extents in
+    if List.exists (fun (_, rn) -> rn.rn_extents <> extents) nests then None
+    else begin
+      (* halo per memref argument: symmetric padding against the extents;
+         every accessed memref must be an argument (no intermediates in
+         the single-stencil pattern we raise) *)
+      let halo_of = Hashtbl.create 8 in
+      let ok = ref true in
+      List.iter
+        (fun (_, rn) ->
+          List.iter
+            (fun (_, (ra : raised_access)) ->
+              match memref_halo ra.ra_memref extents with
+              | Some h -> Hashtbl.replace halo_of (Ir.Value.id ra.ra_memref) h
+              | None -> ok := false)
+            (rn.rn_loads @ [ rn.rn_store ]))
+        nests;
+      if not !ok then None
+      else begin
+        (* the raised fields share the kernel-wide halo *)
+        let halo =
+          List.mapi
+            (fun d _ ->
+              Hashtbl.fold (fun _ h acc -> max acc (List.nth h d)) halo_of 0)
+            extents
+        in
+        let new_arg_tys =
+          List.map
+            (fun arg ->
+              match Ir.Value.ty arg with
+              | Ty.Memref (_, elem) ->
+                Ty.Field
+                  ( Ty.make_bounds
+                      ~lb:(List.map (fun h -> -h) halo)
+                      ~ub:(List.map2 ( + ) extents halo),
+                    elem )
+              | t -> t)
+            old_args
+        in
+        let func' =
+          Func.build_func m_new ~name ~arg_tys:new_arg_tys ~result_tys:[]
+            (fun b new_args ->
+              let map_arg v =
+                let rec go olds news =
+                  match (olds, news) with
+                  | o :: _, n :: _ when Ir.Value.equal o v -> Some n
+                  | _ :: olds', _ :: news' -> go olds' news'
+                  | _ -> None
+                in
+                go old_args new_args
+              in
+              (* one stencil.load per memref argument that is read;
+                 alloc-backed memrefs resolve to the producing nest's
+                 apply result as the raising proceeds *)
+              let temps = Hashtbl.create 8 in
+              List.iter
+                (fun (_, rn) ->
+                  List.iter
+                    (fun (_, (ra : raised_access)) ->
+                      let id = Ir.Value.id ra.ra_memref in
+                      if not (Hashtbl.mem temps id) then
+                        match map_arg ra.ra_memref with
+                        | Some field ->
+                          Hashtbl.replace temps id (Stencil.load b field)
+                        | None -> () (* an intermediate: bound by its nest *))
+                    rn.rn_loads)
+                nests;
+              List.iter
+                (fun (_, rn) ->
+                  let load_accesses = rn.rn_loads in
+                  let operand_memrefs =
+                    List.fold_left
+                      (fun acc (_, (ra : raised_access)) ->
+                        if List.exists (fun v -> Ir.Value.equal v ra.ra_memref) acc
+                        then acc
+                        else acc @ [ ra.ra_memref ])
+                      [] load_accesses
+                  in
+                  let operands =
+                    List.map
+                      (fun mr ->
+                        match Hashtbl.find_opt temps (Ir.Value.id mr) with
+                        | Some t -> t
+                        | None ->
+                          Err.raise_error
+                            "loop-raise: read of a temp before its producer")
+                      operand_memrefs
+                    @ List.map
+                        (fun v ->
+                          match map_arg v with Some nv -> nv | None -> v)
+                        rn.rn_scalars
+                  in
+                  let apply =
+                    Stencil.apply b ~operands ~result_elems:[ Ty.F64 ]
+                      (fun bb args ->
+                        let arg_of_memref mr =
+                          let rec go mrs args =
+                            match (mrs, args) with
+                            | m :: _, a :: _ when Ir.Value.equal m mr -> a
+                            | _ :: mrs', _ :: args' -> go mrs' args'
+                            | _ ->
+                              Err.raise_error "loop-raise: memref arg lost"
+                          in
+                          go operand_memrefs args
+                        in
+                        let scalar_args =
+                          List.filteri
+                            (fun i _ -> i >= List.length operand_memrefs)
+                            args
+                        in
+                        let mapping = Hashtbl.create 32 in
+                        List.iter2
+                          (fun old_scalar new_arg ->
+                            Hashtbl.replace mapping (Ir.Value.id old_scalar) new_arg)
+                          rn.rn_scalars scalar_args;
+                        (* loads become accesses *)
+                        List.iter
+                          (fun ((ld : Ir.op), (ra : raised_access)) ->
+                            let h =
+                              Hashtbl.find halo_of (Ir.Value.id ra.ra_memref)
+                            in
+                            let offset = List.map2 (fun c hh -> c - hh) ra.ra_offset h in
+                            let v =
+                              Stencil.access bb
+                                (arg_of_memref ra.ra_memref)
+                                ~offset
+                            in
+                            Hashtbl.replace mapping
+                              (Ir.Value.id (Ir.Op.result ld 0))
+                              v)
+                          load_accesses;
+                        let remap v =
+                          match Hashtbl.find_opt mapping (Ir.Value.id v) with
+                          | Some nv -> nv
+                          | None -> v
+                        in
+                        (* clone the arithmetic *)
+                        List.iter
+                          (fun (op : Ir.op) ->
+                            let cloned =
+                              Builder.insert_op bb ~name:(Ir.Op.name op)
+                                ~operands:(List.map remap (Ir.Op.operands op))
+                                ~result_tys:
+                                  (List.map Ir.Value.ty (Ir.Op.results op))
+                                ~attrs:(Ir.Op.attrs op) ()
+                            in
+                            List.iteri
+                              (fun i r ->
+                                Hashtbl.replace mapping (Ir.Value.id r)
+                                  (Ir.Op.result cloned i))
+                              (Ir.Op.results op))
+                          rn.rn_arith;
+                        let store_op, _ = rn.rn_store in
+                        [ remap (Ir.Op.operand store_op 0) ])
+                  in
+                  (* arguments get a store over the interior; alloc-backed
+                     targets become intermediates feeding later nests *)
+                  let _, (store_ra : raised_access) = rn.rn_store in
+                  (match map_arg store_ra.ra_memref with
+                  | Some dst ->
+                    Stencil.store b (Ir.Op.result apply 0) dst
+                      ~lb:(List.map (fun _ -> 0) extents)
+                      ~ub:extents
+                  | None -> ());
+                  Hashtbl.replace temps
+                    (Ir.Value.id store_ra.ra_memref)
+                    (Ir.Op.result apply 0))
+                nests;
+              Func.return_ b [])
+        in
+        Some func'
+      end
+    end
+  end
+
+(* Raise every recognisable function into a fresh module; unraisable
+   functions are skipped. Returns the new module and how many functions
+   were raised. *)
+let run (m : Ir.op) =
+  let m_new = Ir.Module_.create () in
+  let raised =
+    List.fold_left
+      (fun n f -> match raise_func m_new f with Some _ -> n + 1 | None -> n)
+      0 (Ir.Module_.funcs m)
+  in
+  (m_new, raised)
+
+let pass =
+  Pass.make ~name:"raise-to-stencil"
+    ~description:"raise suitable scf/memref loop nests into the stencil dialect"
+    (fun m ->
+      let m_new, _ = run m in
+      let body = Ir.Module_.body m in
+      List.iter
+        (fun op ->
+          Ir.Op.walk op (fun o ->
+              Array.iteri
+                (fun i v -> Ir.Value.remove_use v ~op:o ~index:i)
+                o.Ir.o_operands);
+          Ir.Op.detach op)
+        (Ir.Block.ops body);
+      List.iter
+        (fun op ->
+          Ir.Op.detach op;
+          Ir.Block.append body op)
+        (Ir.Module_.ops m_new))
+
+let () = Pass.register pass

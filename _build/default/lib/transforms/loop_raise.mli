@@ -1,0 +1,20 @@
+(** Raising scf/memref loop nests back into the stencil dialect — the
+    stand-in for the paper's Flang path ("a transformation ... that will
+    also transform suitable loops into the stencil dialect").
+
+    Pattern-based and conservative: perfect constant-bound nests whose
+    memref accesses are constant offsets from the induction variables,
+    with pure arithmetic and a single store, raise to
+    load/apply/store; anything else is skipped. *)
+
+open Shmls_ir
+
+(** Raise one function into [m_new]; [None] if it does not match. *)
+val raise_func : Ir.op -> Ir.op -> Ir.op option
+
+(** Raise every recognisable function into a fresh module; returns the
+    module and the number of functions raised. *)
+val run : Ir.op -> Ir.op * int
+
+(** In-place variant, registered as "raise-to-stencil". *)
+val pass : Pass.t

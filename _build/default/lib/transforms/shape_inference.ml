@@ -1,0 +1,175 @@
+(* Stencil shape inference.
+
+   The frontend emits stencil.temp values without bounds; this pass
+   propagates concrete bounds backwards from stencil.store ops (whose lb/ub
+   attrs give the written region) through stencil.apply ops (expanding by
+   the access offsets used on each argument) to stencil.load ops (clipped
+   against the field's declared bounds).  After this pass every temp type
+   is Temp (Some bounds, _), which the interpreter, the CPU lowering and
+   the HLS lowering all rely on.
+
+   This mirrors the xDSL stencil-shape-inference pass; the paper's future
+   work discusses replacing these static shapes with dynamic ones. *)
+
+open Shmls_ir
+open Shmls_dialects
+
+let union_bounds (a : Ty.bounds) (b : Ty.bounds) =
+  if Ty.bounds_rank a <> Ty.bounds_rank b then
+    Err.raise_error "shape inference: rank mismatch in bounds union";
+  {
+    Ty.lb = List.map2 min a.lb b.lb;
+    ub = List.map2 max a.ub b.ub;
+  }
+
+(* Expand [b] so that accessing it at every offset in [offsets] stays
+   within bounds when the result ranges over [b].  Each offset expands
+   the *original* bounds (offsets are alternatives, not a composition). *)
+let expand_by_offsets (b : Ty.bounds) offsets =
+  List.fold_left
+    (fun (acc : Ty.bounds) offset ->
+      {
+        Ty.lb = List.map2 min acc.lb (List.map2 ( + ) b.lb offset);
+        ub = List.map2 max acc.ub (List.map2 ( + ) b.ub offset);
+      })
+    b offsets
+
+(* Required bounds for each apply operand, given the apply result bounds
+   and the accesses performed on the corresponding block argument. *)
+let operand_requirements (apply : Ir.op) (result_bounds : Ty.bounds) =
+  let block = Stencil.apply_block apply in
+  List.mapi
+    (fun i arg ->
+      match Ir.Value.ty arg with
+      | Ty.Temp (_, _) ->
+        let accesses =
+          Ir.Op.collect apply (fun o ->
+              (Ir.Op.name o = Stencil.access_op
+              || Ir.Op.name o = Stencil.dyn_access_op)
+              && Ir.Value.equal (Ir.Op.operand o 0) arg)
+        in
+        let const_offsets =
+          List.filter_map
+            (fun o ->
+              if Ir.Op.name o = Stencil.access_op then
+                Some (Stencil.access_offset o)
+              else None)
+            accesses
+        in
+        let has_dyn =
+          List.exists (fun o -> Ir.Op.name o = Stencil.dyn_access_op) accesses
+        in
+        if has_dyn then Some (i, `Full)
+        else if const_offsets = [] then None
+        else Some (i, `Bounds (expand_by_offsets result_bounds const_offsets))
+      | _ -> None)
+    (Ir.Block.args block)
+  |> List.filter_map Fun.id
+
+let field_bounds v =
+  match Ir.Value.ty v with
+  | Ty.Field (b, _) -> b
+  | t -> Err.raise_error "shape inference: expected field, got %s" (Ty.to_string t)
+
+let run_on_func (func : Ir.op) =
+  let body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
+  let requirements : (int, Ty.bounds) Hashtbl.t = Hashtbl.create 32 in
+  let full : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+  let require v bounds =
+    match Hashtbl.find_opt requirements (Ir.Value.id v) with
+    | Some existing ->
+      Hashtbl.replace requirements (Ir.Value.id v) (union_bounds existing bounds)
+    | None -> Hashtbl.replace requirements (Ir.Value.id v) bounds
+  in
+  (* Backward pass: collect requirements. *)
+  List.iter
+    (fun (op : Ir.op) ->
+      match Ir.Op.name op with
+      | name when name = Stencil.store_op ->
+        require (Ir.Op.operand op 0) (Stencil.store_bounds op)
+      | name when name = Stencil.apply_op ->
+        let result_bounds =
+          List.fold_left
+            (fun acc res ->
+              match Hashtbl.find_opt requirements (Ir.Value.id res) with
+              | Some b -> (
+                match acc with
+                | Some existing -> Some (union_bounds existing b)
+                | None -> Some b)
+              | None -> acc)
+            None (Ir.Op.results op)
+        in
+        (match result_bounds with
+        | None ->
+          Err.raise_error
+            "shape inference: apply result has no consumers with bounds"
+        | Some rb ->
+          List.iter
+            (fun res -> require res rb)
+            (Ir.Op.results op);
+          List.iter
+            (fun (i, req) ->
+              let operand = Ir.Op.operand op i in
+              match req with
+              | `Full -> Hashtbl.replace full (Ir.Value.id operand) ()
+              | `Bounds b -> require operand b)
+            (operand_requirements op rb))
+      | _ -> ())
+    (List.rev (Ir.Block.ops body));
+  (* Forward pass: assign inferred types. *)
+  List.iter
+    (fun (op : Ir.op) ->
+      match Ir.Op.name op with
+      | name when name = Stencil.load_op ->
+        let field = Ir.Op.operand op 0 in
+        let result = Ir.Op.result op 0 in
+        let fb = field_bounds field in
+        let inferred =
+          if Hashtbl.mem full (Ir.Value.id result) then fb
+          else
+            match Hashtbl.find_opt requirements (Ir.Value.id result) with
+            | Some b -> b
+            | None ->
+              Err.raise_error "shape inference: unused stencil.load result"
+        in
+        (* clip against the field's declared bounds *)
+        List.iter2
+          (fun req avail ->
+            if req < avail then
+              Err.raise_error
+                "shape inference: required lower bound %d below field bound %d"
+                req avail)
+          inferred.Ty.lb fb.Ty.lb;
+        List.iter2
+          (fun req avail ->
+            if req > avail then
+              Err.raise_error
+                "shape inference: required upper bound %d above field bound %d"
+                req avail)
+          inferred.Ty.ub fb.Ty.ub;
+        let elem = Ty.element (Ir.Value.ty result) in
+        result.Ir.v_ty <- Ty.Temp (Some inferred, elem)
+      | name when name = Stencil.apply_op ->
+        List.iter
+          (fun res ->
+            match Hashtbl.find_opt requirements (Ir.Value.id res) with
+            | Some b ->
+              res.Ir.v_ty <- Ty.Temp (Some b, Ty.element (Ir.Value.ty res))
+            | None -> ())
+          (Ir.Op.results op);
+        (* region block args mirror operand types *)
+        let block = Stencil.apply_block op in
+        List.iteri
+          (fun i arg -> arg.Ir.v_ty <- Ir.Value.ty (Ir.Op.operand op i))
+          (Ir.Block.args block)
+      | _ -> ())
+    (Ir.Block.ops body)
+
+let run_on_module (m : Ir.op) = List.iter run_on_func (Ir.Module_.funcs m)
+
+let pass =
+  Pass.make ~name:"stencil-shape-inference"
+    ~description:"assign static bounds to every stencil.temp"
+    run_on_module
+
+let () = Pass.register pass

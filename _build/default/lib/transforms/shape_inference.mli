@@ -1,0 +1,12 @@
+(** Stencil shape inference: propagate concrete bounds backwards from
+    stencil.store ops through stencil.apply ops to stencil.load ops
+    (mirrors xDSL's stencil-shape-inference pass). After this pass every
+    stencil.temp type carries bounds, which the interpreter and both
+    lowerings rely on. Raises {!Err.Error} if a required region exceeds a
+    field's declared bounds. *)
+
+open Shmls_ir
+
+val run_on_func : Ir.op -> unit
+val run_on_module : Ir.op -> unit
+val pass : Pass.t

@@ -1,0 +1,271 @@
+(* Lowering from the stencil dialect to the standard dialects (scf +
+   memref + arith): the classic CPU path, and — per the paper — the shape
+   of code the Vitis HLS frontend receives in the naive baseline, where a
+   Von Neumann loop nest is synthesised directly and performs poorly on
+   the FPGA.
+
+   Each func.func over !stencil.field args is rewritten into a new
+   function over memref args (same extents, indices shifted so memref
+   index = grid index - field lower bound):
+
+     stencil.load            -> (nothing; the memref is read directly)
+     stencil.apply + store   -> perfect scf.for nest over the store bounds
+     stencil.apply (interm.) -> memref.alloc over the inferred bounds +
+                                scf.for nest writing it
+     stencil.access          -> memref.load at (point + offset - lb)
+     stencil.dyn_access      -> memref.load at (indices - lb)
+     stencil.index           -> the loop induction variable *)
+
+open Shmls_ir
+open Shmls_dialects
+
+let memref_ty_of_field = function
+  | Ty.Field (b, elem) -> Ty.Memref (Ty.bounds_extent b, elem)
+  | t -> Err.raise_error "stencil-to-cpu: expected field, got %s" (Ty.to_string t)
+
+type source = {
+  src_memref : Ir.value;
+  src_lb : int list; (* grid index of memref origin *)
+}
+
+(* Map from stencil-level SSA values (temps) to their backing memrefs. *)
+type ctx = { mutable sources : (int * source) list }
+
+let find_source ctx v =
+  match List.assoc_opt (Ir.Value.id v) ctx.sources with
+  | Some s -> s
+  | None -> Err.raise_error "stencil-to-cpu: no memref source for value"
+
+let bind_source ctx v s = ctx.sources <- (Ir.Value.id v, s) :: ctx.sources
+
+(* Build the memref indices for grid point [ivs + offset], shifting by the
+   source origin. *)
+let shifted_indices b ~ivs ~offset ~lb =
+  List.map2
+    (fun (iv, o) l ->
+      if o = l then iv (* offset - lb = 0 *)
+      else
+        let c = Arith.constant_index b (o - l) in
+        Arith.addi b iv c)
+    (List.combine ivs offset)
+    lb
+
+let lower_apply_body ctx b ~ivs ~apply ~arg_map (body_block : Ir.block) =
+  (* Clone the apply body ops, translating stencil ops; [mapping] takes
+     original values to new values. *)
+  let mapping : (int, Ir.value) Hashtbl.t = Hashtbl.create 32 in
+  List.iter (fun (v, nv) -> Hashtbl.replace mapping (Ir.Value.id v) nv) arg_map;
+  let remap v =
+    match Hashtbl.find_opt mapping (Ir.Value.id v) with
+    | Some nv -> nv
+    | None -> v (* values from enclosing scope (params) stay as-is *)
+  in
+  let results = ref [] in
+  List.iter
+    (fun (op : Ir.op) ->
+      match Ir.Op.name op with
+      | name when name = Stencil.access_op ->
+        (* identify which apply operand this access reads *)
+        let src =
+          let arg = Ir.Op.operand op 0 in
+          match
+            List.find_opt
+              (fun (a, _) -> Ir.Value.equal a arg)
+              (List.combine
+                 (Ir.Block.args (Stencil.apply_block apply))
+                 (Ir.Op.operands apply))
+          with
+          | Some (_, operand) -> find_source ctx operand
+          | None -> Err.raise_error "stencil-to-cpu: access of non-argument"
+        in
+        let offset = Stencil.access_offset op in
+        let indices = shifted_indices b ~ivs ~offset ~lb:src.src_lb in
+        let loaded = Memref.load b src.src_memref indices in
+        Hashtbl.replace mapping (Ir.Value.id (Ir.Op.result op 0)) loaded
+      | name when name = Stencil.dyn_access_op ->
+        let arg = Ir.Op.operand op 0 in
+        let src =
+          match
+            List.find_opt
+              (fun (a, _) -> Ir.Value.equal a arg)
+              (List.combine
+                 (Ir.Block.args (Stencil.apply_block apply))
+                 (Ir.Op.operands apply))
+          with
+          | Some (_, operand) -> find_source ctx operand
+          | None -> Err.raise_error "stencil-to-cpu: dyn_access source"
+        in
+        let idx_values =
+          List.filteri (fun i _ -> i > 0) (Ir.Op.operands op) |> List.map remap
+        in
+        let indices =
+          List.map2
+            (fun iv l ->
+              if l = 0 then iv
+              else Arith.subi b iv (Arith.constant_index b l))
+            idx_values src.src_lb
+        in
+        let loaded = Memref.load b src.src_memref indices in
+        Hashtbl.replace mapping (Ir.Value.id (Ir.Op.result op 0)) loaded
+      | name when name = Stencil.index_op ->
+        let dim = Attr.int_exn (Ir.Op.get_attr_exn op "dim") in
+        Hashtbl.replace mapping (Ir.Value.id (Ir.Op.result op 0)) (List.nth ivs dim)
+      | name when name = Stencil.return_op ->
+        results := List.map remap (Ir.Op.operands op)
+      | _ ->
+        (* generic arithmetic: clone with remapped operands *)
+        let cloned =
+          Builder.insert_op b ~name:(Ir.Op.name op)
+            ~operands:(List.map remap (Ir.Op.operands op))
+            ~result_tys:(List.map Ir.Value.ty (Ir.Op.results op))
+            ~attrs:(Ir.Op.attrs op) ()
+        in
+        List.iteri
+          (fun i r ->
+            Hashtbl.replace mapping (Ir.Value.id r) (Ir.Op.result cloned i))
+          (Ir.Op.results op))
+    (Ir.Block.ops body_block);
+  !results
+
+(* Build a perfect loop nest over [bounds], calling [body] with the
+   induction variables (as grid indices). *)
+let rec loop_nest b (bounds : Ty.bounds) ~ivs body =
+  match (bounds.lb, bounds.ub) with
+  | [], [] -> body b (List.rev ivs)
+  | l :: lbs, u :: ubs ->
+    let lb_c = Arith.constant_index b l in
+    let ub_c = Arith.constant_index b u in
+    let step = Arith.constant_index b 1 in
+    ignore
+      (Scf.for_ b ~lb:lb_c ~ub:ub_c ~step (fun bb iv ->
+           loop_nest bb { Ty.lb = lbs; ub = ubs } ~ivs:(iv :: ivs) body))
+  | _ -> Err.raise_error "stencil-to-cpu: malformed bounds"
+
+let lower_func (m_new : Ir.op) (func : Ir.op) =
+  let name = Func.sym_name func in
+  let arg_tys, _ = Func.function_type func in
+  let new_arg_tys =
+    List.map
+      (fun ty -> match ty with Ty.Field _ -> memref_ty_of_field ty | t -> t)
+      arg_tys
+  in
+  ignore
+    (Func.build_func m_new ~name ~arg_tys:new_arg_tys ~result_tys:[]
+       (fun b new_args ->
+         let ctx = { sources = [] } in
+         let old_body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
+         let old_args = Ir.Block.args old_body in
+         (* map old func args to new ones; fields become memref sources *)
+         let scalar_map = ref [] in
+         List.iter2
+           (fun old_v new_v ->
+             match Ir.Value.ty old_v with
+             | Ty.Field (fb, _) ->
+               bind_source ctx old_v { src_memref = new_v; src_lb = fb.Ty.lb }
+             | _ -> scalar_map := (old_v, new_v) :: !scalar_map)
+           old_args new_args;
+         List.iter
+           (fun (op : Ir.op) ->
+             match Ir.Op.name op with
+             | name when name = Stencil.load_op ->
+               (* the temp reads the field's memref directly *)
+               bind_source ctx (Ir.Op.result op 0)
+                 (find_source ctx (Ir.Op.operand op 0))
+             | name when name = Stencil.apply_op ->
+               (* allocate destination memrefs over result bounds *)
+               let result_srcs =
+                 List.map
+                   (fun res ->
+                     let bounds =
+                       match Ir.Value.ty res with
+                       | Ty.Temp (Some bb, _) -> bb
+                       | _ ->
+                         Err.raise_error
+                           "stencil-to-cpu: apply result lacks bounds"
+                     in
+                     let mr =
+                       Memref.alloc b ~shape:(Ty.bounds_extent bounds)
+                         ~elem:(Ty.element (Ir.Value.ty res))
+                     in
+                     let src = { src_memref = mr; src_lb = bounds.Ty.lb } in
+                     bind_source ctx res src;
+                     (res, bounds, src))
+                   (Ir.Op.results op)
+               in
+               let bounds =
+                 match result_srcs with
+                 | (_, bnds, _) :: _ -> bnds
+                 | [] -> Err.raise_error "stencil-to-cpu: apply with no results"
+               in
+               let arg_map =
+                 List.map2
+                   (fun arg operand ->
+                     match List.assoc_opt (Ir.Value.id operand)
+                             (List.map
+                                (fun (o, n) -> (Ir.Value.id o, n))
+                                !scalar_map)
+                     with
+                     | Some nv -> (arg, nv)
+                     | None -> (arg, operand))
+                   (Ir.Block.args (Stencil.apply_block op))
+                   (Ir.Op.operands op)
+               in
+               loop_nest b bounds ~ivs:[] (fun bb ivs ->
+                   let results =
+                     lower_apply_body ctx bb ~ivs ~apply:op ~arg_map
+                       (Stencil.apply_block op)
+                   in
+                   List.iter2
+                     (fun value (_, _, src) ->
+                       let indices =
+                         shifted_indices bb ~ivs
+                           ~offset:(List.map (fun _ -> 0) ivs)
+                           ~lb:src.src_lb
+                       in
+                       Memref.store bb value src.src_memref indices)
+                     results result_srcs)
+             | name when name = Stencil.store_op ->
+               let src = find_source ctx (Ir.Op.operand op 0) in
+               let dst = find_source ctx (Ir.Op.operand op 1) in
+               let bounds = Stencil.store_bounds op in
+               loop_nest b bounds ~ivs:[] (fun bb ivs ->
+                   let zero = List.map (fun _ -> 0) ivs in
+                   let sidx = shifted_indices bb ~ivs ~offset:zero ~lb:src.src_lb in
+                   let v = Memref.load bb src.src_memref sidx in
+                   let didx = shifted_indices bb ~ivs ~offset:zero ~lb:dst.src_lb in
+                   Memref.store bb v dst.src_memref didx)
+             | "func.return" -> Func.return_ b []
+             | _ ->
+               (* top-level non-stencil ops are not produced by the
+                  frontend; reject loudly rather than miscompile *)
+               Err.raise_error "stencil-to-cpu: unexpected top-level op %s"
+                 (Ir.Op.name op))
+           (Ir.Block.ops old_body)))
+
+(* Lower a whole module into a fresh module (the input is left intact). *)
+let run (m : Ir.op) =
+  let m_new = Ir.Module_.create () in
+  List.iter (lower_func m_new) (Ir.Module_.funcs m);
+  m_new
+
+let pass =
+  Pass.make ~name:"stencil-to-cpu"
+    ~description:"lower stencil dialect to scf/memref loop nests (in place)"
+    (fun m ->
+      let m_new = run m in
+      let body = Ir.Module_.body m in
+      List.iter
+        (fun op ->
+          Ir.Op.walk op (fun o ->
+              Array.iteri
+                (fun i v -> Ir.Value.remove_use v ~op:o ~index:i)
+                o.Ir.o_operands);
+          Ir.Op.detach op)
+        (Ir.Block.ops body);
+      List.iter
+        (fun op ->
+          Ir.Op.detach op;
+          Ir.Block.append body op)
+        (Ir.Module_.ops m_new))
+
+let () = Pass.register pass

@@ -1,0 +1,12 @@
+(** Lowering from the stencil dialect to scf/memref loop nests: the CPU
+    path, and the code shape the naive Vitis HLS baseline synthesises.
+    Field arguments become memrefs of the same extents (indices shifted
+    by the field's lower bound). Requires shape-inferred input. *)
+
+open Shmls_ir
+
+(** Lower every function into a fresh module; the input is left intact. *)
+val run : Ir.op -> Ir.op
+
+(** In-place variant, registered as "stencil-to-cpu". *)
+val pass : Pass.t

@@ -1,0 +1,56 @@
+(** The Stencil-HMLS transformation (contribution (2) of the paper): the
+    nine steps of Section 3.3, rewriting shape-inferred single-result
+    stencil kernels into the load / shift-buffer / duplicate / compute /
+    write dataflow form of Figure 3, in the HLS dialect.
+
+    Stream convention: every stream carries one element per padded grid
+    position in row-major order; boundary positions flow through and are
+    dropped by write_data, so all stages advance in lock-step at II=1. *)
+
+open Shmls_ir
+
+(** The U280 shell's AXI port limit used for the CU-count plan. *)
+val max_axi_ports : int
+
+(** Guard band on BRAM copies of small data (edge-clamped). *)
+val small_guard : int
+
+type arg_class =
+  | Field_input
+  | Field_output
+  | Field_inout
+  | Small_constant
+  | Scalar_constant
+
+(** Step 1: classify the kernel arguments. *)
+val classify_args : Ir.op -> (Ir.value * arg_class) list
+
+(** Neighbourhood size for a per-dimension halo: [(2h+1)^rank]. *)
+val nb_size : int list -> int
+
+(** Row-major position of an offset inside the neighbourhood cube;
+    raises if the offset exceeds the halo. *)
+val nb_index : int list -> int list -> int
+
+type plan = {
+  p_kernel_name : string;
+  p_rank : int;
+  p_grid : int list;
+  p_field_halo : int list;
+  p_ports_per_cu : int;
+  p_cu : int;
+  p_n_inputs : int;
+  p_n_outputs : int;
+  p_n_smalls : int;
+}
+
+(** Transform one kernel function into [m_new]; returns the port/CU plan
+    and the generated function (tagged with [hls_kernel], [cu], [grid],
+    [field_halo] attributes). *)
+val transform_func : Ir.op -> Ir.op -> plan * Ir.op
+
+(** Transform every kernel of a module into a fresh module. *)
+val run : Ir.op -> Ir.op * (plan * Ir.op) list
+
+(** In-place variant, registered as "stencil-to-hls". *)
+val pass : Pass.t

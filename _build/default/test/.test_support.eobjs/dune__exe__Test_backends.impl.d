@@ -1,0 +1,1 @@
+test/test_backends.ml: Alcotest List Printf Shmls Shmls_circt Shmls_dialects Shmls_host Shmls_kernels Shmls_support String Test_common

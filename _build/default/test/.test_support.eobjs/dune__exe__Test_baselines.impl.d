@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest List Shmls Shmls_baselines Shmls_dialects Shmls_kernels String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Array Filename List Shmls Shmls_dialects String Sys

@@ -1,0 +1,1 @@
+test/test_coverage.ml: Alcotest Filename Float List Shmls Shmls_dialects Shmls_fpga Shmls_frontend Shmls_host Shmls_interp Shmls_ir Shmls_kernels Shmls_llvmir Shmls_support String Sys Test_common

@@ -1,0 +1,1 @@
+test/test_dialects.ml: Alcotest Attr Builder Dialect Ir List Option Shmls_dialects Shmls_ir Shmls_support Ty Verifier

@@ -1,0 +1,1 @@
+test/test_e2e.ml: Alcotest Float List QCheck2 Shmls Shmls_dialects Shmls_frontend Shmls_kernels String Test_common

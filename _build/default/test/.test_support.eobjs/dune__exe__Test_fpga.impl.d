@@ -1,0 +1,1 @@
+test/test_fpga.ml: Alcotest Float Hashtbl List QCheck2 Shmls Shmls_dialects Shmls_fpga Shmls_frontend Shmls_kernels Shmls_transforms Test_common

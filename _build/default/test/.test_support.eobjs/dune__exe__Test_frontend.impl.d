@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest List QCheck2 Shmls Shmls_baselines Shmls_dialects Shmls_frontend Shmls_ir Shmls_kernels Shmls_support Test_common

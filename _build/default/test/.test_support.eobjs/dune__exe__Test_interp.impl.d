@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Arith Func List Memref QCheck2 Scf Shmls_dialects Shmls_frontend Shmls_interp Shmls_ir Shmls_kernels Shmls_support Shmls_transforms Test_common

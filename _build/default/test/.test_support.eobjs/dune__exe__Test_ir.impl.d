@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Attr Builder Ir List Shmls_dialects Shmls_ir Shmls_support Ty

@@ -1,0 +1,1 @@
+test/test_passes.ml: Alcotest Attr Cse Dce Fold Ir List Pass Rewriter Shmls_dialects Shmls_ir Shmls_support Test_common Ty

@@ -1,0 +1,1 @@
+test/test_printer_parser.ml: Alcotest Attr Ir List Parser Printer QCheck2 Shmls_dialects Shmls_frontend Shmls_ir Shmls_support Shmls_transforms String Test_common Ty

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Array List Printf QCheck2 Shmls Shmls_dialects Shmls_fpga Shmls_frontend Shmls_ir Shmls_kernels Shmls_support Shmls_transforms String Test_common

@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Err Idgen List QCheck2 Shmls_support Stats String Table Test_common

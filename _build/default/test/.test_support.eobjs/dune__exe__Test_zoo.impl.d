@@ -1,0 +1,1 @@
+test/test_zoo.ml: Alcotest List Shmls Shmls_dialects Shmls_kernels

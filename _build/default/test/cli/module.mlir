@@ -1,0 +1,15 @@
+"builtin.module"() ({
+  "func.func"() ({
+  ^bb0(%0: !stencil.field<[-1,17] x f64>, %1: !stencil.field<[-1,17] x f64>):
+    %2 = "stencil.load"(%0) : (!stencil.field<[-1,17] x f64>) -> (!stencil.temp<? x f64>)
+    %3 = "stencil.apply"(%2) ({
+    ^bb1(%4: !stencil.temp<? x f64>):
+      %5 = "stencil.access"(%4) {offset = <[-1]>} : (!stencil.temp<? x f64>) -> (f64)
+      %6 = "stencil.access"(%4) {offset = <[1]>} : (!stencil.temp<? x f64>) -> (f64)
+      %7 = "arith.addf"(%5, %6) : (f64, f64) -> (f64)
+      "stencil.return"(%7) : (f64) -> ()
+    }) : (!stencil.temp<? x f64>) -> (!stencil.temp<? x f64>)
+    "stencil.store"(%3, %1) {lb = <[0]>, ub = <[16]>} : (!stencil.temp<? x f64>, !stencil.field<[-1,17] x f64>) -> ()
+    "func.return"() : () -> ()
+  }) {function_type = (!stencil.field<[-1,17] x f64>, !stencil.field<[-1,17] x f64>) -> (), sym_name = "sum1d"} : () -> ()
+}) : () -> ()

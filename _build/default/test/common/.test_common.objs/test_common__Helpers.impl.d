@@ -1,0 +1,1 @@
+test/common/helpers.ml: Alcotest Float List Printf QCheck2 QCheck_alcotest Shmls_dialects Shmls_frontend Shmls_ir Shmls_kernels Shmls_support Shmls_transforms

@@ -1,0 +1,248 @@
+(* Baseline-flow tests: each model must reproduce the structural facts
+   the paper reports for that tool. *)
+
+let () = Shmls_dialects.Register.all ()
+
+module B = Shmls_baselines
+module PW = Shmls_kernels.Pw_advection
+module TA = Shmls_kernels.Tracer_advection
+
+let success what = function
+  | B.Flow.Success s -> s
+  | B.Flow.Failure f -> Alcotest.failf "%s: unexpected failure: %s" what f.f_reason
+
+let failure what = function
+  | B.Flow.Failure { f_reason; _ } -> f_reason
+  | B.Flow.Success _ -> Alcotest.failf "%s: expected a failure" what
+
+(* -- kernel stats --------------------------------------------------------- *)
+
+let test_stats () =
+  let s = B.Flow.stats_of_kernel PW.kernel in
+  Alcotest.(check int) "pw fields" 6 s.ks_fields;
+  Alcotest.(check int) "pw smalls" 4 s.ks_smalls;
+  Alcotest.(check int) "pw stencils" 3 s.ks_stencils;
+  Alcotest.(check int) "pw components" 3 s.ks_components;
+  let t = B.Flow.stats_of_kernel TA.kernel in
+  Alcotest.(check int) "tracer fields" 17 t.ks_fields;
+  Alcotest.(check int) "tracer stencils" 24 t.ks_stencils;
+  Alcotest.(check int) "tracer intermediates" 18 t.ks_intermediates;
+  Alcotest.(check int) "tracer components" 2 t.ks_components;
+  Alcotest.(check int) "tracer critical refs" 20
+    (List.fold_left max 0 t.ks_refs_per_stencil)
+
+(* -- DaCe ------------------------------------------------------------------ *)
+
+let test_dace_sdfg_structure () =
+  let sdfg = B.Dace.sdfg_of_kernel PW.kernel ~grid:PW.grid_small in
+  Alcotest.(check int) "pw: one state per component" 3 (B.Dace.n_states sdfg);
+  Alcotest.(check int) "pw tasklets" 3 (B.Dace.sdfg_tasklets sdfg);
+  let sdfg_t = B.Dace.sdfg_of_kernel TA.kernel ~grid:TA.grid_small in
+  Alcotest.(check int) "tracer: two chains" 2 (B.Dace.n_states sdfg_t);
+  Alcotest.(check int) "tracer tasklets" 24 (B.Dace.sdfg_tasklets sdfg_t);
+  Alcotest.(check bool) "flops accounted" true (B.Dace.sdfg_flops sdfg_t > 100)
+
+let test_dace_ii_and_serialisation () =
+  let s = success "dace pw" (B.Dace.evaluate PW.kernel ~grid:PW.grid_8m) in
+  Alcotest.(check int) "II = 9 (measured in the paper)" 9 s.s_est.e_ii;
+  Alcotest.(check int) "serialises the 3 components" 3 s.s_est.e_serial;
+  Alcotest.(check int) "1 CU (no replication support)" 1 s.s_est.e_cu;
+  let t = success "dace tracer" (B.Dace.evaluate TA.kernel ~grid:TA.grid_8m) in
+  Alcotest.(check int) "tracer serial = 2 chains" 2 t.s_est.e_serial
+
+let test_dace_fails_at_134m () =
+  let reason = failure "dace 134M" (B.Dace.evaluate PW.kernel ~grid:PW.grid_134m) in
+  Alcotest.(check bool) "compile failure mentions banks" true
+    (String.length reason > 0);
+  (* 8M and 32M build fine *)
+  ignore (success "8M" (B.Dace.evaluate PW.kernel ~grid:PW.grid_8m));
+  ignore (success "32M" (B.Dace.evaluate PW.kernel ~grid:PW.grid_32m))
+
+(* -- Vitis HLS -------------------------------------------------------------- *)
+
+let test_vitis_ii_matches_paper () =
+  let t = success "vitis tracer" (B.Vitis.evaluate TA.kernel ~grid:TA.grid_8m) in
+  Alcotest.(check int) "tracer critical-path II = 163" 163 t.s_est.e_ii
+
+let test_vitis_cost_model () =
+  Alcotest.(check int) "II formula" 163 (B.Vitis.loop_ii ~refs:20);
+  let stats = B.Flow.stats_of_kernel PW.kernel in
+  Alcotest.(check bool) "pw loops serialised" true
+    (B.Vitis.cycles_per_point stats > B.Vitis.critical_ii stats)
+
+(* -- SODA-opt ---------------------------------------------------------------- *)
+
+let test_soda_ii_matches_paper () =
+  let t = success "soda tracer" (B.Soda.evaluate TA.kernel ~grid:TA.grid_8m) in
+  Alcotest.(check int) "tracer II = 164" 164 t.s_est.e_ii
+
+let test_soda_dse_rejects_full_unroll () =
+  let s = success "soda pw" (B.Soda.evaluate PW.kernel ~grid:PW.grid_8m) in
+  Alcotest.(check bool) "note mentions rejection" true
+    (let n = s.s_note in
+     String.length n > 0
+     &&
+     let rec has i =
+       i + 8 <= String.length n && (String.sub n i 8 = "rejected" || has (i + 1))
+     in
+     has 0)
+
+let test_soda_slowest_on_pw () =
+  let soda = success "soda" (B.Soda.evaluate PW.kernel ~grid:PW.grid_8m) in
+  let vitis = success "vitis" (B.Vitis.evaluate PW.kernel ~grid:PW.grid_8m) in
+  Alcotest.(check bool) "soda below vitis on PW (paper figure 4)" true
+    (soda.s_est.e_mpts < vitis.s_est.e_mpts)
+
+let test_soda_comparable_on_tracer () =
+  let soda = success "soda" (B.Soda.evaluate TA.kernel ~grid:TA.grid_8m) in
+  let vitis = success "vitis" (B.Vitis.evaluate TA.kernel ~grid:TA.grid_8m) in
+  let ratio = soda.s_est.e_mpts /. vitis.s_est.e_mpts in
+  Alcotest.(check bool) "within 5% (paper: II 164 vs 163)" true
+    (ratio > 0.95 && ratio < 1.05)
+
+(* -- StencilFlow -------------------------------------------------------------- *)
+
+let test_stencilflow_pw_deadlocks () =
+  let reason = failure "sf pw" (B.Stencilflow.evaluate PW.kernel ~grid:PW.grid_8m) in
+  Alcotest.(check bool) "deadlock reported" true
+    (let n = reason in
+     let rec has i =
+       i + 9 <= String.length n && (String.sub n i 9 = "deadlocks" || has (i + 1))
+     in
+     has 0)
+
+let test_stencilflow_tracer_not_expressible () =
+  Alcotest.(check bool) "tracer has subselections" true
+    (B.Stencilflow.has_subselection TA.kernel);
+  Alcotest.(check bool) "pw does not" false (B.Stencilflow.has_subselection PW.kernel);
+  let reason = failure "sf tracer" (B.Stencilflow.evaluate TA.kernel ~grid:TA.grid_8m) in
+  Alcotest.(check bool) "inexpressibility reported" true
+    (String.length reason > 0)
+
+let test_stencilflow_simple_kernel_completes () =
+  (* a skew-free kernel without coefficient arrays streams fine at II=1,
+     matching the II=1 the paper credits the tool with *)
+  match B.Stencilflow.evaluate Shmls_kernels.Didactic.heat_3d ~grid:[ 64; 32; 16 ] with
+  | B.Flow.Success s -> Alcotest.(check int) "II=1" 1 s.s_est.e_ii
+  | B.Flow.Failure f -> Alcotest.failf "unexpected failure: %s" f.f_reason
+
+(* -- cross-flow ordering (the paper's figures) -------------------------------- *)
+
+let mpts flow = function
+  | B.Flow.Success s -> s.s_est.e_mpts
+  | B.Flow.Failure _ -> Alcotest.failf "%s failed unexpectedly" flow
+
+let test_figure4_ordering_pw () =
+  let outcomes = Shmls.evaluate_all PW.kernel ~grid:PW.grid_8m in
+  match outcomes with
+  | [ hmls; dace; soda; vitis; _sf ] ->
+    let h = mpts "hmls" hmls and d = mpts "dace" dace in
+    let s = mpts "soda" soda and v = mpts "vitis" vitis in
+    Alcotest.(check bool) "HMLS > DaCe > Vitis > SODA" true
+      (h > d && d > v && v > s);
+    let ratio = h /. d in
+    Alcotest.(check bool) "90-110x over DaCe (paper: 90-100x, est. 108x)" true
+      (ratio > 85.0 && ratio < 115.0)
+  | _ -> Alcotest.fail "expected five outcomes"
+
+let test_figure4_ordering_tracer () =
+  let outcomes = Shmls.evaluate_all TA.kernel ~grid:TA.grid_8m in
+  match outcomes with
+  | [ hmls; dace; soda; vitis; sf ] ->
+    let h = mpts "hmls" hmls and d = mpts "dace" dace in
+    let s = mpts "soda" soda and v = mpts "vitis" vitis in
+    Alcotest.(check bool) "HMLS > DaCe > others" true (h > d && d > v && d > s);
+    let ratio = h /. d in
+    Alcotest.(check bool) "14-21x over DaCe (paper)" true
+      (ratio > 13.0 && ratio < 22.0);
+    (match sf with
+    | B.Flow.Failure _ -> ()
+    | B.Flow.Success _ -> Alcotest.fail "stencilflow must fail on tracer")
+  | _ -> Alcotest.fail "expected five outcomes"
+
+let test_energy_ratios () =
+  let energy = function
+    | B.Flow.Success s -> s.s_power.p_energy_j
+    | B.Flow.Failure _ -> Alcotest.fail "flow failed"
+  in
+  (match Shmls.evaluate_all PW.kernel ~grid:PW.grid_8m with
+  | hmls :: dace :: _ ->
+    let r = energy dace /. energy hmls in
+    Alcotest.(check bool) "PW energy ratio in the paper's 85-92x band" true
+      (r > 70.0 && r < 110.0)
+  | _ -> Alcotest.fail "outcomes");
+  match Shmls.evaluate_all TA.kernel ~grid:TA.grid_8m with
+  | hmls :: dace :: _ ->
+    let r = energy dace /. energy hmls in
+    Alcotest.(check bool) "tracer energy ratio in the paper's 14-22x band" true
+      (r > 11.0 && r < 26.0)
+  | _ -> Alcotest.fail "outcomes"
+
+let test_hmls_reports_overflow () =
+  (* an absurd CU count must surface as a Failure, not a silent estimate *)
+  let c = Shmls.compile Shmls_kernels.Pw_advection.kernel ~grid:[ 16; 8; 6 ] in
+  match Shmls.evaluate_hmls ~cu:5000 c with
+  | B.Flow.Failure { f_flow = "Stencil-HMLS"; _ } -> ()
+  | B.Flow.Failure _ -> Alcotest.fail "wrong flow name"
+  | B.Flow.Success _ -> Alcotest.fail "oversized deployment must fail"
+
+let test_power_marginally_greater () =
+  let power = function
+    | B.Flow.Success s -> s.s_power.p_total_w
+    | B.Flow.Failure _ -> Alcotest.fail "flow failed"
+  in
+  match Shmls.evaluate_all PW.kernel ~grid:PW.grid_8m with
+  | hmls :: dace :: soda :: vitis :: _ ->
+    let h = power hmls in
+    List.iter
+      (fun p ->
+        Alcotest.(check bool) "HMLS draws more" true (h > p);
+        Alcotest.(check bool) "but marginally (< 2x)" true (h < 2.0 *. p))
+      [ power dace; power soda; power vitis ]
+  | _ -> Alcotest.fail "outcomes"
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ("stats", [ Alcotest.test_case "kernel statistics" `Quick test_stats ]);
+      ( "dace",
+        [
+          Alcotest.test_case "SDFG structure" `Quick test_dace_sdfg_structure;
+          Alcotest.test_case "II=9, serialised, 1 CU" `Quick
+            test_dace_ii_and_serialisation;
+          Alcotest.test_case "fails at 134M" `Quick test_dace_fails_at_134m;
+        ] );
+      ( "vitis",
+        [
+          Alcotest.test_case "tracer II=163" `Quick test_vitis_ii_matches_paper;
+          Alcotest.test_case "cost model" `Quick test_vitis_cost_model;
+        ] );
+      ( "soda",
+        [
+          Alcotest.test_case "tracer II=164" `Quick test_soda_ii_matches_paper;
+          Alcotest.test_case "DSE rejects full unroll" `Quick
+            test_soda_dse_rejects_full_unroll;
+          Alcotest.test_case "slowest on PW" `Quick test_soda_slowest_on_pw;
+          Alcotest.test_case "comparable to Vitis on tracer" `Quick
+            test_soda_comparable_on_tracer;
+        ] );
+      ( "stencilflow",
+        [
+          Alcotest.test_case "PW deadlocks" `Quick test_stencilflow_pw_deadlocks;
+          Alcotest.test_case "tracer not expressible" `Quick
+            test_stencilflow_tracer_not_expressible;
+          Alcotest.test_case "simple kernels complete at II=1" `Quick
+            test_stencilflow_simple_kernel_completes;
+        ] );
+      ( "figures",
+        [
+          Alcotest.test_case "figure 4 ordering (PW)" `Quick test_figure4_ordering_pw;
+          Alcotest.test_case "figure 4 ordering (tracer)" `Quick
+            test_figure4_ordering_tracer;
+          Alcotest.test_case "figures 5-6 energy ratios" `Quick test_energy_ratios;
+          Alcotest.test_case "power marginally greater" `Quick
+            test_power_marginally_greater;
+          Alcotest.test_case "HMLS overflow reported" `Quick
+            test_hmls_reports_overflow;
+        ] );
+    ]

@@ -1,0 +1,47 @@
+(* The textual kernel corpus (examples/kernels/*.psy): every file must
+   parse, compile through the full pipeline and verify bit-exactly. *)
+
+let () = Shmls_dialects.Register.all ()
+
+let corpus_dir = "../examples/kernels"
+
+let grid_for (k : Shmls.Ast.kernel) =
+  match k.k_rank with
+  | 1 -> [ 20 ]
+  | 2 -> [ 14; 12 ]
+  | _ -> [ 10; 8; 6 ]
+
+let test_corpus () =
+  let files =
+    Sys.readdir corpus_dir |> Array.to_list
+    |> List.filter (fun f -> Filename.check_suffix f ".psy")
+    |> List.sort String.compare
+  in
+  Alcotest.(check bool) "corpus present" true (List.length files >= 5);
+  List.iter
+    (fun file ->
+      let k = Shmls.Psy_parser.parse_file (Filename.concat corpus_dir file) in
+      let c = Shmls.compile k ~grid:(grid_for k) in
+      let v = Shmls.verify c in
+      if v.v_max_diff <> 0.0 then
+        Alcotest.failf "%s: diff %g" file v.v_max_diff;
+      let r = Shmls.Cycle_sim.run c.c_design in
+      if r.deadlocked then Alcotest.failf "%s deadlocked" file)
+    files
+
+let test_corpus_via_ir_roundtrip () =
+  let k = Shmls.Psy_parser.parse_file (Filename.concat corpus_dir "blur_sharpen.psy") in
+  let c = Shmls.compile k ~grid:[ 12; 12 ] in
+  let text = Shmls.emit_stencil_text c in
+  let reparsed = Shmls.Parser.parse_module text in
+  Alcotest.(check string) "stable" text (Shmls.Printer.to_string reparsed)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "psy-files",
+        [
+          Alcotest.test_case "parse + compile + verify all" `Quick test_corpus;
+          Alcotest.test_case "IR round-trip" `Quick test_corpus_via_ir_roundtrip;
+        ] );
+    ]

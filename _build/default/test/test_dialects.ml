@@ -1,0 +1,304 @@
+(* Dialect verifier tests: every dialect's per-op invariants accept the
+   builders' output and reject malformed ops. *)
+
+let () = Shmls_dialects.Register.all ()
+
+open Shmls_ir
+module D = Shmls_dialects
+
+let f64 = Ty.F64
+
+let expect_invalid what op =
+  match Dialect.verify_op op with
+  | Error _ -> ()
+  | Ok () -> Alcotest.failf "%s: expected verification failure" what
+
+let expect_valid what op =
+  match Dialect.verify_op op with
+  | Ok () -> ()
+  | Error e ->
+    Alcotest.failf "%s: unexpected failure: %s" what (Shmls_support.Err.to_string e)
+
+let in_block f =
+  let blk = Ir.Block.create () in
+  f (Builder.at_end blk)
+
+let test_registry () =
+  Alcotest.(check bool) "arith registered" true (Dialect.is_registered "arith.addf");
+  Alcotest.(check bool) "hls registered" true (Dialect.is_registered "hls.dataflow");
+  Alcotest.(check bool) "unknown" false (Dialect.is_registered "nope.op");
+  let dialects = Dialect.registered_dialects () in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) (d ^ " present") true (List.mem d dialects))
+    [ "arith"; "builtin"; "func"; "hls"; "llvm"; "math"; "memref"; "scf"; "stencil" ]
+
+let test_traits () =
+  Alcotest.(check bool) "addf pure" true (Dialect.has_trait "arith.addf" Dialect.Pure);
+  Alcotest.(check bool) "addf commutative" true
+    (Dialect.has_trait "arith.addf" Dialect.Commutative);
+  Alcotest.(check bool) "subf not commutative" false
+    (Dialect.has_trait "arith.subf" Dialect.Commutative);
+  Alcotest.(check bool) "store not pure" false
+    (Dialect.has_trait "memref.store" Dialect.Pure);
+  Alcotest.(check bool) "return terminator" true
+    (Dialect.has_trait "func.return" Dialect.Terminator);
+  Alcotest.(check bool) "func isolated" true
+    (Dialect.has_trait "func.func" Dialect.Isolated_from_above)
+
+let test_arith_constant () =
+  in_block (fun b ->
+      let c = D.Arith.constant_f b 1.5 in
+      expect_valid "float constant" (Option.get (Ir.Value.defining_op c)));
+  let bad =
+    Ir.Op.create ~name:"arith.constant" ~result_tys:[ Ty.F64 ]
+      ~attrs:[ ("value", Attr.Int 3) ] ()
+  in
+  expect_invalid "int value on float result" bad
+
+let test_arith_binary_types () =
+  in_block (fun b ->
+      let x = D.Arith.constant_f b 1.0 in
+      let i = D.Arith.constant_i b 1 in
+      let bad =
+        Ir.Op.create ~name:"arith.addf" ~operands:[ x; i ] ~result_tys:[ f64 ] ()
+      in
+      expect_invalid "mixed operand types" bad;
+      let good = Ir.Op.create ~name:"arith.addf" ~operands:[ x; x ] ~result_tys:[ f64 ] () in
+      expect_valid "matching types" good)
+
+let test_arith_cmp_select () =
+  in_block (fun b ->
+      let x = D.Arith.constant_f b 1.0 and y = D.Arith.constant_f b 2.0 in
+      let c = D.Arith.cmpf b ~predicate:"olt" x y in
+      expect_valid "cmpf" (Option.get (Ir.Value.defining_op c));
+      let s = D.Arith.select b c x y in
+      expect_valid "select" (Option.get (Ir.Value.defining_op s));
+      let bad =
+        Ir.Op.create ~name:"arith.select" ~operands:[ x; x; y ] ~result_tys:[ f64 ] ()
+      in
+      expect_invalid "select cond must be i1" bad)
+
+let test_scf_for () =
+  in_block (fun b ->
+      let lb = D.Arith.constant_index b 0 in
+      let ub = D.Arith.constant_index b 4 in
+      let step = D.Arith.constant_index b 1 in
+      let loop = D.Scf.for_ b ~lb ~ub ~step (fun _ _ -> ()) in
+      expect_valid "for" loop;
+      let f = D.Arith.constant_f b 0.0 in
+      let bad =
+        Ir.Op.create ~name:"scf.for" ~operands:[ f; ub; step ]
+          ~regions:[ Builder.build_region ~arg_tys:[ Ty.Index ] (fun bb _ -> D.Scf.yield bb []) ]
+          ()
+      in
+      expect_invalid "non-index lb" bad)
+
+let test_scf_for_iter () =
+  in_block (fun b ->
+      let lb = D.Arith.constant_index b 0 in
+      let ub = D.Arith.constant_index b 4 in
+      let step = D.Arith.constant_index b 1 in
+      let init = D.Arith.constant_f b 0.0 in
+      let loop =
+        D.Scf.for_iter b ~lb ~ub ~step ~init:[ init ] (fun bb _ iters ->
+            match iters with
+            | [ acc ] -> [ D.Arith.addf bb acc acc ]
+            | _ -> assert false)
+      in
+      expect_valid "for with iter args" loop;
+      Alcotest.(check int) "one result" 1 (Ir.Op.num_results loop))
+
+let test_memref_rank_checks () =
+  in_block (fun b ->
+      let mr = D.Memref.alloc b ~shape:[ 4; 4 ] ~elem:f64 in
+      let i = D.Arith.constant_index b 0 in
+      let v = D.Memref.load b mr [ i; i ] in
+      expect_valid "2d load" (Option.get (Ir.Value.defining_op v));
+      let bad =
+        Ir.Op.create ~name:"memref.load" ~operands:[ mr; i ] ~result_tys:[ f64 ] ()
+      in
+      expect_invalid "rank mismatch" bad)
+
+let test_stencil_access () =
+  in_block (fun b ->
+      let field =
+        Ir.Block.add_arg (Builder.current_block b)
+          (Ty.Field (Ty.make_bounds ~lb:[ -1; -1 ] ~ub:[ 5; 5 ], f64))
+      in
+      let t = D.Stencil.load b field in
+      (* unbounded temp: any offset rank accepted until inference *)
+      let a = D.Stencil.access b t ~offset:[ 1; -1 ] in
+      expect_valid "access" (Option.get (Ir.Value.defining_op a));
+      (* bounded temp rejects wrong-rank offsets *)
+      t.Ir.v_ty <- Ty.Temp (Some (Ty.make_bounds ~lb:[ 0; 0 ] ~ub:[ 4; 4 ]), f64);
+      let bad =
+        Ir.Op.create ~name:"stencil.access" ~operands:[ t ] ~result_tys:[ f64 ]
+          ~attrs:[ ("offset", Attr.Ints [ 1 ]) ]
+          ()
+      in
+      expect_invalid "offset rank" bad)
+
+let test_stencil_apply_shape () =
+  in_block (fun b ->
+      let field =
+        Ir.Block.add_arg (Builder.current_block b)
+          (Ty.Field (Ty.make_bounds ~lb:[ -1 ] ~ub:[ 5 ], f64))
+      in
+      let t = D.Stencil.load b field in
+      let apply =
+        D.Stencil.apply b ~operands:[ t ] ~result_elems:[ f64 ] (fun bb args ->
+            [ D.Stencil.access bb (List.hd args) ~offset:[ 0 ] ])
+      in
+      expect_valid "apply" apply;
+      (* region arg type must mirror operand *)
+      (Ir.Block.arg (D.Stencil.apply_block apply) 0).Ir.v_ty <- f64;
+      expect_invalid "region arg mismatch" apply)
+
+let test_stencil_external_and_cast () =
+  in_block (fun b ->
+      let blk = Builder.current_block b in
+      let bounds = Ty.make_bounds ~lb:[ -1 ] ~ub:[ 5 ] in
+      let mr = Ir.Block.add_arg blk (Ty.Memref ([ 6 ], f64)) in
+      let el =
+        Builder.insert_op1 b ~name:"stencil.external_load" ~operands:[ mr ]
+          ~result_ty:(Ty.Field (bounds, f64)) ()
+      in
+      expect_valid "external_load" (Option.get (Ir.Value.defining_op el));
+      let wider = Ty.make_bounds ~lb:[ -2 ] ~ub:[ 6 ] in
+      let cast =
+        Builder.insert_op1 b ~name:"stencil.cast" ~operands:[ el ]
+          ~result_ty:(Ty.Field (wider, f64)) ()
+      in
+      expect_valid "cast" (Option.get (Ir.Value.defining_op cast));
+      let es =
+        Ir.Op.create ~name:"stencil.external_store" ~operands:[ el; mr ] ()
+      in
+      expect_valid "external_store" es;
+      let bad =
+        Ir.Op.create ~name:"stencil.external_load" ~operands:[ mr ]
+          ~result_tys:[ Ty.Field (bounds, Ty.F32) ]
+          ()
+      in
+      expect_invalid "element mismatch" bad)
+
+let test_stencil_dyn_access () =
+  in_block (fun b ->
+      let blk = Builder.current_block b in
+      let field =
+        Ir.Block.add_arg blk (Ty.Field (Ty.make_bounds ~lb:[ 0 ] ~ub:[ 8 ], f64))
+      in
+      let t = D.Stencil.load b field in
+      let i = D.Arith.constant_index b 2 in
+      let v = D.Stencil.dyn_access b t ~indices:[ i ] in
+      expect_valid "dyn_access" (Option.get (Ir.Value.defining_op v));
+      let fconst = D.Arith.constant_f b 1.0 in
+      let bad =
+        Ir.Op.create ~name:"stencil.dyn_access" ~operands:[ t; fconst ]
+          ~result_tys:[ f64 ] ()
+      in
+      expect_invalid "non-index index" bad)
+
+let test_hls_streams () =
+  in_block (fun b ->
+      let s = D.Hls.create_stream b ~elem:f64 () in
+      let sop = Option.get (Ir.Value.defining_op s) in
+      expect_valid "create_stream" sop;
+      Alcotest.(check int) "default depth" D.Hls.default_stream_depth
+        (D.Hls.stream_depth sop);
+      let v = D.Hls.read b s in
+      expect_valid "read" (Option.get (Ir.Value.defining_op v));
+      D.Hls.write b v s;
+      let i = D.Arith.constant_i b 1 in
+      let bad = Ir.Op.create ~name:"hls.write" ~operands:[ i; s ] () in
+      expect_invalid "write type mismatch" bad;
+      let e = D.Hls.empty b s in
+      expect_valid "empty" (Option.get (Ir.Value.defining_op e)))
+
+let test_hls_markers () =
+  in_block (fun b ->
+      D.Hls.pipeline b ~ii:1;
+      D.Hls.unroll b ~factor:0;
+      let mr = D.Memref.alloca b ~shape:[ 8 ] ~elem:f64 in
+      D.Hls.array_partition b ~kind:"cyclic" ~factor:2 mr;
+      List.iter (expect_valid "marker") (Ir.Block.ops (Builder.current_block b)));
+  let bad = Ir.Op.create ~name:"hls.pipeline" ~attrs:[ ("ii", Attr.Int 0) ] () in
+  expect_invalid "ii >= 1" bad;
+  let bad2 =
+    Ir.Op.create ~name:"hls.array_partition" ~attrs:[ ("kind", Attr.Str "weird") ] ()
+  in
+  expect_invalid "partition kind" bad2
+
+let test_hls_dataflow_interface () =
+  in_block (fun b ->
+      let df = D.Hls.dataflow b ~stage:"s" (fun _ -> ()) in
+      expect_valid "dataflow" df;
+      Alcotest.(check string) "stage attr" "s" (D.Hls.dataflow_stage df);
+      let arg =
+        Ir.Block.add_arg (Builder.current_block b) (Ty.Ptr (Ty.Struct [ f64 ]))
+      in
+      D.Hls.interface b ~mode:"m_axi" ~bundle:"gmem0" arg;
+      match List.rev (Ir.Block.ops (Builder.current_block b)) with
+      | iface :: _ -> expect_valid "interface" iface
+      | [] -> Alcotest.fail "no interface op")
+
+let test_whole_module_verifier () =
+  (* terminator not at end *)
+  let m = Ir.Module_.create () in
+  let blk = Ir.Block.create ~arg_tys:[ f64 ] () in
+  let region = Ir.Region.create ~blocks:[ blk ] () in
+  let func =
+    Ir.Op.create ~name:"func.func"
+      ~attrs:
+        [
+          ("sym_name", Attr.Str "f");
+          ("function_type", Attr.Ty (Ty.Func ([ f64 ], [])));
+        ]
+      ~regions:[ region ] ()
+  in
+  Ir.Block.append (Ir.Module_.body m) func;
+  let b = Builder.at_end blk in
+  D.Func.return_ b [];
+  ignore (D.Arith.constant_f b 3.0);
+  (match Verifier.verify m with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "terminator mid-block must fail")
+
+let () =
+  Alcotest.run "dialects"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "registration" `Quick test_registry;
+          Alcotest.test_case "traits" `Quick test_traits;
+        ] );
+      ( "arith",
+        [
+          Alcotest.test_case "constant" `Quick test_arith_constant;
+          Alcotest.test_case "binary types" `Quick test_arith_binary_types;
+          Alcotest.test_case "cmp/select" `Quick test_arith_cmp_select;
+        ] );
+      ( "scf",
+        [
+          Alcotest.test_case "for" `Quick test_scf_for;
+          Alcotest.test_case "for with iter args" `Quick test_scf_for_iter;
+        ] );
+      ("memref", [ Alcotest.test_case "rank checks" `Quick test_memref_rank_checks ]);
+      ( "stencil",
+        [
+          Alcotest.test_case "access" `Quick test_stencil_access;
+          Alcotest.test_case "apply shape" `Quick test_stencil_apply_shape;
+          Alcotest.test_case "external load/store/cast" `Quick
+            test_stencil_external_and_cast;
+          Alcotest.test_case "dyn_access" `Quick test_stencil_dyn_access;
+        ] );
+      ( "hls",
+        [
+          Alcotest.test_case "streams" `Quick test_hls_streams;
+          Alcotest.test_case "markers" `Quick test_hls_markers;
+          Alcotest.test_case "dataflow + interface" `Quick test_hls_dataflow_interface;
+        ] );
+      ( "verifier",
+        [ Alcotest.test_case "terminator placement" `Quick test_whole_module_verifier ]
+      );
+    ]

@@ -1,0 +1,301 @@
+(* Generic pass tests: DCE, CSE, constant folding, pass manager. *)
+
+let () = Shmls_dialects.Register.all ()
+
+open Shmls_ir
+module D = Shmls_dialects
+
+let f64 = Ty.F64
+
+let module_with_body f =
+  let m = Ir.Module_.create () in
+  let _ =
+    D.Func.build_func m ~name:"f" ~arg_tys:[ f64; f64 ] ~result_tys:[]
+      (fun b args ->
+        f b args;
+        D.Func.return_ b [])
+  in
+  m
+
+let count_op m name =
+  List.length (Ir.Op.collect m (fun o -> Ir.Op.name o = name))
+
+let test_dce_removes_dead () =
+  let m =
+    module_with_body (fun b args ->
+        match args with
+        | [ x; y ] ->
+          let _dead = D.Arith.addf b x y in
+          let live = D.Arith.mulf b x y in
+          (* keep [live] alive through a side-effecting op *)
+          let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+          let i = D.Arith.constant_index b 0 in
+          D.Memref.store b live mr [ i ]
+        | _ -> assert false)
+  in
+  let removed = Dce.run_on_op m in
+  Alcotest.(check int) "one op removed" 1 removed;
+  Alcotest.(check int) "addf gone" 0 (count_op m "arith.addf");
+  Alcotest.(check int) "mulf alive" 1 (count_op m "arith.mulf");
+  Test_common.Helpers.check_verifies "after dce" m
+
+let test_dce_cascades () =
+  let m =
+    module_with_body (fun b args ->
+        match args with
+        | [ x; _ ] ->
+          let a = D.Arith.addf b x x in
+          let bb = D.Arith.mulf b a a in
+          ignore (D.Arith.negf b bb)
+        | _ -> assert false)
+  in
+  let removed = Dce.run_on_op m in
+  Alcotest.(check int) "whole chain removed" 3 removed
+
+let test_dce_keeps_side_effects () =
+  let m =
+    module_with_body (fun b args ->
+        match args with
+        | [ x; _ ] ->
+          let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+          let i = D.Arith.constant_index b 0 in
+          D.Memref.store b x mr [ i ]
+        | _ -> assert false)
+  in
+  let removed = Dce.run_on_op m in
+  Alcotest.(check int) "nothing removed" 0 removed
+
+let test_cse_dedups () =
+  let m =
+    module_with_body (fun b args ->
+        match args with
+        | [ x; y ] ->
+          let a1 = D.Arith.addf b x y in
+          let a2 = D.Arith.addf b x y in
+          let s = D.Arith.mulf b a1 a2 in
+          let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+          let i = D.Arith.constant_index b 0 in
+          D.Memref.store b s mr [ i ]
+        | _ -> assert false)
+  in
+  let replaced = Cse.run_on_op m in
+  Alcotest.(check int) "one duplicate" 1 replaced;
+  ignore (Dce.run_on_op m);
+  Alcotest.(check int) "single addf remains" 1 (count_op m "arith.addf");
+  Test_common.Helpers.check_verifies "after cse" m
+
+let test_cse_commutative () =
+  let m =
+    module_with_body (fun b args ->
+        match args with
+        | [ x; y ] ->
+          let a1 = D.Arith.addf b x y in
+          let a2 = D.Arith.addf b y x in
+          let d1 = D.Arith.subf b x y in
+          let d2 = D.Arith.subf b y x in
+          let s = D.Arith.mulf b (D.Arith.mulf b a1 a2) (D.Arith.mulf b d1 d2) in
+          let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+          let i = D.Arith.constant_index b 0 in
+          D.Memref.store b s mr [ i ]
+        | _ -> assert false)
+  in
+  let replaced = Cse.run_on_op m in
+  (* addf commutes -> deduped; subf does not -> kept *)
+  Alcotest.(check int) "only the commutative pair" 1 replaced
+
+let test_cse_respects_attrs () =
+  let m =
+    module_with_body (fun b _ ->
+        let c1 = D.Arith.constant_f b 1.0 in
+        let c2 = D.Arith.constant_f b 2.0 in
+        let s = D.Arith.addf b c1 c2 in
+        let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+        let i = D.Arith.constant_index b 0 in
+        D.Memref.store b s mr [ i ])
+  in
+  let replaced = Cse.run_on_op m in
+  Alcotest.(check int) "different constants kept" 0 replaced
+
+let test_fold_constants () =
+  let m =
+    module_with_body (fun b _ ->
+        let c1 = D.Arith.constant_f b 2.0 in
+        let c2 = D.Arith.constant_f b 3.0 in
+        let s = D.Arith.mulf b c1 c2 in
+        let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+        let i = D.Arith.constant_index b 0 in
+        D.Memref.store b s mr [ i ])
+  in
+  ignore (Fold.canonicalize_op m);
+  Alcotest.(check int) "mulf folded" 0 (count_op m "arith.mulf");
+  (* the surviving constant is 6.0 *)
+  let stored_constant =
+    Ir.Op.collect m (fun o ->
+        Ir.Op.name o = "arith.constant"
+        && (match Ir.Op.get_attr o "value" with
+           | Some (Attr.Float _) -> true
+           | _ -> false)
+        && Ir.Value.has_uses (Ir.Op.result o 0))
+  in
+  match stored_constant with
+  | [ c ] ->
+    Alcotest.(check (float 0.0)) "folded value" 6.0
+      (Attr.float_exn (Ir.Op.get_attr_exn c "value"))
+  | other -> Alcotest.failf "expected exactly one live constant, got %d" (List.length other)
+
+let test_fold_identities () =
+  let m =
+    module_with_body (fun b args ->
+        match args with
+        | [ x; _ ] ->
+          let zero = D.Arith.constant_f b 0.0 in
+          let one = D.Arith.constant_f b 1.0 in
+          let a = D.Arith.addf b x zero in
+          let mres = D.Arith.mulf b a one in
+          let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+          let i = D.Arith.constant_index b 0 in
+          D.Memref.store b mres mr [ i ]
+        | _ -> assert false)
+  in
+  ignore (Fold.canonicalize_op m);
+  Alcotest.(check int) "x+0 removed" 0 (count_op m "arith.addf");
+  Alcotest.(check int) "x*1 removed" 0 (count_op m "arith.mulf");
+  Test_common.Helpers.check_verifies "after folding" m
+
+let test_fold_int_identities () =
+  let m =
+    module_with_body (fun b _ ->
+        let c2 = D.Arith.constant_i b 2 in
+        let c3 = D.Arith.constant_i b 3 in
+        let s = D.Arith.muli b c2 c3 in
+        let s2 = D.Arith.addi b s (D.Arith.constant_i b 0) in
+        (* keep alive: write through float conversion *)
+        let f = D.Arith.sitofp b ~to_ty:f64 s2 in
+        let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+        let i = D.Arith.constant_index b 0 in
+        D.Memref.store b f mr [ i ])
+  in
+  ignore (Fold.canonicalize_op m);
+  Alcotest.(check int) "muli folded" 0 (count_op m "arith.muli");
+  Alcotest.(check int) "addi folded" 0 (count_op m "arith.addi")
+
+let test_rewriter_applies_to_fixpoint () =
+  (* (2*3)*4 folds completely through repeated pattern application *)
+  let m =
+    module_with_body (fun b _ ->
+        let a = D.Arith.mulf b (D.Arith.constant_f b 2.0) (D.Arith.constant_f b 3.0) in
+        let r = D.Arith.mulf b a (D.Arith.constant_f b 4.0) in
+        let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+        let i = D.Arith.constant_index b 0 in
+        D.Memref.store b r mr [ i ])
+  in
+  let changed = Rewriter.apply_patterns [ Fold.fold_pattern ] m in
+  Alcotest.(check bool) "changed" true changed;
+  Alcotest.(check int) "all mulf folded" 0 (count_op m "arith.mulf")
+
+let test_rewriter_benefit_order () =
+  (* a higher-benefit pattern must win over a lower-benefit one *)
+  let hits = ref [] in
+  let make name benefit =
+    Rewriter.make_pattern ~benefit ~name
+      ~matches:(fun o -> Ir.Op.name o = "arith.negf")
+      ~rewrite:(fun _ ->
+        hits := name :: !hits;
+        false)
+      ()
+  in
+  let m =
+    module_with_body (fun b args ->
+        match args with
+        | [ x; _ ] -> ignore (D.Arith.negf b x)
+        | _ -> assert false)
+  in
+  ignore (Rewriter.apply_patterns [ make "low" 1; make "high" 10 ] m);
+  Alcotest.(check (list string)) "high benefit chosen" [ "high" ] !hits
+
+let test_rewriter_convergence_cap () =
+  (* a pattern that always reports change must hit the iteration cap *)
+  let always =
+    Rewriter.make_pattern ~name:"ping"
+      ~matches:(fun o -> Ir.Op.name o = "arith.constant")
+      ~rewrite:(fun _ -> true)
+      ()
+  in
+  let m = module_with_body (fun b _ -> ignore (D.Arith.constant_f b 1.0)) in
+  match Rewriter.apply_patterns [ always ] m with
+  | exception Shmls_support.Err.Error _ -> ()
+  | _ -> Alcotest.fail "non-converging rewrite must be reported"
+
+let test_pass_manager_pipeline () =
+  let m =
+    module_with_body (fun b args ->
+        match args with
+        | [ x; y ] ->
+          let a1 = D.Arith.addf b x y in
+          let _dead = D.Arith.subf b x y in
+          let a2 = D.Arith.addf b x y in
+          let s = D.Arith.mulf b a1 a2 in
+          let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+          let i = D.Arith.constant_index b 0 in
+          D.Memref.store b s mr [ i ]
+        | _ -> assert false)
+  in
+  let stats =
+    Pass.run_pipeline ~verify_each:true (Pass.parse_pipeline "cse,dce") m
+  in
+  Alcotest.(check int) "two passes ran" 2 (List.length stats);
+  Alcotest.(check bool) "ops decreased" true
+    ((List.nth stats 1).Pass.ops_after < (List.hd stats).Pass.ops_before);
+  Alcotest.(check int) "one addf" 1 (count_op m "arith.addf");
+  Alcotest.(check int) "no subf" 0 (count_op m "arith.subf")
+
+let test_pass_lookup_unknown () =
+  match Pass.parse_pipeline "definitely-not-a-pass" with
+  | exception Shmls_support.Err.Error _ -> ()
+  | _ -> Alcotest.fail "unknown pass must raise"
+
+let test_registered_passes () =
+  Test_common.Helpers.ensure_passes_linked ();
+  let names = Pass.registered_passes () in
+  List.iter
+    (fun n -> Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
+    [
+      "dce"; "cse"; "canonicalize"; "stencil-shape-inference"; "stencil-to-cpu";
+      "stencil-to-hls"; "stencil-apply-split"; "stencil-apply-fuse";
+      "raise-to-stencil";
+    ]
+
+let () =
+  Alcotest.run "passes"
+    [
+      ( "dce",
+        [
+          Alcotest.test_case "removes dead pure ops" `Quick test_dce_removes_dead;
+          Alcotest.test_case "cascades through chains" `Quick test_dce_cascades;
+          Alcotest.test_case "keeps side effects" `Quick test_dce_keeps_side_effects;
+        ] );
+      ( "cse",
+        [
+          Alcotest.test_case "dedups identical ops" `Quick test_cse_dedups;
+          Alcotest.test_case "commutativity" `Quick test_cse_commutative;
+          Alcotest.test_case "respects attributes" `Quick test_cse_respects_attrs;
+        ] );
+      ( "fold",
+        [
+          Alcotest.test_case "constants" `Quick test_fold_constants;
+          Alcotest.test_case "float identities" `Quick test_fold_identities;
+          Alcotest.test_case "int identities" `Quick test_fold_int_identities;
+        ] );
+      ( "rewriter",
+        [
+          Alcotest.test_case "fixpoint folding" `Quick test_rewriter_applies_to_fixpoint;
+          Alcotest.test_case "benefit ordering" `Quick test_rewriter_benefit_order;
+          Alcotest.test_case "convergence cap" `Quick test_rewriter_convergence_cap;
+        ] );
+      ( "manager",
+        [
+          Alcotest.test_case "pipeline" `Quick test_pass_manager_pipeline;
+          Alcotest.test_case "unknown pass" `Quick test_pass_lookup_unknown;
+          Alcotest.test_case "registry contents" `Quick test_registered_passes;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Printer / parser: exact-text round trips on hand-written modules and
+   on randomly generated kernels (qcheck). *)
+
+let () = Shmls_dialects.Register.all ()
+
+open Shmls_ir
+module Lower = Shmls_frontend.Lower
+
+let roundtrip_is_identity what m =
+  let s1 = Printer.to_string m in
+  let m2 = Parser.parse_module s1 in
+  Test_common.Helpers.check_verifies (what ^ " reparsed") m2;
+  let s2 = Printer.to_string m2 in
+  Alcotest.(check string) (what ^ " round trip") s1 s2
+
+let test_empty_module () =
+  let m = Ir.Module_.create () in
+  roundtrip_is_identity "empty module" m
+
+let test_simple_func () =
+  let m = Ir.Module_.create () in
+  let _ =
+    Shmls_dialects.Func.build_func m ~name:"f" ~arg_tys:[ Ty.F64; Ty.F64 ]
+      ~result_tys:[] (fun b args ->
+        match args with
+        | [ x; y ] ->
+          let s = Shmls_dialects.Arith.addf b x y in
+          ignore (Shmls_dialects.Arith.mulf b s s);
+          Shmls_dialects.Func.return_ b []
+        | _ -> assert false)
+  in
+  roundtrip_is_identity "simple func" m
+
+let test_all_attr_kinds () =
+  let m = Ir.Module_.create () in
+  let op =
+    Ir.Op.create ~name:"stencil.access"
+      ~attrs:
+        [
+          ("offset", Attr.Ints [ -1; 0; 1 ]);
+          ("flag", Attr.Bool true);
+          ("count", Attr.Int (-7));
+          ("scale", Attr.Float 0.125);
+          ("label", Attr.Str "with \"quotes\" and \\ backslash");
+          ("ref", Attr.Sym "callee");
+          ("ty", Attr.Ty (Ty.Stream (Ty.Array (27, Ty.F64))));
+          ("nested", Attr.Arr [ Attr.Int 1; Attr.Str "two" ]);
+          ("dict", Attr.Dict [ ("k", Attr.Int 3) ]);
+        ]
+      ()
+  in
+  (* the op is not semantically valid stencil.access; we only check the
+     text layer here, so use a registered-but-unverified carrier *)
+  op.Ir.o_name <- "hls.pipeline";
+  Ir.Op.set_attr op "ii" (Attr.Int 1);
+  Ir.Block.append (Ir.Module_.body m) op;
+  let s1 = Printer.to_string m in
+  let m2 = Parser.parse_module s1 in
+  let s2 = Printer.to_string m2 in
+  Alcotest.(check string) "attrs round trip" s1 s2
+
+let test_all_type_kinds () =
+  let tys =
+    [
+      Ty.F16; Ty.F32; Ty.F64; Ty.I1; Ty.I8; Ty.I16; Ty.I32; Ty.I64; Ty.Index;
+      Ty.None_ty;
+      Ty.Memref ([ 4; -1; 2 ], Ty.F32);
+      Ty.Field (Ty.make_bounds ~lb:[ -2; 0 ] ~ub:[ 10; 8 ], Ty.F64);
+      Ty.Temp (None, Ty.F64);
+      Ty.Temp (Some (Ty.make_bounds ~lb:[ 0 ] ~ub:[ 5 ]), Ty.F32);
+      Ty.Stream (Ty.Array (9, Ty.F64));
+      Ty.Struct [ Ty.Array (8, Ty.F64); Ty.I32 ];
+      Ty.Ptr (Ty.Struct [ Ty.F64 ]);
+      Ty.Func ([ Ty.F64; Ty.Index ], [ Ty.I1 ]);
+    ]
+  in
+  List.iter
+    (fun ty ->
+      let s = Ty.to_string ty in
+      (* reparse through an op that carries the type as an attribute *)
+      let m = Ir.Module_.create () in
+      let op =
+        Ir.Op.create ~name:"hls.pipeline"
+          ~attrs:[ ("ii", Attr.Int 1); ("t", Attr.Ty ty) ]
+          ()
+      in
+      Ir.Block.append (Ir.Module_.body m) op;
+      let m2 = Parser.parse_module (Printer.to_string m) in
+      let op2 = List.hd (Ir.Module_.ops m2) in
+      match Ir.Op.get_attr op2 "t" with
+      | Some (Attr.Ty ty2) ->
+        Alcotest.(check bool) ("type " ^ s) true (Ty.equal ty ty2)
+      | _ -> Alcotest.failf "type attr lost for %s" s)
+    tys
+
+let test_parse_errors () =
+  let expect_error what src =
+    match Parser.parse_module src with
+    | exception Shmls_support.Err.Error _ -> ()
+    | _ -> Alcotest.failf "%s: expected parse error" what
+  in
+  expect_error "garbage" "not an op";
+  expect_error "undefined value" {|"builtin.module"() ({
+  "func.return"(%0) : (f64) -> ()
+}) : () -> ()|};
+  expect_error "arity mismatch" {|"builtin.module"() ({
+  %0 = "arith.constant"() {value = 1.0} : () -> (f64, f64)
+}) : () -> ()|};
+  expect_error "operand type mismatch" {|"builtin.module"() ({
+  %0 = "arith.constant"() {value = 1.0} : () -> (f64)
+  %1 = "arith.negf"(%0) : (i32) -> (i32)
+}) : () -> ()|}
+
+let test_parse_comments_and_ws () =
+  let src =
+    "// leading comment\n\"builtin.module\"() ({\n  // inner\n}) : () -> ()"
+  in
+  let m = Parser.parse_module src in
+  Alcotest.(check int) "empty body" 0 (List.length (Ir.Module_.ops m))
+
+let test_lowered_kernels_roundtrip () =
+  List.iter
+    (fun ((k : Shmls_frontend.Ast.kernel), grid) ->
+      let l = Lower.lower k ~grid in
+      Shmls_transforms.Shape_inference.run_on_module l.l_module;
+      roundtrip_is_identity k.k_name l.l_module)
+    Test_common.Helpers.all_test_kernels
+
+let test_hls_module_roundtrip () =
+  let l = Lower.lower Test_common.Helpers.chain_3d ~grid:[ 8; 6; 6 ] in
+  Shmls_transforms.Shape_inference.run_on_module l.l_module;
+  let m_hls, _ = Shmls_transforms.Stencil_to_hls.run l.l_module in
+  roundtrip_is_identity "hls module" m_hls
+
+let qcheck_random_kernel_roundtrip =
+  Test_common.Helpers.qtest ~count:40 "random kernel IR round-trips" Test_common.Helpers.gen_kernel
+    (fun k ->
+      match Shmls_frontend.Ast.validate k with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let l = Lower.lower k ~grid:(Test_common.Helpers.small_grid k.k_rank) in
+        let s1 = Printer.to_string l.l_module in
+        let s2 = Printer.to_string (Parser.parse_module s1) in
+        String.equal s1 s2)
+
+let () =
+  Alcotest.run "printer-parser"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "empty module" `Quick test_empty_module;
+          Alcotest.test_case "simple func" `Quick test_simple_func;
+          Alcotest.test_case "all attribute kinds" `Quick test_all_attr_kinds;
+          Alcotest.test_case "all type kinds" `Quick test_all_type_kinds;
+          Alcotest.test_case "all lowered kernels" `Quick test_lowered_kernels_roundtrip;
+          Alcotest.test_case "hls module" `Quick test_hls_module_roundtrip;
+          qcheck_random_kernel_roundtrip;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "malformed inputs" `Quick test_parse_errors;
+          Alcotest.test_case "comments and whitespace" `Quick test_parse_comments_and_ws;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Tests for the support library: ids, errors, statistics, tables. *)
+
+open Shmls_support
+
+let test_idgen_fresh () =
+  let g = Idgen.create () in
+  Alcotest.(check int) "first" 0 (Idgen.fresh g);
+  Alcotest.(check int) "second" 1 (Idgen.fresh g);
+  Alcotest.(check int) "peek" 2 (Idgen.peek g);
+  Alcotest.(check int) "peek does not advance" 2 (Idgen.fresh g)
+
+let test_idgen_reset () =
+  let g = Idgen.create () in
+  ignore (Idgen.fresh g);
+  ignore (Idgen.fresh g);
+  Idgen.reset g;
+  Alcotest.(check int) "after reset" 0 (Idgen.fresh g)
+
+let test_idgen_independent () =
+  let a = Idgen.create () and b = Idgen.create () in
+  ignore (Idgen.fresh a);
+  Alcotest.(check int) "b unaffected" 0 (Idgen.fresh b)
+
+let test_err_context () =
+  let e = Err.make "boom" in
+  let e = Err.add_context "inner" e in
+  let e = Err.add_context "outer" e in
+  Alcotest.(check string) "message" "boom [in outer < inner]" (Err.to_string e)
+
+let test_err_raise_format () =
+  match Err.raise_error "bad %d and %s" 42 "things" with
+  | exception Err.Error e ->
+    Alcotest.(check string) "formatted" "bad 42 and things" (Err.to_string e)
+  | _ -> Alcotest.fail "expected Err.Error"
+
+let test_err_with_context () =
+  match Err.with_context "pass foo" (fun () -> Err.raise_error "inner failure") with
+  | exception Err.Error e ->
+    Alcotest.(check string) "context added" "inner failure [in pass foo]"
+      (Err.to_string e)
+  | _ -> Alcotest.fail "expected Err.Error"
+
+let test_err_fail_result () =
+  match Err.fail "code %d" 7 with
+  | Error e -> Alcotest.(check string) "result error" "code 7" (Err.to_string e)
+  | Ok _ -> Alcotest.fail "expected Error"
+
+let test_err_get () =
+  Alcotest.(check int) "ok value" 3 (Err.get (Ok 3));
+  match Err.get (Error (Err.make "nope")) with
+  | exception Err.Error _ -> ()
+  | _ -> Alcotest.fail "expected raise"
+
+let test_stats_mean () =
+  Alcotest.(check (float 1e-12)) "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ])
+
+let test_stats_median () =
+  Alcotest.(check (float 1e-12)) "odd" 2.0 (Stats.median [ 3.0; 1.0; 2.0 ]);
+  Alcotest.(check (float 1e-12)) "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ])
+
+let test_stats_stddev () =
+  Alcotest.(check (float 1e-12)) "singleton" 0.0 (Stats.stddev [ 5.0 ]);
+  Alcotest.(check (float 1e-9)) "known" 1.0 (Stats.stddev [ 1.0; 2.0; 3.0 ])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [ 3.0; -1.0; 2.0 ] in
+  Alcotest.(check (float 0.0)) "min" (-1.0) lo;
+  Alcotest.(check (float 0.0)) "max" 3.0 hi
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ])
+
+let test_stats_empty () =
+  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty")
+    (fun () -> ignore (Stats.mean []))
+
+let test_table_render () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Right ] [ "name"; "value" ] in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "23" ];
+  let rendered = Table.render t in
+  Alcotest.(check bool) "has header" true
+    (String.length rendered > 0
+    && String.sub rendered 0 1 = "|");
+  Alcotest.(check int) "row count" 2 (List.length (Table.rows t))
+
+let test_table_arity () =
+  let t = Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: wrong arity")
+    (fun () -> Table.add_row t [ "only-one" ])
+
+let qcheck_mean_bounds =
+  Test_common.Helpers.qtest "mean lies within min/max"
+    QCheck2.Gen.(list_size (int_range 1 20) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let m = Stats.mean xs in
+      let lo, hi = Stats.min_max xs in
+      m >= lo -. 1e-9 && m <= hi +. 1e-9)
+
+let qcheck_median_bounds =
+  Test_common.Helpers.qtest "median lies within min/max"
+    QCheck2.Gen.(list_size (int_range 1 20) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let m = Stats.median xs in
+      let lo, hi = Stats.min_max xs in
+      m >= lo && m <= hi)
+
+let () =
+  Alcotest.run "support"
+    [
+      ( "idgen",
+        [
+          Alcotest.test_case "fresh advances" `Quick test_idgen_fresh;
+          Alcotest.test_case "reset" `Quick test_idgen_reset;
+          Alcotest.test_case "independent counters" `Quick test_idgen_independent;
+        ] );
+      ( "err",
+        [
+          Alcotest.test_case "context trail" `Quick test_err_context;
+          Alcotest.test_case "raise with format" `Quick test_err_raise_format;
+          Alcotest.test_case "with_context" `Quick test_err_with_context;
+          Alcotest.test_case "fail builds result" `Quick test_err_fail_result;
+          Alcotest.test_case "get" `Quick test_err_get;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty;
+          qcheck_mean_bounds;
+          qcheck_median_bounds;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "arity check" `Quick test_table_arity;
+        ] );
+    ]

@@ -1,0 +1,371 @@
+(* Transform tests: shape inference, apply split/fuse, and the structure
+   of the nine-step stencil-to-hls output. *)
+
+let () = Shmls_dialects.Register.all ()
+
+module H = Test_common.Helpers
+module Ir = Shmls_ir.Ir
+module Ty = Shmls_ir.Ty
+module Attr = Shmls_ir.Attr
+module Lower = Shmls_frontend.Lower
+module S2H = Shmls_transforms.Stencil_to_hls
+module Stencil = Shmls_dialects.Stencil
+
+let prepared k grid =
+  let l = Lower.lower k ~grid in
+  Shmls_transforms.Shape_inference.run_on_module l.l_module;
+  l
+
+(* -- shape inference ---------------------------------------------------- *)
+
+let temp_bounds_of v =
+  match Shmls_ir.Ir.Value.ty v with
+  | Ty.Temp (Some b, _) -> b
+  | _ -> Alcotest.fail "temp without inferred bounds"
+
+let test_shape_inference_basic () =
+  let l = prepared H.avg_1d [ 16 ] in
+  let loads = Ir.Op.collect l.l_module (fun o -> Ir.Op.name o = "stencil.load") in
+  (match loads with
+  | [ ld ] ->
+    let b = temp_bounds_of (Ir.Op.result ld 0) in
+    Alcotest.(check (list int)) "load lb" [ -1 ] b.lb;
+    Alcotest.(check (list int)) "load ub" [ 17 ] b.ub
+  | _ -> Alcotest.fail "expected one load");
+  let applies = Ir.Op.collect l.l_module (fun o -> Ir.Op.name o = "stencil.apply") in
+  match applies with
+  | [ a ] ->
+    let b = temp_bounds_of (Ir.Op.result a 0) in
+    Alcotest.(check (list int)) "apply = store interior" [ 0 ] b.lb;
+    Alcotest.(check (list int)) "apply ub" [ 16 ] b.ub
+  | _ -> Alcotest.fail "expected one apply"
+
+let test_shape_inference_chain_expansion () =
+  (* the mid temp in chain_3d is consumed at k +/- 1, so its inferred
+     bounds must extend one cell in dim 2 *)
+  let l = prepared H.chain_3d [ 8; 6; 6 ] in
+  let applies = Ir.Op.collect l.l_module (fun o -> Ir.Op.name o = "stencil.apply") in
+  let mid = List.hd applies in
+  let b = temp_bounds_of (Ir.Op.result mid 0) in
+  Alcotest.(check (list int)) "mid lb expanded" [ 0; 0; -1 ] b.lb;
+  Alcotest.(check (list int)) "mid ub expanded" [ 8; 6; 7 ] b.ub
+
+let test_shape_inference_region_args_updated () =
+  let l = prepared H.avg_1d [ 16 ] in
+  Ir.Op.walk l.l_module (fun o ->
+      if Ir.Op.name o = "stencil.apply" then
+        List.iteri
+          (fun i arg ->
+            if not (Ty.equal (Ir.Value.ty arg) (Ir.Value.ty (Ir.Op.operand o i)))
+            then Alcotest.fail "region arg type differs from operand")
+          (Shmls_ir.Ir.Block.args (Stencil.apply_block o)))
+
+(* -- apply split / fuse ------------------------------------------------- *)
+
+let interp_outputs (l : Lower.lowered) =
+  let st = Shmls_interp.Interp.run_lowered l in
+  List.filter_map
+    (fun (fd : Shmls_frontend.Ast.field_decl) ->
+      if fd.fd_role = Shmls_frontend.Ast.Input then None
+      else Some (fd.fd_name, List.assoc fd.fd_name st.fields))
+    l.l_kernel.k_fields
+
+let count_applies m =
+  List.length (Ir.Op.collect m (fun o -> Ir.Op.name o = "stencil.apply"))
+
+let test_fuse_then_split_preserves_semantics () =
+  let grid = [ 12; 8; 6 ] in
+  let reference = interp_outputs (prepared Shmls_kernels.Pw_advection.kernel grid) in
+  (* fuse the three PW applies into one multi-result apply *)
+  let l = prepared Shmls_kernels.Pw_advection.kernel grid in
+  let fused = Shmls_transforms.Apply_split.run_fuse_on_module l.l_module in
+  Alcotest.(check int) "one fusion happened" 1 fused;
+  Alcotest.(check int) "single apply" 1 (count_applies l.l_module);
+  H.check_verifies "fused module" l.l_module;
+  let fused_out = interp_outputs l in
+  List.iter2
+    (fun (n1, g1) (_, g2) ->
+      let d = Shmls_interp.Grid.max_abs_diff g1 g2 in
+      if d > 0.0 then Alcotest.failf "fused %s differs by %g" n1 d)
+    reference fused_out;
+  (* now split back *)
+  let split = Shmls_transforms.Apply_split.run_on_module l.l_module in
+  Alcotest.(check int) "one split happened" 1 split;
+  Alcotest.(check int) "three applies again" 3 (count_applies l.l_module);
+  H.check_verifies "split module" l.l_module;
+  let split_out = interp_outputs l in
+  List.iter2
+    (fun (n1, g1) (_, g2) ->
+      let d = Shmls_interp.Grid.max_abs_diff g1 g2 in
+      if d > 0.0 then Alcotest.failf "split %s differs by %g" n1 d)
+    reference split_out
+
+let test_split_noop_on_single_result () =
+  let l = prepared H.avg_1d [ 16 ] in
+  Alcotest.(check int) "nothing to split" 0
+    (Shmls_transforms.Apply_split.run_on_module l.l_module)
+
+let test_fuse_respects_dependencies () =
+  (* chain_3d: mid feeds dst and dst2, so mid cannot fuse with them; dst
+     and dst2 are mutually independent and legally fuse together *)
+  let grid = [ 8; 6; 6 ] in
+  let reference = interp_outputs (prepared H.chain_3d grid) in
+  let l = prepared H.chain_3d grid in
+  let fused = Shmls_transforms.Apply_split.run_fuse_on_module l.l_module in
+  Alcotest.(check int) "only the independent pair fuses" 1 fused;
+  Alcotest.(check int) "mid stays separate" 2 (count_applies l.l_module);
+  H.check_verifies "fused chain" l.l_module;
+  let fused_out = interp_outputs l in
+  List.iter2
+    (fun (n1, g1) (_, g2) ->
+      let d = Shmls_interp.Grid.max_abs_diff g1 g2 in
+      if d > 0.0 then Alcotest.failf "fused %s differs by %g" n1 d)
+    reference fused_out
+
+(* -- stencil-to-hls ------------------------------------------------------ *)
+
+let hls_of k grid =
+  let l = prepared k grid in
+  let m_hls, plans = S2H.run l.l_module in
+  H.check_verifies "hls module" m_hls;
+  (m_hls, plans)
+
+let test_plan_pw () =
+  let _, plans = hls_of Shmls_kernels.Pw_advection.kernel [ 12; 8; 6 ] in
+  match plans with
+  | [ (plan, _) ] ->
+    Alcotest.(check int) "7 ports (6 fields + small bundle)" 7 plan.S2H.p_ports_per_cu;
+    Alcotest.(check int) "4 CUs" 4 plan.p_cu
+  | _ -> Alcotest.fail "expected one plan"
+
+let test_plan_tracer () =
+  let _, plans = hls_of Shmls_kernels.Tracer_advection.kernel [ 10; 8; 8 ] in
+  match plans with
+  | [ (plan, _) ] ->
+    Alcotest.(check int) "17 separate ports" 17 plan.S2H.p_ports_per_cu;
+    Alcotest.(check int) "1 CU" 1 plan.p_cu
+  | _ -> Alcotest.fail "expected one plan"
+
+let test_hls_argument_types () =
+  let m_hls, _ = hls_of H.chain_3d [ 8; 6; 6 ] in
+  let func = Ir.Module_.find_func_exn m_hls "chain_3d" in
+  let arg_tys, _ = Shmls_dialects.Func.function_type func in
+  (* step 2: fields become 512-bit packed pointers; smalls plain ptrs;
+     scalars stay *)
+  (match arg_tys with
+  | [ f1; f2; f3; s; p ] ->
+    let packed = Ty.Ptr (Ty.Struct [ Ty.Array (8, Ty.F64) ]) in
+    List.iter
+      (fun t -> Alcotest.(check bool) "packed field ptr" true (Ty.equal t packed))
+      [ f1; f2; f3 ];
+    Alcotest.(check bool) "small ptr" true (Ty.equal s (Ty.Ptr Ty.F64));
+    Alcotest.(check bool) "scalar" true (Ty.equal p Ty.F64)
+  | _ -> Alcotest.fail "expected 5 args");
+  (* CU metadata recorded *)
+  Alcotest.(check bool) "hls_kernel attr" true
+    (Ir.Op.get_attr func "hls_kernel" = Some (Attr.Bool true))
+
+let stage_names m_hls =
+  Ir.Op.collect m_hls (fun o -> Ir.Op.name o = "hls.dataflow")
+  |> List.map Shmls_dialects.Hls.dataflow_stage
+
+let test_hls_stage_structure_pw () =
+  let m_hls, _ = hls_of Shmls_kernels.Pw_advection.kernel [ 12; 8; 6 ] in
+  let stages = stage_names m_hls in
+  let count p = List.length (List.filter p stages) in
+  let has_prefix p s = String.length s >= String.length p && String.sub s 0 (String.length p) = p in
+  (* step 7: exactly one load stage; step 6: one write stage *)
+  Alcotest.(check int) "one load_data" 1 (count (String.equal "load_data"));
+  Alcotest.(check int) "one write_data" 1 (count (String.equal "write_data"));
+  (* step 3: one shift buffer per input field *)
+  Alcotest.(check int) "three shift buffers" 3 (count (has_prefix "shift:"));
+  (* step 4: one compute stage per stencil *)
+  Alcotest.(check int) "three compute stages" 3 (count (has_prefix "compute:"));
+  (* u,v,w are each read by all three stencils: three dup stages *)
+  Alcotest.(check int) "three dups" 3 (count (has_prefix "dup:"))
+
+let test_hls_small_data_copies () =
+  let m_hls, _ = hls_of Shmls_kernels.Pw_advection.kernel [ 12; 8; 6 ] in
+  (* step 8: each compute stage copies the smalls it reads into a local
+     partitioned BRAM array *)
+  let allocas = Ir.Op.collect m_hls (fun o -> Ir.Op.name o = "memref.alloca") in
+  (* su: tzc1,tzc2; sv: tzc1,tzc2; sw: tzd1,tzd2 -> 6 copies *)
+  Alcotest.(check int) "six BRAM copies" 6 (List.length allocas);
+  let partitions =
+    Ir.Op.collect m_hls (fun o -> Ir.Op.name o = "hls.array_partition")
+  in
+  Alcotest.(check int) "each copy partitioned" 6 (List.length partitions)
+
+let test_hls_interfaces_and_banks () =
+  let m_hls, _ = hls_of Shmls_kernels.Pw_advection.kernel [ 12; 8; 6 ] in
+  let ifaces = Ir.Op.collect m_hls (fun o -> Ir.Op.name o = "hls.interface") in
+  (* 6 fields + 4 smalls *)
+  Alcotest.(check int) "ten interfaces" 10 (List.length ifaces);
+  let bundles =
+    List.map (fun o -> Attr.str_exn (Ir.Op.get_attr_exn o "bundle")) ifaces
+  in
+  let smalls = List.filter (String.equal "gmem_small") bundles in
+  Alcotest.(check int) "smalls share one bundle" 4 (List.length smalls);
+  let field_bundles =
+    List.filter (fun b -> not (String.equal "gmem_small" b)) bundles
+  in
+  Alcotest.(check int) "field bundles distinct" 6
+    (List.length (List.sort_uniq String.compare field_bundles))
+
+let test_hls_pipeline_ii_one () =
+  let m_hls, _ = hls_of Shmls_kernels.Pw_advection.kernel [ 12; 8; 6 ] in
+  let pipes = Ir.Op.collect m_hls (fun o -> Ir.Op.name o = "hls.pipeline") in
+  Alcotest.(check bool) "pipelines exist" true (pipes <> []);
+  List.iter
+    (fun p -> Alcotest.(check int) "II=1" 1 (Shmls_dialects.Hls.pipeline_ii p))
+    pipes
+
+let test_hls_rejects_multi_result_apply () =
+  let l = prepared Shmls_kernels.Pw_advection.kernel [ 12; 8; 6 ] in
+  ignore (Shmls_transforms.Apply_split.run_fuse_on_module l.l_module);
+  match S2H.run l.l_module with
+  | exception Shmls_support.Err.Error _ -> ()
+  | _ -> Alcotest.fail "multi-result apply must be rejected"
+
+let test_hls_intermediate_shift () =
+  (* chain_3d: mid is consumed at non-zero offsets -> an inter-stage
+     shift buffer must appear for it *)
+  let m_hls, _ = hls_of H.chain_3d [ 8; 6; 6 ] in
+  let stages = stage_names m_hls in
+  Alcotest.(check bool) "shift for intermediate t0" true
+    (List.mem "shift:t0" stages)
+
+(* -- loop raising (the Flang path) -------------------------------------- *)
+
+let raised_matches_reference (k : Shmls_frontend.Ast.kernel) grid =
+  (* lower -> cpu -> raise, then compare interpretations *)
+  let l = prepared k grid in
+  let ref_out = interp_outputs l in
+  let m_cpu = Shmls_transforms.Stencil_to_cpu.run l.l_module in
+  let m_raised, raised = Shmls_transforms.Loop_raise.run m_cpu in
+  Alcotest.(check int) (k.k_name ^ " raised") 1 raised;
+  H.check_verifies "raised module" m_raised;
+  Shmls_transforms.Shape_inference.run_on_module m_raised;
+  let f = Ir.Module_.find_func_exn m_raised k.k_name in
+  let st = Shmls_interp.Interp.alloc_state l in
+  ignore
+    (Shmls_interp.Interp.run_func f ~args:(Shmls_interp.Interp.state_args st));
+  let interior =
+    Ty.make_bounds ~lb:(List.map (fun _ -> 0) grid) ~ub:grid
+  in
+  List.iter2
+    (fun (name, g_ref) (_, g_raised) ->
+      let d = Shmls_interp.Grid.max_abs_diff_on interior g_ref g_raised in
+      if d <> 0.0 then Alcotest.failf "raised %s differs by %g" name d)
+    ref_out
+    (List.filter_map
+       (fun (fd : Shmls_frontend.Ast.field_decl) ->
+         if fd.fd_role = Shmls_frontend.Ast.Input then None
+         else Some (fd.fd_name, List.assoc fd.fd_name st.fields))
+       k.k_fields)
+
+let test_raise_single_stencil_kernels () =
+  List.iter
+    (fun (k, grid) -> raised_matches_reference k grid)
+    [
+      (H.copy_1d, [ 16 ]);
+      (H.avg_1d, [ 16 ]);
+      (Shmls_kernels.Didactic.laplace_2d, [ 10; 8 ]);
+      (Shmls_kernels.Didactic.heat_3d, [ 8; 6; 6 ]);
+    ]
+
+let test_raise_feeds_the_fpga_pipeline () =
+  (* the Flang path of Figure 1: loops -> stencil dialect -> HLS *)
+  let l = prepared Shmls_kernels.Didactic.heat_3d [ 8; 6; 6 ] in
+  let m_cpu = Shmls_transforms.Stencil_to_cpu.run l.l_module in
+  let m_raised, _ = Shmls_transforms.Loop_raise.run m_cpu in
+  Shmls_transforms.Shape_inference.run_on_module m_raised;
+  let m_hls, plans = S2H.run m_raised in
+  H.check_verifies "hls from raised loops" m_hls;
+  match plans with
+  | [ (_, func) ] ->
+    let d = Shmls_fpga.Extract.extract func in
+    Alcotest.(check bool) "stages extracted" true (List.length d.d_stages >= 4)
+  | _ -> Alcotest.fail "expected one plan"
+
+let test_raise_skips_unraisable () =
+  (* chained kernels lower with expanded (negative) loop bounds: skipped *)
+  let l = prepared H.chain_3d [ 8; 6; 6 ] in
+  let m_cpu = Shmls_transforms.Stencil_to_cpu.run l.l_module in
+  let _, raised = Shmls_transforms.Loop_raise.run m_cpu in
+  Alcotest.(check int) "conservatively skipped" 0 raised
+
+let qcheck_hls_structure_invariants =
+  H.qtest ~count:40 "HLS design structure matches the kernel" H.gen_kernel
+    (fun k ->
+      match Shmls_frontend.Ast.validate k with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        let c = Shmls.compile k ~grid:(H.small_grid k.k_rank) in
+        let d = c.c_design in
+        let count p = List.length (List.filter p d.d_stages) in
+        count (function Shmls.Design.Compute _ -> true | _ -> false)
+        = List.length k.k_stencils
+        && count (function Shmls.Design.Load _ -> true | _ -> false) = 1
+        && count (function Shmls.Design.Write _ -> true | _ -> false) = 1
+        && List.length d.d_interfaces
+           = List.length k.k_fields + List.length k.k_smalls)
+
+let qcheck_raise_roundtrip_random =
+  H.qtest ~count:30 "loop raiser round-trips random single-stencil kernels"
+    H.gen_single_stencil_kernel (fun k ->
+      match Shmls_frontend.Ast.validate k with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        raised_matches_reference k (H.small_grid k.k_rank);
+        true)
+
+let () =
+  Alcotest.run "transforms"
+    [
+      ( "shape-inference",
+        [
+          Alcotest.test_case "basic bounds" `Quick test_shape_inference_basic;
+          Alcotest.test_case "chain expansion" `Quick
+            test_shape_inference_chain_expansion;
+          Alcotest.test_case "region args updated" `Quick
+            test_shape_inference_region_args_updated;
+        ] );
+      ( "apply-split",
+        [
+          Alcotest.test_case "fuse/split round trip" `Quick
+            test_fuse_then_split_preserves_semantics;
+          Alcotest.test_case "split is no-op on single result" `Quick
+            test_split_noop_on_single_result;
+          Alcotest.test_case "fuse respects dependencies" `Quick
+            test_fuse_respects_dependencies;
+        ] );
+      ( "loop-raise",
+        [
+          Alcotest.test_case "single-stencil kernels round-trip" `Quick
+            test_raise_single_stencil_kernels;
+          Alcotest.test_case "raised loops feed the FPGA pipeline" `Quick
+            test_raise_feeds_the_fpga_pipeline;
+          Alcotest.test_case "skips unraisable nests" `Quick
+            test_raise_skips_unraisable;
+          qcheck_raise_roundtrip_random;
+        ] );
+      ( "stencil-to-hls",
+        [
+          Alcotest.test_case "PW plan: 7 ports, 4 CUs" `Quick test_plan_pw;
+          Alcotest.test_case "tracer plan: 17 ports, 1 CU" `Quick test_plan_tracer;
+          Alcotest.test_case "argument types (step 2)" `Quick test_hls_argument_types;
+          Alcotest.test_case "stage structure (steps 3,4,6,7)" `Quick
+            test_hls_stage_structure_pw;
+          Alcotest.test_case "small-data copies (step 8)" `Quick
+            test_hls_small_data_copies;
+          Alcotest.test_case "interfaces and banks (step 9)" `Quick
+            test_hls_interfaces_and_banks;
+          Alcotest.test_case "pipeline II=1" `Quick test_hls_pipeline_ii_one;
+          Alcotest.test_case "rejects fused applies" `Quick
+            test_hls_rejects_multi_result_apply;
+          Alcotest.test_case "intermediate shift buffers" `Quick
+            test_hls_intermediate_shift;
+          qcheck_hls_structure_invariants;
+        ] );
+    ]

@@ -1,0 +1,79 @@
+(* The kernel zoo: the transformation must generalise beyond the paper's
+   two kernels — bit-exact numerics and II~1 on every zoo member,
+   including halo-2 (5-wide neighbourhood) and chained shapes. *)
+
+let () = Shmls_dialects.Register.all ()
+
+let test_zoo_bit_exact () =
+  List.iter
+    (fun ((k : Shmls.Ast.kernel), grid) ->
+      let c = Shmls.compile k ~grid in
+      let v = Shmls.verify c in
+      if v.v_max_diff <> 0.0 then
+        Alcotest.failf "%s: diff %g" k.k_name v.v_max_diff)
+    Shmls_kernels.Zoo.all
+
+let test_zoo_ii_one () =
+  List.iter
+    (fun ((k : Shmls.Ast.kernel), grid) ->
+      let c = Shmls.compile k ~grid in
+      let r = Shmls.Cycle_sim.run c.c_design in
+      if r.deadlocked then Alcotest.failf "%s deadlocked" k.k_name;
+      let ii =
+        float_of_int r.cycles /. float_of_int (Shmls.Design.total_padded c.c_design)
+      in
+      if ii > 1.7 then Alcotest.failf "%s: effective II %.2f" k.k_name ii)
+    Shmls_kernels.Zoo.all
+
+let test_halo2_neighbourhoods () =
+  (* halo-2 kernels must get 5-wide neighbourhood windows *)
+  let c = Shmls.compile Shmls_kernels.Zoo.biharmonic_2d ~grid:[ 16; 14 ] in
+  Alcotest.(check (list int)) "halo 2" [ 2; 2 ] c.c_design.d_halo;
+  let has_25_wide =
+    List.exists
+      (fun (s : Shmls.Design.stream) -> s.st_width_bits = 25 * 64)
+      c.c_design.d_streams
+  in
+  Alcotest.(check bool) "25-element neighbourhood stream" true has_25_wide
+
+let test_zoo_beats_baselines () =
+  (* the paper's headline relationship holds across the zoo: HMLS at
+     II=1 clears DaCe's II=9 pipeline on every kernel *)
+  List.iter
+    (fun ((k : Shmls.Ast.kernel), _) ->
+      let grid =
+        match k.k_rank with 2 -> [ 256; 128 ] | _ -> [ 128; 64; 32 ]
+      in
+      match Shmls.evaluate_all k ~grid with
+      | Shmls.Flow.Success hmls :: Shmls.Flow.Success dace :: _ ->
+        if hmls.s_est.e_mpts <= dace.s_est.e_mpts then
+          Alcotest.failf "%s: HMLS (%.1f) not above DaCe (%.1f)" k.k_name
+            hmls.s_est.e_mpts dace.s_est.e_mpts
+      | _ -> Alcotest.failf "%s: evaluation failed" k.k_name)
+    Shmls_kernels.Zoo.all
+
+let test_zoo_fits_device () =
+  List.iter
+    (fun ((k : Shmls.Ast.kernel), _) ->
+      let grid =
+        match k.k_rank with 2 -> [ 512; 256 ] | _ -> [ 256; 128; 64 ]
+      in
+      let c = Shmls.compile k ~grid in
+      let u = Shmls.Resources.of_design c.c_design in
+      if not (Shmls.Resources.fits u) then
+        Alcotest.failf "%s does not fit at production size" k.k_name)
+    Shmls_kernels.Zoo.all
+
+let () =
+  Alcotest.run "zoo"
+    [
+      ( "generalisation",
+        [
+          Alcotest.test_case "bit-exact on every kernel" `Quick test_zoo_bit_exact;
+          Alcotest.test_case "II~1 on every kernel" `Quick test_zoo_ii_one;
+          Alcotest.test_case "halo-2 neighbourhoods" `Quick test_halo2_neighbourhoods;
+          Alcotest.test_case "beats DaCe across the zoo" `Quick
+            test_zoo_beats_baselines;
+          Alcotest.test_case "fits at production sizes" `Quick test_zoo_fits_device;
+        ] );
+    ]
