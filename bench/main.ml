@@ -560,6 +560,17 @@ let bechamel () =
         (Staged.stage (fun () -> ignore (Shmls.Resources.of_design compiled.c_design)));
       Test.make ~name:"pipeline_compile_pw"
         (Staged.stage (fun () -> ignore (Shmls.compile PW.kernel ~grid)));
+      (* the nine-step HLS lowering alone, on a pre-lowered module (the
+         functional run leaves its input intact, so reuse is safe) *)
+      Test.make ~name:"pipeline_stencil_to_hls_9steps"
+        (Staged.stage
+           (let lowered = Shmls.Lower.lower PW.kernel ~grid in
+            Shmls_transforms.Shape_inference.run_on_module
+              lowered.Shmls.Lower.l_module;
+            fun () ->
+              ignore
+                (Shmls_transforms.Stencil_to_hls.run
+                   lowered.Shmls.Lower.l_module)));
       Test.make ~name:"pipeline_functional_sim"
         (Staged.stage (fun () -> ignore (Shmls.verify compiled)));
       Test.make ~name:"pipeline_cycle_sim"

@@ -43,7 +43,8 @@ let write_file dir name contents =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace =
+let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace
+    pass_stats =
   try
     let kernel = load_kernel kernel_spec in
     let grid = parse_grid grid_spec in
@@ -52,6 +53,12 @@ let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace =
       kernel.k_name grid_spec c.c_cu c.c_ports_per_cu
       (List.length c.c_design.d_stages)
       (List.length c.c_design.d_streams);
+    if pass_stats then begin
+      print_endline "HLS lowering pass statistics:";
+      List.iter
+        (fun s -> Format.printf "  %a@." Shmls.Pass.pp_stat s)
+        c.c_pass_stats
+    end;
     if emit = "stencil" || emit = "all" then begin
       if outdir = "" then print_endline (Shmls.emit_stencil_text c)
       else write_file outdir (kernel.k_name ^ ".stencil.mlir") (Shmls.emit_stencil_text c)
@@ -154,6 +161,12 @@ let trace_arg =
     & info [ "trace" ] ~docv:"FILE"
         ~doc:"Cycle-simulate and write a FIFO-occupancy CSV trace.")
 
+let pass_stats_arg =
+  Arg.(
+    value & flag
+    & info [ "pass-stats" ]
+        ~doc:"Print per-step timing of the nine-pass HLS lowering.")
+
 let cmd =
   let doc = "compile stencil kernels through the Stencil-HMLS pipeline" in
   Cmd.v
@@ -161,6 +174,6 @@ let cmd =
     Term.(
       ret
         (const run_tool $ kernel_arg $ grid_arg $ emit_arg $ outdir_arg
-       $ verify_arg $ evaluate_arg $ report_arg $ trace_arg))
+       $ verify_arg $ evaluate_arg $ report_arg $ trace_arg $ pass_stats_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -4,6 +4,7 @@
    pass pipeline, and prints the result:
 
      shmls-opt --passes stencil-shape-inference,stencil-to-hls input.mlir
+     shmls-opt --passes 'stencil-to-hls{steps=1-4}' input.mlir
      shmls-opt --list-passes
      echo '...' | shmls-opt --passes canonicalize - *)
 
@@ -16,20 +17,43 @@ let read_all ic =
    with End_of_file -> ());
   Buffer.contents buf
 
-let run_tool passes_spec verify_each stats list_passes input =
-  Shmls_dialects.Register.all ();
-  (* the passes register themselves at module init; reference the
-     libraries so the linker keeps them *)
-  ignore Shmls_transforms.Shape_inference.pass;
-  ignore Shmls_transforms.Stencil_to_cpu.pass;
-  ignore Shmls_transforms.Stencil_to_hls.pass;
-  ignore Shmls_transforms.Apply_split.pass;
-  ignore Shmls_transforms.Loop_raise.pass;
-  ignore Shmls_ir.Dce.pass;
-  ignore Shmls_ir.Cse.pass;
-  ignore Shmls_ir.Fold.pass;
+(* "all" in --dump-after matches every pass. *)
+let dump_wanted dump_after name =
+  List.mem "all" dump_after || List.mem name dump_after
+
+let snapshot_hooks ~print_ir_after_all ~dump_after ~dump_dir =
+  if (not print_ir_after_all) && dump_after = [] then []
+  else
+    [
+      Shmls_ir.Pass.hook
+        ~after:(fun pass _stat m ->
+          let name = pass.Shmls_ir.Pass.pass_name in
+          let text = Shmls_ir.Printer.to_string m in
+          if print_ir_after_all then
+            Format.eprintf "// ----- IR after pass %s -----@.%s@." name text;
+          if dump_wanted dump_after name then begin
+            let path = Filename.concat dump_dir (name ^ ".after.mlir") in
+            match open_out path with
+            | oc ->
+              output_string oc text;
+              output_char oc '\n';
+              close_out oc
+            | exception Sys_error msg ->
+              Shmls_support.Err.raise_error "--dump-after: %s" msg
+          end)
+        ();
+    ]
+
+let run_tool passes_spec verify_each stats list_passes print_ir_after_all
+    dump_after dump_dir input =
+  Shmls_transforms.Register.all ();
   if list_passes then begin
-    List.iter print_endline (Shmls_ir.Pass.registered_passes ());
+    List.iter
+      (fun name ->
+        match Shmls_ir.Pass.describe name with
+        | Some d when d <> "" -> Printf.printf "%-24s %s\n" name d
+        | _ -> print_endline name)
+      (Shmls_ir.Pass.registered_passes ());
     `Ok ()
   end
   else
@@ -46,13 +70,16 @@ let run_tool passes_spec verify_each stats list_passes input =
       let m = Shmls_ir.Parser.parse_module src in
       Shmls_ir.Verifier.verify_exn m;
       let passes = Shmls_ir.Pass.parse_pipeline passes_spec in
+      let hooks = snapshot_hooks ~print_ir_after_all ~dump_after ~dump_dir in
       let run_stats =
-        Shmls_ir.Pass.run_pipeline ~verify_each passes m
+        Shmls_ir.Pass.run_pipeline ~verify_each ~hooks passes m
       in
-      if stats then
+      if stats then begin
         List.iter
           (fun s -> Format.eprintf "%a@." Shmls_ir.Pass.pp_stat s)
           run_stats;
+        Format.eprintf "%a" Shmls_ir.Pass.pp_summary run_stats
+      end;
       print_endline (Shmls_ir.Printer.to_string m);
       `Ok ()
     with Shmls_support.Err.Error e ->
@@ -64,7 +91,10 @@ let passes_arg =
   Arg.(
     value & opt string ""
     & info [ "p"; "passes" ] ~docv:"PIPELINE"
-        ~doc:"Comma-separated pass pipeline to run.")
+        ~doc:
+          "Comma-separated pass pipeline to run. Composite pipelines expand \
+           to their steps; options go in braces, e.g. \
+           stencil-to-hls{steps=3-5}.")
 
 let verify_arg =
   Arg.(
@@ -77,6 +107,25 @@ let stats_arg =
 let list_arg =
   Arg.(value & flag & info [ "list-passes" ] ~doc:"List registered passes and exit.")
 
+let print_after_arg =
+  Arg.(
+    value & flag
+    & info [ "print-ir-after-all" ]
+        ~doc:"Print the module to stderr after every pass.")
+
+let dump_after_arg =
+  Arg.(
+    value & opt_all string []
+    & info [ "dump-after" ] ~docv:"PASS"
+        ~doc:
+          "Write the module to $(i,PASS).after.mlir after the named pass \
+           ('all' dumps after every pass; repeatable).")
+
+let dump_dir_arg =
+  Arg.(
+    value & opt string "."
+    & info [ "dump-dir" ] ~docv:"DIR" ~doc:"Directory for --dump-after snapshots.")
+
 let input_arg =
   Arg.(value & pos 0 string "-" & info [] ~docv:"INPUT" ~doc:"Input file ('-' for stdin).")
 
@@ -84,6 +133,9 @@ let cmd =
   let doc = "run compiler passes over Stencil-HMLS IR modules" in
   Cmd.v
     (Cmd.info "shmls-opt" ~doc)
-    Term.(ret (const run_tool $ passes_arg $ verify_arg $ stats_arg $ list_arg $ input_arg))
+    Term.(
+      ret
+        (const run_tool $ passes_arg $ verify_arg $ stats_arg $ list_arg
+       $ print_after_arg $ dump_after_arg $ dump_dir_arg $ input_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -40,7 +40,7 @@ module Flow = Shmls_baselines.Flow
 module Circt = Shmls_circt.Circt
 module Err = Shmls_support.Err
 
-let () = Shmls_dialects.Register.all ()
+let () = Shmls_transforms.Register.all ()
 
 type compiled = {
   c_kernel : Ast.kernel;
@@ -53,18 +53,21 @@ type compiled = {
   c_llvm : Shmls_llvmir.Ll.modul; (* after f++ *)
   c_fpp : Shmls_llvmir.Fplusplus.report;
   c_connectivity : string; (* v++ connectivity config *)
+  c_pass_stats : Pass.stat list; (* per-step HLS lowering statistics *)
 }
 
 (* Run the full Stencil-HMLS compilation pipeline on one kernel. *)
 let compile ?(balance_depths = true) ?(split_applies = true)
     (kernel : Ast.kernel) ~grid =
-  Shmls_dialects.Register.all ();
+  Shmls_transforms.Register.all ();
   let lowered = Lower.lower kernel ~grid in
   Shmls_transforms.Shape_inference.run_on_module lowered.l_module;
   if split_applies then
     ignore (Shmls_transforms.Apply_split.run_on_module lowered.l_module);
   Verifier.verify_exn lowered.l_module;
-  let hls_module, plans = Shmls_transforms.Stencil_to_hls.run lowered.l_module in
+  let hls_module, plans, pass_stats =
+    Shmls_transforms.Stencil_to_hls.run_with_stats lowered.l_module
+  in
   Verifier.verify_exn hls_module;
   let plan, func =
     match plans with
@@ -92,6 +95,7 @@ let compile ?(balance_depths = true) ?(split_applies = true)
     c_llvm = llvm;
     c_fpp = fpp;
     c_connectivity = connectivity;
+    c_pass_stats = pass_stats;
   }
 
 (* ------------------------------------------------------------------ *)

@@ -43,6 +43,8 @@ type compiled = {
   c_llvm : Shmls_llvmir.Ll.modul;  (** LLVM-IR after f++ *)
   c_fpp : Shmls_llvmir.Fplusplus.report;
   c_connectivity : string;  (** v++ connectivity config *)
+  c_pass_stats : Pass.stat list;
+      (** wall time / op-count deltas of the nine HLS lowering steps *)
 }
 
 (** Run the full Stencil-HMLS compilation pipeline. [balance_depths]

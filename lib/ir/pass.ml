@@ -1,6 +1,20 @@
 (* Pass manager.  A pass transforms a module in place; pipelines run passes
    in order, optionally verifying after each one, and record wall-clock and
-   op-count statistics that shmls-opt can print. *)
+   op-count statistics that shmls-opt can print.
+
+   The registry holds three kinds of entry:
+   - atomic passes ("dce"), registered with {!register};
+   - parametric passes, whose run function is instantiated from textual
+     options ("my-pass{level=2}"), registered with {!register_parametric};
+   - composite pipelines ("stencil-to-hls", which expands to its nine step
+     passes, optionally restricted with "stencil-to-hls{steps=2-5}"),
+     registered with {!register_composite}.
+
+   Pipeline specs are comma-separated at the top level; options between
+   braces belong to the preceding pass name, so commas inside braces do
+   not split: "a,b{x=1,y=2},c" is three elements.  [parse_pipeline]
+   flattens composites, so the driver times/verifies/dumps each expanded
+   step individually. *)
 
 type t = { pass_name : string; description : string; run : Ir.op -> unit }
 
@@ -11,13 +25,53 @@ type stat = {
   ops_after : int;
 }
 
+(* Instrumentation hooks, called around every pass a pipeline runs. *)
+type hook = {
+  h_before : t -> Ir.op -> unit;
+  h_after : t -> stat -> Ir.op -> unit;
+}
+
+let hook ?(before = fun _ _ -> ()) ?(after = fun _ _ _ -> ()) () =
+  { h_before = before; h_after = after }
+
 let make ~name ?(description = "") run = { pass_name = name; description; run }
 
-let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+type options = (string * string) list
 
-let register pass = Hashtbl.replace registry pass.pass_name pass
+type entry =
+  | Atomic of t
+  | Parametric of { p_description : string; p_make : options -> t }
+  | Composite of { c_description : string; c_expand : options -> t list }
 
-let lookup name = Hashtbl.find_opt registry name
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 32
+
+let register pass = Hashtbl.replace registry pass.pass_name (Atomic pass)
+
+let register_parametric ~name ?(description = "") p_make =
+  Hashtbl.replace registry name (Parametric { p_description = description; p_make })
+
+let register_composite ~name ?(description = "") c_expand =
+  Hashtbl.replace registry name (Composite { c_description = description; c_expand })
+
+let sequence ~name ~description passes =
+  {
+    pass_name = name;
+    description;
+    run =
+      (fun m ->
+        List.iter
+          (fun p ->
+            Err.with_context ("pass " ^ p.pass_name) (fun () -> p.run m))
+          passes);
+  }
+
+let lookup name =
+  match Hashtbl.find_opt registry name with
+  | Some (Atomic p) -> Some p
+  | Some (Parametric { p_make; _ }) -> Some (p_make [])
+  | Some (Composite { c_description; c_expand }) ->
+    Some (sequence ~name ~description:c_description (c_expand []))
+  | None -> None
 
 let lookup_exn name =
   match lookup name with
@@ -28,27 +82,134 @@ let registered_passes () =
   Hashtbl.fold (fun name _ acc -> name :: acc) registry []
   |> List.sort String.compare
 
-let run_one ?(verify = false) pass module_op =
+let describe name =
+  match Hashtbl.find_opt registry name with
+  | Some (Atomic p) -> Some p.description
+  | Some (Parametric { p_description; _ }) -> Some p_description
+  | Some (Composite { c_description; _ }) -> Some c_description
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Pipeline spec parsing *)
+
+(* Split on top-level commas; braces protect their contents. *)
+let split_elements spec =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '{' ->
+        incr depth;
+        Buffer.add_char buf c
+      | '}' ->
+        decr depth;
+        if !depth < 0 then
+          Err.raise_error "pipeline %S: unbalanced '}'" spec;
+        Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    spec;
+  if !depth <> 0 then Err.raise_error "pipeline %S: unbalanced '{'" spec;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map String.trim !parts |> List.filter (fun s -> s <> "")
+
+let parse_options name body =
+  String.split_on_char ',' body
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun kv ->
+         match String.index_opt kv '=' with
+         | Some i ->
+           ( String.trim (String.sub kv 0 i),
+             String.trim (String.sub kv (i + 1) (String.length kv - i - 1)) )
+         | None ->
+           Err.raise_error "pass %S: malformed option %S (expected key=value)"
+             name kv)
+
+(* "name" or "name{k=v,...}" -> (name, options). *)
+let parse_element el =
+  match String.index_opt el '{' with
+  | None -> (el, [])
+  | Some i ->
+    if el.[String.length el - 1] <> '}' then
+      Err.raise_error "pipeline element %S: expected trailing '}'" el;
+    let name = String.trim (String.sub el 0 i) in
+    let body = String.sub el (i + 1) (String.length el - i - 2) in
+    (name, parse_options name body)
+
+let instantiate (name, options) =
+  match Hashtbl.find_opt registry name with
+  | None -> Err.raise_error "unknown pass %S" name
+  | Some (Atomic p) ->
+    if options <> [] then
+      Err.raise_error "pass %S takes no options" name;
+    [ p ]
+  | Some (Parametric { p_make; _ }) -> [ p_make options ]
+  | Some (Composite { c_expand; _ }) -> c_expand options
+
+(* Parse "pass1,pass2{opt=v},..." into a flat pipeline via the registry;
+   composite entries expand into their component passes. *)
+let parse_pipeline spec =
+  List.concat_map (fun el -> instantiate (parse_element el)) (split_elements spec)
+
+(* ------------------------------------------------------------------ *)
+(* Running *)
+
+let run_one ?(verify = false) ?(hooks = []) pass module_op =
+  List.iter (fun h -> h.h_before pass module_op) hooks;
   let ops_before = Ir.count_ops module_op in
   let t0 = Unix.gettimeofday () in
   Err.with_context ("pass " ^ pass.pass_name) (fun () -> pass.run module_op);
   let duration_s = Unix.gettimeofday () -. t0 in
   if verify then
     Err.with_context
-      ("verification after pass " ^ pass.pass_name)
+      (Printf.sprintf "inter-pass verification: invariant broken by pass %S"
+         pass.pass_name)
       (fun () -> Verifier.verify_exn module_op);
-  { stat_pass = pass.pass_name; duration_s; ops_before; ops_after = Ir.count_ops module_op }
+  let stat =
+    { stat_pass = pass.pass_name; duration_s; ops_before; ops_after = Ir.count_ops module_op }
+  in
+  List.iter (fun h -> h.h_after pass stat module_op) hooks;
+  stat
 
-let run_pipeline ?(verify_each = false) passes module_op =
-  List.map (fun pass -> run_one ~verify:verify_each pass module_op) passes
-
-(* Parse "pass1,pass2,..." into a pipeline using the registry. *)
-let parse_pipeline spec =
-  String.split_on_char ',' spec
-  |> List.map String.trim
-  |> List.filter (fun s -> s <> "")
-  |> List.map lookup_exn
+let run_pipeline ?(verify_each = false) ?(hooks = []) passes module_op =
+  List.map (fun pass -> run_one ~verify:verify_each ~hooks pass module_op) passes
 
 let pp_stat ppf s =
-  Format.fprintf ppf "%-32s %8.3f ms  ops %d -> %d" s.stat_pass
+  Format.fprintf ppf "%-32s %8.3f ms  ops %d -> %d (%+d)" s.stat_pass
     (s.duration_s *. 1000.0) s.ops_before s.ops_after
+    (s.ops_after - s.ops_before)
+
+(* Aggregate a run's stats per pass (a pipeline may repeat a pass):
+   run count, mean/total wall time via Shmls_support.Stats, net op delta. *)
+let pp_summary ppf stats =
+  let order = ref [] in
+  let by_pass : (string, stat list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if not (Hashtbl.mem by_pass s.stat_pass) then
+        order := s.stat_pass :: !order;
+      Hashtbl.replace by_pass s.stat_pass
+        (s :: (try Hashtbl.find by_pass s.stat_pass with Not_found -> [])))
+    stats;
+  let total = List.fold_left (fun acc s -> acc +. s.duration_s) 0.0 stats in
+  Format.fprintf ppf "%-32s %5s %12s %12s %8s@." "pass" "runs" "mean ms"
+    "total ms" "ops";
+  List.iter
+    (fun name ->
+      let ss = Hashtbl.find by_pass name in
+      let durations = List.map (fun s -> s.duration_s *. 1000.0) ss in
+      let delta =
+        List.fold_left (fun acc s -> acc + s.ops_after - s.ops_before) 0 ss
+      in
+      Format.fprintf ppf "%-32s %5d %12.3f %12.3f %+8d@." name
+        (List.length ss) (Stats.mean durations)
+        (List.fold_left ( +. ) 0.0 durations)
+        delta)
+    (List.rev !order);
+  Format.fprintf ppf "%-32s %5d %12s %12.3f@." "TOTAL" (List.length stats) ""
+    (total *. 1000.0)

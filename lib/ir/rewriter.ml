@@ -32,16 +32,35 @@ let apply_patterns ?(name = "rewrite") patterns root =
     List.sort (fun a b -> Int.compare b.benefit a.benefit) patterns
   in
   let changed_total = ref false in
+  (* Track which pattern fired last (and how often each fired) so the
+     non-convergence diagnostic can name the likely culprit. *)
+  let last_applied = ref None in
+  let counts : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let rec fixpoint iter =
-    if iter >= max_iterations then
-      Err.raise_error "pattern driver %S did not converge after %d iterations"
-        name max_iterations;
+    if iter >= max_iterations then begin
+      let culprit =
+        match !last_applied with
+        | Some p ->
+          Printf.sprintf "; last applied pattern %S (%d applications)"
+            p.pat_name
+            (try Hashtbl.find counts p.pat_name with Not_found -> 0)
+        | None -> ""
+      in
+      Err.raise_error "pattern driver %S did not converge after %d iterations%s"
+        name max_iterations culprit
+    end;
     let changed = ref false in
     List.iter
       (fun op ->
         if still_attached op then
           match List.find_opt (fun p -> p.matches op) patterns with
-          | Some p -> if p.rewrite op then changed := true
+          | Some p ->
+            if p.rewrite op then begin
+              changed := true;
+              last_applied := Some p;
+              Hashtbl.replace counts p.pat_name
+                (1 + try Hashtbl.find counts p.pat_name with Not_found -> 0)
+            end
           | None -> ())
       (ops_in_tree root);
     if !changed then begin

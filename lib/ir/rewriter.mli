@@ -18,5 +18,6 @@ val make_pattern :
 
 (** Apply patterns greedily to a fixpoint over the subtree under [root]
     (excluding [root] itself). Returns [true] if anything changed. Raises
-    {!Err.Error} if no fixpoint is reached within an iteration cap. *)
+    {!Err.Error} if no fixpoint is reached within an iteration cap; the
+    error names the last-applied pattern and its application count. *)
 val apply_patterns : ?name:string -> pattern list -> Ir.op -> bool

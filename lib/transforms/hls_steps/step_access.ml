@@ -1,0 +1,52 @@
+(* Step 5: shift-buffer access mapping.  The hls.nb_access placeholders
+   left by step 4 are lowered through the greedy pattern driver: accesses
+   into a shifted source become llvm.extractvalue at the offset's
+   row-major position inside the (2h+1)^d neighbourhood vector; accesses
+   into a plain value stream must be offset-free and forward the element
+   unchanged. *)
+
+open Shmls_ir
+open Shmls_dialects
+open Lowering_ctx
+
+let name = "hls-map-accesses"
+
+let description =
+  "step 5: map access offsets onto shift-buffer neighbourhood vectors"
+
+let lower_nb_access (op : Ir.op) =
+  let offset = Attr.ints_exn (Ir.Op.get_attr_exn op "offset") in
+  let block =
+    match Ir.Op.parent op with Some b -> b | None -> assert false
+  in
+  (match Ir.Op.get_attr op "halo" with
+  | Some (Attr.Ints halo) ->
+    let pos = nb_index halo offset in
+    let b = Builder.before block op in
+    let v =
+      Builder.insert_op1 b ~name:Llvm_d.extractvalue_op
+        ~operands:[ Ir.Op.operand op 0 ] ~result_ty:Ty.F64
+        ~attrs:[ ("indices", Attr.Ints [ pos ]) ]
+        ()
+    in
+    Ir.replace_op op [ v ]
+  | _ ->
+    if List.exists (fun o -> o <> 0) offset then
+      Err.raise_error "stencil-to-hls: offset access of a value stream";
+    Ir.replace_op op [ Ir.Op.operand op 0 ]);
+  true
+
+let pattern =
+  Rewriter.make_pattern ~name:"nb-access-lowering"
+    ~matches:(fun o -> Ir.Op.name o = nb_access_op)
+    ~rewrite:lower_nb_access ()
+
+let run_on_fx fx = ignore (Rewriter.apply_patterns ~name [ pattern ] (new_func fx))
+
+let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+
+let pass =
+  Pass.make ~name ~description (fun m ->
+      let ctx = require ~step:name ~after:Step_split.name m in
+      run_on_ctx ctx;
+      mark_done ctx name)

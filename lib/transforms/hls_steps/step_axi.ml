@@ -1,0 +1,54 @@
+(* Step 9: AXI bundle assignment.  Each field argument gets its own AXI4
+   bundle on its own HBM bank; small data shares one "gmem_small" bundle.
+   As the closing step it also terminates the kernel, records the plan
+   (cu / ports_per_cu / grid / field_halo) as function attributes, and
+   finalizes the lowering context — in-place pipelines drop the original
+   stencil functions here. *)
+
+open Shmls_ir
+open Shmls_dialects
+open Lowering_ctx
+
+let name = "hls-axi-bundles"
+
+let description =
+  "step 9: assign AXI4 bundles / HBM banks and seal the kernel"
+
+let run_on_fx fx =
+  let body = new_body fx in
+  let ib =
+    match Ir.Block.ops body with
+    | [] -> Builder.at_end body
+    | first :: _ -> Builder.before body first
+  in
+  let bank = ref 0 in
+  List.iteri
+    (fun i ((_, cls), new_arg) ->
+      match cls with
+      | Field_input | Field_output | Field_inout ->
+        Hls.interface ib ~mode:"m_axi"
+          ~bundle:(Printf.sprintf "gmem%d" i)
+          ~hbm_bank:!bank new_arg;
+        incr bank
+      | Small_constant ->
+        Hls.interface ib ~mode:"m_axi" ~bundle:"gmem_small" ~hbm_bank:(-2)
+          new_arg
+      | Scalar_constant -> ())
+    (List.combine fx.fx_classes fx.fx_new_args);
+  Func.return_ (Builder.at_end body) [];
+  let f = new_func fx in
+  let plan = fx.fx_plan in
+  Ir.Op.set_attr f "cu" (Attr.Int plan.p_cu);
+  Ir.Op.set_attr f "ports_per_cu" (Attr.Int plan.p_ports_per_cu);
+  Ir.Op.set_attr f "grid" (Attr.Ints plan.p_grid);
+  Ir.Op.set_attr f "field_halo" (Attr.Ints plan.p_field_halo);
+  Ir.Op.set_attr f "hls_kernel" (Attr.Bool true)
+
+let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+
+let pass =
+  Pass.make ~name ~description (fun m ->
+      let ctx = require ~step:name ~after:Step_bram.name m in
+      run_on_ctx ctx;
+      mark_done ctx name;
+      finalize ctx)

@@ -1,0 +1,7 @@
+(** Step 9: AXI bundle / HBM bank assignment; seals the kernel and
+    finalizes the lowering. *)
+
+val name : string
+val description : string
+val run_on_ctx : Lowering_ctx.t -> unit
+val pass : Shmls_ir.Pass.t

@@ -1,0 +1,99 @@
+(* Step 8: BRAM copies of small data.  Each compute stage that consumes a
+   small coefficient array gets a stage-local, cyclically partitioned
+   BRAM copy (guard-banded and edge-clamped so padded-boundary index
+   arithmetic stays in range), emitted at the head of the stage.  The
+   hls.small_access placeholders left by step 4 then become loads from
+   that local copy at the guard-shifted position. *)
+
+open Shmls_ir
+open Shmls_dialects
+open Lowering_ctx
+
+let name = "hls-bram-smalls"
+
+let description =
+  "step 8: copy small coefficient arrays into partitioned BRAM per stage"
+
+(* Emit the BRAM copy of one small array; returns the local memref. *)
+let emit_small_copy db ~(small_arg : Ir.value) ~(new_arg : Ir.value) =
+  let ext =
+    match Ir.Value.ty small_arg with
+    | Ty.Field (b, _) -> List.hd (Ty.bounds_extent b)
+    | _ -> Err.raise_error "stencil-to-hls: small argument is not a 1D field"
+  in
+  let local_extent = ext + (2 * small_guard) in
+  let local = Memref.alloca db ~shape:[ local_extent ] ~elem:Ty.F64 in
+  Hls.array_partition db ~kind:"cyclic" ~factor:2 ~dim:0 local;
+  let lb = Arith.constant_index db 0 in
+  let ub = Arith.constant_index db local_extent in
+  let step = Arith.constant_index db 1 in
+  ignore
+    (Scf.for_ db ~lb ~ub ~step (fun fb iv ->
+         Hls.pipeline fb ~ii:1;
+         (* clamp source index into [0, ext) across the guard band *)
+         let shifted = Arith.subi fb iv (Arith.constant_index fb small_guard) in
+         let zero = Arith.constant_index fb 0 in
+         let maxi = Arith.constant_index fb (ext - 1) in
+         let lt = Arith.cmpi fb ~predicate:"slt" shifted zero in
+         let clamped0 = Arith.select fb lt zero shifted in
+         let gt = Arith.cmpi fb ~predicate:"sgt" clamped0 maxi in
+         let clamped = Arith.select fb gt maxi clamped0 in
+         let p =
+           Builder.insert_op1 fb ~name:Llvm_d.gep_op
+             ~operands:[ new_arg; clamped ] ~result_ty:small_ptr_ty
+             ~attrs:[ ("indices", Attr.Ints []) ]
+             ()
+         in
+         let v = Llvm_d.load fb p in
+         Memref.store fb v local [ iv ]));
+  local
+
+let run_on_fx fx =
+  List.iter
+    (fun (cp : compute) ->
+      if cp.cp_smalls <> [] then begin
+        let block = Hls.dataflow_body cp.cp_stage in
+        let b =
+          match Ir.Block.ops block with
+          | [] -> Builder.at_end block
+          | first :: _ -> Builder.before block first
+        in
+        let locals =
+          List.map
+            (fun (small_arg, new_arg) -> emit_small_copy b ~small_arg ~new_arg)
+            cp.cp_smalls
+        in
+        let placeholders =
+          Ir.Op.collect cp.cp_stage (fun o -> Ir.Op.name o = small_access_op)
+        in
+        List.iter
+          (fun (ph : Ir.op) ->
+            let slot = Attr.int_exn (Ir.Op.get_attr_exn ph "input") in
+            let offset = Attr.int_exn (Ir.Op.get_attr_exn ph "offset") in
+            let local = List.nth locals slot in
+            let pos = Ir.Op.operand ph 0 in
+            let pblock =
+              match Ir.Op.parent ph with Some blk -> blk | None -> assert false
+            in
+            let pb = Builder.before pblock ph in
+            (* the guard band absorbs the offset *)
+            let shifted =
+              if offset + small_guard = 0 then pos
+              else begin
+                let c = Arith.constant_index pb (offset + small_guard) in
+                Arith.addi pb pos c
+              end
+            in
+            let v = Memref.load pb local [ shifted ] in
+            Ir.replace_op ph [ v ])
+          placeholders
+      end)
+    fx.fx_computes
+
+let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+
+let pass =
+  Pass.make ~name ~description (fun m ->
+      let ctx = require ~step:name ~after:Step_load.name m in
+      run_on_ctx ctx;
+      mark_done ctx name)

@@ -1,0 +1,6 @@
+(** Step 8: BRAM copies of small data (lowers hls.small_access). *)
+
+val name : string
+val description : string
+val run_on_ctx : Lowering_ctx.t -> unit
+val pass : Shmls_ir.Pass.t

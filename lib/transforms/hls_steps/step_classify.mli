@@ -1,0 +1,7 @@
+(** Step 1: argument classification and port/CU planning (analysis only;
+    opens the lowering context). *)
+
+val name : string
+val description : string
+val run_on_ctx : Lowering_ctx.t -> unit
+val pass : Shmls_ir.Pass.t

@@ -1,0 +1,48 @@
+(* Step 7: load de-duplication.  All field loads of a kernel collapse
+   into a single load_data dataflow stage, specialised (by callee name)
+   for the number of input fields, that reads each field pointer once and
+   feeds the corresponding value stream.  The stage is inserted right
+   after the stream declarations so it leads the dataflow chain. *)
+
+open Shmls_ir
+open Shmls_dialects
+open Lowering_ctx
+
+let name = "hls-dedup-loads"
+let description = "step 7: collapse field loads into one load_data stage"
+
+let run_on_fx fx =
+  let body = new_body fx in
+  let b =
+    match fx.fx_stream_anchor with
+    | Some anchor -> Builder.after body anchor
+    | None -> (
+      match Ir.Block.ops body with
+      | [] -> Builder.at_end body
+      | first :: _ -> Builder.before body first)
+  in
+  let load_callee = Printf.sprintf "load_data_%s" fx.fx_plan.p_kernel_name in
+  ignore
+    (Hls.dataflow b ~stage:"load_data" (fun db ->
+         let ptrs =
+           List.filter_map
+             (fun (ld : Ir.op) -> new_of_old fx (Ir.Op.operand ld 0))
+             fx.fx_field_loads
+         in
+         let strms =
+           List.map
+             (fun (ld : Ir.op) ->
+               match get_source fx (Ir.Op.result ld 0) with
+               | Some so -> (value_box so).bx_main
+               | None -> assert false)
+             fx.fx_field_loads
+         in
+         ignore (Llvm_d.call db ~callee:load_callee ~operands:(ptrs @ strms) ())))
+
+let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+
+let pass =
+  Pass.make ~name ~description (fun m ->
+      let ctx = require ~step:name ~after:Step_store.name m in
+      run_on_ctx ctx;
+      mark_done ctx name)

@@ -1,0 +1,6 @@
+(** Step 7: load de-duplication (the single load_data stage). *)
+
+val name : string
+val description : string
+val run_on_ctx : Lowering_ctx.t -> unit
+val pass : Shmls_ir.Pass.t

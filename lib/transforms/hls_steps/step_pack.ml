@@ -1,0 +1,37 @@
+(* Step 2: 512-bit interface packing.  Each kernel gets a fresh shell
+   whose field arguments are repacked pointers
+   (f64 -> !llvm.ptr<!llvm.struct<(!llvm.array<8 x f64>)>>), small
+   constants become plain f64 pointers and scalars stay f64.  The body is
+   grown by the later steps. *)
+
+open Shmls_ir
+open Shmls_dialects
+open Lowering_ctx
+
+let name = "hls-pack-interfaces"
+let description = "step 2: repack kernel arguments into 512-bit interface types"
+
+let run_on_fx (ctx : t) fx =
+  let new_arg_tys =
+    List.map
+      (fun (_, cls) ->
+        match cls with
+        | Field_input | Field_output | Field_inout -> packed_field_ty
+        | Small_constant -> small_ptr_ty
+        | Scalar_constant -> Ty.F64)
+      fx.fx_classes
+  in
+  let f =
+    Func.build_func ctx.cx_target ~name:fx.fx_plan.p_kernel_name
+      ~arg_tys:new_arg_tys ~result_tys:[] (fun _ _ -> ())
+  in
+  fx.fx_new <- Some f;
+  fx.fx_new_args <- Ir.Block.args (Ir.Region.entry (List.hd (Ir.Op.regions f)))
+
+let run_on_ctx (ctx : t) = List.iter (run_on_fx ctx) ctx.cx_funcs
+
+let pass =
+  Pass.make ~name ~description (fun m ->
+      let ctx = require ~step:name ~after:Step_classify.name m in
+      run_on_ctx ctx;
+      mark_done ctx name)

@@ -1,0 +1,6 @@
+(** Step 2: 512-bit interface packing (creates the packed kernel shell). *)
+
+val name : string
+val description : string
+val run_on_ctx : Lowering_ctx.t -> unit
+val pass : Shmls_ir.Pass.t

@@ -1,0 +1,7 @@
+(** Step 4: per-field dataflow split (one compute stage per apply, with
+    access placeholders for steps 5 and 8). *)
+
+val name : string
+val description : string
+val run_on_ctx : Lowering_ctx.t -> unit
+val pass : Shmls_ir.Pass.t

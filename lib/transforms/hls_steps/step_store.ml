@@ -1,0 +1,50 @@
+(* Step 6: store handling.  All stencil.store ops of a kernel collapse
+   into a single write_data dataflow stage that consumes each stored
+   source's value stream and packs 512-bit chunks out to the destination
+   pointer; the halo/extent attributes tell the stage which positions of
+   the padded iteration space are interior and get written. *)
+
+open Shmls_ir
+open Shmls_dialects
+open Lowering_ctx
+
+let name = "hls-write-data"
+let description = "step 6: replace stencil.store ops by one write_data stage"
+
+let run_on_fx fx =
+  let body = new_body fx in
+  let b = Builder.at_end body in
+  let plan = fx.fx_plan in
+  let write_callee = Printf.sprintf "write_data_%s" plan.p_kernel_name in
+  let wdf =
+    Hls.dataflow b ~stage:"write_data" (fun db ->
+        let operands =
+          List.concat_map
+            (fun (st : Ir.op) ->
+              let so =
+                match get_source fx (Ir.Op.operand st 0) with
+                | Some so -> so
+                | None ->
+                  Err.raise_error "stencil-to-hls: store of unknown source"
+              in
+              let stream = take (value_box so) in
+              let dst =
+                match new_of_old fx (Ir.Op.operand st 1) with
+                | Some v -> v
+                | None -> assert false
+              in
+              [ stream; dst ])
+            fx.fx_stores
+        in
+        ignore (Llvm_d.call db ~callee:write_callee ~operands ()))
+  in
+  Ir.Op.set_attr wdf "halo" (Attr.Ints plan.p_field_halo);
+  Ir.Op.set_attr wdf "extent" (Attr.Ints (padded_extent plan))
+
+let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+
+let pass =
+  Pass.make ~name ~description (fun m ->
+      let ctx = require ~step:name ~after:Step_access.name m in
+      run_on_ctx ctx;
+      mark_done ctx name)

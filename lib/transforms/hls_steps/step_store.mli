@@ -1,0 +1,6 @@
+(** Step 6: store handling (the single write_data stage). *)
+
+val name : string
+val description : string
+val run_on_ctx : Lowering_ctx.t -> unit
+val pass : Shmls_ir.Pass.t

@@ -1,0 +1,89 @@
+(* Step 3: stream conversion.  Direct external-memory accesses become
+   streams: every source (field load or apply result) gets a value stream
+   box, sources read at offsets also get a shift-buffer stream carrying
+   (2h+1)^d neighbourhood vectors, multi-reader streams get duplicate
+   copies fed by a dup stage, and each shifted source gets its
+   shift_buffer dataflow stage.
+
+   Layout matters for later steps: the streams are created first (the
+   last one is recorded as the insertion anchor for step 7's load_data
+   stage), then the shift stages, then the dup stages. *)
+
+open Shmls_ir
+open Shmls_dialects
+open Lowering_ctx
+
+let name = "hls-stream-conversion"
+
+let description =
+  "step 3: convert memory accesses into streams, shift buffers and dup stages"
+
+let run_on_fx fx =
+  let body = new_body fx in
+  let b = Builder.at_end body in
+  let padded = padded_extent fx.fx_plan in
+  let total_padded = List.fold_left ( * ) 1 padded in
+  List.iter
+    (fun (_, so) ->
+      let value_readers =
+        (if so.so_has_shift then 1 else so.so_apply_readers)
+        + so.so_store_readers
+      in
+      let depth = if so.so_is_field then depth_external else depth_internal in
+      so.so_value <-
+        Some (make_box b ~elem:Ty.F64 ~depth ~readers:value_readers);
+      if so.so_has_shift then
+        so.so_shift <-
+          Some
+            (make_box b
+               ~elem:(Ty.Array (nb_size so.so_halo, Ty.F64))
+               ~depth:depth_internal ~readers:so.so_apply_readers))
+    fx.fx_sources;
+  (match List.rev (Ir.Block.ops body) with
+  | last :: _ -> fx.fx_stream_anchor <- Some last
+  | [] -> fx.fx_stream_anchor <- None);
+  (* shift stages *)
+  List.iter
+    (fun (_, so) ->
+      match so.so_shift with
+      | Some shift_bx ->
+        let src = take (value_box so) in
+        let df =
+          Hls.dataflow b ~stage:("shift:" ^ so.so_name) (fun db ->
+              ignore
+                (Llvm_d.call db ~callee:"shift_buffer"
+                   ~operands:[ src; shift_bx.bx_main ] ()))
+        in
+        Ir.Op.set_attr df "halo" (Attr.Ints so.so_halo);
+        Ir.Op.set_attr df "extent" (Attr.Ints padded)
+      | None -> ())
+    fx.fx_sources;
+  (* duplicate stages *)
+  let dup_stage stage_name (bx : box) =
+    if bx.bx_copies <> [] then
+      ignore
+        (Hls.dataflow b ~stage:("dup:" ^ stage_name) (fun db ->
+             let lb = Arith.constant_index db 0 in
+             let ub = Arith.constant_index db total_padded in
+             let step = Arith.constant_index db 1 in
+             ignore
+               (Scf.for_ db ~lb ~ub ~step (fun fb _iv ->
+                    Hls.pipeline fb ~ii:1;
+                    let v = Hls.read fb bx.bx_main in
+                    List.iter (fun c -> Hls.write fb v c) bx.bx_copies))))
+  in
+  List.iter
+    (fun (_, so) ->
+      dup_stage so.so_name (value_box so);
+      match so.so_shift with
+      | Some bx -> dup_stage (so.so_name ^ "_shift") bx
+      | None -> ())
+    fx.fx_sources
+
+let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+
+let pass =
+  Pass.make ~name ~description (fun m ->
+      let ctx = require ~step:name ~after:Step_pack.name m in
+      run_on_ctx ctx;
+      mark_done ctx name)

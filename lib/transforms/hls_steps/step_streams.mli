@@ -1,0 +1,7 @@
+(** Step 3: stream conversion (value/shift streams, shift-buffer and dup
+    stages). *)
+
+val name : string
+val description : string
+val run_on_ctx : Lowering_ctx.t -> unit
+val pass : Shmls_ir.Pass.t

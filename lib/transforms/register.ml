@@ -1,0 +1,19 @@
+(* One-stop pass registration, mirroring Shmls_dialects.Register.all.
+
+   Most passes self-register at module initialisation, but a module's
+   initialiser only runs if the module is linked, and the linker drops
+   archive members nothing references.  Referencing every pass module
+   here means a single [Register.all ()] in a driver is enough to make
+   the whole pipeline available to Pass.parse_pipeline. *)
+
+let all () =
+  Shmls_dialects.Register.all ();
+  ignore Shmls_ir.Dce.pass;
+  ignore Shmls_ir.Cse.pass;
+  ignore Shmls_ir.Fold.pass;
+  ignore Shape_inference.pass;
+  ignore Stencil_to_cpu.pass;
+  ignore Apply_split.pass;
+  ignore Apply_split.fuse_pass;
+  ignore Loop_raise.pass;
+  Stencil_to_hls.register ()

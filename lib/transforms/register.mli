@@ -1,0 +1,5 @@
+(** Register every transform pass (plus the dialects and the lowering
+    placeholder ops) with the global registries.  Idempotent; drivers
+    call it once at startup. *)
+
+val all : unit -> unit

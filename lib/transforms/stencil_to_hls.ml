@@ -7,24 +7,13 @@
 
      load_data -> shift_buffer(f) -> duplicate(f) -> compute(s) -> write_data
 
-   Steps (numbers as in the paper):
-     1. classify kernel arguments (stencil inputs / outputs / constants)
-     2. replace interface types with 512-bit packed versions
-        (f64 -> !llvm.ptr<!llvm.struct<(!llvm.array<8 x f64>)>>)
-     3. replace direct external-memory accesses by streams feeding shift
-        buffers (one load_data stage; one shift_buffer stage per input)
-     4. separate stencil fields: one concurrent compute stage per
-        (already split) stencil.apply
-     5. map stencil.access offsets onto the shift buffer's neighbourhood
-        vector ((2h+1)^d values: 3 in 1D, 9 in 2D, 27 in 3D for halo 1)
-     6. replace stencil.store ops by a single write_data stage that packs
-        512-bit chunks
-     7. de-duplicate placeholder loads: a single load_data call
-        specialised for the number of input fields
-     8. copy small data (1D coefficient arrays) into local BRAM inside
-        each consuming compute stage, partitioned
-     9. assign each field argument to its own AXI4 bundle / HBM bank;
-        small data shares one bundle
+   The steps live as individually registered passes under hls_steps/
+   (hls-classify-args .. hls-axi-bundles), cooperating through a
+   Lowering_ctx threaded via a module attribute; this module only
+   orchestrates them.  "stencil-to-hls" is registered as a composite
+   pipeline, so `-p stencil-to-hls` expands to the nine step passes (a
+   contiguous subrange is selected with `stencil-to-hls{steps=A-B}`,
+   steps numbered 1-9 as in the paper).
 
    Stream convention: every stream carries one element per *padded* grid
    position in row-major order (boundary positions flow through and are
@@ -37,122 +26,23 @@
    time, not in the kernel IR. *)
 
 open Shmls_ir
-open Shmls_dialects
+module L = Lowering_ctx
 
-(* U280 shell limit used in the paper's CU-count reasoning. *)
-let max_axi_ports = 32
+let max_axi_ports = L.max_axi_ports
+let small_guard = L.small_guard
 
-let depth_external = 64
-let depth_internal = 4
-
-let packed_field_ty = Ty.Ptr (Ty.Struct [ Ty.Array (8, Ty.F64) ])
-let small_ptr_ty = Ty.Ptr Ty.F64
-
-(* Guard band on BRAM copies of small data so that index arithmetic at
-   padded-boundary positions stays in range (values are edge-clamped). *)
-let small_guard = 2
-
-(* ------------------------------------------------------------------ *)
-(* Step 1: argument classification *)
-
-type arg_class =
+type arg_class = L.arg_class =
   | Field_input
   | Field_output
   | Field_inout
   | Small_constant
   | Scalar_constant
 
-let classify_args (func : Ir.op) =
-  let body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
-  List.map
-    (fun arg ->
-      match Ir.Value.ty arg with
-      | Ty.Field (b, _) when Ty.bounds_rank b = 1 -> (
-        (* 1D fields whose loaded temps are only dyn_accessed are small
-           coefficient data *)
-        let loads =
-          List.filter
-            (fun (u : Ir.use) -> Ir.Op.name u.u_op = Stencil.load_op)
-            (Ir.Value.uses arg)
-        in
-        (* consumed exclusively through stencil.dyn_access
-           (position-indexed coefficient lookups) -> small constant data;
-           1D fields read with stencil.access are ordinary grids of a
-           rank-1 kernel *)
-        let dyn_only_in_apply (u : Ir.use) =
-          Ir.Op.name u.u_op = Stencil.apply_op
-          &&
-          let block_arg = Ir.Block.arg (Stencil.apply_block u.u_op) u.u_index in
-          Ir.Value.uses block_arg
-          |> List.for_all (fun (u2 : Ir.use) ->
-                 Ir.Op.name u2.u_op = Stencil.dyn_access_op)
-        in
-        let reads_dyn_only =
-          loads <> []
-          && List.for_all
-               (fun (u : Ir.use) ->
-                 let temp = Ir.Op.result u.u_op 0 in
-                 Ir.Value.uses temp |> List.for_all dyn_only_in_apply)
-               loads
-        in
-        if reads_dyn_only then (arg, Small_constant) else (arg, Field_input))
-      | Ty.Field _ ->
-        let read =
-          List.exists
-            (fun (u : Ir.use) -> Ir.Op.name u.u_op = Stencil.load_op)
-            (Ir.Value.uses arg)
-        in
-        let written =
-          List.exists
-            (fun (u : Ir.use) ->
-              Ir.Op.name u.u_op = Stencil.store_op && u.u_index = 1)
-            (Ir.Value.uses arg)
-        in
-        (match (read, written) with
-        | true, true -> (arg, Field_inout)
-        | false, true -> (arg, Field_output)
-        | _, _ -> (arg, Field_input))
-      | _ -> (arg, Scalar_constant))
-    (Ir.Block.args body)
+let classify_args = L.classify_args
+let nb_size = L.nb_size
+let nb_index = L.nb_index
 
-(* ------------------------------------------------------------------ *)
-(* Neighbourhood geometry (step 5) *)
-
-let nb_size halo = List.fold_left (fun acc h -> acc * ((2 * h) + 1)) 1 halo
-
-(* Row-major linear position of [offset] within the neighbourhood cube. *)
-let nb_index halo offset =
-  List.fold_left2
-    (fun acc h o ->
-      if abs o > h then
-        Err.raise_error "stencil-to-hls: offset %d exceeds halo %d" o h;
-      (acc * ((2 * h) + 1)) + (o + h))
-    0 halo offset
-
-(* Per-source halo: max |offset| per dimension over every stencil.access
-   of any apply argument bound to [source]. *)
-let source_halo (func : Ir.op) (source : Ir.value) rank =
-  let h = Array.make rank 0 in
-  Ir.Op.walk func (fun op ->
-      if Ir.Op.name op = Stencil.apply_op then
-        List.iteri
-          (fun i operand ->
-            if Ir.Value.equal operand source then
-              let arg = Ir.Block.arg (Stencil.apply_block op) i in
-              List.iter
-                (fun (acc : Ir.op) ->
-                  if Ir.Op.name acc = Stencil.access_op then
-                    List.iteri
-                      (fun d o -> h.(d) <- max h.(d) (abs o))
-                      (Stencil.access_offset acc))
-                (Stencil.accesses_of_arg op arg))
-          (Ir.Op.operands op));
-  Array.to_list h
-
-(* ------------------------------------------------------------------ *)
-(* The transformation plan *)
-
-type plan = {
+type plan = L.plan = {
   p_kernel_name : string;
   p_rank : int;
   p_grid : int list;
@@ -164,611 +54,100 @@ type plan = {
   p_n_smalls : int;
 }
 
-let make_plan (func : Ir.op) classes =
-  let name = Func.sym_name func in
-  let fb =
-    match
-      List.find_map
-        (fun (arg, cls) ->
-          match (cls, Ir.Value.ty arg) with
-          | (Field_input | Field_output | Field_inout), Ty.Field (b, _) ->
-            Some b
-          | _ -> None)
-        classes
-    with
-    | Some b -> b
-    | None -> Err.raise_error "stencil-to-hls: kernel has no field arguments"
-  in
-  let rank = Ty.bounds_rank fb in
-  let store =
-    match Ir.Op.collect func (fun o -> Ir.Op.name o = Stencil.store_op) with
-    | s :: _ -> s
-    | [] -> Err.raise_error "stencil-to-hls: kernel stores nothing"
-  in
-  let interior = Stencil.store_bounds store in
-  let grid = Ty.bounds_extent interior in
-  let field_halo =
-    List.map2 (fun l il -> abs (il - l)) fb.Ty.lb interior.Ty.lb
-  in
-  let count p = List.length (List.filter (fun (_, c) -> p c) classes) in
-  let n_fields =
-    count (function
-      | Field_input | Field_output | Field_inout -> true
-      | Small_constant | Scalar_constant -> false)
-  in
-  let n_smalls = count (fun c -> c = Small_constant) in
-  let ports = n_fields + if n_smalls = 0 then 0 else 1 in
-  {
-    p_kernel_name = name;
-    p_rank = rank;
-    p_grid = grid;
-    p_field_halo = field_halo;
-    p_ports_per_cu = ports;
-    p_cu = max 1 (max_axi_ports / ports);
-    p_n_inputs = count (fun c -> c = Field_input || c = Field_inout);
-    p_n_outputs = count (fun c -> c = Field_output || c = Field_inout);
-    p_n_smalls = n_smalls;
-  }
+(* The canonical pipeline, in paper step order 1-9. *)
+let step_passes =
+  [
+    Step_classify.pass;
+    Step_pack.pass;
+    Step_streams.pass;
+    Step_split.pass;
+    Step_access.pass;
+    Step_store.pass;
+    Step_load.pass;
+    Step_bram.pass;
+    Step_axi.pass;
+  ]
 
-(* ------------------------------------------------------------------ *)
-(* Stream boxes: a stream plus its expected readers; hands out duplicate
-   copies when more than one stage reads it. *)
-
-type box = {
-  bx_main : Ir.value;
-  bx_copies : Ir.value list;
-  mutable bx_next : int;
-}
-
-let make_box b ~elem ~depth ~readers =
-  let main = Hls.create_stream b ~depth ~elem () in
-  let copies =
-    if readers > 1 then
-      List.init readers (fun _ -> Hls.create_stream b ~depth ~elem ())
-    else []
-  in
-  { bx_main = main; bx_copies = copies; bx_next = 0 }
-
-let take box =
-  match box.bx_copies with
-  | [] -> box.bx_main
-  | copies ->
-    if box.bx_next >= List.length copies then
-      Err.raise_error "stencil-to-hls: stream over-subscribed";
-    let c = List.nth copies box.bx_next in
-    box.bx_next <- box.bx_next + 1;
-    c
-
-(* ------------------------------------------------------------------ *)
-(* Source bookkeeping *)
-
-type source = {
-  so_name : string;
-  so_halo : int list;
-  so_is_field : bool;
-  so_apply_readers : int;
-  so_store_readers : int;
-  so_has_shift : bool;
-  mutable so_value : box option; (* f64 elements *)
-  mutable so_shift : box option; (* neighbourhood vectors *)
-}
-
-(* ------------------------------------------------------------------ *)
-(* Compute-stage body generation (steps 4, 5) *)
-
-let recover_indices b ~iv ~padded_extent =
-  let rec go idx remaining =
-    match remaining with
-    | [] -> []
-    | [ _ ] -> [ idx ]
-    | _ :: rest ->
-      let tail = List.fold_left ( * ) 1 rest in
-      let c = Arith.constant_index b tail in
-      let q = Arith.divsi b idx c in
-      let r = Arith.remsi b idx c in
-      q :: go r rest
-  in
-  go iv padded_extent
-
-type compute_input =
-  | From_shift of Ir.value * int list
-  | From_value of Ir.value
-  | From_small of Ir.value (* local BRAM memref (guard-shifted) *)
-  | From_scalar of Ir.value
-
-let contains_index_ops (apply : Ir.op) =
-  Ir.Op.collect apply (fun o -> Ir.Op.name o = Stencil.index_op) <> []
-
-(* Emit the pipelined stream loop implementing one stencil.apply. *)
-let build_compute_body db ~grid ~field_halo ~apply ~inputs ~out_stream =
-  let padded_extent = List.map2 (fun g h -> g + (2 * h)) grid field_halo in
-  let total = List.fold_left ( * ) 1 padded_extent in
-  let lb = Arith.constant_index db 0 in
-  let ub = Arith.constant_index db total in
-  let step = Arith.constant_index db 1 in
-  ignore
-    (Scf.for_ db ~lb ~ub ~step (fun fb iv ->
-         Hls.pipeline fb ~ii:1;
-         let needs_indices =
-           List.exists
-             (fun (_, i) -> match i with From_small _ -> true | _ -> false)
-             inputs
-           || contains_index_ops apply
-         in
-         let indices =
-           if needs_indices then recover_indices fb ~iv ~padded_extent else []
-         in
-         let read_values =
-           List.map
-             (fun (arg, input) ->
-               match input with
-               | From_shift (stream, halo) -> (arg, `Nb (Hls.read fb stream, halo))
-               | From_value stream -> (arg, `Val (Hls.read fb stream))
-               | From_small local -> (arg, `Small local)
-               | From_scalar v -> (arg, `Val v))
-             inputs
-         in
-         let mapping : (int, Ir.value) Hashtbl.t = Hashtbl.create 32 in
-         (* scalar params and value-stream elements substitute directly for
-            their block arguments; neighbourhood/small args only flow
-            through stencil.access / stencil.dyn_access *)
-         List.iter
-           (fun (arg, rv) ->
-             match rv with
-             | `Val v -> Hashtbl.replace mapping (Ir.Value.id arg) v
-             | `Nb _ | `Small _ -> ())
-           read_values;
-         let remap v =
-           match Hashtbl.find_opt mapping (Ir.Value.id v) with
-           | Some nv -> nv
-           | None -> v
-         in
-         let lookup_arg a =
-           List.find_map
-             (fun (arg, rv) -> if Ir.Value.equal arg a then Some rv else None)
-             read_values
-         in
-         let block = Stencil.apply_block apply in
-         List.iter
-           (fun (op : Ir.op) ->
-             match Ir.Op.name op with
-             | name when name = Stencil.access_op -> (
-               match lookup_arg (Ir.Op.operand op 0) with
-               | Some (`Nb (nb, halo)) ->
-                 let pos = nb_index halo (Stencil.access_offset op) in
-                 let v =
-                   Builder.insert_op1 fb ~name:Llvm_d.extractvalue_op
-                     ~operands:[ nb ] ~result_ty:Ty.F64
-                     ~attrs:[ ("indices", Attr.Ints [ pos ]) ]
-                     ()
-                 in
-                 Hashtbl.replace mapping (Ir.Value.id (Ir.Op.result op 0)) v
-               | Some (`Val v) ->
-                 if List.exists (fun o -> o <> 0) (Stencil.access_offset op)
-                 then
-                   Err.raise_error
-                     "stencil-to-hls: offset access of a value stream";
-                 Hashtbl.replace mapping (Ir.Value.id (Ir.Op.result op 0)) v
-               | Some (`Small _) | None ->
-                 Err.raise_error "stencil-to-hls: access of unexpected source")
-             | name when name = Stencil.dyn_access_op -> (
-               match lookup_arg (Ir.Op.operand op 0) with
-               | Some (`Small local) ->
-                 (* recognise idx = stencil.index(dim) [+ const] *)
-                 let axis, offset =
-                   let idx_operand = Ir.Op.operand op 1 in
-                   match Ir.Value.defining_op idx_operand with
-                   | Some d when Ir.Op.name d = Stencil.index_op ->
-                     (Attr.int_exn (Ir.Op.get_attr_exn d "dim"), 0)
-                   | Some d when Ir.Op.name d = "arith.addi" -> (
-                     let a = Ir.Op.operand d 0 and c = Ir.Op.operand d 1 in
-                     match (Ir.Value.defining_op a, Ir.Value.defining_op c) with
-                     | Some da, Some dc
-                       when Ir.Op.name da = Stencil.index_op
-                            && Ir.Op.name dc = "arith.constant" ->
-                       ( Attr.int_exn (Ir.Op.get_attr_exn da "dim"),
-                         Attr.int_exn (Ir.Op.get_attr_exn dc "value") )
-                     | _ ->
-                       Err.raise_error
-                         "stencil-to-hls: unsupported dyn_access index form")
-                   | _ ->
-                     Err.raise_error
-                       "stencil-to-hls: unsupported dyn_access index form"
-                 in
-                 (* padded position along the axis == zero-based local
-                    index; the guard band absorbs the offset *)
-                 let pos = List.nth indices axis in
-                 let shifted =
-                   if offset + small_guard = 0 then pos
-                   else
-                     Arith.addi fb pos
-                       (Arith.constant_index fb (offset + small_guard))
-                 in
-                 let v = Memref.load fb local [ shifted ] in
-                 Hashtbl.replace mapping (Ir.Value.id (Ir.Op.result op 0)) v
-               | _ ->
-                 Err.raise_error "stencil-to-hls: dyn_access of non-small data")
-             | name when name = Stencil.index_op ->
-               Hashtbl.replace mapping
-                 (Ir.Value.id (Ir.Op.result op 0))
-                 (List.nth indices (Attr.int_exn (Ir.Op.get_attr_exn op "dim")))
-             | name when name = Stencil.return_op -> (
-               match Ir.Op.operands op with
-               | [ r ] -> Hls.write fb (remap r) out_stream
-               | _ ->
-                 Err.raise_error
-                   "stencil-to-hls: multi-result apply (run apply-split)")
-             | _ ->
-               let cloned =
-                 Builder.insert_op fb ~name:(Ir.Op.name op)
-                   ~operands:(List.map remap (Ir.Op.operands op))
-                   ~result_tys:(List.map Ir.Value.ty (Ir.Op.results op))
-                   ~attrs:(Ir.Op.attrs op) ()
-               in
-               List.iteri
-                 (fun i r ->
-                   Hashtbl.replace mapping (Ir.Value.id r) (Ir.Op.result cloned i))
-                 (Ir.Op.results op))
-           (Ir.Block.ops block)))
-
-(* Step 8: emit the BRAM copy of one small array inside a compute stage;
-   returns the local memref. *)
-let emit_small_copy db ~(small_arg : Ir.value) ~(new_arg : Ir.value) =
-  let ext =
-    match Ir.Value.ty small_arg with
-    | Ty.Field (b, _) -> List.hd (Ty.bounds_extent b)
-    | _ -> Err.raise_error "stencil-to-hls: small argument is not a 1D field"
-  in
-  let local_extent = ext + (2 * small_guard) in
-  let local = Memref.alloca db ~shape:[ local_extent ] ~elem:Ty.F64 in
-  Hls.array_partition db ~kind:"cyclic" ~factor:2 ~dim:0 local;
-  let lb = Arith.constant_index db 0 in
-  let ub = Arith.constant_index db local_extent in
-  let step = Arith.constant_index db 1 in
-  ignore
-    (Scf.for_ db ~lb ~ub ~step (fun fb iv ->
-         Hls.pipeline fb ~ii:1;
-         (* clamp source index into [0, ext) across the guard band *)
-         let shifted = Arith.subi fb iv (Arith.constant_index fb small_guard) in
-         let zero = Arith.constant_index fb 0 in
-         let maxi = Arith.constant_index fb (ext - 1) in
-         let lt = Arith.cmpi fb ~predicate:"slt" shifted zero in
-         let clamped0 = Arith.select fb lt zero shifted in
-         let gt = Arith.cmpi fb ~predicate:"sgt" clamped0 maxi in
-         let clamped = Arith.select fb gt maxi clamped0 in
-         let p =
-           Builder.insert_op1 fb ~name:Llvm_d.gep_op
-             ~operands:[ new_arg; clamped ] ~result_ty:small_ptr_ty
-             ~attrs:[ ("indices", Attr.Ints []) ]
-             ()
-         in
-         let v = Llvm_d.load fb p in
-         Memref.store fb v local [ iv ]));
-  local
-
-(* ------------------------------------------------------------------ *)
-(* Per-function driver *)
-
-let ints l = Attr.Ints l
-
-let transform_func (m_new : Ir.op) (func : Ir.op) =
-  let classes = classify_args func in
-  let plan = make_plan func classes in
-  let rank = plan.p_rank in
-  let padded_extent =
-    List.map2 (fun g h -> g + (2 * h)) plan.p_grid plan.p_field_halo
-  in
-  let total_padded = List.fold_left ( * ) 1 padded_extent in
-  let applies = Ir.Op.collect func (fun o -> Ir.Op.name o = Stencil.apply_op) in
-  List.iter
-    (fun (a : Ir.op) ->
-      if Ir.Op.num_results a <> 1 then
-        Err.raise_error
-          "stencil-to-hls: multi-result apply present (run stencil-apply-split)")
-    applies;
-  let old_body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
-  let stores =
-    List.filter
-      (fun (o : Ir.op) -> Ir.Op.name o = Stencil.store_op)
-      (Ir.Block.ops old_body)
-  in
-  let load_ops =
-    List.filter
-      (fun (o : Ir.op) -> Ir.Op.name o = Stencil.load_op)
-      (Ir.Block.ops old_body)
-  in
-  let class_of arg =
-    match List.find_opt (fun (a, _) -> Ir.Value.equal a arg) classes with
-    | Some (_, c) -> c
-    | None -> Err.raise_error "stencil-to-hls: unknown argument"
-  in
-  (* ---- build the source table ---- *)
-  let sources : (int * source) list ref = ref [] in
-  let get_source v = List.assoc_opt (Ir.Value.id v) !sources in
-  let add_source v so = sources := (Ir.Value.id v, so) :: !sources in
-  let field_loads =
-    List.filter
-      (fun (ld : Ir.op) -> class_of (Ir.Op.operand ld 0) <> Small_constant)
-      load_ops
-  in
-  let apply_reader_count v =
-    List.fold_left
-      (fun n (a : Ir.op) ->
-        n
-        + List.length
-            (List.filter (fun o -> Ir.Value.equal o v) (Ir.Op.operands a)))
-      0 applies
-  in
-  let store_reader_count v =
-    List.length
-      (List.filter (fun (st : Ir.op) -> Ir.Value.equal (Ir.Op.operand st 0) v) stores)
-  in
-  let name_of_arg arg =
-    let rec go i = function
-      | [] -> "f"
-      | (a, _) :: rest ->
-        if Ir.Value.equal a arg then Printf.sprintf "arg%d" i else go (i + 1) rest
-    in
-    go 0 classes
-  in
-  List.iter
-    (fun (ld : Ir.op) ->
-      let temp = Ir.Op.result ld 0 in
-      let readers = apply_reader_count temp in
-      add_source temp
-        {
-          so_name = name_of_arg (Ir.Op.operand ld 0);
-          so_halo = source_halo func temp rank;
-          so_is_field = true;
-          so_apply_readers = readers;
-          so_store_readers = store_reader_count temp;
-          so_has_shift = readers > 0;
-          so_value = None;
-          so_shift = None;
-        })
-    field_loads;
-  List.iteri
-    (fun i (a : Ir.op) ->
-      let temp = Ir.Op.result a 0 in
-      let readers = apply_reader_count temp in
-      let halo = source_halo func temp rank in
-      add_source temp
-        {
-          so_name = Printf.sprintf "t%d" i;
-          so_halo = halo;
-          so_is_field = false;
-          so_apply_readers = readers;
-          so_store_readers = store_reader_count temp;
-          so_has_shift = readers > 0 && List.exists (fun h -> h > 0) halo;
-          so_value = None;
-          so_shift = None;
-        })
-    applies;
-  (* ---- new function ---- *)
-  let new_arg_tys =
-    List.map
-      (fun (_, cls) ->
-        match cls with
-        | Field_input | Field_output | Field_inout -> packed_field_ty
-        | Small_constant -> small_ptr_ty
-        | Scalar_constant -> Ty.F64)
-      classes
-  in
-  let new_func =
-    Func.build_func m_new ~name:plan.p_kernel_name ~arg_tys:new_arg_tys
-      ~result_tys:[] (fun b new_args ->
-        let arg_pairs = List.combine (List.map fst classes) new_args in
-        let new_of_old v =
-          List.find_map
-            (fun (o, n) -> if Ir.Value.equal o v then Some n else None)
-            arg_pairs
-        in
-        (* ---- step 9: interfaces ---- *)
-        let bank = ref 0 in
-        List.iteri
-          (fun i ((_, cls), new_arg) ->
-            match cls with
-            | Field_input | Field_output | Field_inout ->
-              Hls.interface b ~mode:"m_axi"
-                ~bundle:(Printf.sprintf "gmem%d" i)
-                ~hbm_bank:!bank new_arg;
-              incr bank
-            | Small_constant ->
-              Hls.interface b ~mode:"m_axi" ~bundle:"gmem_small" ~hbm_bank:(-2)
-                new_arg
-            | Scalar_constant -> ())
-          (List.combine classes new_args);
-        (* ---- streams (step 3) ---- *)
-        List.iter
-          (fun (_, so) ->
-            let value_readers =
-              (if so.so_has_shift then 1 else so.so_apply_readers)
-              + so.so_store_readers
-            in
-            let depth = if so.so_is_field then depth_external else depth_internal in
-            so.so_value <-
-              Some (make_box b ~elem:Ty.F64 ~depth ~readers:value_readers);
-            if so.so_has_shift then
-              so.so_shift <-
-                Some
-                  (make_box b
-                     ~elem:(Ty.Array (nb_size so.so_halo, Ty.F64))
-                     ~depth:depth_internal ~readers:so.so_apply_readers))
-          (List.rev !sources);
-        let value_box so =
-          match so.so_value with Some bx -> bx | None -> assert false
-        in
-        (* ---- step 3 & 7: one load_data stage ---- *)
-        let load_callee = Printf.sprintf "load_data_%s" plan.p_kernel_name in
-        ignore
-          (Hls.dataflow b ~stage:"load_data" (fun db ->
-               let ptrs =
-                 List.filter_map
-                   (fun (ld : Ir.op) -> new_of_old (Ir.Op.operand ld 0))
-                   field_loads
-               in
-               let strms =
-                 List.map
-                   (fun (ld : Ir.op) ->
-                     match get_source (Ir.Op.result ld 0) with
-                     | Some so -> (value_box so).bx_main
-                     | None -> assert false)
-                   field_loads
-               in
-               ignore
-                 (Llvm_d.call db ~callee:load_callee ~operands:(ptrs @ strms) ())));
-        (* ---- shift stages ---- *)
-        List.iter
-          (fun (_, so) ->
-            match so.so_shift with
-            | Some shift_bx ->
-              let src = take (value_box so) in
-              let df =
-                Hls.dataflow b ~stage:("shift:" ^ so.so_name) (fun db ->
-                    ignore
-                      (Llvm_d.call db ~callee:"shift_buffer"
-                         ~operands:[ src; shift_bx.bx_main ] ()))
-              in
-              Ir.Op.set_attr df "halo" (ints so.so_halo);
-              Ir.Op.set_attr df "extent" (ints padded_extent)
-            | None -> ())
-          (List.rev !sources);
-        (* ---- duplicate stages ---- *)
-        let dup_stage name (bx : box) =
-          if bx.bx_copies <> [] then
-            ignore
-              (Hls.dataflow b ~stage:("dup:" ^ name) (fun db ->
-                   let lb = Arith.constant_index db 0 in
-                   let ub = Arith.constant_index db total_padded in
-                   let step = Arith.constant_index db 1 in
-                   ignore
-                     (Scf.for_ db ~lb ~ub ~step (fun fb _iv ->
-                          Hls.pipeline fb ~ii:1;
-                          let v = Hls.read fb bx.bx_main in
-                          List.iter (fun c -> Hls.write fb v c) bx.bx_copies))))
-        in
-        List.iter
-          (fun (_, so) ->
-            dup_stage so.so_name (value_box so);
-            match so.so_shift with
-            | Some bx -> dup_stage (so.so_name ^ "_shift") bx
-            | None -> ())
-          (List.rev !sources);
-        (* ---- compute stages (steps 4, 5, 8) ---- *)
-        List.iter
-          (fun (apply : Ir.op) ->
-            let so =
-              match get_source (Ir.Op.result apply 0) with
-              | Some so -> so
-              | None -> assert false
-            in
-            let out_stream = (value_box so).bx_main in
-            let df =
-              Hls.dataflow b ~stage:("compute:" ^ so.so_name) (fun db ->
-                  let inputs =
-                    List.map2
-                      (fun operand arg ->
-                        match get_source operand with
-                        | Some src ->
-                          if src.so_has_shift then
-                            ( arg,
-                              From_shift
-                                ( take
-                                    (match src.so_shift with
-                                    | Some bx -> bx
-                                    | None -> assert false),
-                                  src.so_halo ) )
-                          else (arg, From_value (take (value_box src)))
-                        | None -> (
-                          (* small data or scalar *)
-                          match Ir.Value.defining_op operand with
-                          | Some ld
-                            when Ir.Op.name ld = Stencil.load_op
-                                 && class_of (Ir.Op.operand ld 0)
-                                    = Small_constant ->
-                            let small_arg = Ir.Op.operand ld 0 in
-                            let new_arg =
-                              match new_of_old small_arg with
-                              | Some v -> v
-                              | None -> assert false
-                            in
-                            (arg, From_small (emit_small_copy db ~small_arg ~new_arg))
-                          | _ -> (
-                            match new_of_old operand with
-                            | Some nv -> (arg, From_scalar nv)
-                            | None ->
-                              Err.raise_error
-                                "stencil-to-hls: unclassified apply operand"))
-                      )
-                      (Ir.Op.operands apply)
-                      (Ir.Block.args (Stencil.apply_block apply))
-                  in
-                  build_compute_body db ~grid:plan.p_grid
-                    ~field_halo:plan.p_field_halo ~apply ~inputs ~out_stream)
-            in
-            Ir.Op.set_attr df "target" (Attr.Str so.so_name))
-          applies;
-        (* ---- step 6: write_data ---- *)
-        let write_callee = Printf.sprintf "write_data_%s" plan.p_kernel_name in
-        let wdf =
-          Hls.dataflow b ~stage:"write_data" (fun db ->
-              let operands =
-                List.concat_map
-                  (fun (st : Ir.op) ->
-                    let so =
-                      match get_source (Ir.Op.operand st 0) with
-                      | Some so -> so
-                      | None ->
-                        Err.raise_error "stencil-to-hls: store of unknown source"
-                    in
-                    let stream = take (value_box so) in
-                    let dst =
-                      match new_of_old (Ir.Op.operand st 1) with
-                      | Some v -> v
-                      | None -> assert false
-                    in
-                    [ stream; dst ])
-                  stores
-              in
-              ignore (Llvm_d.call db ~callee:write_callee ~operands ()))
-        in
-        Ir.Op.set_attr wdf "halo" (ints plan.p_field_halo);
-        Ir.Op.set_attr wdf "extent" (ints padded_extent);
-        Func.return_ b [])
-  in
-  Ir.Op.set_attr new_func "cu" (Attr.Int plan.p_cu);
-  Ir.Op.set_attr new_func "ports_per_cu" (Attr.Int plan.p_ports_per_cu);
-  Ir.Op.set_attr new_func "grid" (ints plan.p_grid);
-  Ir.Op.set_attr new_func "field_halo" (ints plan.p_field_halo);
-  Ir.Op.set_attr new_func "hls_kernel" (Attr.Bool true);
-  (plan, new_func)
+let step_runs =
+  [
+    Step_classify.run_on_ctx;
+    Step_pack.run_on_ctx;
+    Step_streams.run_on_ctx;
+    Step_split.run_on_ctx;
+    Step_access.run_on_ctx;
+    Step_store.run_on_ctx;
+    Step_load.run_on_ctx;
+    Step_bram.run_on_ctx;
+    Step_axi.run_on_ctx;
+  ]
 
 (* Transform every kernel function into a fresh module; the input module
-   is left intact. *)
+   is left intact (verification re-interprets it). *)
 let run (m : Ir.op) =
-  let m_new = Ir.Module_.create () in
-  let plans = List.map (transform_func m_new) (Ir.Module_.funcs m) in
-  (m_new, plans)
+  let ctx = L.begin_ ~in_place:false m in
+  Fun.protect
+    ~finally:(fun () -> L.release ctx)
+    (fun () ->
+      List.iter (fun f -> f ctx) step_runs;
+      (ctx.L.cx_target, L.plans ctx))
 
-let pass =
-  Pass.make ~name:"stencil-to-hls"
-    ~description:
-      "apply the nine-step Stencil-HMLS transformation (in place on the module)"
-    (fun m ->
-      let m_new, _ = run m in
-      let body = Ir.Module_.body m in
-      List.iter
-        (fun op ->
-          Ir.Op.walk op (fun o ->
-              Array.iteri
-                (fun i v -> Ir.Value.remove_use v ~op:o ~index:i)
-                o.Ir.o_operands);
-          Ir.Op.detach op)
-        (Ir.Block.ops body);
-      List.iter
-        (fun op ->
-          Ir.Op.detach op;
-          Ir.Block.append body op)
-        (Ir.Module_.ops m_new))
+(* Like [run], but each step goes through the pass manager so callers get
+   per-step wall time and op-count deltas. *)
+let run_with_stats (m : Ir.op) =
+  let ctx = L.begin_ ~in_place:false m in
+  Fun.protect
+    ~finally:(fun () -> L.release ctx)
+    (fun () ->
+      let passes =
+        List.map2
+          (fun (p : Pass.t) f ->
+            Pass.make ~name:p.Pass.pass_name ~description:p.Pass.description
+              (fun _ -> f ctx))
+          step_passes step_runs
+      in
+      let stats = Pass.run_pipeline passes ctx.L.cx_target in
+      (ctx.L.cx_target, L.plans ctx, stats))
 
-let () = Pass.register pass
+let description =
+  "the nine-step Stencil-HMLS transformation (composite of the hls-* step \
+   passes, in place on the module)"
+
+(* In-place variant composing the nine step passes. *)
+let pass = Pass.sequence ~name:"stencil-to-hls" ~description step_passes
+
+let parse_steps spec =
+  let fail () =
+    Err.raise_error
+      "stencil-to-hls: invalid steps range %S (expected A-B with 1 <= A <= B \
+       <= %d)"
+      spec
+      (List.length step_passes)
+  in
+  let int s = match int_of_string_opt s with Some i -> i | None -> fail () in
+  let a, b =
+    match String.split_on_char '-' spec with
+    | [ a ] -> (int a, int a)
+    | [ a; b ] -> (int a, int b)
+    | _ -> fail ()
+  in
+  if a < 1 || b > List.length step_passes || a > b then fail ();
+  (a, b)
+
+let expand options =
+  List.iter
+    (fun (k, _) ->
+      if k <> "steps" then
+        Err.raise_error "stencil-to-hls: unknown option %S" k)
+    options;
+  match List.assoc_opt "steps" options with
+  | None -> step_passes
+  | Some spec ->
+    let a, b = parse_steps spec in
+    List.filteri (fun i _ -> i + 1 >= a && i + 1 <= b) step_passes
+
+let register () =
+  L.register_placeholders ();
+  List.iter Pass.register step_passes;
+  Pass.register_composite ~name:"stencil-to-hls" ~description expand
+
+let () = register ()

@@ -3,6 +3,11 @@
     stencil kernels into the load / shift-buffer / duplicate / compute /
     write dataflow form of Figure 3, in the HLS dialect.
 
+    The steps are individually registered passes (see hls_steps/); this
+    module orchestrates them and registers "stencil-to-hls" as the
+    composite nine-pass pipeline (subranges via
+    ["stencil-to-hls{steps=A-B}"], paper numbering 1-9).
+
     Stream convention: every stream carries one element per padded grid
     position in row-major order; boundary positions flow through and are
     dropped by write_data, so all stages advance in lock-step at II=1. *)
@@ -15,7 +20,7 @@ val max_axi_ports : int
 (** Guard band on BRAM copies of small data (edge-clamped). *)
 val small_guard : int
 
-type arg_class =
+type arg_class = Lowering_ctx.arg_class =
   | Field_input
   | Field_output
   | Field_inout
@@ -32,7 +37,7 @@ val nb_size : int list -> int
     raises if the offset exceeds the halo. *)
 val nb_index : int list -> int list -> int
 
-type plan = {
+type plan = Lowering_ctx.plan = {
   p_kernel_name : string;
   p_rank : int;
   p_grid : int list;
@@ -44,13 +49,20 @@ type plan = {
   p_n_smalls : int;
 }
 
-(** Transform one kernel function into [m_new]; returns the port/CU plan
-    and the generated function (tagged with [hls_kernel], [cu], [grid],
-    [field_halo] attributes). *)
-val transform_func : Ir.op -> Ir.op -> plan * Ir.op
+(** The nine step passes, in paper order (hls-classify-args ..
+    hls-axi-bundles). *)
+val step_passes : Pass.t list
 
-(** Transform every kernel of a module into a fresh module. *)
+(** Transform every kernel of a module into a fresh module; the input is
+    left intact. *)
 val run : Ir.op -> Ir.op * (plan * Ir.op) list
 
-(** In-place variant, registered as "stencil-to-hls". *)
+(** [run] with per-step pass statistics. *)
+val run_with_stats : Ir.op -> Ir.op * (plan * Ir.op) list * Pass.stat list
+
+(** In-place variant composing the nine steps, named "stencil-to-hls". *)
 val pass : Pass.t
+
+(** Register the nine step passes, the "stencil-to-hls" composite and the
+    placeholder ops (idempotent; also run at module initialisation). *)
+val register : unit -> unit

@@ -5,18 +5,9 @@ open Shmls_frontend.Ast
 
 let () = Shmls_dialects.Register.all ()
 
-(* Touch every pass-registering module so the registrations run even in
-   test binaries that use none of their other symbols. *)
-let ensure_passes_linked () =
-  ignore Shmls_ir.Dce.pass;
-  ignore Shmls_ir.Cse.pass;
-  ignore Shmls_ir.Fold.pass;
-  ignore Shmls_transforms.Shape_inference.pass;
-  ignore Shmls_transforms.Stencil_to_cpu.pass;
-  ignore Shmls_transforms.Stencil_to_hls.pass;
-  ignore Shmls_transforms.Apply_split.pass;
-  ignore Shmls_transforms.Apply_split.fuse_pass;
-  ignore Shmls_transforms.Loop_raise.pass
+(* Make every pass registration run even in test binaries that use none
+   of the transforms' other symbols. *)
+let ensure_passes_linked () = Shmls_transforms.Register.all ()
 
 (* -- ready-made kernels ---------------------------------------------- *)
 

@@ -1,0 +1,198 @@
+(* The nine-pass stencil->HLS decomposition: golden-output equivalence
+   with the pre-refactor monolith, step-pass plumbing, and the
+   neighbourhood-index edge cases of the shift-buffer access mapping. *)
+
+let () = Test_common.Helpers.ensure_passes_linked ()
+
+open Shmls_ir
+module S2H = Shmls_transforms.Stencil_to_hls
+
+(* The golden files were produced by the monolithic transformation before
+   the nine-pass split; bit-identity modulo nothing (the printer numbers
+   values over the printed subtree, so identical structure prints
+   identically). *)
+let kernels =
+  [
+    ("pw_advection", Shmls_kernels.Pw_advection.kernel, [ 12; 8; 6 ]);
+    ("tracer_advection", Shmls_kernels.Tracer_advection.kernel, [ 10; 8; 8 ]);
+  ]
+
+let golden name =
+  In_channel.with_open_text
+    (Filename.concat "golden" (name ^ ".hls.mlir"))
+    In_channel.input_all
+
+let prepared kernel grid =
+  let l = Shmls_frontend.Lower.lower kernel ~grid in
+  Shmls_transforms.Shape_inference.run_on_module
+    l.Shmls_frontend.Lower.l_module;
+  l.Shmls_frontend.Lower.l_module
+
+let print_module m = Printer.to_string m ^ "\n"
+
+let check_golden ctx name got =
+  if got <> golden name then
+    Alcotest.failf "%s: %s output differs from the monolith's golden file"
+      name ctx
+
+let test_functional_matches_golden () =
+  List.iter
+    (fun (name, kernel, grid) ->
+      let m = prepared kernel grid in
+      let m_hls, _plans = S2H.run m in
+      Verifier.verify_exn m_hls;
+      check_golden "functional run" name (print_module m_hls);
+      (* the input module must be left intact: Shmls.verify re-interprets
+         the stencil-dialect module after compilation *)
+      Verifier.verify_exn m;
+      Alcotest.(check bool)
+        (name ^ ": stencil ops still present") true
+        (Ir.Op.collect m (fun o -> Ir.Op.name o = "stencil.apply") <> []))
+    kernels
+
+let test_composite_pass_matches_golden () =
+  List.iter
+    (fun (name, kernel, grid) ->
+      let m = prepared kernel grid in
+      let stats =
+        Pass.run_pipeline ~verify_each:true
+          (Pass.parse_pipeline "stencil-to-hls")
+          m
+      in
+      Alcotest.(check int) (name ^ ": nine steps ran") 9 (List.length stats);
+      check_golden "in-place composite pipeline" name (print_module m))
+    kernels
+
+let test_subrange_resumes () =
+  (* running steps 1-4 and then 5-9 as separate pipeline invocations must
+     land on the same result: the lowering context survives between
+     pipelines via the module attribute *)
+  List.iter
+    (fun (name, kernel, grid) ->
+      let m = prepared kernel grid in
+      let s1 =
+        Pass.run_pipeline (Pass.parse_pipeline "stencil-to-hls{steps=1-4}") m
+      in
+      let s2 =
+        Pass.run_pipeline (Pass.parse_pipeline "stencil-to-hls{steps=5-9}") m
+      in
+      Alcotest.(check int) "4 + 5 steps" 9 (List.length s1 + List.length s2);
+      check_golden "split 1-4 / 5-9 pipelines" name (print_module m))
+    kernels
+
+let test_individually_named_passes () =
+  (* each step is a registered pass of its own; running them by name in
+     paper order reproduces the composite *)
+  List.iter
+    (fun (name, kernel, grid) ->
+      let m = prepared kernel grid in
+      List.iter
+        (fun p -> p.Pass.run m)
+        (List.map
+           (fun p -> Pass.lookup_exn p.Pass.pass_name)
+           S2H.step_passes);
+      check_golden "individually looked-up step passes" name (print_module m))
+    kernels
+
+let test_run_with_stats () =
+  let _, kernel, grid = List.hd kernels in
+  let m = prepared kernel grid in
+  let m_hls, plans, stats = S2H.run_with_stats m in
+  Verifier.verify_exn m_hls;
+  Alcotest.(check int) "one plan" 1 (List.length plans);
+  Alcotest.(check (list string))
+    "nine stats in step order"
+    (List.map (fun p -> p.Pass.pass_name) S2H.step_passes)
+    (List.map (fun s -> s.Pass.stat_pass) stats);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (s.Pass.stat_pass ^ ": non-negative duration")
+        true
+        (s.Pass.duration_s >= 0.0))
+    stats;
+  (* the lowering only adds ops, it never leaves fewer than it found *)
+  let first = List.hd stats and last = List.nth stats 8 in
+  Alcotest.(check bool) "pipeline grows the module" true
+    (last.Pass.ops_after > first.Pass.ops_before)
+
+let test_steps_require_order () =
+  let _, kernel, grid = List.hd kernels in
+  (* a mid-pipeline step without a lowering in progress must fail with a
+     pointer at the missing predecessor *)
+  let m = prepared kernel grid in
+  (match Pass.run_pipeline (Pass.parse_pipeline "stencil-to-hls{steps=3}") m with
+  | exception Shmls_support.Err.Error _ -> ()
+  | _ -> Alcotest.fail "step 3 without steps 1-2 must raise");
+  (* skipping a predecessor inside an active lowering must also fail *)
+  let m2 = prepared kernel grid in
+  let _ = Pass.run_pipeline (Pass.parse_pipeline "stencil-to-hls{steps=1}") m2 in
+  match Pass.run_pipeline (Pass.parse_pipeline "stencil-to-hls{steps=3}") m2 with
+  | exception Shmls_support.Err.Error _ -> ()
+  | _ -> Alcotest.fail "step 3 without step 2 must raise"
+
+(* -- nb_index: the halo/boundary arithmetic of step 5 ----------------- *)
+
+let test_nb_index_cube_corners () =
+  let halo = [ 1; 1; 1 ] in
+  Alcotest.(check int) "27-point cube" 27 (S2H.nb_size halo);
+  Alcotest.(check int) "low corner" 0 (S2H.nb_index halo [ -1; -1; -1 ]);
+  Alcotest.(check int) "centre" 13 (S2H.nb_index halo [ 0; 0; 0 ]);
+  Alcotest.(check int) "high corner" 26 (S2H.nb_index halo [ 1; 1; 1 ]);
+  (* row-major: the last dimension is contiguous *)
+  Alcotest.(check int) "unit step in z" 14 (S2H.nb_index halo [ 0; 0; 1 ]);
+  Alcotest.(check int) "unit step in y" 16 (S2H.nb_index halo [ 0; 1; 0 ]);
+  Alcotest.(check int) "unit step in x" 22 (S2H.nb_index halo [ 1; 0; 0 ])
+
+let test_nb_index_asymmetric_halo () =
+  (* zero-halo dimensions collapse to a single plane *)
+  let halo = [ 2; 0; 1 ] in
+  Alcotest.(check int) "5x1x3 cube" 15 (S2H.nb_size halo);
+  Alcotest.(check int) "low corner" 0 (S2H.nb_index halo [ -2; 0; -1 ]);
+  Alcotest.(check int) "centre" 7 (S2H.nb_index halo [ 0; 0; 0 ]);
+  Alcotest.(check int) "high corner" 14 (S2H.nb_index halo [ 2; 0; 1 ]);
+  Alcotest.(check int) "mixed" 9 (S2H.nb_index halo [ 1; 0; -1 ])
+
+let test_nb_index_beyond_halo_raises () =
+  List.iter
+    (fun (halo, offset) ->
+      match S2H.nb_index halo offset with
+      | exception Shmls_support.Err.Error _ -> ()
+      | i ->
+        Alcotest.failf "offset beyond halo must raise (got index %d)" i)
+    [
+      ([ 1; 1; 1 ], [ 2; 0; 0 ]);
+      ([ 1; 1; 1 ], [ 0; 0; -2 ]);
+      ([ 2; 0; 1 ], [ 0; 1; 0 ]);
+      ([ 0 ], [ 1 ]);
+    ]
+
+let () =
+  Alcotest.run "hls_steps"
+    [
+      ( "golden",
+        [
+          Alcotest.test_case "functional run" `Quick
+            test_functional_matches_golden;
+          Alcotest.test_case "composite pipeline" `Quick
+            test_composite_pass_matches_golden;
+          Alcotest.test_case "subrange pipelines resume" `Quick
+            test_subrange_resumes;
+          Alcotest.test_case "individually named passes" `Quick
+            test_individually_named_passes;
+        ] );
+      ( "instrumentation",
+        [
+          Alcotest.test_case "run_with_stats" `Quick test_run_with_stats;
+          Alcotest.test_case "steps require order" `Quick
+            test_steps_require_order;
+        ] );
+      ( "nb_index",
+        [
+          Alcotest.test_case "cube corners" `Quick test_nb_index_cube_corners;
+          Alcotest.test_case "asymmetric halo" `Quick
+            test_nb_index_asymmetric_halo;
+          Alcotest.test_case "beyond halo raises" `Quick
+            test_nb_index_beyond_halo_raises;
+        ] );
+    ]

@@ -254,16 +254,142 @@ let test_pass_lookup_unknown () =
   | exception Shmls_support.Err.Error _ -> ()
   | _ -> Alcotest.fail "unknown pass must raise"
 
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let names passes = List.map (fun p -> p.Pass.pass_name) passes
+
+let test_pipeline_order_preserved () =
+  Alcotest.(check (list string))
+    "elements run in spec order" [ "cse"; "dce"; "canonicalize" ]
+    (names (Pass.parse_pipeline "cse,dce,canonicalize"))
+
+let step_names =
+  [
+    "hls-classify-args"; "hls-pack-interfaces"; "hls-stream-conversion";
+    "hls-split-dataflow"; "hls-map-accesses"; "hls-write-data";
+    "hls-dedup-loads"; "hls-bram-smalls"; "hls-axi-bundles";
+  ]
+
+let test_composite_expansion () =
+  Test_common.Helpers.ensure_passes_linked ();
+  Alcotest.(check (list string))
+    "stencil-to-hls expands to the nine steps" step_names
+    (names (Pass.parse_pipeline "stencil-to-hls"));
+  Alcotest.(check (list string))
+    "composite expands in-line between atomics"
+    ([ "cse" ] @ step_names @ [ "dce" ])
+    (names (Pass.parse_pipeline "cse,stencil-to-hls,dce"))
+
+let test_composite_options () =
+  Test_common.Helpers.ensure_passes_linked ();
+  (* braces protect commas from the top-level split *)
+  Alcotest.(check (list string))
+    "steps=2-4 selects a subrange"
+    [ "dce"; "hls-pack-interfaces"; "hls-stream-conversion";
+      "hls-split-dataflow"; "cse" ]
+    (names (Pass.parse_pipeline "dce,stencil-to-hls{steps=2-4},cse"));
+  Alcotest.(check (list string))
+    "steps=7 selects a single step" [ "hls-dedup-loads" ]
+    (names (Pass.parse_pipeline "stencil-to-hls{steps=7}"));
+  (match Pass.parse_pipeline "stencil-to-hls{steps=3-99}" with
+  | exception Shmls_support.Err.Error _ -> ()
+  | _ -> Alcotest.fail "out-of-range steps must raise");
+  (match Pass.parse_pipeline "stencil-to-hls{bogus=1}" with
+  | exception Shmls_support.Err.Error _ -> ()
+  | _ -> Alcotest.fail "unknown option must raise")
+
+let test_atomic_rejects_options () =
+  match Pass.parse_pipeline "dce{level=2}" with
+  | exception Shmls_support.Err.Error e ->
+    Alcotest.(check bool)
+      "error names the pass" true
+      (contains (Shmls_support.Err.to_string e) "dce")
+  | _ -> Alcotest.fail "options on an atomic pass must raise"
+
+let test_pipeline_unbalanced_braces () =
+  match Pass.parse_pipeline "stencil-to-hls{steps=1-9" with
+  | exception Shmls_support.Err.Error _ -> ()
+  | _ -> Alcotest.fail "unbalanced braces must raise"
+
+let test_pass_hooks () =
+  let m =
+    module_with_body (fun b args ->
+        match args with
+        | [ x; y ] ->
+          let a1 = D.Arith.addf b x y in
+          let a2 = D.Arith.addf b x y in
+          let s = D.Arith.mulf b a1 a2 in
+          let mr = D.Memref.alloc b ~shape:[ 1 ] ~elem:f64 in
+          let i = D.Arith.constant_index b 0 in
+          D.Memref.store b s mr [ i ]
+        | _ -> assert false)
+  in
+  let befores = ref [] and afters = ref [] in
+  let h =
+    Pass.hook
+      ~before:(fun p _ -> befores := p.Pass.pass_name :: !befores)
+      ~after:(fun p stat _ ->
+        Alcotest.(check string) "stat matches pass" p.Pass.pass_name
+          stat.Pass.stat_pass;
+        afters := p.Pass.pass_name :: !afters)
+      ()
+  in
+  let _ = Pass.run_pipeline ~hooks:[ h ] (Pass.parse_pipeline "cse,dce") m in
+  Alcotest.(check (list string)) "before hook per pass" [ "cse"; "dce" ]
+    (List.rev !befores);
+  Alcotest.(check (list string)) "after hook per pass" [ "cse"; "dce" ]
+    (List.rev !afters)
+
+let test_verification_names_pass () =
+  (* a rogue pass that inserts an unregistered op must be named by the
+     inter-pass verification error *)
+  let rogue =
+    Pass.make ~name:"rogue-insert" (fun m ->
+        Ir.Block.append
+          (Ir.Region.entry (List.hd (Ir.Op.regions m)))
+          (Ir.Op.create ~name:"bogus.op" ()))
+  in
+  let m = module_with_body (fun _ _ -> ()) in
+  match Pass.run_pipeline ~verify_each:true [ rogue ] m with
+  | exception Shmls_support.Err.Error e ->
+    let msg = Shmls_support.Err.to_string e in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S names the pass" msg)
+      true
+      (contains msg "invariant broken by pass \"rogue-insert\"")
+  | _ -> Alcotest.fail "broken invariant must raise"
+
+let test_nonconvergence_names_pattern () =
+  let always =
+    Rewriter.make_pattern ~name:"ping"
+      ~matches:(fun o -> Ir.Op.name o = "arith.constant")
+      ~rewrite:(fun _ -> true)
+      ()
+  in
+  let m = module_with_body (fun b _ -> ignore (D.Arith.constant_f b 1.0)) in
+  match Rewriter.apply_patterns ~name:"ping-driver" [ always ] m with
+  | exception Shmls_support.Err.Error e ->
+    let msg = Shmls_support.Err.to_string e in
+    Alcotest.(check bool)
+      (Printf.sprintf "%S names driver and pattern" msg)
+      true
+      (contains msg "ping-driver" && contains msg "\"ping\"")
+  | _ -> Alcotest.fail "non-converging rewrite must be reported"
+
 let test_registered_passes () =
   Test_common.Helpers.ensure_passes_linked ();
   let names = Pass.registered_passes () in
   List.iter
     (fun n -> Alcotest.(check bool) (n ^ " registered") true (List.mem n names))
-    [
-      "dce"; "cse"; "canonicalize"; "stencil-shape-inference"; "stencil-to-cpu";
-      "stencil-to-hls"; "stencil-apply-split"; "stencil-apply-fuse";
-      "raise-to-stencil";
-    ]
+    ([
+       "dce"; "cse"; "canonicalize"; "stencil-shape-inference";
+       "stencil-to-cpu"; "stencil-to-hls"; "stencil-apply-split";
+       "stencil-apply-fuse"; "raise-to-stencil";
+     ]
+    @ step_names)
 
 let () =
   Alcotest.run "passes"
@@ -297,5 +423,18 @@ let () =
           Alcotest.test_case "pipeline" `Quick test_pass_manager_pipeline;
           Alcotest.test_case "unknown pass" `Quick test_pass_lookup_unknown;
           Alcotest.test_case "registry contents" `Quick test_registered_passes;
+          Alcotest.test_case "spec order preserved" `Quick
+            test_pipeline_order_preserved;
+          Alcotest.test_case "composite expansion" `Quick test_composite_expansion;
+          Alcotest.test_case "composite options" `Quick test_composite_options;
+          Alcotest.test_case "atomic rejects options" `Quick
+            test_atomic_rejects_options;
+          Alcotest.test_case "unbalanced braces" `Quick
+            test_pipeline_unbalanced_braces;
+          Alcotest.test_case "hooks" `Quick test_pass_hooks;
+          Alcotest.test_case "verification names pass" `Quick
+            test_verification_names_pass;
+          Alcotest.test_case "non-convergence names pattern" `Quick
+            test_nonconvergence_names_pattern;
         ] );
     ]
