@@ -534,6 +534,189 @@ let multi_fpga () =
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: cost of the pipeline itself *)
 
+(* Where [--json PATH] asked the bechamel experiments to record their
+   results machine-readably (None = stdout only). *)
+let json_out : string option ref = ref None
+
+(* Run a Bechamel suite and return (name, ns/run) rows, sorted. *)
+let run_bechamel cfg tests =
+  let open Bechamel in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"shmls" tests)
+  in
+  let results =
+    Analyze.all
+      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+      instance raw
+  in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name v ->
+      match Analyze.OLS.estimates v with
+      | Some [ est ] -> rows := (name, est) :: !rows
+      | _ -> ())
+    results;
+  List.sort compare !rows
+
+let print_rows rows =
+  List.iter
+    (fun (name, est) ->
+      if est >= 1e6 then Printf.printf "  %-40s %10.2f ms/run\n" name (est /. 1e6)
+      else Printf.printf "  %-40s %10.1f ns/run\n" name est)
+    rows
+
+let find_row rows suffix =
+  List.find_map
+    (fun (name, est) ->
+      let nl = String.length name and sl = String.length suffix in
+      if nl >= sl && String.sub name (nl - sl) sl = suffix then Some est
+      else None)
+    rows
+
+(* Micro-benchmarks of the compile-and-simulate hot paths this repo
+   optimises: O(1) intrusive block appends vs the seed's [b_ops <- b_ops
+   @ [op]] list representation, the worklist rewrite driver, and strided
+   vs cons-list grid indexing. *)
+let micro_tests () =
+  let open Bechamel in
+  Shmls_dialects.Register.all ();
+  let n = 10_000 in
+  let fold_chain_module n =
+    let m = Shmls.Ir.Module_.create () in
+    let _ =
+      Shmls_dialects.Func.build_func m ~name:"f" ~arg_tys:[] ~result_tys:[]
+        (fun b _ ->
+          let x = ref (Shmls_dialects.Arith.constant_f b 1.0) in
+          for _ = 1 to n do
+            x := Shmls_dialects.Arith.addf b !x !x
+          done;
+          Shmls_dialects.Func.return_ b [])
+    in
+    m
+  in
+  let g =
+    Shmls.Grid.create (Shmls.Ty.make_bounds ~lb:[ 0; 0; 0 ] ~ub:[ 64; 64; 16 ])
+  in
+  Shmls.Grid.init_hash g;
+  [
+    Test.make ~name:"ir_block_append_10k"
+      (Staged.stage (fun () ->
+           let b = Shmls.Ir.Block.create () in
+           for i = 0 to n - 1 do
+             Shmls.Ir.Block.append b
+               (Shmls.Ir.Op.create ~name:"arith.constant"
+                  ~result_tys:[ Shmls.Ty.F64 ]
+                  ~attrs:[ ("value", Shmls.Attr.Float (float_of_int i)) ]
+                  ())
+           done));
+    (* the seed's block representation: append n elements with the list
+       concatenation the old Block.append performed *)
+    Test.make ~name:"ir_list_append_10k_seed_baseline"
+      (Staged.stage (fun () ->
+           let l = ref [] in
+           for i = 0 to n - 1 do
+             l := !l @ [ i ]
+           done;
+           ignore !l));
+    Test.make ~name:"rewrite_driver_fold_chain_256"
+      (Staged.stage (fun () ->
+           let m = fold_chain_module 256 in
+           let p = Shmls.Pass.lookup_exn "canonicalize" in
+           p.Shmls.Pass.run m));
+    Test.make ~name:"grid_sweep_strided_64x64x16"
+      (Staged.stage (fun () ->
+           let s = ref 0.0 in
+           Shmls.Grid.iter_bounds_arr g.Shmls.Grid.bounds (fun pos ->
+               s :=
+                 !s
+                 +. Array.unsafe_get g.Shmls.Grid.data
+                      (Shmls.Grid.unsafe_linear g pos));
+           ignore !s));
+    Test.make ~name:"grid_sweep_list_64x64x16"
+      (Staged.stage (fun () ->
+           let s = ref 0.0 in
+           Shmls.Grid.iter_bounds g.Shmls.Grid.bounds (fun idx ->
+               s := !s +. Shmls.Grid.get g idx);
+           ignore !s));
+  ]
+
+(* Demonstrate compile-once evaluation: raw pipeline runs of the first
+   and second [evaluate_all] on the same kernel/grid (1 then 0). *)
+let compile_once_counts () =
+  Shmls.reset_compile_cache ();
+  let grid = [ 16; 8; 4 ] in
+  ignore (Shmls.evaluate_all PW.kernel ~grid);
+  let first = Shmls.compile_runs () in
+  ignore (Shmls.evaluate_all PW.kernel ~grid);
+  let second = Shmls.compile_runs () - first in
+  (first, second)
+
+(* BENCH_pipeline.json: machine-readable record of the micro-benchmarks
+   plus the derived acceptance numbers (block-construction speedup,
+   compile-once counts). *)
+let emit_json ~path rows =
+  let first, second = compile_once_counts () in
+  let speedup =
+    match
+      ( find_row rows "ir_block_append_10k",
+        find_row rows "ir_list_append_10k_seed_baseline" )
+    with
+    | Some fast, Some slow when fast > 0.0 -> Some (slow /. fast)
+    | _ -> None
+  in
+  let grid_speedup =
+    match
+      ( find_row rows "grid_sweep_strided_64x64x16",
+        find_row rows "grid_sweep_list_64x64x16" )
+    with
+    | Some fast, Some slow when fast > 0.0 -> Some (slow /. fast)
+    | _ -> None
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    "  \"generated_by\": \"bench/main.exe bechamel --json\",\n";
+  Buffer.add_string buf "  \"results_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, est) ->
+      Buffer.add_string buf
+        (Printf.sprintf "    %S: %.1f%s\n" name est
+           (if i = List.length rows - 1 then "" else ",")))
+    rows;
+  Buffer.add_string buf "  },\n";
+  Buffer.add_string buf "  \"derived\": {\n";
+  (match speedup with
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf "    \"block_construction_speedup_at_10k_ops\": %.1f,\n" s)
+  | None -> ());
+  (match grid_speedup with
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf "    \"grid_indexing_speedup\": %.1f,\n" s)
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "    \"compile_runs_first_evaluate_all\": %d,\n" first);
+  Buffer.add_string buf
+    (Printf.sprintf "    \"compile_runs_second_evaluate_all\": %d\n" second);
+  Buffer.add_string buf "  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+(* Fast subset exercising the JSON emitter, cheap enough for the dune
+   runtest alias in bench/dune (tier-1). *)
+let bechamel_smoke () =
+  section "Bechamel smoke -- hot-path micro-benchmarks (fast subset)";
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:10 ~quota:(Time.second 0.05) () in
+  let rows = run_bechamel cfg (micro_tests ()) in
+  print_rows rows;
+  let path = Option.value !json_out ~default:"BENCH_pipeline.json" in
+  emit_json ~path rows
+
 let bechamel () =
   section "Bechamel -- wall-clock cost of the pipeline stages (this machine)";
   let open Bechamel in
@@ -581,28 +764,12 @@ let bechamel () =
              ignore (Shmls_llvmir.Fplusplus.run ll)));
     ]
   in
-  let instance = Toolkit.Instance.monotonic_clock in
+  let tests = tests @ micro_tests () in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) () in
-  let raw =
-    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"shmls" tests)
-  in
-  let results =
-    Analyze.all
-      (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
-      instance raw
-  in
-  let rows = ref [] in
-  Hashtbl.iter
-    (fun name v ->
-      match Analyze.OLS.estimates v with
-      | Some [ est ] -> rows := (name, est) :: !rows
-      | _ -> ())
-    results;
-  List.iter
-    (fun (name, est) ->
-      if est >= 1e6 then Printf.printf "  %-36s %10.2f ms/run\n" name (est /. 1e6)
-      else Printf.printf "  %-36s %10.1f ns/run\n" name est)
-    (List.sort compare !rows)
+  let rows = run_bechamel cfg tests in
+  print_rows rows;
+  let path = Option.value !json_out ~default:"BENCH_pipeline.json" in
+  emit_json ~path rows
 
 (* ------------------------------------------------------------------ *)
 
@@ -622,23 +789,38 @@ let experiments =
     ("multi-fpga", multi_fpga);
     ("zoo", zoo);
     ("bechamel", bechamel);
+    ("bechamel-smoke", bechamel_smoke);
   ]
+
+(* Pull "--json PATH" out of the argument list; everything left is
+   experiment names. *)
+let rec extract_json acc = function
+  | [] -> (List.rev acc, None)
+  | [ "--json" ] ->
+    Printf.eprintf "--json requires a path argument\n";
+    exit 1
+  | "--json" :: path :: rest -> (List.rev_append acc rest, Some path)
+  | x :: rest -> extract_json (x :: acc) rest
 
 let () =
   match Array.to_list Sys.argv with
-  | _ :: [] ->
-    Printf.printf
-      "Stencil-HMLS evaluation harness -- reproducing every table and figure\n\
-       of the paper (simulated U280; see DESIGN.md for the substitutions).\n";
-    List.iter (fun (_, f) -> f ()) experiments
-  | _ :: [ "list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
-  | _ :: args ->
-    List.iter
-      (fun arg ->
-        match List.assoc_opt arg experiments with
-        | Some f -> f ()
-        | None ->
-          Printf.eprintf "unknown experiment %S (try 'list')\n" arg;
-          exit 1)
-      args
   | [] -> ()
+  | _ :: rest -> (
+    let args, json = extract_json [] rest in
+    json_out := json;
+    match args with
+    | [] ->
+      Printf.printf
+        "Stencil-HMLS evaluation harness -- reproducing every table and figure\n\
+         of the paper (simulated U280; see DESIGN.md for the substitutions).\n";
+      List.iter (fun (_, f) -> f ()) experiments
+    | [ "list" ] -> List.iter (fun (name, _) -> print_endline name) experiments
+    | args ->
+      List.iter
+        (fun arg ->
+          match List.assoc_opt arg experiments with
+          | Some f -> f ()
+          | None ->
+            Printf.eprintf "unknown experiment %S (try 'list')\n" arg;
+            exit 1)
+        args)

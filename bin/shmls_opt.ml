@@ -71,14 +71,22 @@ let run_tool passes_spec verify_each stats list_passes print_ir_after_all
       Shmls_ir.Verifier.verify_exn m;
       let passes = Shmls_ir.Pass.parse_pipeline passes_spec in
       let hooks = snapshot_hooks ~print_ir_after_all ~dump_after ~dump_dir in
+      if stats then Shmls_ir.Rewriter.reset_cumulative_fires ();
       let run_stats =
-        Shmls_ir.Pass.run_pipeline ~verify_each ~hooks passes m
+        Shmls_ir.Pass.run_pipeline ~verify_each ~hooks ~op_stats:stats passes m
       in
       if stats then begin
         List.iter
           (fun s -> Format.eprintf "%a@." Shmls_ir.Pass.pp_stat s)
           run_stats;
-        Format.eprintf "%a" Shmls_ir.Pass.pp_summary run_stats
+        Format.eprintf "%a" Shmls_ir.Pass.pp_summary run_stats;
+        match Shmls_ir.Rewriter.cumulative_fires () with
+        | [] -> ()
+        | fires ->
+          Format.eprintf "@.%-32s %8s@." "pattern" "fires";
+          List.iter
+            (fun (name, n) -> Format.eprintf "%-32s %8d@." name n)
+            fires
       end;
       print_endline (Shmls_ir.Printer.to_string m);
       `Ok ()

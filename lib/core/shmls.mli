@@ -53,6 +53,23 @@ val compile :
   ?balance_depths:bool -> ?split_applies:bool -> Ast.kernel -> grid:int list ->
   compiled
 
+(** Like {!compile}, but memoised on a digest of (kernel, grid, flags):
+    repeated evaluations of the same configuration compile once and share
+    the (read-only) [compiled] record. *)
+val compile_cached :
+  ?balance_depths:bool -> ?split_applies:bool -> Ast.kernel -> grid:int list ->
+  compiled
+
+(** [(hits, misses)] of the {!compile_cached} memo since the last
+    {!reset_compile_cache}. *)
+val compile_cache_stats : unit -> int * int
+
+(** Raw pipeline executions (cached or not) since the last
+    {!reset_compile_cache}. *)
+val compile_runs : unit -> int
+
+val reset_compile_cache : unit -> unit
+
 type verification = {
   v_fields : (string * float) list;  (** per output field: max |diff| *)
   v_max_diff : float;

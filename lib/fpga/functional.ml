@@ -79,20 +79,29 @@ let offsets_of_halo halo =
   in
   go halo
 
-let linear_of_pos extent pos =
-  List.fold_left2 (fun acc e p -> (acc * e) + p) 0 extent pos
+(* Array geometry for the per-point stage loops: extent as an array plus
+   row-major strides, and an odometer increment so positions advance
+   without re-dividing the linear index every point. *)
+let stage_geometry extent =
+  let ext = Array.of_list extent in
+  let rank = Array.length ext in
+  let strides = Array.make rank 1 in
+  for d = rank - 2 downto 0 do
+    strides.(d) <- strides.(d + 1) * ext.(d + 1)
+  done;
+  (ext, strides, Array.fold_left ( * ) 1 ext)
 
-let pos_of_linear extent idx =
-  let rec go idx = function
-    | [] -> []
-    | [ _ ] -> [ idx ]
-    | _ :: rest ->
-      let tail = List.fold_left ( * ) 1 rest in
-      (idx / tail) :: go (idx mod tail) rest
-  in
-  go idx extent
-
-let in_range extent pos = List.for_all2 (fun e p -> p >= 0 && p < e) extent pos
+let odometer_incr (ext : int array) (pos : int array) =
+  let d = ref (Array.length pos - 1) in
+  let carrying = ref true in
+  while !carrying && !d >= 0 do
+    pos.(!d) <- pos.(!d) + 1;
+    if pos.(!d) = ext.(!d) then begin
+      pos.(!d) <- 0;
+      decr d
+    end
+    else carrying := false
+  done
 
 (* ------------------------------------------------------------------ *)
 (* Stage semantics (the "runtime" of the paper: load_data, shift_buffer,
@@ -114,7 +123,8 @@ let run_load ctx (d : Design.t) ~out_streams ~ptr_args =
     out_streams ptr_args
 
 let run_shift ctx ~input ~output ~halo ~extent =
-  let total = List.fold_left ( * ) 1 extent in
+  let ext, strides, total = stage_geometry extent in
+  let rank = Array.length ext in
   let inbuf = stream_of ctx input in
   let values = Array.make total 0.0 in
   for i = 0 to total - 1 do
@@ -123,18 +133,34 @@ let run_shift ctx ~input ~output ~halo ~extent =
     | Vector _ -> Err.raise_error "functional sim: shift input must be scalar"
   done;
   let outbuf = stream_of ctx output in
-  let offsets = offsets_of_halo halo in
+  (* offsets as arrays, with each offset's linear delta precomputed: an
+     in-range neighbour is values.(i + delta), no per-point re-division *)
+  let offsets =
+    offsets_of_halo halo |> List.map Array.of_list |> Array.of_list
+  in
+  let deltas =
+    Array.map
+      (fun off ->
+        let s = ref 0 in
+        Array.iteri (fun d o -> s := !s + (o * strides.(d))) off;
+        !s)
+      offsets
+  in
+  let nb_n = Array.length offsets in
+  let pos = Array.make rank 0 in
   for i = 0 to total - 1 do
-    let pos = pos_of_linear extent i in
-    let nb =
-      List.map
-        (fun off ->
-          let p = List.map2 ( + ) pos off in
-          if in_range extent p then values.(linear_of_pos extent p)
-          else Float.nan)
-        offsets
-    in
-    buf_push outbuf (Vector (Array.of_list nb))
+    let nb = Array.make nb_n Float.nan in
+    for k = 0 to nb_n - 1 do
+      let off = offsets.(k) in
+      let ok = ref true in
+      for d = 0 to rank - 1 do
+        let p = pos.(d) + off.(d) in
+        if p < 0 || p >= ext.(d) then ok := false
+      done;
+      if !ok then nb.(k) <- values.(i + deltas.(k))
+    done;
+    buf_push outbuf (Vector nb);
+    odometer_incr ext pos
   done
 
 let run_dup ctx ~input ~outputs =
@@ -148,13 +174,9 @@ let run_dup ctx ~input ~outputs =
 
 let run_write ctx (d : Design.t) ~in_streams ~ptr_args ~halo ~extent =
   ignore d;
-  let total = List.fold_left ( * ) 1 extent in
-  let interior pos =
-    List.for_all2
-      (fun p (h, e) -> p >= h && p < e - h)
-      pos
-      (List.combine halo extent)
-  in
+  let ext, _, total = stage_geometry extent in
+  let hal = Array.of_list halo in
+  let rank = Array.length ext in
   List.iter2
     (fun stream argi ->
       let data =
@@ -163,12 +185,19 @@ let run_write ctx (d : Design.t) ~in_streams ~ptr_args ~halo ~extent =
         | _ -> Err.raise_error "functional sim: write_data arg is not a pointer"
       in
       let buf = stream_of ctx stream in
+      let pos = Array.make rank 0 in
       for i = 0 to total - 1 do
-        match buf_pop buf with
+        (match buf_pop buf with
         | Scalar v ->
-          let pos = pos_of_linear extent i in
-          if interior pos then data.(i) <- v
-        | Vector _ -> Err.raise_error "functional sim: write input must be scalar"
+          let interior = ref true in
+          for d = 0 to rank - 1 do
+            if pos.(d) < hal.(d) || pos.(d) >= ext.(d) - hal.(d) then
+              interior := false
+          done;
+          if !interior then data.(i) <- v
+        | Vector _ ->
+          Err.raise_error "functional sim: write input must be scalar");
+        odometer_incr ext pos
       done)
     in_streams ptr_args
 
@@ -315,12 +344,14 @@ let rec exec_op ctx (op : Ir.op) =
       | a :: _ -> a
       | [] -> Err.raise_error "functional sim: scf.for without args"
     in
+    (* snapshot the body once; the loop body does not mutate the IR *)
+    let body_ops = Ir.Block.ops block in
     let i = ref lb in
     while !i < ub do
       bind ctx iv (I !i);
       List.iter
         (fun (o : Ir.op) -> if Ir.Op.name o <> "scf.yield" then exec_op ctx o)
-        (Ir.Block.ops block);
+        body_ops;
       i := !i + step
     done
   | name -> Err.raise_error "functional sim: unsupported op %s" name

@@ -4,7 +4,16 @@
 
 open Shmls_ir
 
-type t = { bounds : Ty.bounds; data : float array }
+type t = {
+  bounds : Ty.bounds;
+  data : float array;
+  lb : int array;  (** [bounds.lb] as an array *)
+  ub : int array;  (** [bounds.ub] as an array *)
+  strides : int array;  (** row-major strides, innermost = 1 *)
+}
+
+(** [(lb, ub, strides)] arrays of a bounds value. *)
+val geometry : Ty.bounds -> int array * int array * int array
 
 val create : Ty.bounds -> t
 val copy : t -> t
@@ -17,8 +26,24 @@ val get : t -> int list -> float
 
 val set : t -> int list -> float -> unit
 
+(** Linear offset of an absolute array index, no bounds checks; validate
+    the corners of the loop nest once with {!check_index_arr} first. *)
+val unsafe_linear : t -> int array -> int
+
+(** Raises {!Err.Error} when the array index is outside the bounds. *)
+val check_index_arr : t -> int array -> unit
+
+(** Whether every point of the (rectangular) region lies inside the
+    grid; checking its two corners lets a loop nest validate once and
+    index unchecked. *)
+val region_inside : t -> Ty.bounds -> bool
+
 (** Iterate over every point of [bounds] in row-major order. *)
 val iter_bounds : Ty.bounds -> (int list -> unit) -> unit
+
+(** Same iteration handing out one shared mutable index array; callers
+    must not retain it across points. *)
+val iter_bounds_arr : Ty.bounds -> (int array -> unit) -> unit
 
 val iter : t -> (int list -> float -> unit) -> unit
 val map_inplace : t -> (int list -> float -> float) -> unit

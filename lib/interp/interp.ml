@@ -19,9 +19,35 @@ type rval =
 type env = {
   vals : (int, rval) Hashtbl.t; (* value id -> runtime value *)
   mutable position : int array; (* current grid point inside an apply *)
+  access_offsets : (int, int array) Hashtbl.t;
+  (* stencil.access op id -> parsed offset, so the attribute is decoded
+     once per op instead of once per grid point *)
+  access_safe : (int, unit) Hashtbl.t;
+  (* access ops whose whole iteration range was corner-checked in-bounds
+     by run_apply: the per-point path indexes unchecked *)
+  mutable scratch : int array; (* reusable index buffer, sized per rank *)
 }
 
-let make_env () = { vals = Hashtbl.create 64; position = [||] }
+let make_env () =
+  {
+    vals = Hashtbl.create 64;
+    position = [||];
+    access_offsets = Hashtbl.create 32;
+    access_safe = Hashtbl.create 32;
+    scratch = [||];
+  }
+
+let access_offset_arr env (op : Ir.op) =
+  match Hashtbl.find_opt env.access_offsets op.Ir.o_id with
+  | Some a -> a
+  | None ->
+    let a = Array.of_list (Stencil.access_offset op) in
+    Hashtbl.add env.access_offsets op.Ir.o_id a;
+    a
+
+let scratch_of env rank =
+  if Array.length env.scratch <> rank then env.scratch <- Array.make rank 0;
+  env.scratch
 
 let bind env v rv = Hashtbl.replace env.vals (Ir.Value.id v) rv
 
@@ -123,9 +149,16 @@ let eval_simple_op env (op : Ir.op) =
     bind env (Ir.Op.result op 0) (I env.position.(dim))
   | "stencil.access" ->
     let g = as_g env (Ir.Op.operand op 0) in
-    let offset = Stencil.access_offset op in
-    let idx = List.mapi (fun d o -> env.position.(d) + o) offset in
-    bind env (Ir.Op.result op 0) (F (Grid.get g idx))
+    let offset = access_offset_arr env op in
+    let rank = Array.length offset in
+    let pos = scratch_of env rank in
+    for d = 0 to rank - 1 do
+      pos.(d) <- env.position.(d) + offset.(d)
+    done;
+    if not (Hashtbl.mem env.access_safe op.Ir.o_id) then
+      Grid.check_index_arr g pos;
+    bind env (Ir.Op.result op 0)
+      (F (Array.unsafe_get g.Grid.data (Grid.unsafe_linear g pos)))
   | "stencil.dyn_access" ->
     let g = as_g env (Ir.Op.operand op 0) in
     let indices =
@@ -141,29 +174,65 @@ let run_apply env (op : Ir.op) =
   List.iteri
     (fun i arg -> bind env arg (lookup env (Ir.Op.operand op i)))
     args;
+  let result_vals = Array.of_list (Ir.Op.results op) in
   let results =
-    List.map (fun res -> Grid.create (temp_bounds res)) (Ir.Op.results op)
+    Array.map (fun res -> Grid.create (temp_bounds res)) result_vals
   in
   let bounds = temp_bounds (Ir.Op.result op 0) in
-  let body_ops = Ir.Block.ops block in
-  Grid.iter_bounds bounds (fun idx ->
-      env.position <- Array.of_list idx;
-      List.iter
-        (fun (o : Ir.op) ->
-          if Ir.Op.name o = Stencil.return_op then
-            List.iteri
+  (* Corner-check each access op's whole iteration range against its grid
+     once; in-range accesses index unchecked per point. *)
+  Ir.Op.walk op (fun (o : Ir.op) ->
+      if Ir.Op.name o = "stencil.access" then begin
+        let g = as_g env (Ir.Op.operand o 0) in
+        let off = Array.to_list (access_offset_arr env o) in
+        let shifted =
+          Ty.make_bounds
+            ~lb:(List.map2 ( + ) bounds.Ty.lb off)
+            ~ub:(List.map2 ( + ) bounds.Ty.ub off)
+        in
+        if Grid.region_inside g shifted then
+          Hashtbl.replace env.access_safe o.Ir.o_id ()
+        else Hashtbl.remove env.access_safe o.Ir.o_id
+      end);
+  (* Tag the body once so the per-point loop neither compares op names
+     nor allocates operand lists. *)
+  let plans =
+    Array.of_list (Ir.Block.ops block)
+    |> Array.map (fun (o : Ir.op) ->
+           if Ir.Op.name o = Stencil.return_op then
+             `Ret (Array.of_list (Ir.Op.operands o))
+           else `Op o)
+  in
+  let res_safe = Array.map (fun g -> Grid.region_inside g bounds) results in
+  Grid.iter_bounds_arr bounds (fun pos ->
+      env.position <- pos;
+      Array.iter
+        (function
+          | `Op o -> eval_simple_op env o
+          | `Ret operands ->
+            Array.iteri
               (fun ri operand ->
-                Grid.set (List.nth results ri) idx (as_f env operand))
-              (Ir.Op.operands o)
-          else eval_simple_op env o)
-        body_ops);
-  List.iteri (fun i res -> bind env res (G (List.nth results i))) (Ir.Op.results op)
+                let g = results.(ri) in
+                if not res_safe.(ri) then Grid.check_index_arr g pos;
+                Array.unsafe_set g.Grid.data
+                  (Grid.unsafe_linear g pos)
+                  (as_f env operand))
+              operands)
+        plans);
+  Array.iteri (fun i res -> bind env res (G results.(i))) result_vals
 
 let run_store env (op : Ir.op) =
   let src = as_g env (Ir.Op.operand op 0) in
   let dst = as_g env (Ir.Op.operand op 1) in
   let bounds = Stencil.store_bounds op in
-  Grid.iter_bounds bounds (fun idx -> Grid.set dst idx (Grid.get src idx))
+  let src_safe = Grid.region_inside src bounds
+  and dst_safe = Grid.region_inside dst bounds in
+  Grid.iter_bounds_arr bounds (fun pos ->
+      if not src_safe then Grid.check_index_arr src pos;
+      if not dst_safe then Grid.check_index_arr dst pos;
+      Array.unsafe_set dst.Grid.data
+        (Grid.unsafe_linear dst pos)
+        (Array.unsafe_get src.Grid.data (Grid.unsafe_linear src pos)))
 
 (* Execute one function on the given argument values. Grids are mutated
    in place (fields written by stencil.store). *)
@@ -243,6 +312,8 @@ let rec exec_generic_op env (op : Ir.op) =
       |> List.map (lookup env)
     in
     let current = ref inits in
+    (* snapshot the body once; the loop body does not mutate the IR *)
+    let body_ops = Ir.Block.ops block in
     let i = ref lb in
     while !i < ub do
       bind env iv (I !i);
@@ -252,7 +323,7 @@ let rec exec_generic_op env (op : Ir.op) =
           if Ir.Op.name o = "scf.yield" then
             current := List.map (lookup env) (Ir.Op.operands o)
           else exec_generic_op env o)
-        (Ir.Block.ops block);
+        body_ops;
       i := !i + step
     done;
     List.iteri

@@ -54,7 +54,7 @@ let run_on_op root =
         List.iter
           (fun b ->
             total := !total + run_on_block b;
-            List.iter walk_op b.Ir.b_ops)
+            Ir.Block.iter_ops b walk_op)
           r.Ir.r_blocks)
       op.o_regions
   in

@@ -6,8 +6,10 @@
 
    Mutation functions maintain use-def chains, so rewrites
    (replace_all_uses, erase, insertion) keep the graph consistent.  Blocks
-   store their ops in a mutable list; splicing is O(block length), which is
-   fine at the IR sizes this compiler handles. *)
+   store their ops in an intrusive doubly-linked list (first/last on the
+   block, prev/next on each op), so append/prepend/insert_before/
+   insert_after/detach/erase are all O(1); [Block.ops] materialises a
+   plain list on demand for consumers that want one. *)
 
 type value = {
   v_id : int;
@@ -30,12 +32,16 @@ and op = {
   mutable o_attrs : (string * Attr.t) list;
   mutable o_regions : region list;
   mutable o_parent : block option;
+  mutable o_prev : op option; (* intrusive block list links *)
+  mutable o_next : op option;
 }
 
 and block = {
   b_id : int;
   mutable b_args : value array;
-  mutable b_ops : op list;
+  mutable b_first : op option;
+  mutable b_last : op option;
+  mutable b_num_ops : int;
   mutable b_parent : region option;
 }
 
@@ -55,6 +61,36 @@ let reset_ids () =
   Idgen.reset op_ids;
   Idgen.reset block_ids;
   Idgen.reset region_ids
+
+(* Iterate the intrusive list.  The successor is captured before [f] runs,
+   so [f] may detach or erase the op it is given. *)
+let iter_block_ops b f =
+  let rec go = function
+    | None -> ()
+    | Some op ->
+      let next = op.o_next in
+      f op;
+      go next
+  in
+  go b.b_first
+
+let iter_block_ops_rev b f =
+  let rec go = function
+    | None -> ()
+    | Some op ->
+      let prev = op.o_prev in
+      f op;
+      go prev
+  in
+  go b.b_last
+
+(* Materialise the op list (walk backward so the list builds forward). *)
+let block_op_list b =
+  let rec go acc = function
+    | None -> acc
+    | Some op -> go (op :: acc) op.o_prev
+  in
+  go [] b.b_last
 
 (* ------------------------------------------------------------------ *)
 (* Values *)
@@ -106,6 +142,8 @@ module Op = struct
   let attrs op = op.o_attrs
   let regions op = op.o_regions
   let parent op = op.o_parent
+  let prev op = op.o_prev
+  let next op = op.o_next
   let equal a b = a.o_id = b.o_id
 
   let operand op i =
@@ -144,6 +182,8 @@ module Op = struct
         o_attrs = attrs;
         o_regions = regions;
         o_parent = None;
+        o_prev = None;
+        o_next = None;
       }
     in
     op.o_results <-
@@ -178,12 +218,22 @@ module Op = struct
       (fun i v -> Value.add_use v { u_op = op; u_index = i })
       op.o_operands
 
-  (* Detach from parent block without touching operands/uses. *)
+  (* Detach from parent block without touching operands/uses.  O(1): just
+     unlink from the intrusive list. *)
   let detach op =
-    (match op.o_parent with
+    match op.o_parent with
     | None -> ()
-    | Some b -> b.b_ops <- List.filter (fun o -> not (equal o op)) b.b_ops);
-    op.o_parent <- None
+    | Some b ->
+      (match op.o_prev with
+      | None -> b.b_first <- op.o_next
+      | Some p -> p.o_next <- op.o_next);
+      (match op.o_next with
+      | None -> b.b_last <- op.o_prev
+      | Some n -> n.o_prev <- op.o_prev);
+      b.b_num_ops <- b.b_num_ops - 1;
+      op.o_prev <- None;
+      op.o_next <- None;
+      op.o_parent <- None
 
   let rec erase op =
     if Array.exists Value.has_uses op.o_results then
@@ -196,19 +246,24 @@ module Op = struct
 
   and erase_block_ops b =
     (* Erase ops in reverse so uses disappear before defs. *)
-    List.iter
-      (fun op ->
+    iter_block_ops_rev b (fun op ->
         Array.iteri (fun i v -> Value.remove_use v ~op ~index:i) op.o_operands;
-        List.iter (fun r -> List.iter erase_block_ops r.r_blocks) op.o_regions)
-      (List.rev b.b_ops);
-    b.b_ops <- []
+        List.iter (fun r -> List.iter erase_block_ops r.r_blocks) op.o_regions;
+        op.o_parent <- None;
+        op.o_prev <- None;
+        op.o_next <- None);
+    b.b_first <- None;
+    b.b_last <- None;
+    b.b_num_ops <- 0
 
   (* Pre-order walk over this op and all nested ops. *)
   let rec walk op f =
     f op;
     List.iter
       (fun region ->
-        List.iter (fun b -> List.iter (fun o -> walk o f) b.b_ops) region.r_blocks)
+        List.iter
+          (fun b -> iter_block_ops b (fun o -> walk o f))
+          region.r_blocks)
       op.o_regions
 
   (* Walk with early collection: gather all nested ops satisfying [p]. *)
@@ -233,7 +288,14 @@ module Block = struct
 
   let create ?(arg_tys = []) () =
     let b =
-      { b_id = Idgen.fresh block_ids; b_args = [||]; b_ops = []; b_parent = None }
+      {
+        b_id = Idgen.fresh block_ids;
+        b_args = [||];
+        b_first = None;
+        b_last = None;
+        b_num_ops = 0;
+        b_parent = None;
+      }
     in
     b.b_args <-
       Array.of_list
@@ -251,7 +313,12 @@ module Block = struct
   let args b = Array.to_list b.b_args
   let arg b i = b.b_args.(i)
   let num_args b = Array.length b.b_args
-  let ops b = b.b_ops
+  let ops b = block_op_list b
+  let first_op b = b.b_first
+  let last_op b = b.b_last
+  let num_ops b = b.b_num_ops
+  let iter_ops b f = iter_block_ops b f
+  let iter_ops_rev b f = iter_block_ops_rev b f
   let equal a b = a.b_id = b.b_id
 
   let add_arg b ty =
@@ -265,36 +332,57 @@ module Block = struct
   let append b op =
     Op.detach op;
     op.o_parent <- Some b;
-    b.b_ops <- b.b_ops @ [ op ]
+    op.o_prev <- b.b_last;
+    op.o_next <- None;
+    (match b.b_last with
+    | None -> b.b_first <- Some op
+    | Some l -> l.o_next <- Some op);
+    b.b_last <- Some op;
+    b.b_num_ops <- b.b_num_ops + 1
 
   let prepend b op =
     Op.detach op;
     op.o_parent <- Some b;
-    b.b_ops <- op :: b.b_ops
+    op.o_prev <- None;
+    op.o_next <- b.b_first;
+    (match b.b_first with
+    | None -> b.b_last <- Some op
+    | Some f -> f.o_prev <- Some op);
+    b.b_first <- Some op;
+    b.b_num_ops <- b.b_num_ops + 1
+
+  let check_anchor what b (anchor : op) =
+    match anchor.o_parent with
+    | Some p when p == b -> ()
+    | _ -> Err.raise_error "%s: anchor not in block" what
 
   let insert_before b ~anchor op =
+    check_anchor "insert_before" b anchor;
     Op.detach op;
     op.o_parent <- Some b;
-    let rec go = function
-      | [] -> Err.raise_error "insert_before: anchor not in block"
-      | o :: rest when Op.equal o anchor -> op :: o :: rest
-      | o :: rest -> o :: go rest
-    in
-    b.b_ops <- go b.b_ops
+    op.o_prev <- anchor.o_prev;
+    op.o_next <- Some anchor;
+    (match anchor.o_prev with
+    | None -> b.b_first <- Some op
+    | Some p -> p.o_next <- Some op);
+    anchor.o_prev <- Some op;
+    b.b_num_ops <- b.b_num_ops + 1
 
   let insert_after b ~anchor op =
+    check_anchor "insert_after" b anchor;
     Op.detach op;
     op.o_parent <- Some b;
-    let rec go = function
-      | [] -> Err.raise_error "insert_after: anchor not in block"
-      | o :: rest when Op.equal o anchor -> o :: op :: rest
-      | o :: rest -> o :: go rest
-    in
-    b.b_ops <- go b.b_ops
+    op.o_prev <- Some anchor;
+    op.o_next <- anchor.o_next;
+    (match anchor.o_next with
+    | None -> b.b_last <- Some op
+    | Some n -> n.o_prev <- Some op);
+    anchor.o_next <- Some op;
+    b.b_num_ops <- b.b_num_ops + 1
 
   let terminator b =
-    match List.rev b.b_ops with
-    | last :: _ when Op.is_terminator last -> Some last
+    match b.b_last with
+    | Some last when Op.is_terminator last -> Some last
     | _ -> None
 end
 
@@ -363,7 +451,7 @@ module Module_ = struct
     | [ r ] -> Region.entry r
     | _ -> Err.raise_error "builtin.module must have exactly one region"
 
-  let ops m = (body m).b_ops
+  let ops m = Block.ops (body m)
 
   let funcs m =
     List.filter (fun op -> op.o_name = "func.func") (ops m)

@@ -24,12 +24,16 @@ and op = {
   mutable o_attrs : (string * Attr.t) list;
   mutable o_regions : region list;
   mutable o_parent : block option;
+  mutable o_prev : op option;  (** intrusive block-list link *)
+  mutable o_next : op option;
 }
 
 and block = {
   b_id : int;
   mutable b_args : value array;
-  mutable b_ops : op list;
+  mutable b_first : op option;
+  mutable b_last : op option;
+  mutable b_num_ops : int;
   mutable b_parent : region option;
 }
 
@@ -87,6 +91,11 @@ module Op : sig
   val attrs : t -> (string * Attr.t) list
   val regions : t -> region list
   val parent : t -> block option
+
+  (** Predecessor / successor in the containing block's op list. *)
+  val prev : t -> op option
+
+  val next : t -> op option
   val equal : t -> t -> bool
   val operand : t -> int -> value
   val result : t -> int -> value
@@ -103,7 +112,7 @@ module Op : sig
   (** Replace the whole operand vector. *)
   val set_operands : t -> value list -> unit
 
-  (** Remove from the parent block without touching uses. *)
+  (** Remove from the parent block without touching uses. O(1). *)
   val detach : t -> unit
 
   (** Erase this op and its regions. Raises if any result still has
@@ -127,10 +136,30 @@ module Block : sig
   val args : t -> value list
   val arg : t -> int -> value
   val num_args : t -> int
+
+  (** Materialise the op list (O(n) — the ops themselves live in an
+      intrusive doubly-linked list). *)
   val ops : t -> op list
+
+  val first_op : t -> op option
+  val last_op : t -> op option
+
+  (** O(1) — the count is maintained by the insertion/removal calls. *)
+  val num_ops : t -> int
+
+  (** Allocation-free iteration; [f] may detach or erase the op it is
+      handed (the successor is captured first). *)
+  val iter_ops : t -> (op -> unit) -> unit
+
+  val iter_ops_rev : t -> (op -> unit) -> unit
   val equal : t -> t -> bool
   val add_arg : t -> Ty.t -> value
+
+  (** All insertions are O(1). An op already in a block is detached
+      first. [insert_before]/[insert_after] raise if the anchor is not in
+      this block. *)
   val append : t -> op -> unit
+
   val prepend : t -> op -> unit
   val insert_before : t -> anchor:op -> op -> unit
   val insert_after : t -> anchor:op -> op -> unit

@@ -8,6 +8,8 @@ type stat = {
   duration_s : float;
   ops_before : int;
   ops_after : int;
+  ops_counted : bool;  (** [false] when op counting was gated off *)
+  stat_cached : bool;  (** [true] when the memo table skipped the run *)
 }
 
 (** Instrumentation hooks, called around every pass a pipeline runs
@@ -56,12 +58,38 @@ val registered_passes : unit -> string list
 (** One-line description of a registered pass, if any. *)
 val describe : string -> string option
 
+(** Printed-form digest of a module; value numbering is assigned per
+    print, so structurally identical modules share a fingerprint. *)
+val fingerprint : Ir.op -> Digest.t
+
+(** [(hits, misses)] of the pass-result memo since the last
+    {!reset_memo}. *)
+val memo_stats : unit -> int * int
+
+val reset_memo : unit -> unit
+
 (** Run one pass; with [verify], check module invariants afterwards and
-    report the pass that broke them. *)
-val run_one : ?verify:bool -> ?hooks:hook list -> t -> Ir.op -> stat
+    report the pass that broke them.  Op counts in the returned stat are
+    only computed when [op_stats] is set or hooks are present (a count is
+    a full module walk).  With [memo], passes recorded as no-ops on this
+    module's fingerprint are skipped entirely. *)
+val run_one :
+  ?verify:bool ->
+  ?hooks:hook list ->
+  ?op_stats:bool ->
+  ?memo:bool ->
+  t ->
+  Ir.op ->
+  stat
 
 val run_pipeline :
-  ?verify_each:bool -> ?hooks:hook list -> t list -> Ir.op -> stat list
+  ?verify_each:bool ->
+  ?hooks:hook list ->
+  ?op_stats:bool ->
+  ?memo:bool ->
+  t list ->
+  Ir.op ->
+  stat list
 
 (** Parse ["pass1,pass2{opt=v}"] into passes via the registry.  Commas
     inside braces bind to the preceding pass; composites are flattened. *)

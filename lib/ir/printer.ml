@@ -113,7 +113,7 @@ and emit_block env level (b : Ir.block) =
       args;
     Buffer.add_string env.buf "):\n"
   end;
-  List.iter (emit_op env (level + 1)) b.b_ops
+  Ir.Block.iter_ops b (emit_op env (level + 1))
 
 let to_string op =
   let env = make_env () in

@@ -1,5 +1,8 @@
 (** Greedy pattern-rewrite driver (cf. MLIR's
-    applyPatternsAndFoldGreedily). *)
+    applyPatternsAndFoldGreedily), worklist-based: seeded once from the
+    tree, re-enqueueing only the affected neighbourhood after each
+    successful rewrite, with a final full-tree sweep confirming the
+    fixpoint. *)
 
 type pattern = {
   pat_name : string;
@@ -16,8 +19,32 @@ val make_pattern :
   unit ->
   pattern
 
+(** Default for [?max_iterations] below. *)
+val default_max_iterations : int
+
 (** Apply patterns greedily to a fixpoint over the subtree under [root]
     (excluding [root] itself). Returns [true] if anything changed. Raises
-    {!Err.Error} if no fixpoint is reached within an iteration cap; the
+    {!Err.Error} if no fixpoint is reached within [max_iterations]
+    worklist generations/sweeps (default {!default_max_iterations}); the
     error names the last-applied pattern and its application count. *)
-val apply_patterns : ?name:string -> pattern list -> Ir.op -> bool
+val apply_patterns :
+  ?name:string -> ?max_iterations:int -> pattern list -> Ir.op -> bool
+
+(** Algorithmic counters of one driver run, for perf-smoke tests and
+    [--stats]. *)
+type driver_stats = {
+  ds_driver : string;
+  ds_iterations : int;  (** worklist generations + verification sweeps *)
+  ds_visits : int;  (** ops visited (dequeues + sweep visits) *)
+  ds_rewrites : int;  (** successful pattern applications *)
+  ds_fires : (string * int) list;  (** per-pattern counts, most-fired first *)
+}
+
+(** Counters of the most recent {!apply_patterns} call. *)
+val last_stats : unit -> driver_stats option
+
+(** Per-pattern fire counts accumulated over every driver invocation
+    since the last {!reset_cumulative_fires}, most-fired first. *)
+val cumulative_fires : unit -> (string * int) list
+
+val reset_cumulative_fires : unit -> unit

@@ -38,7 +38,7 @@ let verify_terminator_position (b : Ir.block) =
         Err.fail "terminator %s is not last in its block" (Ir.Op.name op)
       else go rest
   in
-  go b.b_ops
+  go (Ir.Block.ops b)
 
 (* Collect every value visible at region entry: walking up through parents
    until (and excluding) an Isolated_from_above boundary. *)
@@ -54,10 +54,8 @@ let rec visible_above (r : Ir.region) =
         Array.iter (fun v -> set := Ir.Value_set.add v !set) b.b_args;
         (* all results of ops in the parent block are visible (we only do
            def-before-use checking per block separately) *)
-        List.iter
-          (fun (o : Ir.op) ->
-            Array.iter (fun v -> set := Ir.Value_set.add v !set) o.o_results)
-          b.b_ops;
+        Ir.Block.iter_ops b (fun (o : Ir.op) ->
+            Array.iter (fun v -> set := Ir.Value_set.add v !set) o.o_results);
         !set
     in
     if Dialect.has_trait op.o_name Dialect.Isolated_from_above then
@@ -88,7 +86,7 @@ let verify_block_ssa visible (b : Ir.block) =
         Array.iter (fun v -> defined := Ir.Value_set.add v !defined) op.o_results;
         go rest)
   in
-  go b.b_ops
+  go (Ir.Block.ops b)
 
 let rec verify_op_tree (op : Ir.op) =
   let* () =
@@ -119,7 +117,7 @@ let rec verify_op_tree (op : Ir.op) =
               let* () = verify_op_tree o in
               ops os
           in
-          let* () = ops b.b_ops in
+          let* () = ops (Ir.Block.ops b) in
           blocks more
       in
       let* () = blocks r.r_blocks in

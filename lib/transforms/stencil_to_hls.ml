@@ -105,7 +105,7 @@ let run_with_stats (m : Ir.op) =
               (fun _ -> f ctx))
           step_passes step_runs
       in
-      let stats = Pass.run_pipeline passes ctx.L.cx_target in
+      let stats = Pass.run_pipeline ~op_stats:true passes ctx.L.cx_target in
       (ctx.L.cx_target, L.plans ctx, stats))
 
 let description =

@@ -1,0 +1,222 @@
+(* Property tests for the intrusive doubly-linked block storage: random
+   insert / erase / replace_op / move sequences applied to the two paper
+   kernels' lowered modules must preserve the structural invariants the
+   rest of the compiler relies on — parent pointers, prev/next symmetry,
+   maintained op counts, forward/backward traversal agreement, and
+   use-def chain consistency in both directions. *)
+
+let () = Shmls_dialects.Register.all ()
+
+open Shmls_ir
+module PW = Shmls_kernels.Pw_advection
+module TA = Shmls_kernels.Tracer_advection
+
+let fail fmt = Alcotest.failf fmt
+
+(* ------------------------------------------------------------------ *)
+(* Invariant checking *)
+
+let check_block (b : Ir.block) =
+  let fwd = ref [] in
+  Ir.Block.iter_ops b (fun o -> fwd := o :: !fwd);
+  let fwd = List.rev !fwd in
+  let bwd = ref [] in
+  Ir.Block.iter_ops_rev b (fun o -> bwd := o :: !bwd);
+  let n = List.length fwd in
+  if n <> Ir.Block.num_ops b then
+    fail "num_ops %d but forward traversal found %d" (Ir.Block.num_ops b) n;
+  if List.length !bwd <> n then
+    fail "backward traversal found %d ops, forward %d" (List.length !bwd) n;
+  List.iter2
+    (fun a c -> if not (a == c) then fail "forward/backward traversal disagree")
+    fwd !bwd;
+  List.iter2
+    (fun a c -> if not (a == c) then fail "Block.ops disagrees with iter_ops")
+    fwd (Ir.Block.ops b);
+  (match (b.Ir.b_first, fwd) with
+  | None, [] -> ()
+  | Some f, first :: _ when f == first -> ()
+  | _ -> fail "b_first inconsistent");
+  (match (b.Ir.b_last, List.rev fwd) with
+  | None, [] -> ()
+  | Some l, last :: _ when l == last -> ()
+  | _ -> fail "b_last inconsistent");
+  let rec chain = function
+    | [] -> ()
+    | [ (last : Ir.op) ] ->
+      if last.Ir.o_next <> None then fail "last op has a successor"
+    | (a : Ir.op) :: ((c : Ir.op) :: _ as rest) ->
+      (match a.Ir.o_next with
+      | Some nx when nx == c -> ()
+      | _ -> fail "o_next does not point at the following op");
+      (match c.Ir.o_prev with
+      | Some pv when pv == a -> ()
+      | _ -> fail "o_prev does not point at the preceding op");
+      chain rest
+  in
+  (match fwd with
+  | [] -> ()
+  | (first : Ir.op) :: _ ->
+    if first.Ir.o_prev <> None then fail "first op has a predecessor");
+  chain fwd;
+  List.iter
+    (fun (o : Ir.op) ->
+      match o.Ir.o_parent with
+      | Some pb when pb == b -> ()
+      | _ -> fail "op's parent pointer does not name its block")
+    fwd;
+  fwd
+
+let check_use_def (o : Ir.op) =
+  Array.iteri
+    (fun i v ->
+      if
+        not
+          (List.exists
+             (fun (u : Ir.use) -> u.Ir.u_op == o && u.Ir.u_index = i)
+             v.Ir.v_uses)
+      then fail "operand %d of %s not recorded in the value's use list" i
+          (Ir.Op.name o))
+    o.Ir.o_operands;
+  Array.iter
+    (fun (v : Ir.value) ->
+      List.iter
+        (fun (u : Ir.use) ->
+          let owner = u.Ir.u_op in
+          if
+            u.Ir.u_index >= Ir.Op.num_operands owner
+            || not (Ir.Value.equal (Ir.Op.operand owner u.Ir.u_index) v)
+          then fail "use list of a result of %s records a stale use"
+              (Ir.Op.name o))
+        v.Ir.v_uses)
+    o.Ir.o_results
+
+let rec check_op_tree (o : Ir.op) =
+  check_use_def o;
+  List.iter
+    (fun (r : Ir.region) ->
+      List.iter
+        (fun b ->
+          let ops = check_block b in
+          List.iter check_op_tree ops)
+        r.Ir.r_blocks)
+    o.Ir.o_regions
+
+(* ------------------------------------------------------------------ *)
+(* Random mutation sequences *)
+
+let fresh_const v =
+  Ir.Op.create ~name:"arith.constant" ~result_tys:[ Ty.F64 ]
+    ~attrs:[ ("value", Attr.Float v) ] ()
+
+let blocks_of (m : Ir.op) =
+  let acc = ref [] in
+  let rec go (o : Ir.op) =
+    List.iter
+      (fun (r : Ir.region) ->
+        List.iter
+          (fun b ->
+            acc := b :: !acc;
+            Ir.Block.iter_ops b go)
+          r.Ir.r_blocks)
+      o.Ir.o_regions
+  in
+  go m;
+  !acc
+
+let nth_mod l i = List.nth l (i mod List.length l)
+
+(* An op we may erase / replace / move without collapsing the module
+   structure: region-free and not a terminator. *)
+let movable (o : Ir.op) =
+  o.Ir.o_regions = [] && not (Ir.Op.is_terminator o)
+
+let apply_command m (action, i, j) =
+  let blocks = blocks_of m in
+  let b = nth_mod blocks i in
+  let ops = Ir.Block.ops b in
+  match action mod 6 with
+  | 0 -> Ir.Block.append b (fresh_const (float_of_int j))
+  | 1 -> Ir.Block.prepend b (fresh_const (float_of_int j))
+  | 2 -> (
+    match ops with
+    | [] -> ()
+    | _ ->
+      Ir.Block.insert_before b ~anchor:(nth_mod ops j)
+        (fresh_const (float_of_int j)))
+  | 3 -> (
+    match ops with
+    | [] -> ()
+    | _ ->
+      Ir.Block.insert_after b ~anchor:(nth_mod ops j)
+        (fresh_const (float_of_int j)))
+  | 4 -> (
+    (* erase an op whose results are unused *)
+    match
+      List.find_opt
+        (fun o ->
+          movable o
+          && Array.for_all
+               (fun (v : Ir.value) -> not (Ir.Value.has_uses v))
+               o.Ir.o_results)
+        ops
+    with
+    | Some o -> Ir.Op.erase o
+    | None -> ())
+  | _ -> (
+    (* replace a single-result op with a fresh constant *)
+    match
+      List.find_opt (fun o -> movable o && Ir.Op.num_results o = 1) ops
+    with
+    | Some o ->
+      let c = fresh_const (float_of_int j) in
+      Ir.Block.insert_before b ~anchor:o c;
+      Ir.replace_op o [ Ir.Op.result c 0 ]
+    | None -> ())
+
+let commands_gen =
+  QCheck.make
+    ~print:(fun l ->
+      String.concat ";"
+        (List.map (fun (a, i, j) -> Printf.sprintf "(%d,%d,%d)" a i j) l))
+    QCheck.Gen.(
+      list_size (int_range 1 40)
+        (triple (int_bound 100) (int_bound 100) (int_bound 100)))
+
+let prop_kernel name (kernel : Shmls_frontend.Ast.kernel) ~grid =
+  QCheck.Test.make ~count:25
+    ~name:(name ^ ": random mutations preserve IR invariants")
+    commands_gen
+    (fun commands ->
+      let lowered = Shmls_frontend.Lower.lower kernel ~grid in
+      let m = lowered.Shmls_frontend.Lower.l_module in
+      List.iter (apply_command m) commands;
+      check_op_tree m;
+      true)
+
+(* Non-random regression: append/insert/detach keep counts exact. *)
+let test_counts_exact () =
+  let b = Ir.Block.create () in
+  let ops = Array.init 100 (fun i -> fresh_const (float_of_int i)) in
+  Array.iter (Ir.Block.append b) ops;
+  Alcotest.(check int) "100 appended" 100 (Ir.Block.num_ops b);
+  Ir.Op.detach ops.(50);
+  Ir.Op.detach ops.(0);
+  Ir.Op.detach ops.(99);
+  Alcotest.(check int) "3 detached" 97 (Ir.Block.num_ops b);
+  Ir.Block.insert_after b ~anchor:ops.(1) ops.(0);
+  Alcotest.(check int) "re-inserted" 98 (Ir.Block.num_ops b);
+  ignore (check_block b)
+
+let () =
+  Alcotest.run "ir-props"
+    [
+      ( "linked-list invariants",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_kernel "pw-advection" PW.kernel ~grid:PW.grid_small);
+          QCheck_alcotest.to_alcotest
+            (prop_kernel "tracer-advection" TA.kernel ~grid:TA.grid_small);
+          Alcotest.test_case "maintained counts" `Quick test_counts_exact;
+        ] );
+    ]

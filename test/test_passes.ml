@@ -241,7 +241,8 @@ let test_pass_manager_pipeline () =
         | _ -> assert false)
   in
   let stats =
-    Pass.run_pipeline ~verify_each:true (Pass.parse_pipeline "cse,dce") m
+    Pass.run_pipeline ~verify_each:true ~op_stats:true
+      (Pass.parse_pipeline "cse,dce") m
   in
   Alcotest.(check int) "two passes ran" 2 (List.length stats);
   Alcotest.(check bool) "ops decreased" true

@@ -1,0 +1,142 @@
+(* Deterministic performance-smoke tests: instead of timing (noisy on
+   shared CI), assert the algorithmic counters the perf work targets —
+   worklist-driver visit/iteration budgets on the paper kernels, the
+   compile-once guarantee of evaluate_all, and the pass-manager memo. *)
+
+let () = Shmls_dialects.Register.all ()
+let () = Shmls_transforms.Register.all ()
+
+open Shmls_ir
+module PW = Shmls_kernels.Pw_advection
+module TA = Shmls_kernels.Tracer_advection
+
+let canonicalize m = (Pass.lookup_exn "canonicalize").Pass.run m
+
+(* ------------------------------------------------------------------ *)
+(* Worklist driver budgets *)
+
+(* A chain of n foldable addf ops: x0 = 1.0, x_{i+1} = x_i + x_i.  The
+   old re-snapshot driver re-walked the whole tree every iteration; the
+   worklist driver folds the seeded queue in O(1) generations because
+   each op's operands are already folded when it is dequeued. *)
+let fold_chain n =
+  let m = Ir.Module_.create () in
+  let _ =
+    Shmls_dialects.Func.build_func m ~name:"f" ~arg_tys:[] ~result_tys:[]
+      (fun b _ ->
+        let x = ref (Shmls_dialects.Arith.constant_f b 1.0) in
+        for _ = 1 to n do
+          x := Shmls_dialects.Arith.addf b !x !x
+        done;
+        Shmls_dialects.Func.return_ b [])
+  in
+  m
+
+let driver_stats () =
+  match Rewriter.last_stats () with
+  | Some s -> s
+  | None -> Alcotest.fail "rewrite driver recorded no stats"
+
+let test_chain_budget () =
+  let n = 256 in
+  let m = fold_chain n in
+  canonicalize m;
+  let s = driver_stats () in
+  Alcotest.(check string) "driver name" "canonicalize" s.Rewriter.ds_driver;
+  Alcotest.(check int) "all adds folded" n s.Rewriter.ds_rewrites;
+  (* seeded drain + at most one rewrite generation + verification sweeps *)
+  if s.Rewriter.ds_iterations > 4 then
+    Alcotest.failf "fold chain took %d driver iterations (budget 4)"
+      s.Rewriter.ds_iterations;
+  (* each op is visited from the seed, once per neighbourhood re-enqueue,
+     and once by the confirmation sweep: comfortably under 5 visits/op *)
+  let budget = 5 * ((2 * n) + 4) in
+  if s.Rewriter.ds_visits > budget then
+    Alcotest.failf "fold chain made %d visits (budget %d)"
+      s.Rewriter.ds_visits budget;
+  Alcotest.(check (list (pair string int)))
+    "per-pattern fire counts"
+    [ ("arith-fold", n) ]
+    s.Rewriter.ds_fires
+
+let kernel_budget name (kernel : Shmls_frontend.Ast.kernel) ~grid () =
+  let lowered = Shmls_frontend.Lower.lower kernel ~grid in
+  let m = lowered.Shmls_frontend.Lower.l_module in
+  Shmls_transforms.Shape_inference.run_on_module m;
+  let ops = Ir.count_ops m in
+  canonicalize m;
+  let s = driver_stats () in
+  if s.Rewriter.ds_iterations > 6 then
+    Alcotest.failf "%s: %d driver iterations (budget 6)" name
+      s.Rewriter.ds_iterations;
+  if s.Rewriter.ds_visits > 6 * ops then
+    Alcotest.failf "%s: %d visits on %d ops (budget %d)" name
+      s.Rewriter.ds_visits ops (6 * ops)
+
+(* ------------------------------------------------------------------ *)
+(* Compile-once evaluation *)
+
+let test_compile_once () =
+  Shmls.reset_compile_cache ();
+  ignore (Shmls.evaluate_all PW.kernel ~grid:PW.grid_small);
+  Alcotest.(check int) "first evaluate_all compiles once" 1
+    (Shmls.compile_runs ());
+  ignore (Shmls.evaluate_all PW.kernel ~grid:PW.grid_small);
+  Alcotest.(check int) "second evaluate_all compiles nothing" 1
+    (Shmls.compile_runs ());
+  ignore (Shmls.evaluate_all TA.kernel ~grid:TA.grid_small);
+  Alcotest.(check int) "new kernel compiles once more" 2
+    (Shmls.compile_runs ());
+  let hits, misses = Shmls.compile_cache_stats () in
+  Alcotest.(check (pair int int)) "cache hits/misses" (1, 2) (hits, misses);
+  Shmls.reset_compile_cache ()
+
+(* ------------------------------------------------------------------ *)
+(* Pass-result memo *)
+
+let test_pass_memo () =
+  Pass.reset_memo ();
+  let m = fold_chain 16 in
+  let p = Pass.lookup_exn "canonicalize" in
+  let s1 = Pass.run_one ~memo:true p m in
+  Alcotest.(check bool) "first run not cached" false s1.Pass.stat_cached;
+  (* the module is now canonical: this run is a recorded no-op ... *)
+  let s2 = Pass.run_one ~memo:true p m in
+  Alcotest.(check bool) "second run not cached" false s2.Pass.stat_cached;
+  (* ... so the third run is skipped by the memo *)
+  let s3 = Pass.run_one ~memo:true p m in
+  Alcotest.(check bool) "third run served from memo" true s3.Pass.stat_cached;
+  let hits, misses = Pass.memo_stats () in
+  Alcotest.(check int) "one hit" 1 hits;
+  Alcotest.(check int) "two misses" 2 misses;
+  Pass.reset_memo ()
+
+(* Op counting is gated off by default and on under op_stats/hooks. *)
+let test_op_stats_gated () =
+  let m = fold_chain 4 in
+  let p = Pass.lookup_exn "dce" in
+  let s = Pass.run_one p m in
+  Alcotest.(check bool) "ungated run did not count" false s.Pass.ops_counted;
+  let s = Pass.run_one ~op_stats:true p m in
+  Alcotest.(check bool) "op_stats run counted" true s.Pass.ops_counted;
+  Alcotest.(check int) "count matches module" (Ir.count_ops m) s.Pass.ops_after
+
+let () =
+  Alcotest.run "perf-smoke"
+    [
+      ( "rewrite driver",
+        [
+          Alcotest.test_case "fold-chain budget" `Quick test_chain_budget;
+          Alcotest.test_case "pw-advection budget" `Quick
+            (kernel_budget "pw-advection" PW.kernel ~grid:PW.grid_small);
+          Alcotest.test_case "tracer-advection budget" `Quick
+            (kernel_budget "tracer-advection" TA.kernel ~grid:TA.grid_small);
+        ] );
+      ( "compile once",
+        [ Alcotest.test_case "evaluate_all memo" `Quick test_compile_once ] );
+      ( "pass manager",
+        [
+          Alcotest.test_case "no-op memo" `Quick test_pass_memo;
+          Alcotest.test_case "gated op counting" `Quick test_op_stats_gated;
+        ] );
+    ]
