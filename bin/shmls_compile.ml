@@ -113,6 +113,8 @@ let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace
     `Ok ()
   with
   | Shmls_support.Err.Error e -> `Error (false, Shmls_support.Err.to_string e)
+  | Shmls.Psy_parser.Parse_error _ as exn ->
+    `Error (false, Shmls.Psy_parser.parse_error_message exn)
   | Failure msg -> `Error (false, msg)
 
 open Cmdliner

@@ -45,7 +45,7 @@ let snapshot_hooks ~print_ir_after_all ~dump_after ~dump_dir =
     ]
 
 let run_tool passes_spec verify_each stats list_passes print_ir_after_all
-    dump_after dump_dir input =
+    dump_after dump_dir verify_diagnostics print_locs input =
   Shmls_transforms.Register.all ();
   if list_passes then begin
     List.iter
@@ -67,29 +67,52 @@ let run_tool passes_spec verify_each stats list_passes print_ir_after_all
           close_in ic;
           s
       in
-      let m = Shmls_ir.Parser.parse_module src in
-      Shmls_ir.Verifier.verify_exn m;
-      let passes = Shmls_ir.Pass.parse_pipeline passes_spec in
-      let hooks = snapshot_hooks ~print_ir_after_all ~dump_after ~dump_dir in
-      if stats then Shmls_ir.Rewriter.reset_cumulative_fires ();
-      let run_stats =
-        Shmls_ir.Pass.run_pipeline ~verify_each ~hooks ~op_stats:stats passes m
-      in
-      if stats then begin
-        List.iter
-          (fun s -> Format.eprintf "%a@." Shmls_ir.Pass.pp_stat s)
-          run_stats;
-        Format.eprintf "%a" Shmls_ir.Pass.pp_summary run_stats;
-        match Shmls_ir.Rewriter.cumulative_fires () with
-        | [] -> ()
-        | fires ->
-          Format.eprintf "@.%-32s %8s@." "pattern" "fires";
+      let file = if input = "-" then "<stdin>" else input in
+      if verify_diagnostics then begin
+        (* FileCheck-style mode: run the whole tool under a diagnostic
+           handler and match what comes out against the
+           [// expected-error@line {{...}}] comments in the input. *)
+        let expected = Shmls_support.Diagnostic.Expected.parse src in
+        let seen, _ =
+          Shmls_support.Diagnostic.capture (fun () ->
+              let m = Shmls_ir.Parser.parse_module ~file src in
+              Shmls_ir.Verifier.verify_exn m;
+              let passes = Shmls_ir.Pass.parse_pipeline passes_spec in
+              ignore
+                (Shmls_ir.Pass.run_pipeline ~verify_each:true passes m))
+        in
+        match
+          Shmls_support.Diagnostic.Expected.check ~expected ~seen
+        with
+        | Ok () -> `Ok ()
+        | Error msg -> `Error (false, msg)
+      end
+      else begin
+        let m = Shmls_ir.Parser.parse_module ~file src in
+        Shmls_ir.Verifier.verify_exn m;
+        let passes = Shmls_ir.Pass.parse_pipeline passes_spec in
+        let hooks = snapshot_hooks ~print_ir_after_all ~dump_after ~dump_dir in
+        if stats then Shmls_ir.Rewriter.reset_cumulative_fires ();
+        let run_stats =
+          Shmls_ir.Pass.run_pipeline ~verify_each ~hooks ~op_stats:stats passes
+            m
+        in
+        if stats then begin
           List.iter
-            (fun (name, n) -> Format.eprintf "%-32s %8d@." name n)
-            fires
-      end;
-      print_endline (Shmls_ir.Printer.to_string m);
-      `Ok ()
+            (fun s -> Format.eprintf "%a@." Shmls_ir.Pass.pp_stat s)
+            run_stats;
+          Format.eprintf "%a" Shmls_ir.Pass.pp_summary run_stats;
+          match Shmls_ir.Rewriter.cumulative_fires () with
+          | [] -> ()
+          | fires ->
+            Format.eprintf "@.%-32s %8s@." "pattern" "fires";
+            List.iter
+              (fun (name, n) -> Format.eprintf "%-32s %8d@." name n)
+              fires
+        end;
+        print_endline (Shmls_ir.Printer.to_string ~locs:print_locs m);
+        `Ok ()
+      end
     with Shmls_support.Err.Error e ->
       `Error (false, Shmls_support.Err.to_string e)
 
@@ -134,6 +157,21 @@ let dump_dir_arg =
     value & opt string "."
     & info [ "dump-dir" ] ~docv:"DIR" ~doc:"Directory for --dump-after snapshots.")
 
+let verify_diagnostics_arg =
+  Arg.(
+    value & flag
+    & info [ "verify-diagnostics" ]
+        ~doc:
+          "Check the diagnostics the tool produces against \
+           expected-error/expected-warning comments in the input instead \
+           of printing the module.")
+
+let print_locs_arg =
+  Arg.(
+    value & flag
+    & info [ "print-locs" ]
+        ~doc:"Print trailing loc(...) annotations on every operation.")
+
 let input_arg =
   Arg.(value & pos 0 string "-" & info [] ~docv:"INPUT" ~doc:"Input file ('-' for stdin).")
 
@@ -144,6 +182,7 @@ let cmd =
     Term.(
       ret
         (const run_tool $ passes_arg $ verify_arg $ stats_arg $ list_arg
-       $ print_after_arg $ dump_after_arg $ dump_dir_arg $ input_arg))
+       $ print_after_arg $ dump_after_arg $ dump_dir_arg
+       $ verify_diagnostics_arg $ print_locs_arg $ input_arg))
 
 let () = exit (Cmd.eval cmd)

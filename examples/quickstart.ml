@@ -10,6 +10,7 @@ open Shmls.Ast
      t_new = t + alpha * (sum of the 6 face neighbours - 6 t) *)
 let kernel =
   {
+    k_loc = Shmls_support.Loc.unknown;
     k_name = "heat";
     k_rank = 3;
     k_fields =
@@ -22,6 +23,7 @@ let kernel =
     k_stencils =
       [
         {
+          sd_loc = Shmls_support.Loc.unknown;
           sd_target = "t_new";
           sd_expr =
             fld "t" [ 0; 0; 0 ]

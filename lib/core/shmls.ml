@@ -62,8 +62,7 @@ let compile_runs_counter = ref 0
 let compile_runs () = !compile_runs_counter
 
 (* Run the full Stencil-HMLS compilation pipeline on one kernel. *)
-let compile ?(balance_depths = true) ?(split_applies = true)
-    (kernel : Ast.kernel) ~grid =
+let compile_raw ~balance_depths ~split_applies (kernel : Ast.kernel) ~grid =
   incr compile_runs_counter;
   Shmls_transforms.Register.all ();
   let lowered = Lower.lower kernel ~grid in
@@ -103,6 +102,19 @@ let compile ?(balance_depths = true) ?(split_applies = true)
     c_connectivity = connectivity;
     c_pass_stats = pass_stats;
   }
+
+(* Any pipeline failure is attributed to the kernel being compiled and,
+   when the error itself carries no position, anchored at the kernel's
+   own source location. *)
+let compile ?(balance_depths = true) ?(split_applies = true)
+    (kernel : Ast.kernel) ~grid =
+  try compile_raw ~balance_depths ~split_applies kernel ~grid
+  with Err.Error e ->
+    raise
+      (Err.Error
+         (Err.add_context
+            (Printf.sprintf "compiling kernel %S" kernel.k_name)
+            (Err.set_loc_if_unknown kernel.k_loc e)))
 
 (* ------------------------------------------------------------------ *)
 (* Compile-once cache.

@@ -56,8 +56,8 @@ let register () =
 
 (* Create a function and append it to the module body.  [f] populates the
    body given a builder at the end of the entry block and the entry args. *)
-let build_func module_op_ ~name ~arg_tys ~result_tys f =
-  let region = Builder.build_region ~arg_tys f in
+let build_func module_op_ ~name ?(loc = Loc.Unknown) ~arg_tys ~result_tys f =
+  let region = Builder.build_region ~arg_tys ~loc f in
   let func =
     Ir.Op.create ~name:func_op
       ~attrs:
@@ -65,7 +65,7 @@ let build_func module_op_ ~name ~arg_tys ~result_tys f =
           ("sym_name", Attr.Str name);
           ("function_type", Attr.Ty (Ty.Func (arg_tys, result_tys)));
         ]
-      ~regions:[ region ] ()
+      ~regions:[ region ] ~loc ()
   in
   Ir.Block.append (Ir.Module_.body module_op_) func;
   func

@@ -22,6 +22,7 @@ val register : unit -> unit
 val build_func :
   Ir.op ->
   name:string ->
+  ?loc:Loc.t ->
   arg_tys:Ty.t list ->
   result_tys:Ty.t list ->
   (Builder.t -> Ir.value list -> unit) ->

@@ -163,7 +163,7 @@ let array_partition b ?(factor = 0) ?(dim = 0) ~kind mr =
 (* A dataflow stage: the region body runs concurrently with its siblings,
    synchronised only through the streams it reads and writes. *)
 let dataflow b ?(stage = "") body =
-  let region = Builder.build_region (fun bb _ -> body bb) in
+  let region = Builder.build_region ~loc:(Builder.loc b) (fun bb _ -> body bb) in
   let attrs = if stage = "" then [] else [ ("stage", Attr.Str stage) ] in
   Builder.insert_op b ~name:dataflow_op ~regions:[ region ] ~attrs ()
 

@@ -54,7 +54,7 @@ let yield b values = ignore (Builder.insert_op b ~name:yield_op ~operands:values
    the end of the loop block and the induction variable. *)
 let for_ b ~lb ~ub ~step body =
   let region =
-    Builder.build_region ~arg_tys:[ Ty.Index ] (fun body_builder args ->
+    Builder.build_region ~arg_tys:[ Ty.Index ] ~loc:(Builder.loc b) (fun body_builder args ->
         match args with
         | [ iv ] ->
           body body_builder iv;
@@ -71,7 +71,7 @@ let for_ b ~lb ~ub ~step body =
 let for_iter b ~lb ~ub ~step ~init body =
   let arg_tys = Ty.Index :: List.map Ir.Value.ty init in
   let region =
-    Builder.build_region ~arg_tys (fun body_builder args ->
+    Builder.build_region ~arg_tys ~loc:(Builder.loc b) (fun body_builder args ->
         match args with
         | iv :: iters ->
           let next = body body_builder iv iters in
@@ -84,8 +84,8 @@ let for_iter b ~lb ~ub ~step ~init body =
     ~regions:[ region ] ()
 
 let if_ b ~cond ~then_ ~else_ ~result_tys =
-  let then_region = Builder.build_region (fun bb _ -> then_ bb) in
-  let else_region = Builder.build_region (fun bb _ -> else_ bb) in
+  let then_region = Builder.build_region ~loc:(Builder.loc b) (fun bb _ -> then_ bb) in
+  let else_region = Builder.build_region ~loc:(Builder.loc b) (fun bb _ -> else_ bb) in
   Builder.insert_op b ~name:if_op ~operands:[ cond ] ~result_tys
     ~regions:[ then_region; else_region ]
     ()

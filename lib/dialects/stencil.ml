@@ -204,7 +204,7 @@ let return_ b values =
 let apply b ~operands ~result_elems body =
   let arg_tys = List.map Ir.Value.ty operands in
   let region =
-    Builder.build_region ~arg_tys (fun bb args ->
+    Builder.build_region ~arg_tys ~loc:(Builder.loc b) (fun bb args ->
         let results = body bb args in
         return_ bb results)
   in

@@ -35,6 +35,9 @@ type stencil_def = {
       (* a declared field (result is stored to external memory) or an
          undeclared intermediate (result only feeds later stencils) *)
   sd_expr : expr;
+  sd_loc : Loc.t;
+      (* where this stencil was written: a PSy source line for parsed
+         kernels, an OCaml position for eDSL ones *)
 }
 
 type kernel = {
@@ -44,12 +47,18 @@ type kernel = {
   k_smalls : small_decl list;
   k_params : string list;
   k_stencils : stencil_def list;
+  k_loc : Loc.t;
 }
 
 (* ------------------------------------------------------------------ *)
 (* eDSL combinators *)
 
 let fld name offset = Field_ref (name, offset)
+
+(* [def ?loc target expr] — stencil definition; pass
+   [~loc:(Loc.of_pos __POS__)] to locate eDSL kernels in OCaml source. *)
+let def ?(loc = Loc.Unknown) target expr =
+  { sd_target = target; sd_expr = expr; sd_loc = loc }
 let small ?(offset = 0) name = Small_ref (name, offset)
 let param name = Param_ref name
 let const v = Const v
@@ -63,6 +72,16 @@ let neg a = Unop (Neg, a)
 let sqrt_ a = Unop (Sqrt, a)
 let exp_ a = Unop (Exp, a)
 let abs_ a = Unop (Abs, a)
+
+(* Erase every location: the structural identity of a kernel modulo
+   where it was written, for round-trip comparisons. *)
+let strip_locs k =
+  {
+    k with
+    k_loc = Loc.Unknown;
+    k_stencils =
+      List.map (fun s -> { s with sd_loc = Loc.Unknown }) k.k_stencils;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Queries *)
@@ -196,11 +215,13 @@ let flops k =
 let validate k =
   let ( let* ) r f = match r with Ok v -> f v | Error _ as e -> e in
   let* () =
-    if k.k_rank < 1 || k.k_rank > 3 then Err.fail "kernel rank must be 1..3"
+    if k.k_rank < 1 || k.k_rank > 3 then
+      Err.fail ~loc:k.k_loc "kernel rank must be 1..3"
     else Ok ()
   in
   let* () =
-    if k.k_stencils = [] then Err.fail "kernel has no stencils" else Ok ()
+    if k.k_stencils = [] then Err.fail ~loc:k.k_loc "kernel has no stencils"
+    else Ok ()
   in
   let names = field_names k @ intermediates k in
   let smalls = List.map (fun sd -> sd.sd_name) k.k_smalls in
@@ -214,7 +235,9 @@ let validate k =
     | s :: rest ->
       let* () =
         match field_role k s.sd_target with
-        | Some Input -> Err.fail "stencil %d writes input field %s" i s.sd_target
+        | Some Input ->
+          Err.fail ~loc:s.sd_loc "stencil %d writes input field %s" i
+            s.sd_target
         | _ -> Ok ()
       in
       let* () =
@@ -222,11 +245,14 @@ let validate k =
           | [] -> Ok ()
           | (name, offset) :: more ->
             if not (List.mem name names) then
-              Err.fail "stencil %d reads undeclared name %s" i name
+              Err.fail ~loc:s.sd_loc "stencil %d reads undeclared name %s" i
+                name
             else if List.length offset <> k.k_rank then
-              Err.fail "stencil %d: offset rank mismatch on %s" i name
+              Err.fail ~loc:s.sd_loc "stencil %d: offset rank mismatch on %s" i
+                name
             else if not (Hashtbl.mem defined_before name) then
-              Err.fail "stencil %d reads %s before it is produced" i name
+              Err.fail ~loc:s.sd_loc "stencil %d reads %s before it is produced"
+                i name
             else check_refs more
         in
         check_refs (field_refs s.sd_expr)
@@ -236,7 +262,9 @@ let validate k =
           | [] -> Ok ()
           | (name, _) :: more ->
             if List.mem name smalls then check_smalls more
-            else Err.fail "stencil %d reads undeclared small array %s" i name
+            else
+              Err.fail ~loc:s.sd_loc "stencil %d reads undeclared small array %s"
+                i name
         in
         check_smalls (small_refs s.sd_expr)
       in
@@ -245,7 +273,9 @@ let validate k =
           | [] -> Ok ()
           | name :: more ->
             if List.mem name k.k_params then check_params more
-            else Err.fail "stencil %d reads undeclared parameter %s" i name
+            else
+              Err.fail ~loc:s.sd_loc "stencil %d reads undeclared parameter %s"
+                i name
         in
         check_params (param_refs s.sd_expr)
       in

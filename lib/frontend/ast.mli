@@ -30,6 +30,9 @@ type stencil_def = {
       (** a declared field (stored to external memory) or an undeclared
           intermediate (feeds later stencils only) *)
   sd_expr : expr;
+  sd_loc : Loc.t;
+      (** where this stencil was written: a PSy source line for parsed
+          kernels, an OCaml position for eDSL ones *)
 }
 
 type kernel = {
@@ -39,11 +42,16 @@ type kernel = {
   k_smalls : small_decl list;
   k_params : string list;
   k_stencils : stencil_def list;  (** in execution order *)
+  k_loc : Loc.t;
 }
 
 (** {2 eDSL combinators} *)
 
 val fld : string -> int list -> expr
+
+(** [def ?loc target expr] builds a stencil definition; pass
+    [~loc:(Loc.of_pos __POS__)] to locate eDSL kernels in OCaml source. *)
+val def : ?loc:Loc.t -> string -> expr -> stencil_def
 val small : ?offset:int -> string -> expr
 val param : string -> expr
 val const : float -> expr
@@ -94,6 +102,10 @@ val flops_expr : expr -> int
 
 (** Floating-point operations per grid point across all stencils. *)
 val flops : kernel -> int
+
+(** The kernel with every location erased — structural identity modulo
+    where it was written (round-trip tests compare with this). *)
+val strip_locs : kernel -> kernel
 
 (** {2 Validation} *)
 

@@ -92,7 +92,7 @@ let lower ?(module_op = None) (k : Ast.kernel) ~grid =
   in
   let param_tys = List.map (fun _ -> Ty.F64) k.k_params in
   let func =
-    Func.build_func m ~name:k.k_name
+    Func.build_func m ~name:k.k_name ~loc:k.k_loc
       ~arg_tys:(field_tys @ small_tys @ param_tys)
       ~result_tys:[]
       (fun b args ->
@@ -152,9 +152,11 @@ let lower ?(module_op = None) (k : Ast.kernel) ~grid =
             if List.mem name read_smalls then
               env.small_temps <- (name, Stencil.load b v) :: env.small_temps)
           small_args;
-        (* one stencil.apply per stencil definition, in order *)
+        (* one stencil.apply per stencil definition, in order; ops
+           lowered from a stencil carry its source location *)
         List.iter
           (fun (s : Ast.stencil_def) ->
+            Builder.set_loc b s.sd_loc;
             let reads = Ast.stencil_reads s in
             let smalls =
               Ast.small_refs s.sd_expr |> List.map fst

@@ -36,28 +36,39 @@ type token =
   | TEqual
   | TEnd
 
-exception Parse_error of string
+exception Parse_error of { pe_loc : Loc.t; pe_msg : string }
 
-let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+(* Render like any located diagnostic: "file:line:col: msg". *)
+let parse_error_message = function
+  | Parse_error { pe_loc; pe_msg } when Loc.is_known pe_loc ->
+    Printf.sprintf "%s: %s" (Loc.describe pe_loc) pe_msg
+  | Parse_error { pe_msg; _ } -> pe_msg
+  | _ -> invalid_arg "Psy_parser.parse_error_message"
 
-let tokenize line =
+let fail_at loc fmt =
+  Printf.ksprintf (fun m -> raise (Parse_error { pe_loc = loc; pe_msg = m })) fmt
+
+(* Tokens are paired with their 1-based starting column so every parse
+   error (and every stencil definition) can name an exact position. *)
+let tokenize ~loc_of_col line =
   let n = String.length line in
   let rec go i acc =
-    if i >= n then List.rev (TEnd :: acc)
+    if i >= n then List.rev ((TEnd, i + 1) :: acc)
     else
+      let tok1 t = go (i + 1) ((t, i + 1) :: acc) in
       match line.[i] with
       | ' ' | '\t' -> go (i + 1) acc
-      | '!' | '#' -> List.rev (TEnd :: acc)
-      | '+' -> go (i + 1) (TPlus :: acc)
-      | '-' -> go (i + 1) (TMinus :: acc)
-      | '*' -> go (i + 1) (TStar :: acc)
-      | '/' -> go (i + 1) (TSlash :: acc)
-      | '(' -> go (i + 1) (TLParen :: acc)
-      | ')' -> go (i + 1) (TRParen :: acc)
-      | '[' -> go (i + 1) (TLBracket :: acc)
-      | ']' -> go (i + 1) (TRBracket :: acc)
-      | ',' -> go (i + 1) (TComma :: acc)
-      | '=' -> go (i + 1) (TEqual :: acc)
+      | '!' | '#' -> List.rev ((TEnd, i + 1) :: acc)
+      | '+' -> tok1 TPlus
+      | '-' -> tok1 TMinus
+      | '*' -> tok1 TStar
+      | '/' -> tok1 TSlash
+      | '(' -> tok1 TLParen
+      | ')' -> tok1 TRParen
+      | '[' -> tok1 TLBracket
+      | ']' -> tok1 TRBracket
+      | ',' -> tok1 TComma
+      | '=' -> tok1 TEqual
       | c when (c >= '0' && c <= '9') || c = '.' ->
         let j = ref i in
         let seen_dot = ref false and seen_exp = ref false in
@@ -88,7 +99,7 @@ let tokenize line =
           then TFloat (float_of_string text)
           else TInt (int_of_string text)
         in
-        go !j (tok :: acc)
+        go !j ((tok, i + 1) :: acc)
       | c
         when (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' ->
         let j = ref i in
@@ -101,35 +112,49 @@ let tokenize line =
         do
           incr j
         done;
-        go !j (TName (String.sub line i (!j - i)) :: acc)
-      | c -> fail "unexpected character %C" c
+        go !j ((TName (String.sub line i (!j - i)), i + 1) :: acc)
+      | c -> fail_at (loc_of_col (i + 1)) "unexpected character %C" c
   in
   go 0 []
 
 (* ------------------------------------------------------------------ *)
 (* Expression parser (recursive descent with precedence) *)
 
-type stream = { mutable toks : token list }
+type stream = {
+  mutable toks : (token * int) list;
+  s_loc_of_col : int -> Loc.t;
+  mutable s_col : int; (* column of the most recently returned token *)
+}
 
-let peek s = match s.toks with [] -> TEnd | t :: _ -> t
+let peek s = match s.toks with [] -> TEnd | (t, _) :: _ -> t
+
+(* Position of the lookahead (falls back to the last consumed token at
+   end of line). *)
+let cur_loc s =
+  match s.toks with
+  | (_, c) :: _ -> s.s_loc_of_col c
+  | [] -> s.s_loc_of_col s.s_col
 
 let next s =
   match s.toks with
   | [] -> TEnd
-  | t :: rest ->
+  | (t, c) :: rest ->
     s.toks <- rest;
+    s.s_col <- c;
     t
 
+let fail s fmt = fail_at (cur_loc s) fmt
+
 let expect s tok what =
-  if next s <> tok then fail "expected %s" what
+  if next s <> tok then fail_at (s.s_loc_of_col s.s_col) "expected %s" what
 
 let parse_int s =
   match next s with
   | TInt i -> i
   | TMinus -> (
-    match next s with TInt i -> -i | _ -> fail "expected integer")
-  | TPlus -> ( match next s with TInt i -> i | _ -> fail "expected integer")
-  | _ -> fail "expected integer"
+    match next s with TInt i -> -i | _ -> fail s "expected integer")
+  | TPlus -> ( match next s with TInt i -> i | _ -> fail s "expected integer")
+  | _ -> fail s "expected integer"
 
 let functions = [ "min"; "max"; "sqrt"; "exp"; "abs" ]
 
@@ -213,7 +238,7 @@ and parse_primary s =
         match next s with
         | TComma -> offsets (o :: acc)
         | TRBracket -> List.rev (o :: acc)
-        | _ -> fail "expected , or ] in offset list"
+        | _ -> fail s "expected , or ] in offset list"
       in
       Ast.Field_ref (name, offsets [])
     | TLParen ->
@@ -222,8 +247,8 @@ and parse_primary s =
       expect s TRParen ") after small-array offset";
       Ast.Small_ref (name, o)
     | _ -> Ast.Param_ref name)
-  | TEnd -> fail "unexpected end of expression"
-  | _ -> fail "unexpected token in expression"
+  | TEnd -> fail s "unexpected end of expression"
+  | _ -> fail s "unexpected token in expression"
 
 (* ------------------------------------------------------------------ *)
 (* Kernel parser *)
@@ -243,24 +268,29 @@ let rec resolve_names ~rank ~field_like = function
   | (Ast.Field_ref _ | Ast.Small_ref _ | Ast.Param_ref _ | Ast.Const _) as e ->
     e
 
-let parse (src : string) : Ast.kernel =
+let parse ?(file = "<psy>") (src : string) : Ast.kernel =
   let lines = String.split_on_char '\n' src in
   let name = ref "" in
+  let name_loc = ref (Loc.file ~file ~line:1 ~col:1) in
   let rank = ref 3 in
   let fields = ref [] in
   let smalls = ref [] in
   let params = ref [] in
   let stencils = ref [] in
   let ended = ref false in
-  let handle_line raw =
-    let s = { toks = tokenize raw } in
+  let handle_line lineno raw =
+    let loc_of_col col = Loc.file ~file ~line:lineno ~col in
+    let s = { toks = tokenize ~loc_of_col raw; s_loc_of_col = loc_of_col; s_col = 1 } in
     match peek s with
     | TEnd -> ()
     | TName "kernel" ->
+      let kloc = cur_loc s in
       ignore (next s);
       (match next s with
-      | TName n -> name := n
-      | _ -> fail "kernel: expected name")
+      | TName n ->
+        name := n;
+        name_loc := kloc
+      | _ -> fail s "kernel: expected name")
     | TName "rank" ->
       ignore (next s);
       rank := parse_int s
@@ -275,7 +305,7 @@ let parse (src : string) : Ast.kernel =
           | _ -> Ast.Inout
         in
         fields := { Ast.fd_name = n; fd_role } :: !fields
-      | _ -> fail "%s: expected field name" role)
+      | _ -> fail s "%s: expected field name" role)
     | TName "small" ->
       ignore (next s);
       (match next s with
@@ -283,29 +313,34 @@ let parse (src : string) : Ast.kernel =
         expect s (TName "axis") "axis";
         let axis = parse_int s in
         smalls := { Ast.sd_name = n; sd_axis = axis } :: !smalls
-      | _ -> fail "small: expected name")
+      | _ -> fail s "small: expected name")
     | TName "param" ->
       ignore (next s);
       (match next s with
       | TName n -> params := n :: !params
-      | _ -> fail "param: expected name")
+      | _ -> fail s "param: expected name")
     | TName "end" -> ended := true
     | TName target -> (
+      let sloc = cur_loc s in
       ignore (next s);
       match next s with
       | TEqual ->
         let expr = parse_expr s in
         (match peek s with
         | TEnd -> ()
-        | _ -> fail "trailing tokens after expression");
-        stencils := { Ast.sd_target = target; sd_expr = expr } :: !stencils
-      | _ -> fail "expected '=' after %s" target)
-    | _ -> fail "cannot parse line: %s" (String.trim raw)
+        | _ -> fail s "trailing tokens after expression");
+        stencils :=
+          { Ast.sd_target = target; sd_expr = expr; sd_loc = sloc } :: !stencils
+      | _ -> fail s "expected '=' after %s" target)
+    | _ -> fail s "cannot parse line: %s" (String.trim raw)
   in
-  List.iter
-    (fun raw -> if not !ended then handle_line raw)
+  List.iteri
+    (fun idx raw -> if not !ended then handle_line (idx + 1) raw)
     lines;
-  if !name = "" then fail "missing 'kernel <name>' declaration";
+  if !name = "" then
+    fail_at
+      (Loc.file ~file ~line:1 ~col:1)
+      "missing 'kernel <name>' declaration";
   let fields = List.rev !fields in
   let stencils = List.rev !stencils in
   let field_like =
@@ -326,11 +361,14 @@ let parse (src : string) : Ast.kernel =
       k_smalls = List.rev !smalls;
       k_params = List.rev !params;
       k_stencils = stencils;
+      k_loc = !name_loc;
     }
   in
   (match Ast.validate kernel with
   | Ok () -> ()
-  | Error e -> fail "invalid kernel: %s" (Err.to_string e));
+  | Error e ->
+    (* validation anchors at the offending stencil's sd_loc *)
+    fail_at e.Diagnostic.d_loc "invalid kernel: %s" e.Diagnostic.d_message);
   kernel
 
 let parse_file path =
@@ -338,4 +376,4 @@ let parse_file path =
   let n = in_channel_length ic in
   let src = really_input_string ic n in
   close_in ic;
-  parse src
+  parse ~file:path src

@@ -18,10 +18,14 @@
     parameter / intermediate names, float literals, [+ - * /], unary [-],
     and the functions [min], [max], [sqrt], [exp], [abs]. *)
 
-exception Parse_error of string
+exception Parse_error of { pe_loc : Loc.t; pe_msg : string }
 
-(** Parse kernel source; raises {!Parse_error} on syntax or validation
-    errors. *)
-val parse : string -> Ast.kernel
+(** Render a {!Parse_error} as ["file:line:col: msg"]. *)
+val parse_error_message : exn -> string
+
+(** Parse kernel source; raises {!Parse_error} (with the offending
+    line/column) on syntax or validation errors.  [file] names the
+    source in locations (default ["<psy>"]). *)
+val parse : ?file:string -> string -> Ast.kernel
 
 val parse_file : string -> Ast.kernel

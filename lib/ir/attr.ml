@@ -40,24 +40,24 @@ let as_ty = function Ty t -> Some t | _ -> None
 let as_bool = function Bool b -> Some b | _ -> None
 
 let int_exn a =
-  match as_int a with Some i -> i | None -> invalid_arg "Attr.int_exn"
+  match as_int a with Some i -> i | None -> Err.raise_error "Attr.int_exn"
 
 let float_exn a =
-  match as_float a with Some f -> f | None -> invalid_arg "Attr.float_exn"
+  match as_float a with Some f -> f | None -> Err.raise_error "Attr.float_exn"
 
 let str_exn a =
-  match as_str a with Some s -> s | None -> invalid_arg "Attr.str_exn"
+  match as_str a with Some s -> s | None -> Err.raise_error "Attr.str_exn"
 
 let sym_exn a =
-  match as_sym a with Some s -> s | None -> invalid_arg "Attr.sym_exn"
+  match as_sym a with Some s -> s | None -> Err.raise_error "Attr.sym_exn"
 
 let ints_exn a =
-  match as_ints a with Some l -> l | None -> invalid_arg "Attr.ints_exn"
+  match as_ints a with Some l -> l | None -> Err.raise_error "Attr.ints_exn"
 
-let ty_exn a = match as_ty a with Some t -> t | None -> invalid_arg "Attr.ty_exn"
+let ty_exn a = match as_ty a with Some t -> t | None -> Err.raise_error "Attr.ty_exn"
 
 let bool_exn a =
-  match as_bool a with Some b -> b | None -> invalid_arg "Attr.bool_exn"
+  match as_bool a with Some b -> b | None -> Err.raise_error "Attr.bool_exn"
 
 let pp_float ppf f =
   (* Keep a decimal point so the parser can distinguish floats from ints. *)

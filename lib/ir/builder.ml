@@ -1,22 +1,28 @@
 (* Insertion-point based IR construction, mirroring MLIR's OpBuilder.
-   A builder owns a current block and an insertion position; every [insert]
-   drops the op at that point and advances.  Dialect modules layer typed
-   constructors on top of [insert_op]. *)
+   A builder owns a current block, an insertion position, and a current
+   source location; every [insert] drops the op at that point and
+   advances, and every op built through [insert_op]/[insert_op1] is
+   stamped with the current location unless one is passed explicitly.
+   Dialect modules layer typed constructors on top of [insert_op], so
+   setting the builder location once per frontend statement locates
+   every op lowered from it. *)
 
 type point =
   | At_end of Ir.block
   | Before of Ir.block * Ir.op
   | After of Ir.block * Ir.op
 
-type t = { mutable point : point }
+type t = { mutable point : point; mutable cur_loc : Loc.t }
 
-let at_end block = { point = At_end block }
-let before block op = { point = Before (block, op) }
-let after block op = { point = After (block, op) }
+let at_end ?(loc = Loc.Unknown) block = { point = At_end block; cur_loc = loc }
+let before ?(loc = Loc.Unknown) block op = { point = Before (block, op); cur_loc = loc }
+let after ?(loc = Loc.Unknown) block op = { point = After (block, op); cur_loc = loc }
 
 let set_at_end t block = t.point <- At_end block
 let set_before t block op = t.point <- Before (block, op)
 let set_after t block op = t.point <- After (block, op)
+let loc t = t.cur_loc
+let set_loc t loc = t.cur_loc <- loc
 
 let current_block t =
   match t.point with At_end b | Before (b, _) | After (b, _) -> b
@@ -32,22 +38,25 @@ let insert t op =
   op
 
 let insert_op t ~name ?(operands = []) ?(result_tys = []) ?(attrs = [])
-    ?(regions = []) () =
-  insert t (Ir.Op.create ~name ~operands ~result_tys ~attrs ~regions ())
+    ?(regions = []) ?loc () =
+  let loc = match loc with Some l -> l | None -> t.cur_loc in
+  insert t (Ir.Op.create ~name ~operands ~result_tys ~attrs ~regions ~loc ())
 
 (* Insert an op expected to have exactly one result and return it. *)
 let insert_op1 t ~name ?(operands = []) ~result_ty ?(attrs = []) ?(regions = [])
-    () =
+    ?loc () =
   let op =
-    insert_op t ~name ~operands ~result_tys:[ result_ty ] ~attrs ~regions ()
+    insert_op t ~name ~operands ~result_tys:[ result_ty ] ~attrs ~regions ?loc ()
   in
   Ir.Op.result op 0
 
 (* Build a single-block region populated by [f], which receives a builder
-   positioned at the end of the entry block and the block's arguments. *)
-let build_region ?(arg_tys = []) f =
+   positioned at the end of the entry block and the block's arguments.
+   The inner builder starts at [loc] (dialect constructors pass the outer
+   builder's location so region bodies inherit it). *)
+let build_region ?(arg_tys = []) ?(loc = Loc.Unknown) f =
   let block = Ir.Block.create ~arg_tys () in
   let region = Ir.Region.create ~blocks:[ block ] () in
-  let builder = at_end block in
+  let builder = at_end ~loc block in
   f builder (Ir.Block.args block);
   region

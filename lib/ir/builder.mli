@@ -1,14 +1,21 @@
-(** Insertion-point based IR construction, mirroring MLIR's OpBuilder. *)
+(** Insertion-point based IR construction, mirroring MLIR's OpBuilder.
+    The builder also tracks a current {!Loc.t}, stamped onto every op it
+    inserts (unless overridden per-op). *)
 
 type t
 
-val at_end : Ir.block -> t
-val before : Ir.block -> Ir.op -> t
-val after : Ir.block -> Ir.op -> t
+val at_end : ?loc:Loc.t -> Ir.block -> t
+val before : ?loc:Loc.t -> Ir.block -> Ir.op -> t
+val after : ?loc:Loc.t -> Ir.block -> Ir.op -> t
 val set_at_end : t -> Ir.block -> unit
 val set_before : t -> Ir.block -> Ir.op -> unit
 val set_after : t -> Ir.block -> Ir.op -> unit
 val current_block : t -> Ir.block
+
+(** The location stamped on subsequently inserted ops. *)
+val loc : t -> Loc.t
+
+val set_loc : t -> Loc.t -> unit
 
 (** Insert a pre-built op at the insertion point and return it. When the
     point is [After], it advances past the inserted op. *)
@@ -21,6 +28,7 @@ val insert_op :
   ?result_tys:Ty.t list ->
   ?attrs:(string * Attr.t) list ->
   ?regions:Ir.region list ->
+  ?loc:Loc.t ->
   unit ->
   Ir.op
 
@@ -32,10 +40,11 @@ val insert_op1 :
   result_ty:Ty.t ->
   ?attrs:(string * Attr.t) list ->
   ?regions:Ir.region list ->
+  ?loc:Loc.t ->
   unit ->
   Ir.value
 
 (** Build a single-block region: [f] gets a builder at the end of the
-    entry block and the block arguments. *)
+    entry block (carrying [loc]) and the block arguments. *)
 val build_region :
-  ?arg_tys:Ty.t list -> (t -> Ir.value list -> unit) -> Ir.region
+  ?arg_tys:Ty.t list -> ?loc:Loc.t -> (t -> Ir.value list -> unit) -> Ir.region

@@ -34,6 +34,7 @@ and op = {
   mutable o_parent : block option;
   mutable o_prev : op option; (* intrusive block list links *)
   mutable o_next : op option;
+  mutable o_loc : Loc.t;
 }
 
 and block = {
@@ -170,9 +171,11 @@ module Op = struct
     op.o_attrs <- (key, attr) :: List.remove_assoc key op.o_attrs
 
   let remove_attr op key = op.o_attrs <- List.remove_assoc key op.o_attrs
+  let loc op = op.o_loc
+  let set_loc op loc = op.o_loc <- loc
 
   let create ~name ?(operands = []) ?(result_tys = []) ?(attrs = [])
-      ?(regions = []) () =
+      ?(regions = []) ?(loc = Loc.Unknown) () =
     let op =
       {
         o_id = Idgen.fresh op_ids;
@@ -184,6 +187,7 @@ module Op = struct
         o_parent = None;
         o_prev = None;
         o_next = None;
+        o_loc = loc;
       }
     in
     op.o_results <-

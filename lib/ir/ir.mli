@@ -26,6 +26,7 @@ and op = {
   mutable o_parent : block option;
   mutable o_prev : op option;  (** intrusive block-list link *)
   mutable o_next : op option;
+  mutable o_loc : Loc.t;
 }
 
 and block = {
@@ -82,6 +83,7 @@ module Op : sig
     ?result_tys:Ty.t list ->
     ?attrs:(string * Attr.t) list ->
     ?regions:region list ->
+    ?loc:Loc.t ->
     unit ->
     t
 
@@ -105,6 +107,8 @@ module Op : sig
   val get_attr_exn : t -> string -> Attr.t
   val set_attr : t -> string -> Attr.t -> unit
   val remove_attr : t -> string -> unit
+  val loc : t -> Loc.t
+  val set_loc : t -> Loc.t -> unit
 
   (** Replace operand [i], maintaining use lists. *)
   val set_operand : t -> int -> value -> unit

@@ -26,9 +26,13 @@ type token =
 
 type t = {
   src : string;
+  file : string;
   mutable pos : int;
   mutable line : int;
+  mutable bol : int; (* offset of the current line's first char *)
   mutable tok : token;
+  mutable tok_line : int; (* position of the lookahead token *)
+  mutable tok_col : int;
 }
 
 let token_to_string = function
@@ -55,9 +59,14 @@ let token_to_string = function
   | BANG_IDENT s -> s
   | EOF -> "<eof>"
 
+let col t = t.pos - t.bol + 1
+
 let error t fmt =
   Format.kasprintf
-    (fun msg -> Err.raise_error "lex error at line %d: %s" t.line msg)
+    (fun msg ->
+      Err.raise_error
+        ~loc:(Loc.file ~file:t.file ~line:t.line ~col:(col t))
+        "lex error: %s" msg)
     fmt
 
 let is_ident_start c =
@@ -79,6 +88,7 @@ let rec skip_ws t =
   | Some '\n' ->
     t.line <- t.line + 1;
     advance t;
+    t.bol <- t.pos;
     skip_ws t
   | Some '/' when t.pos + 1 < String.length t.src && t.src.[t.pos + 1] = '/' ->
     (* // line comment *)
@@ -160,6 +170,8 @@ let lex_string t =
 
 let next_token t =
   skip_ws t;
+  t.tok_line <- t.line;
+  t.tok_col <- col t;
   match peek_char t with
   | None -> EOF
   | Some c -> (
@@ -234,13 +246,21 @@ let next_token t =
     | c when is_ident_start c -> IDENT (lex_ident t)
     | c -> error t "unexpected character %C" c)
 
-let create src =
-  let t = { src; pos = 0; line = 1; tok = EOF } in
+let create ?(file = "<input>") src =
+  let t =
+    { src; file; pos = 0; line = 1; bol = 0; tok = EOF; tok_line = 1; tok_col = 1 }
+  in
   t.tok <- next_token t;
   t
 
 let token t = t.tok
 let line t = t.line
+let file t = t.file
+let tok_line t = t.tok_line
+let tok_col t = t.tok_col
+
+(** Source location of the lookahead token. *)
+let tok_loc t = Loc.file ~file:t.file ~line:t.tok_line ~col:t.tok_col
 
 let consume t = t.tok <- next_token t
 

@@ -27,12 +27,25 @@ type token =
 type t
 
 val token_to_string : token -> string
-val create : string -> t
+
+(** [create ?file src] lexes [src]; [file] names it in locations and
+    error messages (default ["<input>"]). *)
+val create : ?file:string -> string -> t
 
 (** Current lookahead token. *)
 val token : t -> token
 
 val line : t -> int
+val file : t -> string
+
+(** Line / 1-based column where the lookahead token starts. *)
+val tok_line : t -> int
+
+val tok_col : t -> int
+
+(** Source location of the lookahead token. *)
+val tok_loc : t -> Loc.t
+
 val consume : t -> unit
 
 (** Consume the lookahead if it equals [tok], else raise {!Err.Error}. *)

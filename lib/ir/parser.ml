@@ -11,7 +11,9 @@ type t = {
 
 let error p fmt =
   Format.kasprintf
-    (fun msg -> Err.raise_error "parse error at line %d: %s" (Lexer.line p.lx) msg)
+    (fun msg ->
+      (* the location renders through the diagnostic; keep the message bare *)
+      Err.raise_error ~loc:(Lexer.tok_loc p.lx) "parse error: %s" msg)
     fmt
 
 let lookup_value p name =
@@ -274,9 +276,55 @@ let parse_attr_dict p =
   go []
 
 (* ------------------------------------------------------------------ *)
+(* Locations *)
+
+(* The body of a trailing [loc(...)] annotation:
+     unknown | "file":L:C | "pass"(loc) | fused[loc, ...] *)
+let rec parse_loc_body p : Loc.t =
+  match Lexer.token p.lx with
+  | IDENT "unknown" ->
+    consume p.lx;
+    Loc.Unknown
+  | IDENT "fused" ->
+    consume p.lx;
+    expect p.lx LBRACKET;
+    let rec go acc =
+      match Lexer.token p.lx with
+      | RBRACKET ->
+        consume p.lx;
+        List.rev acc
+      | COMMA ->
+        consume p.lx;
+        go acc
+      | _ -> go (parse_loc_body p :: acc)
+    in
+    Loc.Fused (go [])
+  | STRING s -> (
+    consume p.lx;
+    match Lexer.token p.lx with
+    | COLON ->
+      consume p.lx;
+      let line = parse_int p in
+      expect p.lx COLON;
+      let col = parse_int p in
+      Loc.File (s, line, col)
+    | LPAREN ->
+      consume p.lx;
+      let inner = parse_loc_body p in
+      expect p.lx RPAREN;
+      Loc.Pass_derived (s, inner)
+    | tok ->
+      error p "expected ':' or '(' after location string, found %s"
+        (token_to_string tok))
+  | tok -> error p "expected location, found %s" (token_to_string tok)
+
+(* ------------------------------------------------------------------ *)
 (* Operations, blocks, regions *)
 
 let rec parse_op p : Ir.op =
+  (* Ops are stamped with the position of their first token unless an
+     explicit trailing loc(...) overrides it. *)
+  let auto_loc = Lexer.tok_loc p.lx in
   (* optional result list: %0, %1 = *)
   let result_names =
     match Lexer.token p.lx with
@@ -361,7 +409,19 @@ let rec parse_op p : Ir.op =
           (Ty.to_string (Ir.Value.ty v))
           (Ty.to_string ty))
     operand_names operand_tys;
-  let op = Ir.Op.create ~name:op_name ~operands ~result_tys ~attrs ~regions () in
+  let loc =
+    match Lexer.token p.lx with
+    | IDENT "loc" ->
+      consume p.lx;
+      expect p.lx LPAREN;
+      let l = parse_loc_body p in
+      expect p.lx RPAREN;
+      l
+    | _ -> auto_loc
+  in
+  let op =
+    Ir.Op.create ~name:op_name ~operands ~result_tys ~attrs ~regions ~loc ()
+  in
   List.iteri
     (fun i name -> define_value p name (Ir.Op.result op i))
     result_names;
@@ -431,16 +491,16 @@ and parse_region p : Ir.region =
   in
   Ir.Region.create ~blocks ()
 
-let parse_string src =
-  let p = { lx = Lexer.create src; values = Hashtbl.create 64 } in
+let parse_string ?file src =
+  let p = { lx = Lexer.create ?file src; values = Hashtbl.create 64 } in
   let op = parse_op p in
   (match Lexer.token p.lx with
   | EOF -> ()
   | tok -> error p "trailing input: %s" (token_to_string tok));
   op
 
-let parse_module src =
-  let op = parse_string src in
+let parse_module ?file src =
+  let op = parse_string ?file src in
   if Ir.Op.name op <> "builtin.module" then
     Err.raise_error "expected builtin.module at top level, found %s"
       (Ir.Op.name op);

@@ -1,9 +1,13 @@
 (** Recursive-descent parser for the generic IR form emitted by
-    {!Printer}. Raises {!Err.Error} on malformed input. *)
+    {!Printer}. Raises {!Err.Error} on malformed input.
+
+    Every parsed op is stamped with a {!Loc.t}: an explicit trailing
+    [loc(...)] annotation when present, otherwise the file/line/column
+    of the op's first token ([file] defaults to ["<input>"]). *)
 
 (** Parse a single (possibly nested) operation. *)
-val parse_string : string -> Ir.op
+val parse_string : ?file:string -> string -> Ir.op
 
 (** Like {!parse_string} but requires the top-level op to be
     [builtin.module]. *)
-val parse_module : string -> Ir.op
+val parse_module : ?file:string -> string -> Ir.op

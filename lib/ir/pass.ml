@@ -61,10 +61,7 @@ let sequence ~name ~description passes =
     description;
     run =
       (fun m ->
-        List.iter
-          (fun p ->
-            Err.with_context ("pass " ^ p.pass_name) (fun () -> p.run m))
-          passes);
+        List.iter (fun p -> Err.with_pass p.pass_name (fun () -> p.run m)) passes);
   }
 
 let lookup name =
@@ -170,7 +167,10 @@ let parse_pipeline spec =
    module cannot be skipped — they mutate in place — so only the no-op
    fact is cached; that is exactly the case repeated runs hit. *)
 
-let fingerprint m = Digest.string (Printer.to_string m)
+(* Locations are part of the fingerprint: a pass that only re-stamps
+   locations (e.g. provenance wrapping) must not be memoised as a
+   no-op. *)
+let fingerprint m = Digest.string (Printer.to_string ~locs:true m)
 
 let memo_table : (string * Digest.t, unit) Hashtbl.t = Hashtbl.create 64
 
@@ -214,13 +214,23 @@ let run_one ?(verify = false) ?(hooks = []) ?(op_stats = false)
     else begin
       let ops_before = if count then Ir.count_ops module_op else 0 in
       let t0 = Unix.gettimeofday () in
-      Err.with_context ("pass " ^ pass.pass_name) (fun () -> pass.run module_op);
+      Err.with_pass pass.pass_name (fun () -> pass.run module_op);
       let duration_s = Unix.gettimeofday () -. t0 in
-      if verify then
-        Err.with_context
-          (Printf.sprintf "inter-pass verification: invariant broken by pass %S"
-             pass.pass_name)
-          (fun () -> Verifier.verify_exn module_op);
+      (* A failed inter-pass verification is anchored at the offending op
+         (the verifier located it) and attributed to the pass that just
+         ran. *)
+      if verify then begin
+        try Verifier.verify_exn module_op
+        with Err.Error e ->
+          raise
+            (Err.Error
+               (Diagnostic.set_pass pass.pass_name
+                  (Err.add_context
+                     (Printf.sprintf
+                        "inter-pass verification: invariant broken by pass %S"
+                        pass.pass_name)
+                     e)))
+      end;
       (match fp with
       | None -> ()
       | Some f ->

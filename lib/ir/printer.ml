@@ -13,15 +13,17 @@ type env = {
   next_value : Idgen.t;
   next_block : Idgen.t;
   buf : Buffer.t;
+  locs : bool; (* emit trailing loc(...) annotations *)
 }
 
-let make_env () =
+let make_env ~locs () =
   {
     value_names = Hashtbl.create 64;
     block_names = Hashtbl.create 16;
     next_value = Idgen.create ();
     next_block = Idgen.create ();
     buf = Buffer.create 1024;
+    locs;
   }
 
 let value_name env (v : Ir.value) =
@@ -81,6 +83,9 @@ let rec emit_op env level (op : Ir.op) =
     (Printf.sprintf " : %s -> %s"
        (ty_list (List.map Ir.Value.ty (Ir.Op.operands op)))
        (ty_list (List.map Ir.Value.ty (Ir.Op.results op))));
+  if env.locs then
+    Buffer.add_string env.buf
+      (Printf.sprintf " loc(%s)" (Loc.to_string op.o_loc));
   Buffer.add_char env.buf '\n'
 
 and emit_region env level (r : Ir.region) =
@@ -115,8 +120,13 @@ and emit_block env level (b : Ir.block) =
   end;
   Ir.Block.iter_ops b (emit_op env (level + 1))
 
-let to_string op =
-  let env = make_env () in
+(* Locations are opt-in so the default output (and everything keyed on
+   it: golden files, round-trip identity, pass fingerprints) is
+   unchanged; [~locs:true] is the --print-locs / --mlir-print-debuginfo
+   equivalent and prints loc(...) after every op, including
+   loc(unknown), so parsing the output reconstructs locations exactly. *)
+let to_string ?(locs = false) op =
+  let env = make_env ~locs () in
   emit_op env 0 op;
   (* drop the trailing newline so callers control line endings *)
   let s = Buffer.contents env.buf in

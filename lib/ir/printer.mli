@@ -1,5 +1,10 @@
 (** Textual IR output in the MLIR generic form; {!Parser} reads it back. *)
 
 val pp : Format.formatter -> Ir.op -> unit
-val to_string : Ir.op -> string
+
+(** [~locs:true] appends a [loc(...)] annotation to every op (including
+    [loc(unknown)]), so print -> parse round-trips locations exactly.
+    The default output is location-free and byte-stable. *)
+val to_string : ?locs:bool -> Ir.op -> string
+
 val print : Ir.op -> unit

@@ -96,8 +96,15 @@ let apply_patterns ?(name = "rewrite") ?(max_iterations = default_max_iterations
           (try Hashtbl.find counts p.pat_name with Not_found -> 0)
       | None -> ""
     in
-    Err.raise_error "pattern driver %S did not converge after %d iterations%s"
-      name max_iterations culprit
+    let msg =
+      Printf.sprintf "pattern driver %S did not converge after %d iterations%s"
+        name max_iterations culprit
+    in
+    raise
+      (Err.Error
+         (Diagnostic.make
+            ?pattern:(Option.map (fun p -> p.pat_name) !last_applied)
+            msg))
   in
   let record_fire p =
     incr rewrites;

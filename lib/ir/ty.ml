@@ -62,7 +62,7 @@ let bitwidth = function
   | F64 | I64 | Index -> 64
   | t ->
     ignore t;
-    invalid_arg "Ty.bitwidth: not a scalar type"
+    Err.raise_error "Ty.bitwidth: not a scalar type"
 
 (* Storage size in bytes for data-movement accounting. *)
 let rec byte_size = function
@@ -79,7 +79,7 @@ let rec byte_size = function
     List.fold_left (fun acc d -> acc * max d 1) (byte_size t) extent
   | Ptr _ -> 8
   | Temp (None, _) | Stream _ | Func _ | None_ty ->
-    invalid_arg "Ty.byte_size: unsized type"
+    Err.raise_error "Ty.byte_size: unsized type"
 
 let bounds_rank b = List.length b.lb
 
@@ -90,9 +90,9 @@ let bounds_points b =
 
 let make_bounds ~lb ~ub =
   if List.length lb <> List.length ub then
-    invalid_arg "Ty.make_bounds: rank mismatch";
+    Err.raise_error "Ty.make_bounds: rank mismatch";
   List.iter2
-    (fun l u -> if u < l then invalid_arg "Ty.make_bounds: ub < lb")
+    (fun l u -> if u < l then Err.raise_error "Ty.make_bounds: ub < lb")
     lb ub;
   { lb; ub }
 

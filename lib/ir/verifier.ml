@@ -24,8 +24,8 @@ let verify_use_def_consistency (op : Ir.op) =
       in
       if not recorded && !ok = Ok () then
         ok :=
-          Err.fail "op %s: operand %d not recorded in value's use list"
-            op.o_name i)
+          Err.fail ~loc:(Ir.Op.loc op)
+            "op %s: operand %d not recorded in value's use list" op.o_name i)
     op.o_operands;
   !ok
 
@@ -35,7 +35,8 @@ let verify_terminator_position (b : Ir.block) =
     | [ _last ] -> Ok ()
     | op :: rest ->
       if Dialect.has_trait (Ir.Op.name op) Dialect.Terminator then
-        Err.fail "terminator %s is not last in its block" (Ir.Op.name op)
+        Err.fail ~loc:(Ir.Op.loc op) "terminator %s is not last in its block"
+          (Ir.Op.name op)
       else go rest
   in
   go (Ir.Block.ops b)
@@ -80,8 +81,8 @@ let verify_block_ssa visible (b : Ir.block) =
       in
       (match bad with
       | Some v ->
-        Err.fail "op %s: operand %%v%d used before definition" op.o_name
-          v.Ir.v_id
+        Err.fail ~loc:(Ir.Op.loc op)
+          "op %s: operand %%v%d used before definition" op.o_name v.Ir.v_id
       | None ->
         Array.iter (fun v -> defined := Ir.Value_set.add v !defined) op.o_results;
         go rest)
@@ -91,11 +92,17 @@ let verify_block_ssa visible (b : Ir.block) =
 let rec verify_op_tree (op : Ir.op) =
   let* () =
     match Dialect.lookup (Ir.Op.name op) with
-    | None -> Err.fail "unregistered operation %S" (Ir.Op.name op)
+    | None ->
+      Err.fail ~loc:(Ir.Op.loc op) "unregistered operation %S" (Ir.Op.name op)
     | Some info -> (
       match info.verify op with
       | Ok () -> Ok ()
-      | Error e -> Error (Err.add_context ("op " ^ Ir.Op.name op) e))
+      | Error e ->
+        (* Anchor at the offending op so the failure carries its
+           provenance chain all the way back to the frontend. *)
+        Error
+          (Err.add_context ("op " ^ Ir.Op.name op)
+             (Err.set_loc_if_unknown (Ir.Op.loc op) e)))
   in
   let* () = verify_use_def_consistency op in
   let rec regions = function

@@ -7,6 +7,7 @@ open Shmls_frontend.Ast
 (* 3-point 1D smoothing: the paper's Listing 1 example. *)
 let sum_neighbours_1d =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "sum_neighbours_1d";
     k_rank = 1;
     k_fields =
@@ -17,12 +18,13 @@ let sum_neighbours_1d =
     k_smalls = [];
     k_params = [];
     k_stencils =
-      [ { sd_target = "out"; sd_expr = fld "inp" [ -1 ] +: fld "inp" [ 1 ] } ];
+      [ { sd_loc = Loc.of_pos __POS__; sd_target = "out"; sd_expr = fld "inp" [ -1 ] +: fld "inp" [ 1 ] } ];
   }
 
 (* 5-point 2D Laplace relaxation step. *)
 let laplace_2d =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "laplace_2d";
     k_rank = 2;
     k_fields =
@@ -35,6 +37,7 @@ let laplace_2d =
     k_stencils =
       [
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "phi_new";
           sd_expr =
             const 0.25
@@ -47,6 +50,7 @@ let laplace_2d =
 (* 7-point 3D heat diffusion with a diffusion coefficient parameter. *)
 let heat_3d =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "heat_3d";
     k_rank = 3;
     k_fields =
@@ -59,6 +63,7 @@ let heat_3d =
     k_stencils =
       [
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "t_new";
           sd_expr =
             fld "t" [ 0; 0; 0 ]
@@ -75,6 +80,7 @@ let heat_3d =
    intermediate shift buffers and per-level small data. *)
 let gradient_smooth_3d =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "gradient_smooth_3d";
     k_rank = 3;
     k_fields =
@@ -87,6 +93,7 @@ let gradient_smooth_3d =
     k_stencils =
       [
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "grad";
           sd_expr =
             sqrt_
@@ -98,6 +105,7 @@ let gradient_smooth_3d =
                  *: (fld "f" [ 0; 0; 1 ] -: fld "f" [ 0; 0; -1 ])));
         };
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "g";
           sd_expr =
             small "scale"

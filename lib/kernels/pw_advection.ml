@@ -56,6 +56,7 @@ let sw_expr =
 
 let kernel =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "pw_advection";
     k_rank = 3;
     k_fields =
@@ -77,9 +78,9 @@ let kernel =
     k_params = [ "tcx"; "tcy" ];
     k_stencils =
       [
-        { sd_target = "su"; sd_expr = su_expr };
-        { sd_target = "sv"; sd_expr = sv_expr };
-        { sd_target = "sw"; sd_expr = sw_expr };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "su"; sd_expr = su_expr };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "sv"; sd_expr = sv_expr };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "sw"; sd_expr = sw_expr };
       ];
   }
 

@@ -132,6 +132,7 @@ let divergence_z =
 
 let kernel =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "tracer_advection";
     k_rank = 3;
     k_fields =
@@ -161,39 +162,39 @@ let kernel =
     k_stencils =
       [
         (* component A: horizontal chain (14 stencils) *)
-        { sd_target = "zwx"; sd_expr = zwx };
-        { sd_target = "zwy"; sd_expr = zwy };
-        { sd_target = "zslpx"; sd_expr = slope "zwx" };
-        { sd_target = "zslpy"; sd_expr = slope_y "zwy" };
-        { sd_target = "zslpx2"; sd_expr = limit "zslpx" "zwx" };
-        { sd_target = "zslpy2"; sd_expr = limit_y "zslpy" "zwy" };
-        { sd_target = "zwx2"; sd_expr = flux_x };
-        { sd_target = "zwy2"; sd_expr = flux_y };
-        { sd_target = "zakx"; sd_expr = upstream_x };
-        { sd_target = "zaky"; sd_expr = upstream_y };
-        { sd_target = "ztra"; sd_expr = divergence_h };
-        { sd_target = "tsn_out";
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zwx"; sd_expr = zwx };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zwy"; sd_expr = zwy };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zslpx"; sd_expr = slope "zwx" };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zslpy"; sd_expr = slope_y "zwy" };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zslpx2"; sd_expr = limit "zslpx" "zwx" };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zslpy2"; sd_expr = limit_y "zslpy" "zwy" };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zwx2"; sd_expr = flux_x };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zwy2"; sd_expr = flux_y };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zakx"; sd_expr = upstream_x };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zaky"; sd_expr = upstream_y };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "ztra"; sd_expr = divergence_h };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "tsn_out";
           sd_expr = tsn [ 0; 0; 0 ] +: (param "rdt" *: fld "ztra" [ 0; 0; 0 ]) };
-        { sd_target = "sx_out";
+        { sd_loc = Loc.of_pos __POS__; sd_target = "sx_out";
           sd_expr = fld "zslpx2" [ 0; 0; 0 ] *: fld "umask" [ 0; 0; 0 ] };
-        { sd_target = "sy_out";
+        { sd_loc = Loc.of_pos __POS__; sd_target = "sy_out";
           sd_expr = fld "zslpy2" [ 0; 0; 0 ] *: fld "vmask" [ 0; 0; 0 ] };
         (* component B: vertical chain (10 stencils) *)
-        { sd_target = "zwz"; sd_expr = zwz };
-        { sd_target = "zslpz"; sd_expr = slope_z };
-        { sd_target = "zslpz2"; sd_expr = limit_z };
-        { sd_target = "zwz2"; sd_expr = flux_z };
-        { sd_target = "zakz"; sd_expr = upstream_z };
-        { sd_target = "ztraz"; sd_expr = divergence_z };
-        { sd_target = "tsb_out";
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zwz"; sd_expr = zwz };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zslpz"; sd_expr = slope_z };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zslpz2"; sd_expr = limit_z };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zwz2"; sd_expr = flux_z };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zakz"; sd_expr = upstream_z };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "ztraz"; sd_expr = divergence_z };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "tsb_out";
           sd_expr = tsn [ 0; 0; 0 ] +: (param "rdt" *: fld "ztraz" [ 0; 0; 0 ]) };
-        { sd_target = "zbig";
+        { sd_loc = Loc.of_pos __POS__; sd_target = "zbig";
           sd_expr =
             (fld "zwz2" [ 0; 0; 0 ] *: fld "rnfmsk" [ 0; 0; 0 ])
             +: (fld "zakz" [ 0; 0; 0 ] *: fld "upsmsk" [ 0; 0; 0 ]) };
-        { sd_target = "wflux_out";
+        { sd_loc = Loc.of_pos __POS__; sd_target = "wflux_out";
           sd_expr = fld "zwz2" [ 0; 0; 0 ] +: fld "zakz" [ 0; 0; 0 ] };
-        { sd_target = "diag_out";
+        { sd_loc = Loc.of_pos __POS__; sd_target = "diag_out";
           sd_expr = fld "zbig" [ 0; 0; 0 ] *: dom [ 0; 0; 0 ] };
       ];
   }

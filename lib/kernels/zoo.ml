@@ -17,6 +17,7 @@ let acoustic_wave_3d =
     -: (const 2.5 *: fld f (off 0))
   in
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "acoustic_wave_3d";
     k_rank = 3;
     k_fields =
@@ -31,6 +32,7 @@ let acoustic_wave_3d =
     k_stencils =
       [
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "p_next";
           sd_expr =
             (const 2.0 *: fld "p" [ 0; 0; 0 ])
@@ -45,6 +47,7 @@ let acoustic_wave_3d =
    Cahn-Hilliard style). *)
 let biharmonic_2d =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "biharmonic_2d";
     k_rank = 2;
     k_fields =
@@ -56,6 +59,7 @@ let biharmonic_2d =
     k_stencils =
       [
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "out";
           sd_expr =
             (const 20.0 *: fld "w" [ 0; 0 ])
@@ -85,6 +89,7 @@ let anisotropic_diffusion_3d =
     +: fld "c" [ -1; 0; 1 ] +: fld "c" [ 1; 0; -1 ] +: fld "c" [ 1; 0; 1 ]
   in
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "anisotropic_diffusion_3d";
     k_rank = 3;
     k_fields =
@@ -97,6 +102,7 @@ let anisotropic_diffusion_3d =
     k_stencils =
       [
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "c_new";
           sd_expr =
             fld "c" [ 0; 0; 0 ]
@@ -111,6 +117,7 @@ let anisotropic_diffusion_3d =
    offsets on both stages. *)
 let nonlinear_diffusion_2d =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "nonlinear_diffusion_2d";
     k_rank = 2;
     k_fields =
@@ -123,6 +130,7 @@ let nonlinear_diffusion_2d =
     k_stencils =
       [
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "gmag";
           sd_expr =
             ((fld "u" [ 1; 0 ] -: fld "u" [ -1; 0 ])
@@ -131,10 +139,12 @@ let nonlinear_diffusion_2d =
                *: (fld "u" [ 0; 1 ] -: fld "u" [ 0; -1 ]));
         };
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "g";
           sd_expr = exp_ (neg (fld "gmag" [ 0; 0 ] /: param "kappa"));
         };
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "u_new";
           sd_expr =
             fld "u" [ 0; 0 ]
@@ -151,6 +161,7 @@ let nonlinear_diffusion_2d =
    on both faces (small data at offsets -1, 0, +1). *)
 let column_physics_3d =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "column_physics_3d";
     k_rank = 3;
     k_fields =
@@ -165,14 +176,16 @@ let column_physics_3d =
     k_stencils =
       [
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "flx";
           sd_expr =
             (small "ka" *: (fld "q" [ 0; 0; 1 ] -: fld "q" [ 0; 0; 0 ]))
             -: (small "kb" ~offset:(-1)
                *: (fld "q" [ 0; 0; 0 ] -: fld "q" [ 0; 0; -1 ]));
         };
-        { sd_target = "flux"; sd_expr = fld "flx" [ 0; 0; 0 ] };
+        { sd_loc = Loc.of_pos __POS__; sd_target = "flux"; sd_expr = fld "flx" [ 0; 0; 0 ] };
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "q_new";
           sd_expr =
             fld "q" [ 0; 0; 0 ]
@@ -188,6 +201,7 @@ let column_physics_3d =
    outputs like PW advection but rank 2. *)
 let shallow_water_2d =
   {
+    k_loc = Loc.of_pos __POS__;
     k_name = "shallow_water_2d";
     k_rank = 2;
     k_fields =
@@ -204,6 +218,7 @@ let shallow_water_2d =
     k_stencils =
       [
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "dh";
           sd_expr =
             param "dx"
@@ -211,6 +226,7 @@ let shallow_water_2d =
                -: fld "hv" [ 0; -1 ]);
         };
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "dhu";
           sd_expr =
             param "dx"
@@ -221,6 +237,7 @@ let shallow_water_2d =
                      -: (fld "h" [ -1; 0 ] *: fld "h" [ -1; 0 ]))));
         };
         {
+          sd_loc = Loc.of_pos __POS__;
           sd_target = "dhv";
           sd_expr =
             param "dx"

@@ -15,6 +15,11 @@
 open Shmls_ir
 open Shmls_dialects
 
+(* source-provenance comment for an emitted function, from an op's loc *)
+let src_of_op op =
+  let loc = Ir.Op.loc op in
+  if Loc.is_known loc then Some (Loc.describe loc) else None
+
 let marker_pipeline ii = Printf.sprintf "_shmls_pipeline_ii_%d" ii
 let marker_unroll f = Printf.sprintf "_shmls_unroll_%d" f
 
@@ -417,7 +422,10 @@ let emit_dataflow_stage (m : Ll.modul) ~kernel_name (df : Ir.op) outer_st =
       (fun i v -> (ll_ty_of (Ir.Value.ty v), Printf.sprintf "a%d" i))
       frees
   in
-  let fn = Ll.create_func m ~name:fname ~ret:Ll.Void ~args ~attrs:[] in
+  let fn =
+    Ll.create_func ?src:(src_of_op df) m ~name:fname ~ret:Ll.Void ~args
+      ~attrs:[]
+  in
   let entry = Ll.add_block fn "entry" in
   let st =
     {
@@ -451,7 +459,9 @@ let emit_kernel (m : Ll.modul) (func : Ir.op) =
       (fun i v -> (ll_ty_of (Ir.Value.ty v), Printf.sprintf "arg%d" i))
       (Ir.Block.args body)
   in
-  let fn = Ll.create_func m ~name ~ret:Ll.Void ~args ~attrs:[] in
+  let fn =
+    Ll.create_func ?src:(src_of_op func) m ~name ~ret:Ll.Void ~args ~attrs:[]
+  in
   let entry = Ll.add_block fn "entry" in
   let st =
     {

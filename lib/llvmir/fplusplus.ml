@@ -23,6 +23,7 @@ type report = {
   dataflows : int;
   interfaces : int;
   connectivity : (string * int) list; (* bundle -> HBM bank *)
+  origins : (string * string) list; (* function -> source provenance *)
 }
 
 let empty_report =
@@ -33,6 +34,7 @@ let empty_report =
     dataflows = 0;
     interfaces = 0;
     connectivity = [];
+    origins = [];
   }
 
 let prefix = "_shmls_"
@@ -54,7 +56,16 @@ let loop_of_label label =
   else None
 
 let run_on_func (m : Ll.modul) (fn : Ll.func) =
-  let report = ref empty_report in
+  let report =
+    ref
+      {
+        empty_report with
+        origins =
+          (match fn.Ll.fn_src with
+          | Some src -> [ (fn.Ll.fn_name, src) ]
+          | None -> []);
+      }
+  in
   let is_dataflow = ref false in
   (* loop id -> (metadata strings to attach) *)
   let loop_md : (int, string list) Hashtbl.t = Hashtbl.create 8 in
@@ -180,6 +191,7 @@ let run (m : Ll.modul) =
           dataflows = !total.dataflows + r.dataflows;
           interfaces = !total.interfaces + r.interfaces;
           connectivity = !total.connectivity @ r.connectivity;
+          origins = !total.origins @ r.origins;
         })
     (List.rev m.m_funcs);
   !total

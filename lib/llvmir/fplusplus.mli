@@ -11,6 +11,8 @@ type report = {
   dataflows : int;
   interfaces : int;
   connectivity : (string * int) list;  (** bundle -> HBM bank (-1 shared) *)
+  origins : (string * string) list;
+      (** function -> source provenance, from the emitter's loc chains *)
 }
 
 val empty_report : report

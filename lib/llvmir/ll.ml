@@ -71,6 +71,7 @@ type func = {
   fn_args : (ty * string) list;
   mutable fn_blocks : block list; (* reversed *)
   mutable fn_attrs : string list;
+  fn_src : string option; (* source provenance, rendered as a comment *)
 }
 
 type metadata = { md_id : int; md_body : string }
@@ -95,8 +96,17 @@ let add_metadata m body =
   m.m_metadata <- { md_id = id; md_body = body } :: m.m_metadata;
   id
 
-let create_func m ~name ~ret ~args ~attrs =
-  let f = { fn_name = name; fn_ret = ret; fn_args = args; fn_blocks = []; fn_attrs = attrs } in
+let create_func ?src m ~name ~ret ~args ~attrs =
+  let f =
+    {
+      fn_name = name;
+      fn_ret = ret;
+      fn_args = args;
+      fn_blocks = [];
+      fn_attrs = attrs;
+      fn_src = src;
+    }
+  in
   m.m_funcs <- f :: m.m_funcs;
   f
 
@@ -171,6 +181,9 @@ let string_of_instr = function
   | Comment c -> "; " ^ c
 
 let print_func buf f =
+  (match f.fn_src with
+  | Some src -> Buffer.add_string buf ("; source: " ^ src ^ "\n")
+  | None -> ());
   Buffer.add_string buf
     (Printf.sprintf "define %s @%s(%s)%s {\n" (string_of_ty f.fn_ret) f.fn_name
        (String.concat ", "

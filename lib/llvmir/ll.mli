@@ -44,6 +44,7 @@ type func = {
   fn_args : (ty * string) list;
   mutable fn_blocks : block list;
   mutable fn_attrs : string list;
+  fn_src : string option;
 }
 
 type metadata = { md_id : int; md_body : string }
@@ -63,7 +64,10 @@ val declare : modul -> name:string -> ret:ty -> args:ty list -> unit
 (** Append a metadata node; returns its id. *)
 val add_metadata : modul -> string -> int
 
+(** [src] names the source construct the function implements; it is
+    printed as a [; source: ...] comment above the definition. *)
 val create_func :
+  ?src:string ->
   modul -> name:string -> ret:ty -> args:(ty * string) list -> attrs:string list -> func
 
 val add_block : func -> string -> block

@@ -1,0 +1,92 @@
+(** Structured diagnostics: severity, primary location, notes, context
+    trail, and pass/pattern provenance.  Errors abort via {!Raised};
+    warnings and remarks flow through {!emit} to the innermost
+    {!capture} handler (or stderr). *)
+
+type severity = Error | Warning | Note | Remark
+
+type note = { n_loc : Loc.t; n_msg : string }
+
+type t = {
+  d_severity : severity;
+  d_loc : Loc.t;
+  d_message : string;
+  d_notes : note list;
+  d_context : string list;  (** innermost first *)
+  d_pass : string option;  (** pass running when this was produced *)
+  d_pattern : string option;  (** rewrite pattern, when applicable *)
+}
+
+exception Raised of t
+
+val make :
+  ?severity:severity ->
+  ?loc:Loc.t ->
+  ?notes:note list ->
+  ?context:string list ->
+  ?pass:string ->
+  ?pattern:string ->
+  string ->
+  t
+
+val note : ?loc:Loc.t -> string -> note
+
+(** Append a note (notes render in attachment order). *)
+val add_note : ?loc:Loc.t -> string -> t -> t
+
+(** Push a context frame (innermost first). *)
+val add_context : string -> t -> t
+
+val set_loc : Loc.t -> t -> t
+
+(** Anchor at [loc] only when the diagnostic has no known location. *)
+val set_loc_if_unknown : Loc.t -> t -> t
+
+(** Record pass provenance; an existing (innermost) attribution wins. *)
+val set_pass : string -> t -> t
+
+(** Record pattern provenance; an existing attribution wins. *)
+val set_pattern : string -> t -> t
+
+val severity_string : severity -> string
+
+(** Located diagnostics render as ["file:line:col: severity: msg"];
+    unlocated errors keep the legacy ["msg [in ctx]"] form. *)
+val to_string : t -> string
+
+val pp : Format.formatter -> t -> unit
+
+(** Raise (for errors) or deliver (others) a diagnostic. *)
+val emit : t -> unit
+
+val emitf :
+  ?severity:severity ->
+  ?loc:Loc.t ->
+  ?notes:note list ->
+  ?context:string list ->
+  ?pass:string ->
+  ?pattern:string ->
+  ('a, Format.formatter, unit, unit) format4 ->
+  'a
+
+(** Run [f] collecting every diagnostic it produces (including a final
+    aborting error); returns them in emission order, with [Some result]
+    when [f] returned normally. *)
+val capture : (unit -> 'a) -> t list * 'a option
+
+(** FileCheck-style [// expected-error@line {{substring}}] comments. *)
+module Expected : sig
+  type exp = { x_severity : severity; x_line : int; x_msg : string }
+
+  (** Scan a source buffer for expectation comments.  [@N] is an
+      absolute line, [@+N]/[@-N] are relative to the comment's line, and
+      no [@] means the comment's own line. *)
+  val parse : string -> exp list
+
+  (** Check expectations against the diagnostics actually seen: each
+      expectation must match a distinct diagnostic (severity, resolved
+      line, message substring) and every seen error must be expected. *)
+  val check : expected:exp list -> seen:t list -> (unit, string) result
+
+  val describe_exp : exp -> string
+end

@@ -1,33 +1,40 @@
-(* Structured errors shared across the compiler stack.  Verification and
-   lowering failures carry a context trail (innermost first) so that a
-   failure deep inside a pass reports the op / pass / kernel it occurred
-   in. *)
+(* Structured errors shared across the compiler stack — a thin
+   compatibility face over {!Diagnostic}.  [Err.t] *is* an
+   error-severity diagnostic, and [Err.Error] *is* [Diagnostic.Raised],
+   so code can migrate to the richer API (locations, notes, pass
+   provenance) piecemeal while every existing [try ... with Err.Error]
+   keeps working. *)
 
-type t = { message : string; context : string list }
+type t = Diagnostic.t
 
-exception Error of t
+exception Error = Diagnostic.Raised
 
-let make ?(context = []) message = { message; context }
+let make ?(context = []) ?loc message = Diagnostic.make ~context ?loc message
+let add_context = Diagnostic.add_context
+let add_note = Diagnostic.add_note
+let set_loc_if_unknown = Diagnostic.set_loc_if_unknown
+let to_string = Diagnostic.to_string
 
-let add_context ctx t = { t with context = ctx :: t.context }
+let raise_error ?context ?loc fmt =
+  Format.kasprintf (fun message -> raise (Error (make ?context ?loc message))) fmt
 
-let to_string t =
-  match t.context with
-  | [] -> t.message
-  | ctx -> Printf.sprintf "%s [in %s]" t.message (String.concat " < " ctx)
-
-let raise_error ?context fmt =
-  Format.kasprintf (fun message -> raise (Error (make ?context message))) fmt
-
-let fail ?context fmt =
+let fail ?context ?loc fmt =
   (* NB: [Result.error], since the [Error] exception shadows the result
      constructor in this module. *)
-  Format.kasprintf (fun message -> Result.error (make ?context message)) fmt
+  Format.kasprintf (fun message -> Result.error (make ?context ?loc message)) fmt
 
 let with_context ctx f =
   try f () with Error e -> raise (Error (add_context ctx e))
 
-let pp ppf t = Format.pp_print_string ppf (to_string t)
+(* Attribute escaping errors to [pass]: a ["pass <name>"] context frame
+   (the legacy trail) plus structured provenance for tooling.  The
+   innermost pass wins the attribution. *)
+let with_pass pass f =
+  try f ()
+  with Error e ->
+    raise (Error (Diagnostic.set_pass pass (add_context ("pass " ^ pass) e)))
+
+let pp = Diagnostic.pp
 
 let result_to_string = function
   | Ok _ -> "ok"

@@ -1,25 +1,44 @@
-(** Structured compiler errors with a context trail. *)
+(** Structured compiler errors: the error-severity face of
+    {!Diagnostic}.  [t] is an alias for [Diagnostic.t] and {!Error} is
+    the same exception as [Diagnostic.Raised]. *)
 
-type t = { message : string; context : string list }
+type t = Diagnostic.t
 
 exception Error of t
 
-val make : ?context:string list -> string -> t
+val make : ?context:string list -> ?loc:Loc.t -> string -> t
 
 (** Push a context frame (innermost first). *)
 val add_context : string -> t -> t
 
+(** Append a note. *)
+val add_note : ?loc:Loc.t -> string -> t -> t
+
+(** Anchor at [loc] only when the error has no known location. *)
+val set_loc_if_unknown : Loc.t -> t -> t
+
 val to_string : t -> string
 
 (** [raise_error fmt ...] raises {!Error} with a formatted message. *)
-val raise_error : ?context:string list -> ('a, Format.formatter, unit, 'b) format4 -> 'a
+val raise_error :
+  ?context:string list ->
+  ?loc:Loc.t ->
+  ('a, Format.formatter, unit, 'b) format4 ->
+  'a
 
 (** [fail fmt ...] builds an [Error _] result with a formatted message. *)
 val fail :
-  ?context:string list -> ('a, Format.formatter, unit, ('b, t) result) format4 -> 'a
+  ?context:string list ->
+  ?loc:Loc.t ->
+  ('a, Format.formatter, unit, ('b, t) result) format4 ->
+  'a
 
 (** Run [f]; if it raises {!Error}, re-raise with [ctx] pushed. *)
 val with_context : string -> (unit -> 'a) -> 'a
+
+(** Run [f]; errors escaping it gain a ["pass <name>"] context frame and
+    structured pass provenance (innermost pass wins). *)
+val with_pass : string -> (unit -> 'a) -> 'a
 
 val pp : Format.formatter -> t -> unit
 

@@ -1,0 +1,82 @@
+(* Source locations, MLIR-style.
+
+   A location either points into a source file, fuses several locations
+   (e.g. after CSE merges two ops), or records that a pass derived an op
+   from some earlier-located op.  [Pass_derived] chains are how
+   provenance survives the nine-step stencil->HLS lowering: an op
+   created by hls-split-dataflow from an op that came from line 12 of a
+   PSy kernel carries
+
+     Pass_derived ("hls-split-dataflow", File ("kernel.psy", 12, 5))
+
+   and [root] resolves the chain back to the original file position.
+
+   Textual syntax (inside the trailing [loc(...)] printed by
+   {!Shmls_ir.Printer} and parsed by {!Shmls_ir.Parser}):
+
+     loc(unknown)
+     loc("kernel.psy":12:5)
+     loc("hls-split-dataflow"("kernel.psy":12:5))   derived-by-pass
+     loc(fused["a.psy":1:1, "b.psy":2:2])
+*)
+
+type t =
+  | Unknown
+  | File of string * int * int  (** file, line, 1-based column *)
+  | Fused of t list
+  | Pass_derived of string * t  (** pass name, location it derived from *)
+
+let unknown = Unknown
+let file ~file ~line ~col = File (file, line, col)
+
+(* For stamping eDSL kernels from OCaml source via [__POS__]. *)
+let of_pos (f, l, c, _) = File (f, l, c + 1)
+
+let fused = function [] -> Unknown | [ l ] -> l | ls -> Fused ls
+let derived pass loc = Pass_derived (pass, loc)
+
+let rec is_known = function
+  | Unknown -> false
+  | File _ -> true
+  | Fused ls -> List.exists is_known ls
+  | Pass_derived (_, l) -> is_known l
+
+(* Innermost non-derived location: what the op "really" came from. *)
+let rec root = function
+  | Pass_derived (_, l) -> root l
+  | Fused ls -> (
+    match List.find_opt is_known ls with Some l -> root l | None -> Unknown)
+  | (Unknown | File _) as l -> l
+
+let resolve l = match root l with File (f, ln, c) -> Some (f, ln, c) | _ -> None
+let line l = match resolve l with Some (_, ln, _) -> Some ln | None -> None
+
+(* Pass names along a derivation chain, outermost (most recent) first. *)
+let derivation l =
+  let rec go acc = function
+    | Pass_derived (p, l) -> go (p :: acc) l
+    | Fused ls -> List.fold_left go acc ls
+    | Unknown | File _ -> acc
+  in
+  List.rev (go [] l)
+
+(* The [loc(...)] body, round-tripped by the IR printer/parser. *)
+let rec to_string = function
+  | Unknown -> "unknown"
+  | File (f, ln, c) -> Printf.sprintf "%S:%d:%d" f ln c
+  | Fused ls ->
+    Printf.sprintf "fused[%s]" (String.concat ", " (List.map to_string ls))
+  | Pass_derived (p, l) -> Printf.sprintf "%S(%s)" p (to_string l)
+
+(* Human-facing rendering for diagnostics: the resolved file position,
+   with the derivation chain when one exists. *)
+let describe l =
+  match resolve l with
+  | None -> to_string l
+  | Some (f, ln, c) -> (
+    let pos = Printf.sprintf "%s:%d:%d" f ln c in
+    match derivation l with
+    | [] -> pos
+    | ps -> Printf.sprintf "%s (via %s)" pos (String.concat " < " ps))
+
+let pp ppf l = Format.pp_print_string ppf (to_string l)

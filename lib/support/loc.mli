@@ -1,0 +1,43 @@
+(** Source locations, MLIR-style: file positions, fusions, and
+    pass-derivation chains that keep provenance alive across lowerings. *)
+
+type t =
+  | Unknown
+  | File of string * int * int  (** file, line, 1-based column *)
+  | Fused of t list
+  | Pass_derived of string * t  (** pass name, location it derived from *)
+
+val unknown : t
+val file : file:string -> line:int -> col:int -> t
+
+(** Stamp from OCaml's [__POS__] (for eDSL kernel definitions). *)
+val of_pos : string * int * int * int -> t
+
+(** [fused ls] collapses [[]] to {!Unknown} and singletons to the element. *)
+val fused : t list -> t
+
+(** [derived pass loc] marks an op as created by [pass] from [loc]. *)
+val derived : string -> t -> t
+
+(** Does the location (or any component) resolve to a file position? *)
+val is_known : t -> bool
+
+(** Strip derivation/fusion wrappers down to the originating location. *)
+val root : t -> t
+
+(** [root] as a file position, when there is one. *)
+val resolve : t -> (string * int * int) option
+
+(** Resolved source line, when there is one. *)
+val line : t -> int option
+
+(** Pass names along the derivation chain, most recent first. *)
+val derivation : t -> string list
+
+(** The [loc(...)] body, exactly as printed/parsed by the IR layer. *)
+val to_string : t -> string
+
+(** Human-facing rendering: resolved position plus derivation chain. *)
+val describe : t -> string
+
+val pp : Format.formatter -> t -> unit

@@ -3,7 +3,7 @@
 
 let mean xs =
   match xs with
-  | [] -> invalid_arg "Stats.mean: empty"
+  | [] -> Err.raise_error "Stats.mean: empty"
   | _ -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
 
 let variance xs =
@@ -17,13 +17,13 @@ let variance xs =
 let stddev xs = sqrt (variance xs)
 
 let min_max = function
-  | [] -> invalid_arg "Stats.min_max: empty"
+  | [] -> Err.raise_error "Stats.min_max: empty"
   | x :: xs ->
     List.fold_left (fun (lo, hi) v -> (Float.min lo v, Float.max hi v)) (x, x) xs
 
 let median xs =
   match xs with
-  | [] -> invalid_arg "Stats.median: empty"
+  | [] -> Err.raise_error "Stats.median: empty"
   | _ ->
     let sorted = List.sort Float.compare xs in
     let arr = Array.of_list sorted in
@@ -32,7 +32,7 @@ let median xs =
 
 let geomean xs =
   match xs with
-  | [] -> invalid_arg "Stats.geomean: empty"
+  | [] -> Err.raise_error "Stats.geomean: empty"
   | _ ->
     let n = float_of_int (List.length xs) in
     exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs /. n)

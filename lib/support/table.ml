@@ -14,7 +14,7 @@ let create ?aligns headers =
     match aligns with
     | Some a ->
       if List.length a <> List.length headers then
-        invalid_arg "Table.create: aligns/headers length mismatch";
+        Err.raise_error "Table.create: aligns/headers length mismatch";
       a
     | None -> List.map (fun _ -> Right) headers
   in
@@ -22,7 +22,7 @@ let create ?aligns headers =
 
 let add_row t row =
   if List.length row <> List.length t.headers then
-    invalid_arg "Table.add_row: wrong arity";
+    Err.raise_error "Table.add_row: wrong arity";
   t.rows <- row :: t.rows
 
 let rows t = List.rev t.rows

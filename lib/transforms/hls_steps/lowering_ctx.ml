@@ -376,6 +376,24 @@ let require ~step ~after m =
 
 let mark_done ctx step = ctx.cx_done <- step :: ctx.cx_done
 
+(* Location provenance: any op a step leaves without a location is
+   stamped [Pass_derived (step, base)], where [base] is the location of
+   the kernel function it was lowered from — so even coarse-grained
+   steps keep a chain back to the frontend.  Steps that clone ops
+   (step 4's compute bodies) stamp precise per-op derivations *before*
+   this sweep runs, and already-derived ops are left alone. *)
+let stamp_derived ctx ~step =
+  List.iter
+    (fun fx ->
+      match fx.fx_new with
+      | None -> ()
+      | Some f ->
+        let base = Ir.Op.loc fx.fx_old in
+        Ir.Op.walk f (fun o ->
+            if Ir.Op.loc o = Loc.Unknown then
+              Ir.Op.set_loc o (Loc.derived step base)))
+    ctx.cx_funcs
+
 (* Drop the threading attribute and the registry entry; idempotent. *)
 let release ctx =
   (match Ir.Op.get_attr ctx.cx_module ctx_attr with

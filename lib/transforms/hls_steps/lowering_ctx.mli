@@ -124,6 +124,12 @@ val require : step:string -> after:string -> Ir.op -> t
 
 val mark_done : t -> string -> unit
 
+(** Stamp every op of every packed function that still has no location
+    with [Loc.Pass_derived (step, loc-of-source-kernel)], so provenance
+    chains survive the lowering even for ops the step created without an
+    explicit location. *)
+val stamp_derived : t -> step:string -> unit
+
 (** Drop the threading attribute and registry entry (idempotent). *)
 val release : t -> unit
 

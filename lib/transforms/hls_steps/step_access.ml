@@ -43,7 +43,9 @@ let pattern =
 
 let run_on_fx fx = ignore (Rewriter.apply_patterns ~name [ pattern ] (new_func fx))
 
-let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+let run_on_ctx (ctx : t) =
+  List.iter run_on_fx ctx.cx_funcs;
+  stamp_derived ctx ~step:name
 
 let pass =
   Pass.make ~name ~description (fun m ->

@@ -44,7 +44,9 @@ let run_on_fx fx =
   Ir.Op.set_attr f "field_halo" (Attr.Ints plan.p_field_halo);
   Ir.Op.set_attr f "hls_kernel" (Attr.Bool true)
 
-let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+let run_on_ctx (ctx : t) =
+  List.iter run_on_fx ctx.cx_funcs;
+  stamp_derived ctx ~step:name
 
 let pass =
   Pass.make ~name ~description (fun m ->

@@ -117,7 +117,8 @@ let analyze_func (func : Ir.op) =
   }
 
 let run_on_ctx (ctx : t) =
-  ctx.cx_funcs <- List.map analyze_func (Ir.Module_.funcs ctx.cx_module)
+  ctx.cx_funcs <- List.map analyze_func (Ir.Module_.funcs ctx.cx_module);
+  stamp_derived ctx ~step:name
 
 let pass =
   Pass.make ~name ~description (fun m ->

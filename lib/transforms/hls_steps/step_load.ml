@@ -39,7 +39,9 @@ let run_on_fx fx =
          in
          ignore (Llvm_d.call db ~callee:load_callee ~operands:(ptrs @ strms) ())))
 
-let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+let run_on_ctx (ctx : t) =
+  List.iter run_on_fx ctx.cx_funcs;
+  stamp_derived ctx ~step:name
 
 let pass =
   Pass.make ~name ~description (fun m ->

@@ -28,7 +28,9 @@ let run_on_fx (ctx : t) fx =
   fx.fx_new <- Some f;
   fx.fx_new_args <- Ir.Block.args (Ir.Region.entry (List.hd (Ir.Op.regions f)))
 
-let run_on_ctx (ctx : t) = List.iter (run_on_fx ctx) ctx.cx_funcs
+let run_on_ctx (ctx : t) =
+  List.iter (run_on_fx ctx) ctx.cx_funcs;
+  stamp_derived ctx ~step:name
 
 let pass =
   Pass.make ~name ~description (fun m ->

@@ -112,6 +112,9 @@ let build_compute_body db ~grid ~field_halo ~apply ~inputs ~out_stream =
          let block = Stencil.apply_block apply in
          List.iter
            (fun (op : Ir.op) ->
+             (* each compute-stage op chains back to the apply-body op it
+                reimplements, i.e. to the originating stencil source line *)
+             Builder.set_loc fb (Loc.derived name (Ir.Op.loc op));
              match Ir.Op.name op with
              | name when name = Stencil.access_op -> (
                match lookup_arg (Ir.Op.operand op 0) with
@@ -231,7 +234,9 @@ let run_on_fx fx =
         fx.fx_computes @ [ { cp_stage = df; cp_smalls = List.rev !smalls } ])
     fx.fx_applies
 
-let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+let run_on_ctx (ctx : t) =
+  List.iter run_on_fx ctx.cx_funcs;
+  stamp_derived ctx ~step:name
 
 let pass =
   Pass.make ~name ~description (fun m ->

@@ -41,7 +41,9 @@ let run_on_fx fx =
   Ir.Op.set_attr wdf "halo" (Attr.Ints plan.p_field_halo);
   Ir.Op.set_attr wdf "extent" (Attr.Ints (padded_extent plan))
 
-let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+let run_on_ctx (ctx : t) =
+  List.iter run_on_fx ctx.cx_funcs;
+  stamp_derived ctx ~step:name
 
 let pass =
   Pass.make ~name ~description (fun m ->

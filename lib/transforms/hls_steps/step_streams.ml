@@ -80,7 +80,9 @@ let run_on_fx fx =
       | None -> ())
     fx.fx_sources
 
-let run_on_ctx (ctx : t) = List.iter run_on_fx ctx.cx_funcs
+let run_on_ctx (ctx : t) =
+  List.iter run_on_fx ctx.cx_funcs;
+  stamp_derived ctx ~step:name
 
 let pass =
   Pass.make ~name ~description (fun m ->

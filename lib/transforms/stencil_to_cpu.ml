@@ -63,6 +63,8 @@ let lower_apply_body ctx b ~ivs ~apply ~arg_map (body_block : Ir.block) =
   let results = ref [] in
   List.iter
     (fun (op : Ir.op) ->
+      (* lowered ops chain back to the apply-body op they came from *)
+      Builder.set_loc b (Loc.derived "stencil-to-cpu" (Ir.Op.loc op));
       match Ir.Op.name op with
       | name when name = Stencil.access_op ->
         (* identify which apply operand this access reads *)
@@ -150,7 +152,9 @@ let lower_func (m_new : Ir.op) (func : Ir.op) =
       arg_tys
   in
   ignore
-    (Func.build_func m_new ~name ~arg_tys:new_arg_tys ~result_tys:[]
+    (Func.build_func m_new ~name
+       ~loc:(Loc.derived "stencil-to-cpu" (Ir.Op.loc func))
+       ~arg_tys:new_arg_tys ~result_tys:[]
        (fun b new_args ->
          let ctx = { sources = [] } in
          let old_body = Ir.Region.entry (List.hd (Ir.Op.regions func)) in
@@ -166,6 +170,8 @@ let lower_func (m_new : Ir.op) (func : Ir.op) =
            old_args new_args;
          List.iter
            (fun (op : Ir.op) ->
+             Builder.set_loc b
+               (Loc.derived "stencil-to-cpu" (Ir.Op.loc op));
              match Ir.Op.name op with
              | name when name = Stencil.load_op ->
                (* the temp reads the field's memref directly *)

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Pass-level differential debugging for the nine-step HLS lowering
+# (the ROADMAP's "--dump-after driven differential debugging in CI").
+#
+# For both paper kernels: emit the shape-inferred stencil module, run the
+# stencil-to-hls pipeline with --dump-after all, then
+#   1. compare every step's dump digest against test/golden/steps.sum,
+#      so a regression names the exact step that first diverged, and
+#   2. diff the final dump byte-for-byte against test/golden/*.hls.mlir.
+#
+# Regenerate the digest file after an intentional pipeline change with:
+#   scripts/check_step_dumps.sh --update
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OPT=${OPT:-_build/default/bin/shmls_opt.exe}
+COMPILE=${COMPILE:-_build/default/bin/shmls_compile.exe}
+GOLDEN=test/golden
+SUMS=$GOLDEN/steps.sum
+
+KERNELS=("pw_advection 12x8x6" "tracer_advection 10x8x8")
+
+if [[ ! -x $OPT || ! -x $COMPILE ]]; then
+  echo "error: build the binaries first (dune build)" >&2
+  exit 2
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+dump () { # kernel grid
+  local name=$1 grid=$2
+  local dir="$tmp/$name"
+  mkdir -p "$dir"
+  "$COMPILE" "$name" --grid "$grid" --emit stencil \
+    | tail -n +2 > "$dir/input.stencil.mlir"
+  "$OPT" -p stencil-to-hls --verify-each --dump-after all --dump-dir "$dir" \
+    "$dir/input.stencil.mlir" > /dev/null
+}
+
+for entry in "${KERNELS[@]}"; do
+  dump $entry
+done
+
+if [[ ${1:-} == --update ]]; then
+  (cd "$tmp" && sha256sum ./*/*.after.mlir | LC_ALL=C sort -k2) > "$SUMS"
+  echo "rewrote $SUMS"
+  exit 0
+fi
+
+status=0
+
+# 1. per-step digests: the first line sha256sum flags is the first step
+#    (in pipeline order) whose output diverged
+if ! (cd "$tmp" && sha256sum -c --quiet "$OLDPWD/$SUMS") > "$tmp/sums.out" 2>&1
+then
+  status=1
+  echo "step-level divergence (vs $SUMS):"
+  sed 's/^/  /' "$tmp/sums.out"
+  first=$(grep -m1 'FAILED' "$tmp/sums.out" | cut -d: -f1 || true)
+  [[ -n $first ]] && echo "first diverging dump: $first"
+fi
+
+# 2. final output must match the committed golden HLS modules
+for entry in "${KERNELS[@]}"; do
+  set -- $entry
+  name=$1
+  if ! diff -u "$GOLDEN/$name.hls.mlir" "$tmp/$name/hls-axi-bundles.after.mlir" \
+      > "$tmp/$name.diff"; then
+    status=1
+    echo "final HLS module for $name differs from $GOLDEN/$name.hls.mlir:"
+    head -40 "$tmp/$name.diff" | sed 's/^/  /'
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "step dumps match $SUMS and the golden HLS modules"
+fi
+exit $status

@@ -1,0 +1,6 @@
+// --verify-diagnostics negative case: the expectation below never
+// fires, so the tool must exit non-zero (the dune rule accepts 124).
+// expected-error@+1 {{this never happens}}
+"builtin.module"() ({
+  %0 = "arith.constant"() {value = 1} : () -> (index)
+}) : () -> ()

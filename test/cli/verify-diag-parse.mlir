@@ -1,0 +1,2 @@
+// expected-error@+1 {{parse error}}
+bogus

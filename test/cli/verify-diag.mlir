@@ -1,0 +1,6 @@
+// --verify-diagnostics positive case: the verifier rejects the
+// unregistered op and the expectation below consumes that error.
+"builtin.module"() ({
+  // expected-error@+1 {{unregistered operation "bogus.op"}}
+  "bogus.op"() : () -> ()
+}) : () -> ()

@@ -13,17 +13,19 @@ let ensure_passes_linked () = Shmls_transforms.Register.all ()
 
 let copy_1d =
   {
+    k_loc = Shmls_support.Loc.unknown;
     k_name = "copy_1d";
     k_rank = 1;
     k_fields =
       [ { fd_name = "a"; fd_role = Input }; { fd_name = "b"; fd_role = Output } ];
     k_smalls = [];
     k_params = [];
-    k_stencils = [ { sd_target = "b"; sd_expr = fld "a" [ 0 ] } ];
+    k_stencils = [ { sd_loc = Shmls_support.Loc.unknown; sd_target = "b"; sd_expr = fld "a" [ 0 ] } ];
   }
 
 let avg_1d =
   {
+    k_loc = Shmls_support.Loc.unknown;
     k_name = "avg_1d";
     k_rank = 1;
     k_fields =
@@ -33,6 +35,7 @@ let avg_1d =
     k_stencils =
       [
         {
+          sd_loc = Shmls_support.Loc.unknown;
           sd_target = "b";
           sd_expr = const 0.5 *: (fld "a" [ -1 ] +: fld "a" [ 1 ]);
         };
@@ -41,6 +44,7 @@ let avg_1d =
 
 let chain_3d =
   {
+    k_loc = Shmls_support.Loc.unknown;
     k_name = "chain_3d";
     k_rank = 3;
     k_fields =
@@ -54,16 +58,19 @@ let chain_3d =
     k_stencils =
       [
         {
+          sd_loc = Shmls_support.Loc.unknown;
           sd_target = "mid";
           sd_expr = (fld "src" [ -1; 0; 0 ] +: fld "src" [ 1; 0; 0 ]) *: const 0.5;
         };
         {
+          sd_loc = Shmls_support.Loc.unknown;
           sd_target = "dst";
           sd_expr =
             fld "mid" [ 0; 0; -1 ] +: fld "mid" [ 0; 0; 1 ]
             +: (small "coef" ~offset:1 *: param "alpha");
         };
         {
+          sd_loc = Shmls_support.Loc.unknown;
           sd_target = "dst2";
           sd_expr = fld "src" [ 0; 1; 0 ] -: fld "mid" [ 0; 0; 0 ];
         };
@@ -152,7 +159,7 @@ let gen_kernel =
       let* e = gen_expr ~rank ~fields:readable ~smalls ~params in
       build_stencils (i + 1)
         (if i < n_mid then readable @ [ target ] else readable)
-        ({ sd_target = target; sd_expr = e } :: acc)
+        ({ sd_loc = Shmls_support.Loc.unknown; sd_target = target; sd_expr = e } :: acc)
   in
   let* stencils = build_stencils 0 inputs [] in
   (* every intermediate must be consumed (an unused apply result has no
@@ -179,6 +186,7 @@ let gen_kernel =
   in
   return
     {
+      k_loc = Shmls_support.Loc.unknown;
       k_name = "random_kernel";
       k_rank = rank;
       k_fields =
@@ -199,6 +207,7 @@ let gen_single_stencil_kernel =
   let* e = gen_expr ~rank ~fields:[ "in0" ] ~smalls:[] ~params:[ "p" ] in
   return
     {
+      k_loc = Shmls_support.Loc.unknown;
       k_name = "single";
       k_rank = rank;
       k_fields =
@@ -208,7 +217,7 @@ let gen_single_stencil_kernel =
         ];
       k_smalls = [];
       k_params = [ "p" ];
-      k_stencils = [ { sd_target = "out0"; sd_expr = e } ];
+      k_stencils = [ { sd_loc = Shmls_support.Loc.unknown; sd_target = "out0"; sd_expr = e } ];
     }
 
 let qtest ?(count = 50) name gen prop =

@@ -79,13 +79,14 @@ let test_inout_kernel_through_hls () =
   let open Shmls_frontend.Ast in
   let k =
     {
+      k_loc = Shmls_support.Loc.unknown;
       k_name = "inplace";
       k_rank = 1;
       k_fields = [ { fd_name = "a"; fd_role = Inout } ];
       k_smalls = [];
       k_params = [];
       k_stencils =
-        [ { sd_target = "a"; sd_expr = fld "a" [ -1 ] +: fld "a" [ 1 ] } ];
+        [ { sd_loc = Shmls_support.Loc.unknown; sd_target = "a"; sd_expr = fld "a" [ -1 ] +: fld "a" [ 1 ] } ];
     }
   in
   let c = Shmls.compile k ~grid:[ 16 ] in
@@ -99,6 +100,7 @@ let test_output_read_after_write () =
   let open Shmls_frontend.Ast in
   let k =
     {
+      k_loc = Shmls_support.Loc.unknown;
       k_name = "raw";
       k_rank = 2;
       k_fields =
@@ -112,10 +114,12 @@ let test_output_read_after_write () =
       k_stencils =
         [
           {
+            sd_loc = Shmls_support.Loc.unknown;
             sd_target = "mid_out";
             sd_expr = const 0.5 *: (fld "src" [ -1; 0 ] +: fld "src" [ 1; 0 ]);
           };
           {
+            sd_loc = Shmls_support.Loc.unknown;
             sd_target = "final";
             sd_expr = fld "mid_out" [ 0; -1 ] +: fld "mid_out" [ 0; 1 ];
           };

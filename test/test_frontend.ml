@@ -33,6 +33,7 @@ let test_halo_accumulates_through_chains () =
   (* b = a[1]; c = b[1]; out = c[1]  =>  field a needs halo 3 *)
   let k =
     {
+      k_loc = Shmls_support.Loc.unknown;
       k_name = "chain";
       k_rank = 1;
       k_fields =
@@ -43,9 +44,9 @@ let test_halo_accumulates_through_chains () =
       k_params = [];
       k_stencils =
         [
-          { sd_target = "b"; sd_expr = fld "a" [ 1 ] };
-          { sd_target = "c"; sd_expr = fld "b" [ 1 ] };
-          { sd_target = "out"; sd_expr = fld "c" [ 1 ] };
+          { sd_loc = Shmls_support.Loc.unknown; sd_target = "b"; sd_expr = fld "a" [ 1 ] };
+          { sd_loc = Shmls_support.Loc.unknown; sd_target = "c"; sd_expr = fld "b" [ 1 ] };
+          { sd_loc = Shmls_support.Loc.unknown; sd_target = "out"; sd_expr = fld "c" [ 1 ] };
         ];
     }
   in
@@ -72,36 +73,36 @@ let test_validate_rejections () =
   expect_invalid "writes input"
     {
       H.avg_1d with
-      k_stencils = [ { sd_target = "a"; sd_expr = fld "a" [ 0 ] } ];
+      k_stencils = [ { sd_loc = Shmls_support.Loc.unknown; sd_target = "a"; sd_expr = fld "a" [ 0 ] } ];
     };
   expect_invalid "undeclared read"
     {
       H.avg_1d with
-      k_stencils = [ { sd_target = "b"; sd_expr = fld "ghost" [ 0 ] } ];
+      k_stencils = [ { sd_loc = Shmls_support.Loc.unknown; sd_target = "b"; sd_expr = fld "ghost" [ 0 ] } ];
     };
   expect_invalid "offset rank mismatch"
     {
       H.avg_1d with
-      k_stencils = [ { sd_target = "b"; sd_expr = fld "a" [ 0; 0 ] } ];
+      k_stencils = [ { sd_loc = Shmls_support.Loc.unknown; sd_target = "b"; sd_expr = fld "a" [ 0; 0 ] } ];
     };
   expect_invalid "read before produced"
     {
       H.avg_1d with
       k_stencils =
         [
-          { sd_target = "b"; sd_expr = fld "later" [ 0 ] };
-          { sd_target = "later"; sd_expr = fld "a" [ 0 ] };
+          { sd_loc = Shmls_support.Loc.unknown; sd_target = "b"; sd_expr = fld "later" [ 0 ] };
+          { sd_loc = Shmls_support.Loc.unknown; sd_target = "later"; sd_expr = fld "a" [ 0 ] };
         ];
     };
   expect_invalid "undeclared small"
     {
       H.avg_1d with
-      k_stencils = [ { sd_target = "b"; sd_expr = small "nope" } ];
+      k_stencils = [ { sd_loc = Shmls_support.Loc.unknown; sd_target = "b"; sd_expr = small "nope" } ];
     };
   expect_invalid "undeclared param"
     {
       H.avg_1d with
-      k_stencils = [ { sd_target = "b"; sd_expr = param "nope" } ];
+      k_stencils = [ { sd_loc = Shmls_support.Loc.unknown; sd_target = "b"; sd_expr = param "nope" } ];
     }
 
 let test_dependency_components () =
@@ -276,7 +277,8 @@ let test_psy_printer_roundtrip_known () =
     (fun ((k : Shmls_frontend.Ast.kernel), _) ->
       let text = Shmls_frontend.Psy_printer.to_string k in
       let k2 = Psy.parse text in
-      if k2 <> k then Alcotest.failf "%s does not round-trip:\n%s" k.k_name text)
+      if strip_locs k2 <> strip_locs k then
+        Alcotest.failf "%s does not round-trip:\n%s" k.k_name text)
     H.all_test_kernels
 
 let qcheck_psy_printer_roundtrip =
@@ -286,7 +288,7 @@ let qcheck_psy_printer_roundtrip =
       | Error _ -> QCheck2.assume_fail ()
       | Ok () ->
         let text = Shmls_frontend.Psy_printer.to_string k in
-        Psy.parse text = k)
+        strip_locs (Psy.parse text) = strip_locs k)
 
 let qcheck_random_kernels_validate_and_lower =
   H.qtest ~count:60 "random kernels validate and lower" H.gen_kernel (fun k ->

@@ -118,13 +118,14 @@ let test_interp_inout_gather_semantics () =
   let open Shmls_frontend.Ast in
   let k =
     {
+      k_loc = Shmls_support.Loc.unknown;
       k_name = "inplace";
       k_rank = 1;
       k_fields = [ { fd_name = "a"; fd_role = Inout } ];
       k_smalls = [];
       k_params = [];
       k_stencils =
-        [ { sd_target = "a"; sd_expr = fld "a" [ -1 ] +: fld "a" [ 1 ] } ];
+        [ { sd_loc = Shmls_support.Loc.unknown; sd_target = "a"; sd_expr = fld "a" [ -1 ] +: fld "a" [ 1 ] } ];
     }
   in
   let l = prepared k [ 8 ] in

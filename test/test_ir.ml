@@ -32,14 +32,16 @@ let test_ty_bounds () =
   Alcotest.(check int) "points" 8 (Ty.bounds_points b);
   Alcotest.(check int) "rank" 2 (Ty.bounds_rank b);
   Alcotest.check_raises "inverted bounds"
-    (Invalid_argument "Ty.make_bounds: ub < lb") (fun () ->
+    (Shmls_support.Err.Error (Shmls_support.Err.make "Ty.make_bounds: ub < lb"))
+    (fun () ->
       ignore (Ty.make_bounds ~lb:[ 2 ] ~ub:[ 1 ]))
 
 let test_attr_accessors () =
   Alcotest.(check int) "int" 3 (Attr.int_exn (Attr.Int 3));
   Alcotest.(check string) "sym" "foo" (Attr.sym_exn (Attr.Sym "foo"));
   Alcotest.(check (list int)) "ints" [ 1; -2 ] (Attr.ints_exn (Attr.Ints [ 1; -2 ]));
-  Alcotest.check_raises "kind mismatch" (Invalid_argument "Attr.int_exn")
+  Alcotest.check_raises "kind mismatch"
+    (Shmls_support.Err.Error (Shmls_support.Err.make "Attr.int_exn"))
     (fun () -> ignore (Attr.int_exn (Attr.Str "x")))
 
 let test_attr_equal () =

@@ -194,6 +194,48 @@ let prop_kernel name (kernel : Shmls_frontend.Ast.kernel) ~grid =
       check_op_tree m;
       true)
 
+(* ------------------------------------------------------------------ *)
+(* Location round-trip: printing with ~locs:true and reparsing must
+   reproduce every op's location exactly, whatever mix of unknown /
+   file / fused / pass-derived locations the module carries. *)
+
+module Loc = Shmls_support.Loc
+
+let all_ops (m : Ir.op) =
+  let acc = ref [] in
+  Ir.Op.walk m (fun o -> acc := o :: !acc);
+  List.rev !acc
+
+let loc_of_seed (a, i, j) =
+  let base =
+    Loc.file
+      ~file:(Printf.sprintf "f%d.psy" (i mod 4))
+      ~line:(1 + (i mod 50))
+      ~col:(1 + (j mod 30))
+  in
+  match a mod 4 with
+  | 0 -> Loc.Unknown
+  | 1 -> base
+  | 2 -> Loc.derived (Printf.sprintf "pass%d" (j mod 3)) base
+  | _ ->
+    Loc.fused
+      [ base; Loc.file ~file:"g.psy" ~line:(1 + (j mod 9)) ~col:1 ]
+
+let prop_loc_roundtrip name (kernel : Shmls_frontend.Ast.kernel) ~grid =
+  QCheck.Test.make ~count:25
+    ~name:(name ^ ": loc(...) survives print -> parse")
+    commands_gen
+    (fun seeds ->
+      let lowered = Shmls_frontend.Lower.lower kernel ~grid in
+      let m = lowered.Shmls_frontend.Lower.l_module in
+      let ops = all_ops m in
+      List.iter
+        (fun ((_, i, _) as seed) ->
+          Ir.Op.set_loc (nth_mod ops i) (loc_of_seed seed))
+        seeds;
+      let m2 = Parser.parse_module (Printer.to_string ~locs:true m) in
+      List.map Ir.Op.loc (all_ops m) = List.map Ir.Op.loc (all_ops m2))
+
 (* Non-random regression: append/insert/detach keep counts exact. *)
 let test_counts_exact () =
   let b = Ir.Block.create () in
@@ -218,5 +260,13 @@ let () =
           QCheck_alcotest.to_alcotest
             (prop_kernel "tracer-advection" TA.kernel ~grid:TA.grid_small);
           Alcotest.test_case "maintained counts" `Quick test_counts_exact;
+        ] );
+      ( "location round-trip",
+        [
+          QCheck_alcotest.to_alcotest
+            (prop_loc_roundtrip "pw-advection" PW.kernel ~grid:PW.grid_small);
+          QCheck_alcotest.to_alcotest
+            (prop_loc_roundtrip "tracer-advection" TA.kernel
+               ~grid:TA.grid_small);
         ] );
     ]

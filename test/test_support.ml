@@ -71,7 +71,8 @@ let test_stats_geomean () =
   Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geomean [ 1.0; 2.0; 4.0 ])
 
 let test_stats_empty () =
-  Alcotest.check_raises "mean of empty" (Invalid_argument "Stats.mean: empty")
+  Alcotest.check_raises "mean of empty"
+    (Err.Error (Err.make "Stats.mean: empty"))
     (fun () -> ignore (Stats.mean []))
 
 let test_table_render () =
@@ -86,7 +87,8 @@ let test_table_render () =
 
 let test_table_arity () =
   let t = Table.create [ "a"; "b" ] in
-  Alcotest.check_raises "wrong arity" (Invalid_argument "Table.add_row: wrong arity")
+  Alcotest.check_raises "wrong arity"
+    (Err.Error (Err.make "Table.add_row: wrong arity"))
     (fun () -> Table.add_row t [ "only-one" ])
 
 let qcheck_mean_bounds =
