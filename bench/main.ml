@@ -20,9 +20,15 @@ module TA = Shmls_kernels.Tracer_advection
 
 let runs = 10
 
+(* Worker domains for the experiments ([--jobs N]; 1 = sequential,
+   byte-identical tables). *)
+let jobs = ref 1
+
 let flows_of k grid =
   (* average of [runs] evaluations, per the paper's protocol *)
-  let samples = List.init runs (fun _ -> Shmls.evaluate_all k ~grid) in
+  let samples =
+    List.init runs (fun _ -> Shmls.evaluate_all ~jobs:!jobs k ~grid)
+  in
   let first = List.hd samples in
   List.mapi
     (fun i outcome ->
@@ -599,7 +605,19 @@ let micro_tests () =
     Shmls.Grid.create (Shmls.Ty.make_bounds ~lb:[ 0; 0; 0 ] ~ub:[ 64; 64; 16 ])
   in
   Shmls.Grid.init_hash g;
+  (* small-grid functional-sim rows: cheap enough for the smoke run, and
+     they feed the derived functional_sim_speedup entry *)
+  let small = Shmls.compile_cached Shmls_kernels.Didactic.heat_3d ~grid:[ 12; 10; 8 ] in
   [
+    Test.make ~name:"functional_sim_interp_small"
+      (Staged.stage (fun () ->
+           ignore (Shmls.verify ~sim:Shmls.Interp small)));
+    Test.make ~name:"functional_sim_compiled_small"
+      (Staged.stage (fun () ->
+           ignore (Shmls.verify ~sim:Shmls.Compiled small)));
+    Test.make ~name:"stage_compile_once_small"
+      (Staged.stage (fun () ->
+           ignore (Shmls.Stage_compiler.compile small.c_design)));
     Test.make ~name:"ir_block_append_10k"
       (Staged.stage (fun () ->
            let b = Shmls.Ir.Block.create () in
@@ -652,9 +670,14 @@ let compile_once_counts () =
   let second = Shmls.compile_runs () - first in
   (first, second)
 
+(* The seed repo's pipeline_functional_sim cost (BENCH_pipeline.json at
+   the PR-2 baseline): the interpreter's verify on PW advection 24x16x8.
+   The compiled simulator's speedup is reported against it. *)
+let seed_functional_sim_ns = 140162611.8
+
 (* BENCH_pipeline.json: machine-readable record of the micro-benchmarks
    plus the derived acceptance numbers (block-construction speedup,
-   compile-once counts). *)
+   functional-sim speedup, compile-once counts). *)
 let emit_json ~path rows =
   let first, second = compile_once_counts () in
   let speedup =
@@ -671,6 +694,28 @@ let emit_json ~path rows =
         find_row rows "grid_sweep_list_64x64x16" )
     with
     | Some fast, Some slow when fast > 0.0 -> Some (slow /. fast)
+    | _ -> None
+  in
+  (* interpreter vs compiled functional sim: the full PW rows when the
+     full suite ran, else the small smoke rows *)
+  let full_compiled = find_row rows "pipeline_functional_sim_compiled" in
+  let sim_pair =
+    match (find_row rows "pipeline_functional_sim", full_compiled) with
+    | Some i, Some c when c > 0.0 -> Some (i, c)
+    | _ -> (
+      match
+        ( find_row rows "functional_sim_interp_small",
+          find_row rows "functional_sim_compiled_small" )
+      with
+      | Some i, Some c when c > 0.0 -> Some (i, c)
+      | _ -> None)
+  in
+  let jobs_scaling =
+    match
+      ( find_row rows "sweep_verify_compiled_jobs1",
+        find_row rows "sweep_verify_compiled_jobs4" )
+    with
+    | Some j1, Some j4 when j4 > 0.0 -> Some (j1 /. j4)
     | _ -> None
   in
   let buf = Buffer.create 1024 in
@@ -695,6 +740,30 @@ let emit_json ~path rows =
   | Some s ->
     Buffer.add_string buf
       (Printf.sprintf "    \"grid_indexing_speedup\": %.1f,\n" s)
+  | None -> ());
+  (match sim_pair with
+  | Some (i, c) ->
+    Buffer.add_string buf
+      (Printf.sprintf "    \"functional_sim_speedup\": %.1f,\n" (i /. c))
+  | None -> ());
+  (match full_compiled with
+  | Some c when c > 0.0 ->
+    Buffer.add_string buf
+      (Printf.sprintf "    \"functional_sim_compiled_ns\": %.1f,\n" c);
+    Buffer.add_string buf
+      (Printf.sprintf
+         "    \"functional_sim_speedup_vs_seed_baseline\": %.1f,\n"
+         (seed_functional_sim_ns /. c))
+  | _ -> ());
+  (match jobs_scaling with
+  | Some s ->
+    (* interpret against the machine: on a single-core container the
+       4-domain sweep can only pay spawn/GC-sync overhead *)
+    Buffer.add_string buf
+      (Printf.sprintf "    \"sweep_jobs4_scaling\": %.2f,\n" s);
+    Buffer.add_string buf
+      (Printf.sprintf "    \"domains_available\": %d,\n"
+         (Domain.recommended_domain_count ()))
   | None -> ());
   Buffer.add_string buf
     (Printf.sprintf "    \"compile_runs_first_evaluate_all\": %d,\n" first);
@@ -722,6 +791,14 @@ let bechamel () =
   let open Bechamel in
   let grid = [ 24; 16; 8 ] in
   let compiled = Shmls.compile PW.kernel ~grid in
+  let sweep_configs =
+    [
+      (Shmls_kernels.Didactic.heat_3d, [ 16; 12; 8 ]);
+      (Shmls_kernels.Didactic.laplace_2d, [ 48; 32 ]);
+      (Shmls_kernels.Didactic.gradient_smooth_3d, [ 16; 12; 8 ]);
+      (PW.kernel, grid);
+    ]
+  in
   let tests =
     [
       (* one Test.make per table/figure-producing pipeline, per DESIGN.md's
@@ -756,6 +833,24 @@ let bechamel () =
                    lowered.Shmls.Lower.l_module)));
       Test.make ~name:"pipeline_functional_sim"
         (Staged.stage (fun () -> ignore (Shmls.verify compiled)));
+      Test.make ~name:"pipeline_functional_sim_compiled"
+        (Staged.stage (fun () ->
+             ignore (Shmls.verify ~sim:Shmls.Compiled compiled)));
+      Test.make ~name:"stage_compile_once"
+        (Staged.stage (fun () ->
+             ignore (Shmls.Stage_compiler.compile compiled.c_design)));
+      (* --jobs scaling: the grid-sweep driver with compiled-sim design
+         verification, sequential vs 4 worker domains *)
+      Test.make ~name:"sweep_verify_compiled_jobs1"
+        (Staged.stage (fun () ->
+             ignore
+               (Shmls.sweep ~jobs:1 ~sim:Shmls.Compiled ~verify_designs:true
+                  sweep_configs)));
+      Test.make ~name:"sweep_verify_compiled_jobs4"
+        (Staged.stage (fun () ->
+             ignore
+               (Shmls.sweep ~jobs:4 ~sim:Shmls.Compiled ~verify_designs:true
+                  sweep_configs)));
       Test.make ~name:"pipeline_cycle_sim"
         (Staged.stage (fun () -> ignore (Shmls.Cycle_sim.run compiled.c_design)));
       Test.make ~name:"pipeline_llvm_emit_fpp"
@@ -802,12 +897,29 @@ let rec extract_json acc = function
   | "--json" :: path :: rest -> (List.rev_append acc rest, Some path)
   | x :: rest -> extract_json (x :: acc) rest
 
+(* Pull "--jobs N" out likewise (worker domains for the experiment
+   evaluations; 1 keeps the tables byte-identical to a sequential run). *)
+let rec extract_jobs acc = function
+  | [] -> (List.rev acc, None)
+  | [ "--jobs" ] ->
+    Printf.eprintf "--jobs requires an integer argument\n";
+    exit 1
+  | "--jobs" :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some n when n >= 0 -> (List.rev_append acc rest, Some n)
+    | _ ->
+      Printf.eprintf "--jobs: bad worker count %S\n" n;
+      exit 1)
+  | x :: rest -> extract_jobs (x :: acc) rest
+
 let () =
   match Array.to_list Sys.argv with
   | [] -> ()
   | _ :: rest -> (
     let args, json = extract_json [] rest in
+    let args, j = extract_jobs [] args in
     json_out := json;
+    (match j with Some n -> jobs := n | None -> ());
     match args with
     | [] ->
       Printf.printf

@@ -44,10 +44,13 @@ let write_file dir name contents =
   Printf.printf "wrote %s\n" path
 
 let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace
-    pass_stats =
+    pass_stats sim jobs =
   try
     let kernel = load_kernel kernel_spec in
     let grid = parse_grid grid_spec in
+    let sim =
+      match Shmls.sim_of_string sim with Ok s -> s | Error m -> failwith m
+    in
     let c = Shmls.compile kernel ~grid in
     Printf.printf "kernel %s on %s: %d CU(s) x %d AXI ports, %d dataflow stages, %d streams\n"
       kernel.k_name grid_spec c.c_cu c.c_ports_per_cu
@@ -78,7 +81,7 @@ let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace
       if outdir = "" then print_endline (Shmls.emit_circt_text c)
       else write_file outdir (kernel.k_name ^ ".circt.mlir") (Shmls.emit_circt_text c)
     end;
-    if report then print_string (Shmls.report_text c);
+    if report then print_string (Shmls.report_text ~sim c);
     if trace <> "" then begin
       let result, t = Shmls.Trace.capture c.c_design in
       let oc = open_out trace in
@@ -90,7 +93,7 @@ let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace
       print_string (Shmls.Trace.to_ascii t c.c_design)
     end;
     if verify then begin
-      let v = Shmls.verify c in
+      let v = Shmls.verify ~sim c in
       List.iter
         (fun (f, d) -> Printf.printf "verify %-12s max |diff| = %g\n" f d)
         v.v_fields;
@@ -108,7 +111,7 @@ let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace
               s.s_usage Shmls.Power.pp s.s_power
           | Shmls.Flow.Failure f ->
             Printf.printf "  %-14s FAILED: %s\n" f.f_flow f.f_reason)
-        (Shmls.evaluate_all kernel ~grid)
+        (Shmls.evaluate_all ~jobs kernel ~grid)
     end;
     `Ok ()
   with
@@ -169,6 +172,25 @@ let pass_stats_arg =
     & info [ "pass-stats" ]
         ~doc:"Print per-step timing of the nine-pass HLS lowering.")
 
+let sim_arg =
+  Arg.(
+    value
+    & opt (enum [ ("interp", "interp"); ("compiled", "compiled") ]) "interp"
+    & info [ "sim" ] ~docv:"ENGINE"
+        ~doc:
+          "Functional-simulation engine for --verify and --report: the \
+           reference IR interpreter (interp) or the specialized-closure \
+           plan (compiled). Both are bit-identical.")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for --evaluate (the five flows run in \
+           parallel). 1 (the default) is sequential and byte-identical \
+           to historical output; 0 uses all cores.")
+
 let cmd =
   let doc = "compile stencil kernels through the Stencil-HMLS pipeline" in
   Cmd.v
@@ -176,6 +198,7 @@ let cmd =
     Term.(
       ret
         (const run_tool $ kernel_arg $ grid_arg $ emit_arg $ outdir_arg
-       $ verify_arg $ evaluate_arg $ report_arg $ trace_arg $ pass_stats_arg))
+       $ verify_arg $ evaluate_arg $ report_arg $ trace_arg $ pass_stats_arg
+       $ sim_arg $ jobs_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -20,6 +20,7 @@ module Grid = Shmls_interp.Grid
 module Interp = Shmls_interp.Interp
 module Design = Shmls_fpga.Design
 module Functional = Shmls_fpga.Functional
+module Stage_compiler = Shmls_fpga.Stage_compiler
 module Cycle_sim = Shmls_fpga.Cycle_sim
 module Perf_model = Shmls_fpga.Perf_model
 module Resources = Shmls_fpga.Resources
@@ -30,6 +31,7 @@ module Trace = Shmls_fpga.Trace
 module Flow = Shmls_baselines.Flow
 module Circt = Shmls_circt.Circt
 module Err = Shmls_support.Err
+module Pool = Shmls_support.Pool
 
 (** Everything the pipeline produced for one kernel at one grid. *)
 type compiled = {
@@ -45,6 +47,10 @@ type compiled = {
   c_connectivity : string;  (** v++ connectivity config *)
   c_pass_stats : Pass.stat list;
       (** wall time / op-count deltas of the nine HLS lowering steps *)
+  c_plan : Stage_compiler.t Lazy.t;
+      (** compiled functional-simulation plan, built once on first use
+          (forcing must stay sequential; parallel sweeps build private
+          plans because plans carry mutable run state) *)
 }
 
 (** Run the full Stencil-HMLS compilation pipeline. [balance_depths]
@@ -75,17 +81,43 @@ type verification = {
   v_max_diff : float;
 }
 
+(** Which functional-simulation engine executes the design: the
+    reference IR interpreter ({!Functional}) or the specialized-closure
+    plan ({!Stage_compiler}). Both are value-identical; the compiled
+    engine is the fast path, the interpreter the oracle. *)
+type sim = Interp | Compiled
+
+val sim_to_string : sim -> string
+
+(** Parse a [--sim] CLI argument ("interp" | "compiled"). *)
+val sim_of_string : string -> (sim, string) result
+
 (** Execute the generated design in the functional simulator against the
-    reference interpreter on identical inputs. *)
-val verify : ?seed:int -> compiled -> verification
+    reference interpreter on identical inputs. The reference state is
+    cached per (kernel, grid, seed); [sim] defaults to the
+    interpreter. *)
+val verify : ?seed:int -> ?sim:sim -> compiled -> verification
 
 (** The Stencil-HMLS flow's performance/resources/power, in the same
     shape as the baselines. *)
 val evaluate_hmls : ?cu:int -> compiled -> Flow.outcome
 
 (** All five flows (Stencil-HMLS, DaCe, SODA-opt, Vitis HLS,
-    StencilFlow), in the paper's order. *)
-val evaluate_all : Ast.kernel -> grid:int list -> Flow.outcome list
+    StencilFlow), in the paper's order. With [jobs > 1] the independent
+    flows run on a domain pool; results are order-preserving and the
+    default [jobs = 1] is sequential (byte-identical output). *)
+val evaluate_all : ?jobs:int -> Ast.kernel -> grid:int list -> Flow.outcome list
+
+(** Evaluate many (kernel, grid) configurations — the grid-sweep
+    experiment driver. Compilation runs sequentially up front (cached);
+    with [jobs > 1] the per-configuration evaluations (and optional
+    design verifications) run on a domain pool, order-preserving.
+    [verify_designs] adds a functional verification per configuration
+    using [sim]; [jobs = 1] is byte-identical to a sequential loop. *)
+val sweep :
+  ?jobs:int -> ?sim:sim -> ?verify_designs:bool -> ?seed:int ->
+  (Ast.kernel * int list) list ->
+  (Flow.outcome list * verification option) list
 
 (** {2 Artefact output} *)
 
@@ -94,8 +126,9 @@ val emit_llvm_text : compiled -> string
 (** The CIRCT hw/esi netlist (the paper's future-work backend). *)
 val emit_circt_text : compiled -> string
 
-(** A Vitis-style synthesis report. *)
-val report_text : compiled -> string
+(** A Vitis-style synthesis report. [sim = Compiled] appends the
+    compiled functional-simulation plan's shape. *)
+val report_text : ?sim:sim -> compiled -> string
 
 val emit_stencil_text : compiled -> string
 val emit_hls_text : compiled -> string

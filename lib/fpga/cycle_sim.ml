@@ -43,14 +43,14 @@ type stage_state =
       ii : int;
       latency : int;
       total : int;
-      mutable in_flight : (int * int) list; (* (ready_cycle, 1) *)
+      in_flight : int Queue.t; (* ready cycles, FIFO: O(1) add/pop *)
       mutable last_start : int;
     }
   | S_write of { mutable retired : int array (* per input stream *) }
 
 let max_cycles_factor = 64
 
-let run ?(on_cycle = fun _ _ -> ()) (d : Design.t) =
+let run ?on_cycle (d : Design.t) =
   if
     not
       (List.exists
@@ -94,7 +94,7 @@ let run ?(on_cycle = fun _ _ -> ()) (d : Design.t) =
                 ii = c.ii;
                 latency = 8 + c.flops;
                 total;
-                in_flight = [];
+                in_flight = Queue.create ();
                 last_start = -1_000_000; (* "long ago", without overflow *)
               }
           | Design.Write { in_streams; _ } ->
@@ -173,24 +173,24 @@ let run ?(on_cycle = fun _ _ -> ()) (d : Design.t) =
             List.iter (fun f -> f.occ <- f.occ - 1) fins;
             c.started <- c.started + 1;
             c.last_start <- !cycle;
-            c.in_flight <- c.in_flight @ [ (!cycle + c.latency, 1) ];
+            Queue.add (!cycle + c.latency) c.in_flight;
             progressed := true
           end;
           (* retire finished iterations *)
-          (match c.in_flight with
-          | (ready, _) :: rest when ready <= !cycle ->
+          (match Queue.peek_opt c.in_flight with
+          | Some ready when ready <= !cycle ->
             let fout = fifo out_stream in
             if fout.occ < fout.cap then begin
               fout.occ <- fout.occ + 1;
               c.retired <- c.retired + 1;
-              c.in_flight <- rest;
+              ignore (Queue.pop c.in_flight);
               progressed := true
             end
-          | (ready, _) :: _ when ready > !cycle ->
+          | Some _ ->
             (* results draining through the pipeline: time passing is
                progress, not deadlock *)
             progressed := true
-          | _ -> ())
+          | None -> ())
         | Design.Write { in_streams; _ }, S_write w ->
           List.iteri
             (fun i sid ->
@@ -203,8 +203,11 @@ let run ?(on_cycle = fun _ _ -> ()) (d : Design.t) =
             in_streams
         | _ -> assert false)
       states;
-    on_cycle !cycle
-      (Hashtbl.fold (fun id f acc -> (id, f.occ) :: acc) fifos []);
+    (* only materialise the occupancy list when someone is listening —
+       it used to allocate every cycle even with no tracer attached *)
+    (match on_cycle with
+    | Some f -> f !cycle (Hashtbl.fold (fun id f acc -> (id, f.occ) :: acc) fifos [])
+    | None -> ());
     incr cycle
   done;
   let deadlocked = not (complete ()) in

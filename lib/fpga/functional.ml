@@ -28,27 +28,35 @@ type value =
   | Ptr of float array * int (* external-memory pointer: base + offset *)
   | Mem of float array (* local BRAM array *)
 
-type stream_buf = { mutable front : token list; mutable back : token list }
+type stream_buf = {
+  mutable front : token list;
+  mutable back : token list;
+  mutable count : int; (* |front| + |back|, so length is O(1) *)
+}
 
-let buf_create () = { front = []; back = [] }
+let buf_create () = { front = []; back = []; count = 0 }
 
-let buf_push b t = b.back <- t :: b.back
+let buf_push b t =
+  b.back <- t :: b.back;
+  b.count <- b.count + 1
 
-let buf_pop b =
+let buf_pop ?(loc = Loc.unknown) b =
   match b.front with
   | t :: rest ->
     b.front <- rest;
+    b.count <- b.count - 1;
     t
   | [] -> (
     match List.rev b.back with
-    | [] -> Err.raise_error "functional sim: read from empty stream"
+    | [] -> Err.raise_error ~loc "functional sim: read from empty stream"
     | t :: rest ->
       b.front <- rest;
       b.back <- [];
+      b.count <- b.count - 1;
       t)
 
-let buf_length b = List.length b.front + List.length b.back
-let buf_is_empty b = b.front = [] && b.back = []
+let buf_length b = b.count
+let buf_is_empty b = b.count = 0
 
 type ctx = {
   streams : (int, stream_buf) Hashtbl.t;
@@ -281,7 +289,7 @@ let rec exec_op ctx (op : Ir.op) =
   | "hls.pipeline" | "hls.unroll" | "hls.array_partition" -> ()
   | "hls.read" -> (
     let id = Ir.Value.id (Ir.Op.operand op 0) in
-    match buf_pop (stream_of ctx id) with
+    match buf_pop ~loc:(Ir.Op.loc op) (stream_of ctx id) with
     | Scalar f -> bind ctx (Ir.Op.result op 0) (F f)
     | Vector a -> bind ctx (Ir.Op.result op 0) (T (Vector a)))
   | "hls.write" -> (
@@ -383,10 +391,12 @@ let run (d : Design.t) ~(args : value array) =
       | Design.Write { in_streams; ptr_args; halo; extent } ->
         run_write ctx d ~in_streams ~ptr_args ~halo ~extent)
     d.d_stages;
-  (* every stream should be fully drained: catches mis-wired designs *)
-  Hashtbl.iter
-    (fun id buf ->
-      if buf_length buf <> 0 then
-        Err.raise_error "functional sim: stream %d left %d undrained tokens" id
-          (buf_length buf))
-    ctx.streams
+  (* every stream should be fully drained: catches mis-wired designs.
+     Checked in ascending stream order so the reported stream is
+     deterministic (and matches the compiled simulator's report). *)
+  Hashtbl.fold (fun id buf acc -> (id, buf) :: acc) ctx.streams []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  |> List.iter (fun (id, buf) ->
+         if buf_length buf <> 0 then
+           Err.raise_error "functional sim: stream %d left %d undrained tokens"
+             id (buf_length buf))

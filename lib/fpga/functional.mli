@@ -22,3 +22,17 @@ type value =
     {!Err.Error} on mis-wired designs (empty-stream reads, undrained
     streams). *)
 val run : Design.t -> args:value array -> unit
+
+(** {2 Stage geometry}
+
+    Shared with {!Stage_compiler} so the compiled simulator enumerates
+    neighbourhoods in exactly the interpreter's order. *)
+
+(** Row-major enumeration of the neighbourhood cube of a halo. *)
+val offsets_of_halo : int list -> int list list
+
+(** [stage_geometry extent] is [(extent, row-major strides, total)]. *)
+val stage_geometry : int list -> int array * int array * int
+
+(** Advance a row-major odometer position by one element. *)
+val odometer_incr : int array -> int array -> unit

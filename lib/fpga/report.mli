@@ -1,4 +1,6 @@
 (** A Vitis-HLS-style synthesis report for a compiled design:
-    performance, stage and stream tables, utilisation, interface map. *)
+    performance, stage and stream tables, utilisation, interface map.
+    [sim_plan] appends the compiled functional-simulation plan's shape
+    (register slots, step closures, folded constants). *)
 
-val render : Design.t -> string
+val render : ?sim_plan:Stage_compiler.t -> Design.t -> string

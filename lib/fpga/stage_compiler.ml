@@ -1,0 +1,730 @@
+(* Stage compiler for the functional simulator.
+
+   A one-time pre-pass per extracted design that turns the per-element
+   IR interpretation of {!Functional} into a specialized closure
+   pipeline:
+
+     - every SSA value is resolved at compile time to a dense slot in an
+       unboxed [float array] (floats), an [int array] (ints and i1s), a
+       base/offset pair (pointers and BRAM memrefs) or a flat scratch
+       [float array] (shift-buffer neighbourhood tokens) — no hashtable
+       lookup and no [value] boxing happens in the element loop;
+     - each region op becomes a [unit -> unit] step closure capturing
+       its slot indices (constants are folded into their slots at
+       compile time and emit no step at all);
+     - stream buffers are growable [float array] ring buffers with O(1)
+       push/pop/length; a vector stream of width [w] stores [w]
+       consecutive floats per token, so neighbourhoods travel as flat
+       slices instead of boxed [Vector] tokens.
+
+   The interpreter in {!Functional} stays the reference oracle: the
+   differential suite (test_functional_compiled) asserts bit-identical
+   outputs and error parity (same message, same {!Loc}) on the paper
+   kernels and the zoo.  Plans carry mutable run state, so one plan must
+   not be executed from two domains at once — parallel sweeps compile a
+   private plan per job ({!Shmls.sweep}). *)
+
+open Shmls_ir
+open Shmls_dialects
+
+(* ------------------------------------------------------------------ *)
+(* Ring buffers *)
+
+(* Each stream has exactly one producer stage, and stages run to
+   completion in topological order, so a ring is fully pushed (while
+   [rg_head = 0]) before its consumer pops anything: the data never
+   wraps.  That invariant lets the hot paths below index [rg_data]
+   directly — pushes land at [rg_head + rg_len], pops read at
+   [rg_head] — with no modulo arithmetic anywhere. *)
+type ring = {
+  rg_stream : int; (* SSA stream id, for error messages *)
+  rg_width : int; (* floats per token (1 = scalar stream) *)
+  mutable rg_data : float array;
+  mutable rg_head : int; (* index of the first queued float *)
+  mutable rg_len : int; (* queued floats *)
+}
+
+let ring_create ~stream ~width =
+  {
+    rg_stream = stream;
+    rg_width = max 1 width;
+    rg_data = Array.make (256 * max 1 width) 0.0;
+    rg_head = 0;
+    rg_len = 0;
+  }
+
+let ring_reset r =
+  r.rg_head <- 0;
+  r.rg_len <- 0
+
+let ring_tokens r = r.rg_len / r.rg_width
+
+(* Make room for [extra] more floats, compacting to [rg_head = 0]. *)
+let ring_reserve r extra =
+  let needed = r.rg_head + r.rg_len + extra in
+  if needed > Array.length r.rg_data then begin
+    let cap = ref (2 * Array.length r.rg_data) in
+    while !cap < r.rg_len + extra do
+      cap := 2 * !cap
+    done;
+    let data = Array.make !cap 0.0 in
+    Array.blit r.rg_data r.rg_head data 0 r.rg_len;
+    r.rg_data <- data;
+    r.rg_head <- 0
+  end
+
+let ring_push r v =
+  if r.rg_head + r.rg_len >= Array.length r.rg_data then ring_reserve r 1;
+  Array.unsafe_set r.rg_data (r.rg_head + r.rg_len) v;
+  r.rg_len <- r.rg_len + 1
+
+(* Append [n] floats from [src.(srcoff ..)] in one blit. *)
+let ring_push_blit r src srcoff n =
+  ring_reserve r n;
+  Array.blit src srcoff r.rg_data (r.rg_head + r.rg_len) n;
+  r.rg_len <- r.rg_len + n
+
+let starved loc = Err.raise_error ~loc "functional sim: read from empty stream"
+
+(* Fail like a starved pop unless [n] floats are queued — used by the
+   bulk stage loops below, which then index [rg_data] directly. *)
+let ring_require ?(loc = Loc.unknown) r n = if r.rg_len < n then starved loc
+
+let ring_drop r n =
+  r.rg_head <- r.rg_head + n;
+  r.rg_len <- r.rg_len - n
+
+(* ------------------------------------------------------------------ *)
+(* Slot allocation *)
+
+type kind =
+  | KF of int (* float slot *)
+  | KI of int (* int / i1 slot *)
+  | KP of int (* pointer or memref slot: base array + offset *)
+  | KV of int (* vector-token slot: a private scratch array *)
+
+type alloc = {
+  slots : (int, kind) Hashtbl.t; (* SSA value id -> slot *)
+  mutable nf : int;
+  mutable ni : int;
+  mutable np : int;
+  mutable vec_widths : int list; (* reversed; scratch sizes in slot order *)
+  mutable nv : int;
+}
+
+let kind_of_ty (ty : Ty.t) =
+  match ty with
+  | Ty.F16 | Ty.F32 | Ty.F64 -> `F
+  | Ty.I1 | Ty.I8 | Ty.I16 | Ty.I32 | Ty.I64 | Ty.Index -> `I
+  | Ty.Ptr _ | Ty.Memref _ -> `P
+  | Ty.Struct ts -> `V (List.length ts)
+  | Ty.Array (n, _) -> `V n
+  | Ty.Stream _ -> `S
+  | _ -> `Skip
+
+let alloc_value a v =
+  let id = Ir.Value.id v in
+  if not (Hashtbl.mem a.slots id) then
+    match kind_of_ty (Ir.Value.ty v) with
+    | `F ->
+      Hashtbl.add a.slots id (KF a.nf);
+      a.nf <- a.nf + 1
+    | `I ->
+      Hashtbl.add a.slots id (KI a.ni);
+      a.ni <- a.ni + 1
+    | `P ->
+      Hashtbl.add a.slots id (KP a.np);
+      a.np <- a.np + 1
+    | `V w ->
+      Hashtbl.add a.slots id (KV a.nv);
+      a.vec_widths <- w :: a.vec_widths;
+      a.nv <- a.nv + 1
+    | `S | `Skip -> ()
+
+let rec alloc_op a (op : Ir.op) =
+  List.iter (alloc_value a) (Ir.Op.results op);
+  List.iter
+    (fun r ->
+      List.iter
+        (fun b ->
+          List.iter (alloc_value a) (Ir.Block.args b);
+          List.iter (alloc_op a) (Ir.Block.ops b))
+        (Ir.Region.blocks r))
+    (Ir.Op.regions op)
+
+(* ------------------------------------------------------------------ *)
+(* Plans *)
+
+type state = {
+  mutable args : Functional.value array;
+  fregs : float array;
+  iregs : int array;
+  pbase : float array array;
+  poff : int array;
+  vecs : float array array; (* neighbourhood scratch, one per KV slot *)
+}
+
+type stats = {
+  cs_fregs : int;
+  cs_iregs : int;
+  cs_pregs : int;
+  cs_vregs : int;
+  cs_steps : int; (* compiled step closures across all stages *)
+  cs_folded : int; (* constants folded into slots at compile time *)
+}
+
+type t = {
+  pl_design : Design.t;
+  pl_state : state;
+  pl_rings : ring array; (* ascending stream id, for the drain check *)
+  pl_ring_of : (int, ring) Hashtbl.t;
+  pl_bind : Functional.value array -> unit;
+  pl_steps : (unit -> unit) array; (* stages, in topological order *)
+  pl_stats : stats;
+}
+
+let compile_counter = Atomic.make 0
+let compile_count () = Atomic.get compile_counter
+let reset_compile_count () = Atomic.set compile_counter 0
+
+let stats t = t.pl_stats
+
+(* ------------------------------------------------------------------ *)
+(* Compute-stage compilation *)
+
+type cctx = {
+  st : state;
+  al : alloc;
+  ring_of : (int, ring) Hashtbl.t;
+  mutable folded : int;
+}
+
+let slot_exn c v =
+  match Hashtbl.find_opt c.al.slots (Ir.Value.id v) with
+  | Some k -> k
+  | None -> Err.raise_error "functional sim: unbound value"
+
+let fslot c v =
+  match slot_exn c v with
+  | KF i -> i
+  | _ -> Err.raise_error "functional sim: expected float"
+
+let islot c v =
+  match slot_exn c v with
+  | KI i -> i
+  | _ -> Err.raise_error "functional sim: expected int"
+
+let pslot c v =
+  match slot_exn c v with
+  | KP i -> i
+  | _ -> Err.raise_error "functional sim: expected pointer"
+
+(* A float getter that mirrors the interpreter's [as_f] int coercion. *)
+let getf c v =
+  match slot_exn c v with
+  | KF i ->
+    let fr = c.st.fregs in
+    fun () -> Array.unsafe_get fr i
+  | KI i ->
+    let ir = c.st.iregs in
+    fun () -> float_of_int (Array.unsafe_get ir i)
+  | _ -> Err.raise_error "functional sim: expected float"
+
+let ring_for c v =
+  let id = Ir.Value.id v in
+  match Hashtbl.find_opt c.ring_of id with
+  | Some r -> r
+  | None -> Err.raise_error "functional sim: read of unknown stream %d" id
+
+(* Compile one region op into an optional step closure.  Constants are
+   folded straight into their slots (SSA values never change, and plan
+   state is private to the plan, so the fold survives across runs). *)
+let rec compile_op c (op : Ir.op) : (unit -> unit) option =
+  let fr = c.st.fregs and ir = c.st.iregs in
+  let bin f =
+    let d = fslot c (Ir.Op.result op 0) in
+    match (slot_exn c (Ir.Op.operand op 0), slot_exn c (Ir.Op.operand op 1)) with
+    | KF a, KF b ->
+      Some (fun () -> Array.unsafe_set fr d (f (Array.unsafe_get fr a) (Array.unsafe_get fr b)))
+    | _ ->
+      let ga = getf c (Ir.Op.operand op 0) and gb = getf c (Ir.Op.operand op 1) in
+      Some (fun () -> Array.unsafe_set fr d (f (ga ()) (gb ())))
+  in
+  let bini f =
+    let d = islot c (Ir.Op.result op 0) in
+    let a = islot c (Ir.Op.operand op 0) and b = islot c (Ir.Op.operand op 1) in
+    Some (fun () -> Array.unsafe_set ir d (f (Array.unsafe_get ir a) (Array.unsafe_get ir b)))
+  in
+  let un f =
+    let d = fslot c (Ir.Op.result op 0) in
+    let g = getf c (Ir.Op.operand op 0) in
+    Some (fun () -> Array.unsafe_set fr d (f (g ())))
+  in
+  match Ir.Op.name op with
+  | "arith.constant" -> (
+    c.folded <- c.folded + 1;
+    match Ir.Op.get_attr_exn op "value" with
+    | Attr.Float f ->
+      fr.(fslot c (Ir.Op.result op 0)) <- f;
+      None
+    | Attr.Int i ->
+      ir.(islot c (Ir.Op.result op 0)) <- i;
+      None
+    | _ -> Err.raise_error "functional sim: bad constant")
+  | "arith.addf" -> bin ( +. )
+  | "arith.subf" -> bin ( -. )
+  | "arith.mulf" -> bin ( *. )
+  | "arith.divf" -> bin ( /. )
+  | "arith.maximumf" -> bin Float.max
+  | "arith.minimumf" -> bin Float.min
+  | "arith.negf" -> un (fun x -> -.x)
+  | "arith.addi" -> bini ( + )
+  | "arith.subi" -> bini ( - )
+  | "arith.muli" -> bini ( * )
+  | "arith.divsi" -> bini ( / )
+  | "arith.remsi" -> bini (fun a b -> a mod b)
+  | "math.sqrt" -> un sqrt
+  | "math.exp" -> un exp
+  | "math.log" -> un log
+  | "math.absf" -> un Float.abs
+  | "math.tanh" -> un tanh
+  | "math.powf" -> bin ( ** )
+  | "arith.cmpi" ->
+    let d = islot c (Ir.Op.result op 0) in
+    let a = islot c (Ir.Op.operand op 0) and b = islot c (Ir.Op.operand op 1) in
+    let p = Attr.str_exn (Ir.Op.get_attr_exn op "predicate") in
+    let cmp : int -> int -> bool =
+      match p with
+      | "slt" -> ( < )
+      | "sle" -> ( <= )
+      | "sgt" -> ( > )
+      | "sge" -> ( >= )
+      | "eq" -> ( = )
+      | "ne" -> ( <> )
+      | _ -> Err.raise_error "functional sim: cmpi predicate %s" p
+    in
+    Some (fun () -> ir.(d) <- (if cmp ir.(a) ir.(b) then 1 else 0))
+  | "arith.select" -> (
+    let cnd = islot c (Ir.Op.operand op 0) in
+    match slot_exn c (Ir.Op.result op 0) with
+    | KF d ->
+      let a = fslot c (Ir.Op.operand op 1) and b = fslot c (Ir.Op.operand op 2) in
+      Some (fun () -> fr.(d) <- (if ir.(cnd) <> 0 then fr.(a) else fr.(b)))
+    | KI d ->
+      let a = islot c (Ir.Op.operand op 1) and b = islot c (Ir.Op.operand op 2) in
+      Some (fun () -> ir.(d) <- (if ir.(cnd) <> 0 then ir.(a) else ir.(b)))
+    | _ -> Err.raise_error "functional sim: select condition")
+  | "hls.pipeline" | "hls.unroll" | "hls.array_partition" -> None
+  | "hls.read" -> (
+    let r = ring_for c (Ir.Op.operand op 0) in
+    let loc = Ir.Op.loc op in
+    match slot_exn c (Ir.Op.result op 0) with
+    | KF d ->
+      Some
+        (fun () ->
+          if r.rg_len = 0 then starved loc;
+          Array.unsafe_set fr d (Array.unsafe_get r.rg_data r.rg_head);
+          r.rg_head <- r.rg_head + 1;
+          r.rg_len <- r.rg_len - 1)
+    | KV d ->
+      let scratch = c.st.vecs.(d) in
+      let w = Array.length scratch in
+      Some
+        (fun () ->
+          if r.rg_len < w then starved loc;
+          Array.blit r.rg_data r.rg_head scratch 0 w;
+          r.rg_head <- r.rg_head + w;
+          r.rg_len <- r.rg_len - w)
+    | _ -> Err.raise_error "functional sim: bad hls.read result")
+  | "hls.write" -> (
+    let r = ring_for c (Ir.Op.operand op 1) in
+    match slot_exn c (Ir.Op.operand op 0) with
+    | KF s -> Some (fun () -> ring_push r fr.(s))
+    | KV s ->
+      let scratch = c.st.vecs.(s) in
+      let w = Array.length scratch in
+      Some (fun () -> ring_push_blit r scratch 0 w)
+    | _ -> Err.raise_error "functional sim: bad hls.write value")
+  | "llvm.extractvalue" -> (
+    match (slot_exn c (Ir.Op.operand op 0), Ir.Op.get_attr_exn op "indices") with
+    | KV s, Attr.Ints [ i ] ->
+      let d = fslot c (Ir.Op.result op 0) in
+      let scratch = c.st.vecs.(s) in
+      Some (fun () -> Array.unsafe_set fr d (Array.unsafe_get scratch i))
+    | _ -> Err.raise_error "functional sim: bad extractvalue")
+  | "llvm.getelementptr" -> (
+    let s = pslot c (Ir.Op.operand op 0) in
+    let d = pslot c (Ir.Op.result op 0) in
+    let pb = c.st.pbase and po = c.st.poff in
+    match
+      (Attr.ints_exn (Ir.Op.get_attr_exn op "indices"), Ir.Op.num_operands op)
+    with
+    | [], 2 ->
+      let k = islot c (Ir.Op.operand op 1) in
+      Some
+        (fun () ->
+          Array.unsafe_set pb d (Array.unsafe_get pb s);
+          Array.unsafe_set po d (Array.unsafe_get po s + Array.unsafe_get ir k))
+    | idx, 1 ->
+      let delta = List.fold_left ( + ) 0 idx in
+      Some
+        (fun () ->
+          pb.(d) <- pb.(s);
+          po.(d) <- po.(s) + delta)
+    | _ -> Err.raise_error "functional sim: unsupported gep form")
+  | "llvm.load" ->
+    let s = pslot c (Ir.Op.operand op 0) in
+    let d = fslot c (Ir.Op.result op 0) in
+    let pb = c.st.pbase and po = c.st.poff in
+    Some
+      (fun () ->
+        Array.unsafe_set fr d
+          (Array.unsafe_get (Array.unsafe_get pb s) (Array.unsafe_get po s)))
+  | "llvm.store" ->
+    let g = getf c (Ir.Op.operand op 0) in
+    let s = pslot c (Ir.Op.operand op 1) in
+    let pb = c.st.pbase and po = c.st.poff in
+    Some (fun () -> (Array.unsafe_get pb s).(Array.unsafe_get po s) <- g ())
+  | "memref.alloca" | "memref.alloc" -> (
+    match Ir.Value.ty (Ir.Op.result op 0) with
+    | Ty.Memref (shape, _) ->
+      let size = List.fold_left ( * ) 1 shape in
+      let arr = Array.make size 0.0 in
+      let d = pslot c (Ir.Op.result op 0) in
+      let pb = c.st.pbase and po = c.st.poff in
+      (* executing the alloca yields a fresh zeroed array, as in the
+         interpreter; the storage itself is reused across executions *)
+      Some
+        (fun () ->
+          Array.fill arr 0 size 0.0;
+          pb.(d) <- arr;
+          po.(d) <- 0)
+    | _ -> Err.raise_error "functional sim: alloca result not memref")
+  | "memref.load" ->
+    let m = pslot c (Ir.Op.operand op 0) in
+    let i = islot c (Ir.Op.operand op 1) in
+    let d = fslot c (Ir.Op.result op 0) in
+    let pb = c.st.pbase in
+    Some
+      (fun () ->
+        Array.unsafe_set fr d (Array.unsafe_get pb m).(Array.unsafe_get ir i))
+  | "memref.store" ->
+    let g = getf c (Ir.Op.operand op 0) in
+    let m = pslot c (Ir.Op.operand op 1) in
+    let i = islot c (Ir.Op.operand op 2) in
+    let pb = c.st.pbase in
+    Some (fun () -> (Array.unsafe_get pb m).(ir.(i)) <- g ())
+  | "scf.for" ->
+    let lb = islot c (Ir.Op.operand op 0) in
+    let ub = islot c (Ir.Op.operand op 1) in
+    let step = islot c (Ir.Op.operand op 2) in
+    let block = Ir.Region.entry (List.hd (Ir.Op.regions op)) in
+    let iv =
+      match Ir.Block.args block with
+      | a :: _ -> islot c a
+      | [] -> Err.raise_error "functional sim: scf.for without args"
+    in
+    let body = compile_block c block in
+    let nbody = Array.length body in
+    Some
+      (fun () ->
+        let ub = ir.(ub) and step = ir.(step) in
+        let i = ref ir.(lb) in
+        while !i < ub do
+          Array.unsafe_set ir iv !i;
+          for k = 0 to nbody - 1 do
+            (Array.unsafe_get body k) ()
+          done;
+          i := !i + step
+        done)
+  | "scf.yield" -> None
+  | name -> Err.raise_error "functional sim: unsupported op %s" name
+
+and compile_block c block =
+  Ir.Block.ops block
+  |> List.filter_map (fun o -> compile_op c o)
+  |> Array.of_list
+
+(* ------------------------------------------------------------------ *)
+(* Structural stages (the native runtime: load_data, shift_buffer,
+   duplicate, write_data on ring buffers) *)
+
+let design_ring rings id =
+  match Hashtbl.find_opt rings id with
+  | Some r -> r
+  | None -> Err.raise_error "design: unknown stream %d" id
+
+let compile_load st rings (d : Design.t) ~out_streams ~ptr_args =
+  let total = Design.total_padded d in
+  let pairs =
+    List.map2 (fun s argi -> (design_ring rings s, argi)) out_streams ptr_args
+  in
+  fun () ->
+    List.iter
+      (fun (ring, argi) ->
+        let data =
+          match st.args.(argi) with
+          | Functional.Ptr (a, 0) -> a
+          | _ -> Err.raise_error "functional sim: load_data arg is not a pointer"
+        in
+        ring_push_blit ring data 0 total)
+      pairs
+
+let compile_shift rings ~input ~output ~halo ~extent =
+  let ext, strides, total = Functional.stage_geometry extent in
+  let rank = Array.length ext in
+  let inring = design_ring rings input in
+  let outring = design_ring rings output in
+  if inring.rg_width <> 1 then
+    Err.raise_error "functional sim: shift input must be scalar";
+  let offsets =
+    Functional.offsets_of_halo halo |> List.map Array.of_list |> Array.of_list
+  in
+  let deltas =
+    Array.map
+      (fun off ->
+        let s = ref 0 in
+        Array.iteri (fun d o -> s := !s + (o * strides.(d))) off;
+        !s)
+      offsets
+  in
+  let nb_n = Array.length offsets in
+  let pos = Array.make rank 0 in
+  fun () ->
+    (* the producer ran to completion, so read the window straight out
+       of the input ring and write straight into the output ring *)
+    ring_require inring total;
+    ring_reserve outring (total * nb_n);
+    let src = inring.rg_data and h = inring.rg_head in
+    let out = outring.rg_data in
+    let ob = ref (outring.rg_head + outring.rg_len) in
+    Array.fill pos 0 rank 0;
+    for i = 0 to total - 1 do
+      for k = 0 to nb_n - 1 do
+        let off = Array.unsafe_get offsets k in
+        let ok = ref true in
+        for d = 0 to rank - 1 do
+          let p = Array.unsafe_get pos d + Array.unsafe_get off d in
+          if p < 0 || p >= Array.unsafe_get ext d then ok := false
+        done;
+        Array.unsafe_set out !ob
+          (if !ok then
+             Array.unsafe_get src (h + i + Array.unsafe_get deltas k)
+           else Float.nan);
+        incr ob
+      done;
+      Functional.odometer_incr ext pos
+    done;
+    outring.rg_len <- outring.rg_len + (total * nb_n);
+    ring_drop inring total
+
+let compile_dup rings ~input ~outputs =
+  let inring = design_ring rings input in
+  let outrings = List.map (design_ring rings) outputs |> Array.of_list in
+  let nout = Array.length outrings in
+  fun () ->
+    (* the producer ran to completion (topological order): drain fully *)
+    let n = inring.rg_len in
+    for k = 0 to nout - 1 do
+      ring_push_blit (Array.unsafe_get outrings k) inring.rg_data inring.rg_head n
+    done;
+    ring_drop inring n
+
+let compile_write st rings ~in_streams ~ptr_args ~halo ~extent =
+  let ext, _, total = Functional.stage_geometry extent in
+  let hal = Array.of_list halo in
+  let rank = Array.length ext in
+  let pairs =
+    List.map2 (fun s argi -> (design_ring rings s, argi)) in_streams ptr_args
+  in
+  (* the interior/halo split is pure geometry: precompute the linear
+     indices of the interior points once, and the run is a gather *)
+  let interior =
+    let pos = Array.make rank 0 in
+    let acc = ref [] in
+    for i = 0 to total - 1 do
+      let inside = ref true in
+      for d = 0 to rank - 1 do
+        if pos.(d) < hal.(d) || pos.(d) >= ext.(d) - hal.(d) then
+          inside := false
+      done;
+      if !inside then acc := i :: !acc;
+      Functional.odometer_incr ext pos
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let n_int = Array.length interior in
+  fun () ->
+    List.iter
+      (fun (ring, argi) ->
+        let data =
+          match st.args.(argi) with
+          | Functional.Ptr (a, 0) -> a
+          | _ ->
+            Err.raise_error "functional sim: write_data arg is not a pointer"
+        in
+        (* halo tokens are popped and discarded, exactly like the
+           interpreter: consume all [total], store the interior ones *)
+        ring_require ring total;
+        let src = ring.rg_data and h = ring.rg_head in
+        for k = 0 to n_int - 1 do
+          let i = Array.unsafe_get interior k in
+          Array.unsafe_set data i (Array.unsafe_get src (h + i))
+        done;
+        ring_drop ring total)
+      pairs
+
+(* ------------------------------------------------------------------ *)
+(* Whole-design compilation *)
+
+let stream_width (s : Design.stream) =
+  match s.Design.st_elem with
+  | Ty.Array (n, _) -> n
+  | Ty.Struct ts -> List.length ts
+  | _ -> 1
+
+let compile (d : Design.t) : t =
+  Atomic.incr compile_counter;
+  (* rings: one per design stream, plus the token widths *)
+  let ring_of = Hashtbl.create 32 in
+  List.iter
+    (fun (s : Design.stream) ->
+      Hashtbl.replace ring_of s.Design.st_id
+        (ring_create ~stream:s.Design.st_id ~width:(stream_width s)))
+    d.d_streams;
+  let rings =
+    Hashtbl.fold (fun _ r acc -> r :: acc) ring_of []
+    |> List.sort (fun a b -> Int.compare a.rg_stream b.rg_stream)
+    |> Array.of_list
+  in
+  (* slot allocation: kernel arguments plus every compute-stage region *)
+  let al =
+    {
+      slots = Hashtbl.create 256;
+      nf = 0;
+      ni = 0;
+      np = 0;
+      vec_widths = [];
+      nv = 0;
+    }
+  in
+  let body = Ir.Region.entry (List.hd (Ir.Op.regions d.d_func)) in
+  let func_args = Ir.Block.args body in
+  List.iter (alloc_value al) func_args;
+  List.iter
+    (fun stage ->
+      match stage with
+      | Design.Compute c -> alloc_op al c.df_op
+      | _ -> ())
+    d.d_stages;
+  let st =
+    {
+      args = [||];
+      fregs = Array.make (max 1 al.nf) 0.0;
+      iregs = Array.make (max 1 al.ni) 0;
+      pbase = Array.make (max 1 al.np) [||];
+      poff = Array.make (max 1 al.np) 0;
+      vecs =
+        List.rev al.vec_widths
+        |> List.map (fun w -> Array.make w 0.0)
+        |> Array.of_list;
+    }
+  in
+  let c = { st; al; ring_of; folded = 0 } in
+  (* argument binding: resolve each kernel argument to its slot once *)
+  let binders =
+    List.mapi
+      (fun i v ->
+        match Hashtbl.find_opt al.slots (Ir.Value.id v) with
+        | Some (KP s) -> (
+          fun (args : Functional.value array) ->
+            match args.(i) with
+            | Functional.Ptr (a, o) ->
+              st.pbase.(s) <- a;
+              st.poff.(s) <- o
+            | Functional.Mem a ->
+              st.pbase.(s) <- a;
+              st.poff.(s) <- 0
+            | _ -> Err.raise_error "functional sim: gep of non-pointer")
+        | Some (KF s) -> (
+          fun args ->
+            match args.(i) with
+            | Functional.F f -> st.fregs.(s) <- f
+            | Functional.I n -> st.fregs.(s) <- float_of_int n
+            | _ -> Err.raise_error "functional sim: expected float")
+        | Some (KI s) -> (
+          fun args ->
+            match args.(i) with
+            | Functional.I n -> st.iregs.(s) <- n
+            | _ -> Err.raise_error "functional sim: expected int")
+        | _ -> fun _ -> ())
+      func_args
+  in
+  let nargs = List.length func_args in
+  let bind args =
+    if Array.length args <> nargs then
+      Err.raise_error "functional sim: expected %d arguments, got %d" nargs
+        (Array.length args);
+    st.args <- args;
+    List.iter (fun b -> b args) binders
+  in
+  (* stage steps, in the design's topological order *)
+  let n_steps = ref 0 in
+  let steps =
+    List.map
+      (fun stage ->
+        match stage with
+        | Design.Load { out_streams; ptr_args } ->
+          compile_load st ring_of d ~out_streams ~ptr_args
+        | Design.Shift { input; output; halo; extent } ->
+          compile_shift ring_of ~input ~output ~halo ~extent
+        | Design.Dup { input; outputs } -> compile_dup ring_of ~input ~outputs
+        | Design.Compute cc ->
+          let body = compile_block c (Hls.dataflow_body cc.df_op) in
+          n_steps := !n_steps + Array.length body;
+          let nbody = Array.length body in
+          fun () ->
+            for k = 0 to nbody - 1 do
+              (Array.unsafe_get body k) ()
+            done
+        | Design.Write { in_streams; ptr_args; halo; extent } ->
+          compile_write st ring_of ~in_streams ~ptr_args ~halo ~extent)
+      d.d_stages
+    |> Array.of_list
+  in
+  {
+    pl_design = d;
+    pl_state = st;
+    pl_rings = rings;
+    pl_ring_of = ring_of;
+    pl_bind = bind;
+    pl_steps = steps;
+    pl_stats =
+      {
+        cs_fregs = al.nf;
+        cs_iregs = al.ni;
+        cs_pregs = al.np;
+        cs_vregs = al.nv;
+        cs_steps = !n_steps;
+        cs_folded = c.folded;
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Execution *)
+
+let run (t : t) ~(args : Functional.value array) =
+  (* a failed previous run may have left tokens queued *)
+  Array.iter ring_reset t.pl_rings;
+  t.pl_bind args;
+  Array.iter (fun step -> step ()) t.pl_steps;
+  (* every stream should be fully drained: catches mis-wired designs
+     (checked in ascending stream order, like the interpreter) *)
+  Array.iter
+    (fun r ->
+      if r.rg_len <> 0 then
+        Err.raise_error "functional sim: stream %d left %d undrained tokens"
+          r.rg_stream (ring_tokens r))
+    t.pl_rings
+
+let design t = t.pl_design

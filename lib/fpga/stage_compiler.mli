@@ -1,0 +1,45 @@
+(** Compiled functional simulation.
+
+    [compile] is a one-time pre-pass over an extracted design that
+    resolves every SSA value in the compute-stage IR to a dense slot in
+    an unboxed register array and emits a specialized [unit -> unit]
+    closure per op; stream buffers become growable [float array] ring
+    buffers with O(1) push/pop/length. [run] then executes the design
+    with no hashtable lookups or token boxing in the element loops.
+
+    The interpreter in {!Functional} remains the reference oracle: the
+    compiled simulator produces bit-identical outputs and raises the
+    same {!Err.Error}s (message and location) on mis-wired designs.
+
+    A plan carries mutable run state; do not share one plan across
+    domains. Parallel sweeps compile a private plan per job. *)
+
+type t
+
+(** Compile a design into an executable plan. Raises {!Err.Error} on
+    unsupported ops (same message the interpreter would raise). *)
+val compile : Design.t -> t
+
+(** Run the plan; same argument convention as {!Functional.run}. Output
+    fields are written in place. *)
+val run : t -> args:Functional.value array -> unit
+
+val design : t -> Design.t
+
+(** Plan shape, for reports and perf tests. *)
+type stats = {
+  cs_fregs : int;  (** float slots *)
+  cs_iregs : int;  (** int/bool slots *)
+  cs_pregs : int;  (** pointer/memref slots *)
+  cs_vregs : int;  (** neighbourhood (vector-token) slots *)
+  cs_steps : int;  (** compiled step closures across compute stages *)
+  cs_folded : int;  (** constants folded into slots at compile time *)
+}
+
+val stats : t -> stats
+
+(** Process-wide count of [compile] calls — lets perf tests assert the
+    compile-once memoization in {!Shmls} actually memoizes. *)
+val compile_count : unit -> int
+
+val reset_compile_count : unit -> unit

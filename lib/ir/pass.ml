@@ -174,14 +174,21 @@ let fingerprint m = Digest.string (Printer.to_string ~locs:true m)
 
 let memo_table : (string * Digest.t, unit) Hashtbl.t = Hashtbl.create 64
 
+(* The memo table is process-global; parallel sweeps (see
+   {!Shmls_support.Pool}) run pipelines from several domains, so every
+   access goes through this mutex. *)
+let memo_mutex = Mutex.create ()
 let memo_hits = ref 0
 let memo_misses = ref 0
-let memo_stats () = (!memo_hits, !memo_misses)
+
+let memo_stats () =
+  Mutex.protect memo_mutex (fun () -> (!memo_hits, !memo_misses))
 
 let reset_memo () =
-  Hashtbl.reset memo_table;
-  memo_hits := 0;
-  memo_misses := 0
+  Mutex.protect memo_mutex (fun () ->
+      Hashtbl.reset memo_table;
+      memo_hits := 0;
+      memo_misses := 0)
 
 (* ------------------------------------------------------------------ *)
 (* Running *)
@@ -195,12 +202,14 @@ let run_one ?(verify = false) ?(hooks = []) ?(op_stats = false)
   let fp = if memo then Some (fingerprint module_op) else None in
   let cached =
     match fp with
-    | Some f when Hashtbl.mem memo_table (pass.pass_name, f) -> true
+    | Some f ->
+      Mutex.protect memo_mutex (fun () ->
+          Hashtbl.mem memo_table (pass.pass_name, f))
     | _ -> false
   in
   let stat =
     if cached then begin
-      incr memo_hits;
+      Mutex.protect memo_mutex (fun () -> incr memo_hits);
       let n = if count then Ir.count_ops module_op else 0 in
       {
         stat_pass = pass.pass_name;
@@ -234,9 +243,10 @@ let run_one ?(verify = false) ?(hooks = []) ?(op_stats = false)
       (match fp with
       | None -> ()
       | Some f ->
-        incr memo_misses;
-        if fingerprint module_op = f then
-          Hashtbl.replace memo_table (pass.pass_name, f) ());
+        let unchanged = fingerprint module_op = f in
+        Mutex.protect memo_mutex (fun () ->
+            incr memo_misses;
+            if unchanged then Hashtbl.replace memo_table (pass.pass_name, f) ()));
       {
         stat_pass = pass.pass_name;
         duration_s;

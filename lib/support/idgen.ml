@@ -1,15 +1,14 @@
 (* Monotonic id generators.  Each IR entity class (values, ops, blocks,
-   regions) draws from its own counter so ids stay small and printable. *)
+   regions) draws from its own counter so ids stay small and printable.
 
-type t = { mutable next : int }
+   Counters are atomic so parallel sweeps (see {!Pool}) may build IR
+   from several domains without tearing ids; ids stay dense but their
+   interleaving then depends on scheduling, which is why anything that
+   prints IR for golden comparison runs with jobs = 1. *)
 
-let create () = { next = 0 }
+type t = { next : int Atomic.t }
 
-let fresh t =
-  let id = t.next in
-  t.next <- id + 1;
-  id
-
-let reset t = t.next <- 0
-
-let peek t = t.next
+let create () = { next = Atomic.make 0 }
+let fresh t = Atomic.fetch_and_add t.next 1
+let reset t = Atomic.set t.next 0
+let peek t = Atomic.get t.next

@@ -1,0 +1,120 @@
+(* A small fixed pool of worker domains (OCaml 5, no dependencies).
+
+   The pool owns [n] worker domains pulling thunks from a shared queue;
+   [map] distributes array elements over the workers (the calling domain
+   participates too) and writes each result into the slot of its input
+   index, so the output order — and therefore everything downstream of a
+   parallel sweep — is identical to a sequential run regardless of how
+   the items were scheduled.  Exceptions raised by the worker function
+   are caught per item and re-raised in the caller for the smallest
+   failing index, again matching what a sequential loop would report
+   first. *)
+
+type t = {
+  n_workers : int;
+  mutable closed : bool;
+  tasks : (unit -> unit) Queue.t;
+  m : Mutex.t;
+  work : Condition.t; (* signalled when a task arrives or the pool closes *)
+  mutable domains : unit Domain.t list;
+}
+
+let size t = t.n_workers
+
+let rec worker_loop t =
+  Mutex.lock t.m;
+  while Queue.is_empty t.tasks && not t.closed do
+    Condition.wait t.work t.m
+  done;
+  if Queue.is_empty t.tasks then Mutex.unlock t.m (* closed and drained *)
+  else begin
+    let task = Queue.pop t.tasks in
+    Mutex.unlock t.m;
+    task ();
+    worker_loop t
+  end
+
+let create n =
+  let n = max 0 n in
+  let t =
+    {
+      n_workers = n;
+      closed = false;
+      tasks = Queue.create ();
+      m = Mutex.create ();
+      work = Condition.create ();
+      domains = [];
+    }
+  in
+  t.domains <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop t));
+  t
+
+let submit t task =
+  Mutex.lock t.m;
+  if t.closed then begin
+    Mutex.unlock t.m;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Queue.push task t.tasks;
+  Condition.signal t.work;
+  Mutex.unlock t.m
+
+let shutdown t =
+  Mutex.lock t.m;
+  t.closed <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  List.iter Domain.join t.domains;
+  t.domains <- []
+
+(* Re-raise the smallest failing index, as a sequential loop would. *)
+let unwrap results =
+  Array.iter (fun r -> match r with Error e -> raise e | Ok _ -> ()) results;
+  Array.map (fun r -> match r with Ok v -> v | Error _ -> assert false) results
+
+let map t f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else if t.n_workers = 0 then Array.map (fun x -> Ok (f x)) arr |> unwrap
+  else begin
+    let results : ('b, exn) result option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let remaining = Atomic.make n in
+    let done_m = Mutex.create () in
+    let done_c = Condition.create () in
+    let rec grind () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        let r = try Ok (f arr.(i)) with e -> Error e in
+        results.(i) <- Some r;
+        if Atomic.fetch_and_add remaining (-1) = 1 then begin
+          Mutex.lock done_m;
+          Condition.broadcast done_c;
+          Mutex.unlock done_m
+        end;
+        grind ()
+      end
+    in
+    for _ = 1 to min t.n_workers (n - 1) do
+      submit t grind
+    done;
+    grind ();
+    Mutex.lock done_m;
+    while Atomic.get remaining > 0 do
+      Condition.wait done_c done_m
+    done;
+    Mutex.unlock done_m;
+    Array.map
+      (fun r -> match r with Some r -> r | None -> assert false)
+      results
+    |> unwrap
+  end
+
+let map_list t f items = Array.to_list (map t f (Array.of_list items))
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let with_pool ~jobs f =
+  let jobs = if jobs <= 0 then default_jobs () else jobs in
+  let t = create (jobs - 1) in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

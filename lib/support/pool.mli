@@ -1,0 +1,35 @@
+(** A small fixed pool of worker domains for embarrassingly parallel
+    sweeps (OCaml 5 [Domain]s, no dependencies).
+
+    [map] writes each result into the slot of its input index, so the
+    output order is identical to a sequential run regardless of
+    scheduling; per-item exceptions are re-raised in the caller for the
+    smallest failing index, matching what a sequential loop would report
+    first.  A pool of size 0 runs everything in the calling domain. *)
+
+type t
+
+(** [create n] spawns [n] worker domains (clamped at 0). *)
+val create : int -> t
+
+(** Number of worker domains (the caller participates in [map] too). *)
+val size : t -> int
+
+(** Parallel, order-preserving map. *)
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Run a detached thunk on the pool (no completion tracking). *)
+val submit : t -> (unit -> unit) -> unit
+
+(** Close the queue and join all worker domains. *)
+val shutdown : t -> unit
+
+(** [Domain.recommended_domain_count ()] — what [jobs = 0] resolves to. *)
+val default_jobs : unit -> int
+
+(** [with_pool ~jobs f] runs [f] with a pool sized for [jobs] concurrent
+    streams of work ([jobs - 1] workers plus the caller; [jobs <= 0]
+    means {!default_jobs}), and shuts it down afterwards. *)
+val with_pool : jobs:int -> (t -> 'a) -> 'a

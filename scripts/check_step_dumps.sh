@@ -13,6 +13,25 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Tolerate (and ignore) the simulator-selection flags so callers can pass
+# one global flag set to every tool: the dumps here are IR-only and never
+# run a simulation, so --sim/--jobs cannot affect the digests.
+UPDATE=0
+args=("$@")
+i=0
+while [[ $i -lt ${#args[@]} ]]; do
+  case "${args[$i]}" in
+    --update) UPDATE=1 ;;
+    --sim|--jobs|-j) i=$((i + 1)) ;; # consume the flag's value too
+    --sim=*|--jobs=*|-j[0-9]*) ;;
+    *)
+      echo "usage: $0 [--update] (--sim/--jobs are accepted and ignored)" >&2
+      exit 2
+      ;;
+  esac
+  i=$((i + 1))
+done
+
 OPT=${OPT:-_build/default/bin/shmls_opt.exe}
 COMPILE=${COMPILE:-_build/default/bin/shmls_compile.exe}
 GOLDEN=test/golden
@@ -42,7 +61,7 @@ for entry in "${KERNELS[@]}"; do
   dump $entry
 done
 
-if [[ ${1:-} == --update ]]; then
+if [[ $UPDATE -eq 1 ]]; then
   (cd "$tmp" && sha256sum ./*/*.after.mlir | LC_ALL=C sort -k2) > "$SUMS"
   echo "rewrote $SUMS"
   exit 0

@@ -1,0 +1,201 @@
+(* Differential tests for the compiled functional simulator: the
+   specialized-closure plans of {!Stage_compiler} must be bit-for-bit
+   identical to the reference IR interpreter in {!Functional} — outputs
+   on every kernel of the suites and the zoo, and error behaviour
+   (message *and* location) on mis-wired designs. *)
+
+let () = Shmls_dialects.Register.all ()
+
+module H = Test_common.Helpers
+module Functional = Shmls_fpga.Functional
+module Stage_compiler = Shmls_fpga.Stage_compiler
+module Interp = Shmls_interp.Interp
+module Grid = Shmls_interp.Grid
+
+(* Fresh simulator arguments for [state]: same convention as
+   [Shmls.verify]. *)
+let args_of_state (st : Interp.kernel_state) =
+  List.map (fun (_, g) -> Functional.Ptr (g.Grid.data, 0)) st.fields
+  @ List.map (fun (_, g) -> Functional.Ptr (g.Grid.data, 0)) st.smalls
+  @ List.map (fun (_, v) -> Functional.F v) st.params
+  |> Array.of_list
+
+(* Run interpreter and compiled plan on identical fresh inputs; compare
+   every float of every field and small, bit for bit (full padded
+   arrays, halos included — NaNs compare equal by bits). *)
+let check_bit_identical ?(seed = 7) (k : Shmls.Ast.kernel) ~grid =
+  let c = Shmls.compile_cached k ~grid in
+  let a = Interp.alloc_state ~seed c.c_lowered in
+  let b = Interp.alloc_state ~seed c.c_lowered in
+  Functional.run c.c_design ~args:(args_of_state a);
+  Stage_compiler.run (Lazy.force c.c_plan) ~args:(args_of_state b);
+  let check_arrays what (xs : (string * Grid.t) list) (ys : (string * Grid.t) list) =
+    List.iter2
+      (fun (na, ga) (nb, gb) ->
+        Alcotest.(check string) "same field order" na nb;
+        let da = ga.Grid.data and db = gb.Grid.data in
+        Alcotest.(check int)
+          (Printf.sprintf "%s %s/%s: same length" k.k_name what na)
+          (Array.length da) (Array.length db);
+        Array.iteri
+          (fun i x ->
+            if Int64.bits_of_float x <> Int64.bits_of_float db.(i) then
+              Alcotest.failf "%s %s %s[%d]: interp %h <> compiled %h" k.k_name
+                what na i x db.(i))
+          da)
+      xs ys
+  in
+  check_arrays "field" a.fields b.fields;
+  check_arrays "small" a.smalls b.smalls
+
+let test_suite_kernels_bit_identical () =
+  List.iter
+    (fun (k, grid) -> check_bit_identical k ~grid)
+    H.all_test_kernels
+
+let test_zoo_bit_identical () =
+  List.iter
+    (fun (k, grid) -> check_bit_identical k ~grid)
+    Shmls_kernels.Zoo.all
+
+let test_seeds_bit_identical () =
+  List.iter
+    (fun seed -> check_bit_identical ~seed H.chain_3d ~grid:[ 10; 8; 6 ])
+    [ 0; 1; 42; 1234 ]
+
+let qcheck_random_kernels_bit_identical =
+  H.qtest ~count:25 "compiled sim is bit-identical on random kernels"
+    QCheck2.Gen.(pair H.gen_kernel (int_range 0 1000))
+    (fun (k, seed) ->
+      match Shmls_frontend.Ast.validate k with
+      | Error _ -> QCheck2.assume_fail ()
+      | Ok () ->
+        check_bit_identical ~seed k ~grid:(H.small_grid k.k_rank);
+        true)
+
+(* The verify entry point itself, through both engines. *)
+let test_verify_compiled_matches_interp () =
+  List.iter
+    (fun (k, grid) ->
+      let c = Shmls.compile_cached k ~grid in
+      let vi = Shmls.verify ~sim:Shmls.Interp c in
+      let vc = Shmls.verify ~sim:Shmls.Compiled c in
+      Alcotest.(check (float 0.0)) "interp bit-exact" 0.0 vi.v_max_diff;
+      Alcotest.(check (float 0.0)) "compiled bit-exact" 0.0 vc.v_max_diff)
+    H.all_test_kernels
+
+(* -- error parity ---------------------------------------------------- *)
+
+let run_expect_error what run =
+  match run () with
+  | () -> Alcotest.failf "%s: expected an error" what
+  | exception Shmls.Err.Error e -> e
+
+(* Both engines must report the same diagnostic (message and location)
+   when a design is mis-wired. *)
+let check_error_parity what (d : Shmls.Design.t) ~args_of =
+  let ei = run_expect_error (what ^ " (interp)") (fun () ->
+      Functional.run d ~args:(args_of ())) in
+  let ec =
+    run_expect_error (what ^ " (compiled)") (fun () ->
+        let plan = Stage_compiler.compile d in
+        Stage_compiler.run plan ~args:(args_of ()))
+  in
+  Alcotest.(check string) (what ^ ": same message")
+    ei.Shmls_support.Diagnostic.d_message ec.Shmls_support.Diagnostic.d_message;
+  Alcotest.(check bool) (what ^ ": same location") true
+    (ei.Shmls_support.Diagnostic.d_loc = ec.Shmls_support.Diagnostic.d_loc)
+
+let test_starved_read_parity () =
+  (* dropping the load stage starves the first read: the diagnostic is
+     anchored at the hls.read op in both engines.  The kernel carries a
+     real stencil location so the anchor is a *known* position. *)
+  let loc = Shmls_support.Loc.file ~file:"avg.psy" ~line:3 ~col:5 in
+  let k =
+    {
+      H.avg_1d with
+      Shmls_frontend.Ast.k_name = "avg_1d_located";
+      k_stencils =
+        List.map
+          (fun (s : Shmls_frontend.Ast.stencil_def) -> { s with sd_loc = loc })
+          H.avg_1d.k_stencils;
+    }
+  in
+  let c = Shmls.compile_cached k ~grid:[ 16 ] in
+  let d = c.c_design in
+  let broken =
+    (* keep only compute and write stages: the compute's own hls.read is
+       the first starved pop, so the diagnostic anchors at its loc *)
+    {
+      d with
+      Shmls.Design.d_stages =
+        List.filter
+          (fun s ->
+            match s with
+            | Shmls.Design.Compute _ | Shmls.Design.Write _ -> true
+            | _ -> false)
+          d.d_stages;
+    }
+  in
+  let args_of () = args_of_state (Interp.alloc_state ~seed:7 c.c_lowered) in
+  let e =
+    run_expect_error "starved read" (fun () ->
+        Functional.run broken ~args:(args_of ()))
+  in
+  Alcotest.(check string) "message" "functional sim: read from empty stream"
+    e.Shmls_support.Diagnostic.d_message;
+  Alcotest.(check bool) "read location is known" true
+    (e.Shmls_support.Diagnostic.d_loc <> Shmls_support.Loc.unknown);
+  check_error_parity "starved read" broken ~args_of
+
+let test_undrained_stream_parity () =
+  (* dropping the write stage leaves its input stream full *)
+  let c = Shmls.compile_cached H.avg_1d ~grid:[ 16 ] in
+  let d = c.c_design in
+  let broken =
+    {
+      d with
+      Shmls.Design.d_stages =
+        List.filter
+          (fun s ->
+            match s with Shmls.Design.Write _ -> false | _ -> true)
+          d.d_stages;
+    }
+  in
+  let args_of () = args_of_state (Interp.alloc_state ~seed:7 c.c_lowered) in
+  let e =
+    run_expect_error "undrained" (fun () ->
+        Functional.run broken ~args:(args_of ()))
+  in
+  let contains s sub =
+    let n = String.length sub in
+    let ok = ref false in
+    for i = 0 to String.length s - n do
+      if String.sub s i n = sub then ok := true
+    done;
+    !ok
+  in
+  Alcotest.(check bool) "mentions undrained tokens" true
+    (contains e.Shmls_support.Diagnostic.d_message "undrained");
+  check_error_parity "undrained stream" broken ~args_of
+
+let () =
+  Alcotest.run "functional_compiled"
+    [
+      ( "bit-identical",
+        [
+          Alcotest.test_case "suite kernels" `Quick
+            test_suite_kernels_bit_identical;
+          Alcotest.test_case "zoo kernels" `Quick test_zoo_bit_identical;
+          Alcotest.test_case "seeds" `Quick test_seeds_bit_identical;
+          Alcotest.test_case "verify both engines" `Quick
+            test_verify_compiled_matches_interp;
+          qcheck_random_kernels_bit_identical;
+        ] );
+      ( "error parity",
+        [
+          Alcotest.test_case "starved read" `Quick test_starved_read_parity;
+          Alcotest.test_case "undrained stream" `Quick
+            test_undrained_stream_parity;
+        ] );
+    ]

@@ -92,6 +92,43 @@ let test_compile_once () =
   Shmls.reset_compile_cache ()
 
 (* ------------------------------------------------------------------ *)
+(* Compile-once functional-sim plans *)
+
+(* The stage-compiler plan is memoised on the compiled record (a lazy
+   forced on first Compiled verify): repeated verifications — the
+   10-run bench protocol — compile the plan exactly once, and a second
+   evaluate_all recompiles nothing at either level. *)
+let test_stage_compile_once () =
+  Shmls.reset_compile_cache ();
+  Shmls.Stage_compiler.reset_compile_count ();
+  let c = Shmls.compile_cached PW.kernel ~grid:PW.grid_small in
+  Alcotest.(check int) "compile builds no plan eagerly" 0
+    (Shmls.Stage_compiler.compile_count ());
+  let v1 = Shmls.verify ~sim:Shmls.Compiled c in
+  Alcotest.(check (float 0.0)) "compiled verify is bit-exact" 0.0 v1.v_max_diff;
+  Alcotest.(check int) "first compiled verify builds one plan" 1
+    (Shmls.Stage_compiler.compile_count ());
+  for _ = 1 to 9 do
+    ignore (Shmls.verify ~sim:Shmls.Compiled c)
+  done;
+  Alcotest.(check int) "ten verifications share the plan" 1
+    (Shmls.Stage_compiler.compile_count ());
+  (* interpreter verifications never build plans *)
+  ignore (Shmls.verify c);
+  Alcotest.(check int) "interp verify builds no plan" 1
+    (Shmls.Stage_compiler.compile_count ());
+  (* and a second evaluate_all recompiles nothing at either level *)
+  ignore (Shmls.evaluate_all PW.kernel ~grid:PW.grid_small);
+  let runs = Shmls.compile_runs () in
+  ignore (Shmls.evaluate_all PW.kernel ~grid:PW.grid_small);
+  Alcotest.(check int) "second evaluate_all: zero pipeline recompiles" runs
+    (Shmls.compile_runs ());
+  Alcotest.(check int) "second evaluate_all: zero plan recompiles" 1
+    (Shmls.Stage_compiler.compile_count ());
+  Shmls.reset_compile_cache ();
+  Shmls.Stage_compiler.reset_compile_count ()
+
+(* ------------------------------------------------------------------ *)
 (* Pass-result memo *)
 
 let test_pass_memo () =
@@ -133,7 +170,11 @@ let () =
             (kernel_budget "tracer-advection" TA.kernel ~grid:TA.grid_small);
         ] );
       ( "compile once",
-        [ Alcotest.test_case "evaluate_all memo" `Quick test_compile_once ] );
+        [
+          Alcotest.test_case "evaluate_all memo" `Quick test_compile_once;
+          Alcotest.test_case "stage-compiler plan memo" `Quick
+            test_stage_compile_once;
+        ] );
       ( "pass manager",
         [
           Alcotest.test_case "no-op memo" `Quick test_pass_memo;
