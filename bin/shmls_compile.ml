@@ -43,17 +43,26 @@ let write_file dir name contents =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
-let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace
-    pass_stats sim jobs =
+let run_tool kernel_spec grid_spec variant_spec emit outdir verify evaluate
+    report trace pass_stats sim jobs =
   try
     let kernel = load_kernel kernel_spec in
     let grid = parse_grid grid_spec in
     let sim =
       match Shmls.sim_of_string sim with Ok s -> s | Error m -> failwith m
     in
-    let c = Shmls.compile kernel ~grid in
-    Printf.printf "kernel %s on %s: %d CU(s) x %d AXI ports, %d dataflow stages, %d streams\n"
-      kernel.k_name grid_spec c.c_cu c.c_ports_per_cu
+    let variant =
+      match Shmls.Variant.of_string variant_spec with
+      | Ok v -> v
+      | Error m -> failwith m
+    in
+    let c = Shmls.compile ~variant kernel ~grid in
+    Printf.printf
+      "kernel %s on %s (variant %s): %d CU(s) x %d AXI ports, %d dataflow \
+       stages, %d streams\n"
+      kernel.k_name grid_spec
+      (Shmls.Variant.to_string variant)
+      c.c_cu c.c_ports_per_cu
       (List.length c.c_design.d_stages)
       (List.length c.c_design.d_streams);
     if pass_stats then begin
@@ -111,7 +120,7 @@ let run_tool kernel_spec grid_spec emit outdir verify evaluate report trace
               s.s_usage Shmls.Power.pp s.s_power
           | Shmls.Flow.Failure f ->
             Printf.printf "  %-14s FAILED: %s\n" f.f_flow f.f_reason)
-        (Shmls.evaluate_all ~jobs kernel ~grid)
+        (Shmls.evaluate_all ~jobs ~variant kernel ~grid)
     end;
     `Ok ()
   with
@@ -132,6 +141,15 @@ let grid_arg =
   Arg.(
     value & opt string "32x32x16"
     & info [ "g"; "grid" ] ~docv:"GRID" ~doc:"Grid extents, e.g. 256x256x128.")
+
+let variant_arg =
+  Arg.(
+    value & opt string "full"
+    & info [ "variant" ] ~docv:"VARIANT"
+        ~doc:
+          "Pipeline variant to compile: full (default), no-split, no-pack, \
+           cu=N, or compositions like no-split+no-pack. These are the \
+           paper's ablations, compiled as real pipelines.")
 
 let emit_arg =
   Arg.(
@@ -197,8 +215,8 @@ let cmd =
     (Cmd.info "shmls-compile" ~doc)
     Term.(
       ret
-        (const run_tool $ kernel_arg $ grid_arg $ emit_arg $ outdir_arg
-       $ verify_arg $ evaluate_arg $ report_arg $ trace_arg $ pass_stats_arg
-       $ sim_arg $ jobs_arg))
+        (const run_tool $ kernel_arg $ grid_arg $ variant_arg $ emit_arg
+       $ outdir_arg $ verify_arg $ evaluate_arg $ report_arg $ trace_arg
+       $ pass_stats_arg $ sim_arg $ jobs_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -156,12 +156,18 @@ let build (d : Design.t) : circuit =
           }
         | Design.Compute c ->
           let name = Printf.sprintf "%s_compute_%s" d.d_name c.name in
+          let out_port i =
+            if List.length c.out_streams = 1 then "out"
+            else Printf.sprintf "out%d" i
+          in
           declare_extern name
             (List.mapi
                (fun i s ->
                  { p_name = Printf.sprintf "in%d" i; p_ty = stream_ty s; p_dir = `In })
                c.in_streams
-            @ [ { p_name = "out"; p_ty = stream_ty c.out_stream; p_dir = `Out } ]);
+            @ List.mapi
+                (fun i s -> { p_name = out_port i; p_ty = stream_ty s; p_dir = `Out })
+                c.out_streams);
           {
             i_name = Printf.sprintf "compute_%s" c.name;
             i_module = name;
@@ -169,7 +175,10 @@ let build (d : Design.t) : circuit =
               List.mapi
                 (fun i s -> (Printf.sprintf "in%d" i, stream_ssa s))
                 c.in_streams;
-            i_outputs = [ (raw_of c.out_stream, "out", stream_ty c.out_stream) ];
+            i_outputs =
+              List.mapi
+                (fun i s -> (raw_of s, out_port i, stream_ty s))
+                c.out_streams;
           }
         | Design.Write { in_streams; ptr_args; _ } ->
           let name = "write_data" in

@@ -41,12 +41,14 @@ module Flow = Shmls_baselines.Flow
 module Circt = Shmls_circt.Circt
 module Err = Shmls_support.Err
 module Pool = Shmls_support.Pool
+module Variant = Shmls_transforms.Variant
 
 let () = Shmls_transforms.Register.all ()
 
 type compiled = {
   c_kernel : Ast.kernel;
   c_grid : int list;
+  c_variant : Variant.t; (* pipeline variant this design was built with *)
   c_lowered : Lower.lowered; (* stencil-dialect module (shape-inferred) *)
   c_hls_module : Ir.op; (* HLS-dialect module *)
   c_design : Design.t; (* extracted, depth-balanced design *)
@@ -69,7 +71,8 @@ let compile_runs_counter = Atomic.make 0
 let compile_runs () = Atomic.get compile_runs_counter
 
 (* Run the full Stencil-HMLS compilation pipeline on one kernel. *)
-let compile_raw ~balance_depths ~split_applies (kernel : Ast.kernel) ~grid =
+let compile_raw ~balance_depths ~split_applies ~variant (kernel : Ast.kernel)
+    ~grid =
   Atomic.incr compile_runs_counter;
   Shmls_transforms.Register.all ();
   let lowered = Lower.lower kernel ~grid in
@@ -78,7 +81,7 @@ let compile_raw ~balance_depths ~split_applies (kernel : Ast.kernel) ~grid =
     ignore (Shmls_transforms.Apply_split.run_on_module lowered.l_module);
   Verifier.verify_exn lowered.l_module;
   let hls_module, plans, pass_stats =
-    Shmls_transforms.Stencil_to_hls.run_with_stats lowered.l_module
+    Shmls_transforms.Stencil_to_hls.run_with_stats ~variant lowered.l_module
   in
   Verifier.verify_exn hls_module;
   let plan, func =
@@ -99,6 +102,7 @@ let compile_raw ~balance_depths ~split_applies (kernel : Ast.kernel) ~grid =
   {
     c_kernel = kernel;
     c_grid = grid;
+    c_variant = variant;
     c_lowered = lowered;
     c_hls_module = hls_module;
     c_design = design;
@@ -115,8 +119,8 @@ let compile_raw ~balance_depths ~split_applies (kernel : Ast.kernel) ~grid =
    when the error itself carries no position, anchored at the kernel's
    own source location. *)
 let compile ?(balance_depths = true) ?(split_applies = true)
-    (kernel : Ast.kernel) ~grid =
-  try compile_raw ~balance_depths ~split_applies kernel ~grid
+    ?(variant = Variant.default) (kernel : Ast.kernel) ~grid =
+  try compile_raw ~balance_depths ~split_applies ~variant kernel ~grid
   with Err.Error e ->
     raise
       (Err.Error
@@ -134,9 +138,10 @@ let compile ?(balance_depths = true) ?(split_applies = true)
    it.  Repeated evaluations (the 10-run protocol in bench/main.ml) pay
    for compilation once per distinct kernel/grid/flag combination. *)
 
-let compile_key ~balance_depths ~split_applies (kernel : Ast.kernel) ~grid =
+let compile_key ~balance_depths ~split_applies ~variant (kernel : Ast.kernel)
+    ~grid =
   Digest.string
-    (Marshal.to_string (kernel, grid, balance_depths, split_applies) [])
+    (Marshal.to_string (kernel, grid, balance_depths, split_applies, variant) [])
 
 let compile_cache : (Digest.t, compiled) Hashtbl.t = Hashtbl.create 16
 
@@ -152,8 +157,8 @@ let compile_cache_stats () =
       (!compile_cache_hits, !compile_cache_misses))
 
 let compile_cached ?(balance_depths = true) ?(split_applies = true)
-    (kernel : Ast.kernel) ~grid =
-  let key = compile_key ~balance_depths ~split_applies kernel ~grid in
+    ?(variant = Variant.default) (kernel : Ast.kernel) ~grid =
+  let key = compile_key ~balance_depths ~split_applies ~variant kernel ~grid in
   match
     Mutex.protect compile_cache_mutex (fun () ->
         match Hashtbl.find_opt compile_cache key with
@@ -164,7 +169,7 @@ let compile_cached ?(balance_depths = true) ?(split_applies = true)
   with
   | Some c -> c
   | None ->
-    let c = compile ~balance_depths ~split_applies kernel ~grid in
+    let c = compile ~balance_depths ~split_applies ~variant kernel ~grid in
     Mutex.protect compile_cache_mutex (fun () ->
         match Hashtbl.find_opt compile_cache key with
         | Some winner -> winner (* another domain raced us to it *)
@@ -302,12 +307,13 @@ let evaluate_hmls ?(cu = -1) (c : compiled) : Flow.outcome =
    [Pool.map_list] preserves order, and the default [jobs = 1] runs
    everything sequentially in the calling domain (byte-identical to the
    historical behaviour). *)
-let evaluate_all ?(jobs = 1) (kernel : Ast.kernel) ~grid =
+let evaluate_all ?(jobs = 1) ?(variant = Variant.default) (kernel : Ast.kernel)
+    ~grid =
   let flows =
     [
       (fun () ->
         try
-          let c = compile_cached kernel ~grid in
+          let c = compile_cached ~variant kernel ~grid in
           evaluate_hmls c
         with Err.Error e ->
           Flow.Failure { f_flow = "Stencil-HMLS"; f_reason = Err.to_string e });
@@ -331,18 +337,19 @@ let evaluate_all ?(jobs = 1) (kernel : Ast.kernel) ~grid =
    Compiled verification builds a private plan per job when running in
    parallel, because plans carry mutable run state. *)
 let sweep ?(jobs = 1) ?(sim = Interp) ?(verify_designs = false) ?(seed = 7)
-    (configs : (Ast.kernel * int list) list) =
+    ?(variant = Variant.default) (configs : (Ast.kernel * int list) list) =
   let prepared =
     List.map
       (fun (kernel, grid) ->
         let c =
-          try Ok (compile_cached kernel ~grid) with Err.Error e -> Error e
+          try Ok (compile_cached ~variant kernel ~grid)
+          with Err.Error e -> Error e
         in
         (kernel, grid, c))
       configs
   in
   let eval (kernel, grid, c) =
-    let outcomes = evaluate_all kernel ~grid in
+    let outcomes = evaluate_all ~variant kernel ~grid in
     let verification =
       match (verify_designs, c) with
       | true, Ok c ->

@@ -33,10 +33,15 @@ module Circt = Shmls_circt.Circt
 module Err = Shmls_support.Err
 module Pool = Shmls_support.Pool
 
+(** Pipeline variants of the stencil->HLS lowering — the ablations
+    (no-split / no-pack / cu=N, composable with '+'). *)
+module Variant = Shmls_transforms.Variant
+
 (** Everything the pipeline produced for one kernel at one grid. *)
 type compiled = {
   c_kernel : Ast.kernel;
   c_grid : int list;
+  c_variant : Variant.t;  (** pipeline variant this design was built with *)
   c_lowered : Lower.lowered;  (** stencil-dialect module, shape-inferred *)
   c_hls_module : Ir.op;  (** HLS-dialect module *)
   c_design : Design.t;  (** extracted, depth-balanced design *)
@@ -54,17 +59,20 @@ type compiled = {
 }
 
 (** Run the full Stencil-HMLS compilation pipeline. [balance_depths]
-    and [split_applies] exist for ablations and tests; leave them on. *)
+    and [split_applies] exist for ablations and tests; leave them on.
+    [variant] (default {!Variant.default}) compiles an ablated pipeline
+    for real — no-split / no-pack / cu=N designs all flow through the
+    same extraction, simulators and models. *)
 val compile :
-  ?balance_depths:bool -> ?split_applies:bool -> Ast.kernel -> grid:int list ->
-  compiled
+  ?balance_depths:bool -> ?split_applies:bool -> ?variant:Variant.t ->
+  Ast.kernel -> grid:int list -> compiled
 
-(** Like {!compile}, but memoised on a digest of (kernel, grid, flags):
-    repeated evaluations of the same configuration compile once and share
-    the (read-only) [compiled] record. *)
+(** Like {!compile}, but memoised on a digest of (kernel, grid, flags,
+    variant): repeated evaluations of the same configuration compile once
+    and share the (read-only) [compiled] record. *)
 val compile_cached :
-  ?balance_depths:bool -> ?split_applies:bool -> Ast.kernel -> grid:int list ->
-  compiled
+  ?balance_depths:bool -> ?split_applies:bool -> ?variant:Variant.t ->
+  Ast.kernel -> grid:int list -> compiled
 
 (** [(hits, misses)] of the {!compile_cached} memo since the last
     {!reset_compile_cache}. *)
@@ -106,7 +114,9 @@ val evaluate_hmls : ?cu:int -> compiled -> Flow.outcome
     StencilFlow), in the paper's order. With [jobs > 1] the independent
     flows run on a domain pool; results are order-preserving and the
     default [jobs = 1] is sequential (byte-identical output). *)
-val evaluate_all : ?jobs:int -> Ast.kernel -> grid:int list -> Flow.outcome list
+val evaluate_all :
+  ?jobs:int -> ?variant:Variant.t -> Ast.kernel -> grid:int list ->
+  Flow.outcome list
 
 (** Evaluate many (kernel, grid) configurations — the grid-sweep
     experiment driver. Compilation runs sequentially up front (cached);
@@ -116,6 +126,7 @@ val evaluate_all : ?jobs:int -> Ast.kernel -> grid:int list -> Flow.outcome list
     using [sim]; [jobs = 1] is byte-identical to a sequential loop. *)
 val sweep :
   ?jobs:int -> ?sim:sim -> ?verify_designs:bool -> ?seed:int ->
+  ?variant:Variant.t ->
   (Ast.kernel * int list) list ->
   (Flow.outcome list * verification option) list
 

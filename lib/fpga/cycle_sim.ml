@@ -87,13 +87,15 @@ let run ?on_cycle (d : Design.t) =
               }
           | Design.Dup _ -> S_dup { moved = 0; total }
           | Design.Compute c ->
+            (* a fused (no-split) stage makes [serial] passes over the
+               grid, one per output stream, back to back *)
             S_compute
               {
                 started = 0;
                 retired = 0;
                 ii = c.ii;
                 latency = 8 + c.flops;
-                total;
+                total = c.serial * total;
                 in_flight = Queue.create ();
                 last_start = -1_000_000; (* "long ago", without overflow *)
               }
@@ -162,7 +164,7 @@ let run ?on_cycle (d : Design.t) =
             du.moved <- du.moved + 1;
             progressed := true
           end
-        | Design.Compute { in_streams; out_stream; _ }, S_compute c ->
+        | Design.Compute { in_streams; out_streams; _ }, S_compute c ->
           let fins = List.map fifo in_streams in
           (* start a new iteration *)
           if
@@ -179,7 +181,11 @@ let run ?on_cycle (d : Design.t) =
           (* retire finished iterations *)
           (match Queue.peek_opt c.in_flight with
           | Some ready when ready <= !cycle ->
-            let fout = fifo out_stream in
+            (* pass k (of [serial]) retires into out_streams[k] *)
+            let phase =
+              min (c.retired / total) (List.length out_streams - 1)
+            in
+            let fout = fifo (List.nth out_streams phase) in
             if fout.occ < fout.cap then begin
               fout.occ <- fout.occ + 1;
               c.retired <- c.retired + 1;

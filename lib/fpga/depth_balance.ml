@@ -40,7 +40,10 @@ let stream_delays (d : Design.t) =
         let in_delay =
           List.fold_left (fun acc s -> max acc (delay_of s)) 0 c.in_streams
         in
-        Hashtbl.replace delays c.out_stream (in_delay + compute_latency stage)
+        List.iter
+          (fun s ->
+            Hashtbl.replace delays s (in_delay + compute_latency stage))
+          c.out_streams
       | Design.Write _ -> ())
     d.d_stages;
   delays

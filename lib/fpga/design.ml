@@ -28,7 +28,11 @@ type stage =
       name : string;
       df_op : Ir.op; (* the hls.dataflow op, for interpretation *)
       in_streams : int list;
-      out_stream : int;
+      out_streams : int list; (* in write order (one per serial pass) *)
+      serial : int; (* serialised grid passes (fused variant: one per
+                       stored source; split stages: 1) *)
+      ext_reads : int; (* direct external-memory reads per grid point
+                          (fused variant; split stages read streams) *)
       ii : int;
       flops : int;
       small_copies : int; (* local BRAM arrays materialised in this stage *)
@@ -54,6 +58,8 @@ type t = {
   d_halo : int list;
   d_cu : int;
   d_ports_per_cu : int;
+  d_port_bytes : int; (* bytes an AXI port moves per beat: 64 when the
+                         interfaces are 512-bit packed, 1 when not *)
   d_streams : stream list;
   d_stages : stage list; (* in topological order *)
   d_interfaces : interface list;
@@ -103,7 +109,7 @@ let outputs_of_stage = function
   | Load l -> l.out_streams
   | Shift s -> [ s.output ]
   | Dup s -> s.outputs
-  | Compute c -> [ c.out_stream ]
+  | Compute c -> c.out_streams
   | Write _ -> []
 
 (* Topologically order stages by stream dependencies. *)

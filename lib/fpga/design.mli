@@ -19,7 +19,11 @@ type stage =
       name : string;
       df_op : Ir.op;  (** the hls.dataflow op, for interpretation *)
       in_streams : int list;
-      out_stream : int;
+      out_streams : int list;  (** in write order (one per serial pass) *)
+      serial : int;
+          (** serialised grid passes (fused variant: one per stored source) *)
+      ext_reads : int;
+          (** direct external-memory reads per grid point (fused variant) *)
       ii : int;
       flops : int;
       small_copies : int;
@@ -41,6 +45,8 @@ type t = {
   d_halo : int list;
   d_cu : int;
   d_ports_per_cu : int;
+  d_port_bytes : int;
+      (** bytes per AXI beat: 64 when 512-bit packed, 1 when not *)
   d_streams : stream list;
   d_stages : stage list;  (** in topological order *)
   d_interfaces : interface list;

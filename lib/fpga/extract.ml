@@ -68,8 +68,16 @@ let compute_props (df : Ir.op) =
             + List.fold_left ( * ) (Ty.byte_size elem) shape
         | _ -> ())
       | _ -> ());
+  (* writes keep their order (first write per stream): the fused variant
+     writes one stream per serialised pass and the cycle simulator
+     retires them phase by phase *)
+  let dedup_in_order ids =
+    List.fold_left
+      (fun acc id -> if List.mem id acc then acc else acc @ [ id ])
+      [] ids
+  in
   ( List.sort_uniq Int.compare !reads,
-    List.sort_uniq Int.compare !writes,
+    dedup_in_order (List.rev !writes),
     !flops,
     !ii,
     !small_copies,
@@ -174,10 +182,12 @@ let extract (func : Ir.op) : Design.t =
           let in_streams, out_streams, flops, ii, small_copies, small_bytes =
             compute_props op
           in
-          let out_stream =
-            match out_streams with
-            | [ o ] -> o
-            | _ -> Err.raise_error "extract: compute stage must write 1 stream"
+          if out_streams = [] then
+            Err.raise_error "extract: compute stage writes no stream";
+          let int_attr_or key default =
+            match Ir.Op.get_attr op key with
+            | Some (Attr.Int n) -> n
+            | _ -> default
           in
           stages :=
             Design.Compute
@@ -185,7 +195,9 @@ let extract (func : Ir.op) : Design.t =
                 name = target;
                 df_op = op;
                 in_streams;
-                out_stream;
+                out_streams;
+                serial = int_attr_or "passes" 1;
+                ext_reads = int_attr_or "ext_reads" 0;
                 ii;
                 flops;
                 small_copies;
@@ -210,6 +222,21 @@ let extract (func : Ir.op) : Design.t =
       | "func.return" -> ()
       | _ -> ())
     (Ir.Block.ops body);
+  (* packed 512-bit interfaces burst a full AXI beat per cycle; the
+     no-pack variant's plain f64 pointers move one element per request *)
+  let args = Ir.Block.args body in
+  let port_bytes =
+    let packed_arg i =
+      match List.nth_opt args i with
+      | Some a -> (
+        match Ir.Value.ty a with Ty.Ptr (Ty.Struct _) -> true | _ -> false)
+      | None -> false
+    in
+    if List.exists (fun (itf : Design.interface) -> packed_arg itf.if_arg)
+         (List.rev !interfaces)
+    then U280.axi_bytes
+    else 1
+  in
   {
     Design.d_name = name;
     d_func = func;
@@ -217,6 +244,7 @@ let extract (func : Ir.op) : Design.t =
     d_halo = halo;
     d_cu = cu;
     d_ports_per_cu = ports;
+    d_port_bytes = port_bytes;
     d_streams = List.rev !streams;
     d_stages = Design.toposort (List.rev !stages);
     d_interfaces = List.rev !interfaces;

@@ -54,7 +54,8 @@ let design_fill (d : Design.t) =
   Hashtbl.fold (fun _ v acc -> max v acc) delays 0
 
 (* Bytes moved over AXI per grid point: one f64 read per loaded field,
-   one f64 write per stored field. *)
+   one f64 write per stored field, plus (fused variant) one f64 read per
+   direct external-memory access the compute stage makes per point. *)
 let design_bytes_per_point (d : Design.t) =
   let loads =
     List.fold_left
@@ -72,19 +73,36 @@ let design_bytes_per_point (d : Design.t) =
         | _ -> acc)
       0 d.d_stages
   in
-  8 * (loads + stores)
+  let direct_reads =
+    List.fold_left
+      (fun acc s ->
+        match s with Design.Compute c -> acc + c.ext_reads | _ -> acc)
+      0 d.d_stages
+  in
+  8 * (loads + stores + direct_reads)
+
+(* Largest serialisation factor of any compute stage: 1 for the split
+   pipeline (every stage concurrent), the number of grid passes for the
+   fused (no-split) variant. *)
+let design_serial (d : Design.t) =
+  List.fold_left
+    (fun acc s -> match s with Design.Compute c -> max acc c.serial | _ -> acc)
+    1 d.d_stages
 
 (* Estimate for a Stencil-HMLS design: II from the pipelined compute
-   stages (II = 1 by construction), no serialisation (every stage is
-   concurrent), CU count from the port budget. *)
+   stages (II = 1 by construction), serialisation and port width read
+   off the design itself (1 / 64 B for the full pipeline; the no-split
+   and no-pack variants carry their own values), CU count from the port
+   budget unless the plan forced one. *)
 let estimate_design ?(cu = -1) (d : Design.t) =
   let summary = Design.summarise d in
   let cu = if cu > 0 then cu else d.d_cu in
-  estimate
+  estimate ~port_bytes:d.d_port_bytes
     ~total_padded:(Design.total_padded d)
     ~interior:(Design.interior_points d)
     ~fill:(float_of_int (design_fill d))
-    ~ii:summary.max_ii ~serial:1 ~cu ~ports:(cu * d.d_ports_per_cu)
+    ~ii:summary.max_ii ~serial:(design_serial d) ~cu
+    ~ports:(cu * d.d_ports_per_cu)
     ~bytes_per_point:(design_bytes_per_point d)
     ~clock_hz:U280.clock_hz ()
 

@@ -161,7 +161,7 @@ type plan = {
   p_n_smalls : int;
 }
 
-let make_plan (func : Ir.op) classes =
+let make_plan ?cu (func : Ir.op) classes =
   let name = Func.sym_name func in
   let fb =
     match
@@ -201,7 +201,10 @@ let make_plan (func : Ir.op) classes =
     p_grid = grid;
     p_field_halo = field_halo;
     p_ports_per_cu = ports;
-    p_cu = max 1 (max_axi_ports / ports);
+    p_cu =
+      (match cu with
+      | Some n -> max 1 n
+      | None -> max 1 (max_axi_ports / ports));
     p_n_inputs = count (fun c -> c = Field_input || c = Field_inout);
     p_n_outputs = count (fun c -> c = Field_output || c = Field_inout);
     p_n_smalls = n_smalls;
@@ -325,6 +328,7 @@ type t = {
   cx_module : Ir.op; (* source module (holds the threading attribute) *)
   cx_target : Ir.op; (* module receiving the packed kernels *)
   cx_in_place : bool;
+  cx_variant : Variant.t; (* pipeline variant the steps consult *)
   cx_original_ops : Ir.op list; (* module body at begin_, for finalize *)
   mutable cx_funcs : func_ctx list;
   mutable cx_done : string list; (* completed step pass names *)
@@ -334,7 +338,7 @@ let ctx_attr = "hls.lowering_ctx"
 let live : (int, t) Hashtbl.t = Hashtbl.create 4
 let tokens = ref 0
 
-let begin_ ~in_place m =
+let begin_ ?(variant = Variant.default) ~in_place m =
   register_placeholders ();
   (match Ir.Op.get_attr m ctx_attr with
   | Some _ ->
@@ -347,6 +351,7 @@ let begin_ ~in_place m =
       cx_module = m;
       cx_target = target;
       cx_in_place = in_place;
+      cx_variant = variant;
       cx_original_ops = Ir.Module_.ops m;
       cx_funcs = [];
       cx_done = [];

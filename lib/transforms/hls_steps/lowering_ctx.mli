@@ -48,7 +48,9 @@ type plan = {
   p_n_smalls : int;
 }
 
-val make_plan : Ir.op -> (Ir.value * arg_class) list -> plan
+(** [?cu] forces the CU replication factor (the cu=N variant) instead of
+    deriving it from the 32-port shell budget. *)
+val make_plan : ?cu:int -> Ir.op -> (Ir.value * arg_class) list -> plan
 val padded_extent : plan -> int list
 
 type box = {
@@ -106,6 +108,7 @@ type t = {
   cx_module : Ir.op;
   cx_target : Ir.op;
   cx_in_place : bool;
+  cx_variant : Variant.t;
   cx_original_ops : Ir.op list;
   mutable cx_funcs : func_ctx list;
   mutable cx_done : string list;
@@ -113,8 +116,10 @@ type t = {
 
 (** Start a lowering on [m]; in-place mode appends packed kernels next to
     the originals (detached by [finalize]), functional mode grows them in
-    a fresh [cx_target] module and leaves the input intact. *)
-val begin_ : in_place:bool -> Ir.op -> t
+    a fresh [cx_target] module and leaves the input intact.  [variant]
+    (default [Variant.default], the full pipeline) selects an ablated
+    pipeline; the steps read it back from [cx_variant]. *)
+val begin_ : ?variant:Variant.t -> in_place:bool -> Ir.op -> t
 
 val find : Ir.op -> t option
 

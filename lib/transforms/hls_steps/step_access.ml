@@ -3,7 +3,14 @@
    into a shifted source become llvm.extractvalue at the offset's
    row-major position inside the (2h+1)^d neighbourhood vector; accesses
    into a plain value stream must be offset-free and forward the element
-   unchanged. *)
+   unchanged.
+
+   The fused (no-split) variant adds a third, direct-memory form carrying
+   an "extent" attribute: operands [ptr; idx_0..idx_{r-1}] and a composed
+   "offset".  It lowers to clamped per-dimension address arithmetic, a
+   row-major linearised gep + llvm.load, and per-dimension NaN selects
+   outside the padded extent — mirroring the NaN a shift buffer yields
+   out of range, so the fused design stays comparable to the split one. *)
 
 open Shmls_ir
 open Shmls_dialects
@@ -14,13 +21,74 @@ let name = "hls-map-accesses"
 let description =
   "step 5: map access offsets onto shift-buffer neighbourhood vectors"
 
+(* Direct external-memory access of the fused variant: clamp the
+   composed position into the padded extent per dimension, load at the
+   row-major linear address, and select NaN for any out-of-range
+   dimension. *)
+let lower_direct_access b (op : Ir.op) ~offset ~extent =
+  let ptr = Ir.Op.operand op 0 in
+  let indices = List.tl (Ir.Op.operands op) in
+  let composed =
+    List.map2
+      (fun idx o ->
+        if o = 0 then idx else Arith.addi b idx (Arith.constant_index b o))
+      indices offset
+  in
+  let clamped =
+    List.map2
+      (fun c ext ->
+        let zero = Arith.constant_index b 0 in
+        let maxi = Arith.constant_index b (ext - 1) in
+        let lt = Arith.cmpi b ~predicate:"slt" c zero in
+        let cl0 = Arith.select b lt zero c in
+        let gt = Arith.cmpi b ~predicate:"sgt" cl0 maxi in
+        Arith.select b gt maxi cl0)
+      composed extent
+  in
+  let strides =
+    let rec go = function
+      | [] -> []
+      | [ _ ] -> [ 1 ]
+      | _ :: rest ->
+        let s = go rest in
+        (List.hd s * List.hd rest) :: s
+    in
+    go extent
+  in
+  let linear =
+    List.fold_left2
+      (fun acc c stride ->
+        let term =
+          if stride = 1 then c
+          else Arith.muli b c (Arith.constant_index b stride)
+        in
+        match acc with None -> Some term | Some a -> Some (Arith.addi b a term))
+      None clamped strides
+  in
+  let linear = match linear with Some v -> v | None -> assert false in
+  let p =
+    Builder.insert_op1 b ~name:Llvm_d.gep_op ~operands:[ ptr; linear ]
+      ~result_ty:small_ptr_ty
+      ~attrs:[ ("indices", Attr.Ints []) ]
+      ()
+  in
+  let loaded = Llvm_d.load b p in
+  let nan = Arith.constant_f b Float.nan in
+  List.fold_left2
+    (fun acc c ext ->
+      let zero = Arith.constant_index b 0 in
+      let ge = Arith.cmpi b ~predicate:"sge" c zero in
+      let lt = Arith.cmpi b ~predicate:"slt" c (Arith.constant_index b ext) in
+      Arith.select b ge (Arith.select b lt acc nan) nan)
+    loaded composed extent
+
 let lower_nb_access (op : Ir.op) =
   let offset = Attr.ints_exn (Ir.Op.get_attr_exn op "offset") in
   let block =
     match Ir.Op.parent op with Some b -> b | None -> assert false
   in
-  (match Ir.Op.get_attr op "halo" with
-  | Some (Attr.Ints halo) ->
+  (match (Ir.Op.get_attr op "halo", Ir.Op.get_attr op "extent") with
+  | Some (Attr.Ints halo), _ ->
     let pos = nb_index halo offset in
     let b = Builder.before block op in
     let v =
@@ -30,7 +98,11 @@ let lower_nb_access (op : Ir.op) =
         ()
     in
     Ir.replace_op op [ v ]
-  | _ ->
+  | _, Some (Attr.Ints extent) ->
+    let b = Builder.before block op in
+    let v = lower_direct_access b op ~offset ~extent in
+    Ir.replace_op op [ v ]
+  | _, _ ->
     if List.exists (fun o -> o <> 0) offset then
       Err.raise_error "stencil-to-hls: offset access of a value stream";
     Ir.replace_op op [ Ir.Op.operand op 0 ]);

@@ -14,13 +14,14 @@ let name = "hls-bram-smalls"
 let description =
   "step 8: copy small coefficient arrays into partitioned BRAM per stage"
 
+let small_extent (small_arg : Ir.value) =
+  match Ir.Value.ty small_arg with
+  | Ty.Field (b, _) -> List.hd (Ty.bounds_extent b)
+  | _ -> Err.raise_error "stencil-to-hls: small argument is not a 1D field"
+
 (* Emit the BRAM copy of one small array; returns the local memref. *)
 let emit_small_copy db ~(small_arg : Ir.value) ~(new_arg : Ir.value) =
-  let ext =
-    match Ir.Value.ty small_arg with
-    | Ty.Field (b, _) -> List.hd (Ty.bounds_extent b)
-    | _ -> Err.raise_error "stencil-to-hls: small argument is not a 1D field"
-  in
+  let ext = small_extent small_arg in
   let local_extent = ext + (2 * small_guard) in
   let local = Memref.alloca db ~shape:[ local_extent ] ~elem:Ty.F64 in
   Hls.array_partition db ~kind:"cyclic" ~factor:2 ~dim:0 local;
@@ -48,7 +49,7 @@ let emit_small_copy db ~(small_arg : Ir.value) ~(new_arg : Ir.value) =
          Memref.store fb v local [ iv ]));
   local
 
-let run_on_fx fx =
+let run_on_fx ~fused fx =
   List.iter
     (fun (cp : compute) ->
       if cp.cp_smalls <> [] then begin
@@ -60,7 +61,9 @@ let run_on_fx fx =
         in
         let locals =
           List.map
-            (fun (small_arg, new_arg) -> emit_small_copy b ~small_arg ~new_arg)
+            (fun (small_arg, new_arg) ->
+              ( emit_small_copy b ~small_arg ~new_arg,
+                small_extent small_arg + (2 * small_guard) ))
             cp.cp_smalls
         in
         let placeholders =
@@ -70,7 +73,7 @@ let run_on_fx fx =
           (fun (ph : Ir.op) ->
             let slot = Attr.int_exn (Ir.Op.get_attr_exn ph "input") in
             let offset = Attr.int_exn (Ir.Op.get_attr_exn ph "offset") in
-            let local = List.nth locals slot in
+            let local, local_extent = List.nth locals slot in
             let pos = Ir.Op.operand ph 0 in
             let pblock =
               match Ir.Op.parent ph with Some blk -> blk | None -> assert false
@@ -84,6 +87,22 @@ let run_on_fx fx =
                 Arith.addi pb pos c
               end
             in
+            (* fused variant: composed offsets can reach past the guard
+               band at padded-boundary positions (whose results are
+               dropped or NaN-selected anyway) — clamp into the local
+               copy so the index stays in range.  In-range positions are
+               untouched, so the split pipeline's dumps stay identical. *)
+            let shifted =
+              if not fused then shifted
+              else begin
+                let zero = Arith.constant_index pb 0 in
+                let maxi = Arith.constant_index pb (local_extent - 1) in
+                let lt = Arith.cmpi pb ~predicate:"slt" shifted zero in
+                let cl0 = Arith.select pb lt zero shifted in
+                let gt = Arith.cmpi pb ~predicate:"sgt" cl0 maxi in
+                Arith.select pb gt maxi cl0
+              end
+            in
             let v = Memref.load pb local [ shifted ] in
             Ir.replace_op ph [ v ])
           placeholders
@@ -91,7 +110,8 @@ let run_on_fx fx =
     fx.fx_computes
 
 let run_on_ctx (ctx : t) =
-  List.iter run_on_fx ctx.cx_funcs;
+  let fused = not ctx.cx_variant.Variant.v_split in
+  List.iter (run_on_fx ~fused) ctx.cx_funcs;
   stamp_derived ctx ~step:name
 
 let pass =

@@ -13,9 +13,9 @@ let name = "hls-classify-args"
 let description =
   "step 1: classify kernel arguments and plan AXI ports / compute units"
 
-let analyze_func (func : Ir.op) =
+let analyze_func ~variant (func : Ir.op) =
   let classes = classify_args func in
-  let plan = make_plan func classes in
+  let plan = make_plan ?cu:variant.Variant.v_cu func classes in
   let rank = plan.p_rank in
   let applies = Ir.Op.collect func (fun o -> Ir.Op.name o = Stencil.apply_op) in
   List.iter
@@ -117,11 +117,19 @@ let analyze_func (func : Ir.op) =
   }
 
 let run_on_ctx (ctx : t) =
-  ctx.cx_funcs <- List.map analyze_func (Ir.Module_.funcs ctx.cx_module);
+  ctx.cx_funcs <-
+    List.map
+      (analyze_func ~variant:ctx.cx_variant)
+      (Ir.Module_.funcs ctx.cx_module);
   stamp_derived ctx ~step:name
 
-let pass =
+(* The registered pass carries the variant: as the step that opens the
+   lowering context it is the single injection point, and every later
+   step reads [cx_variant] from the context instead of taking options. *)
+let pass_with ~variant =
   Pass.make ~name ~description (fun m ->
-      let ctx = begin_ ~in_place:true m in
+      let ctx = begin_ ~variant ~in_place:true m in
       run_on_ctx ctx;
       mark_done ctx name)
+
+let pass = pass_with ~variant:Variant.default

@@ -5,3 +5,8 @@ val name : string
 val description : string
 val run_on_ctx : Lowering_ctx.t -> unit
 val pass : Shmls_ir.Pass.t
+
+(** [pass] opening the lowering context with an explicit pipeline
+    variant (same registered name); the single injection point for
+    `stencil-to-hls{variant=...}`. *)
+val pass_with : variant:Variant.t -> Shmls_ir.Pass.t

@@ -40,7 +40,10 @@ let run_on_fx fx =
          ignore (Llvm_d.call db ~callee:load_callee ~operands:(ptrs @ strms) ())))
 
 let run_on_ctx (ctx : t) =
-  List.iter run_on_fx ctx.cx_funcs;
+  (* fused (no-split) variant: the compute stage reads external memory
+     directly, so there are no input value streams to feed — no
+     load_data stage at all *)
+  if ctx.cx_variant.Variant.v_split then List.iter run_on_fx ctx.cx_funcs;
   stamp_derived ctx ~step:name
 
 let pass =

@@ -12,11 +12,18 @@ let name = "hls-pack-interfaces"
 let description = "step 2: repack kernel arguments into 512-bit interface types"
 
 let run_on_fx (ctx : t) fx =
+  (* no-pack variant (A2): fields stay plain f64 pointers, so the AXI
+     ports move one element per beat instead of a 64-byte burst word.
+     Extraction spots the scalar interface types and the perf model
+     charges 1 byte/cycle/port instead of 64. *)
+  let field_ty =
+    if ctx.cx_variant.Variant.v_pack then packed_field_ty else small_ptr_ty
+  in
   let new_arg_tys =
     List.map
       (fun (_, cls) ->
         match cls with
-        | Field_input | Field_output | Field_inout -> packed_field_ty
+        | Field_input | Field_output | Field_inout -> field_ty
         | Small_constant -> small_ptr_ty
         | Scalar_constant -> Ty.F64)
       fx.fx_classes

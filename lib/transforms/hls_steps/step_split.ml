@@ -234,8 +234,212 @@ let run_on_fx fx =
         fx.fx_computes @ [ { cp_stage = df; cp_smalls = List.rev !smalls } ])
     fx.fx_applies
 
+(* ------------------------------------------------------------------ *)
+(* no-split variant (A1): ONE fused compute stage.  Instead of one
+   concurrent stage per apply wired through shift buffers, the fused
+   stage makes a serialised pass over the padded grid per stored source,
+   recomputing every intermediate apply inline at the composed offset
+   and reading its field inputs straight from external memory — the
+   monolithic design the paper's dataflow split is measured against.
+
+   Field reads become a direct-memory form of the hls.nb_access
+   placeholder (operands [ptr; idx_0..idx_{r-1}], attrs offset/extent)
+   that step 5 lowers to clamped address arithmetic + llvm.load with
+   NaN selects outside the padded extent — matching the NaN the split
+   pipeline's shift buffers produce out of range, so boundary values
+   stay comparable and interior values bit-identical.  Recomputation
+   shares work through a per-iteration cache keyed (source value,
+   composed offset); small-data slots are deduplicated stage-wide. *)
+
+let run_on_fx_fused fx =
+  let body = new_body fx in
+  let b = Builder.at_end body in
+  let plan = fx.fx_plan in
+  let padded = padded_extent plan in
+  let total = List.fold_left ( * ) 1 padded in
+  let zeros = List.map (fun _ -> 0) plan.p_grid in
+  let smalls = ref [] in
+  let ext_reads = ref 0 in
+  (* stage-wide small-data slots, deduplicated by original argument *)
+  let slot_of small_arg new_arg =
+    let rec go i = function
+      | [] ->
+        smalls := !smalls @ [ (small_arg, new_arg) ];
+        i
+      | (a, _) :: rest ->
+        if Ir.Value.equal a small_arg then i else go (i + 1) rest
+    in
+    go 0 !smalls
+  in
+  (* Emit the value of source [v] (field load or apply result) at grid
+     position indices+off, caching on (value, composed offset). *)
+  let rec emit_value fb ~indices ~off ~cache v =
+    let key = (Ir.Value.id v, off) in
+    match Hashtbl.find_opt cache key with
+    | Some r -> r
+    | None ->
+      let r =
+        match Ir.Value.defining_op v with
+        | Some ld when Ir.Op.name ld = Stencil.load_op ->
+          let new_arg =
+            match new_of_old fx (Ir.Op.operand ld 0) with
+            | Some a -> a
+            | None -> assert false
+          in
+          incr ext_reads;
+          Builder.insert_op1 fb ~name:nb_access_op
+            ~operands:(new_arg :: indices) ~result_ty:Ty.F64
+            ~attrs:[ ("offset", Attr.Ints off); ("extent", Attr.Ints padded) ]
+            ()
+        | Some apply when Ir.Op.name apply = Stencil.apply_op ->
+          emit_apply_at fb ~indices ~off ~cache apply
+        | _ ->
+          Err.raise_error "stencil-to-hls: fused compute of unexpected source"
+      in
+      Hashtbl.replace cache key r;
+      r
+  and emit_apply_at fb ~indices ~off ~cache (apply : Ir.op) =
+    let block = Stencil.apply_block apply in
+    let args = Ir.Block.args block in
+    let kinds =
+      List.map2
+        (fun operand arg ->
+          match get_source fx operand with
+          | Some _ -> (arg, `Source operand)
+          | None -> (
+            match Ir.Value.defining_op operand with
+            | Some ld
+              when Ir.Op.name ld = Stencil.load_op
+                   && class_of fx (Ir.Op.operand ld 0) = Small_constant ->
+              let small_arg = Ir.Op.operand ld 0 in
+              let new_arg =
+                match new_of_old fx small_arg with
+                | Some a -> a
+                | None -> assert false
+              in
+              (arg, `Small (slot_of small_arg new_arg))
+            | _ -> (
+              match new_of_old fx operand with
+              | Some nv -> (arg, `Scalar nv)
+              | None ->
+                Err.raise_error "stencil-to-hls: unclassified apply operand")))
+        (Ir.Op.operands apply) args
+    in
+    let mapping : (int, Ir.value) Hashtbl.t = Hashtbl.create 32 in
+    List.iter
+      (fun (arg, k) ->
+        match k with
+        | `Scalar nv -> Hashtbl.replace mapping (Ir.Value.id arg) nv
+        | `Source _ | `Small _ -> ())
+      kinds;
+    let remap v =
+      match Hashtbl.find_opt mapping (Ir.Value.id v) with
+      | Some nv -> nv
+      | None -> v
+    in
+    let lookup_arg a =
+      List.find_map
+        (fun (arg, k) -> if Ir.Value.equal arg a then Some k else None)
+        kinds
+    in
+    (* position along [axis] of the current evaluation point, i.e. the
+       loop indices shifted by the composed offset *)
+    let pos_along axis =
+      let base = List.nth indices axis in
+      let d = List.nth off axis in
+      if d = 0 then base else Arith.addi fb base (Arith.constant_index fb d)
+    in
+    let result = ref None in
+    List.iter
+      (fun (op : Ir.op) ->
+        Builder.set_loc fb (Loc.derived name (Ir.Op.loc op));
+        match Ir.Op.name op with
+        | n when n = Stencil.access_op -> (
+          match lookup_arg (Ir.Op.operand op 0) with
+          | Some (`Source src_v) ->
+            let off2 = List.map2 ( + ) off (Stencil.access_offset op) in
+            let v = emit_value fb ~indices ~off:off2 ~cache src_v in
+            Hashtbl.replace mapping (Ir.Value.id (Ir.Op.result op 0)) v
+          | _ -> Err.raise_error "stencil-to-hls: access of unexpected source")
+        | n when n = Stencil.dyn_access_op -> (
+          match lookup_arg (Ir.Op.operand op 0) with
+          | Some (`Small slot) ->
+            let axis, offset = dyn_access_axis_offset op in
+            let v =
+              Builder.insert_op1 fb ~name:small_access_op
+                ~operands:[ pos_along axis ] ~result_ty:Ty.F64
+                ~attrs:[ ("input", Attr.Int slot); ("offset", Attr.Int offset) ]
+                ()
+            in
+            Hashtbl.replace mapping (Ir.Value.id (Ir.Op.result op 0)) v
+          | _ -> Err.raise_error "stencil-to-hls: dyn_access of non-small data")
+        | n when n = Stencil.index_op ->
+          Hashtbl.replace mapping
+            (Ir.Value.id (Ir.Op.result op 0))
+            (pos_along (Attr.int_exn (Ir.Op.get_attr_exn op "dim")))
+        | n when n = Stencil.return_op -> (
+          match Ir.Op.operands op with
+          | [ r ] -> result := Some (remap r)
+          | _ ->
+            Err.raise_error "stencil-to-hls: multi-result apply (run apply-split)")
+        | _ ->
+          let cloned =
+            Builder.insert_op fb ~name:(Ir.Op.name op)
+              ~operands:(List.map remap (Ir.Op.operands op))
+              ~result_tys:(List.map Ir.Value.ty (Ir.Op.results op))
+              ~attrs:(Ir.Op.attrs op) ()
+          in
+          List.iteri
+            (fun i r ->
+              Hashtbl.replace mapping (Ir.Value.id r) (Ir.Op.result cloned i))
+            (Ir.Op.results op))
+      (Ir.Block.ops block);
+    match !result with
+    | Some r -> r
+    | None -> Err.raise_error "stencil-to-hls: apply body has no return"
+  in
+  (* one serialised pass per distinct stored source (a source stored to
+     two fields is produced once; the dup stage fans it out) *)
+  let stored_sources =
+    List.fold_left
+      (fun acc (st : Ir.op) ->
+        let v = Ir.Op.operand st 0 in
+        if List.exists (fun v' -> Ir.Value.equal v' v) acc then acc
+        else acc @ [ v ])
+      [] fx.fx_stores
+  in
+  let df =
+    Hls.dataflow b ~stage:"compute:fused" (fun db ->
+        List.iter
+          (fun stored ->
+            let so =
+              match get_source fx stored with
+              | Some so -> so
+              | None -> assert false
+            in
+            let out_stream = (value_box so).bx_main in
+            let lb = Arith.constant_index db 0 in
+            let ub = Arith.constant_index db total in
+            let step = Arith.constant_index db 1 in
+            ignore
+              (Scf.for_ db ~lb ~ub ~step (fun fb iv ->
+                   Hls.pipeline fb ~ii:1;
+                   let indices =
+                     recover_indices fb ~iv ~padded_extent:padded
+                   in
+                   let cache = Hashtbl.create 32 in
+                   let v = emit_value fb ~indices ~off:zeros ~cache stored in
+                   Hls.write fb v out_stream)))
+          stored_sources)
+  in
+  Ir.Op.set_attr df "target" (Attr.Str "fused");
+  Ir.Op.set_attr df "passes" (Attr.Int (List.length stored_sources));
+  Ir.Op.set_attr df "ext_reads" (Attr.Int !ext_reads);
+  fx.fx_computes <- [ { cp_stage = df; cp_smalls = !smalls } ]
+
 let run_on_ctx (ctx : t) =
-  List.iter run_on_fx ctx.cx_funcs;
+  let run = if ctx.cx_variant.Variant.v_split then run_on_fx else run_on_fx_fused in
+  List.iter run ctx.cx_funcs;
   stamp_derived ctx ~step:name
 
 let pass =

@@ -18,26 +18,40 @@ let name = "hls-stream-conversion"
 let description =
   "step 3: convert memory accesses into streams, shift buffers and dup stages"
 
-let run_on_fx fx =
+let run_on_fx ~fused fx =
   let body = new_body fx in
   let b = Builder.at_end body in
   let padded = padded_extent fx.fx_plan in
   let total_padded = List.fold_left ( * ) 1 padded in
   List.iter
     (fun (_, so) ->
-      let value_readers =
-        (if so.so_has_shift then 1 else so.so_apply_readers)
-        + so.so_store_readers
-      in
-      let depth = if so.so_is_field then depth_external else depth_internal in
-      so.so_value <-
-        Some (make_box b ~elem:Ty.F64 ~depth ~readers:value_readers);
-      if so.so_has_shift then
-        so.so_shift <-
-          Some
-            (make_box b
-               ~elem:(Ty.Array (nb_size so.so_halo, Ty.F64))
-               ~depth:depth_internal ~readers:so.so_apply_readers))
+      (* no-split variant (A1): the fused compute stage reads external
+         memory directly and recomputes intermediate applies inline, so
+         the only streams left are the ones carrying stored results to
+         the write_data stage — no shift buffers, no value streams for
+         unstored sources. *)
+      if fused then begin
+        if so.so_store_readers > 0 then
+          so.so_value <-
+            Some
+              (make_box b ~elem:Ty.F64 ~depth:depth_internal
+                 ~readers:so.so_store_readers)
+      end
+      else begin
+        let value_readers =
+          (if so.so_has_shift then 1 else so.so_apply_readers)
+          + so.so_store_readers
+        in
+        let depth = if so.so_is_field then depth_external else depth_internal in
+        so.so_value <-
+          Some (make_box b ~elem:Ty.F64 ~depth ~readers:value_readers);
+        if so.so_has_shift then
+          so.so_shift <-
+            Some
+              (make_box b
+                 ~elem:(Ty.Array (nb_size so.so_halo, Ty.F64))
+                 ~depth:depth_internal ~readers:so.so_apply_readers)
+      end)
     fx.fx_sources;
   (match List.rev (Ir.Block.ops body) with
   | last :: _ -> fx.fx_stream_anchor <- Some last
@@ -74,14 +88,17 @@ let run_on_fx fx =
   in
   List.iter
     (fun (_, so) ->
-      dup_stage so.so_name (value_box so);
+      (match so.so_value with
+      | Some bx -> dup_stage so.so_name bx
+      | None -> ());
       match so.so_shift with
       | Some bx -> dup_stage (so.so_name ^ "_shift") bx
       | None -> ())
     fx.fx_sources
 
 let run_on_ctx (ctx : t) =
-  List.iter run_on_fx ctx.cx_funcs;
+  let fused = not ctx.cx_variant.Variant.v_split in
+  List.iter (run_on_fx ~fused) ctx.cx_funcs;
   stamp_derived ctx ~step:name
 
 let pass =

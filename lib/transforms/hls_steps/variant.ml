@@ -1,0 +1,84 @@
+(* Pipeline variants of the stencil->HLS lowering — the ablations of
+   EXPERIMENTS.md (A1-A3) realised as first-class compilation modes
+   rather than perf-model overrides.
+
+   A variant is threaded into the lowering context by step 1
+   (hls-classify-args) and consulted by the steps it alters:
+
+   - [v_split = false] (A1, "no-split"): step 4 emits ONE fused compute
+     stage instead of one stage per stencil.apply.  The fused stage makes
+     a serialised pass over the padded grid per stored source, reading
+     its inputs straight from external memory (no shift buffers, no
+     load_data stage) and recomputing intermediate applies inline — the
+     monolithic behaviour the paper contrasts with its per-field
+     dataflow split.
+   - [v_pack = false] (A2, "no-pack"): step 2 keeps the field interfaces
+     as plain f64 pointers instead of 512-bit packed structs, so ports
+     cannot form DRAM bursts and sustain ~1 byte/cycle instead of 64.
+   - [v_cu = Some n] (A3, "cu=N"): the plan's compute-unit replication
+     factor is forced to [n] instead of being derived from the 32-port
+     shell budget.
+
+   Variants compose with '+' ("no-split+cu=2"); the pass-manager option
+   syntax is `stencil-to-hls{variant=no-split+cu=2}` ('+' is safe inside
+   a brace option because options split on commas). *)
+
+type t = {
+  v_split : bool; (* step 4: per-apply dataflow split *)
+  v_pack : bool; (* step 2: 512-bit interface packing *)
+  v_cu : int option; (* step 1: forced CU replication factor *)
+}
+
+let default = { v_split = true; v_pack = true; v_cu = None }
+let is_default v = v = default
+
+let to_string v =
+  let parts =
+    (if v.v_split then [] else [ "no-split" ])
+    @ (if v.v_pack then [] else [ "no-pack" ])
+    @ match v.v_cu with None -> [] | Some n -> [ Printf.sprintf "cu=%d" n ]
+  in
+  match parts with [] -> "full" | _ -> String.concat "+" parts
+
+let of_string spec =
+  let apply acc tok =
+    match acc with
+    | Error _ -> acc
+    | Ok v -> (
+      match tok with
+      | "" | "full" | "default" -> Ok v
+      | "no-split" | "no_split" -> Ok { v with v_split = false }
+      | "no-pack" | "no_pack" -> Ok { v with v_pack = false }
+      | _ ->
+        let cu_of s =
+          match int_of_string_opt s with
+          | Some n when n >= 1 -> Ok { v with v_cu = Some n }
+          | _ -> Error (Printf.sprintf "bad CU count %S (expected >= 1)" s)
+        in
+        if String.length tok > 3 && String.sub tok 0 3 = "cu=" then
+          cu_of (String.sub tok 3 (String.length tok - 3))
+        else
+          Error
+            (Printf.sprintf
+               "unknown variant %S (expected full | no-split | no-pack | \
+                cu=N, composed with '+')"
+               tok))
+  in
+  List.fold_left apply (Ok default) (String.split_on_char '+' spec)
+
+let of_string_exn spec =
+  match of_string spec with
+  | Ok v -> v
+  | Error msg -> Err.raise_error "variant: %s" msg
+
+(* The list the ablation/CI matrices iterate: every single-knob variant
+   plus the composition, with the paper's CU range. *)
+let ablation_set =
+  [
+    default;
+    { default with v_split = false };
+    { default with v_pack = false };
+    { default with v_split = false; v_pack = false };
+    { default with v_cu = Some 1 };
+    { default with v_cu = Some 2 };
+  ]

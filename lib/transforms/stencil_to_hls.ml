@@ -82,9 +82,10 @@ let step_runs =
   ]
 
 (* Transform every kernel function into a fresh module; the input module
-   is left intact (verification re-interprets it). *)
-let run (m : Ir.op) =
-  let ctx = L.begin_ ~in_place:false m in
+   is left intact (verification re-interprets it).  [variant] selects an
+   ablated pipeline (Variant.t: no-split / no-pack / cu=N). *)
+let run ?variant (m : Ir.op) =
+  let ctx = L.begin_ ?variant ~in_place:false m in
   Fun.protect
     ~finally:(fun () -> L.release ctx)
     (fun () ->
@@ -93,8 +94,8 @@ let run (m : Ir.op) =
 
 (* Like [run], but each step goes through the pass manager so callers get
    per-step wall time and op-count deltas. *)
-let run_with_stats (m : Ir.op) =
-  let ctx = L.begin_ ~in_place:false m in
+let run_with_stats ?variant (m : Ir.op) =
+  let ctx = L.begin_ ?variant ~in_place:false m in
   Fun.protect
     ~finally:(fun () -> L.release ctx)
     (fun () ->
@@ -136,14 +137,24 @@ let parse_steps spec =
 let expand options =
   List.iter
     (fun (k, _) ->
-      if k <> "steps" then
+      if k <> "steps" && k <> "variant" then
         Err.raise_error "stencil-to-hls: unknown option %S" k)
     options;
+  (* `variant=` swaps step 1 for a variant-carrying classify pass: the
+     variant lives in the lowering context it opens, and the later steps
+     read it from there (e.g. stencil-to-hls{variant=no-split+cu=2}) *)
+  let passes =
+    match List.assoc_opt "variant" options with
+    | None -> step_passes
+    | Some spec ->
+      let variant = Variant.of_string_exn spec in
+      Step_classify.pass_with ~variant :: List.tl step_passes
+  in
   match List.assoc_opt "steps" options with
-  | None -> step_passes
+  | None -> passes
   | Some spec ->
     let a, b = parse_steps spec in
-    List.filteri (fun i _ -> i + 1 >= a && i + 1 <= b) step_passes
+    List.filteri (fun i _ -> i + 1 >= a && i + 1 <= b) passes
 
 let register () =
   L.register_placeholders ();

@@ -54,11 +54,13 @@ type plan = Lowering_ctx.plan = {
 val step_passes : Pass.t list
 
 (** Transform every kernel of a module into a fresh module; the input is
-    left intact. *)
-val run : Ir.op -> Ir.op * (plan * Ir.op) list
+    left intact.  [variant] (default the full pipeline) selects an
+    ablated pipeline — see {!Variant}. *)
+val run : ?variant:Variant.t -> Ir.op -> Ir.op * (plan * Ir.op) list
 
 (** [run] with per-step pass statistics. *)
-val run_with_stats : Ir.op -> Ir.op * (plan * Ir.op) list * Pass.stat list
+val run_with_stats :
+  ?variant:Variant.t -> Ir.op -> Ir.op * (plan * Ir.op) list * Pass.stat list
 
 (** In-place variant composing the nine steps, named "stencil-to-hls". *)
 val pass : Pass.t

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Bench regression gate: compare a fresh bechamel run against the
+# committed baseline and fail on significant slowdowns.
+#
+#   dune exec bench/main.exe -- bechamel-smoke --json bench-smoke.json
+#   scripts/check_bench_regression.sh bench-smoke.json
+#
+# Only rows present in BOTH files are compared (the smoke run is a
+# subset of the full suite behind BENCH_pipeline.json), and a row fails
+# when it is more than TOLERANCE times slower than the baseline.  The
+# default tolerance is deliberately loose (1.25x) because CI machines
+# differ from the one that produced the baseline; it catches order-of-
+# magnitude regressions (an accidental O(n^2) hot path), not percent
+# drift.  Override with TOLERANCE=2.0 etc.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+NEW=${1:-bench-smoke.json}
+BASELINE=${2:-BENCH_pipeline.json}
+TOLERANCE=${TOLERANCE:-1.25}
+
+for f in "$NEW" "$BASELINE"; do
+  if [[ ! -f $f ]]; then
+    echo "error: $f not found" >&2
+    echo "usage: $0 [new.json] [baseline.json]" >&2
+    exit 2
+  fi
+done
+
+# Pull "name": ns rows out of the results_ns_per_run block of a
+# BENCH_pipeline-format JSON file (one row per line: name<TAB>ns).
+rows () {
+  awk '
+    /"results_ns_per_run"/ { in_block = 1; next }
+    in_block && /^[[:space:]]*\}/ { in_block = 0 }
+    in_block {
+      if (match($0, /"[^"]+"/)) {
+        name = substr($0, RSTART + 1, RLENGTH - 2)
+        rest = substr($0, RSTART + RLENGTH)
+        if (match(rest, /[0-9.]+/))
+          printf "%s\t%s\n", name, substr(rest, RSTART, RLENGTH)
+      }
+    }' "$1" | LC_ALL=C sort
+}
+
+rows "$NEW" > /tmp/bench_new.$$
+rows "$BASELINE" > /tmp/bench_base.$$
+trap 'rm -f /tmp/bench_new.$$ /tmp/bench_base.$$' EXIT
+
+status=0
+compared=0
+while IFS=$'\t' read -r name new_ns base_ns; do
+  compared=$((compared + 1))
+  verdict=$(awk -v n="$new_ns" -v b="$base_ns" -v t="$TOLERANCE" \
+    'BEGIN { printf "%.2f %s", n / b, (n > b * t) ? "FAIL" : "ok" }')
+  ratio=${verdict% *}
+  if [[ ${verdict#* } == FAIL ]]; then
+    status=1
+    printf 'REGRESSION  %-45s %14.1f ns vs %14.1f ns (%sx > %sx)\n' \
+      "$name" "$new_ns" "$base_ns" "$ratio" "$TOLERANCE"
+  else
+    printf 'ok          %-45s %14.1f ns vs %14.1f ns (%sx)\n' \
+      "$name" "$new_ns" "$base_ns" "$ratio"
+  fi
+done < <(join -t $'\t' /tmp/bench_new.$$ /tmp/bench_base.$$)
+
+if [[ $compared -eq 0 ]]; then
+  echo "error: no common benchmark rows between $NEW and $BASELINE" >&2
+  exit 2
+fi
+
+if [[ $status -eq 0 ]]; then
+  echo "bench regression gate: $compared rows within ${TOLERANCE}x of $BASELINE"
+else
+  echo "bench regression gate FAILED (tolerance ${TOLERANCE}x vs $BASELINE)" >&2
+fi
+exit $status

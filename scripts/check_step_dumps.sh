@@ -8,6 +8,13 @@
 #      so a regression names the exact step that first diverged, and
 #   2. diff the final dump byte-for-byte against test/golden/*.hls.mlir.
 #
+# The ablation variants (stencil-to-hls{variant=...}) are covered too:
+# each variant pipeline's dumps are digested under "<kernel>@<variant>/",
+# so a regression in an ablated pipeline names both the variant and the
+# first step that diverged.  The final-module golden diff applies to the
+# default pipeline only (the variants' end states are covered by their
+# digests and by the functional parity tests).
+#
 # Regenerate the digest file after an intentional pipeline change with:
 #   scripts/check_step_dumps.sh --update
 set -euo pipefail
@@ -38,6 +45,7 @@ GOLDEN=test/golden
 SUMS=$GOLDEN/steps.sum
 
 KERNELS=("pw_advection 12x8x6" "tracer_advection 10x8x8")
+VARIANTS=("no-split" "no-pack" "no-split+no-pack" "cu=2")
 
 if [[ ! -x $OPT || ! -x $COMPILE ]]; then
   echo "error: build the binaries first (dune build)" >&2
@@ -47,18 +55,28 @@ fi
 tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"' EXIT
 
-dump () { # kernel grid
-  local name=$1 grid=$2
-  local dir="$tmp/$name"
+dump () { # kernel grid [variant]
+  local name=$1 grid=$2 variant=${3:-}
+  local dir pipe
+  if [[ -z $variant ]]; then
+    dir="$tmp/$name"
+    pipe="stencil-to-hls"
+  else
+    dir="$tmp/$name@$variant"
+    pipe="stencil-to-hls{variant=$variant}"
+  fi
   mkdir -p "$dir"
   "$COMPILE" "$name" --grid "$grid" --emit stencil \
     | tail -n +2 > "$dir/input.stencil.mlir"
-  "$OPT" -p stencil-to-hls --verify-each --dump-after all --dump-dir "$dir" \
+  "$OPT" -p "$pipe" --verify-each --dump-after all --dump-dir "$dir" \
     "$dir/input.stencil.mlir" > /dev/null
 }
 
 for entry in "${KERNELS[@]}"; do
   dump $entry
+  for v in "${VARIANTS[@]}"; do
+    dump $entry "$v"
+  done
 done
 
 if [[ $UPDATE -eq 1 ]]; then

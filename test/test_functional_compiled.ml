@@ -23,8 +23,8 @@ let args_of_state (st : Interp.kernel_state) =
 (* Run interpreter and compiled plan on identical fresh inputs; compare
    every float of every field and small, bit for bit (full padded
    arrays, halos included — NaNs compare equal by bits). *)
-let check_bit_identical ?(seed = 7) (k : Shmls.Ast.kernel) ~grid =
-  let c = Shmls.compile_cached k ~grid in
+let check_bit_identical ?(seed = 7) ?variant (k : Shmls.Ast.kernel) ~grid =
+  let c = Shmls.compile_cached ?variant k ~grid in
   let a = Interp.alloc_state ~seed c.c_lowered in
   let b = Interp.alloc_state ~seed c.c_lowered in
   Functional.run c.c_design ~args:(args_of_state a);
@@ -83,6 +83,105 @@ let test_verify_compiled_matches_interp () =
       Alcotest.(check (float 0.0)) "interp bit-exact" 0.0 vi.v_max_diff;
       Alcotest.(check (float 0.0)) "compiled bit-exact" 0.0 vc.v_max_diff)
     H.all_test_kernels
+
+(* -- pipeline variants ------------------------------------------------ *)
+
+(* The ablated pipelines (no-split / no-pack / cu=N) are real designs:
+   every variant must stay bit-exact against the reference stencil
+   interpreter through *both* functional engines, on both paper
+   kernels.  On failure the variant is named so the diverging pipeline
+   is identifiable without re-running. *)
+
+let variant_kernels =
+  [
+    (Shmls_kernels.Pw_advection.kernel, Shmls_kernels.Pw_advection.grid_small);
+    ( Shmls_kernels.Tracer_advection.kernel,
+      Shmls_kernels.Tracer_advection.grid_small );
+  ]
+
+let test_variants_bit_exact () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun (k, grid) ->
+          let c = Shmls.compile_cached ~variant k ~grid in
+          let vi = Shmls.verify ~sim:Shmls.Interp c in
+          let vc = Shmls.verify ~sim:Shmls.Compiled c in
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s{%s} interp bit-exact" k.k_name
+               (Shmls.Variant.to_string variant))
+            0.0 vi.v_max_diff;
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s{%s} compiled bit-exact" k.k_name
+               (Shmls.Variant.to_string variant))
+            0.0 vc.v_max_diff)
+        variant_kernels)
+    Shmls.Variant.ablation_set
+
+let test_variants_engines_bit_identical () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun (k, grid) -> check_bit_identical ~variant k ~grid)
+        variant_kernels)
+    Shmls.Variant.ablation_set
+
+(* Structural spot checks: the variants change the *design*, not just a
+   model parameter. *)
+let test_variant_designs_differ () =
+  let k = Shmls_kernels.Pw_advection.kernel in
+  let grid = Shmls_kernels.Pw_advection.grid_small in
+  let design v = (Shmls.compile_cached ~variant:v k ~grid).c_design in
+  let computes d =
+    List.filter
+      (fun s -> match s with Shmls.Design.Compute _ -> true | _ -> false)
+      d.Shmls.Design.d_stages
+  in
+  let full = design Shmls.Variant.default in
+  let no_split = design { Shmls.Variant.default with v_split = false } in
+  let no_pack = design { Shmls.Variant.default with v_pack = false } in
+  let cu2 = design { Shmls.Variant.default with v_cu = Some 2 } in
+  Alcotest.(check bool)
+    "split pipeline has concurrent compute stages" true
+    (List.length (computes full) > 1);
+  Alcotest.(check int) "no-split fuses into one compute stage" 1
+    (List.length (computes no_split));
+  let serial d =
+    List.fold_left
+      (fun acc s ->
+        match s with
+        | Shmls.Design.Compute c -> max acc c.serial
+        | _ -> acc)
+      1 d.Shmls.Design.d_stages
+  in
+  Alcotest.(check bool) "no-split compute is serialised" true
+    (serial no_split > 1);
+  Alcotest.(check int) "full design uses packed 64 B ports" 64
+    full.Shmls.Design.d_port_bytes;
+  Alcotest.(check int) "no-pack design uses scalar 8-bit ports" 1
+    no_pack.Shmls.Design.d_port_bytes;
+  Alcotest.(check int) "cu=2 is baked into the design" 2
+    cu2.Shmls.Design.d_cu
+
+(* Variant syntax round-trips, so pipeline strings and CLI flags agree. *)
+let test_variant_parsing () =
+  List.iter
+    (fun v ->
+      match Shmls.Variant.of_string (Shmls.Variant.to_string v) with
+      | Ok v' ->
+        Alcotest.(check bool)
+          (Printf.sprintf "round-trip %s" (Shmls.Variant.to_string v))
+          true (v = v')
+      | Error e -> Alcotest.failf "round-trip failed: %s" e)
+    Shmls.Variant.ablation_set;
+  (match Shmls.Variant.of_string "no-split+cu=3" with
+  | Ok v ->
+    Alcotest.(check bool) "composed variant" true
+      (v = { Shmls.Variant.v_split = false; v_pack = true; v_cu = Some 3 })
+  | Error e -> Alcotest.failf "compose failed: %s" e);
+  (match Shmls.Variant.of_string "bogus" with
+  | Ok _ -> Alcotest.fail "bogus variant accepted"
+  | Error _ -> ())
 
 (* -- error parity ---------------------------------------------------- *)
 
@@ -191,6 +290,17 @@ let () =
           Alcotest.test_case "verify both engines" `Quick
             test_verify_compiled_matches_interp;
           qcheck_random_kernels_bit_identical;
+        ] );
+      ( "pipeline variants",
+        [
+          Alcotest.test_case "every variant bit-exact vs interpreter" `Quick
+            test_variants_bit_exact;
+          Alcotest.test_case "engines bit-identical per variant" `Quick
+            test_variants_engines_bit_identical;
+          Alcotest.test_case "variant designs structurally differ" `Quick
+            test_variant_designs_differ;
+          Alcotest.test_case "variant syntax round-trips" `Quick
+            test_variant_parsing;
         ] );
       ( "error parity",
         [
