@@ -1,11 +1,18 @@
 (* shmls-compile: the end-to-end driver (the paper's Figure 1 flow).
 
-   Takes a kernel — a built-in one by name, or a textual kernel file in
-   the PSyclone-stand-in language — and a grid, runs the full
-   Stencil-HMLS pipeline, and writes/prints the artefacts:
+   The default command takes one kernel — a built-in one by name, or a
+   textual kernel file in the PSyclone-stand-in language — and a grid,
+   runs the full Stencil-HMLS pipeline, and writes/prints the artefacts:
 
      shmls-compile pw_advection --grid 64x64x32 --emit all -o out/
-     shmls-compile my_kernel.psy --grid 32x32x16 --verify --evaluate *)
+     shmls-compile my_kernel.psy --grid 32x32x16 --verify --evaluate
+
+   The [sweep] subcommand evaluates the cross product of kernels and
+   grids on the work-stealing pool, streaming one JSON Lines row per
+   configuration as it completes:
+
+     shmls-compile sweep heat_3d laplace_2d --grids 32x32x16,64x64x32 \
+       --verify --sim compiled --out results.jsonl *)
 
 let builtin_kernels =
   [
@@ -129,6 +136,129 @@ let run_tool kernel_spec grid_spec variant_spec emit outdir verify evaluate
     `Error (false, Shmls.Psy_parser.parse_error_message exn)
   | Failure msg -> `Error (false, msg)
 
+(* ------------------------------------------------------------------ *)
+(* The sweep subcommand: kernels x grids on the work-stealing pool,
+   streamed as JSON Lines. *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let row_json ~variant ~idx ~kernel_name ~grid (outcomes, verification) =
+  let flow_json o =
+    match o with
+    | Shmls.Flow.Success s ->
+      Printf.sprintf {|{"flow":"%s","ok":true,"mpts":%.6g}|}
+        (json_escape s.s_flow) s.s_est.Shmls.Perf_model.e_mpts
+    | Shmls.Flow.Failure f ->
+      Printf.sprintf {|{"flow":"%s","ok":false,"reason":"%s"}|}
+        (json_escape f.f_flow) (json_escape f.f_reason)
+  in
+  let verify_field =
+    match verification with
+    | None -> ""
+    | Some (v : Shmls.verification) ->
+      Printf.sprintf {|,"verify_max_diff":%.6g|} v.v_max_diff
+  in
+  Printf.sprintf {|{"index":%d,"kernel":"%s","grid":[%s],"variant":"%s","flows":[%s]%s}|}
+    idx (json_escape kernel_name)
+    (String.concat "," (List.map string_of_int grid))
+    (json_escape (Shmls.Variant.to_string variant))
+    (String.concat "," (List.map flow_json outcomes))
+    verify_field
+
+let run_sweep kernel_specs grids_spec variant_spec sim verify seed jobs chunk
+    out =
+  try
+    let kernels = List.map load_kernel kernel_specs in
+    let grids =
+      String.split_on_char ',' grids_spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map parse_grid
+    in
+    if grids = [] then failwith "empty --grids";
+    let sim =
+      match Shmls.sim_of_string sim with Ok s -> s | Error m -> failwith m
+    in
+    let variant =
+      match Shmls.Variant.of_string variant_spec with
+      | Ok v -> v
+      | Error m -> failwith m
+    in
+    let configs =
+      List.concat_map (fun k -> List.map (fun g -> (k, g)) grids) kernels
+    in
+    let names_grids =
+      List.map
+        (fun ((k : Shmls.Ast.kernel), g) -> (k.k_name, g))
+        configs
+      |> Array.of_list
+    in
+    let out_channel = if out = "" then None else Some (open_out out) in
+    let emit idx row =
+      let name, grid = names_grids.(idx) in
+      let line = row_json ~variant ~idx ~kernel_name:name ~grid row in
+      (match out_channel with
+      | Some oc ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc
+      | None -> ());
+      let _, verification = row in
+      Printf.printf "[%d/%d] %s %s%s\n%!" (idx + 1) (Array.length names_grids)
+        name
+        (String.concat "x" (List.map string_of_int grid))
+        (match verification with
+        | Some v -> Printf.sprintf " (verify max |diff| = %g)" v.v_max_diff
+        | None -> "")
+    in
+    let finally () = Option.iter close_out out_channel in
+    Fun.protect ~finally (fun () ->
+        let chunk = if chunk > 0 then Some chunk else None in
+        let results =
+          Shmls.sweep ~jobs ?chunk ~on_result:emit ~sim ~verify_designs:verify
+            ~seed ~variant configs
+        in
+        let failures =
+          List.concat_map
+            (fun (outcomes, _) ->
+              List.filter_map
+                (function
+                  | Shmls.Flow.Failure { f_flow; _ } -> Some f_flow
+                  | Shmls.Flow.Success _ -> None)
+                outcomes)
+            results
+        in
+        let bad_verify =
+          List.exists
+            (fun (_, v) ->
+              match v with
+              | Some (v : Shmls.verification) -> v.v_max_diff > 1e-9
+              | None -> false)
+            results
+        in
+        Printf.printf "swept %d configuration(s): %d flow failure(s)\n"
+          (List.length results) (List.length failures);
+        if out <> "" then Printf.printf "wrote %s\n" out;
+        if bad_verify then failwith "verification FAILED for some configuration");
+    `Ok ()
+  with
+  | Shmls_support.Err.Error e -> `Error (false, Shmls_support.Err.to_string e)
+  | Shmls.Psy_parser.Parse_error _ as exn ->
+    `Error (false, Shmls.Psy_parser.parse_error_message exn)
+  | Failure msg -> `Error (false, msg)
+
 open Cmdliner
 
 let kernel_arg =
@@ -202,21 +332,80 @@ let sim_arg =
 
 let jobs_arg =
   Arg.(
-    value & opt int 1
+    value & opt int 0
     & info [ "j"; "jobs" ] ~docv:"N"
         ~doc:
-          "Worker domains for --evaluate (the five flows run in \
-           parallel). 1 (the default) is sequential and byte-identical \
-           to historical output; 0 uses all cores.")
+          "Concurrent streams of work. 0 (the default) is adaptive: all \
+           available cores, degrading to the plain sequential path on a \
+           one-core machine. 1 forces sequential execution; results are \
+           byte-identical either way.")
+
+let compile_term =
+  Term.(
+    ret
+      (const run_tool $ kernel_arg $ grid_arg $ variant_arg $ emit_arg
+     $ outdir_arg $ verify_arg $ evaluate_arg $ report_arg $ trace_arg
+     $ pass_stats_arg $ sim_arg $ jobs_arg))
+
+let sweep_kernels_arg =
+  Arg.(
+    non_empty
+    & pos_all string []
+    & info [] ~docv:"KERNEL" ~doc:"Built-in kernel names or .psy kernel files.")
+
+let grids_arg =
+  Arg.(
+    value & opt string "32x32x16"
+    & info [ "grids" ] ~docv:"GRIDS"
+        ~doc:"Comma-separated grid list, e.g. 32x32x16,64x64x32.")
+
+let seed_arg =
+  Arg.(
+    value & opt int 7
+    & info [ "seed" ] ~docv:"N" ~doc:"Seed for the verification inputs.")
+
+let chunk_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "chunk" ] ~docv:"N"
+        ~doc:
+          "Scheduling granularity of the work-stealing pool (configurations \
+           claimed per scheduler interaction). 0 picks an adaptive size; \
+           results are identical for every setting.")
+
+let out_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "out" ] ~docv:"FILE"
+        ~doc:
+          "Stream one JSON Lines row per configuration to FILE as results \
+           complete (in configuration order, so the file is always a prefix \
+           of the full sweep).")
+
+let sweep_cmd =
+  let doc =
+    "evaluate the cross product of kernels and grids on the work-stealing \
+     pool, streaming JSON Lines rows"
+  in
+  Cmd.v
+    (Cmd.info "shmls-compile sweep" ~doc)
+    Term.(
+      ret
+        (const run_sweep $ sweep_kernels_arg $ grids_arg $ variant_arg
+       $ sim_arg $ verify_arg $ seed_arg $ jobs_arg $ chunk_arg $ out_arg))
 
 let cmd =
   let doc = "compile stencil kernels through the Stencil-HMLS pipeline" in
-  Cmd.v
-    (Cmd.info "shmls-compile" ~doc)
-    Term.(
-      ret
-        (const run_tool $ kernel_arg $ grid_arg $ variant_arg $ emit_arg
-       $ outdir_arg $ verify_arg $ evaluate_arg $ report_arg $ trace_arg
-       $ pass_stats_arg $ sim_arg $ jobs_arg))
+  Cmd.v (Cmd.info "shmls-compile" ~doc) compile_term
 
-let () = exit (Cmd.eval cmd)
+(* [sweep] is routed by hand rather than with [Cmd.group] so that the
+   historical single-kernel interface keeps its positional argument
+   (a group would read any first positional as a command name). *)
+let () =
+  let argv = Sys.argv in
+  if Array.length argv > 1 && argv.(1) = "sweep" then
+    let argv =
+      Array.append [| argv.(0) |] (Array.sub argv 2 (Array.length argv - 2))
+    in
+    exit (Cmd.eval ~argv sweep_cmd)
+  else exit (Cmd.eval cmd)

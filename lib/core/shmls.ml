@@ -59,9 +59,10 @@ type compiled = {
   c_connectivity : string; (* v++ connectivity config *)
   c_pass_stats : Pass.stat list; (* per-step HLS lowering statistics *)
   c_plan : Stage_compiler.t Lazy.t;
-      (* compiled functional-sim plan; forced on first Compiled verify.
-         Forcing must stay sequential — parallel sweep jobs build
-         private plans instead (plans carry mutable run state). *)
+      (* compiled functional-sim plan; forced on first Compiled verify
+         via [plan_of] (mutex-guarded: [Lazy.force] is not domain-safe).
+         The plan itself is immutable and shared across domains —
+         per-run mutation lives in Stage_compiler.Run_state. *)
 }
 
 (* Raw pipeline executions, cached or not: lets tests assert how many
@@ -147,34 +148,33 @@ let compile_cache : (Digest.t, compiled) Hashtbl.t = Hashtbl.create 16
 
 (* The cache is process-global and evaluations may run from worker
    domains ({!Pool}), so lookups and inserts take this mutex; the
-   compile itself runs outside it. *)
+   compile itself runs outside it.  The hit/miss counters are plain
+   atomics — [compile_cache_stats] needs no lock, and the counters stay
+   correct from any domain. *)
 let compile_cache_mutex = Mutex.create ()
-let compile_cache_hits = ref 0
-let compile_cache_misses = ref 0
+let compile_cache_hits = Atomic.make 0
+let compile_cache_misses = Atomic.make 0
 
 let compile_cache_stats () =
-  Mutex.protect compile_cache_mutex (fun () ->
-      (!compile_cache_hits, !compile_cache_misses))
+  (Atomic.get compile_cache_hits, Atomic.get compile_cache_misses)
 
 let compile_cached ?(balance_depths = true) ?(split_applies = true)
     ?(variant = Variant.default) (kernel : Ast.kernel) ~grid =
   let key = compile_key ~balance_depths ~split_applies ~variant kernel ~grid in
   match
     Mutex.protect compile_cache_mutex (fun () ->
-        match Hashtbl.find_opt compile_cache key with
-        | Some c ->
-          incr compile_cache_hits;
-          Some c
-        | None -> None)
+        Hashtbl.find_opt compile_cache key)
   with
-  | Some c -> c
+  | Some c ->
+    Atomic.incr compile_cache_hits;
+    c
   | None ->
     let c = compile ~balance_depths ~split_applies ~variant kernel ~grid in
     Mutex.protect compile_cache_mutex (fun () ->
         match Hashtbl.find_opt compile_cache key with
         | Some winner -> winner (* another domain raced us to it *)
         | None ->
-          incr compile_cache_misses;
+          Atomic.incr compile_cache_misses;
           Hashtbl.replace compile_cache key c;
           c)
 
@@ -221,10 +221,9 @@ let reference_state ~seed (c : compiled) =
           st)
 
 let reset_compile_cache () =
-  Mutex.protect compile_cache_mutex (fun () ->
-      Hashtbl.reset compile_cache;
-      compile_cache_hits := 0;
-      compile_cache_misses := 0);
+  Mutex.protect compile_cache_mutex (fun () -> Hashtbl.reset compile_cache);
+  Atomic.set compile_cache_hits 0;
+  Atomic.set compile_cache_misses 0;
   Mutex.protect ref_state_mutex (fun () -> Hashtbl.reset ref_state_cache);
   Atomic.set compile_runs_counter 0
 
@@ -259,11 +258,24 @@ let verify_with ~seed ~run_design (c : compiled) =
   let max_diff = List.fold_left (fun acc (_, d) -> Float.max acc d) 0.0 fields in
   { v_fields = fields; v_max_diff = max_diff }
 
+(* [Lazy.force] is not domain-safe (two domains forcing the same
+   suspension at once is undefined), so all forcing of [c_plan] goes
+   through this mutex.  The [Lazy.is_val] fast path skips the lock once
+   the plan exists — after that, sharing the forced plan across domains
+   is exactly what the plan/run-state split is for. *)
+let plan_mutex = Mutex.create ()
+
+let plan_of (c : compiled) =
+  if Lazy.is_val c.c_plan then Lazy.force c.c_plan
+  else Mutex.protect plan_mutex (fun () -> Lazy.force c.c_plan)
+
 let runner_of_sim sim (c : compiled) =
   match sim with
   | Interp -> fun ~args -> Functional.run c.c_design ~args
   | Compiled ->
-    let plan = Lazy.force c.c_plan in
+    let plan = plan_of c in
+    (* Stage_compiler.run uses a per-domain cached run state, so this
+       runner is safe to call concurrently from several domains *)
     fun ~args -> Stage_compiler.run plan ~args
 
 let verify ?(seed = 7) ?(sim = Interp) (c : compiled) =
@@ -303,11 +315,13 @@ let evaluate_hmls ?(cu = -1) (c : compiled) : Flow.outcome =
     }
 
 (* All five flows on one kernel/size, in the paper's order.  The flows
-   are independent, so with [jobs > 1] they run on a domain pool;
-   [Pool.map_list] preserves order, and the default [jobs = 1] runs
-   everything sequentially in the calling domain (byte-identical to the
-   historical behaviour). *)
-let evaluate_all ?(jobs = 1) ?(variant = Variant.default) (kernel : Ast.kernel)
+   are independent, so they may run on a domain pool; [Pool.map_list]
+   preserves order, so the result is byte-identical to a sequential run.
+   [jobs] follows the global convention: [0] (the default) is adaptive —
+   the shared machine-sized pool, which on a one-domain box degrades to
+   the plain sequential path; [1] forces sequential; [n > 1] uses a
+   dedicated pool of [n] streams. *)
+let evaluate_all ?(jobs = 0) ?(variant = Variant.default) (kernel : Ast.kernel)
     ~grid =
   let flows =
     [
@@ -332,12 +346,20 @@ let evaluate_all ?(jobs = 1) ?(variant = Variant.default) (kernel : Ast.kernel)
 
    Compilation runs sequentially up front — IR construction wants
    deterministic ids for anything that prints golden output, and every
-   job afterwards only *reads* the shared [compiled] records.  The
-   parallel phase evaluates flows and (optionally) verifies designs; a
-   Compiled verification builds a private plan per job when running in
-   parallel, because plans carry mutable run state. *)
-let sweep ?(jobs = 1) ?(sim = Interp) ?(verify_designs = false) ?(seed = 7)
-    ?(variant = Variant.default) (configs : (Ast.kernel * int list) list) =
+   job afterwards only *reads* the shared [compiled] records.  For a
+   Compiled sweep the shared plan is forced up front too, so the
+   parallel phase does zero plan compilation: every job runs the same
+   immutable plan against its own per-domain run state.
+
+   [on_result] streams rows as they complete, in index order: row [i] is
+   emitted only after rows [0..i-1], so a consumer writing JSON Lines
+   sees exactly the sequential output prefix at any point in time.  If a
+   configuration raises, rows after it are withheld and the error
+   re-raises for the smallest failing index, as a sequential loop would
+   report first. *)
+let sweep ?(jobs = 0) ?chunk ?on_result ?(sim = Interp)
+    ?(verify_designs = false) ?(seed = 7) ?(variant = Variant.default)
+    (configs : (Ast.kernel * int list) list) =
   let prepared =
     List.map
       (fun (kernel, grid) ->
@@ -345,32 +367,47 @@ let sweep ?(jobs = 1) ?(sim = Interp) ?(verify_designs = false) ?(seed = 7)
           try Ok (compile_cached ~variant kernel ~grid)
           with Err.Error e -> Error e
         in
+        (match (verify_designs, sim, c) with
+        | true, Compiled, Ok c -> ignore (plan_of c)
+        | _ -> ());
         (kernel, grid, c))
       configs
   in
   let eval (kernel, grid, c) =
-    let outcomes = evaluate_all ~variant kernel ~grid in
+    (* the sweep itself is the parallel axis, so the per-config flow
+       evaluation stays sequential inside its job (no nested pools) *)
+    let outcomes = evaluate_all ~jobs:1 ~variant kernel ~grid in
     let verification =
       match (verify_designs, c) with
-      | true, Ok c ->
-        let run_design =
-          match sim with
-          | Interp -> fun ~args -> Functional.run c.c_design ~args
-          | Compiled when jobs = 1 ->
-            let plan = Lazy.force c.c_plan in
-            fun ~args -> Stage_compiler.run plan ~args
-          | Compiled ->
-            (* private plan: no shared mutable run state across jobs *)
-            let plan = Stage_compiler.compile c.c_design in
-            fun ~args -> Stage_compiler.run plan ~args
-        in
-        Some (verify_with ~seed ~run_design c)
+      | true, Ok c -> Some (verify_with ~seed ~run_design:(runner_of_sim sim c) c)
       | _ -> None
     in
     (outcomes, verification)
   in
-  if jobs = 1 then List.map eval prepared
-  else Pool.with_pool ~jobs (fun p -> Pool.map_list p eval prepared)
+  let eval_one =
+    match on_result with
+    | None -> fun (_, item) -> eval item
+    | Some emit ->
+      (* in-order streaming: park out-of-order completions and flush the
+         contiguous prefix under a lock *)
+      let em = Mutex.create () in
+      let next = ref 0 in
+      let parked = Hashtbl.create 16 in
+      fun (i, item) ->
+        let r = eval item in
+        Mutex.protect em (fun () ->
+            Hashtbl.replace parked i r;
+            while Hashtbl.mem parked !next do
+              emit !next (Hashtbl.find parked !next);
+              Hashtbl.remove parked !next;
+              incr next
+            done);
+        r
+  in
+  let indexed = List.mapi (fun i item -> (i, item)) prepared in
+  if jobs = 1 then List.map eval_one indexed
+  else
+    Pool.with_pool ~jobs (fun p -> Pool.map_list ?chunk p eval_one indexed)
 
 (* ------------------------------------------------------------------ *)
 (* Artefact output *)
@@ -387,7 +424,6 @@ let emit_circt_text (c : compiled) = Shmls_circt.Circt.emit c.c_design
 let report_text ?(sim = Interp) (c : compiled) =
   match sim with
   | Interp -> Shmls_fpga.Report.render c.c_design
-  | Compiled ->
-    Shmls_fpga.Report.render ~sim_plan:(Lazy.force c.c_plan) c.c_design
+  | Compiled -> Shmls_fpga.Report.render ~sim_plan:(plan_of c) c.c_design
 let emit_stencil_text (c : compiled) = Printer.to_string c.c_lowered.l_module
 let emit_hls_text (c : compiled) = Printer.to_string c.c_hls_module

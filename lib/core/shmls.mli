@@ -53,9 +53,12 @@ type compiled = {
   c_pass_stats : Pass.stat list;
       (** wall time / op-count deltas of the nine HLS lowering steps *)
   c_plan : Stage_compiler.t Lazy.t;
-      (** compiled functional-simulation plan, built once on first use
-          (forcing must stay sequential; parallel sweeps build private
-          plans because plans carry mutable run state) *)
+      (** compiled functional-simulation plan, built once on first use.
+          The plan is immutable and shared across domains — parallel
+          sweeps run it against per-domain run states. Force it through
+          the library entry points ({!verify}, {!sweep}, {!report_text}),
+          which serialize the forcing; [Lazy.force] from several domains
+          at once is not safe. *)
 }
 
 (** Run the full Stencil-HMLS compilation pipeline. [balance_depths]
@@ -111,21 +114,41 @@ val verify : ?seed:int -> ?sim:sim -> compiled -> verification
 val evaluate_hmls : ?cu:int -> compiled -> Flow.outcome
 
 (** All five flows (Stencil-HMLS, DaCe, SODA-opt, Vitis HLS,
-    StencilFlow), in the paper's order. With [jobs > 1] the independent
-    flows run on a domain pool; results are order-preserving and the
-    default [jobs = 1] is sequential (byte-identical output). *)
+    StencilFlow), in the paper's order. The independent flows may run on
+    a domain pool; results are order-preserving, so the output is
+    byte-identical regardless of [jobs]. [jobs] follows the global
+    convention: [0] (the default) is adaptive — the shared pool sized to
+    [Pool.default_jobs ()], a no-op on a one-domain machine; [1] forces
+    sequential; [n > 1] uses a dedicated pool of [n] streams. *)
 val evaluate_all :
   ?jobs:int -> ?variant:Variant.t -> Ast.kernel -> grid:int list ->
   Flow.outcome list
 
 (** Evaluate many (kernel, grid) configurations — the grid-sweep
-    experiment driver. Compilation runs sequentially up front (cached);
-    with [jobs > 1] the per-configuration evaluations (and optional
-    design verifications) run on a domain pool, order-preserving.
+    experiment driver. Compilation runs sequentially up front (cached,
+    and for [sim = Compiled] the shared plan is forced up front too);
+    the per-configuration evaluations (and optional design
+    verifications) then run on a chunked work-stealing domain pool, all
+    sharing one immutable plan per configuration with per-domain run
+    states — zero plan compiles in the parallel phase.
+
+    Results are order-preserving and byte-identical to a sequential
+    loop for every [jobs]/[chunk] setting, including error semantics
+    (the smallest failing index re-raises). [jobs] follows the global
+    convention ([0] = adaptive, [1] = sequential, [n > 1] = dedicated
+    pool); [chunk] tunes scheduling granularity only.
+
+    [on_result] streams each configuration's row as it completes, in
+    index order: [on_result i row] is called after rows [0..i-1] have
+    been emitted, so a consumer writing JSON Lines observes a prefix of
+    the sequential output at all times. If a configuration fails, rows
+    after the smallest failing index are withheld.
     [verify_designs] adds a functional verification per configuration
-    using [sim]; [jobs = 1] is byte-identical to a sequential loop. *)
+    using [sim]. *)
 val sweep :
-  ?jobs:int -> ?sim:sim -> ?verify_designs:bool -> ?seed:int ->
+  ?jobs:int -> ?chunk:int ->
+  ?on_result:(int -> Flow.outcome list * verification option -> unit) ->
+  ?sim:sim -> ?verify_designs:bool -> ?seed:int ->
   ?variant:Variant.t ->
   (Ast.kernel * int list) list ->
   (Flow.outcome list * verification option) list

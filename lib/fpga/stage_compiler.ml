@@ -9,20 +9,32 @@
        base/offset pair (pointers and BRAM memrefs) or a flat scratch
        [float array] (shift-buffer neighbourhood tokens) — no hashtable
        lookup and no [value] boxing happens in the element loop;
-     - each region op becomes a [unit -> unit] step closure capturing
-       its slot indices (constants are folded into their slots at
-       compile time and emit no step at all);
+     - each region op becomes a step closure capturing its slot indices
+       (constants are folded into the plan's constant pool at compile
+       time and emit no step at all);
      - stream buffers are growable [float array] ring buffers with O(1)
        push/pop/length; a vector stream of width [w] stores [w]
        consecutive floats per token, so neighbourhoods travel as flat
        slices instead of boxed [Vector] tokens.
 
+   The compiled artefact is split in two:
+
+     - {!t}, the plan, is immutable once [compile] returns: slot
+       layout, per-op step closures over slot indices, the constant
+       pools, ring descriptors.  One plan is safely shared across any
+       number of domains — parallel sweeps share the memoised plan
+       instead of recompiling a private one per job.
+     - {!Run_state.t} holds every mutable word a run touches: register
+       files (seeded from the plan's constant pools), ring buffers,
+       neighbourhood scratch.  States are cheap to allocate, reusable
+       across runs, and cached per (domain, plan) so repeated runs on
+       the same worker reuse one allocation ({!run}).
+
    The interpreter in {!Functional} stays the reference oracle: the
    differential suite (test_functional_compiled) asserts bit-identical
    outputs and error parity (same message, same {!Loc}) on the paper
-   kernels and the zoo.  Plans carry mutable run state, so one plan must
-   not be executed from two domains at once — parallel sweeps compile a
-   private plan per job ({!Shmls.sweep}). *)
+   kernels and the zoo — including one shared plan driven concurrently
+   from several domains with independent run states. *)
 
 open Shmls_ir
 open Shmls_dialects
@@ -95,6 +107,23 @@ let ring_drop r n =
   r.rg_len <- r.rg_len - n
 
 (* ------------------------------------------------------------------ *)
+(* Per-run state: every mutable word a run touches lives here *)
+
+type run_state = {
+  mutable rs_args : Functional.value array;
+  rs_fregs : float array; (* seeded from the plan's float constant pool *)
+  rs_iregs : int array; (* seeded from the plan's int constant pool *)
+  rs_pbase : float array array;
+  rs_poff : int array;
+  rs_vecs : float array array; (* neighbourhood scratch, one per KV slot *)
+  rs_rings : ring array; (* plan ring-descriptor order (ascending id) *)
+}
+
+module Run_state = struct
+  type t = run_state
+end
+
+(* ------------------------------------------------------------------ *)
 (* Slot allocation *)
 
 type kind =
@@ -155,14 +184,7 @@ let rec alloc_op a (op : Ir.op) =
 (* ------------------------------------------------------------------ *)
 (* Plans *)
 
-type state = {
-  mutable args : Functional.value array;
-  fregs : float array;
-  iregs : int array;
-  pbase : float array array;
-  poff : int array;
-  vecs : float array array; (* neighbourhood scratch, one per KV slot *)
-}
+type ring_desc = { rd_stream : int; rd_width : int }
 
 type stats = {
   cs_fregs : int;
@@ -170,32 +192,57 @@ type stats = {
   cs_pregs : int;
   cs_vregs : int;
   cs_steps : int; (* compiled step closures across all stages *)
-  cs_folded : int; (* constants folded into slots at compile time *)
+  cs_folded : int; (* constants folded into the pools at compile time *)
 }
 
+(* The immutable plan: nothing in here is written after [compile]
+   returns, so one plan is freely shared across domains.  All the step
+   closures take the run state as an argument instead of capturing it. *)
 type t = {
+  pl_id : int; (* plan identity, keys the per-domain state cache *)
   pl_design : Design.t;
-  pl_state : state;
-  pl_rings : ring array; (* ascending stream id, for the drain check *)
-  pl_ring_of : (int, ring) Hashtbl.t;
-  pl_bind : Functional.value array -> unit;
-  pl_steps : (unit -> unit) array; (* stages, in topological order *)
+  pl_ring_descs : ring_desc array; (* ascending stream id, drain order *)
+  pl_const_f : float array; (* constant pool: initial float registers *)
+  pl_const_i : int array; (* constant pool: initial int registers *)
+  pl_np : int;
+  pl_vec_widths : int array;
+  pl_bind : Functional.value array -> run_state -> unit;
+  pl_steps : (run_state -> unit) array; (* stages, in topological order *)
   pl_stats : stats;
 }
 
 let compile_counter = Atomic.make 0
 let compile_count () = Atomic.get compile_counter
 let reset_compile_count () = Atomic.set compile_counter 0
-
+let state_counter = Atomic.make 0
+let state_count () = Atomic.get state_counter
+let reset_state_count () = Atomic.set state_counter 0
 let stats t = t.pl_stats
+
+let create_state (t : t) : run_state =
+  Atomic.incr state_counter;
+  {
+    rs_args = [||];
+    rs_fregs = Array.copy t.pl_const_f;
+    rs_iregs = Array.copy t.pl_const_i;
+    rs_pbase = Array.make (max 1 t.pl_np) [||];
+    rs_poff = Array.make (max 1 t.pl_np) 0;
+    rs_vecs = Array.map (fun w -> Array.make w 0.0) t.pl_vec_widths;
+    rs_rings =
+      Array.map
+        (fun rd -> ring_create ~stream:rd.rd_stream ~width:rd.rd_width)
+        t.pl_ring_descs;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Compute-stage compilation *)
 
 type cctx = {
-  st : state;
   al : alloc;
-  ring_of : (int, ring) Hashtbl.t;
+  const_f : float array; (* compile-time constant folding writes here *)
+  const_i : int array;
+  vec_w : int array; (* scratch width per KV slot *)
+  ring_index : (int, int) Hashtbl.t; (* SSA stream id -> rs_rings index *)
   mutable folded : int;
 }
 
@@ -222,53 +269,57 @@ let pslot c v =
 (* A float getter that mirrors the interpreter's [as_f] int coercion. *)
 let getf c v =
   match slot_exn c v with
-  | KF i ->
-    let fr = c.st.fregs in
-    fun () -> Array.unsafe_get fr i
-  | KI i ->
-    let ir = c.st.iregs in
-    fun () -> float_of_int (Array.unsafe_get ir i)
+  | KF i -> fun rs -> Array.unsafe_get rs.rs_fregs i
+  | KI i -> fun rs -> float_of_int (Array.unsafe_get rs.rs_iregs i)
   | _ -> Err.raise_error "functional sim: expected float"
 
-let ring_for c v =
+let ring_idx c v =
   let id = Ir.Value.id v in
-  match Hashtbl.find_opt c.ring_of id with
-  | Some r -> r
+  match Hashtbl.find_opt c.ring_index id with
+  | Some i -> i
   | None -> Err.raise_error "functional sim: read of unknown stream %d" id
 
-(* Compile one region op into an optional step closure.  Constants are
-   folded straight into their slots (SSA values never change, and plan
-   state is private to the plan, so the fold survives across runs). *)
-let rec compile_op c (op : Ir.op) : (unit -> unit) option =
-  let fr = c.st.fregs and ir = c.st.iregs in
+(* Compile one region op into an optional step closure over the run
+   state.  Constants are folded straight into the plan's constant pools
+   (SSA values never change, and every fresh run state copies the pools
+   into its register files, so the fold survives across runs). *)
+let rec compile_op c (op : Ir.op) : (run_state -> unit) option =
   let bin f =
     let d = fslot c (Ir.Op.result op 0) in
     match (slot_exn c (Ir.Op.operand op 0), slot_exn c (Ir.Op.operand op 1)) with
     | KF a, KF b ->
-      Some (fun () -> Array.unsafe_set fr d (f (Array.unsafe_get fr a) (Array.unsafe_get fr b)))
+      Some
+        (fun rs ->
+          let fr = rs.rs_fregs in
+          Array.unsafe_set fr d
+            (f (Array.unsafe_get fr a) (Array.unsafe_get fr b)))
     | _ ->
       let ga = getf c (Ir.Op.operand op 0) and gb = getf c (Ir.Op.operand op 1) in
-      Some (fun () -> Array.unsafe_set fr d (f (ga ()) (gb ())))
+      Some (fun rs -> Array.unsafe_set rs.rs_fregs d (f (ga rs) (gb rs)))
   in
   let bini f =
     let d = islot c (Ir.Op.result op 0) in
     let a = islot c (Ir.Op.operand op 0) and b = islot c (Ir.Op.operand op 1) in
-    Some (fun () -> Array.unsafe_set ir d (f (Array.unsafe_get ir a) (Array.unsafe_get ir b)))
+    Some
+      (fun rs ->
+        let ir = rs.rs_iregs in
+        Array.unsafe_set ir d
+          (f (Array.unsafe_get ir a) (Array.unsafe_get ir b)))
   in
   let un f =
     let d = fslot c (Ir.Op.result op 0) in
     let g = getf c (Ir.Op.operand op 0) in
-    Some (fun () -> Array.unsafe_set fr d (f (g ())))
+    Some (fun rs -> Array.unsafe_set rs.rs_fregs d (f (g rs)))
   in
   match Ir.Op.name op with
   | "arith.constant" -> (
     c.folded <- c.folded + 1;
     match Ir.Op.get_attr_exn op "value" with
     | Attr.Float f ->
-      fr.(fslot c (Ir.Op.result op 0)) <- f;
+      c.const_f.(fslot c (Ir.Op.result op 0)) <- f;
       None
     | Attr.Int i ->
-      ir.(islot c (Ir.Op.result op 0)) <- i;
+      c.const_i.(islot c (Ir.Op.result op 0)) <- i;
       None
     | _ -> Err.raise_error "functional sim: bad constant")
   | "arith.addf" -> bin ( +. )
@@ -303,117 +354,132 @@ let rec compile_op c (op : Ir.op) : (unit -> unit) option =
       | "ne" -> ( <> )
       | _ -> Err.raise_error "functional sim: cmpi predicate %s" p
     in
-    Some (fun () -> ir.(d) <- (if cmp ir.(a) ir.(b) then 1 else 0))
+    Some
+      (fun rs ->
+        let ir = rs.rs_iregs in
+        ir.(d) <- (if cmp ir.(a) ir.(b) then 1 else 0))
   | "arith.select" -> (
     let cnd = islot c (Ir.Op.operand op 0) in
     match slot_exn c (Ir.Op.result op 0) with
     | KF d ->
       let a = fslot c (Ir.Op.operand op 1) and b = fslot c (Ir.Op.operand op 2) in
-      Some (fun () -> fr.(d) <- (if ir.(cnd) <> 0 then fr.(a) else fr.(b)))
+      Some
+        (fun rs ->
+          let fr = rs.rs_fregs in
+          fr.(d) <- (if rs.rs_iregs.(cnd) <> 0 then fr.(a) else fr.(b)))
     | KI d ->
       let a = islot c (Ir.Op.operand op 1) and b = islot c (Ir.Op.operand op 2) in
-      Some (fun () -> ir.(d) <- (if ir.(cnd) <> 0 then ir.(a) else ir.(b)))
+      Some
+        (fun rs ->
+          let ir = rs.rs_iregs in
+          ir.(d) <- (if ir.(cnd) <> 0 then ir.(a) else ir.(b)))
     | _ -> Err.raise_error "functional sim: select condition")
   | "hls.pipeline" | "hls.unroll" | "hls.array_partition" -> None
   | "hls.read" -> (
-    let r = ring_for c (Ir.Op.operand op 0) in
+    let ri = ring_idx c (Ir.Op.operand op 0) in
     let loc = Ir.Op.loc op in
     match slot_exn c (Ir.Op.result op 0) with
     | KF d ->
       Some
-        (fun () ->
+        (fun rs ->
+          let r = Array.unsafe_get rs.rs_rings ri in
           if r.rg_len = 0 then starved loc;
-          Array.unsafe_set fr d (Array.unsafe_get r.rg_data r.rg_head);
+          Array.unsafe_set rs.rs_fregs d (Array.unsafe_get r.rg_data r.rg_head);
           r.rg_head <- r.rg_head + 1;
           r.rg_len <- r.rg_len - 1)
     | KV d ->
-      let scratch = c.st.vecs.(d) in
-      let w = Array.length scratch in
+      let w = c.vec_w.(d) in
       Some
-        (fun () ->
+        (fun rs ->
+          let r = Array.unsafe_get rs.rs_rings ri in
           if r.rg_len < w then starved loc;
-          Array.blit r.rg_data r.rg_head scratch 0 w;
+          Array.blit r.rg_data r.rg_head rs.rs_vecs.(d) 0 w;
           r.rg_head <- r.rg_head + w;
           r.rg_len <- r.rg_len - w)
     | _ -> Err.raise_error "functional sim: bad hls.read result")
   | "hls.write" -> (
-    let r = ring_for c (Ir.Op.operand op 1) in
+    let ri = ring_idx c (Ir.Op.operand op 1) in
     match slot_exn c (Ir.Op.operand op 0) with
-    | KF s -> Some (fun () -> ring_push r fr.(s))
+    | KF s ->
+      Some (fun rs -> ring_push rs.rs_rings.(ri) rs.rs_fregs.(s))
     | KV s ->
-      let scratch = c.st.vecs.(s) in
-      let w = Array.length scratch in
-      Some (fun () -> ring_push_blit r scratch 0 w)
+      let w = c.vec_w.(s) in
+      Some (fun rs -> ring_push_blit rs.rs_rings.(ri) rs.rs_vecs.(s) 0 w)
     | _ -> Err.raise_error "functional sim: bad hls.write value")
   | "llvm.extractvalue" -> (
     match (slot_exn c (Ir.Op.operand op 0), Ir.Op.get_attr_exn op "indices") with
     | KV s, Attr.Ints [ i ] ->
       let d = fslot c (Ir.Op.result op 0) in
-      let scratch = c.st.vecs.(s) in
-      Some (fun () -> Array.unsafe_set fr d (Array.unsafe_get scratch i))
+      Some
+        (fun rs ->
+          Array.unsafe_set rs.rs_fregs d
+            (Array.unsafe_get (Array.unsafe_get rs.rs_vecs s) i))
     | _ -> Err.raise_error "functional sim: bad extractvalue")
   | "llvm.getelementptr" -> (
     let s = pslot c (Ir.Op.operand op 0) in
     let d = pslot c (Ir.Op.result op 0) in
-    let pb = c.st.pbase and po = c.st.poff in
     match
       (Attr.ints_exn (Ir.Op.get_attr_exn op "indices"), Ir.Op.num_operands op)
     with
     | [], 2 ->
       let k = islot c (Ir.Op.operand op 1) in
       Some
-        (fun () ->
+        (fun rs ->
+          let pb = rs.rs_pbase and po = rs.rs_poff in
           Array.unsafe_set pb d (Array.unsafe_get pb s);
-          Array.unsafe_set po d (Array.unsafe_get po s + Array.unsafe_get ir k))
+          Array.unsafe_set po d
+            (Array.unsafe_get po s + Array.unsafe_get rs.rs_iregs k))
     | idx, 1 ->
       let delta = List.fold_left ( + ) 0 idx in
       Some
-        (fun () ->
+        (fun rs ->
+          let pb = rs.rs_pbase and po = rs.rs_poff in
           pb.(d) <- pb.(s);
           po.(d) <- po.(s) + delta)
     | _ -> Err.raise_error "functional sim: unsupported gep form")
   | "llvm.load" ->
     let s = pslot c (Ir.Op.operand op 0) in
     let d = fslot c (Ir.Op.result op 0) in
-    let pb = c.st.pbase and po = c.st.poff in
     Some
-      (fun () ->
-        Array.unsafe_set fr d
-          (Array.unsafe_get (Array.unsafe_get pb s) (Array.unsafe_get po s)))
+      (fun rs ->
+        Array.unsafe_set rs.rs_fregs d
+          (Array.unsafe_get
+             (Array.unsafe_get rs.rs_pbase s)
+             (Array.unsafe_get rs.rs_poff s)))
   | "llvm.store" ->
     let g = getf c (Ir.Op.operand op 0) in
     let s = pslot c (Ir.Op.operand op 1) in
-    let pb = c.st.pbase and po = c.st.poff in
-    Some (fun () -> (Array.unsafe_get pb s).(Array.unsafe_get po s) <- g ())
+    Some
+      (fun rs ->
+        (Array.unsafe_get rs.rs_pbase s).(Array.unsafe_get rs.rs_poff s) <-
+          g rs)
   | "memref.alloca" | "memref.alloc" -> (
     match Ir.Value.ty (Ir.Op.result op 0) with
     | Ty.Memref (shape, _) ->
       let size = List.fold_left ( * ) 1 shape in
-      let arr = Array.make size 0.0 in
       let d = pslot c (Ir.Op.result op 0) in
-      let pb = c.st.pbase and po = c.st.poff in
       (* executing the alloca yields a fresh zeroed array, as in the
-         interpreter; the storage itself is reused across executions *)
+         interpreter; the array lives in the run state's pointer file,
+         never in the shared plan *)
       Some
-        (fun () ->
-          Array.fill arr 0 size 0.0;
-          pb.(d) <- arr;
-          po.(d) <- 0)
+        (fun rs ->
+          rs.rs_pbase.(d) <- Array.make size 0.0;
+          rs.rs_poff.(d) <- 0)
     | _ -> Err.raise_error "functional sim: alloca result not memref")
   | "memref.load" ->
     let m = pslot c (Ir.Op.operand op 0) in
     let i = islot c (Ir.Op.operand op 1) in
     let d = fslot c (Ir.Op.result op 0) in
-    let pb = c.st.pbase in
     Some
-      (fun () ->
-        Array.unsafe_set fr d (Array.unsafe_get pb m).(Array.unsafe_get ir i))
+      (fun rs ->
+        Array.unsafe_set rs.rs_fregs d
+          (Array.unsafe_get rs.rs_pbase m).(Array.unsafe_get rs.rs_iregs i))
   | "memref.store" ->
     let g = getf c (Ir.Op.operand op 0) in
     let m = pslot c (Ir.Op.operand op 1) in
     let i = islot c (Ir.Op.operand op 2) in
-    let pb = c.st.pbase in
-    Some (fun () -> (Array.unsafe_get pb m).(ir.(i)) <- g ())
+    Some
+      (fun rs -> (Array.unsafe_get rs.rs_pbase m).(rs.rs_iregs.(i)) <- g rs)
   | "scf.for" ->
     let lb = islot c (Ir.Op.operand op 0) in
     let ub = islot c (Ir.Op.operand op 1) in
@@ -427,13 +493,14 @@ let rec compile_op c (op : Ir.op) : (unit -> unit) option =
     let body = compile_block c block in
     let nbody = Array.length body in
     Some
-      (fun () ->
+      (fun rs ->
+        let ir = rs.rs_iregs in
         let ub = ir.(ub) and step = ir.(step) in
         let i = ref ir.(lb) in
         while !i < ub do
           Array.unsafe_set ir iv !i;
           for k = 0 to nbody - 1 do
-            (Array.unsafe_get body k) ()
+            (Array.unsafe_get body k) rs
           done;
           i := !i + step
         done)
@@ -449,34 +516,34 @@ and compile_block c block =
 (* Structural stages (the native runtime: load_data, shift_buffer,
    duplicate, write_data on ring buffers) *)
 
-let design_ring rings id =
-  match Hashtbl.find_opt rings id with
-  | Some r -> r
+let design_ring_idx ring_index id =
+  match Hashtbl.find_opt ring_index id with
+  | Some i -> i
   | None -> Err.raise_error "design: unknown stream %d" id
 
-let compile_load st rings (d : Design.t) ~out_streams ~ptr_args =
+let compile_load ring_index (d : Design.t) ~out_streams ~ptr_args =
   let total = Design.total_padded d in
   let pairs =
-    List.map2 (fun s argi -> (design_ring rings s, argi)) out_streams ptr_args
+    List.map2
+      (fun s argi -> (design_ring_idx ring_index s, argi))
+      out_streams ptr_args
   in
-  fun () ->
+  fun rs ->
     List.iter
-      (fun (ring, argi) ->
+      (fun (ri, argi) ->
         let data =
-          match st.args.(argi) with
+          match rs.rs_args.(argi) with
           | Functional.Ptr (a, 0) -> a
           | _ -> Err.raise_error "functional sim: load_data arg is not a pointer"
         in
-        ring_push_blit ring data 0 total)
+        ring_push_blit rs.rs_rings.(ri) data 0 total)
       pairs
 
-let compile_shift rings ~input ~output ~halo ~extent =
+let compile_shift ring_index ~input ~output ~halo ~extent =
   let ext, strides, total = Functional.stage_geometry extent in
   let rank = Array.length ext in
-  let inring = design_ring rings input in
-  let outring = design_ring rings output in
-  if inring.rg_width <> 1 then
-    Err.raise_error "functional sim: shift input must be scalar";
+  let in_ri = design_ring_idx ring_index input in
+  let out_ri = design_ring_idx ring_index output in
   let offsets =
     Functional.offsets_of_halo halo |> List.map Array.of_list |> Array.of_list
   in
@@ -489,8 +556,11 @@ let compile_shift rings ~input ~output ~halo ~extent =
       offsets
   in
   let nb_n = Array.length offsets in
-  let pos = Array.make rank 0 in
-  fun () ->
+  fun rs ->
+    let inring = Array.unsafe_get rs.rs_rings in_ri in
+    let outring = Array.unsafe_get rs.rs_rings out_ri in
+    if inring.rg_width <> 1 then
+      Err.raise_error "functional sim: shift input must be scalar";
     (* the producer ran to completion, so read the window straight out
        of the input ring and write straight into the output ring *)
     ring_require inring total;
@@ -498,7 +568,9 @@ let compile_shift rings ~input ~output ~halo ~extent =
     let src = inring.rg_data and h = inring.rg_head in
     let out = outring.rg_data in
     let ob = ref (outring.rg_head + outring.rg_len) in
-    Array.fill pos 0 rank 0;
+    (* the odometer is per-call scratch (rank <= 3 words), so the plan
+       closure stays safe to run concurrently from several states *)
+    let pos = Array.make rank 0 in
     for i = 0 to total - 1 do
       for k = 0 to nb_n - 1 do
         let off = Array.unsafe_get offsets k in
@@ -518,24 +590,31 @@ let compile_shift rings ~input ~output ~halo ~extent =
     outring.rg_len <- outring.rg_len + (total * nb_n);
     ring_drop inring total
 
-let compile_dup rings ~input ~outputs =
-  let inring = design_ring rings input in
-  let outrings = List.map (design_ring rings) outputs |> Array.of_list in
-  let nout = Array.length outrings in
-  fun () ->
+let compile_dup ring_index ~input ~outputs =
+  let in_ri = design_ring_idx ring_index input in
+  let out_ris =
+    List.map (design_ring_idx ring_index) outputs |> Array.of_list
+  in
+  let nout = Array.length out_ris in
+  fun rs ->
     (* the producer ran to completion (topological order): drain fully *)
+    let inring = Array.unsafe_get rs.rs_rings in_ri in
     let n = inring.rg_len in
     for k = 0 to nout - 1 do
-      ring_push_blit (Array.unsafe_get outrings k) inring.rg_data inring.rg_head n
+      ring_push_blit
+        rs.rs_rings.(Array.unsafe_get out_ris k)
+        inring.rg_data inring.rg_head n
     done;
     ring_drop inring n
 
-let compile_write st rings ~in_streams ~ptr_args ~halo ~extent =
+let compile_write ring_index ~in_streams ~ptr_args ~halo ~extent =
   let ext, _, total = Functional.stage_geometry extent in
   let hal = Array.of_list halo in
   let rank = Array.length ext in
   let pairs =
-    List.map2 (fun s argi -> (design_ring rings s, argi)) in_streams ptr_args
+    List.map2
+      (fun s argi -> (design_ring_idx ring_index s, argi))
+      in_streams ptr_args
   in
   (* the interior/halo split is pure geometry: precompute the linear
      indices of the interior points once, and the run is a gather *)
@@ -554,11 +633,12 @@ let compile_write st rings ~in_streams ~ptr_args ~halo ~extent =
     Array.of_list (List.rev !acc)
   in
   let n_int = Array.length interior in
-  fun () ->
+  fun rs ->
     List.iter
-      (fun (ring, argi) ->
+      (fun (ri, argi) ->
+        let ring = rs.rs_rings.(ri) in
         let data =
-          match st.args.(argi) with
+          match rs.rs_args.(argi) with
           | Functional.Ptr (a, 0) -> a
           | _ ->
             Err.raise_error "functional sim: write_data arg is not a pointer"
@@ -583,20 +663,24 @@ let stream_width (s : Design.stream) =
   | Ty.Struct ts -> List.length ts
   | _ -> 1
 
+let plan_id_counter = Atomic.make 0
+
 let compile (d : Design.t) : t =
   Atomic.incr compile_counter;
-  (* rings: one per design stream, plus the token widths *)
-  let ring_of = Hashtbl.create 32 in
-  List.iter
-    (fun (s : Design.stream) ->
-      Hashtbl.replace ring_of s.Design.st_id
-        (ring_create ~stream:s.Design.st_id ~width:(stream_width s)))
-    d.d_streams;
-  let rings =
-    Hashtbl.fold (fun _ r acc -> r :: acc) ring_of []
-    |> List.sort (fun a b -> Int.compare a.rg_stream b.rg_stream)
+  (* ring descriptors: one per design stream, ascending stream id (the
+     drain check reports in that order, like the interpreter) *)
+  let ring_descs =
+    List.map
+      (fun (s : Design.stream) ->
+        { rd_stream = s.Design.st_id; rd_width = max 1 (stream_width s) })
+      d.d_streams
+    |> List.sort (fun a b -> Int.compare a.rd_stream b.rd_stream)
     |> Array.of_list
   in
+  let ring_index = Hashtbl.create 32 in
+  Array.iteri
+    (fun i rd -> Hashtbl.replace ring_index rd.rd_stream i)
+    ring_descs;
   (* slot allocation: kernel arguments plus every compute-stage region *)
   let al =
     {
@@ -617,56 +701,52 @@ let compile (d : Design.t) : t =
       | Design.Compute c -> alloc_op al c.df_op
       | _ -> ())
     d.d_stages;
-  let st =
+  let c =
     {
-      args = [||];
-      fregs = Array.make (max 1 al.nf) 0.0;
-      iregs = Array.make (max 1 al.ni) 0;
-      pbase = Array.make (max 1 al.np) [||];
-      poff = Array.make (max 1 al.np) 0;
-      vecs =
-        List.rev al.vec_widths
-        |> List.map (fun w -> Array.make w 0.0)
-        |> Array.of_list;
+      al;
+      const_f = Array.make (max 1 al.nf) 0.0;
+      const_i = Array.make (max 1 al.ni) 0;
+      vec_w = Array.of_list (List.rev al.vec_widths);
+      ring_index;
+      folded = 0;
     }
   in
-  let c = { st; al; ring_of; folded = 0 } in
   (* argument binding: resolve each kernel argument to its slot once *)
   let binders =
     List.mapi
       (fun i v ->
         match Hashtbl.find_opt al.slots (Ir.Value.id v) with
         | Some (KP s) -> (
-          fun (args : Functional.value array) ->
+          fun (args : Functional.value array) rs ->
             match args.(i) with
             | Functional.Ptr (a, o) ->
-              st.pbase.(s) <- a;
-              st.poff.(s) <- o
+              rs.rs_pbase.(s) <- a;
+              rs.rs_poff.(s) <- o
             | Functional.Mem a ->
-              st.pbase.(s) <- a;
-              st.poff.(s) <- 0
+              rs.rs_pbase.(s) <- a;
+              rs.rs_poff.(s) <- 0
             | _ -> Err.raise_error "functional sim: gep of non-pointer")
         | Some (KF s) -> (
-          fun args ->
+          fun args rs ->
             match args.(i) with
-            | Functional.F f -> st.fregs.(s) <- f
-            | Functional.I n -> st.fregs.(s) <- float_of_int n
+            | Functional.F f -> rs.rs_fregs.(s) <- f
+            | Functional.I n -> rs.rs_fregs.(s) <- float_of_int n
             | _ -> Err.raise_error "functional sim: expected float")
         | Some (KI s) -> (
-          fun args ->
+          fun args rs ->
             match args.(i) with
-            | Functional.I n -> st.iregs.(s) <- n
+            | Functional.I n -> rs.rs_iregs.(s) <- n
             | _ -> Err.raise_error "functional sim: expected int")
-        | _ -> fun _ -> ())
+        | _ -> fun _ _ -> ())
       func_args
   in
   let nargs = List.length func_args in
-  let bind args =
+  let bind args rs =
     if Array.length args <> nargs then
       Err.raise_error "functional sim: expected %d arguments, got %d" nargs
         (Array.length args);
-    st.args <- args;
-    List.iter (fun b -> b args) binders
+    rs.rs_args <- args;
+    List.iter (fun b -> b args rs) binders
   in
   (* stage steps, in the design's topological order *)
   let n_steps = ref 0 in
@@ -675,28 +755,32 @@ let compile (d : Design.t) : t =
       (fun stage ->
         match stage with
         | Design.Load { out_streams; ptr_args } ->
-          compile_load st ring_of d ~out_streams ~ptr_args
+          compile_load ring_index d ~out_streams ~ptr_args
         | Design.Shift { input; output; halo; extent } ->
-          compile_shift ring_of ~input ~output ~halo ~extent
-        | Design.Dup { input; outputs } -> compile_dup ring_of ~input ~outputs
+          compile_shift ring_index ~input ~output ~halo ~extent
+        | Design.Dup { input; outputs } ->
+          compile_dup ring_index ~input ~outputs
         | Design.Compute cc ->
           let body = compile_block c (Hls.dataflow_body cc.df_op) in
           n_steps := !n_steps + Array.length body;
           let nbody = Array.length body in
-          fun () ->
+          fun rs ->
             for k = 0 to nbody - 1 do
-              (Array.unsafe_get body k) ()
+              (Array.unsafe_get body k) rs
             done
         | Design.Write { in_streams; ptr_args; halo; extent } ->
-          compile_write st ring_of ~in_streams ~ptr_args ~halo ~extent)
+          compile_write ring_index ~in_streams ~ptr_args ~halo ~extent)
       d.d_stages
     |> Array.of_list
   in
   {
+    pl_id = Atomic.fetch_and_add plan_id_counter 1;
     pl_design = d;
-    pl_state = st;
-    pl_rings = rings;
-    pl_ring_of = ring_of;
+    pl_ring_descs = ring_descs;
+    pl_const_f = c.const_f;
+    pl_const_i = c.const_i;
+    pl_np = al.np;
+    pl_vec_widths = c.vec_w;
     pl_bind = bind;
     pl_steps = steps;
     pl_stats =
@@ -713,11 +797,14 @@ let compile (d : Design.t) : t =
 (* ------------------------------------------------------------------ *)
 (* Execution *)
 
-let run (t : t) ~(args : Functional.value array) =
+let run_with (t : t) (rs : run_state) ~(args : Functional.value array) =
   (* a failed previous run may have left tokens queued *)
-  Array.iter ring_reset t.pl_rings;
-  t.pl_bind args;
-  Array.iter (fun step -> step ()) t.pl_steps;
+  Array.iter ring_reset rs.rs_rings;
+  t.pl_bind args rs;
+  let steps = t.pl_steps in
+  for k = 0 to Array.length steps - 1 do
+    (Array.unsafe_get steps k) rs
+  done;
   (* every stream should be fully drained: catches mis-wired designs
      (checked in ascending stream order, like the interpreter) *)
   Array.iter
@@ -725,6 +812,25 @@ let run (t : t) ~(args : Functional.value array) =
       if r.rg_len <> 0 then
         Err.raise_error "functional sim: stream %d left %d undrained tokens"
           r.rg_stream (ring_tokens r))
-    t.pl_rings
+    rs.rs_rings
+
+(* The per-domain state cache: one run state per (domain, plan), so a
+   worker reuses its allocation across every run it executes on that
+   plan, and two domains never share mutable state.  Keyed by plan
+   identity; lives exactly as long as its domain. *)
+let domain_states : (int, run_state) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+let domain_state (t : t) =
+  let tbl = Domain.DLS.get domain_states in
+  match Hashtbl.find_opt tbl t.pl_id with
+  | Some rs -> rs
+  | None ->
+    let rs = create_state t in
+    Hashtbl.add tbl t.pl_id rs;
+    rs
+
+let run (t : t) ~(args : Functional.value array) =
+  run_with t (domain_state t) ~args
 
 let design t = t.pl_design

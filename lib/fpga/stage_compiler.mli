@@ -2,26 +2,55 @@
 
     [compile] is a one-time pre-pass over an extracted design that
     resolves every SSA value in the compute-stage IR to a dense slot in
-    an unboxed register array and emits a specialized [unit -> unit]
-    closure per op; stream buffers become growable [float array] ring
-    buffers with O(1) push/pop/length. [run] then executes the design
-    with no hashtable lookups or token boxing in the element loops.
+    an unboxed register array and emits a specialized step closure per
+    op; stream buffers become growable [float array] ring buffers with
+    O(1) push/pop/length. [run] then executes the design with no
+    hashtable lookups or token boxing in the element loops.
+
+    The compiled artefact is split in two:
+
+    - {!t}, the {e plan}, is immutable once [compile] returns (slot
+      layout, step closures over slot indices, constant pools, ring
+      descriptors). One plan is safe to share across any number of
+      domains: parallel sweeps share the memoised plan instead of
+      compiling a private one per job.
+    - {!Run_state.t} holds every mutable word a run touches: register
+      files seeded from the plan's constant pools, stream ring buffers,
+      neighbourhood scratch. States are cheap to allocate, reusable
+      across runs, but must never be shared between two domains.
 
     The interpreter in {!Functional} remains the reference oracle: the
     compiled simulator produces bit-identical outputs and raises the
-    same {!Err.Error}s (message and location) on mis-wired designs.
-
-    A plan carries mutable run state; do not share one plan across
-    domains. Parallel sweeps compile a private plan per job. *)
+    same {!Err.Error}s (message and location) on mis-wired designs. *)
 
 type t
+(** An immutable compiled plan for one design. Freely shareable across
+    domains; all mutation lives in {!Run_state.t}. *)
 
-(** Compile a design into an executable plan. Raises {!Err.Error} on
+module Run_state : sig
+  type t
+  (** Mutable per-run execution state for one plan: register files, ring
+      buffers, scratch arrays. *)
+end
+
+(** Compile a design into an immutable plan. Raises {!Err.Error} on
     unsupported ops (same message the interpreter would raise). *)
 val compile : Design.t -> t
 
-(** Run the plan; same argument convention as {!Functional.run}. Output
-    fields are written in place. *)
+(** A fresh run state for this plan: registers seeded from the plan's
+    constant pools, empty rings. O(slot count) allocation. *)
+val create_state : t -> Run_state.t
+
+(** Execute the plan in the given state; same argument convention as
+    {!Functional.run}. Output fields are written in place. The state
+    must have been created by {!create_state} on this same plan. *)
+val run_with : t -> Run_state.t -> args:Functional.value array -> unit
+
+(** [run_with] on this domain's cached state for the plan: each domain
+    lazily creates one state per plan (keyed by plan identity in
+    domain-local storage) and reuses it for every subsequent [run] on
+    that domain. Safe to call concurrently from several domains on one
+    shared plan. *)
 val run : t -> args:Functional.value array -> unit
 
 val design : t -> Design.t
@@ -33,13 +62,20 @@ type stats = {
   cs_pregs : int;  (** pointer/memref slots *)
   cs_vregs : int;  (** neighbourhood (vector-token) slots *)
   cs_steps : int;  (** compiled step closures across compute stages *)
-  cs_folded : int;  (** constants folded into slots at compile time *)
+  cs_folded : int;  (** constants folded into the pools at compile time *)
 }
 
 val stats : t -> stats
 
 (** Process-wide count of [compile] calls — lets perf tests assert the
-    compile-once memoization in {!Shmls} actually memoizes. *)
+    compile-once memoization in {!Shmls} actually memoizes (e.g. zero
+    plan recompiles during a repeated parallel sweep). *)
 val compile_count : unit -> int
 
 val reset_compile_count : unit -> unit
+
+(** Process-wide count of {!create_state} calls — bounds the per-domain
+    state cache (at most one cached state per domain per plan). *)
+val state_count : unit -> int
+
+val reset_state_count : unit -> unit

@@ -1,16 +1,35 @@
-(* A small fixed pool of worker domains (OCaml 5, no dependencies).
+(* An adaptive, chunked, work-stealing pool of worker domains (OCaml 5,
+   no dependencies).
 
-   The pool owns [n] worker domains pulling thunks from a shared queue;
-   [map] distributes array elements over the workers (the calling domain
-   participates too) and writes each result into the slot of its input
-   index, so the output order — and therefore everything downstream of a
-   parallel sweep — is identical to a sequential run regardless of how
-   the items were scheduled.  Exceptions raised by the worker function
-   are caught per item and re-raised in the caller for the smallest
-   failing index, again matching what a sequential loop would report
-   first. *)
+   Sizing is adaptive: [with_pool ~jobs:0] resolves to
+   [Domain.recommended_domain_count ()] and, on a one-domain machine,
+   degrades to a true zero-overhead sequential path — no domain spawn,
+   no mutex, no task queue, just [Array.map].  The adaptive default is
+   served by one process-global pool, spawned lazily on first use and
+   reused by every subsequent map, so repeated small maps (the bench's
+   10-run protocol, `evaluate_all` inside a sweep driver) never pay
+   domain-spawn cost per call.
 
-type t = {
+   [map] schedules contiguous chunks, not single items: each of the [w]
+   participants (the caller plus the workers) starts with a contiguous
+   slice of the input and serves itself [chunk]-sized blocks from the
+   bottom of its own range; an idle participant steals the *upper half*
+   of a victim's remaining range and continues chunking from that.  A
+   range is a (lo, hi) pair behind its own tiny mutex, taken once per
+   chunk / steal rather than once per item, so the scheduler costs
+   O(n / chunk) lock operations instead of one atomic RMW per item.
+
+   Determinism: each item's result is written into the slot of its input
+   index, so the output order — and everything downstream of a parallel
+   sweep — is identical to a sequential run regardless of how chunks
+   were scheduled or stolen.  Per-item exceptions are caught and
+   re-raised in the caller for the smallest failing index, again
+   matching what a sequential loop would report first. *)
+
+(* ------------------------------------------------------------------ *)
+(* The worker-domain substrate: a task queue drained by [n] domains. *)
+
+type par = {
   n_workers : int;
   mutable closed : bool;
   tasks : (unit -> unit) Queue.t;
@@ -19,102 +38,218 @@ type t = {
   mutable domains : unit Domain.t list;
 }
 
-let size t = t.n_workers
+(* [Seq] is the zero-overhead degenerate pool: no domains, no mutex, no
+   queue — [map] is [Array.map].  It is what adaptive sizing resolves to
+   on a one-domain machine and what [jobs = 1] always uses. *)
+type t = Seq | Par of par
 
-let rec worker_loop t =
-  Mutex.lock t.m;
-  while Queue.is_empty t.tasks && not t.closed do
-    Condition.wait t.work t.m
+let size = function Seq -> 0 | Par p -> p.n_workers
+let effective_jobs t = size t + 1
+
+let rec worker_loop p =
+  Mutex.lock p.m;
+  while Queue.is_empty p.tasks && not p.closed do
+    Condition.wait p.work p.m
   done;
-  if Queue.is_empty t.tasks then Mutex.unlock t.m (* closed and drained *)
+  if Queue.is_empty p.tasks then Mutex.unlock p.m (* closed and drained *)
   else begin
-    let task = Queue.pop t.tasks in
-    Mutex.unlock t.m;
+    let task = Queue.pop p.tasks in
+    Mutex.unlock p.m;
     task ();
-    worker_loop t
+    worker_loop p
   end
 
 let create n =
-  let n = max 0 n in
-  let t =
-    {
-      n_workers = n;
-      closed = false;
-      tasks = Queue.create ();
-      m = Mutex.create ();
-      work = Condition.create ();
-      domains = [];
-    }
-  in
-  t.domains <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop t));
-  t
+  if n <= 0 then Seq
+  else begin
+    let p =
+      {
+        n_workers = n;
+        closed = false;
+        tasks = Queue.create ();
+        m = Mutex.create ();
+        work = Condition.create ();
+        domains = [];
+      }
+    in
+    p.domains <- List.init n (fun _ -> Domain.spawn (fun () -> worker_loop p));
+    Par p
+  end
 
 let submit t task =
-  Mutex.lock t.m;
-  if t.closed then begin
-    Mutex.unlock t.m;
-    invalid_arg "Pool.submit: pool is shut down"
-  end;
-  Queue.push task t.tasks;
-  Condition.signal t.work;
-  Mutex.unlock t.m
+  match t with
+  | Seq -> task () (* detached semantics degenerate to "run it now" *)
+  | Par p ->
+    Mutex.lock p.m;
+    if p.closed then begin
+      Mutex.unlock p.m;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push task p.tasks;
+    Condition.signal p.work;
+    Mutex.unlock p.m
 
 let shutdown t =
-  Mutex.lock t.m;
-  t.closed <- true;
-  Condition.broadcast t.work;
-  Mutex.unlock t.m;
-  List.iter Domain.join t.domains;
-  t.domains <- []
+  match t with
+  | Seq -> ()
+  | Par p ->
+    Mutex.lock p.m;
+    p.closed <- true;
+    Condition.broadcast p.work;
+    Mutex.unlock p.m;
+    List.iter Domain.join p.domains;
+    p.domains <- []
 
-(* Re-raise the smallest failing index, as a sequential loop would. *)
-let unwrap results =
-  Array.iter (fun r -> match r with Error e -> raise e | Ok _ -> ()) results;
-  Array.map (fun r -> match r with Ok v -> v | Error _ -> assert false) results
+(* ------------------------------------------------------------------ *)
+(* Chunked work-stealing map *)
 
-let map t f arr =
-  let n = Array.length arr in
-  if n = 0 then [||]
-  else if t.n_workers = 0 then Array.map (fun x -> Ok (f x)) arr |> unwrap
+(* A participant's index range [lo, hi).  The owner takes chunks from
+   the bottom; thieves take the upper half of whatever remains.  The
+   mutex is held only for the pointer swap, never while items run. *)
+type range = { rm : Mutex.t; mutable lo : int; mutable hi : int }
+
+let range_take r chunk =
+  Mutex.lock r.rm;
+  let lo = r.lo and hi = r.hi in
+  if lo >= hi then begin
+    Mutex.unlock r.rm;
+    None
+  end
   else begin
+    let b = min hi (lo + chunk) in
+    r.lo <- b;
+    Mutex.unlock r.rm;
+    Some (lo, b)
+  end
+
+let range_steal r =
+  Mutex.lock r.rm;
+  let lo = r.lo and hi = r.hi in
+  let n = hi - lo in
+  if n <= 0 then begin
+    Mutex.unlock r.rm;
+    None
+  end
+  else begin
+    (* the victim keeps the lower half it is already walking; the thief
+       takes the upper half (all of it when only one item remains) *)
+    let mid = lo + (n / 2) in
+    r.hi <- mid;
+    Mutex.unlock r.rm;
+    Some (mid, hi)
+  end
+
+let seq_map f arr =
+  (* plain sequential map: exceptions propagate from the smallest index
+     naturally, and there is no per-item wrapping at all *)
+  Array.map f arr
+
+let map ?chunk t f arr =
+  let n = Array.length arr in
+  match t with
+  | Seq -> seq_map f arr
+  | Par _ when n <= 1 -> seq_map f arr
+  | Par p ->
+    let w = min (p.n_workers + 1) n in
+    let chunk =
+      match chunk with
+      | Some c when c > 0 -> c
+      | _ ->
+        (* adaptive granularity: ~8 chunks per participant bounds both
+           the scheduling overhead and the load-imbalance tail *)
+        max 1 (n / (8 * w))
+    in
     let results : ('b, exn) result option array = Array.make n None in
-    let next = Atomic.make 0 in
+    let ranges =
+      Array.init w (fun i ->
+          { rm = Mutex.create (); lo = n * i / w; hi = n * (i + 1) / w })
+    in
     let remaining = Atomic.make n in
     let done_m = Mutex.create () in
     let done_c = Condition.create () in
-    let rec grind () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        let r = try Ok (f arr.(i)) with e -> Error e in
-        results.(i) <- Some r;
-        if Atomic.fetch_and_add remaining (-1) = 1 then begin
-          Mutex.lock done_m;
-          Condition.broadcast done_c;
-          Mutex.unlock done_m
-        end;
-        grind ()
+    let process lo hi =
+      for i = lo to hi - 1 do
+        results.(i) <- Some (try Ok (f arr.(i)) with e -> Error e)
+      done;
+      if Atomic.fetch_and_add remaining (lo - hi) = hi - lo then begin
+        Mutex.lock done_m;
+        Condition.broadcast done_c;
+        Mutex.unlock done_m
       end
     in
-    for _ = 1 to min t.n_workers (n - 1) do
-      submit t grind
+    let grind wid =
+      let my = ranges.(wid) in
+      let rec local () =
+        match range_take my chunk with
+        | Some (lo, hi) ->
+          process lo hi;
+          local ()
+        | None -> steal 1
+      and steal k =
+        if k < w then
+          let victim = ranges.((wid + k) mod w) in
+          match range_steal victim with
+          | Some (lo, hi) ->
+            (* adopt the stolen slice as my own range (it is empty, and
+               further thieves may in turn split the adopted slice) *)
+            Mutex.lock my.rm;
+            my.lo <- lo;
+            my.hi <- hi;
+            Mutex.unlock my.rm;
+            local ()
+          | None -> steal (k + 1)
+        (* a full scan found no work anywhere: every item is claimed *)
+      in
+      local ()
+    in
+    for i = 1 to w - 1 do
+      submit t (fun () -> grind i)
     done;
-    grind ();
+    grind 0;
     Mutex.lock done_m;
     while Atomic.get remaining > 0 do
       Condition.wait done_c done_m
     done;
     Mutex.unlock done_m;
+    (* sequential error semantics: the smallest failing index re-raises *)
+    Array.iter
+      (function Some (Error e) -> raise e | Some (Ok _) | None -> ())
+      results;
     Array.map
-      (fun r -> match r with Some r -> r | None -> assert false)
+      (function Some (Ok v) -> v | Some (Error _) | None -> assert false)
       results
-    |> unwrap
-  end
 
-let map_list t f items = Array.to_list (map t f (Array.of_list items))
+let map_list ?chunk t f items =
+  match t with
+  | Seq -> List.map f items (* identical code path to a sequential loop *)
+  | Par _ -> Array.to_list (map ?chunk t f (Array.of_list items))
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive sizing and the shared global pool *)
 
 let default_jobs () = Domain.recommended_domain_count ()
+let resolve_jobs jobs = if jobs <= 0 then default_jobs () else jobs
+
+(* The process-global pool serving [jobs = 0]: spawned lazily once,
+   sized to the machine, reused for every adaptive map so repeated
+   sweeps never pay domain-spawn cost.  On a one-domain machine this is
+   [Seq] — adaptive parallelism is a no-op by construction. *)
+let global_m = Mutex.create ()
+let global_pool : t option ref = ref None
+
+let global () =
+  Mutex.protect global_m (fun () ->
+      match !global_pool with
+      | Some p -> p
+      | None ->
+        let p = create (default_jobs () - 1) in
+        global_pool := Some p;
+        p)
 
 let with_pool ~jobs f =
-  let jobs = if jobs <= 0 then default_jobs () else jobs in
-  let t = create (jobs - 1) in
-  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+  if jobs <= 0 then f (global ()) (* adaptive: shared pool, not shut down *)
+  else if jobs = 1 then f Seq
+  else begin
+    let t = create (jobs - 1) in
+    Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+  end

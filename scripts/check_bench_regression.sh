@@ -74,4 +74,50 @@ if [[ $status -eq 0 ]]; then
 else
   echo "bench regression gate FAILED (tolerance ${TOLERANCE}x vs $BASELINE)" >&2
 fi
+
+# ------------------------------------------------------------------
+# Sweep-scaling gate (within the NEW run, so both rows come from the
+# same machine): the adaptive parallel sweep must never be slower than
+# the sequential one beyond SWEEP_TOLERANCE.
+#   - domains_available > 1: parallelism must at least not hurt
+#     (jobsN <= jobs1 * tol); real speedups show up as ratios < 1.
+#   - domains_available == 1: the adaptive pool must be a no-op
+#     (jobsN within tol of jobs1 in both directions).
+SWEEP_TOLERANCE=${SWEEP_TOLERANCE:-1.05}
+
+val () { # val <file> <row-name> -> ns (empty if absent)
+  awk -v key="\"$2\"" '
+    index($0, key) {
+      rest = substr($0, index($0, key) + length(key))
+      if (match(rest, /[0-9.]+/)) { print substr(rest, RSTART, RLENGTH); exit }
+    }' "$1"
+}
+
+jobs1=$(val "$NEW" "shmls/sweep_verify_compiled_jobs1")
+jobsN=$(val "$NEW" "shmls/sweep_verify_compiled_jobsN")
+domains=$(val "$NEW" "domains_available")
+
+if [[ -n $jobs1 && -n $jobsN && -n $domains ]]; then
+  ratio=$(awk -v n="$jobsN" -v b="$jobs1" 'BEGIN { printf "%.2f", n / b }')
+  if awk -v n="$jobsN" -v b="$jobs1" -v t="$SWEEP_TOLERANCE" \
+      'BEGIN { exit !(n > b * t) }'; then
+    echo "SWEEP-SCALING REGRESSION: jobsN ${jobsN} ns vs jobs1 ${jobs1} ns" \
+      "(${ratio}x > ${SWEEP_TOLERANCE}x, domains_available=${domains})" >&2
+    status=1
+  elif [[ $domains -le 1 ]] && awk -v n="$jobsN" -v b="$jobs1" \
+      -v t="$SWEEP_TOLERANCE" 'BEGIN { exit !(b > n * t) }'; then
+    # on a one-domain box the pool must be a no-op: a jobsN run much
+    # FASTER than jobs1 means the sequential path grew overhead
+    echo "SWEEP-SCALING ANOMALY: on a 1-domain machine jobs1 ${jobs1} ns" \
+      "is slower than jobsN ${jobsN} ns beyond ${SWEEP_TOLERANCE}x" \
+      "(ratio ${ratio}x) -- the sequential path is not a no-op" >&2
+    status=1
+  else
+    echo "sweep-scaling gate: jobsN/jobs1 = ${ratio}x" \
+      "(tolerance ${SWEEP_TOLERANCE}x, domains_available=${domains})"
+  fi
+else
+  echo "sweep-scaling gate: rows missing from $NEW, skipped" >&2
+fi
+
 exit $status

@@ -278,6 +278,129 @@ let test_undrained_stream_parity () =
     (contains e.Shmls_support.Diagnostic.d_message "undrained");
   check_error_parity "undrained stream" broken ~args_of
 
+(* -- parallel sweeps and shared plans -------------------------------- *)
+
+(* One immutable plan, driven concurrently from several domains with
+   independent run states: every run must stay bit-exact against the
+   interpreter oracle.  This is the core contract of the plan/run-state
+   split — the old representation carried mutable state inside the plan
+   and would corrupt itself here. *)
+let test_shared_plan_across_domains () =
+  let k = H.chain_3d and grid = [ 10; 8; 6 ] in
+  let c = Shmls.compile_cached k ~grid in
+  let plan = Lazy.force c.c_plan in
+  let oracle = Interp.alloc_state ~seed:7 c.c_lowered in
+  Functional.run c.c_design ~args:(args_of_state oracle);
+  (* states allocated in the parent: each spawned domain gets its own
+     disjoint set of argument arrays but shares the one plan *)
+  let n_domains = 4 and runs_per_domain = 3 in
+  let states =
+    Array.init (n_domains * runs_per_domain) (fun _ ->
+        Interp.alloc_state ~seed:7 c.c_lowered)
+  in
+  let domains =
+    List.init n_domains (fun d ->
+        Domain.spawn (fun () ->
+            for r = 0 to runs_per_domain - 1 do
+              let st = states.((d * runs_per_domain) + r) in
+              if r = 0 then
+                (* explicit per-run state, created on this domain *)
+                Stage_compiler.run_with plan
+                  (Stage_compiler.create_state plan)
+                  ~args:(args_of_state st)
+              else
+                (* the per-domain cached state behind [run] *)
+                Stage_compiler.run plan ~args:(args_of_state st)
+            done))
+  in
+  List.iter Domain.join domains;
+  Array.iteri
+    (fun si (st : Interp.kernel_state) ->
+      List.iter2
+        (fun (na, (ga : Grid.t)) (_, (gb : Grid.t)) ->
+          Array.iteri
+            (fun i x ->
+              if Int64.bits_of_float x <> Int64.bits_of_float gb.Grid.data.(i)
+              then
+                Alcotest.failf "run %d field %s[%d]: oracle %h <> domain %h" si
+                  na i x gb.Grid.data.(i))
+            ga.Grid.data)
+        oracle.fields st.fields)
+    states
+
+(* The sweep driver is deterministic under any jobs/chunk combination:
+   outcomes, verifications and streamed row order all match the
+   sequential run (which is the historical behaviour). *)
+let sweep_parity_configs =
+  [
+    (Shmls_kernels.Didactic.heat_3d, [ 8; 7; 6 ]);
+    (Shmls_kernels.Didactic.laplace_2d, [ 12; 10 ]);
+    (H.avg_1d, [ 32 ]);
+    (H.chain_3d, [ 10; 8; 6 ]);
+    (* duplicates on purpose: concurrent jobs then share one plan *)
+    (Shmls_kernels.Didactic.heat_3d, [ 8; 7; 6 ]);
+    (H.chain_3d, [ 10; 8; 6 ]);
+  ]
+
+let qcheck_parallel_sweep_identical =
+  H.qtest ~count:15 "parallel sweep = sequential sweep for any jobs/chunk"
+    QCheck2.Gen.(triple (int_range 2 5) (int_range 1 7) bool)
+    (fun (jobs, chunk, compiled_sim) ->
+      let sim = if compiled_sim then Shmls.Compiled else Shmls.Interp in
+      let expected =
+        Shmls.sweep ~jobs:1 ~sim ~verify_designs:true sweep_parity_configs
+      in
+      let streamed = ref [] in
+      let got =
+        Shmls.sweep ~jobs ~chunk
+          ~on_result:(fun i r -> streamed := (i, r) :: !streamed)
+          ~sim ~verify_designs:true sweep_parity_configs
+      in
+      let streamed = List.rev !streamed in
+      got = expected
+      && List.map fst streamed
+         = List.init (List.length sweep_parity_configs) (fun i -> i)
+      && List.map snd streamed = expected)
+
+(* Error parity under parallelism: a mis-wired design raises the same
+   diagnostic (message and Loc) through the pool as sequentially, from
+   the smallest failing index. *)
+let test_parallel_error_loc_parity () =
+  let c = Shmls.compile_cached H.avg_1d ~grid:[ 16 ] in
+  let d = c.c_design in
+  let broken =
+    {
+      d with
+      Shmls.Design.d_stages =
+        List.filter
+          (fun s ->
+            match s with
+            | Shmls.Design.Compute _ | Shmls.Design.Write _ -> true
+            | _ -> false)
+          d.d_stages;
+    }
+  in
+  let args_of () = args_of_state (Interp.alloc_state ~seed:7 c.c_lowered) in
+  let seq_err =
+    run_expect_error "sequential" (fun () ->
+        Functional.run broken ~args:(args_of ()))
+  in
+  let plan = Stage_compiler.compile broken in
+  let par_err =
+    run_expect_error "parallel" (fun () ->
+        ignore
+          (Shmls.Pool.with_pool ~jobs:4 (fun p ->
+               Shmls.Pool.map ~chunk:1 p
+                 (fun _ -> Stage_compiler.run plan ~args:(args_of ()))
+                 (Array.init 8 (fun i -> i)))))
+  in
+  Alcotest.(check string) "same message"
+    seq_err.Shmls_support.Diagnostic.d_message
+    par_err.Shmls_support.Diagnostic.d_message;
+  Alcotest.(check bool) "same location" true
+    (seq_err.Shmls_support.Diagnostic.d_loc
+    = par_err.Shmls_support.Diagnostic.d_loc)
+
 let () =
   Alcotest.run "functional_compiled"
     [
@@ -307,5 +430,13 @@ let () =
           Alcotest.test_case "starved read" `Quick test_starved_read_parity;
           Alcotest.test_case "undrained stream" `Quick
             test_undrained_stream_parity;
+        ] );
+      ( "parallel sweep",
+        [
+          Alcotest.test_case "shared plan across domains" `Quick
+            test_shared_plan_across_domains;
+          qcheck_parallel_sweep_identical;
+          Alcotest.test_case "error and Loc parity through the pool" `Quick
+            test_parallel_error_loc_parity;
         ] );
     ]

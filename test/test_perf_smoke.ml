@@ -129,6 +129,56 @@ let test_stage_compile_once () =
   Shmls.Stage_compiler.reset_compile_count ()
 
 (* ------------------------------------------------------------------ *)
+(* Plan/run-state split *)
+
+(* A parallel sweep shares immutable plans across jobs: one plan per
+   distinct kernel, and repeating the sweep — the bench protocol —
+   recompiles nothing. *)
+let test_parallel_sweep_zero_recompiles () =
+  Shmls.reset_compile_cache ();
+  Shmls.Stage_compiler.reset_compile_count ();
+  let configs = [ (PW.kernel, PW.grid_small); (TA.kernel, TA.grid_small) ] in
+  ignore (Shmls.sweep ~jobs:4 ~sim:Shmls.Compiled ~verify_designs:true configs);
+  let plans = Shmls.Stage_compiler.compile_count () in
+  Alcotest.(check int) "one plan per distinct kernel" 2 plans;
+  for _ = 1 to 3 do
+    ignore
+      (Shmls.sweep ~jobs:4 ~sim:Shmls.Compiled ~verify_designs:true configs)
+  done;
+  Alcotest.(check int) "repeated parallel sweeps: zero plan recompiles" plans
+    (Shmls.Stage_compiler.compile_count ());
+  Shmls.reset_compile_cache ();
+  Shmls.Stage_compiler.reset_compile_count ()
+
+(* Run states are cached per domain per plan: repeated runs on one
+   domain allocate exactly one state, and k runs from each of n fresh
+   domains allocate exactly n more. *)
+let test_run_state_budget () =
+  Shmls.reset_compile_cache ();
+  Shmls.Stage_compiler.reset_state_count ();
+  let c = Shmls.compile_cached PW.kernel ~grid:PW.grid_small in
+  ignore (Shmls.verify ~sim:Shmls.Compiled c);
+  let base = Shmls.Stage_compiler.state_count () in
+  Alcotest.(check int) "first compiled verify allocates one state" 1 base;
+  for _ = 1 to 5 do
+    ignore (Shmls.verify ~sim:Shmls.Compiled c)
+  done;
+  Alcotest.(check int) "same domain reuses its cached state" base
+    (Shmls.Stage_compiler.state_count ());
+  let domains =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to 4 do
+              ignore (Shmls.verify ~sim:Shmls.Compiled c)
+            done))
+  in
+  List.iter Domain.join domains;
+  Alcotest.(check int) "one state per fresh domain" (base + 3)
+    (Shmls.Stage_compiler.state_count ());
+  Shmls.reset_compile_cache ();
+  Shmls.Stage_compiler.reset_state_count ()
+
+(* ------------------------------------------------------------------ *)
 (* Pass-result memo *)
 
 let test_pass_memo () =
@@ -174,6 +224,13 @@ let () =
           Alcotest.test_case "evaluate_all memo" `Quick test_compile_once;
           Alcotest.test_case "stage-compiler plan memo" `Quick
             test_stage_compile_once;
+        ] );
+      ( "plan/run-state split",
+        [
+          Alcotest.test_case "parallel sweep recompiles nothing" `Quick
+            test_parallel_sweep_zero_recompiles;
+          Alcotest.test_case "run-state cache budget" `Quick
+            test_run_state_budget;
         ] );
       ( "pass manager",
         [

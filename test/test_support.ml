@@ -91,6 +91,91 @@ let test_table_arity () =
     (Err.Error (Err.make "Table.add_row: wrong arity"))
     (fun () -> Table.add_row t [ "only-one" ])
 
+(* ------------------------------------------------------------------ *)
+(* Pool: the adaptive chunked work-stealing pool *)
+
+let test_pool_seq_noop () =
+  let p = Pool.create 0 in
+  Alcotest.(check int) "size" 0 (Pool.size p);
+  Alcotest.(check int) "effective jobs" 1 (Pool.effective_jobs p);
+  let r = Pool.map p (fun x -> x * 2) [| 1; 2; 3 |] in
+  Alcotest.(check (array int)) "map" [| 2; 4; 6 |] r;
+  Pool.shutdown p
+
+let test_pool_map_order () =
+  let p = Pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let input = Array.init 1000 (fun i -> i) in
+      let r = Pool.map ~chunk:7 p (fun x -> x * x) input in
+      Alcotest.(check bool)
+        "order-preserving" true
+        (r = Array.map (fun x -> x * x) input);
+      let items = List.init 257 (fun i -> i) in
+      Alcotest.(check (list int))
+        "map_list order" (List.map succ items)
+        (Pool.map_list p succ items))
+
+exception Boom of int
+
+let test_pool_error_smallest_index () =
+  let p = Pool.create 3 in
+  Fun.protect
+    ~finally:(fun () -> Pool.shutdown p)
+    (fun () ->
+      let input = Array.init 100 (fun i -> i) in
+      match
+        Pool.map ~chunk:3 p
+          (fun x -> if x mod 10 = 7 then raise (Boom x) else x)
+          input
+      with
+      | exception Boom i ->
+        Alcotest.(check int) "smallest failing index" 7 i
+      | _ -> Alcotest.fail "expected Boom")
+
+let test_pool_resolve_jobs () =
+  Alcotest.(check int) "positive is literal" 3 (Pool.resolve_jobs 3);
+  Alcotest.(check int)
+    "zero is adaptive"
+    (Pool.default_jobs ())
+    (Pool.resolve_jobs 0);
+  Alcotest.(check int)
+    "negative is adaptive"
+    (Pool.default_jobs ())
+    (Pool.resolve_jobs (-1))
+
+let test_pool_with_pool () =
+  Alcotest.(check int)
+    "jobs=1 is the sequential pool" 1
+    (Pool.with_pool ~jobs:1 Pool.effective_jobs);
+  Alcotest.(check int)
+    "jobs=4 gives 4 streams" 4
+    (Pool.with_pool ~jobs:4 Pool.effective_jobs);
+  Alcotest.(check int)
+    "jobs=0 sizes to the machine"
+    (Pool.default_jobs ())
+    (Pool.with_pool ~jobs:0 Pool.effective_jobs);
+  (* the shared adaptive pool is reused, not respawned, across calls *)
+  let a = Pool.with_pool ~jobs:0 (fun p -> p) in
+  let b = Pool.with_pool ~jobs:0 (fun p -> p) in
+  Alcotest.(check bool) "adaptive pool is shared" true (a == b)
+
+let qcheck_pool_map_matches_sequential =
+  Test_common.Helpers.qtest ~count:30
+    "parallel map = Array.map for any jobs/chunk"
+    QCheck2.Gen.(
+      triple (int_range 1 5) (int_range 1 17)
+        (list_size (int_range 0 200) small_int))
+    (fun (jobs, chunk, items) ->
+      let input = Array.of_list items in
+      let expect = Array.map (fun x -> (x * 31) lxor 7) input in
+      let got =
+        Pool.with_pool ~jobs (fun p ->
+            Pool.map ~chunk p (fun x -> (x * 31) lxor 7) input)
+      in
+      got = expect)
+
 let qcheck_mean_bounds =
   Test_common.Helpers.qtest "mean lies within min/max"
     QCheck2.Gen.(list_size (int_range 1 20) (float_range (-100.0) 100.0))
@@ -139,5 +224,16 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity check" `Quick test_table_arity;
+        ] );
+      ( "pool",
+        [
+          Alcotest.test_case "sequential pool is a no-op" `Quick
+            test_pool_seq_noop;
+          Alcotest.test_case "map preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "smallest failing index re-raises" `Quick
+            test_pool_error_smallest_index;
+          Alcotest.test_case "resolve_jobs" `Quick test_pool_resolve_jobs;
+          Alcotest.test_case "with_pool sizing" `Quick test_pool_with_pool;
+          qcheck_pool_map_matches_sequential;
         ] );
     ]
