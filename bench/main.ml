@@ -640,6 +640,9 @@ let micro_tests () =
   ignore
     (Shmls.sweep ~jobs:1 ~sim:Shmls.Compiled ~verify_designs:true
        sweep_bench_configs);
+  ignore
+    (Shmls.sweep ~jobs:1 ~sim:Shmls.Batched ~verify_designs:true
+       sweep_bench_configs);
   [
     (* --jobs scaling: the sweep driver with compiled-sim design
        verification, sequential vs the adaptive work-stealing pool (one
@@ -654,12 +657,25 @@ let micro_tests () =
            ignore
              (Shmls.sweep ~jobs:0 ~sim:Shmls.Compiled ~verify_designs:true
                 sweep_bench_configs)));
+    Test.make ~name:"sweep_verify_batched_jobs1"
+      (Staged.stage (fun () ->
+           ignore
+             (Shmls.sweep ~jobs:1 ~sim:Shmls.Batched ~verify_designs:true
+                sweep_bench_configs)));
+    Test.make ~name:"sweep_verify_batched_jobsN"
+      (Staged.stage (fun () ->
+           ignore
+             (Shmls.sweep ~jobs:0 ~sim:Shmls.Batched ~verify_designs:true
+                sweep_bench_configs)));
     Test.make ~name:"functional_sim_interp_small"
       (Staged.stage (fun () ->
            ignore (Shmls.verify ~sim:Shmls.Interp small)));
     Test.make ~name:"functional_sim_compiled_small"
       (Staged.stage (fun () ->
            ignore (Shmls.verify ~sim:Shmls.Compiled small)));
+    Test.make ~name:"functional_sim_batched_small"
+      (Staged.stage (fun () ->
+           ignore (Shmls.verify ~sim:Shmls.Batched small)));
     Test.make ~name:"stage_compile_once_small"
       (Staged.stage (fun () ->
            ignore (Shmls.Stage_compiler.compile small.c_design)));
@@ -755,6 +771,33 @@ let emit_json ~path rows =
       | Some i, Some c when c > 0.0 -> Some (i, c)
       | _ -> None)
   in
+  (* compiled vs batched engine, same fallback scheme: the full PW rows
+     when the full suite ran, else the small smoke rows *)
+  let batched_pair =
+    match (full_compiled, find_row rows "pipeline_functional_sim_batched") with
+    | Some c, Some b when b > 0.0 -> Some (c, b)
+    | _ -> (
+      match
+        ( find_row rows "functional_sim_compiled_small",
+          find_row rows "functional_sim_batched_small" )
+      with
+      | Some c, Some b when b > 0.0 -> Some (c, b)
+      | _ -> None)
+  in
+  let batched_vs_interp =
+    match
+      ( find_row rows "pipeline_functional_sim",
+        find_row rows "pipeline_functional_sim_batched" )
+    with
+    | Some i, Some b when b > 0.0 -> Some (i /. b)
+    | _ -> (
+      match
+        ( find_row rows "functional_sim_interp_small",
+          find_row rows "functional_sim_batched_small" )
+      with
+      | Some i, Some b when b > 0.0 -> Some (i /. b)
+      | _ -> None)
+  in
   let jobs_scaling =
     match
       ( find_row rows "sweep_verify_compiled_jobs1",
@@ -790,6 +833,16 @@ let emit_json ~path rows =
   | Some (i, c) ->
     Buffer.add_string buf
       (Printf.sprintf "    \"functional_sim_speedup\": %.1f,\n" (i /. c))
+  | None -> ());
+  (match batched_pair with
+  | Some (c, b) ->
+    Buffer.add_string buf
+      (Printf.sprintf "    \"batched_sim_speedup\": %.2f,\n" (c /. b))
+  | None -> ());
+  (match batched_vs_interp with
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf "    \"batched_sim_speedup_vs_interp\": %.1f,\n" s)
   | None -> ());
   (match full_compiled with
   | Some c when c > 0.0 ->
@@ -877,9 +930,15 @@ let bechamel () =
       Test.make ~name:"pipeline_functional_sim_compiled"
         (Staged.stage (fun () ->
              ignore (Shmls.verify ~sim:Shmls.Compiled compiled)));
+      Test.make ~name:"pipeline_functional_sim_batched"
+        (Staged.stage (fun () ->
+             ignore (Shmls.verify ~sim:Shmls.Batched compiled)));
       Test.make ~name:"stage_compile_once"
         (Staged.stage (fun () ->
              ignore (Shmls.Stage_compiler.compile compiled.c_design)));
+      Test.make ~name:"stage_compile_once_batched"
+        (Staged.stage (fun () ->
+             ignore (Shmls.Stage_compiler.compile_batched compiled.c_design)));
       Test.make ~name:"pipeline_cycle_sim"
         (Staged.stage (fun () -> ignore (Shmls.Cycle_sim.run compiled.c_design)));
       Test.make ~name:"pipeline_llvm_emit_fpp"

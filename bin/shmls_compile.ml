@@ -323,12 +323,21 @@ let pass_stats_arg =
 let sim_arg =
   Arg.(
     value
-    & opt (enum [ ("interp", "interp"); ("compiled", "compiled") ]) "interp"
+    & opt
+        (enum
+           [
+             ("interp", "interp");
+             ("compiled", "compiled");
+             ("batched", "batched");
+           ])
+        "interp"
     & info [ "sim" ] ~docv:"ENGINE"
         ~doc:
           "Functional-simulation engine for --verify and --report: the \
-           reference IR interpreter (interp) or the specialized-closure \
-           plan (compiled). Both are bit-identical.")
+           reference IR interpreter (interp), the per-element \
+           specialized-closure plan (compiled), or the whole-stream \
+           batched plan (batched, the fastest). All three are \
+           bit-identical.")
 
 let jobs_arg =
   Arg.(

@@ -63,6 +63,10 @@ type compiled = {
          via [plan_of] (mutex-guarded: [Lazy.force] is not domain-safe).
          The plan itself is immutable and shared across domains —
          per-run mutation lives in Stage_compiler.Run_state. *)
+  c_plan_batched : Stage_compiler.t Lazy.t;
+      (* whole-stream batched plan (--sim=batched); forced on first
+         Batched verify, independently of [c_plan].  Same sharing
+         discipline: immutable plan, per-domain run states. *)
 }
 
 (* Raw pipeline executions, cached or not: lets tests assert how many
@@ -114,6 +118,7 @@ let compile_raw ~balance_depths ~split_applies ~variant (kernel : Ast.kernel)
     c_connectivity = connectivity;
     c_pass_stats = pass_stats;
     c_plan = lazy (Stage_compiler.compile design);
+    c_plan_batched = lazy (Stage_compiler.compile_batched design);
   }
 
 (* Any pipeline failure is attributed to the kernel being compiled and,
@@ -187,14 +192,19 @@ type verification = {
   v_max_diff : float;
 }
 
-type sim = Interp | Compiled
+type sim = Interp | Compiled | Batched
 
-let sim_to_string = function Interp -> "interp" | Compiled -> "compiled"
+let sim_to_string = function
+  | Interp -> "interp"
+  | Compiled -> "compiled"
+  | Batched -> "batched"
 
 let sim_of_string = function
   | "interp" -> Ok Interp
   | "compiled" -> Ok Compiled
-  | s -> Error (Printf.sprintf "unknown simulator %S (interp|compiled)" s)
+  | "batched" -> Ok Batched
+  | s ->
+    Error (Printf.sprintf "unknown simulator %S (interp|compiled|batched)" s)
 
 (* The reference interpreter state is a pure function of
    (kernel, grid, seed) and is only *read* after it is built, so it is
@@ -259,21 +269,30 @@ let verify_with ~seed ~run_design (c : compiled) =
   { v_fields = fields; v_max_diff = max_diff }
 
 (* [Lazy.force] is not domain-safe (two domains forcing the same
-   suspension at once is undefined), so all forcing of [c_plan] goes
-   through this mutex.  The [Lazy.is_val] fast path skips the lock once
-   the plan exists — after that, sharing the forced plan across domains
-   is exactly what the plan/run-state split is for. *)
+   suspension at once is undefined), so all plan forcing goes through
+   this mutex.  The [Lazy.is_val] fast path skips the lock once the
+   plan exists — after that, sharing the forced plan across domains is
+   exactly what the plan/run-state split is for. *)
 let plan_mutex = Mutex.create ()
 
-let plan_of (c : compiled) =
-  if Lazy.is_val c.c_plan then Lazy.force c.c_plan
-  else Mutex.protect plan_mutex (fun () -> Lazy.force c.c_plan)
+let force_plan l =
+  if Lazy.is_val l then Lazy.force l
+  else Mutex.protect plan_mutex (fun () -> Lazy.force l)
+
+let plan_of (c : compiled) = force_plan c.c_plan
+let batched_plan_of (c : compiled) = force_plan c.c_plan_batched
+
+(* The plan an engine runs on, if any: [None] for the interpreter. *)
+let plan_for_sim sim (c : compiled) =
+  match sim with
+  | Interp -> None
+  | Compiled -> Some (plan_of c)
+  | Batched -> Some (batched_plan_of c)
 
 let runner_of_sim sim (c : compiled) =
-  match sim with
-  | Interp -> fun ~args -> Functional.run c.c_design ~args
-  | Compiled ->
-    let plan = plan_of c in
+  match plan_for_sim sim c with
+  | None -> fun ~args -> Functional.run c.c_design ~args
+  | Some plan ->
     (* Stage_compiler.run uses a per-domain cached run state, so this
        runner is safe to call concurrently from several domains *)
     fun ~args -> Stage_compiler.run plan ~args
@@ -368,7 +387,7 @@ let sweep ?(jobs = 0) ?chunk ?on_result ?(sim = Interp)
           with Err.Error e -> Error e
         in
         (match (verify_designs, sim, c) with
-        | true, Compiled, Ok c -> ignore (plan_of c)
+        | true, (Compiled | Batched), Ok c -> ignore (plan_for_sim sim c)
         | _ -> ());
         (kernel, grid, c))
       configs
@@ -418,12 +437,12 @@ let emit_llvm_text (c : compiled) = Shmls_llvmir.Ll.to_string c.c_llvm
    design lowered to a CIRCT hw/esi netlist. *)
 let emit_circt_text (c : compiled) = Shmls_circt.Circt.emit c.c_design
 
-(* A Vitis-style synthesis report for the compiled design.  With
-   [sim = Compiled] the report also describes the compiled
-   functional-simulation plan. *)
+(* A Vitis-style synthesis report for the compiled design.  The
+   functional-simulation section renders uniformly for all three
+   engines: the engine name always, plus the plan shape for the
+   plan-backed engines. *)
 let report_text ?(sim = Interp) (c : compiled) =
-  match sim with
-  | Interp -> Shmls_fpga.Report.render c.c_design
-  | Compiled -> Shmls_fpga.Report.render ~sim_plan:(plan_of c) c.c_design
+  Shmls_fpga.Report.render ~sim_engine:(sim_to_string sim)
+    ?sim_plan:(plan_for_sim sim c) c.c_design
 let emit_stencil_text (c : compiled) = Printer.to_string c.c_lowered.l_module
 let emit_hls_text (c : compiled) = Printer.to_string c.c_hls_module

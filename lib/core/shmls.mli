@@ -59,6 +59,10 @@ type compiled = {
           the library entry points ({!verify}, {!sweep}, {!report_text}),
           which serialize the forcing; [Lazy.force] from several domains
           at once is not safe. *)
+  c_plan_batched : Stage_compiler.t Lazy.t;
+      (** whole-stream batched plan ([Batched]), built once on first
+          use, independently of [c_plan]. Same sharing and forcing
+          discipline. *)
 }
 
 (** Run the full Stencil-HMLS compilation pipeline. [balance_depths]
@@ -93,14 +97,16 @@ type verification = {
 }
 
 (** Which functional-simulation engine executes the design: the
-    reference IR interpreter ({!Functional}) or the specialized-closure
-    plan ({!Stage_compiler}). Both are value-identical; the compiled
-    engine is the fast path, the interpreter the oracle. *)
-type sim = Interp | Compiled
+    reference IR interpreter ({!Functional}), the per-element
+    specialized-closure plan ({!Stage_compiler.compile}), or the
+    whole-stream batched plan ({!Stage_compiler.compile_batched}). All
+    three are bit-identical; the plan-backed engines are the fast
+    paths, the interpreter the oracle. *)
+type sim = Interp | Compiled | Batched
 
 val sim_to_string : sim -> string
 
-(** Parse a [--sim] CLI argument ("interp" | "compiled"). *)
+(** Parse a [--sim] CLI argument ("interp" | "compiled" | "batched"). *)
 val sim_of_string : string -> (sim, string) result
 
 (** Execute the generated design in the functional simulator against the
@@ -126,7 +132,8 @@ val evaluate_all :
 
 (** Evaluate many (kernel, grid) configurations — the grid-sweep
     experiment driver. Compilation runs sequentially up front (cached,
-    and for [sim = Compiled] the shared plan is forced up front too);
+    and for the plan-backed engines ([Compiled]/[Batched]) the shared
+    plan is forced up front too);
     the per-configuration evaluations (and optional design
     verifications) then run on a chunked work-stealing domain pool, all
     sharing one immutable plan per configuration with per-domain run
@@ -160,8 +167,9 @@ val emit_llvm_text : compiled -> string
 (** The CIRCT hw/esi netlist (the paper's future-work backend). *)
 val emit_circt_text : compiled -> string
 
-(** A Vitis-style synthesis report. [sim = Compiled] appends the
-    compiled functional-simulation plan's shape. *)
+(** A Vitis-style synthesis report. The functional-simulation section
+    renders uniformly for all three engines: the engine name always,
+    plus the plan shape for the plan-backed engines. *)
 val report_text : ?sim:sim -> compiled -> string
 
 val emit_stencil_text : compiled -> string

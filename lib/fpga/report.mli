@@ -1,6 +1,9 @@
 (** A Vitis-HLS-style synthesis report for a compiled design:
     performance, stage and stream tables, utilisation, interface map.
-    [sim_plan] appends the compiled functional-simulation plan's shape
-    (register slots, step closures, folded constants). *)
+    [sim_engine] appends a functional-simulation section naming the
+    engine; [sim_plan] adds that engine's plan shape (register slots,
+    step closures, batched loops, folded constants). The section
+    renders uniformly for every engine — the interpreter prints
+    "plan : none". *)
 
-val render : ?sim_plan:Stage_compiler.t -> Design.t -> string
+val render : ?sim_engine:string -> ?sim_plan:Stage_compiler.t -> Design.t -> string

@@ -117,6 +117,15 @@ type run_state = {
   rs_poff : int array;
   rs_vecs : float array array; (* neighbourhood scratch, one per KV slot *)
   rs_rings : ring array; (* plan ring-descriptor order (ascending id) *)
+  (* Batched-engine column files (empty for per-element plans).  A
+     batched compute loop processes the stream in blocks of up to
+     [pl_batch] elements: every in-loop SSA value becomes a dense
+     column, one lane per element of the current block. *)
+  rs_fcols : float array array; (* float columns, [pl_batch] lanes each *)
+  rs_icols : int array array; (* int/i1 columns *)
+  rs_pcols_base : float array array; (* pointer columns: shared base ... *)
+  rs_pcols_off : int array array; (* ... plus a per-lane offset column *)
+  rs_vbase : int array; (* per KV slot: ring base of the current block *)
 }
 
 module Run_state = struct
@@ -131,6 +140,11 @@ type kind =
   | KI of int (* int / i1 slot *)
   | KP of int (* pointer or memref slot: base array + offset *)
   | KV of int (* vector-token slot: a private scratch array *)
+  | KS of int * int * int * int
+      (* batched engine only: an extracted neighbourhood lane left in
+         the input ring — (ring, vbase slot, token width, lane).
+         Consumers read it with stride [width] instead of gathering it
+         into a dense column first. *)
 
 type alloc = {
   slots : (int, kind) Hashtbl.t; (* SSA value id -> slot *)
@@ -193,6 +207,7 @@ type stats = {
   cs_vregs : int;
   cs_steps : int; (* compiled step closures across all stages *)
   cs_folded : int; (* constants folded into the pools at compile time *)
+  cs_batched : int; (* compute loops compiled to whole-stream batches *)
 }
 
 (* The immutable plan: nothing in here is written after [compile]
@@ -206,6 +221,10 @@ type t = {
   pl_const_i : int array; (* constant pool: initial int registers *)
   pl_np : int;
   pl_vec_widths : int array;
+  pl_batch : int; (* batched block width; 0 = per-element plan *)
+  pl_n_fcols : int; (* batched column-file sizes *)
+  pl_n_icols : int;
+  pl_n_pcols : int;
   pl_bind : Functional.value array -> run_state -> unit;
   pl_steps : (run_state -> unit) array; (* stages, in topological order *)
   pl_stats : stats;
@@ -232,6 +251,11 @@ let create_state (t : t) : run_state =
       Array.map
         (fun rd -> ring_create ~stream:rd.rd_stream ~width:rd.rd_width)
         t.pl_ring_descs;
+    rs_fcols = Array.init t.pl_n_fcols (fun _ -> Array.make t.pl_batch 0.0);
+    rs_icols = Array.init t.pl_n_icols (fun _ -> Array.make t.pl_batch 0);
+    rs_pcols_base = Array.make t.pl_n_pcols [||];
+    rs_pcols_off = Array.init t.pl_n_pcols (fun _ -> Array.make t.pl_batch 0);
+    rs_vbase = Array.make (max 1 (Array.length t.pl_vec_widths)) 0;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -244,6 +268,14 @@ type cctx = {
   vec_w : int array; (* scratch width per KV slot *)
   ring_index : (int, int) Hashtbl.t; (* SSA stream id -> rs_rings index *)
   mutable folded : int;
+  (* batched-engine compilation state ([c_batched] plans only) *)
+  c_batched : bool;
+  cols : (int, kind) Hashtbl.t; (* in-loop SSA id -> column slot *)
+  vec_ring : (int, int * int) Hashtbl.t; (* KV slot -> (ring idx, width) *)
+  mutable nfc : int; (* column-file sizes *)
+  mutable nic : int;
+  mutable npc : int;
+  mutable batched_loops : int;
 }
 
 let slot_exn c v =
@@ -278,6 +310,854 @@ let ring_idx c v =
   match Hashtbl.find_opt c.ring_index id with
   | Some i -> i
   | None -> Err.raise_error "functional sim: read of unknown stream %d" id
+
+(* ------------------------------------------------------------------ *)
+(* Batched compute-loop compilation.
+
+   A compute stage's [scf.for] is batched when every body op is in the
+   independent-per-element subset below (no nested loops, no stores, at
+   most one read and one write per stream — the only op forms whose
+   per-element interleaving is observable through the rings).  The loop
+   then runs in blocks of up to [batch_width] elements: each op becomes
+   one closure looping its lanes over dense columns, loop-invariant
+   operands (including folded constants) are read once per block, and
+   stream reads/writes move whole blocks through the rings with blits.
+   Neighbourhood (vector) reads never materialise: an [extractvalue]
+   lane reads the input ring directly with stride [width].
+
+   Bit-exactness vs the per-element engine is structural: every lane's
+   dataflow is the identical float expression, evaluated op-at-a-time
+   instead of element-at-a-time, and batchable loops contain no stores,
+   so no partial-block state is observable.  Starved reads are detected
+   before a block touches anything; the remainder then re-runs through
+   the per-element body so the raised error (message, [Loc], which read
+   fires first) matches the interpreter exactly. *)
+
+let batch_width = 64
+
+exception Not_batchable
+
+(* operand sources within a batched loop: a column or a loop-invariant
+   scalar register read once per block *)
+type fsrc = FCol of int | FInv of (run_state -> float)
+type isrc = ICol of int | IInv of (run_state -> int)
+type psrc = PCol of int | PInv of int
+
+let new_fcol c =
+  let i = c.nfc in
+  c.nfc <- i + 1;
+  i
+
+let new_icol c =
+  let i = c.nic in
+  c.nic <- i + 1;
+  i
+
+let new_pcol c =
+  let i = c.npc in
+  c.npc <- i + 1;
+  i
+
+let bind_fcol c v =
+  let i = new_fcol c in
+  Hashtbl.replace c.cols (Ir.Value.id v) (KF i);
+  i
+
+let bind_icol c v =
+  let i = new_icol c in
+  Hashtbl.replace c.cols (Ir.Value.id v) (KI i);
+  i
+
+let bind_pcol c v =
+  let i = new_pcol c in
+  Hashtbl.replace c.cols (Ir.Value.id v) (KP i);
+  i
+
+(* Resolve a float operand, mirroring the interpreter's int coercion; a
+   coerced int column converts through a prep step once per block. *)
+let bfsrc c preps v =
+  match Hashtbl.find_opt c.cols (Ir.Value.id v) with
+  | Some (KF i) -> FCol i
+  | Some (KS (ri, s, w, lane)) ->
+    (* a consumer outside the strided fast path: gather the lane into a
+       dense column once and rebind, so later consumers share it *)
+    let d = new_fcol c in
+    Hashtbl.replace c.cols (Ir.Value.id v) (KF d);
+    preps :=
+      (fun rs n ->
+        let r = Array.unsafe_get rs.rs_rings ri in
+        let src = r.rg_data in
+        let b0 = Array.unsafe_get rs.rs_vbase s + lane in
+        let fd = Array.unsafe_get rs.rs_fcols d in
+        let p = ref b0 in
+        for j = 0 to n - 1 do
+          Array.unsafe_set fd j (Array.unsafe_get src !p);
+          p := !p + w
+        done)
+      :: !preps;
+    FCol d
+  | Some (KI i) ->
+    let d = new_fcol c in
+    preps :=
+      (fun rs n ->
+        let src = Array.unsafe_get rs.rs_icols i
+        and dst = Array.unsafe_get rs.rs_fcols d in
+        for j = 0 to n - 1 do
+          Array.unsafe_set dst j (float_of_int (Array.unsafe_get src j))
+        done)
+      :: !preps;
+    FCol d
+  | Some _ -> raise Not_batchable
+  | None -> (
+    match slot_exn c v with
+    | KF i -> FInv (fun rs -> Array.unsafe_get rs.rs_fregs i)
+    | KI i -> FInv (fun rs -> float_of_int (Array.unsafe_get rs.rs_iregs i))
+    | _ -> raise Not_batchable)
+
+let bisrc c v =
+  match Hashtbl.find_opt c.cols (Ir.Value.id v) with
+  | Some (KI i) -> ICol i
+  | Some _ -> raise Not_batchable
+  | None -> (
+    match slot_exn c v with
+    | KI i -> IInv (fun rs -> Array.unsafe_get rs.rs_iregs i)
+    | _ -> raise Not_batchable)
+
+let bpsrc c v =
+  match Hashtbl.find_opt c.cols (Ir.Value.id v) with
+  | Some (KP i) -> PCol i
+  | Some _ -> raise Not_batchable
+  | None -> (
+    match slot_exn c v with KP i -> PInv i | _ -> raise Not_batchable)
+
+(* Extended float source for the binary-arithmetic fast path: an
+   extracted neighbourhood lane stays in the input ring and is read
+   with stride [w] right inside the consumer's loop, skipping the dense
+   column (one strided load instead of gather-store + dense load). *)
+type xfsrc =
+  | XCol of int
+  | XInv of (run_state -> float)
+  | XStr of int * int * int * int (* ring, vbase slot, width, lane *)
+
+let bxfsrc c preps v =
+  match Hashtbl.find_opt c.cols (Ir.Value.id v) with
+  | Some (KS (ri, s, w, lane)) -> XStr (ri, s, w, lane)
+  | _ -> (
+    match bfsrc c preps v with FCol i -> XCol i | FInv g -> XInv g)
+
+(* Lane arithmetic is dispatched through tiny opcode variants instead
+   of operator closures: without flambda a closure argument means an
+   indirect call (and float boxing) on every lane, which would eat most
+   of the batching win.  The [@inline] match compiles to a perfectly
+   predicted jump on a loop-invariant tag, keeping lanes unboxed. *)
+type f2op = F2Add | F2Sub | F2Mul | F2Div | F2Max | F2Min | F2Pow
+type f1op = F1Neg | F1Sqrt | F1Exp | F1Log | F1Abs | F1Tanh
+type i2op = I2Add | I2Sub | I2Mul | I2Div | I2Rem
+type icmp = CLt | CLe | CGt | CGe | CEq | CNe
+
+let[@inline] f2_apply k a b =
+  match k with
+  | F2Add -> a +. b
+  | F2Sub -> a -. b
+  | F2Mul -> a *. b
+  | F2Div -> a /. b
+  | F2Max -> Float.max a b
+  | F2Min -> Float.min a b
+  | F2Pow -> a ** b
+
+let[@inline] f1_apply k a =
+  match k with
+  | F1Neg -> -.a
+  | F1Sqrt -> sqrt a
+  | F1Exp -> exp a
+  | F1Log -> log a
+  | F1Abs -> Float.abs a
+  | F1Tanh -> tanh a
+
+let[@inline] i2_apply k a b =
+  match k with
+  | I2Add -> a + b
+  | I2Sub -> a - b
+  | I2Mul -> a * b
+  | I2Div -> a / b
+  | I2Rem -> a mod b
+
+let[@inline] icmp_apply k (a : int) b =
+  match k with
+  | CLt -> a < b
+  | CLe -> a <= b
+  | CGt -> a > b
+  | CGe -> a >= b
+  | CEq -> a = b
+  | CNe -> a <> b
+
+(* Compile one batchable-loop body op into an optional per-block step
+   [fun rs n -> ...] over the first [n] lanes.  Raises [Not_batchable]
+   on anything outside the subset; the caller falls back to the
+   per-element loop. *)
+let compile_bop c ~reads ~writes (op : Ir.op) :
+    (run_state -> int -> unit) option =
+  let preps = ref [] in
+  let finish body =
+    match !preps with
+    | [] -> Some body
+    | ps ->
+      let ps = Array.of_list (List.rev ps) in
+      let np = Array.length ps in
+      Some
+        (fun rs n ->
+          for k = 0 to np - 1 do
+            (Array.unsafe_get ps k) rs n
+          done;
+          body rs n)
+  in
+  let bin k =
+    let a = bxfsrc c preps (Ir.Op.operand op 0) in
+    let b = bxfsrc c preps (Ir.Op.operand op 1) in
+    let d = bind_fcol c (Ir.Op.result op 0) in
+    finish
+      (match (a, b) with
+      | XCol a, XCol b ->
+        fun rs n ->
+          let fa = Array.unsafe_get rs.rs_fcols a
+          and fb = Array.unsafe_get rs.rs_fcols b
+          and fd = Array.unsafe_get rs.rs_fcols d in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j
+              (f2_apply k (Array.unsafe_get fa j) (Array.unsafe_get fb j))
+          done
+      | XCol a, XInv gb ->
+        fun rs n ->
+          let fa = Array.unsafe_get rs.rs_fcols a
+          and fd = Array.unsafe_get rs.rs_fcols d in
+          let b = gb rs in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j (f2_apply k (Array.unsafe_get fa j) b)
+          done
+      | XInv ga, XCol b ->
+        fun rs n ->
+          let fb = Array.unsafe_get rs.rs_fcols b
+          and fd = Array.unsafe_get rs.rs_fcols d in
+          let a = ga rs in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j (f2_apply k a (Array.unsafe_get fb j))
+          done
+      | XInv ga, XInv gb ->
+        fun rs n ->
+          Array.fill
+            (Array.unsafe_get rs.rs_fcols d)
+            0 n
+            (f2_apply k (ga rs) (gb rs))
+      | XStr (ria, sa, wa, la), XCol b ->
+        fun rs n ->
+          let sa_ = (Array.unsafe_get rs.rs_rings ria).rg_data in
+          let pa = ref (Array.unsafe_get rs.rs_vbase sa + la) in
+          let fb = Array.unsafe_get rs.rs_fcols b
+          and fd = Array.unsafe_get rs.rs_fcols d in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j
+              (f2_apply k (Array.unsafe_get sa_ !pa) (Array.unsafe_get fb j));
+            pa := !pa + wa
+          done
+      | XCol a, XStr (rib, sb, wb, lb) ->
+        fun rs n ->
+          let sb_ = (Array.unsafe_get rs.rs_rings rib).rg_data in
+          let pb = ref (Array.unsafe_get rs.rs_vbase sb + lb) in
+          let fa = Array.unsafe_get rs.rs_fcols a
+          and fd = Array.unsafe_get rs.rs_fcols d in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j
+              (f2_apply k (Array.unsafe_get fa j) (Array.unsafe_get sb_ !pb));
+            pb := !pb + wb
+          done
+      | XStr (ria, sa, wa, la), XInv gb ->
+        fun rs n ->
+          let sa_ = (Array.unsafe_get rs.rs_rings ria).rg_data in
+          let pa = ref (Array.unsafe_get rs.rs_vbase sa + la) in
+          let fd = Array.unsafe_get rs.rs_fcols d in
+          let b = gb rs in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j (f2_apply k (Array.unsafe_get sa_ !pa) b);
+            pa := !pa + wa
+          done
+      | XInv ga, XStr (rib, sb, wb, lb) ->
+        fun rs n ->
+          let sb_ = (Array.unsafe_get rs.rs_rings rib).rg_data in
+          let pb = ref (Array.unsafe_get rs.rs_vbase sb + lb) in
+          let fd = Array.unsafe_get rs.rs_fcols d in
+          let a = ga rs in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j (f2_apply k a (Array.unsafe_get sb_ !pb));
+            pb := !pb + wb
+          done
+      | XStr (ria, sa, wa, la), XStr (rib, sb, wb, lb) ->
+        fun rs n ->
+          let sa_ = (Array.unsafe_get rs.rs_rings ria).rg_data in
+          let pa = ref (Array.unsafe_get rs.rs_vbase sa + la) in
+          let sb_ = (Array.unsafe_get rs.rs_rings rib).rg_data in
+          let pb = ref (Array.unsafe_get rs.rs_vbase sb + lb) in
+          let fd = Array.unsafe_get rs.rs_fcols d in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j
+              (f2_apply k (Array.unsafe_get sa_ !pa) (Array.unsafe_get sb_ !pb));
+            pa := !pa + wa;
+            pb := !pb + wb
+          done)
+  in
+  let un k =
+    let a = bfsrc c preps (Ir.Op.operand op 0) in
+    let d = bind_fcol c (Ir.Op.result op 0) in
+    finish
+      (match a with
+      | FCol a ->
+        fun rs n ->
+          let fa = Array.unsafe_get rs.rs_fcols a
+          and fd = Array.unsafe_get rs.rs_fcols d in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j (f1_apply k (Array.unsafe_get fa j))
+          done
+      | FInv g ->
+        fun rs n ->
+          Array.fill (Array.unsafe_get rs.rs_fcols d) 0 n (f1_apply k (g rs)))
+  in
+  let bini k =
+    let a = bisrc c (Ir.Op.operand op 0) in
+    let b = bisrc c (Ir.Op.operand op 1) in
+    let d = bind_icol c (Ir.Op.result op 0) in
+    finish
+      (match (a, b) with
+      | ICol a, ICol b ->
+        fun rs n ->
+          let ia = Array.unsafe_get rs.rs_icols a
+          and ib = Array.unsafe_get rs.rs_icols b
+          and id = Array.unsafe_get rs.rs_icols d in
+          for j = 0 to n - 1 do
+            Array.unsafe_set id j
+              (i2_apply k (Array.unsafe_get ia j) (Array.unsafe_get ib j))
+          done
+      | ICol a, IInv gb -> (
+        match k with
+        | (I2Div | I2Rem) as k ->
+          (* columns here are usually consecutive (derived from the
+             induction variable), so the expensive hardware division
+             strength-reduces to a carry counter; any lane that breaks
+             the progression (or a non-positive divisor) falls back to
+             real division, keeping the values bit-identical *)
+          fun rs n ->
+            let ia = Array.unsafe_get rs.rs_icols a
+            and id = Array.unsafe_get rs.rs_icols d in
+            let b = gb rs in
+            if b > 0 && Array.unsafe_get ia 0 >= 0 then begin
+              let v0 = Array.unsafe_get ia 0 in
+              let q = ref (v0 / b)
+              and r = ref (v0 mod b)
+              and prev = ref v0 in
+              Array.unsafe_set id 0 (match k with I2Div -> !q | _ -> !r);
+              for j = 1 to n - 1 do
+                let v = Array.unsafe_get ia j in
+                if v = !prev + 1 then begin
+                  incr r;
+                  if !r = b then begin
+                    r := 0;
+                    incr q
+                  end
+                end
+                else begin
+                  q := v / b;
+                  r := v mod b
+                end;
+                prev := v;
+                Array.unsafe_set id j (match k with I2Div -> !q | _ -> !r)
+              done
+            end
+            else
+              for j = 0 to n - 1 do
+                Array.unsafe_set id j (i2_apply k (Array.unsafe_get ia j) b)
+              done
+        | k ->
+          fun rs n ->
+            let ia = Array.unsafe_get rs.rs_icols a
+            and id = Array.unsafe_get rs.rs_icols d in
+            let b = gb rs in
+            for j = 0 to n - 1 do
+              Array.unsafe_set id j (i2_apply k (Array.unsafe_get ia j) b)
+            done)
+      | IInv ga, ICol b ->
+        fun rs n ->
+          let ib = Array.unsafe_get rs.rs_icols b
+          and id = Array.unsafe_get rs.rs_icols d in
+          let a = ga rs in
+          for j = 0 to n - 1 do
+            Array.unsafe_set id j (i2_apply k a (Array.unsafe_get ib j))
+          done
+      | IInv ga, IInv gb ->
+        fun rs n ->
+          Array.fill
+            (Array.unsafe_get rs.rs_icols d)
+            0 n
+            (i2_apply k (ga rs) (gb rs)))
+  in
+  let cmpi k =
+    let a = bisrc c (Ir.Op.operand op 0) in
+    let b = bisrc c (Ir.Op.operand op 1) in
+    let d = bind_icol c (Ir.Op.result op 0) in
+    finish
+      (match (a, b) with
+      | ICol a, ICol b ->
+        fun rs n ->
+          let ia = Array.unsafe_get rs.rs_icols a
+          and ib = Array.unsafe_get rs.rs_icols b
+          and id = Array.unsafe_get rs.rs_icols d in
+          for j = 0 to n - 1 do
+            Array.unsafe_set id j
+              (if icmp_apply k (Array.unsafe_get ia j) (Array.unsafe_get ib j)
+               then 1
+               else 0)
+          done
+      | ICol a, IInv gb ->
+        fun rs n ->
+          let ia = Array.unsafe_get rs.rs_icols a
+          and id = Array.unsafe_get rs.rs_icols d in
+          let b = gb rs in
+          for j = 0 to n - 1 do
+            Array.unsafe_set id j
+              (if icmp_apply k (Array.unsafe_get ia j) b then 1 else 0)
+          done
+      | IInv ga, ICol b ->
+        fun rs n ->
+          let ib = Array.unsafe_get rs.rs_icols b
+          and id = Array.unsafe_get rs.rs_icols d in
+          let a = ga rs in
+          for j = 0 to n - 1 do
+            Array.unsafe_set id j
+              (if icmp_apply k a (Array.unsafe_get ib j) then 1 else 0)
+          done
+      | IInv ga, IInv gb ->
+        fun rs n ->
+          Array.fill
+            (Array.unsafe_get rs.rs_icols d)
+            0 n
+            (if icmp_apply k (ga rs) (gb rs) then 1 else 0))
+  in
+  match Ir.Op.name op with
+  | "arith.constant" -> (
+    (* folded into the pools exactly like the per-element engine; the
+       value stays out of [c.cols], so operand resolution sees it as a
+       loop-invariant register (the "constants hoisted" fast path) *)
+    match Ir.Op.get_attr_exn op "value" with
+    | Attr.Float f ->
+      c.const_f.(fslot c (Ir.Op.result op 0)) <- f;
+      None
+    | Attr.Int i ->
+      c.const_i.(islot c (Ir.Op.result op 0)) <- i;
+      None
+    | _ -> raise Not_batchable)
+  | "arith.addf" -> bin F2Add
+  | "arith.subf" -> bin F2Sub
+  | "arith.mulf" -> bin F2Mul
+  | "arith.divf" -> bin F2Div
+  | "arith.maximumf" -> bin F2Max
+  | "arith.minimumf" -> bin F2Min
+  | "arith.negf" -> un F1Neg
+  | "arith.addi" -> bini I2Add
+  | "arith.subi" -> bini I2Sub
+  | "arith.muli" -> bini I2Mul
+  | "arith.divsi" -> bini I2Div
+  | "arith.remsi" -> bini I2Rem
+  | "math.sqrt" -> un F1Sqrt
+  | "math.exp" -> un F1Exp
+  | "math.log" -> un F1Log
+  | "math.absf" -> un F1Abs
+  | "math.tanh" -> un F1Tanh
+  | "math.powf" -> bin F2Pow
+  | "arith.cmpi" -> (
+    match Attr.str_exn (Ir.Op.get_attr_exn op "predicate") with
+    | "slt" -> cmpi CLt
+    | "sle" -> cmpi CLe
+    | "sgt" -> cmpi CGt
+    | "sge" -> cmpi CGe
+    | "eq" -> cmpi CEq
+    | "ne" -> cmpi CNe
+    | _ -> raise Not_batchable)
+  | "arith.select" -> (
+    let cnd = bisrc c (Ir.Op.operand op 0) in
+    match slot_exn c (Ir.Op.result op 0) with
+    | KF _ -> (
+      let a = bfsrc c preps (Ir.Op.operand op 1) in
+      let b = bfsrc c preps (Ir.Op.operand op 2) in
+      let d = bind_fcol c (Ir.Op.result op 0) in
+      match cnd with
+      | IInv g ->
+        (* lane-uniform condition: pick a side once per block *)
+        let copy = function
+          | FCol s ->
+            fun rs n ->
+              Array.blit
+                (Array.unsafe_get rs.rs_fcols s)
+                0
+                (Array.unsafe_get rs.rs_fcols d)
+                0 n
+          | FInv gs ->
+            fun rs n ->
+              Array.fill (Array.unsafe_get rs.rs_fcols d) 0 n (gs rs)
+        in
+        let ca = copy a and cb = copy b in
+        finish (fun rs n -> if g rs <> 0 then ca rs n else cb rs n)
+      | ICol cc ->
+        finish
+          (match (a, b) with
+          | FCol a, FCol b ->
+            fun rs n ->
+              let ic = Array.unsafe_get rs.rs_icols cc
+              and fa = Array.unsafe_get rs.rs_fcols a
+              and fb = Array.unsafe_get rs.rs_fcols b
+              and fd = Array.unsafe_get rs.rs_fcols d in
+              for j = 0 to n - 1 do
+                Array.unsafe_set fd j
+                  (if Array.unsafe_get ic j <> 0 then Array.unsafe_get fa j
+                   else Array.unsafe_get fb j)
+              done
+          | FCol a, FInv gb ->
+            fun rs n ->
+              let ic = Array.unsafe_get rs.rs_icols cc
+              and fa = Array.unsafe_get rs.rs_fcols a
+              and fd = Array.unsafe_get rs.rs_fcols d in
+              let b = gb rs in
+              for j = 0 to n - 1 do
+                Array.unsafe_set fd j
+                  (if Array.unsafe_get ic j <> 0 then Array.unsafe_get fa j
+                   else b)
+              done
+          | FInv ga, FCol b ->
+            fun rs n ->
+              let ic = Array.unsafe_get rs.rs_icols cc
+              and fb = Array.unsafe_get rs.rs_fcols b
+              and fd = Array.unsafe_get rs.rs_fcols d in
+              let a = ga rs in
+              for j = 0 to n - 1 do
+                Array.unsafe_set fd j
+                  (if Array.unsafe_get ic j <> 0 then a
+                   else Array.unsafe_get fb j)
+              done
+          | FInv ga, FInv gb ->
+            fun rs n ->
+              let ic = Array.unsafe_get rs.rs_icols cc
+              and fd = Array.unsafe_get rs.rs_fcols d in
+              let a = ga rs and b = gb rs in
+              for j = 0 to n - 1 do
+                Array.unsafe_set fd j
+                  (if Array.unsafe_get ic j <> 0 then a else b)
+              done))
+    | KI _ -> (
+      let a = bisrc c (Ir.Op.operand op 1) in
+      let b = bisrc c (Ir.Op.operand op 2) in
+      let d = bind_icol c (Ir.Op.result op 0) in
+      match cnd with
+      | IInv g ->
+        let copy = function
+          | ICol s ->
+            fun rs n ->
+              Array.blit
+                (Array.unsafe_get rs.rs_icols s)
+                0
+                (Array.unsafe_get rs.rs_icols d)
+                0 n
+          | IInv gs ->
+            fun rs n -> Array.fill (Array.unsafe_get rs.rs_icols d) 0 n (gs rs)
+        in
+        let ca = copy a and cb = copy b in
+        finish (fun rs n -> if g rs <> 0 then ca rs n else cb rs n)
+      | ICol cc ->
+        finish
+          (match (a, b) with
+          | ICol a, ICol b ->
+            fun rs n ->
+              let ic = Array.unsafe_get rs.rs_icols cc
+              and ia = Array.unsafe_get rs.rs_icols a
+              and ib = Array.unsafe_get rs.rs_icols b
+              and id = Array.unsafe_get rs.rs_icols d in
+              for j = 0 to n - 1 do
+                Array.unsafe_set id j
+                  (if Array.unsafe_get ic j <> 0 then Array.unsafe_get ia j
+                   else Array.unsafe_get ib j)
+              done
+          | ICol a, IInv gb ->
+            fun rs n ->
+              let ic = Array.unsafe_get rs.rs_icols cc
+              and ia = Array.unsafe_get rs.rs_icols a
+              and id = Array.unsafe_get rs.rs_icols d in
+              let b = gb rs in
+              for j = 0 to n - 1 do
+                Array.unsafe_set id j
+                  (if Array.unsafe_get ic j <> 0 then Array.unsafe_get ia j
+                   else b)
+              done
+          | IInv ga, ICol b ->
+            fun rs n ->
+              let ic = Array.unsafe_get rs.rs_icols cc
+              and ib = Array.unsafe_get rs.rs_icols b
+              and id = Array.unsafe_get rs.rs_icols d in
+              let a = ga rs in
+              for j = 0 to n - 1 do
+                Array.unsafe_set id j
+                  (if Array.unsafe_get ic j <> 0 then a
+                   else Array.unsafe_get ib j)
+              done
+          | IInv ga, IInv gb ->
+            fun rs n ->
+              let ic = Array.unsafe_get rs.rs_icols cc
+              and id = Array.unsafe_get rs.rs_icols d in
+              let a = ga rs and b = gb rs in
+              for j = 0 to n - 1 do
+                Array.unsafe_set id j
+                  (if Array.unsafe_get ic j <> 0 then a else b)
+              done))
+    | _ -> raise Not_batchable)
+  | "hls.pipeline" | "hls.unroll" | "hls.array_partition" -> None
+  | "scf.yield" -> None
+  | "hls.read" -> (
+    let ri = ring_idx c (Ir.Op.operand op 0) in
+    if List.mem_assoc ri !reads then raise Not_batchable;
+    match slot_exn c (Ir.Op.result op 0) with
+    | KF _ ->
+      reads := (ri, 1) :: !reads;
+      let d = bind_fcol c (Ir.Op.result op 0) in
+      finish (fun rs n ->
+          (* the block driver checked availability up front *)
+          let r = Array.unsafe_get rs.rs_rings ri in
+          Array.blit r.rg_data r.rg_head (Array.unsafe_get rs.rs_fcols d) 0 n;
+          r.rg_head <- r.rg_head + n;
+          r.rg_len <- r.rg_len - n)
+    | KV s ->
+      let w = c.vec_w.(s) in
+      reads := (ri, w) :: !reads;
+      Hashtbl.replace c.vec_ring s (ri, w);
+      Hashtbl.replace c.cols (Ir.Value.id (Ir.Op.result op 0)) (KV s);
+      (* no materialisation: record the block's base in the ring and
+         let extracted lanes read it with stride [w] *)
+      finish (fun rs n ->
+          let r = Array.unsafe_get rs.rs_rings ri in
+          Array.unsafe_set rs.rs_vbase s r.rg_head;
+          r.rg_head <- r.rg_head + (n * w);
+          r.rg_len <- r.rg_len - (n * w))
+    | _ -> raise Not_batchable)
+  | "llvm.extractvalue" -> (
+    match
+      ( Hashtbl.find_opt c.cols (Ir.Value.id (Ir.Op.operand op 0)),
+        Ir.Op.get_attr_exn op "indices" )
+    with
+    | Some (KV s), Attr.Ints [ i ] ->
+      let ri, w =
+        match Hashtbl.find_opt c.vec_ring s with
+        | Some rw -> rw
+        | None -> raise Not_batchable
+      in
+      (* no step at all: the lane stays in the input ring and consumers
+         read it with stride [w] (arithmetic directly, anything else
+         through a one-time gather in [bfsrc]) *)
+      Hashtbl.replace c.cols
+        (Ir.Value.id (Ir.Op.result op 0))
+        (KS (ri, s, w, i));
+      None
+    | _ -> raise Not_batchable)
+  | "hls.write" -> (
+    let ri = ring_idx c (Ir.Op.operand op 1) in
+    if List.mem ri !writes then raise Not_batchable;
+    writes := ri :: !writes;
+    match bfsrc c preps (Ir.Op.operand op 0) with
+    | FCol s ->
+      finish (fun rs n ->
+          ring_push_blit
+            (Array.unsafe_get rs.rs_rings ri)
+            (Array.unsafe_get rs.rs_fcols s)
+            0 n)
+    | FInv g ->
+      finish (fun rs n ->
+          let r = Array.unsafe_get rs.rs_rings ri in
+          ring_reserve r n;
+          Array.fill r.rg_data (r.rg_head + r.rg_len) n (g rs);
+          r.rg_len <- r.rg_len + n))
+  | "llvm.getelementptr" -> (
+    let s = bpsrc c (Ir.Op.operand op 0) in
+    let d = bind_pcol c (Ir.Op.result op 0) in
+    match
+      (Attr.ints_exn (Ir.Op.get_attr_exn op "indices"), Ir.Op.num_operands op)
+    with
+    | [], 2 ->
+      let k = bisrc c (Ir.Op.operand op 1) in
+      finish
+        (match (s, k) with
+        | PInv s, ICol k ->
+          fun rs n ->
+            Array.unsafe_set rs.rs_pcols_base d (Array.unsafe_get rs.rs_pbase s);
+            let o = Array.unsafe_get rs.rs_poff s in
+            let ko = Array.unsafe_get rs.rs_icols k
+            and od = Array.unsafe_get rs.rs_pcols_off d in
+            for j = 0 to n - 1 do
+              Array.unsafe_set od j (o + Array.unsafe_get ko j)
+            done
+        | PInv s, IInv g ->
+          fun rs n ->
+            Array.unsafe_set rs.rs_pcols_base d (Array.unsafe_get rs.rs_pbase s);
+            Array.fill
+              (Array.unsafe_get rs.rs_pcols_off d)
+              0 n
+              (Array.unsafe_get rs.rs_poff s + g rs)
+        | PCol s, ICol k ->
+          fun rs n ->
+            Array.unsafe_set rs.rs_pcols_base d
+              (Array.unsafe_get rs.rs_pcols_base s);
+            let os = Array.unsafe_get rs.rs_pcols_off s
+            and ko = Array.unsafe_get rs.rs_icols k
+            and od = Array.unsafe_get rs.rs_pcols_off d in
+            for j = 0 to n - 1 do
+              Array.unsafe_set od j
+                (Array.unsafe_get os j + Array.unsafe_get ko j)
+            done
+        | PCol s, IInv g ->
+          fun rs n ->
+            Array.unsafe_set rs.rs_pcols_base d
+              (Array.unsafe_get rs.rs_pcols_base s);
+            let delta = g rs in
+            let os = Array.unsafe_get rs.rs_pcols_off s
+            and od = Array.unsafe_get rs.rs_pcols_off d in
+            for j = 0 to n - 1 do
+              Array.unsafe_set od j (Array.unsafe_get os j + delta)
+            done)
+    | idx, 1 ->
+      let delta = List.fold_left ( + ) 0 idx in
+      finish
+        (match s with
+        | PInv s ->
+          fun rs n ->
+            Array.unsafe_set rs.rs_pcols_base d (Array.unsafe_get rs.rs_pbase s);
+            Array.fill
+              (Array.unsafe_get rs.rs_pcols_off d)
+              0 n
+              (Array.unsafe_get rs.rs_poff s + delta)
+        | PCol s ->
+          fun rs n ->
+            Array.unsafe_set rs.rs_pcols_base d
+              (Array.unsafe_get rs.rs_pcols_base s);
+            let os = Array.unsafe_get rs.rs_pcols_off s
+            and od = Array.unsafe_get rs.rs_pcols_off d in
+            for j = 0 to n - 1 do
+              Array.unsafe_set od j (Array.unsafe_get os j + delta)
+            done)
+    | _ -> raise Not_batchable)
+  | "llvm.load" -> (
+    let s = bpsrc c (Ir.Op.operand op 0) in
+    let d = bind_fcol c (Ir.Op.result op 0) in
+    finish
+      (match s with
+      | PCol s ->
+        fun rs n ->
+          let base = Array.unsafe_get rs.rs_pcols_base s
+          and off = Array.unsafe_get rs.rs_pcols_off s
+          and fd = Array.unsafe_get rs.rs_fcols d in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j
+              (Array.unsafe_get base (Array.unsafe_get off j))
+          done
+      | PInv s ->
+        fun rs n ->
+          Array.fill
+            (Array.unsafe_get rs.rs_fcols d)
+            0 n
+            (Array.unsafe_get
+               (Array.unsafe_get rs.rs_pbase s)
+               (Array.unsafe_get rs.rs_poff s))))
+  | "memref.load" -> (
+    let m = bpsrc c (Ir.Op.operand op 0) in
+    let i = bisrc c (Ir.Op.operand op 1) in
+    let d = bind_fcol c (Ir.Op.result op 0) in
+    match (m, i) with
+    | PInv m, ICol i ->
+      finish (fun rs n ->
+          let arr = Array.unsafe_get rs.rs_pbase m
+          and ic = Array.unsafe_get rs.rs_icols i
+          and fd = Array.unsafe_get rs.rs_fcols d in
+          for j = 0 to n - 1 do
+            Array.unsafe_set fd j arr.(Array.unsafe_get ic j)
+          done)
+    | PInv m, IInv g ->
+      finish (fun rs n ->
+          Array.fill
+            (Array.unsafe_get rs.rs_fcols d)
+            0 n
+            (Array.unsafe_get rs.rs_pbase m).(g rs))
+    | PCol _, _ -> raise Not_batchable)
+  | _ -> raise Not_batchable
+
+(* Attempt to batch one top-level [scf.for] of a compute stage.
+   [scalar_body]/[iv_slot] are the per-element compilation of the same
+   loop: the fallback when the body is not batchable, and the exact
+   replay path when a block's input rings are starved (so the raised
+   error — message, [Loc], which read fires first — matches the
+   interpreter). *)
+let compile_for_batched c op ~lb ~ub ~step ~iv_slot ~scalar_body =
+  let block = Ir.Region.entry (List.hd (Ir.Op.regions op)) in
+  let iv =
+    match Ir.Block.args block with
+    | a :: _ -> a
+    | [] -> raise Not_batchable
+  in
+  let reads = ref [] and writes = ref [] in
+  let ivc = new_icol c in
+  Hashtbl.replace c.cols (Ir.Value.id iv) (KI ivc);
+  match
+    (let steps =
+       List.fold_left
+         (fun acc o ->
+           match compile_bop c ~reads ~writes o with
+           | None -> acc
+           | Some step -> step :: acc)
+         [] (Ir.Block.ops block)
+     in
+     Array.of_list (List.rev steps))
+  with
+  | exception Not_batchable -> None
+  | bsteps ->
+    c.batched_loops <- c.batched_loops + 1;
+    let nb = Array.length bsteps in
+    let reads = Array.of_list (List.rev !reads) in
+    let nreads = Array.length reads in
+    let nscal = Array.length scalar_body in
+    Some
+      (fun rs ->
+        let ir = rs.rs_iregs in
+        let ub = Array.unsafe_get ir ub and st = Array.unsafe_get ir step in
+        let ivcol = Array.unsafe_get rs.rs_icols ivc in
+        let i = ref (Array.unsafe_get ir lb) in
+        while !i < ub do
+          let rem = (ub - !i + st - 1) / st in
+          let n = if rem < batch_width then rem else batch_width in
+          let enough = ref true in
+          for k = 0 to nreads - 1 do
+            let ri, w = Array.unsafe_get reads k in
+            if (Array.unsafe_get rs.rs_rings ri).rg_len < n * w then
+              enough := false
+          done;
+          if !enough then begin
+            for j = 0 to n - 1 do
+              Array.unsafe_set ivcol j (!i + (j * st))
+            done;
+            for k = 0 to nb - 1 do
+              (Array.unsafe_get bsteps k) rs n
+            done;
+            i := !i + (n * st)
+          end
+          else
+            (* a starved block: replay the remainder per-element so the
+               error surfaces exactly like the interpreter *)
+            while !i < ub do
+              Array.unsafe_set ir iv_slot !i;
+              for k = 0 to nscal - 1 do
+                (Array.unsafe_get scalar_body k) rs
+              done;
+              i := !i + st
+            done
+        done)
 
 (* Compile one region op into an optional step closure over the run
    state.  Constants are folded straight into the plan's constant pools
@@ -492,18 +1372,25 @@ let rec compile_op c (op : Ir.op) : (run_state -> unit) option =
     in
     let body = compile_block c block in
     let nbody = Array.length body in
-    Some
-      (fun rs ->
-        let ir = rs.rs_iregs in
-        let ub = ir.(ub) and step = ir.(step) in
-        let i = ref ir.(lb) in
-        while !i < ub do
-          Array.unsafe_set ir iv !i;
-          for k = 0 to nbody - 1 do
-            (Array.unsafe_get body k) rs
-          done;
-          i := !i + step
-        done)
+    let scalar_step rs =
+      let ir = rs.rs_iregs in
+      let ub = ir.(ub) and step = ir.(step) in
+      let i = ref ir.(lb) in
+      while !i < ub do
+        Array.unsafe_set ir iv !i;
+        for k = 0 to nbody - 1 do
+          (Array.unsafe_get body k) rs
+        done;
+        i := !i + step
+      done
+    in
+    if c.c_batched then
+      match
+        compile_for_batched c op ~lb ~ub ~step ~iv_slot:iv ~scalar_body:body
+      with
+      | Some bstep -> Some bstep
+      | None -> Some scalar_step
+    else Some scalar_step
   | "scf.yield" -> None
   | name -> Err.raise_error "functional sim: unsupported op %s" name
 
@@ -607,6 +1494,140 @@ let compile_dup ring_index ~input ~outputs =
     done;
     ring_drop inring n
 
+(* Batched dup: zero-copy.  Each output stream has exactly one producer
+   (this dup) and its consumers only ever read, while the input stream
+   is fully produced before the dup runs (topological stage order) and
+   never pushed again afterwards — so the "copies" can alias the input
+   ring's buffer, each with its own head/length.  Bit-identical token
+   sequences, none of the memory traffic. *)
+let compile_dup_batched ring_index ~input ~outputs =
+  let in_ri = design_ring_idx ring_index input in
+  let out_ris =
+    List.map (design_ring_idx ring_index) outputs |> Array.of_list
+  in
+  let nout = Array.length out_ris in
+  fun rs ->
+    let inring = Array.unsafe_get rs.rs_rings in_ri in
+    let n = inring.rg_len in
+    for k = 0 to nout - 1 do
+      let r = Array.unsafe_get rs.rs_rings (Array.unsafe_get out_ris k) in
+      r.rg_data <- inring.rg_data;
+      r.rg_head <- inring.rg_head;
+      r.rg_len <- n
+    done;
+    ring_drop inring n
+
+(* Batched shift: same geometry as [compile_shift], but the inner
+   dimension of every fully-interior row is branch-free — all
+   neighbourhood offsets are provably in range there, so the loop is a
+   strided copy with the per-point bounds checks hoisted to the row's
+   halo edges (and to non-interior rows). *)
+let compile_shift_batched ring_index ~input ~output ~halo ~extent =
+  let ext, strides, total = Functional.stage_geometry extent in
+  let rank = Array.length ext in
+  let in_ri = design_ring_idx ring_index input in
+  let out_ri = design_ring_idx ring_index output in
+  let offsets =
+    Functional.offsets_of_halo halo |> List.map Array.of_list |> Array.of_list
+  in
+  let deltas =
+    Array.map
+      (fun off ->
+        let s = ref 0 in
+        Array.iteri (fun d o -> s := !s + (o * strides.(d))) off;
+        !s)
+      offsets
+  in
+  let nb_n = Array.length offsets in
+  let hal = Array.of_list halo in
+  let inner = ext.(rank - 1) in
+  let h_in = hal.(rank - 1) in
+  (* inner positions where every offset stays in range *)
+  let ilo = min h_in inner in
+  let ihi = max ilo (inner - h_in) in
+  let nrows = total / inner in
+  let off_inner = Array.map (fun off -> off.(rank - 1)) offsets in
+  fun rs ->
+    let inring = Array.unsafe_get rs.rs_rings in_ri in
+    let outring = Array.unsafe_get rs.rs_rings out_ri in
+    if inring.rg_width <> 1 then
+      Err.raise_error "functional sim: shift input must be scalar";
+    ring_require inring total;
+    ring_reserve outring (total * nb_n);
+    let src = inring.rg_data and h = inring.rg_head in
+    let out = outring.rg_data in
+    let ob0 = outring.rg_head + outring.rg_len in
+    (* pos is the outer odometer (inner coordinate handled separately);
+       okmask.(k) caches, per row, whether offset k stays in range in
+       every outer dimension — the per-point edge path then only checks
+       the inner dimension.  Both are per-call scratch (a few words), so
+       the closure stays safe to run concurrently from several states. *)
+    let pos = Array.make (max 1 (rank - 1)) 0 in
+    let okmask = Array.make nb_n true in
+    let per_point base j0 j1 =
+      for j = j0 to j1 - 1 do
+        let i = base + j in
+        let ob = ob0 + (i * nb_n) in
+        for k = 0 to nb_n - 1 do
+          let p = j + Array.unsafe_get off_inner k in
+          Array.unsafe_set out (ob + k)
+            (if Array.unsafe_get okmask k && p >= 0 && p < inner then
+               Array.unsafe_get src (h + i + Array.unsafe_get deltas k)
+             else Float.nan)
+        done
+      done
+    in
+    for row = 0 to nrows - 1 do
+      let base = row * inner in
+      let interior_row = ref true in
+      for d = 0 to rank - 2 do
+        if pos.(d) < hal.(d) || pos.(d) >= ext.(d) - hal.(d) then
+          interior_row := false
+      done;
+      if !interior_row && ihi > ilo then begin
+        (* every offset is outer-valid on an interior row *)
+        Array.fill okmask 0 nb_n true;
+        per_point base 0 ilo;
+        for j = ilo to ihi - 1 do
+          let ob = ob0 + ((base + j) * nb_n) in
+          let sb = h + base + j in
+          for k = 0 to nb_n - 1 do
+            Array.unsafe_set out (ob + k)
+              (Array.unsafe_get src (sb + Array.unsafe_get deltas k))
+          done
+        done;
+        per_point base ihi inner
+      end
+      else begin
+        for k = 0 to nb_n - 1 do
+          let off = Array.unsafe_get offsets k in
+          let ok = ref true in
+          for d = 0 to rank - 2 do
+            let p = Array.unsafe_get pos d + Array.unsafe_get off d in
+            if p < 0 || p >= Array.unsafe_get ext d then ok := false
+          done;
+          Array.unsafe_set okmask k !ok
+        done;
+        per_point base 0 inner
+      end;
+      (* advance the outer odometer *)
+      let d = ref (rank - 2) in
+      let carry = ref true in
+      while !carry && !d >= 0 do
+        let p = pos.(!d) + 1 in
+        if p >= ext.(!d) then begin
+          pos.(!d) <- 0;
+          decr d
+        end
+        else begin
+          pos.(!d) <- p;
+          carry := false
+        end
+      done
+    done;
+    outring.rg_len <- outring.rg_len + (total * nb_n);
+    ring_drop inring total
+
 let compile_write ring_index ~in_streams ~ptr_args ~halo ~extent =
   let ext, _, total = Functional.stage_geometry extent in
   let hal = Array.of_list halo in
@@ -654,6 +1675,68 @@ let compile_write ring_index ~in_streams ~ptr_args ~halo ~extent =
         ring_drop ring total)
       pairs
 
+(* Batched write: the interior of each interior row is one contiguous
+   run of linear indices, so the per-point gather becomes one
+   [Array.blit] per interior row (halo tokens are discarded by the
+   final bulk drop, exactly like the interpreter's discard-pop). *)
+let compile_write_batched ring_index ~in_streams ~ptr_args ~halo ~extent =
+  let ext, _, total = Functional.stage_geometry extent in
+  let hal = Array.of_list halo in
+  let rank = Array.length ext in
+  let pairs =
+    List.map2
+      (fun s argi -> (design_ring_idx ring_index s, argi))
+      in_streams ptr_args
+  in
+  let inner = ext.(rank - 1) in
+  let h_in = hal.(rank - 1) in
+  let run_len = max 0 (inner - (2 * h_in)) in
+  let runs =
+    let pos = Array.make (max 1 (rank - 1)) 0 in
+    let acc = ref [] in
+    let nrows = total / inner in
+    for row = 0 to nrows - 1 do
+      let ok = ref (run_len > 0) in
+      for d = 0 to rank - 2 do
+        if pos.(d) < hal.(d) || pos.(d) >= ext.(d) - hal.(d) then ok := false
+      done;
+      if !ok then acc := ((row * inner) + h_in) :: !acc;
+      let d = ref (rank - 2) in
+      let carry = ref true in
+      while !carry && !d >= 0 do
+        let p = pos.(!d) + 1 in
+        if p >= ext.(!d) then begin
+          pos.(!d) <- 0;
+          decr d
+        end
+        else begin
+          pos.(!d) <- p;
+          carry := false
+        end
+      done
+    done;
+    Array.of_list (List.rev !acc)
+  in
+  let n_runs = Array.length runs in
+  fun rs ->
+    List.iter
+      (fun (ri, argi) ->
+        let ring = rs.rs_rings.(ri) in
+        let data =
+          match rs.rs_args.(argi) with
+          | Functional.Ptr (a, 0) -> a
+          | _ ->
+            Err.raise_error "functional sim: write_data arg is not a pointer"
+        in
+        ring_require ring total;
+        let src = ring.rg_data and h = ring.rg_head in
+        for k = 0 to n_runs - 1 do
+          let s = Array.unsafe_get runs k in
+          Array.blit src (h + s) data s run_len
+        done;
+        ring_drop ring total)
+      pairs
+
 (* ------------------------------------------------------------------ *)
 (* Whole-design compilation *)
 
@@ -665,7 +1748,7 @@ let stream_width (s : Design.stream) =
 
 let plan_id_counter = Atomic.make 0
 
-let compile (d : Design.t) : t =
+let compile_design ~batched (d : Design.t) : t =
   Atomic.incr compile_counter;
   (* ring descriptors: one per design stream, ascending stream id (the
      drain check reports in that order, like the interpreter) *)
@@ -709,6 +1792,13 @@ let compile (d : Design.t) : t =
       vec_w = Array.of_list (List.rev al.vec_widths);
       ring_index;
       folded = 0;
+      c_batched = batched;
+      cols = Hashtbl.create 64;
+      vec_ring = Hashtbl.create 8;
+      nfc = 0;
+      nic = 0;
+      npc = 0;
+      batched_loops = 0;
     }
   in
   (* argument binding: resolve each kernel argument to its slot once *)
@@ -757,9 +1847,12 @@ let compile (d : Design.t) : t =
         | Design.Load { out_streams; ptr_args } ->
           compile_load ring_index d ~out_streams ~ptr_args
         | Design.Shift { input; output; halo; extent } ->
-          compile_shift ring_index ~input ~output ~halo ~extent
+          if batched then
+            compile_shift_batched ring_index ~input ~output ~halo ~extent
+          else compile_shift ring_index ~input ~output ~halo ~extent
         | Design.Dup { input; outputs } ->
-          compile_dup ring_index ~input ~outputs
+          if batched then compile_dup_batched ring_index ~input ~outputs
+          else compile_dup ring_index ~input ~outputs
         | Design.Compute cc ->
           let body = compile_block c (Hls.dataflow_body cc.df_op) in
           n_steps := !n_steps + Array.length body;
@@ -769,7 +1862,9 @@ let compile (d : Design.t) : t =
               (Array.unsafe_get body k) rs
             done
         | Design.Write { in_streams; ptr_args; halo; extent } ->
-          compile_write ring_index ~in_streams ~ptr_args ~halo ~extent)
+          if batched then
+            compile_write_batched ring_index ~in_streams ~ptr_args ~halo ~extent
+          else compile_write ring_index ~in_streams ~ptr_args ~halo ~extent)
       d.d_stages
     |> Array.of_list
   in
@@ -781,6 +1876,10 @@ let compile (d : Design.t) : t =
     pl_const_i = c.const_i;
     pl_np = al.np;
     pl_vec_widths = c.vec_w;
+    pl_batch = (if batched then batch_width else 0);
+    pl_n_fcols = c.nfc;
+    pl_n_icols = c.nic;
+    pl_n_pcols = c.npc;
     pl_bind = bind;
     pl_steps = steps;
     pl_stats =
@@ -791,8 +1890,15 @@ let compile (d : Design.t) : t =
         cs_vregs = al.nv;
         cs_steps = !n_steps;
         cs_folded = c.folded;
+        cs_batched = c.batched_loops;
       };
   }
+
+let compile (d : Design.t) : t = compile_design ~batched:false d
+
+(* The batched engine: same plan type, same per-domain state cache, same
+   [run]/[run_with] — only the compiled steps differ. *)
+let compile_batched (d : Design.t) : t = compile_design ~batched:true d
 
 (* ------------------------------------------------------------------ *)
 (* Execution *)

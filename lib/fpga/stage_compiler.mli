@@ -37,6 +37,21 @@ end
     unsupported ops (same message the interpreter would raise). *)
 val compile : Design.t -> t
 
+(** Compile a design into a {e batched} plan: compute-stage loops whose
+    bodies are independent per element (no nested loops, no stores, at
+    most one read/write per stream) run in whole-stream blocks over
+    dense unboxed columns — constants and loop-invariant operands read
+    once per block, stream reads/writes blitted in bulk, neighbourhood
+    lanes read from the input ring with a stride instead of
+    materialising, and the shift/write stages split into a branch-free
+    interior plus per-point halo edges. Loops outside that subset (e.g.
+    BRAM small-copy loops) keep their per-element compilation, so the
+    engine is always complete. Same plan type, same state cache, same
+    {!run}/{!run_with}; bit-exact against {!compile} and the
+    interpreter, including starved-read errors ({!Loc} and firing
+    order), NaN out-of-range shifts and undrained-stream reports. *)
+val compile_batched : Design.t -> t
+
 (** A fresh run state for this plan: registers seeded from the plan's
     constant pools, empty rings. O(slot count) allocation. *)
 val create_state : t -> Run_state.t
@@ -63,6 +78,9 @@ type stats = {
   cs_vregs : int;  (** neighbourhood (vector-token) slots *)
   cs_steps : int;  (** compiled step closures across compute stages *)
   cs_folded : int;  (** constants folded into the pools at compile time *)
+  cs_batched : int;
+      (** compute loops compiled to whole-stream batches (0 for
+          per-element plans) *)
 }
 
 val stats : t -> stats

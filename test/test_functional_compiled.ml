@@ -1,8 +1,8 @@
-(* Differential tests for the compiled functional simulator: the
-   specialized-closure plans of {!Stage_compiler} must be bit-for-bit
-   identical to the reference IR interpreter in {!Functional} — outputs
-   on every kernel of the suites and the zoo, and error behaviour
-   (message *and* location) on mis-wired designs. *)
+(* Differential tests for the compiled functional simulators: both the
+   per-element and the whole-stream batched plans of {!Stage_compiler}
+   must be bit-for-bit identical to the reference IR interpreter in
+   {!Functional} — outputs on every kernel of the suites and the zoo,
+   and error behaviour (message *and* location) on mis-wired designs. *)
 
 let () = Shmls_dialects.Register.all ()
 
@@ -20,33 +20,41 @@ let args_of_state (st : Interp.kernel_state) =
   @ List.map (fun (_, v) -> Functional.F v) st.params
   |> Array.of_list
 
-(* Run interpreter and compiled plan on identical fresh inputs; compare
-   every float of every field and small, bit for bit (full padded
-   arrays, halos included — NaNs compare equal by bits). *)
+(* Run the interpreter, the compiled plan and the batched plan on
+   identical fresh inputs; compare every float of every field and small,
+   bit for bit (full padded arrays, halos included — NaNs compare equal
+   by bits). *)
 let check_bit_identical ?(seed = 7) ?variant (k : Shmls.Ast.kernel) ~grid =
   let c = Shmls.compile_cached ?variant k ~grid in
   let a = Interp.alloc_state ~seed c.c_lowered in
-  let b = Interp.alloc_state ~seed c.c_lowered in
   Functional.run c.c_design ~args:(args_of_state a);
-  Stage_compiler.run (Lazy.force c.c_plan) ~args:(args_of_state b);
-  let check_arrays what (xs : (string * Grid.t) list) (ys : (string * Grid.t) list) =
-    List.iter2
-      (fun (na, ga) (nb, gb) ->
-        Alcotest.(check string) "same field order" na nb;
-        let da = ga.Grid.data and db = gb.Grid.data in
-        Alcotest.(check int)
-          (Printf.sprintf "%s %s/%s: same length" k.k_name what na)
-          (Array.length da) (Array.length db);
-        Array.iteri
-          (fun i x ->
-            if Int64.bits_of_float x <> Int64.bits_of_float db.(i) then
-              Alcotest.failf "%s %s %s[%d]: interp %h <> compiled %h" k.k_name
-                what na i x db.(i))
-          da)
-      xs ys
+  let check_against engine (b : Interp.kernel_state) =
+    let check_arrays what (xs : (string * Grid.t) list)
+        (ys : (string * Grid.t) list) =
+      List.iter2
+        (fun (na, ga) (nb, gb) ->
+          Alcotest.(check string) "same field order" na nb;
+          let da = ga.Grid.data and db = gb.Grid.data in
+          Alcotest.(check int)
+            (Printf.sprintf "%s %s/%s: same length" k.k_name what na)
+            (Array.length da) (Array.length db);
+          Array.iteri
+            (fun i x ->
+              if Int64.bits_of_float x <> Int64.bits_of_float db.(i) then
+                Alcotest.failf "%s %s %s[%d]: interp %h <> %s %h" k.k_name
+                  what na i x engine db.(i))
+            da)
+        xs ys
+    in
+    check_arrays "field" a.fields b.fields;
+    check_arrays "small" a.smalls b.smalls
   in
-  check_arrays "field" a.fields b.fields;
-  check_arrays "small" a.smalls b.smalls
+  let b = Interp.alloc_state ~seed c.c_lowered in
+  Stage_compiler.run (Lazy.force c.c_plan) ~args:(args_of_state b);
+  check_against "compiled" b;
+  let bb = Interp.alloc_state ~seed c.c_lowered in
+  Stage_compiler.run (Lazy.force c.c_plan_batched) ~args:(args_of_state bb);
+  check_against "batched" bb
 
 let test_suite_kernels_bit_identical () =
   List.iter
@@ -73,15 +81,17 @@ let qcheck_random_kernels_bit_identical =
         check_bit_identical ~seed k ~grid:(H.small_grid k.k_rank);
         true)
 
-(* The verify entry point itself, through both engines. *)
+(* The verify entry point itself, through all three engines. *)
 let test_verify_compiled_matches_interp () =
   List.iter
     (fun (k, grid) ->
       let c = Shmls.compile_cached k ~grid in
       let vi = Shmls.verify ~sim:Shmls.Interp c in
       let vc = Shmls.verify ~sim:Shmls.Compiled c in
+      let vb = Shmls.verify ~sim:Shmls.Batched c in
       Alcotest.(check (float 0.0)) "interp bit-exact" 0.0 vi.v_max_diff;
-      Alcotest.(check (float 0.0)) "compiled bit-exact" 0.0 vc.v_max_diff)
+      Alcotest.(check (float 0.0)) "compiled bit-exact" 0.0 vc.v_max_diff;
+      Alcotest.(check (float 0.0)) "batched bit-exact" 0.0 vb.v_max_diff)
     H.all_test_kernels
 
 (* -- pipeline variants ------------------------------------------------ *)
@@ -107,6 +117,7 @@ let test_variants_bit_exact () =
           let c = Shmls.compile_cached ~variant k ~grid in
           let vi = Shmls.verify ~sim:Shmls.Interp c in
           let vc = Shmls.verify ~sim:Shmls.Compiled c in
+          let vb = Shmls.verify ~sim:Shmls.Batched c in
           Alcotest.(check (float 0.0))
             (Printf.sprintf "%s{%s} interp bit-exact" k.k_name
                (Shmls.Variant.to_string variant))
@@ -114,7 +125,11 @@ let test_variants_bit_exact () =
           Alcotest.(check (float 0.0))
             (Printf.sprintf "%s{%s} compiled bit-exact" k.k_name
                (Shmls.Variant.to_string variant))
-            0.0 vc.v_max_diff)
+            0.0 vc.v_max_diff;
+          Alcotest.(check (float 0.0))
+            (Printf.sprintf "%s{%s} batched bit-exact" k.k_name
+               (Shmls.Variant.to_string variant))
+            0.0 vb.v_max_diff)
         variant_kernels)
     Shmls.Variant.ablation_set
 
@@ -163,6 +178,25 @@ let test_variant_designs_differ () =
   Alcotest.(check int) "cu=2 is baked into the design" 2
     cu2.Shmls.Design.d_cu
 
+(* The batched engine must actually batch the paper kernels' compute
+   loops — if the whole-stream subset check started rejecting them the
+   plans would silently fall back to per-element steps and the headline
+   speedup would evaporate without any output diff. *)
+let test_batched_plans_actually_batch () =
+  List.iter
+    (fun (k, grid) ->
+      let c = Shmls.compile_cached k ~grid in
+      let sb = Stage_compiler.stats (Lazy.force c.c_plan_batched) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: batched plan has whole-stream loops" k.k_name)
+        true
+        (sb.Stage_compiler.cs_batched >= 1);
+      let sc = Stage_compiler.stats (Lazy.force c.c_plan) in
+      Alcotest.(check int)
+        (Printf.sprintf "%s: per-element plan has none" k.k_name)
+        0 sc.Stage_compiler.cs_batched)
+    variant_kernels
+
 (* Variant syntax round-trips, so pipeline strings and CLI flags agree. *)
 let test_variant_parsing () =
   List.iter
@@ -190,20 +224,30 @@ let run_expect_error what run =
   | () -> Alcotest.failf "%s: expected an error" what
   | exception Shmls.Err.Error e -> e
 
-(* Both engines must report the same diagnostic (message and location)
-   when a design is mis-wired. *)
+(* Every engine must report the same diagnostic (message and location)
+   when a design is mis-wired — the batched engine through its
+   per-element replay path. *)
 let check_error_parity what (d : Shmls.Design.t) ~args_of =
   let ei = run_expect_error (what ^ " (interp)") (fun () ->
       Functional.run d ~args:(args_of ())) in
-  let ec =
-    run_expect_error (what ^ " (compiled)") (fun () ->
-        let plan = Stage_compiler.compile d in
-        Stage_compiler.run plan ~args:(args_of ()))
+  let check_engine engine compile =
+    let e =
+      run_expect_error
+        (Printf.sprintf "%s (%s)" what engine)
+        (fun () ->
+          let plan = compile d in
+          Stage_compiler.run plan ~args:(args_of ()))
+    in
+    Alcotest.(check string)
+      (Printf.sprintf "%s: same message (%s)" what engine)
+      ei.Shmls_support.Diagnostic.d_message e.Shmls_support.Diagnostic.d_message;
+    Alcotest.(check bool)
+      (Printf.sprintf "%s: same location (%s)" what engine)
+      true
+      (ei.Shmls_support.Diagnostic.d_loc = e.Shmls_support.Diagnostic.d_loc)
   in
-  Alcotest.(check string) (what ^ ": same message")
-    ei.Shmls_support.Diagnostic.d_message ec.Shmls_support.Diagnostic.d_message;
-  Alcotest.(check bool) (what ^ ": same location") true
-    (ei.Shmls_support.Diagnostic.d_loc = ec.Shmls_support.Diagnostic.d_loc)
+  check_engine "compiled" Stage_compiler.compile;
+  check_engine "batched" Stage_compiler.compile_batched
 
 let test_starved_read_parity () =
   (* dropping the load stage starves the first read: the diagnostic is
@@ -344,9 +388,14 @@ let sweep_parity_configs =
 
 let qcheck_parallel_sweep_identical =
   H.qtest ~count:15 "parallel sweep = sequential sweep for any jobs/chunk"
-    QCheck2.Gen.(triple (int_range 2 5) (int_range 1 7) bool)
-    (fun (jobs, chunk, compiled_sim) ->
-      let sim = if compiled_sim then Shmls.Compiled else Shmls.Interp in
+    QCheck2.Gen.(triple (int_range 2 5) (int_range 1 7) (int_range 0 2))
+    (fun (jobs, chunk, which_sim) ->
+      let sim =
+        match which_sim with
+        | 0 -> Shmls.Interp
+        | 1 -> Shmls.Compiled
+        | _ -> Shmls.Batched
+      in
       let expected =
         Shmls.sweep ~jobs:1 ~sim ~verify_designs:true sweep_parity_configs
       in
@@ -422,6 +471,8 @@ let () =
             test_variants_engines_bit_identical;
           Alcotest.test_case "variant designs structurally differ" `Quick
             test_variant_designs_differ;
+          Alcotest.test_case "batched plans actually batch" `Quick
+            test_batched_plans_actually_batch;
           Alcotest.test_case "variant syntax round-trips" `Quick
             test_variant_parsing;
         ] );

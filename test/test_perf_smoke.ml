@@ -178,6 +178,44 @@ let test_run_state_budget () =
   Shmls.reset_compile_cache ();
   Shmls.Stage_compiler.reset_state_count ()
 
+(* The batched engine shares the whole memoisation scheme: one batched
+   plan per compiled record across repeated Batched verifies and
+   repeated batched sweeps (zero plan recompiles), and run states
+   cached per domain — batching must not cost a compile or a state
+   allocation per run. *)
+let test_batched_plan_and_state_budget () =
+  Shmls.reset_compile_cache ();
+  Shmls.Stage_compiler.reset_compile_count ();
+  Shmls.Stage_compiler.reset_state_count ();
+  let c = Shmls.compile_cached PW.kernel ~grid:PW.grid_small in
+  let v = Shmls.verify ~sim:Shmls.Batched c in
+  Alcotest.(check (float 0.0)) "batched verify is bit-exact" 0.0 v.v_max_diff;
+  Alcotest.(check int) "first batched verify builds one plan" 1
+    (Shmls.Stage_compiler.compile_count ());
+  let base = Shmls.Stage_compiler.state_count () in
+  Alcotest.(check int) "first batched verify allocates one state" 1 base;
+  for _ = 1 to 9 do
+    ignore (Shmls.verify ~sim:Shmls.Batched c)
+  done;
+  Alcotest.(check int) "ten batched verifications share the plan" 1
+    (Shmls.Stage_compiler.compile_count ());
+  Alcotest.(check int) "same domain reuses its cached state" base
+    (Shmls.Stage_compiler.state_count ());
+  (* batched sweeps share the memoised plans too *)
+  let configs = [ (PW.kernel, PW.grid_small); (TA.kernel, TA.grid_small) ] in
+  ignore (Shmls.sweep ~jobs:4 ~sim:Shmls.Batched ~verify_designs:true configs);
+  let plans = Shmls.Stage_compiler.compile_count () in
+  Alcotest.(check int) "one more plan for the new kernel" 2 plans;
+  for _ = 1 to 3 do
+    ignore
+      (Shmls.sweep ~jobs:4 ~sim:Shmls.Batched ~verify_designs:true configs)
+  done;
+  Alcotest.(check int) "repeated batched sweeps: zero plan recompiles" plans
+    (Shmls.Stage_compiler.compile_count ());
+  Shmls.reset_compile_cache ();
+  Shmls.Stage_compiler.reset_compile_count ();
+  Shmls.Stage_compiler.reset_state_count ()
+
 (* ------------------------------------------------------------------ *)
 (* Pass-result memo *)
 
@@ -231,6 +269,8 @@ let () =
             test_parallel_sweep_zero_recompiles;
           Alcotest.test_case "run-state cache budget" `Quick
             test_run_state_budget;
+          Alcotest.test_case "batched plan and state budget" `Quick
+            test_batched_plan_and_state_budget;
         ] );
       ( "pass manager",
         [
