@@ -643,7 +643,20 @@ let micro_tests () =
   ignore
     (Shmls.sweep ~jobs:1 ~sim:Shmls.Batched ~verify_designs:true
        sweep_bench_configs);
+  (* warm the tuner's configurations too, so its row measures the search
+     machinery (enumeration, pruning, model evaluation, Pareto
+     maintenance, frontier validation) rather than first-compile cost *)
+  ignore
+    (Shmls_tune.Tune.run ~max_cu:2 ~jobs:1 Shmls_kernels.Didactic.laplace_2d
+       ~grids:[ [ 12; 12 ] ]);
   [
+    (* the design-space autotuner end to end on a small kernel: compile
+       cache hot, so this is points-through-the-search-driver throughput *)
+    Test.make ~name:"tune_search_throughput"
+      (Staged.stage (fun () ->
+           ignore
+             (Shmls_tune.Tune.run ~max_cu:2 ~jobs:1
+                Shmls_kernels.Didactic.laplace_2d ~grids:[ [ 12; 12 ] ])));
     (* --jobs scaling: the sweep driver with compiled-sim design
        verification, sequential vs the adaptive work-stealing pool (one
        shared plan per config, per-domain run states) *)

@@ -177,8 +177,29 @@ let row_json ~variant ~idx ~kernel_name ~grid (outcomes, verification) =
     (String.concat "," (List.map flow_json outcomes))
     verify_field
 
+(* Configurations already present in a JSON Lines output file, keyed on
+   (kernel, grid, variant) — what --resume skips. *)
+let swept_keys path =
+  let module J = Shmls_support.Jsonl in
+  List.filter_map
+    (fun line ->
+      match
+        (J.find_string line "kernel", J.find_ints line "grid",
+         J.find_string line "variant")
+      with
+      | Some k, Some g, Some v ->
+        Some (k ^ "|" ^ String.concat "x" (List.map string_of_int g) ^ "|" ^ v)
+      | _ -> None)
+    (J.lines_of_file path)
+
+let config_key ~variant (k : Shmls.Ast.kernel) grid =
+  k.k_name ^ "|"
+  ^ String.concat "x" (List.map string_of_int grid)
+  ^ "|"
+  ^ Shmls.Variant.to_string variant
+
 let run_sweep kernel_specs grids_spec variant_spec sim verify seed jobs chunk
-    out =
+    out resume =
   try
     let kernels = List.map load_kernel kernel_specs in
     let grids =
@@ -196,19 +217,43 @@ let run_sweep kernel_specs grids_spec variant_spec sim verify seed jobs chunk
       | Ok v -> v
       | Error m -> failwith m
     in
-    let configs =
+    let all_configs =
       List.concat_map (fun k -> List.map (fun g -> (k, g)) grids) kernels
     in
+    (* --resume: skip configurations whose row is already in --out, keep
+       the original indices of the rest, and append instead of
+       truncating — re-running a finished sweep writes nothing. *)
+    let done_keys =
+      if resume && out <> "" then swept_keys out else []
+    in
+    let indexed =
+      List.mapi (fun i cfg -> (i, cfg)) all_configs
+      |> List.filter (fun (_, (k, g)) ->
+             not (List.mem (config_key ~variant k g) done_keys))
+    in
+    let skipped = List.length all_configs - List.length indexed in
+    let configs = List.map snd indexed in
+    let orig_index = Array.of_list (List.map fst indexed) in
     let names_grids =
       List.map
         (fun ((k : Shmls.Ast.kernel), g) -> (k.k_name, g))
         configs
       |> Array.of_list
     in
-    let out_channel = if out = "" then None else Some (open_out out) in
+    let out_channel =
+      if out = "" then None
+      else if resume then
+        Some (open_out_gen [ Open_wronly; Open_append; Open_creat ] 0o644 out)
+      else Some (open_out out)
+    in
+    if skipped > 0 then
+      Printf.printf "resuming %s: %d configuration(s) already swept\n%!" out
+        skipped;
     let emit idx row =
       let name, grid = names_grids.(idx) in
-      let line = row_json ~variant ~idx ~kernel_name:name ~grid row in
+      let line =
+        row_json ~variant ~idx:orig_index.(idx) ~kernel_name:name ~grid row
+      in
       (match out_channel with
       | Some oc ->
         output_string oc line;
@@ -391,6 +436,16 @@ let out_arg =
            complete (in configuration order, so the file is always a prefix \
            of the full sweep).")
 
+let resume_arg =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Append to --out instead of truncating, skipping configurations \
+           whose (kernel, grid, variant) row is already present — so an \
+           interrupted sweep picks up where it left off, and re-running a \
+           finished one writes nothing.")
+
 let sweep_cmd =
   let doc =
     "evaluate the cross product of kernels and grids on the work-stealing \
@@ -401,7 +456,8 @@ let sweep_cmd =
     Term.(
       ret
         (const run_sweep $ sweep_kernels_arg $ grids_arg $ variant_arg
-       $ sim_arg $ verify_arg $ seed_arg $ jobs_arg $ chunk_arg $ out_arg))
+       $ sim_arg $ verify_arg $ seed_arg $ jobs_arg $ chunk_arg $ out_arg
+       $ resume_arg))
 
 let cmd =
   let doc = "compile stencil kernels through the Stencil-HMLS pipeline" in

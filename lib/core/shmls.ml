@@ -43,6 +43,26 @@ module Err = Shmls_support.Err
 module Pool = Shmls_support.Pool
 module Variant = Shmls_transforms.Variant
 
+(* The unified cost-model stack (DESIGN.md section 14).  Perf_model,
+   Resources and Power each implement the Cost.MODEL interface; this
+   facade owns the canonical stack (the implementations sit below the
+   interface module in the dependency order, so the stack cannot live
+   in Shmls_fpga.Cost itself).  Contribution order matters and is part
+   of the contract: perf fills cycles/mpts, resources the fabric
+   columns, and power reads both off the accumulated record. *)
+module Cost_model = struct
+  include Shmls_fpga.Cost
+
+  let stack =
+    [
+      Shmls_fpga.Perf_model.cost_model;
+      Shmls_fpga.Resources.cost_model;
+      Shmls_fpga.Power.cost_model;
+    ]
+
+  let evaluate_design ?cu d = evaluate ?cu stack d
+end
+
 let () = Shmls_transforms.Register.all ()
 
 type compiled = {
@@ -305,15 +325,23 @@ let verify ?(seed = 7) ?(sim = Interp) (c : compiled) =
    baselines, so the benches can tabulate them together. *)
 
 let evaluate_hmls ?(cu = -1) (c : compiled) : Flow.outcome =
-  let est = Perf_model.estimate_design ?cu:(if cu > 0 then Some cu else None) c.c_design in
-  let usage = Resources.of_design ?cu:(if cu > 0 then Some cu else None) c.c_design in
-  if not (Resources.fits usage) then
+  let cu = if cu > 0 then Some cu else None in
+  (* feasibility goes through the unified cost-model stack; the Flow
+     record below keeps the detailed per-model reports *)
+  let cost = Cost_model.evaluate_design ?cu c.c_design in
+  let est = Perf_model.estimate_design ?cu c.c_design in
+  let usage = Resources.of_design ?cu c.c_design in
+  if not (Cost_model.feasible cost) then
     Flow.Failure
       {
         f_flow = "Stencil-HMLS";
         f_reason =
-          Format.asprintf "design exceeds the %s's resources (%a)" U280.name
-            Resources.pp usage;
+          Format.asprintf
+            "design exceeds the %s's resources (%a; binding: %s at %.0f%% of \
+             the budget)"
+            U280.name Resources.pp usage
+            (Cost_model.binding_resource cost)
+            (100.0 *. Cost_model.max_fraction cost);
       }
   else
   let bytes = Perf_model.design_bytes_per_point c.c_design in

@@ -37,6 +37,26 @@ module Pool = Shmls_support.Pool
     (no-split / no-pack / cu=N, composable with '+'). *)
 module Variant = Shmls_transforms.Variant
 
+(** The unified cost-model stack (DESIGN.md section 14): the
+    {!Shmls_fpga.Cost} interface plus the canonical
+    perf -> resources -> power stack. [evaluate_design] is the one call
+    the design-space tuner (and any other search driver) needs: a
+    configuration in, the full [{cycles; mpts; lut; ff; bram; uram;
+    dsp; watts}] record out, with {!Shmls_fpga.Cost.feasible} against a
+    {!U280.budget} as the feasibility predicate. *)
+module Cost_model : sig
+  include module type of struct
+    include Shmls_fpga.Cost
+  end
+
+  (** The canonical stack, in contribution order:
+      perf, resources, power. *)
+  val stack : Shmls_fpga.Cost.model list
+
+  (** Evaluate a design through the canonical stack. *)
+  val evaluate_design : ?cu:int -> Shmls_fpga.Design.t -> Shmls_fpga.Cost.t
+end
+
 (** Everything the pipeline produced for one kernel at one grid. *)
 type compiled = {
   c_kernel : Ast.kernel;

@@ -1,0 +1,104 @@
+(* The unified cost-model interface (DESIGN.md section 14).
+
+   Before this module the estimation layer was three silos with ad-hoc
+   shapes: Perf_model (cycles/MPt/s), Resources (LUT/FF/BRAM/URAM/DSP)
+   and Power (watts), each with its own entry point and record.  A
+   design-space search driver wants one question answered uniformly:
+   "what does this configuration cost?".  [Cost.t] is that answer — one
+   flat record a stack of models fills in cooperatively — and [MODEL] is
+   the interface each model implements.
+
+   Models contribute in stack order, each reading what earlier models
+   wrote: the performance model fills [cycles]/[mpts], the resource
+   model fills the fabric columns, and the power model derives [watts]
+   from the *accumulated* record (seconds from [cycles], active
+   resources from the fabric columns) — the composition is the point,
+   not an accident.  The canonical stack lives in [Shmls.Cost_model]
+   (the facade cannot live here: this module is below the three model
+   implementations in the dependency order).
+
+   Feasibility is a predicate over the record against a {!U280.budget}
+   envelope; the search driver prunes and the Pareto frontier ranks by
+   [max_fraction], the tightest resource column. *)
+
+type t = {
+  cycles : float;  (* per run; the perf model's e_cycles *)
+  mpts : float;  (* interior mega-points per second *)
+  lut : int;
+  ff : int;
+  bram : int;  (* BRAM36 blocks *)
+  uram : int;  (* UltraRAM blocks *)
+  dsp : int;
+  watts : float;  (* average board power *)
+}
+
+let zero =
+  {
+    cycles = 0.0;
+    mpts = 0.0;
+    lut = 0;
+    ff = 0;
+    bram = 0;
+    uram = 0;
+    dsp = 0;
+    watts = 0.0;
+  }
+
+(* The interface every cost model implements: fold one configuration's
+   contribution into the accumulated record.  [cu] overrides the
+   design's compute-unit count the way Perf_model.estimate_design and
+   Resources.of_design always allowed; models that depend on earlier
+   contributions (power) document their stack position. *)
+module type MODEL = sig
+  val name : string
+  val contribute : ?cu:int -> Design.t -> t -> t
+end
+
+type model = (module MODEL)
+
+let model_name (m : model) =
+  let module M = (val m) in
+  M.name
+
+(* Evaluate a configuration through a model stack, in order. *)
+let evaluate ?cu (models : model list) (d : Design.t) =
+  List.fold_left
+    (fun acc m ->
+      let module M = (val m : MODEL) in
+      M.contribute ?cu d acc)
+    zero models
+
+(* ------------------------------------------------------------------ *)
+(* Feasibility against a device budget *)
+
+let fractions ?(budget = U280.budget) c =
+  let f used avail = float_of_int used /. float_of_int (max 1 avail) in
+  [
+    ("lut", f c.lut budget.U280.bud_luts);
+    ("ff", f c.ff budget.U280.bud_ffs);
+    ("bram", f c.bram budget.U280.bud_bram);
+    ("uram", f c.uram budget.U280.bud_uram);
+    ("dsp", f c.dsp budget.U280.bud_dsps);
+  ]
+
+(* The tightest resource column as a fraction of the budget: the
+   x-axis of the tuner's Pareto frontier. *)
+let max_fraction ?budget c =
+  List.fold_left (fun acc (_, f) -> Float.max acc f) 0.0 (fractions ?budget c)
+
+(* The resource column driving [max_fraction]. *)
+let binding_resource ?budget c =
+  let fs = fractions ?budget c in
+  let m = max_fraction ?budget c in
+  match List.find_opt (fun (_, f) -> f >= m) fs with
+  | Some (n, _) -> n
+  | None -> "lut"
+
+(* The feasibility predicate of the search: every resource column
+   within the budget envelope. *)
+let feasible ?budget c = max_fraction ?budget c <= 1.0
+
+let pp ppf c =
+  Format.fprintf ppf
+    "%.2f MPt/s, %.0f cycles, LUT %d FF %d BRAM %d URAM %d DSP %d, %.1f W"
+    c.mpts c.cycles c.lut c.ff c.bram c.uram c.dsp c.watts

@@ -1,0 +1,50 @@
+(** The unified cost-model interface (DESIGN.md section 14): one flat
+    record a stack of models ({!Perf_model.Cost_model},
+    {!Resources.Cost_model}, {!Power.Cost_model}) fills in
+    cooperatively, with feasibility as a predicate against a
+    {!U280.budget} envelope. The canonical stack lives in
+    [Shmls.Cost_model]. *)
+
+type t = {
+  cycles : float;  (** per run *)
+  mpts : float;  (** interior mega-points per second *)
+  lut : int;
+  ff : int;
+  bram : int;  (** BRAM36 blocks *)
+  uram : int;  (** UltraRAM blocks *)
+  dsp : int;
+  watts : float;  (** average board power *)
+}
+
+val zero : t
+
+(** The interface every cost model implements: fold one configuration's
+    contribution into the accumulated record. Models that read earlier
+    contributions (power) document their stack position. *)
+module type MODEL = sig
+  val name : string
+  val contribute : ?cu:int -> Design.t -> t -> t
+end
+
+type model = (module MODEL)
+
+val model_name : model -> string
+
+(** Evaluate a configuration through a model stack, in order. *)
+val evaluate : ?cu:int -> model list -> Design.t -> t
+
+(** Per-resource budget fractions, [(name, used/available)]. *)
+val fractions : ?budget:U280.budget -> t -> (string * float) list
+
+(** The tightest resource column as a fraction of the budget — the
+    x-axis of the tuner's Pareto frontier. *)
+val max_fraction : ?budget:U280.budget -> t -> float
+
+(** The resource column driving {!max_fraction}. *)
+val binding_resource : ?budget:U280.budget -> t -> string
+
+(** Feasibility: every resource column within the budget (default: the
+    whole U280). *)
+val feasible : ?budget:U280.budget -> t -> bool
+
+val pp : Format.formatter -> t -> unit

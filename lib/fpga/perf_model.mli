@@ -38,8 +38,18 @@ val design_fill : Design.t -> int
     per stored field). *)
 val design_bytes_per_point : Design.t -> int
 
+(** Largest serialisation factor of any compute stage: 1 for the split
+    pipeline, the number of grid passes for the fused variant. *)
+val design_serial : Design.t -> int
+
 (** Estimate for a Stencil-HMLS design; [cu] overrides the plan's CU
     count. *)
 val estimate_design : ?cu:int -> Design.t -> estimate
+
+(** The performance model behind the unified {!Cost.MODEL} interface:
+    fills [cycles]/[mpts]. Stack position: first. *)
+module Cost_model : Cost.MODEL
+
+val cost_model : Cost.model
 
 val pp_estimate : Format.formatter -> estimate -> unit

@@ -33,3 +33,66 @@ let axi_bytes = axi_bits / 8
 (* Typical board power envelope (W): shell + HBM idle draw, and the slope
    used by the activity-linear dynamic model in {!Power}. *)
 let static_power_w = 22.0
+
+(* ------------------------------------------------------------------ *)
+(* Resource budgets: the feasibility envelope a design-space search
+   point is tested against.  The default budget is the whole device;
+   scaled budgets ("u280@0.8") leave place-and-route headroom, the way
+   real Vitis runs target a utilisation ceiling below 100%. *)
+
+type budget = {
+  bud_name : string;
+  bud_luts : int;
+  bud_ffs : int;
+  bud_bram : int;
+  bud_uram : int;
+  bud_dsps : int;
+  bud_axi_ports : int;  (* shell limit on cu * ports_per_cu *)
+}
+
+let budget =
+  {
+    bud_name = "u280";
+    bud_luts = luts;
+    bud_ffs = ffs;
+    bud_bram = bram36;
+    bud_uram = uram;
+    bud_dsps = dsps;
+    bud_axi_ports = max_axi_ports;
+  }
+
+(* A budget scaled to [frac] of the device's logic resources.  The AXI
+   port count is a hard shell limit, not a fabric resource, so it is
+   not scaled. *)
+let scaled_budget frac =
+  if frac <= 0.0 || frac > 1.0 then
+    Err.raise_error "u280: budget fraction %g outside (0, 1]" frac;
+  let s n = max 1 (int_of_float (frac *. float_of_int n)) in
+  {
+    bud_name = Printf.sprintf "u280@%g" frac;
+    bud_luts = s luts;
+    bud_ffs = s ffs;
+    bud_bram = s bram36;
+    bud_uram = s uram;
+    bud_dsps = s dsps;
+    bud_axi_ports = max_axi_ports;
+  }
+
+(* Parse a --budget CLI argument: "u280" or "u280@FRAC". *)
+let budget_of_string spec =
+  match String.index_opt spec '@' with
+  | None ->
+    if spec = "u280" || spec = "U280" then Ok budget
+    else Error (Printf.sprintf "unknown device %S (expected u280[@FRAC])" spec)
+  | Some i ->
+    let dev = String.sub spec 0 i in
+    let frac = String.sub spec (i + 1) (String.length spec - i - 1) in
+    if dev <> "u280" && dev <> "U280" then
+      Error (Printf.sprintf "unknown device %S (expected u280[@FRAC])" dev)
+    else (
+      match float_of_string_opt frac with
+      | Some f when f > 0.0 && f <= 1.0 -> Ok (scaled_budget f)
+      | _ ->
+        Error
+          (Printf.sprintf "bad budget fraction %S (expected 0 < FRAC <= 1)"
+             frac))

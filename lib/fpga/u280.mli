@@ -30,3 +30,26 @@ val axi_bytes : int
 
 (** Shell + HBM idle draw in watts. *)
 val static_power_w : float
+
+(** A resource budget: the feasibility envelope design-space search
+    points are tested against ({!Cost.feasible}). *)
+type budget = {
+  bud_name : string;
+  bud_luts : int;
+  bud_ffs : int;
+  bud_bram : int;
+  bud_uram : int;
+  bud_dsps : int;
+  bud_axi_ports : int;  (** shell limit on [cu * ports_per_cu] *)
+}
+
+(** The whole device. *)
+val budget : budget
+
+(** [frac] of the device's fabric resources (P&R headroom); the AXI
+    port count is a shell limit and is not scaled. Raises {!Err.Error}
+    outside (0, 1]. *)
+val scaled_budget : float -> budget
+
+(** Parse a [--budget] CLI argument: "u280" or "u280@FRAC". *)
+val budget_of_string : string -> (budget, string) result

@@ -28,6 +28,41 @@ type pattern = {
 let make_pattern ?(benefit = 1) ~name ~matches ~rewrite () =
   { pat_name = name; benefit; matches; rewrite }
 
+(* ------------------------------------------------------------------ *)
+(* Pattern sets: named, composable collections of patterns.
+
+   Passes used to hold bare [pattern list]s and compose them with ad-hoc
+   appends; a set gives the collection an identity (the driver run is
+   named after it, so non-convergence and --stats point at the set) and
+   a composition algebra, which is what lets variant-dependent passes
+   assemble their rewrite behaviour from named fragments instead of
+   bespoke conditional walks: [union base [fragment_for_variant]]. *)
+
+type pattern_set = { ps_name : string; ps_patterns : pattern list }
+
+let pattern_set ~name patterns = { ps_name = name; ps_patterns = patterns }
+
+(* Compose sets left to right.  Duplicate pattern *names* are rejected:
+   a set is a dispatch table, and two entries with one name means a
+   fragment was composed twice. *)
+let union ?name sets =
+  let all = List.concat_map (fun s -> s.ps_patterns) sets in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun p ->
+      if Hashtbl.mem seen p.pat_name then
+        Err.raise_error
+          "pattern set union: pattern %S appears in more than one fragment"
+        p.pat_name;
+      Hashtbl.add seen p.pat_name ())
+    all;
+  let name =
+    match name with
+    | Some n -> n
+    | None -> String.concat "+" (List.map (fun s -> s.ps_name) sets)
+  in
+  { ps_name = name; ps_patterns = all }
+
 let default_max_iterations = 64
 
 type driver_stats = {
@@ -243,3 +278,8 @@ let apply_patterns ?(name = "rewrite") ?(max_iterations = default_max_iterations
                  | c -> c);
       };
   !changed_total
+
+(* Apply a pattern set; the driver run is named after the set, so
+   diagnostics and --stats attribute fires to it. *)
+let apply_set ?max_iterations set root =
+  apply_patterns ~name:set.ps_name ?max_iterations set.ps_patterns root

@@ -19,6 +19,21 @@ val make_pattern :
   unit ->
   pattern
 
+(** A named, composable collection of patterns. Sets give a pass's
+    rewrite behaviour an identity (driver runs are named after the set,
+    so non-convergence diagnostics and [--stats] point at it) and a
+    composition algebra: variant-dependent passes assemble their
+    behaviour from named fragments with {!union} instead of bespoke
+    conditional walks. *)
+type pattern_set = { ps_name : string; ps_patterns : pattern list }
+
+val pattern_set : name:string -> pattern list -> pattern_set
+
+(** Compose sets left to right. Raises {!Err.Error} if two fragments
+    contribute a pattern with the same name (a fragment composed twice).
+    The default composite name joins the fragment names with ["+"]. *)
+val union : ?name:string -> pattern_set list -> pattern_set
+
 (** Default for [?max_iterations] below. *)
 val default_max_iterations : int
 
@@ -29,6 +44,10 @@ val default_max_iterations : int
     error names the last-applied pattern and its application count. *)
 val apply_patterns :
   ?name:string -> ?max_iterations:int -> pattern list -> Ir.op -> bool
+
+(** {!apply_patterns} for a {!pattern_set}; the driver run is named
+    after the set. *)
+val apply_set : ?max_iterations:int -> pattern_set -> Ir.op -> bool
 
 (** Algorithmic counters of one driver run, for perf-smoke tests and
     [--stats]. *)

@@ -82,41 +82,85 @@ let lower_direct_access b (op : Ir.op) ~offset ~extent =
       Arith.select b ge (Arith.select b lt acc nan) nan)
     loaded composed extent
 
-let lower_nb_access (op : Ir.op) =
-  let offset = Attr.ints_exn (Ir.Op.get_attr_exn op "offset") in
+(* The three access forms, one pattern each.  Their match predicates are
+   attribute-disjoint (halo / extent / neither), so a set may carry any
+   subset; the variant decides which fragments are composed in. *)
+
+let access_offset op = Attr.ints_exn (Ir.Op.get_attr_exn op "offset")
+
+let builder_before op =
   let block =
     match Ir.Op.parent op with Some b -> b | None -> assert false
   in
-  (match (Ir.Op.get_attr op "halo", Ir.Op.get_attr op "extent") with
-  | Some (Attr.Ints halo), _ ->
-    let pos = nb_index halo offset in
-    let b = Builder.before block op in
-    let v =
-      Builder.insert_op1 b ~name:Llvm_d.extractvalue_op
-        ~operands:[ Ir.Op.operand op 0 ] ~result_ty:Ty.F64
-        ~attrs:[ ("indices", Attr.Ints [ pos ]) ]
-        ()
-    in
-    Ir.replace_op op [ v ]
-  | _, Some (Attr.Ints extent) ->
-    let b = Builder.before block op in
-    let v = lower_direct_access b op ~offset ~extent in
-    Ir.replace_op op [ v ]
-  | _, _ ->
-    if List.exists (fun o -> o <> 0) offset then
-      Err.raise_error "stencil-to-hls: offset access of a value stream";
-    Ir.replace_op op [ Ir.Op.operand op 0 ]);
-  true
+  Builder.before block op
 
-let pattern =
-  Rewriter.make_pattern ~name:"nb-access-lowering"
-    ~matches:(fun o -> Ir.Op.name o = nb_access_op)
-    ~rewrite:lower_nb_access ()
+let is_access ~attr op =
+  Ir.Op.name op = nb_access_op
+  &&
+  match attr with
+  | Some a -> Ir.Op.get_attr op a <> None
+  | None ->
+    Ir.Op.get_attr op "halo" = None && Ir.Op.get_attr op "extent" = None
 
-let run_on_fx fx = ignore (Rewriter.apply_patterns ~name [ pattern ] (new_func fx))
+(* Split variant: access into a shifted source becomes an extractvalue
+   at the offset's row-major position inside the neighbourhood vector. *)
+let shift_vector_pattern =
+  Rewriter.make_pattern ~name:"nb-access-shift-vector"
+    ~matches:(is_access ~attr:(Some "halo"))
+    ~rewrite:(fun op ->
+      let halo = Attr.ints_exn (Ir.Op.get_attr_exn op "halo") in
+      let pos = nb_index halo (access_offset op) in
+      let b = builder_before op in
+      let v =
+        Builder.insert_op1 b ~name:Llvm_d.extractvalue_op
+          ~operands:[ Ir.Op.operand op 0 ] ~result_ty:Ty.F64
+          ~attrs:[ ("indices", Attr.Ints [ pos ]) ]
+          ()
+      in
+      Ir.replace_op op [ v ];
+      true)
+    ()
+
+(* Fused variant: clamped address arithmetic + load + NaN guards. *)
+let direct_memory_pattern =
+  Rewriter.make_pattern ~name:"nb-access-direct-memory"
+    ~matches:(is_access ~attr:(Some "extent"))
+    ~rewrite:(fun op ->
+      let extent = Attr.ints_exn (Ir.Op.get_attr_exn op "extent") in
+      let b = builder_before op in
+      let v = lower_direct_access b op ~offset:(access_offset op) ~extent in
+      Ir.replace_op op [ v ];
+      true)
+    ()
+
+(* Both variants: an access into a plain value stream must be
+   offset-free and forwards the element unchanged. *)
+let value_forward_pattern =
+  Rewriter.make_pattern ~name:"nb-access-value-forward"
+    ~matches:(is_access ~attr:None)
+    ~rewrite:(fun op ->
+      if List.exists (fun o -> o <> 0) (access_offset op) then
+        Err.raise_error "stencil-to-hls: offset access of a value stream";
+      Ir.replace_op op [ Ir.Op.operand op 0 ];
+      true)
+    ()
+
+let base_fragment = Rewriter.pattern_set ~name:"access-base" [ value_forward_pattern ]
+let shift_fragment = Rewriter.pattern_set ~name:"access-shift" [ shift_vector_pattern ]
+let direct_fragment = Rewriter.pattern_set ~name:"access-direct" [ direct_memory_pattern ]
+
+(* The per-variant set: the split pipeline composes in the shift-buffer
+   lowering, the fused one the direct-memory lowering. *)
+let set_for ~fused =
+  Rewriter.union ~name
+    [ base_fragment; (if fused then direct_fragment else shift_fragment) ]
+
+let run_on_fx ~fused fx =
+  ignore (Rewriter.apply_set (set_for ~fused) (new_func fx))
 
 let run_on_ctx (ctx : t) =
-  List.iter run_on_fx ctx.cx_funcs;
+  let fused = not ctx.cx_variant.Variant.v_split in
+  List.iter (run_on_fx ~fused) ctx.cx_funcs;
   stamp_derived ctx ~step:name
 
 let pass =

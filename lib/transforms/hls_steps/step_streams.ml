@@ -5,9 +5,21 @@
    copies fed by a dup stage, and each shifted source gets its
    shift_buffer dataflow stage.
 
+   The stream boxes themselves are construction (they carry no rewrite
+   decision), but the stage materialisation is expressed as two
+   [Rewriter] pattern sets driven by pending attributes stamped on the
+   stream ops: "stream-shift-stages" builds the shift_buffer dataflow
+   stage of every marked shifted source, then "stream-dup-stages" builds
+   the dup stage of every marked multi-reader box.  The patterns remove
+   their pending attribute as they fire, so the dumped IR is identical
+   to the bespoke-walk formulation.
+
    Layout matters for later steps: the streams are created first (the
    last one is recorded as the insertion anchor for step 7's load_data
-   stage), then the shift stages, then the dup stages. *)
+   stage), then the shift stages, then the dup stages — which is why the
+   two sets are applied sequentially rather than unioned: the worklist
+   visits the stream ops in block (= source) order within each run, so
+   all shift stages land before any dup stage, exactly as before. *)
 
 open Shmls_ir
 open Shmls_dialects
@@ -18,11 +30,79 @@ let name = "hls-stream-conversion"
 let description =
   "step 3: convert memory accesses into streams, shift buffers and dup stages"
 
+(* Pending-work markers consumed (and removed) by the patterns below. *)
+let pending_shift = "hls.pending_shift"
+let pending_dup = "hls.pending_dup"
+
+let main_op (bx : box) =
+  match Ir.Value.defining_op bx.bx_main with
+  | Some o -> o
+  | None -> assert false
+
+let has_attr a (op : Ir.op) = Ir.Op.get_attr op a <> None
+
+(* shift stages: one shift_buffer dataflow stage per marked source *)
+let shift_set ~b ~padded shift_of =
+  Rewriter.pattern_set ~name:"stream-shift-stages"
+    [
+      Rewriter.make_pattern ~name:"stream-shift-stage"
+        ~matches:(has_attr pending_shift)
+        ~rewrite:(fun op ->
+          Ir.Op.remove_attr op pending_shift;
+          let so = shift_of op in
+          let shift_bx =
+            match so.so_shift with Some bx -> bx | None -> assert false
+          in
+          let src = take (value_box so) in
+          let df =
+            Hls.dataflow b ~stage:("shift:" ^ so.so_name) (fun db ->
+                ignore
+                  (Llvm_d.call db ~callee:"shift_buffer"
+                     ~operands:[ src; shift_bx.bx_main ] ()))
+          in
+          Ir.Op.set_attr df "halo" (Attr.Ints so.so_halo);
+          Ir.Op.set_attr df "extent" (Attr.Ints padded);
+          true)
+        ();
+    ]
+
+(* duplicate stages: one fan-out loop per marked multi-reader box *)
+let dup_set ~b ~total_padded dup_of =
+  Rewriter.pattern_set ~name:"stream-dup-stages"
+    [
+      Rewriter.make_pattern ~name:"stream-dup-stage"
+        ~matches:(has_attr pending_dup)
+        ~rewrite:(fun op ->
+          Ir.Op.remove_attr op pending_dup;
+          let stage_name, (bx : box) = dup_of op in
+          ignore
+            (Hls.dataflow b ~stage:("dup:" ^ stage_name) (fun db ->
+                 let lb = Arith.constant_index db 0 in
+                 let ub = Arith.constant_index db total_padded in
+                 let step = Arith.constant_index db 1 in
+                 ignore
+                   (Scf.for_ db ~lb ~ub ~step (fun fb _iv ->
+                        Hls.pipeline fb ~ii:1;
+                        let v = Hls.read fb bx.bx_main in
+                        List.iter (fun c -> Hls.write fb v c) bx.bx_copies))));
+          true)
+        ();
+    ]
+
 let run_on_fx ~fused fx =
   let body = new_body fx in
   let b = Builder.at_end body in
   let padded = padded_extent fx.fx_plan in
   let total_padded = List.fold_left ( * ) 1 padded in
+  let shifts : (int, source) Hashtbl.t = Hashtbl.create 8 in
+  let dups : (int, string * box) Hashtbl.t = Hashtbl.create 8 in
+  let mark_dup stage_name (bx : box) =
+    if bx.bx_copies <> [] then begin
+      let op = main_op bx in
+      Ir.Op.set_attr op pending_dup (Attr.Str stage_name);
+      Hashtbl.replace dups op.Ir.o_id (stage_name, bx)
+    end
+  in
   List.iter
     (fun (_, so) ->
       (* no-split variant (A1): the fused compute stage reads external
@@ -56,45 +136,27 @@ let run_on_fx ~fused fx =
   (match List.rev (Ir.Block.ops body) with
   | last :: _ -> fx.fx_stream_anchor <- Some last
   | [] -> fx.fx_stream_anchor <- None);
-  (* shift stages *)
+  (* mark the pending work the two pattern sets will materialise *)
   List.iter
     (fun (_, so) ->
-      match so.so_shift with
-      | Some shift_bx ->
-        let src = take (value_box so) in
-        let df =
-          Hls.dataflow b ~stage:("shift:" ^ so.so_name) (fun db ->
-              ignore
-                (Llvm_d.call db ~callee:"shift_buffer"
-                   ~operands:[ src; shift_bx.bx_main ] ()))
-        in
-        Ir.Op.set_attr df "halo" (Attr.Ints so.so_halo);
-        Ir.Op.set_attr df "extent" (Attr.Ints padded)
-      | None -> ())
-    fx.fx_sources;
-  (* duplicate stages *)
-  let dup_stage stage_name (bx : box) =
-    if bx.bx_copies <> [] then
-      ignore
-        (Hls.dataflow b ~stage:("dup:" ^ stage_name) (fun db ->
-             let lb = Arith.constant_index db 0 in
-             let ub = Arith.constant_index db total_padded in
-             let step = Arith.constant_index db 1 in
-             ignore
-               (Scf.for_ db ~lb ~ub ~step (fun fb _iv ->
-                    Hls.pipeline fb ~ii:1;
-                    let v = Hls.read fb bx.bx_main in
-                    List.iter (fun c -> Hls.write fb v c) bx.bx_copies))))
-  in
-  List.iter
-    (fun (_, so) ->
+      (match so.so_shift with
+      | Some bx ->
+        let op = main_op bx in
+        Ir.Op.set_attr op pending_shift (Attr.Str so.so_name);
+        Hashtbl.replace shifts op.Ir.o_id so
+      | None -> ());
       (match so.so_value with
-      | Some bx -> dup_stage so.so_name bx
+      | Some bx -> mark_dup so.so_name bx
       | None -> ());
       match so.so_shift with
-      | Some bx -> dup_stage (so.so_name ^ "_shift") bx
+      | Some bx -> mark_dup (so.so_name ^ "_shift") bx
       | None -> ())
-    fx.fx_sources
+    fx.fx_sources;
+  let root = new_func fx in
+  let shift_of (op : Ir.op) = Hashtbl.find shifts op.Ir.o_id in
+  let dup_of (op : Ir.op) = Hashtbl.find dups op.Ir.o_id in
+  ignore (Rewriter.apply_set (shift_set ~b ~padded shift_of) root);
+  ignore (Rewriter.apply_set (dup_set ~b ~total_padded dup_of) root)
 
 let run_on_ctx (ctx : t) =
   let fused = not ctx.cx_variant.Variant.v_split in

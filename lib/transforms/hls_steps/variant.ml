@@ -71,6 +71,20 @@ let of_string_exn spec =
   | Ok v -> v
   | Error msg -> Err.raise_error "variant: %s" msg
 
+(* The design-space tuner's search axes: the full cross product of the
+   three knobs, cu in {derived} + {1..max_cu}.  Deterministic order
+   (split-on before split-off, pack-on before pack-off, derived CU
+   first); the search driver prunes shell-infeasible and duplicate
+   points downstream. *)
+let search_space ~max_cu =
+  let cus = None :: List.init (max 0 max_cu) (fun i -> Some (i + 1)) in
+  List.concat_map
+    (fun v_split ->
+      List.concat_map
+        (fun v_pack -> List.map (fun v_cu -> { v_split; v_pack; v_cu }) cus)
+        [ true; false ])
+    [ true; false ]
+
 (* The list the ablation/CI matrices iterate: every single-knob variant
    plus the composition, with the paper's CU range. *)
 let ablation_set =

@@ -1,0 +1,420 @@
+(* The design-space autotuner (DESIGN.md section 14.2).
+
+   The search driver enumerates variant x cu x grid-shape points from
+   {!Variant.search_space}, prunes the ones the U280 shell can never
+   host (cu x ports_per_cu beyond the AXI port budget) and the
+   duplicates (an explicit cu equal to the derived one compiles to the
+   same design), evaluates the survivors through the unified cost-model
+   stack — model-only: a point costs one cached compile and a fold over
+   the stack, never a simulation — and maintains the 2-D Pareto
+   frontier of throughput (MPt/s, up) against the tightest resource
+   fraction (down).
+
+   Only the frontier touches the simulators: each frontier point is
+   validated bit-exact by the whole-stream batched functional simulator
+   and cycle-counted by {!Cycle_sim} on the work-stealing pool, and the
+   measured cycles are compared against the model's per-CU prediction
+   (the cycle simulator executes one CU over the whole padded grid, so
+   the comparison point is the stack evaluated at [~cu:1]); points
+   diverging beyond the tolerance are flagged, not hidden.
+
+   Search state is a resumable JSON Lines file: one content-keyed row
+   per evaluated point and per validated frontier point, appended in
+   deterministic order.  A resumed run reloads the rows, skips every
+   known key, and appends only genuinely new work — so re-running a
+   finished search performs zero recompiles, zero re-simulations, and
+   leaves the file byte-identical. *)
+
+module Variant = Shmls_transforms.Variant
+module Cost = Shmls_fpga.Cost
+module U280 = Shmls_fpga.U280
+module Jsonl = Shmls_support.Jsonl
+module Pool = Shmls_support.Pool
+module Err = Shmls_support.Err
+module Ast = Shmls_frontend.Ast
+
+type point = { pt_grid : int list; pt_variant : Variant.t }
+
+type eval = {
+  ev_point : point;
+  ev_cu : int;  (** resolved CU replication of the compiled design *)
+  ev_ports_per_cu : int;
+  ev_cost : Cost.t;
+  ev_frac : float;  (** tightest resource column / budget *)
+  ev_feasible : bool;
+}
+
+type validation = {
+  va_max_diff : float;  (** batched functional sim vs reference interp *)
+  va_model_cycles : float;  (** stack at [~cu:1] *)
+  va_measured_cycles : int;  (** {!Cycle_sim} *)
+  va_divergence : float;  (** |model - measured| / measured *)
+  va_flagged : bool;  (** divergence beyond tolerance *)
+}
+
+type frontier_point = { fp_eval : eval; fp_validation : validation }
+
+type report = {
+  r_kernel : string;
+  r_budget : U280.budget;
+  r_enumerated : int;
+  r_pruned_ports : int;
+  r_pruned_duplicate : int;
+  r_evaluated_new : int;
+  r_resumed : int;
+  r_simulated : int;
+  r_validations_resumed : int;
+  r_evals : eval list;  (** all evaluated points, enumeration order *)
+  r_frontier : frontier_point list;  (** frac ascending *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Pareto frontier: maximise mpts, minimise frac. *)
+
+let dominates a b =
+  a.ev_cost.Cost.mpts >= b.ev_cost.Cost.mpts
+  && a.ev_frac <= b.ev_frac
+  && (a.ev_cost.Cost.mpts > b.ev_cost.Cost.mpts || a.ev_frac < b.ev_frac)
+
+(* A total, input-order-independent key: the objectives first, then the
+   point identity as the tie-break. *)
+let eval_key e =
+  ( e.ev_frac,
+    -.e.ev_cost.Cost.mpts,
+    Variant.to_string e.ev_point.pt_variant,
+    e.ev_point.pt_grid )
+
+let pareto evals =
+  let sorted = List.sort (fun a b -> compare (eval_key a) (eval_key b)) evals in
+  let _, rev =
+    List.fold_left
+      (fun (best, acc) e ->
+        if List.exists (fun f -> dominates f e) best then (best, acc)
+        else (e :: best, e :: acc))
+      ([], []) sorted
+  in
+  List.rev rev
+
+(* ------------------------------------------------------------------ *)
+(* Search state rows *)
+
+let point_key ~kernel ~budget (p : point) =
+  Digest.to_hex
+    (Digest.string
+       (Marshal.to_string
+          (kernel, p.pt_grid, Variant.to_string p.pt_variant,
+           budget.U280.bud_name)
+          []))
+
+let point_row ~kernel key (e : eval) =
+  Jsonl.obj
+    [
+      ("type", Jsonl.Str "point");
+      ("key", Jsonl.Str key);
+      ("kernel", Jsonl.Str kernel);
+      ("grid", Jsonl.Ints e.ev_point.pt_grid);
+      ("variant", Jsonl.Str (Variant.to_string e.ev_point.pt_variant));
+      ("cu", Jsonl.Int e.ev_cu);
+      ("ports_per_cu", Jsonl.Int e.ev_ports_per_cu);
+      ("cycles", Jsonl.Float e.ev_cost.Cost.cycles);
+      ("mpts", Jsonl.Float e.ev_cost.Cost.mpts);
+      ("lut", Jsonl.Int e.ev_cost.Cost.lut);
+      ("ff", Jsonl.Int e.ev_cost.Cost.ff);
+      ("bram", Jsonl.Int e.ev_cost.Cost.bram);
+      ("uram", Jsonl.Int e.ev_cost.Cost.uram);
+      ("dsp", Jsonl.Int e.ev_cost.Cost.dsp);
+      ("watts", Jsonl.Float e.ev_cost.Cost.watts);
+      ("frac", Jsonl.Float e.ev_frac);
+      ("feasible", Jsonl.Bool e.ev_feasible);
+    ]
+
+let validation_row ~kernel key (p : point) (v : validation) =
+  Jsonl.obj
+    [
+      ("type", Jsonl.Str "validation");
+      ("key", Jsonl.Str key);
+      ("kernel", Jsonl.Str kernel);
+      ("grid", Jsonl.Ints p.pt_grid);
+      ("variant", Jsonl.Str (Variant.to_string p.pt_variant));
+      ("max_diff", Jsonl.Float v.va_max_diff);
+      ("model_cycles", Jsonl.Float v.va_model_cycles);
+      ("measured_cycles", Jsonl.Int v.va_measured_cycles);
+      ("divergence", Jsonl.Float v.va_divergence);
+      ("flagged", Jsonl.Bool v.va_flagged);
+    ]
+
+let eval_of_row line (p : point) =
+  let req name = function
+    | Some v -> v
+    | None ->
+      Err.raise_error "tune: resume state row is missing field %S: %s" name
+        line
+  in
+  let f name = req name (Jsonl.find_float line name) in
+  let i name = req name (Jsonl.find_int line name) in
+  {
+    ev_point = p;
+    ev_cu = i "cu";
+    ev_ports_per_cu = i "ports_per_cu";
+    ev_cost =
+      {
+        Cost.cycles = f "cycles";
+        mpts = f "mpts";
+        lut = i "lut";
+        ff = i "ff";
+        bram = i "bram";
+        uram = i "uram";
+        dsp = i "dsp";
+        watts = f "watts";
+      };
+    ev_frac = f "frac";
+    ev_feasible = req "feasible" (Jsonl.find_bool line "feasible");
+  }
+
+let validation_of_row line =
+  let req name = function
+    | Some v -> v
+    | None ->
+      Err.raise_error "tune: resume state row is missing field %S: %s" name
+        line
+  in
+  let f name = req name (Jsonl.find_float line name) in
+  {
+    va_max_diff = f "max_diff";
+    va_model_cycles = f "model_cycles";
+    va_measured_cycles = req "measured_cycles" (Jsonl.find_int line "measured_cycles");
+    va_divergence = f "divergence";
+    va_flagged = req "flagged" (Jsonl.find_bool line "flagged");
+  }
+
+(* Load the resume state: key -> raw point row, key -> validation. *)
+let load_state path =
+  let points = Hashtbl.create 64 in
+  let validations = Hashtbl.create 16 in
+  List.iter
+    (fun line ->
+      match (Jsonl.find_string line "type", Jsonl.find_string line "key") with
+      | Some "point", Some key -> Hashtbl.replace points key line
+      | Some "validation", Some key ->
+        Hashtbl.replace validations key (validation_of_row line)
+      | _ -> Err.raise_error "tune: unrecognised resume state row: %s" line)
+    (Jsonl.lines_of_file path);
+  (points, validations)
+
+(* ------------------------------------------------------------------ *)
+(* The search driver *)
+
+let default_divergence_tolerance = 0.10
+
+let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
+    ?(max_cu = 8) ?(jobs = 0) ?state ?(resume = false)
+    ?(divergence_tolerance = default_divergence_tolerance)
+    (kernel : Ast.kernel) ~grids =
+  let kname = kernel.Ast.k_name in
+  let known_points, known_validations =
+    match state with
+    | Some path when resume -> load_state path
+    | _ -> (Hashtbl.create 0, Hashtbl.create 0)
+  in
+  let out =
+    match state with
+    | None -> None
+    | Some path ->
+      let flags =
+        if resume then [ Open_wronly; Open_append; Open_creat ]
+        else [ Open_wronly; Open_trunc; Open_creat ]
+      in
+      Some (open_out_gen flags 0o644 path)
+  in
+  let emit line =
+    match out with
+    | None -> ()
+    | Some oc ->
+      output_string oc line;
+      output_char oc '\n'
+  in
+  let enumerated = ref 0 in
+  let pruned_ports = ref 0 in
+  let pruned_duplicate = ref 0 in
+  let evaluated_new = ref 0 in
+  let resumed = ref 0 in
+  let compiled_designs : (string, Shmls.compiled) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  let compile_point (p : point) =
+    Shmls.compile_cached ~variant:p.pt_variant kernel ~grid:p.pt_grid
+  in
+  let evaluate_point key (p : point) =
+    match Hashtbl.find_opt known_points key with
+    | Some line ->
+      incr resumed;
+      eval_of_row line p
+    | None ->
+      let c = compile_point p in
+      Hashtbl.replace compiled_designs key c;
+      let cost = Cost.evaluate models c.Shmls.c_design in
+      let e =
+        {
+          ev_point = p;
+          ev_cu = c.Shmls.c_cu;
+          ev_ports_per_cu = c.Shmls.c_ports_per_cu;
+          ev_cost = cost;
+          ev_frac = Cost.max_fraction ~budget cost;
+          ev_feasible = Cost.feasible ~budget cost;
+        }
+      in
+      incr evaluated_new;
+      emit (point_row ~kernel:kname key e);
+      e
+  in
+  (* Enumerate grid-major, variants in [search_space] order.  The
+     derived-CU point ([v_cu = None]) of each (split, pack) group comes
+     first and tells us the group's ports-per-CU and derived CU count —
+     the data the port-budget pruning and the duplicate-CU dedup need,
+     without compiling the pruned points. *)
+  let evals = ref [] in
+  List.iter
+    (fun grid ->
+      let group : (bool * bool, int * int) Hashtbl.t = Hashtbl.create 4 in
+      List.iter
+        (fun (v : Variant.t) ->
+          incr enumerated;
+          let p = { pt_grid = grid; pt_variant = v } in
+          let key = point_key ~kernel:kname ~budget p in
+          match v.Variant.v_cu with
+          | None ->
+            let e = evaluate_point key p in
+            Hashtbl.replace group
+              (v.Variant.v_split, v.Variant.v_pack)
+              (e.ev_ports_per_cu, e.ev_cu);
+            evals := e :: !evals
+          | Some n ->
+            let ports_per_cu, derived_cu =
+              try Hashtbl.find group (v.Variant.v_split, v.Variant.v_pack)
+              with Not_found ->
+                Err.raise_error
+                  "tune: derived-CU point missing for variant group"
+            in
+            if n = derived_cu then incr pruned_duplicate
+            else if n * ports_per_cu > budget.U280.bud_axi_ports then
+              incr pruned_ports
+            else evals := evaluate_point key p :: !evals)
+        (Variant.search_space ~max_cu))
+    grids;
+  let evals = List.rev !evals in
+  (* The frontier, over feasible points only. *)
+  let frontier = pareto (List.filter (fun e -> e.ev_feasible) evals) in
+  (* Validate the frontier: batched functional sim (bit-exactness) plus
+     the cycle simulator, on the pool.  Designs are compiled (or fetched
+     from the eval-phase cache) sequentially first — IR construction
+     wants deterministic ids — so the parallel phase only simulates. *)
+  let simulated = ref 0 in
+  let validations_resumed = ref 0 in
+  let todo =
+    List.filter_map
+      (fun e ->
+        let key = point_key ~kernel:kname ~budget e.ev_point in
+        match Hashtbl.find_opt known_validations key with
+        | Some _ ->
+          incr validations_resumed;
+          None
+        | None ->
+          let c =
+            match Hashtbl.find_opt compiled_designs key with
+            | Some c -> c
+            | None -> compile_point e.ev_point
+          in
+          Some (key, e, c))
+      frontier
+  in
+  let fresh =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_list pool
+          (fun (key, e, c) ->
+            let verification = Shmls.verify ~sim:Shmls.Batched c in
+            let cs = Shmls_fpga.Cycle_sim.run c.Shmls.c_design in
+            if cs.Shmls_fpga.Cycle_sim.deadlocked then
+              Err.raise_error
+                "tune: frontier design %s on %s deadlocked in the cycle \
+                 simulator"
+                (Variant.to_string e.ev_point.pt_variant)
+                (String.concat "x" (List.map string_of_int e.ev_point.pt_grid));
+            let measured = cs.Shmls_fpga.Cycle_sim.cycles in
+            let model_cycles =
+              (Cost.evaluate ~cu:1 models c.Shmls.c_design).Cost.cycles
+            in
+            let divergence =
+              Float.abs (model_cycles -. float_of_int measured)
+              /. float_of_int (max 1 measured)
+            in
+            let v =
+              {
+                va_max_diff = verification.Shmls.v_max_diff;
+                va_model_cycles = model_cycles;
+                va_measured_cycles = measured;
+                va_divergence = divergence;
+                va_flagged = divergence > divergence_tolerance;
+              }
+            in
+            (key, e.ev_point, v))
+          todo)
+  in
+  List.iter
+    (fun (key, p, v) ->
+      incr simulated;
+      emit (validation_row ~kernel:kname key p v);
+      Hashtbl.replace known_validations key v)
+    fresh;
+  let frontier_points =
+    List.map
+      (fun e ->
+        let key = point_key ~kernel:kname ~budget e.ev_point in
+        match Hashtbl.find_opt known_validations key with
+        | Some v -> { fp_eval = e; fp_validation = v }
+        | None -> assert false)
+      frontier
+  in
+  (match out with Some oc -> close_out oc | None -> ());
+  {
+    r_kernel = kname;
+    r_budget = budget;
+    r_enumerated = !enumerated;
+    r_pruned_ports = !pruned_ports;
+    r_pruned_duplicate = !pruned_duplicate;
+    r_evaluated_new = !evaluated_new;
+    r_resumed = !resumed;
+    r_simulated = !simulated;
+    r_validations_resumed = !validations_resumed;
+    r_evals = evals;
+    r_frontier = frontier_points;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting *)
+
+let pp_frontier_point ppf fp =
+  let e = fp.fp_eval and v = fp.fp_validation in
+  Format.fprintf ppf
+    "%-18s %-12s cu=%-2d %8.2f MPt/s  %5.1f%% %-4s %6.2f W  cycles \
+     model/measured %.0f/%d (%+.1f%%)%s%s"
+    (String.concat "x" (List.map string_of_int e.ev_point.pt_grid))
+    (Variant.to_string e.ev_point.pt_variant)
+    e.ev_cu e.ev_cost.Cost.mpts
+    (100.0 *. e.ev_frac)
+    (Cost.binding_resource e.ev_cost)
+    e.ev_cost.Cost.watts v.va_model_cycles v.va_measured_cycles
+    (100.0 *. v.va_divergence)
+    (if v.va_flagged then "  [DIVERGENT]" else "")
+    (if v.va_max_diff > 1e-9 then "  [NOT BIT-EXACT]" else "")
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>tune %s (budget %s): %d points enumerated, %d pruned (ports), %d \
+     deduped (cu), %d evaluated, %d resumed@,\
+     frontier: %d point(s), %d simulated, %d validation(s) resumed@,%a@]"
+    r.r_kernel r.r_budget.U280.bud_name r.r_enumerated r.r_pruned_ports
+    r.r_pruned_duplicate r.r_evaluated_new r.r_resumed
+    (List.length r.r_frontier)
+    r.r_simulated r.r_validations_resumed
+    (Format.pp_print_list pp_frontier_point)
+    r.r_frontier

@@ -1,0 +1,82 @@
+(** The design-space autotuner (DESIGN.md section 14.2): enumerates
+    variant x cu x grid points, prunes against the U280 shell's AXI
+    port budget, evaluates survivors through the unified cost-model
+    stack (model-only — no simulation), keeps the 2-D Pareto frontier
+    of MPt/s against the tightest resource fraction, and validates each
+    frontier point with the batched functional simulator and the cycle
+    simulator, flagging model/measured divergence beyond the tolerance.
+    Search state is a resumable JSON Lines file. *)
+
+module Variant = Shmls_transforms.Variant
+module Cost = Shmls_fpga.Cost
+module U280 = Shmls_fpga.U280
+
+type point = { pt_grid : int list; pt_variant : Variant.t }
+
+type eval = {
+  ev_point : point;
+  ev_cu : int;  (** resolved CU replication of the compiled design *)
+  ev_ports_per_cu : int;
+  ev_cost : Cost.t;
+  ev_frac : float;  (** tightest resource column / budget *)
+  ev_feasible : bool;
+}
+
+type validation = {
+  va_max_diff : float;  (** batched functional sim vs reference interp *)
+  va_model_cycles : float;  (** cost-model stack evaluated at [~cu:1] *)
+  va_measured_cycles : int;  (** {!Shmls_fpga.Cycle_sim} *)
+  va_divergence : float;  (** |model - measured| / measured *)
+  va_flagged : bool;  (** divergence beyond the tolerance *)
+}
+
+type frontier_point = { fp_eval : eval; fp_validation : validation }
+
+type report = {
+  r_kernel : string;
+  r_budget : U280.budget;
+  r_enumerated : int;
+  r_pruned_ports : int;  (** cu x ports beyond the shell's AXI budget *)
+  r_pruned_duplicate : int;  (** explicit cu equal to the derived one *)
+  r_evaluated_new : int;  (** points evaluated this run *)
+  r_resumed : int;  (** points reloaded from the resume state *)
+  r_simulated : int;  (** frontier validations run this run *)
+  r_validations_resumed : int;
+  r_evals : eval list;  (** all evaluated points, enumeration order *)
+  r_frontier : frontier_point list;  (** frac ascending *)
+}
+
+(** [dominates a b]: at least as good on both objectives (mpts up, frac
+    down), strictly better on one. *)
+val dominates : eval -> eval -> bool
+
+(** The non-dominated subset, sorted by frac ascending (mpts descending
+    within ties).  Deterministic and invariant under input order. *)
+val pareto : eval list -> eval list
+
+(** Content key of a point in the search state (digest over kernel
+    name, grid, variant and budget name). *)
+val point_key : kernel:string -> budget:U280.budget -> point -> string
+
+val default_divergence_tolerance : float
+
+(** Run the search. [state] names the JSONL search-state file; with
+    [resume] set, rows already present are reloaded instead of
+    re-evaluated (a finished search re-runs with zero recompiles and
+    zero re-simulations and leaves the file byte-identical). [models]
+    overrides the cost-model stack (for differential tests); [jobs]
+    sizes the validation pool ([0] adaptive, [1] sequential). *)
+val run :
+  ?models:Cost.model list ->
+  ?budget:U280.budget ->
+  ?max_cu:int ->
+  ?jobs:int ->
+  ?state:string ->
+  ?resume:bool ->
+  ?divergence_tolerance:float ->
+  Shmls_frontend.Ast.kernel ->
+  grids:int list list ->
+  report
+
+val pp_frontier_point : Format.formatter -> frontier_point -> unit
+val pp_report : Format.formatter -> report -> unit

@@ -153,6 +153,24 @@ else
   echo "batched-engine gate: rows missing from $NEW, skipped" >&2
 fi
 
+# ------------------------------------------------------------------
+# Tune-throughput gate: the design-space search driver's end-to-end row
+# must be present in the NEW run whenever the baseline tracks it (its
+# slowdown bound is the generic common-row comparison above; this check
+# catches the row silently disappearing from the smoke suite).
+tbase=$(val "$BASELINE" "shmls/tune_search_throughput")
+tnew=$(val "$NEW" "shmls/tune_search_throughput")
+
+if [[ -n $tbase && -z $tnew ]]; then
+  echo "TUNE-THROUGHPUT ROW MISSING: $BASELINE tracks" \
+    "shmls/tune_search_throughput but $NEW does not carry it" >&2
+  status=1
+elif [[ -n $tnew ]]; then
+  echo "tune-throughput gate: row present (${tnew} ns/run)"
+else
+  echo "tune-throughput gate: row untracked in $BASELINE, skipped" >&2
+fi
+
 # Acceptance ratio on the committed full-suite baseline: the batched
 # engine's headline speedup over the compiled engine on the PW
 # pipeline rows must hold at BATCHED_MIN_SPEEDUP.

@@ -176,6 +176,53 @@ let qcheck_pool_map_matches_sequential =
       in
       got = expect)
 
+let test_jsonl_obj () =
+  let line =
+    Jsonl.obj
+      [
+        ("kernel", Jsonl.Str "pw_advection");
+        ("grid", Jsonl.Ints [ 8; 8; 8 ]);
+        ("cu", Jsonl.Int 4);
+        ("mpts", Jsonl.Float 391.5);
+        ("feasible", Jsonl.Bool true);
+      ]
+  in
+  Alcotest.(check string)
+    "rendered"
+    {|{"kernel":"pw_advection","grid":[8,8,8],"cu":4,"mpts":391.5,"feasible":true}|}
+    line;
+  Alcotest.(check (option string))
+    "string" (Some "pw_advection")
+    (Jsonl.find_string line "kernel");
+  Alcotest.(check (option (list int)))
+    "ints"
+    (Some [ 8; 8; 8 ])
+    (Jsonl.find_ints line "grid");
+  Alcotest.(check (option int)) "int" (Some 4) (Jsonl.find_int line "cu");
+  Alcotest.(check (option (float 1e-12)))
+    "float" (Some 391.5) (Jsonl.find_float line "mpts");
+  Alcotest.(check (option bool)) "bool" (Some true) (Jsonl.find_bool line "feasible");
+  Alcotest.(check (option int)) "absent" None (Jsonl.find_int line "missing")
+
+let test_jsonl_escape_roundtrip () =
+  let tricky = "a\"b\\c\nd\te" in
+  let line = Jsonl.obj [ ("s", Jsonl.Str tricky) ] in
+  Alcotest.(check (option string))
+    "escaped string round-trips" (Some tricky) (Jsonl.find_string line "s");
+  (* a quote inside a value cannot shadow a later key *)
+  let line =
+    Jsonl.obj [ ("a", Jsonl.Str "\",\"b\":"); ("b", Jsonl.Int 9) ]
+  in
+  Alcotest.(check (option int)) "key after tricky value" (Some 9)
+    (Jsonl.find_int line "b")
+
+let test_jsonl_float_repr () =
+  Alcotest.(check string) "integral keeps .0" "392.0" (Jsonl.float_repr 392.0);
+  let f = 391.83673469387753 in
+  Alcotest.(check (float 0.0))
+    "non-integral round-trips" f
+    (float_of_string (Jsonl.float_repr f))
+
 let qcheck_mean_bounds =
   Test_common.Helpers.qtest "mean lies within min/max"
     QCheck2.Gen.(list_size (int_range 1 20) (float_range (-100.0) 100.0))
@@ -224,6 +271,13 @@ let () =
         [
           Alcotest.test_case "render" `Quick test_table_render;
           Alcotest.test_case "arity check" `Quick test_table_arity;
+        ] );
+      ( "jsonl",
+        [
+          Alcotest.test_case "emit and extract" `Quick test_jsonl_obj;
+          Alcotest.test_case "escape round-trips" `Quick
+            test_jsonl_escape_roundtrip;
+          Alcotest.test_case "float repr" `Quick test_jsonl_float_repr;
         ] );
       ( "pool",
         [

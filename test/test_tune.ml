@@ -1,0 +1,214 @@
+(* Tests for the design-space autotuner: Pareto-frontier properties
+   (qcheck), end-to-end searches on both paper kernels, resumable
+   search state (zero recompiles / zero re-simulations / byte-identical
+   file), and the model/measured divergence flag on a seeded bad
+   model. *)
+
+module T = Shmls_tune.Tune
+module Cost = Shmls_fpga.Cost
+
+let mk_eval ~idx ~mpts ~frac =
+  {
+    T.ev_point =
+      { T.pt_grid = [ idx + 1 ]; pt_variant = Shmls.Variant.default };
+    ev_cu = 1;
+    ev_ports_per_cu = 1;
+    ev_cost = { Cost.zero with Cost.mpts };
+    ev_frac = frac;
+    ev_feasible = true;
+  }
+
+let evals_of_pairs pairs = List.mapi (fun i (m, f) -> mk_eval ~idx:i ~mpts:m ~frac:f) pairs
+
+let pairs_gen =
+  QCheck.(
+    list_of_size (Gen.int_range 0 30)
+      (pair (float_bound_exclusive 1000.0) (float_bound_exclusive 1.0)))
+
+let qcheck_pareto_no_dominated =
+  QCheck.Test.make ~count:200 ~name:"pareto frontier has no dominated member"
+    pairs_gen (fun pairs ->
+      let evals = evals_of_pairs pairs in
+      let front = T.pareto evals in
+      List.for_all
+        (fun e -> not (List.exists (fun f -> T.dominates f e) front))
+        front)
+
+let qcheck_pareto_covers =
+  QCheck.Test.make ~count:200
+    ~name:"every point is on the frontier or dominated by it" pairs_gen
+    (fun pairs ->
+      let evals = evals_of_pairs pairs in
+      let front = T.pareto evals in
+      List.for_all
+        (fun e ->
+          List.exists (fun f -> f == e) front
+          || List.exists (fun f -> T.dominates f e) front)
+        evals)
+
+let qcheck_pareto_order_invariant =
+  QCheck.Test.make ~count:200 ~name:"pareto is invariant under input order"
+    QCheck.(pair pairs_gen int)
+    (fun (pairs, seed) ->
+      let evals = evals_of_pairs pairs in
+      let st = Random.State.make [| seed |] in
+      let shuffled =
+        List.map (fun e -> (Random.State.bits st, e)) evals
+        |> List.sort compare |> List.map snd
+      in
+      T.pareto evals = T.pareto shuffled && T.pareto evals = T.pareto (List.rev evals))
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end searches *)
+
+let paper_kernels =
+  [
+    ("pw_advection", Shmls_kernels.Pw_advection.kernel);
+    ("tracer_advection", Shmls_kernels.Tracer_advection.kernel);
+  ]
+
+let test_paper_kernels_frontier () =
+  List.iter
+    (fun (name, kernel) ->
+      let r = T.run ~max_cu:4 ~jobs:1 kernel ~grids:[ [ 8; 8; 8 ] ] in
+      Alcotest.(check bool)
+        (name ^ ": frontier non-empty")
+        true
+        (r.T.r_frontier <> []);
+      List.iter
+        (fun (fp : T.frontier_point) ->
+          Alcotest.(check bool)
+            (name ^ ": frontier point bit-exact")
+            true
+            (fp.T.fp_validation.T.va_max_diff <= 1e-9);
+          Alcotest.(check bool)
+            (name ^ ": model within tolerance of measured cycles")
+            false fp.T.fp_validation.T.va_flagged)
+        r.T.r_frontier;
+      (* the frontier is sorted by resource fraction, ascending *)
+      let fracs = List.map (fun fp -> fp.T.fp_eval.T.ev_frac) r.T.r_frontier in
+      Alcotest.(check bool)
+        (name ^ ": frontier sorted by fraction")
+        true
+        (List.sort compare fracs = fracs))
+    paper_kernels
+
+let test_jobs_invariance () =
+  let kernel = Shmls_kernels.Didactic.laplace_2d in
+  let r1 = T.run ~max_cu:3 ~jobs:1 kernel ~grids:[ [ 12; 12 ] ] in
+  let r2 = T.run ~max_cu:3 ~jobs:2 kernel ~grids:[ [ 12; 12 ] ] in
+  Alcotest.(check bool) "same evals" true (r1.T.r_evals = r2.T.r_evals);
+  Alcotest.(check bool)
+    "same validated frontier" true
+    (r1.T.r_frontier = r2.T.r_frontier)
+
+let test_infeasible_budget_empty_frontier () =
+  let kernel = Shmls_kernels.Didactic.laplace_2d in
+  let budget = Shmls.U280.scaled_budget 0.001 in
+  let r = T.run ~budget ~max_cu:2 ~jobs:1 kernel ~grids:[ [ 12; 12 ] ] in
+  Alcotest.(check (list (Alcotest.testable (fun _ _ -> ()) ( = ))))
+    "no feasible point" [] r.T.r_frontier
+
+(* ------------------------------------------------------------------ *)
+(* Resume *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let test_resume_zero_work () =
+  let path = Filename.temp_file "tune_state" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let kernel = Shmls_kernels.Pw_advection.kernel in
+      let grids = [ [ 8; 8; 8 ] ] in
+      let r1 = T.run ~max_cu:4 ~jobs:1 ~state:path kernel ~grids in
+      Alcotest.(check bool) "first run evaluates" true (r1.T.r_evaluated_new > 0);
+      Alcotest.(check bool) "first run simulates" true (r1.T.r_simulated > 0);
+      let bytes1 = read_file path in
+      (* a resumed identical run does zero compiles and zero sims *)
+      Shmls.reset_compile_cache ();
+      let r2 = T.run ~max_cu:4 ~jobs:1 ~state:path ~resume:true kernel ~grids in
+      Alcotest.(check int) "zero recompiles" 0 (Shmls.compile_runs ());
+      Alcotest.(check int) "zero new evaluations" 0 r2.T.r_evaluated_new;
+      Alcotest.(check int) "zero re-simulations" 0 r2.T.r_simulated;
+      Alcotest.(check int)
+        "every point resumed" r1.T.r_evaluated_new r2.T.r_resumed;
+      Alcotest.(check string) "state byte-identical" bytes1 (read_file path);
+      (* and the resumed report reaches the same frontier *)
+      Alcotest.(check bool)
+        "same frontier" true
+        (r1.T.r_frontier = r2.T.r_frontier))
+
+(* ------------------------------------------------------------------ *)
+(* Divergence flagging: a model that triples the predicted cycles must
+   trip the >10% model/measured comparison on every frontier point. *)
+
+module Bad_perf = struct
+  let name = "bad-perf"
+
+  let contribute ?cu d c =
+    let module P = (val Shmls.Perf_model.cost_model : Cost.MODEL) in
+    let c = P.contribute ?cu d c in
+    { c with Cost.cycles = c.Cost.cycles *. 3.0 }
+end
+
+let test_bad_model_flagged () =
+  let bad_stack =
+    [
+      (module Bad_perf : Cost.MODEL);
+      Shmls.Resources.cost_model;
+      Shmls.Power.cost_model;
+    ]
+  in
+  let kernel = Shmls_kernels.Didactic.laplace_2d in
+  let r = T.run ~models:bad_stack ~max_cu:2 ~jobs:1 kernel ~grids:[ [ 12; 12 ] ] in
+  Alcotest.(check bool) "frontier non-empty" true (r.T.r_frontier <> []);
+  List.iter
+    (fun (fp : T.frontier_point) ->
+      Alcotest.(check bool)
+        "seeded bad model trips the divergence flag" true
+        fp.T.fp_validation.T.va_flagged)
+    r.T.r_frontier;
+  (* the honest stack on the same configurations does not *)
+  let ok = T.run ~max_cu:2 ~jobs:1 kernel ~grids:[ [ 12; 12 ] ] in
+  List.iter
+    (fun (fp : T.frontier_point) ->
+      Alcotest.(check bool)
+        "honest model stays within tolerance" false
+        fp.T.fp_validation.T.va_flagged)
+    ok.T.r_frontier
+
+let () =
+  Alcotest.run "tune"
+    [
+      ( "pareto",
+        [
+          QCheck_alcotest.to_alcotest qcheck_pareto_no_dominated;
+          QCheck_alcotest.to_alcotest qcheck_pareto_covers;
+          QCheck_alcotest.to_alcotest qcheck_pareto_order_invariant;
+        ] );
+      ( "search",
+        [
+          Alcotest.test_case "paper kernels: validated frontier" `Quick
+            test_paper_kernels_frontier;
+          Alcotest.test_case "jobs-invariant results" `Quick
+            test_jobs_invariance;
+          Alcotest.test_case "infeasible budget empties the frontier" `Quick
+            test_infeasible_budget_empty_frontier;
+        ] );
+      ( "resume",
+        [
+          Alcotest.test_case "resume does zero work and keeps bytes" `Quick
+            test_resume_zero_work;
+        ] );
+      ( "divergence",
+        [
+          Alcotest.test_case "seeded bad model is flagged" `Quick
+            test_bad_model_flagged;
+        ] );
+    ]
