@@ -649,7 +649,21 @@ let micro_tests () =
   ignore
     (Shmls_tune.Tune.run ~max_cu:2 ~jobs:1 Shmls_kernels.Didactic.laplace_2d
        ~grids:[ [ 12; 12 ] ]);
+  (* the cycle-sim engine pair runs on the full-bench PW grid even in
+     the smoke subset: the event engine fast-forwards the steady state,
+     and the tick oracle at this size still fits the smoke budget — the
+     CI regression gate reads the derived speedup from these rows *)
+  let cycle_design =
+    (Shmls.compile_cached PW.kernel ~grid:[ 24; 16; 8 ]).c_design
+  in
   [
+    Test.make ~name:"pipeline_cycle_sim"
+      (Staged.stage (fun () ->
+           ignore (Shmls.Cycle_sim.run ~engine:Shmls.Cycle_sim.Tick cycle_design)));
+    Test.make ~name:"pipeline_cycle_sim_event"
+      (Staged.stage (fun () ->
+           ignore
+             (Shmls.Cycle_sim.run ~engine:Shmls.Cycle_sim.Event cycle_design)));
     (* the design-space autotuner end to end on a small kernel: compile
        cache hot, so this is points-through-the-search-driver throughput *)
     Test.make ~name:"tune_search_throughput"
@@ -819,6 +833,14 @@ let emit_json ~path rows =
     | Some j1, Some jn when jn > 0.0 -> Some (j1 /. jn)
     | _ -> None
   in
+  (* tick oracle vs event-driven engine on the same design (PW 24x16x8) *)
+  let cycle_speedup =
+    match
+      (find_row rows "pipeline_cycle_sim", find_row rows "pipeline_cycle_sim_event")
+    with
+    | Some tick, Some event when event > 0.0 -> Some (tick /. event)
+    | _ -> None
+  in
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf
@@ -856,6 +878,11 @@ let emit_json ~path rows =
   | Some s ->
     Buffer.add_string buf
       (Printf.sprintf "    \"batched_sim_speedup_vs_interp\": %.1f,\n" s)
+  | None -> ());
+  (match cycle_speedup with
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf "    \"cycle_sim_speedup\": %.1f,\n" s)
   | None -> ());
   (match full_compiled with
   | Some c when c > 0.0 ->
@@ -952,8 +979,6 @@ let bechamel () =
       Test.make ~name:"stage_compile_once_batched"
         (Staged.stage (fun () ->
              ignore (Shmls.Stage_compiler.compile_batched compiled.c_design)));
-      Test.make ~name:"pipeline_cycle_sim"
-        (Staged.stage (fun () -> ignore (Shmls.Cycle_sim.run compiled.c_design)));
       Test.make ~name:"pipeline_llvm_emit_fpp"
         (Staged.stage (fun () ->
              let ll = Shmls_llvmir.Emit.emit_module compiled.c_hls_module in

@@ -51,12 +51,17 @@ let write_file dir name contents =
   Printf.printf "wrote %s\n" path
 
 let run_tool kernel_spec grid_spec variant_spec emit outdir verify evaluate
-    report trace pass_stats sim jobs =
+    report trace pass_stats sim cycle_engine jobs =
   try
     let kernel = load_kernel kernel_spec in
     let grid = parse_grid grid_spec in
     let sim =
       match Shmls.sim_of_string sim with Ok s -> s | Error m -> failwith m
+    in
+    let engine =
+      match Shmls.Cycle_sim.engine_of_string cycle_engine with
+      | Some e -> e
+      | None -> failwith ("bad --cycle-engine: " ^ cycle_engine)
     in
     let variant =
       match Shmls.Variant.of_string variant_spec with
@@ -97,9 +102,12 @@ let run_tool kernel_spec grid_spec variant_spec emit outdir verify evaluate
       if outdir = "" then print_endline (Shmls.emit_circt_text c)
       else write_file outdir (kernel.k_name ^ ".circt.mlir") (Shmls.emit_circt_text c)
     end;
-    if report then print_string (Shmls.report_text ~sim c);
+    if report then begin
+      let cycle_result = Shmls.Cycle_sim.run ~engine c.c_design in
+      print_string (Shmls.report_text ~sim ~cycle_result c)
+    end;
     if trace <> "" then begin
-      let result, t = Shmls.Trace.capture c.c_design in
+      let result, t = Shmls.Trace.capture ~engine c.c_design in
       let oc = open_out trace in
       output_string oc (Shmls.Trace.to_csv t);
       close_out oc;
@@ -154,7 +162,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let row_json ~variant ~idx ~kernel_name ~grid (outcomes, verification) =
+let row_json ~variant ~idx ~kernel_name ~grid ~measured (outcomes, verification) =
   let flow_json o =
     match o with
     | Shmls.Flow.Success s ->
@@ -164,18 +172,43 @@ let row_json ~variant ~idx ~kernel_name ~grid (outcomes, verification) =
       Printf.sprintf {|{"flow":"%s","ok":false,"reason":"%s"}|}
         (json_escape f.f_flow) (json_escape f.f_reason)
   in
+  (* the analytic model's cycle count for the Stencil-HMLS flow, so a
+     consumer can compare rows against measured cycles without
+     re-deriving the model *)
+  let model_field =
+    match
+      List.find_map
+        (fun o ->
+          match o with
+          | Shmls.Flow.Success s when s.s_flow = "Stencil-HMLS" ->
+            Some s.s_est.Shmls.Perf_model.e_cycles
+          | _ -> None)
+        outcomes
+    with
+    | Some cycles -> Printf.sprintf {|,"model_cycles":%.6g|} cycles
+    | None -> ""
+  in
   let verify_field =
     match verification with
     | None -> ""
     | Some (v : Shmls.verification) ->
       Printf.sprintf {|,"verify_max_diff":%.6g|} v.v_max_diff
   in
-  Printf.sprintf {|{"index":%d,"kernel":"%s","grid":[%s],"variant":"%s","flows":[%s]%s}|}
+  (* measured cycles (and the cycle-sim engine that produced them) ride
+     along only on verified rows: --verify opted into simulation *)
+  let measured_field =
+    match measured with
+    | None -> ""
+    | Some (cycles, engine) ->
+      Printf.sprintf {|,"measured_cycles":%d,"cycle_engine":"%s"|} cycles
+        (json_escape engine)
+  in
+  Printf.sprintf {|{"index":%d,"kernel":"%s","grid":[%s],"variant":"%s","flows":[%s]%s%s%s}|}
     idx (json_escape kernel_name)
     (String.concat "," (List.map string_of_int grid))
     (json_escape (Shmls.Variant.to_string variant))
     (String.concat "," (List.map flow_json outcomes))
-    verify_field
+    model_field verify_field measured_field
 
 (* Configurations already present in a JSON Lines output file, keyed on
    (kernel, grid, variant) — what --resume skips. *)
@@ -240,6 +273,7 @@ let run_sweep kernel_specs grids_spec variant_spec sim verify seed jobs chunk
         configs
       |> Array.of_list
     in
+    let kernels_arr = Array.of_list (List.map fst configs) in
     let out_channel =
       if out = "" then None
       else if resume then
@@ -251,8 +285,23 @@ let run_sweep kernel_specs grids_spec variant_spec sim verify seed jobs chunk
         skipped;
     let emit idx row =
       let name, grid = names_grids.(idx) in
+      (* verified rows also get measured cycles: the compile is a cache
+         hit (the sweep compiled every configuration up front) and the
+         event-driven engine fast-forwards the steady state, so this
+         costs roughly fill + drain per row *)
+      let measured =
+        match snd row with
+        | None -> None
+        | Some _ ->
+          let c = Shmls.compile_cached ~variant kernels_arr.(idx) ~grid in
+          let cs = Shmls.Cycle_sim.run c.c_design in
+          Some
+            ( cs.Shmls.Cycle_sim.cycles,
+              Shmls.Cycle_sim.engine_to_string cs.Shmls.Cycle_sim.engine )
+      in
       let line =
-        row_json ~variant ~idx:orig_index.(idx) ~kernel_name:name ~grid row
+        row_json ~variant ~idx:orig_index.(idx) ~kernel_name:name ~grid
+          ~measured row
       in
       (match out_channel with
       | Some oc ->
@@ -384,6 +433,17 @@ let sim_arg =
            batched plan (batched, the fastest). All three are \
            bit-identical.")
 
+let cycle_engine_arg =
+  Arg.(
+    value
+    & opt (enum [ ("tick", "tick"); ("event", "event") ]) "event"
+    & info [ "cycle-engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Cycle-simulation engine for --report and --trace: the \
+           event-driven engine with steady-state fast-forward (event, the \
+           default) or the per-cycle tick loop (tick, the bit-exact \
+           oracle). Both produce identical cycle counts and traces.")
+
 let jobs_arg =
   Arg.(
     value & opt int 0
@@ -399,7 +459,7 @@ let compile_term =
     ret
       (const run_tool $ kernel_arg $ grid_arg $ variant_arg $ emit_arg
      $ outdir_arg $ verify_arg $ evaluate_arg $ report_arg $ trace_arg
-     $ pass_stats_arg $ sim_arg $ jobs_arg))
+     $ pass_stats_arg $ sim_arg $ cycle_engine_arg $ jobs_arg))
 
 let sweep_kernels_arg =
   Arg.(

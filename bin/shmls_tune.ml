@@ -3,8 +3,9 @@
    Enumerates variant x cu x grid points for one kernel, prunes and
    evaluates them through the unified cost-model stack (model-only),
    prints the Pareto frontier of MPt/s against the tightest resource
-   fraction, and validates every frontier point with the batched
-   functional simulator and the cycle simulator:
+   fraction, and validates every feasible point (--validate narrows
+   the scope) with the batched functional simulator and the
+   event-driven cycle simulator:
 
      shmls-tune pw_advection --grids 32x32x16,64x64x32 --budget u280 \
        --out frontier.jsonl
@@ -43,10 +44,15 @@ let load_kernel spec =
            "unknown kernel %S (not a built-in: %s; and no such file)" spec
            (String.concat ", " (List.map fst builtin_kernels)))
 
-let run_tune kernel_spec grids_spec budget_spec max_cu tolerance out resume
-    jobs =
+let run_tune kernel_spec grids_spec budget_spec max_cu tolerance validate_spec
+    out resume jobs =
   try
     let kernel = load_kernel kernel_spec in
+    let validate =
+      match Shmls_tune.Tune.validate_scope_of_string validate_spec with
+      | Ok v -> v
+      | Error m -> failwith m
+    in
     let grids =
       String.split_on_char ',' grids_spec
       |> List.map String.trim
@@ -62,7 +68,7 @@ let run_tune kernel_spec grids_spec budget_spec max_cu tolerance out resume
     let state = if out = "" then None else Some out in
     let r =
       Shmls_tune.Tune.run ~budget ~max_cu ~jobs ?state ~resume
-        ~divergence_tolerance:tolerance kernel ~grids
+        ~divergence_tolerance:tolerance ~validate kernel ~grids
     in
     Format.printf "%a@." Shmls_tune.Tune.pp_report r;
     if out <> "" then Printf.printf "search state: %s\n" out;
@@ -70,26 +76,26 @@ let run_tune kernel_spec grids_spec budget_spec max_cu tolerance out resume
       failwith "tune: the Pareto frontier is empty (no feasible point)";
     let not_bit_exact =
       List.filter
-        (fun (fp : Shmls_tune.Tune.frontier_point) ->
-          fp.Shmls_tune.Tune.fp_validation.Shmls_tune.Tune.va_max_diff > 1e-9)
-        r.Shmls_tune.Tune.r_frontier
+        (fun ((_, v) : Shmls_tune.Tune.eval * Shmls_tune.Tune.validation) ->
+          v.Shmls_tune.Tune.va_max_diff > 1e-9)
+        r.Shmls_tune.Tune.r_validations
     in
     if not_bit_exact <> [] then
       failwith
-        (Printf.sprintf
-           "tune: %d frontier point(s) failed bit-exact validation"
+        (Printf.sprintf "tune: %d validated point(s) failed bit-exact \
+                         validation"
            (List.length not_bit_exact));
     let flagged =
       List.length
         (List.filter
-           (fun (fp : Shmls_tune.Tune.frontier_point) ->
-             fp.Shmls_tune.Tune.fp_validation.Shmls_tune.Tune.va_flagged)
-           r.Shmls_tune.Tune.r_frontier)
+           (fun ((_, v) : Shmls_tune.Tune.eval * Shmls_tune.Tune.validation) ->
+             v.Shmls_tune.Tune.va_flagged)
+           r.Shmls_tune.Tune.r_validations)
     in
     if flagged > 0 then
       Printf.printf
-        "warning: %d frontier point(s) diverge from the model by more than \
-         %g%%\n"
+        "warning: %d validated point(s) diverge from the model by more than \
+         %g%% [DIVERGENT]\n"
         flagged (100.0 *. tolerance);
     `Ok ()
   with
@@ -138,13 +144,23 @@ let tolerance_arg =
           "Model/measured cycle divergence beyond which a frontier point is \
            flagged (default 0.1 = 10%).")
 
+let validate_arg =
+  Arg.(
+    value & opt string "all"
+    & info [ "validate" ] ~docv:"SCOPE"
+        ~doc:
+          "Which evaluated points get the simulators: all feasible points \
+           (the default — the event-driven cycle engine makes this cheap), \
+           frontier (the Pareto frontier only), or a count N (the frontier \
+           plus the N best remaining points).")
+
 let out_arg =
   Arg.(
     value & opt string ""
     & info [ "out" ] ~docv:"FILE"
         ~doc:
           "JSON Lines search state: one content-keyed row per evaluated \
-           point and per validated frontier point.")
+           point and per validated point.")
 
 let resume_arg =
   Arg.(
@@ -174,6 +190,6 @@ let cmd =
     Term.(
       ret
         (const run_tune $ kernel_arg $ grids_arg $ budget_arg $ max_cu_arg
-       $ tolerance_arg $ out_arg $ resume_arg $ jobs_arg))
+       $ tolerance_arg $ validate_arg $ out_arg $ resume_arg $ jobs_arg))
 
 let () = exit (Cmd.eval cmd)

@@ -469,8 +469,8 @@ let emit_circt_text (c : compiled) = Shmls_circt.Circt.emit c.c_design
    functional-simulation section renders uniformly for all three
    engines: the engine name always, plus the plan shape for the
    plan-backed engines. *)
-let report_text ?(sim = Interp) (c : compiled) =
+let report_text ?(sim = Interp) ?cycle_result (c : compiled) =
   Shmls_fpga.Report.render ~sim_engine:(sim_to_string sim)
-    ?sim_plan:(plan_for_sim sim c) c.c_design
+    ?sim_plan:(plan_for_sim sim c) ?cycle_result c.c_design
 let emit_stencil_text (c : compiled) = Printer.to_string c.c_lowered.l_module
 let emit_hls_text (c : compiled) = Printer.to_string c.c_hls_module

@@ -189,8 +189,11 @@ val emit_circt_text : compiled -> string
 
 (** A Vitis-style synthesis report. The functional-simulation section
     renders uniformly for all three engines: the engine name always,
-    plus the plan shape for the plan-backed engines. *)
-val report_text : ?sim:sim -> compiled -> string
+    plus the plan shape for the plan-backed engines.  [cycle_result]
+    appends a cycle-simulation section (cycles simulated vs
+    fast-forwarded, detected steady-state period, fill model check). *)
+val report_text :
+  ?sim:sim -> ?cycle_result:Cycle_sim.result -> compiled -> string
 
 val emit_stencil_text : compiled -> string
 val emit_hls_text : compiled -> string

@@ -106,6 +106,59 @@ let estimate_design ?(cu = -1) (d : Design.t) =
     ~bytes_per_point:(design_bytes_per_point d)
     ~clock_hz:U280.clock_hz ()
 
+(* Cross-check of the model's fill/steady split against the event
+   simulator's detected steady-state period: with w write retirements
+   per p-cycle period and k write stream slots retiring total_padded
+   elements each, the steady phase spans total * k * p / w cycles; the
+   rest of the measured run is fill (plus drain, which the model folds
+   into fill).  The divergence is normalised by the measured total so a
+   few fill cycles of slack on a long run do not read as model error. *)
+
+type fill_steady_check = {
+  fs_model_fill : float;
+  fs_measured_fill : float;
+  fs_measured_steady : float;
+  fs_period : int;
+  fs_writes_per_period : int;
+  fs_divergence : float; (* |model fill - measured fill| / total cycles *)
+}
+
+let check_fill_steady (d : Design.t) (r : Cycle_sim.result) =
+  match r.Cycle_sim.ss_period with
+  | None -> None
+  | Some (_, w) when w <= 0 -> None
+  | Some (p, w) ->
+    if r.Cycle_sim.deadlocked then None
+    else begin
+      let total = Design.total_padded d in
+      let write_slots =
+        List.fold_left
+          (fun acc s ->
+            match s with
+            | Design.Write { in_streams; _ } -> acc + List.length in_streams
+            | _ -> acc)
+          0 d.d_stages
+      in
+      let steady =
+        float_of_int (total * write_slots * p) /. float_of_int w
+      in
+      let cycles = float_of_int r.Cycle_sim.cycles in
+      let measured_fill = Float.max 0.0 (cycles -. steady) in
+      let model_fill = float_of_int (design_fill d) in
+      let divergence =
+        Float.abs (model_fill -. measured_fill) /. Float.max 1.0 cycles
+      in
+      Some
+        {
+          fs_model_fill = model_fill;
+          fs_measured_fill = measured_fill;
+          fs_measured_steady = steady;
+          fs_period = p;
+          fs_writes_per_period = w;
+          fs_divergence = divergence;
+        }
+    end
+
 (* The performance model as a cost model: fills the cycle/throughput
    columns of the unified record.  Stack position: first — later models
    (power) read [cycles] off the accumulated record. *)

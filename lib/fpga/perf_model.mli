@@ -46,6 +46,23 @@ val design_serial : Design.t -> int
     count. *)
 val estimate_design : ?cu:int -> Design.t -> estimate
 
+(** Cross-check of the model's fill/steady split against the event
+    simulator's detected steady-state period. *)
+type fill_steady_check = {
+  fs_model_fill : float;
+  fs_measured_fill : float;  (** measured cycles minus the steady span *)
+  fs_measured_steady : float;  (** total * write slots * period / writes *)
+  fs_period : int;
+  fs_writes_per_period : int;
+  fs_divergence : float;
+      (** |model fill - measured fill| normalised by total measured cycles *)
+}
+
+(** [None] when the run deadlocked or no steady-state period was
+    detected (e.g. under the Tick engine). *)
+val check_fill_steady :
+  Design.t -> Cycle_sim.result -> fill_steady_check option
+
 (** The performance model behind the unified {!Cost.MODEL} interface:
     fills [cycles]/[mpts]. Stack position: first. *)
 module Cost_model : Cost.MODEL

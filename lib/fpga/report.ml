@@ -5,7 +5,7 @@
 
 let pct used total = 100.0 *. float_of_int used /. float_of_int total
 
-let render ?sim_engine ?sim_plan (d : Design.t) =
+let render ?sim_engine ?sim_plan ?cycle_result (d : Design.t) =
   let buf = Buffer.create 2048 in
   let line fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
   let rule () = line "%s" (String.make 72 '-') in
@@ -22,6 +22,32 @@ let render ?sim_engine ?sim_plan (d : Design.t) =
   line "    throughput          : %.2f MPt/s over %d CU(s)%s" est.e_mpts est.e_cu
     (if est.e_bandwidth_bound then "  [bandwidth bound]" else "");
   rule ();
+  (match cycle_result with
+  | None -> ()
+  | Some (r : Cycle_sim.result) ->
+    let pct_of part =
+      if r.Cycle_sim.cycles = 0 then 0.0
+      else 100.0 *. float_of_int part /. float_of_int r.Cycle_sim.cycles
+    in
+    line "* Cycle simulation (%s engine)"
+      (Cycle_sim.engine_to_string r.Cycle_sim.engine);
+    line "    measured cycles     : %d%s" r.Cycle_sim.cycles
+      (if r.Cycle_sim.deadlocked then "  [DEADLOCKED]" else "");
+    line "    cycles simulated    : %d (%.1f%%)" r.Cycle_sim.cycles_simulated
+      (pct_of r.Cycle_sim.cycles_simulated);
+    line "    cycles fast-fwd     : %d (%.1f%%)" r.Cycle_sim.cycles_fast_forwarded
+      (pct_of r.Cycle_sim.cycles_fast_forwarded);
+    (match r.Cycle_sim.ss_period with
+    | None -> line "    steady-state period : not detected"
+    | Some (p, w) ->
+      line "    steady-state period : %d cycle(s), %d write(s)/period" p w);
+    (match Perf_model.check_fill_steady d r with
+    | None -> ()
+    | Some fs ->
+      line "    fill model check    : model %.0f vs measured %.0f cycles (%.1f%% of run)"
+        fs.Perf_model.fs_model_fill fs.Perf_model.fs_measured_fill
+        (100.0 *. fs.Perf_model.fs_divergence));
+    rule ());
   line "* Dataflow stages (%d)" (List.length d.d_stages);
   List.iter
     (fun stage ->

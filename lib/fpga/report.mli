@@ -6,4 +6,9 @@
     renders uniformly for every engine — the interpreter prints
     "plan : none". *)
 
-val render : ?sim_engine:string -> ?sim_plan:Stage_compiler.t -> Design.t -> string
+val render :
+  ?sim_engine:string ->
+  ?sim_plan:Stage_compiler.t ->
+  ?cycle_result:Cycle_sim.result ->
+  Design.t ->
+  string

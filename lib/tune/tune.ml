@@ -10,13 +10,22 @@
    frontier of throughput (MPt/s, up) against the tightest resource
    fraction (down).
 
-   Only the frontier touches the simulators: each frontier point is
-   validated bit-exact by the whole-stream batched functional simulator
-   and cycle-counted by {!Cycle_sim} on the work-stealing pool, and the
-   measured cycles are compared against the model's per-CU prediction
-   (the cycle simulator executes one CU over the whole padded grid, so
-   the comparison point is the stack evaluated at [~cu:1]); points
-   diverging beyond the tolerance are flagged, not hidden.
+   Validation used to be a frontier-only affair, because the tick-level
+   cycle simulator priced each point at a whole per-cycle run.  The
+   event-driven engine's steady-state fast-forward makes a validation
+   cost roughly fill + drain, so the default scope is now [All]: every
+   feasible point is validated bit-exact by the whole-stream batched
+   functional simulator and cycle-counted by {!Cycle_sim} on the
+   work-stealing pool, and the measured cycles are compared against the
+   model's per-CU prediction (the cycle simulator executes one CU over
+   the whole padded grid, so the comparison point is the stack
+   evaluated at [~cu:1]); points diverging beyond the tolerance are
+   flagged, not hidden.  [~validate] narrows the scope back to
+   [Frontier] or the [Top n] points; the frontier is always validated
+   regardless.  Each validation row records which cycle-sim engine
+   measured it, plus the fill/steady cross-check of
+   {!Perf_model.check_fill_steady} when a steady-state period was
+   detected.
 
    Search state is a resumable JSON Lines file: one content-keyed row
    per evaluated point and per validated frontier point, appended in
@@ -49,8 +58,31 @@ type validation = {
   va_model_cycles : float;  (** stack at [~cu:1] *)
   va_measured_cycles : int;  (** {!Cycle_sim} *)
   va_divergence : float;  (** |model - measured| / measured *)
-  va_flagged : bool;  (** divergence beyond tolerance *)
+  va_engine : string;  (** cycle-sim engine that measured the point *)
+  va_fill_divergence : float option;
+      (** {!Perf_model.check_fill_steady}: |model fill - measured fill|
+          over total measured cycles, when a steady period was seen *)
+  va_flagged : bool;  (** cycle or fill divergence beyond tolerance *)
 }
+
+type validate_scope = Frontier | All | Top of int
+
+let validate_scope_to_string = function
+  | Frontier -> "frontier"
+  | All -> "all"
+  | Top n -> string_of_int n
+
+let validate_scope_of_string s =
+  match s with
+  | "frontier" -> Ok Frontier
+  | "all" -> Ok All
+  | _ -> (
+    match int_of_string_opt s with
+    | Some n when n >= 0 -> Ok (Top n)
+    | _ ->
+      Error
+        (Printf.sprintf
+           "bad validation scope %S (expected frontier, all or a count)" s))
 
 type frontier_point = { fp_eval : eval; fp_validation : validation }
 
@@ -65,6 +97,8 @@ type report = {
   r_simulated : int;
   r_validations_resumed : int;
   r_evals : eval list;  (** all evaluated points, enumeration order *)
+  r_validations : (eval * validation) list;
+      (** every validated point (resumed or fresh), validation order *)
   r_frontier : frontier_point list;  (** frac ascending *)
 }
 
@@ -130,18 +164,22 @@ let point_row ~kernel key (e : eval) =
 
 let validation_row ~kernel key (p : point) (v : validation) =
   Jsonl.obj
-    [
-      ("type", Jsonl.Str "validation");
-      ("key", Jsonl.Str key);
-      ("kernel", Jsonl.Str kernel);
-      ("grid", Jsonl.Ints p.pt_grid);
-      ("variant", Jsonl.Str (Variant.to_string p.pt_variant));
-      ("max_diff", Jsonl.Float v.va_max_diff);
-      ("model_cycles", Jsonl.Float v.va_model_cycles);
-      ("measured_cycles", Jsonl.Int v.va_measured_cycles);
-      ("divergence", Jsonl.Float v.va_divergence);
-      ("flagged", Jsonl.Bool v.va_flagged);
-    ]
+    ([
+       ("type", Jsonl.Str "validation");
+       ("key", Jsonl.Str key);
+       ("kernel", Jsonl.Str kernel);
+       ("grid", Jsonl.Ints p.pt_grid);
+       ("variant", Jsonl.Str (Variant.to_string p.pt_variant));
+       ("max_diff", Jsonl.Float v.va_max_diff);
+       ("model_cycles", Jsonl.Float v.va_model_cycles);
+       ("measured_cycles", Jsonl.Int v.va_measured_cycles);
+       ("divergence", Jsonl.Float v.va_divergence);
+       ("engine", Jsonl.Str v.va_engine);
+     ]
+    @ (match v.va_fill_divergence with
+      | None -> []
+      | Some f -> [ ("fill_divergence", Jsonl.Float f) ])
+    @ [ ("flagged", Jsonl.Bool v.va_flagged) ])
 
 let eval_of_row line (p : point) =
   let req name = function
@@ -184,6 +222,10 @@ let validation_of_row line =
     va_model_cycles = f "model_cycles";
     va_measured_cycles = req "measured_cycles" (Jsonl.find_int line "measured_cycles");
     va_divergence = f "divergence";
+    (* rows predating the event engine carry no engine tag; they were
+       measured by the tick loop, then the only engine *)
+    va_engine = Option.value (Jsonl.find_string line "engine") ~default:"tick";
+    va_fill_divergence = Jsonl.find_float line "fill_divergence";
     va_flagged = req "flagged" (Jsonl.find_bool line "flagged");
   }
 
@@ -209,7 +251,7 @@ let default_divergence_tolerance = 0.10
 let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
     ?(max_cu = 8) ?(jobs = 0) ?state ?(resume = false)
     ?(divergence_tolerance = default_divergence_tolerance)
-    (kernel : Ast.kernel) ~grids =
+    ?(validate = All) (kernel : Ast.kernel) ~grids =
   let kname = kernel.Ast.k_name in
   let known_points, known_validations =
     match state with
@@ -302,12 +344,45 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
         (Variant.search_space ~max_cu))
     grids;
   let evals = List.rev !evals in
+  let feasible = List.filter (fun e -> e.ev_feasible) evals in
   (* The frontier, over feasible points only. *)
-  let frontier = pareto (List.filter (fun e -> e.ev_feasible) evals) in
-  (* Validate the frontier: batched functional sim (bit-exactness) plus
-     the cycle simulator, on the pool.  Designs are compiled (or fetched
-     from the eval-phase cache) sequentially first — IR construction
-     wants deterministic ids — so the parallel phase only simulates. *)
+  let frontier = pareto feasible in
+  (* The validation scope.  The frontier is always validated (the
+     report pairs each frontier point with its validation); [All] and
+     [Top n] widen the set — cheap now that the event engine
+     fast-forwards the steady state. *)
+  let to_validate =
+    match validate with
+    | All -> feasible
+    | Frontier -> frontier
+    | Top n ->
+      let seen = Hashtbl.create 16 in
+      let add acc e =
+        let key = point_key ~kernel:kname ~budget e.ev_point in
+        if Hashtbl.mem seen key then acc
+        else begin
+          Hashtbl.add seen key ();
+          e :: acc
+        end
+      in
+      (* the frontier, then the n best remaining points by the
+         frontier's own ordering key *)
+      let best =
+        List.sort (fun a b -> compare (eval_key a) (eval_key b)) feasible
+      in
+      let with_frontier = List.fold_left add [] frontier in
+      let rec take k acc = function
+        | e :: rest when k > 0 ->
+          let acc' = add acc e in
+          take (if acc' == acc then k else k - 1) acc' rest
+        | _ -> acc
+      in
+      List.rev (take n with_frontier best)
+  in
+  (* Validate: batched functional sim (bit-exactness) plus the cycle
+     simulator, on the pool.  Designs are compiled (or fetched from the
+     eval-phase cache) sequentially first — IR construction wants
+     deterministic ids — so the parallel phase only simulates. *)
   let simulated = ref 0 in
   let validations_resumed = ref 0 in
   let todo =
@@ -325,7 +400,7 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
             | None -> compile_point e.ev_point
           in
           Some (key, e, c))
-      frontier
+      to_validate
   in
   let fresh =
     Pool.with_pool ~jobs (fun pool ->
@@ -335,8 +410,7 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
             let cs = Shmls_fpga.Cycle_sim.run c.Shmls.c_design in
             if cs.Shmls_fpga.Cycle_sim.deadlocked then
               Err.raise_error
-                "tune: frontier design %s on %s deadlocked in the cycle \
-                 simulator"
+                "tune: design %s on %s deadlocked in the cycle simulator"
                 (Variant.to_string e.ev_point.pt_variant)
                 (String.concat "x" (List.map string_of_int e.ev_point.pt_grid));
             let measured = cs.Shmls_fpga.Cycle_sim.cycles in
@@ -347,13 +421,28 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
               Float.abs (model_cycles -. float_of_int measured)
               /. float_of_int (max 1 measured)
             in
+            let fill_divergence =
+              Option.map
+                (fun fs -> fs.Shmls_fpga.Perf_model.fs_divergence)
+                (Shmls_fpga.Perf_model.check_fill_steady c.Shmls.c_design cs)
+            in
+            let fill_flagged =
+              match fill_divergence with
+              | Some f -> f > divergence_tolerance
+              | None -> false
+            in
             let v =
               {
                 va_max_diff = verification.Shmls.v_max_diff;
                 va_model_cycles = model_cycles;
                 va_measured_cycles = measured;
                 va_divergence = divergence;
-                va_flagged = divergence > divergence_tolerance;
+                va_engine =
+                  Shmls_fpga.Cycle_sim.engine_to_string
+                    cs.Shmls_fpga.Cycle_sim.engine;
+                va_fill_divergence = fill_divergence;
+                va_flagged =
+                  divergence > divergence_tolerance || fill_flagged;
               }
             in
             (key, e.ev_point, v))
@@ -374,6 +463,13 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
         | None -> assert false)
       frontier
   in
+  let validations =
+    List.filter_map
+      (fun e ->
+        let key = point_key ~kernel:kname ~budget e.ev_point in
+        Option.map (fun v -> (e, v)) (Hashtbl.find_opt known_validations key))
+      to_validate
+  in
   (match out with Some oc -> close_out oc | None -> ());
   {
     r_kernel = kname;
@@ -386,6 +482,7 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
     r_simulated = !simulated;
     r_validations_resumed = !validations_resumed;
     r_evals = evals;
+    r_validations = validations;
     r_frontier = frontier_points;
   }
 
@@ -408,13 +505,19 @@ let pp_frontier_point ppf fp =
     (if v.va_max_diff > 1e-9 then "  [NOT BIT-EXACT]" else "")
 
 let pp_report ppf r =
+  let flagged =
+    List.length (List.filter (fun (_, v) -> v.va_flagged) r.r_validations)
+  in
   Format.fprintf ppf
     "@[<v>tune %s (budget %s): %d points enumerated, %d pruned (ports), %d \
      deduped (cu), %d evaluated, %d resumed@,\
-     frontier: %d point(s), %d simulated, %d validation(s) resumed@,%a@]"
+     validated: %d point(s) (%d flagged), %d simulated, %d validation(s) \
+     resumed@,\
+     frontier: %d point(s)@,%a@]"
     r.r_kernel r.r_budget.U280.bud_name r.r_enumerated r.r_pruned_ports
     r.r_pruned_duplicate r.r_evaluated_new r.r_resumed
+    (List.length r.r_validations)
+    flagged r.r_simulated r.r_validations_resumed
     (List.length r.r_frontier)
-    r.r_simulated r.r_validations_resumed
     (Format.pp_print_list pp_frontier_point)
     r.r_frontier

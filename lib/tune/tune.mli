@@ -2,10 +2,13 @@
     variant x cu x grid points, prunes against the U280 shell's AXI
     port budget, evaluates survivors through the unified cost-model
     stack (model-only — no simulation), keeps the 2-D Pareto frontier
-    of MPt/s against the tightest resource fraction, and validates each
-    frontier point with the batched functional simulator and the cycle
+    of MPt/s against the tightest resource fraction, and validates
+    points with the batched functional simulator and the cycle
     simulator, flagging model/measured divergence beyond the tolerance.
-    Search state is a resumable JSON Lines file. *)
+    With the event-driven cycle engine a validation costs roughly fill
+    + drain, so the default scope validates {e every} feasible point,
+    not just the frontier ({!validate_scope}).  Search state is a
+    resumable JSON Lines file. *)
 
 module Variant = Shmls_transforms.Variant
 module Cost = Shmls_fpga.Cost
@@ -27,8 +30,26 @@ type validation = {
   va_model_cycles : float;  (** cost-model stack evaluated at [~cu:1] *)
   va_measured_cycles : int;  (** {!Shmls_fpga.Cycle_sim} *)
   va_divergence : float;  (** |model - measured| / measured *)
-  va_flagged : bool;  (** divergence beyond the tolerance *)
+  va_engine : string;
+      (** cycle-sim engine that measured the point ("tick" | "event";
+          resumed rows predating the tag read back as "tick") *)
+  va_fill_divergence : float option;
+      (** {!Shmls_fpga.Perf_model.check_fill_steady}: the model's fill
+          estimate vs the fill implied by the detected steady-state
+          period, normalised by total measured cycles; [None] when no
+          period was detected *)
+  va_flagged : bool;  (** cycle or fill divergence beyond the tolerance *)
 }
+
+(** Which evaluated points get the simulator treatment: the Pareto
+    frontier only, every feasible point (the default), or the frontier
+    plus the [n] best feasible points by the frontier ordering. *)
+type validate_scope = Frontier | All | Top of int
+
+val validate_scope_to_string : validate_scope -> string
+
+(** Parse a [--validate] CLI argument ("frontier" | "all" | a count). *)
+val validate_scope_of_string : string -> (validate_scope, string) result
 
 type frontier_point = { fp_eval : eval; fp_validation : validation }
 
@@ -40,9 +61,11 @@ type report = {
   r_pruned_duplicate : int;  (** explicit cu equal to the derived one *)
   r_evaluated_new : int;  (** points evaluated this run *)
   r_resumed : int;  (** points reloaded from the resume state *)
-  r_simulated : int;  (** frontier validations run this run *)
+  r_simulated : int;  (** validations run this run *)
   r_validations_resumed : int;
   r_evals : eval list;  (** all evaluated points, enumeration order *)
+  r_validations : (eval * validation) list;
+      (** every validated point (resumed or fresh), validation order *)
   r_frontier : frontier_point list;  (** frac ascending *)
 }
 
@@ -65,7 +88,9 @@ val default_divergence_tolerance : float
     re-evaluated (a finished search re-runs with zero recompiles and
     zero re-simulations and leaves the file byte-identical). [models]
     overrides the cost-model stack (for differential tests); [jobs]
-    sizes the validation pool ([0] adaptive, [1] sequential). *)
+    sizes the validation pool ([0] adaptive, [1] sequential);
+    [validate] narrows the validation scope (default [All] — the
+    frontier is validated in every scope). *)
 val run :
   ?models:Cost.model list ->
   ?budget:U280.budget ->
@@ -74,6 +99,7 @@ val run :
   ?state:string ->
   ?resume:bool ->
   ?divergence_tolerance:float ->
+  ?validate:validate_scope ->
   Shmls_frontend.Ast.kernel ->
   grids:int list list ->
   report

@@ -171,6 +171,36 @@ else
   echo "tune-throughput gate: row untracked in $BASELINE, skipped" >&2
 fi
 
+# ------------------------------------------------------------------
+# Cycle-sim engine gate: the event-driven engine with steady-state
+# fast-forward must stay at least CYCLE_MIN_SPEEDUP times faster than
+# the per-cycle tick oracle on the same design (PW 24x16x8).  Checked
+# within the NEW run (same machine) and on the committed baseline.
+CYCLE_MIN_SPEEDUP=${CYCLE_MIN_SPEEDUP:-5}
+
+check_cycle_speedup () { # <file> <label>
+  local tick event ratio
+  tick=$(val "$1" "shmls/pipeline_cycle_sim")
+  event=$(val "$1" "shmls/pipeline_cycle_sim_event")
+  if [[ -n $tick && -n $event ]]; then
+    ratio=$(awk -v t="$tick" -v e="$event" 'BEGIN { printf "%.2f", t / e }')
+    if awk -v t="$tick" -v e="$event" -v m="$CYCLE_MIN_SPEEDUP" \
+        'BEGIN { exit !(t < e * m) }'; then
+      echo "CYCLE-SIM SPEEDUP SHORTFALL: $2 tick/event = ${ratio}x" \
+        "< ${CYCLE_MIN_SPEEDUP}x on pipeline_cycle_sim" >&2
+      status=1
+    else
+      echo "cycle-sim gate: $2 tick/event = ${ratio}x" \
+        "(>= ${CYCLE_MIN_SPEEDUP}x)"
+    fi
+  else
+    echo "cycle-sim gate: rows missing from $1, skipped" >&2
+  fi
+}
+
+check_cycle_speedup "$NEW" "new run"
+check_cycle_speedup "$BASELINE" "baseline"
+
 # Acceptance ratio on the committed full-suite baseline: the batched
 # engine's headline speedup over the compiled engine on the PW
 # pipeline rows must hold at BATCHED_MIN_SPEEDUP.

@@ -1,0 +1,196 @@
+(* Differential suite: the event-driven cycle simulator must be
+   bit-exact against the legacy tick oracle — total cycles, deadlock
+   verdicts, per-stage progress, final FIFO occupancy, and the full
+   tracer-visible occupancy sequence (fast-forwarded cycles synthesise
+   their per-cycle records) — across both paper kernels, every ablation
+   variant, and random grids. *)
+
+let () = Shmls_dialects.Register.all ()
+
+module H = Test_common.Helpers
+module F = Shmls_fpga
+module Cs = F.Cycle_sim
+
+let run_both ?(trace = false) (d : F.Design.t) =
+  let capture engine =
+    if trace then begin
+      let log = ref [] in
+      let r = Cs.run ~engine ~on_cycle:(fun c occs -> log := (c, occs) :: !log) d in
+      (r, List.rev !log)
+    end
+    else (Cs.run ~engine d, [])
+  in
+  (capture Cs.Tick, capture Cs.Event)
+
+let check_same ?(trace = false) name (d : F.Design.t) =
+  let (t, tlog), (e, elog) = run_both ~trace d in
+  Alcotest.(check int) (name ^ ": cycles") t.cycles e.cycles;
+  Alcotest.(check bool) (name ^ ": deadlocked") t.deadlocked e.deadlocked;
+  Alcotest.(check (option string))
+    (name ^ ": stalled stage") t.stalled_stage e.stalled_stage;
+  Alcotest.(check (list (triple string int int)))
+    (name ^ ": progress") t.progress e.progress;
+  Alcotest.(check (list (triple int int int)))
+    (name ^ ": fifo occupancy") t.fifo_occupancy e.fifo_occupancy;
+  (* fast-forward accounting must cover exactly the simulated total *)
+  Alcotest.(check int)
+    (name ^ ": event cycle accounting") e.cycles
+    (e.cycles_simulated + e.cycles_fast_forwarded);
+  Alcotest.(check int)
+    (name ^ ": tick never fast-forwards") t.cycles t.cycles_simulated;
+  if trace then begin
+    Alcotest.(check int)
+      (name ^ ": trace length") (List.length tlog) (List.length elog);
+    List.iter2
+      (fun (tc, toccs) (ec, eoccs) ->
+        Alcotest.(check int) (name ^ ": trace cycle") tc ec;
+        Alcotest.(check (list (pair int int)))
+          (Printf.sprintf "%s: occupancies @%d" name tc)
+          toccs eoccs)
+      tlog elog
+  end
+
+let variant_kernels =
+  [
+    (Shmls_kernels.Pw_advection.kernel, [ 12; 8; 6 ]);
+    (Shmls_kernels.Tracer_advection.kernel, [ 10; 8; 8 ]);
+  ]
+
+(* both paper kernels x every ablation variant: cycles + final state *)
+let test_variants_bit_exact () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun (k, grid) ->
+          let c = Shmls.compile_cached ~variant k ~grid in
+          let name =
+            Printf.sprintf "%s{%s}" k.Shmls.Ast.k_name
+              (Shmls.Variant.to_string variant)
+          in
+          check_same name c.c_design)
+        variant_kernels)
+    Shmls.Variant.ablation_set
+
+(* the full per-cycle tracer sequence, including serial-retirement
+   ordering through the fused no-split stages and cu-phased retirement *)
+let test_variants_trace_exact () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun (k, grid) ->
+          let c = Shmls.compile_cached ~variant k ~grid in
+          let name =
+            Printf.sprintf "%s{%s} trace" k.Shmls.Ast.k_name
+              (Shmls.Variant.to_string variant)
+          in
+          check_same ~trace:true name c.c_design)
+        [
+          (Shmls_kernels.Pw_advection.kernel, [ 8; 6; 6 ]);
+          (Shmls_kernels.Tracer_advection.kernel, [ 8; 6; 6 ]);
+        ])
+    Shmls.Variant.ablation_set
+
+(* a converging chain with unbalanced FIFO depths throttles or wedges;
+   both engines must agree on the verdict and the blamed stage *)
+let test_unbalanced_chain_bit_exact () =
+  let l = Shmls_frontend.Lower.lower H.chain_3d ~grid:[ 10; 8; 8 ] in
+  Shmls_transforms.Shape_inference.run_on_module l.l_module;
+  let m_hls, _ = Shmls_transforms.Stencil_to_hls.run l.l_module in
+  let d = List.hd (F.Extract.extract_module m_hls) in
+  check_same "unbalanced chain" d;
+  check_same "balanced chain" (F.Depth_balance.balance_and_reextract d)
+
+(* the steady-state detector must actually engage on the paper kernels:
+   nearly everything outside fill/drain is fast-forwarded *)
+let test_steady_state_detected () =
+  List.iter
+    (fun (k, grid) ->
+      let c = Shmls.compile_cached k ~grid in
+      let r = Cs.run ~engine:Cs.Event c.c_design in
+      Alcotest.(check bool) (k.Shmls.Ast.k_name ^ ": not deadlocked") false
+        r.deadlocked;
+      (match r.ss_period with
+      | None -> Alcotest.failf "%s: no steady-state period detected" k.Shmls.Ast.k_name
+      | Some (p, w) ->
+        Alcotest.(check bool) (k.Shmls.Ast.k_name ^ ": period sane") true
+          (p >= 1 && p <= 8);
+        Alcotest.(check bool)
+          (k.Shmls.Ast.k_name ^ ": writes per period positive") true (w >= 1));
+      let ff_share =
+        float_of_int r.cycles_fast_forwarded /. float_of_int r.cycles
+      in
+      if ff_share < 0.5 then
+        Alcotest.failf "%s: only %.0f%% of cycles fast-forwarded"
+          k.Shmls.Ast.k_name (100.0 *. ff_share))
+    [
+      (Shmls_kernels.Pw_advection.kernel, [ 16; 12; 10 ]);
+      (Shmls_kernels.Tracer_advection.kernel, [ 12; 10; 8 ]);
+    ]
+
+(* the perf model's fill/steady split, cross-checked against the event
+   engine's detected period on both paper kernels: the model's fill
+   estimate must stay within the tuner's default tolerance of the fill
+   the measured run implies (measured cycles minus the steady span) *)
+let test_fill_steady_check () =
+  List.iter
+    (fun (k, grid) ->
+      let c = Shmls.compile_cached k ~grid in
+      let r = Cs.run ~engine:Cs.Event c.c_design in
+      match F.Perf_model.check_fill_steady c.c_design r with
+      | None ->
+        Alcotest.failf "%s: no fill/steady cross-check (period undetected)"
+          k.Shmls.Ast.k_name
+      | Some fs ->
+        Alcotest.(check bool)
+          (k.Shmls.Ast.k_name ^ ": steady span within the run") true
+          (fs.F.Perf_model.fs_measured_steady > 0.0
+          && fs.F.Perf_model.fs_measured_steady
+             <= float_of_int r.cycles);
+        if fs.F.Perf_model.fs_divergence > 0.10 then
+          Alcotest.failf
+            "%s: fill model diverges %.1f%% of the run (model %.0f vs \
+             measured %.0f)"
+            k.Shmls.Ast.k_name
+            (100.0 *. fs.F.Perf_model.fs_divergence)
+            fs.F.Perf_model.fs_model_fill fs.F.Perf_model.fs_measured_fill)
+    [
+      (Shmls_kernels.Pw_advection.kernel, [ 16; 12; 10 ]);
+      (Shmls_kernels.Tracer_advection.kernel, [ 12; 10; 8 ]);
+    ]
+
+(* random grids: totals and final state agree everywhere *)
+let qcheck_random_grids =
+  let gen =
+    QCheck2.Gen.(
+      triple (int_range 4 14) (int_range 4 12) (int_range 4 10))
+  in
+  H.qtest ~count:20 "event = tick on random grids" gen (fun (x, y, z) ->
+      List.iter
+        (fun k ->
+          let c = Shmls.compile_cached k ~grid:[ x; y; z ] in
+          check_same
+            (Printf.sprintf "%s %dx%dx%d" k.Shmls.Ast.k_name x y z)
+            c.c_design)
+        [ Shmls_kernels.Pw_advection.kernel; Shmls_kernels.Tracer_advection.kernel ];
+      true)
+
+let () =
+  Alcotest.run "cycle_engines"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "variants bit-exact" `Quick test_variants_bit_exact;
+          Alcotest.test_case "variant traces bit-exact" `Quick
+            test_variants_trace_exact;
+          Alcotest.test_case "unbalanced chain bit-exact" `Quick
+            test_unbalanced_chain_bit_exact;
+          qcheck_random_grids;
+        ] );
+      ( "steady state",
+        [
+          Alcotest.test_case "detected on paper kernels" `Quick
+            test_steady_state_detected;
+          Alcotest.test_case "fill model vs measured fill" `Quick
+            test_fill_steady_check;
+        ] );
+    ]

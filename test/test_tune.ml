@@ -93,6 +93,58 @@ let test_paper_kernels_frontier () =
         (List.sort compare fracs = fracs))
     paper_kernels
 
+(* The default validation scope covers every feasible point (not just
+   the frontier), and each validation records the cycle-sim engine that
+   measured it — the event engine, since [Cycle_sim.run] defaults to
+   it. *)
+let test_validate_scope () =
+  let kernel = Shmls_kernels.Didactic.laplace_2d in
+  let grids = [ [ 12; 12 ] ] in
+  let all = T.run ~max_cu:2 ~jobs:1 kernel ~grids in
+  let feasible = List.filter (fun e -> e.T.ev_feasible) all.T.r_evals in
+  Alcotest.(check int)
+    "default scope validates every feasible point" (List.length feasible)
+    (List.length all.T.r_validations);
+  List.iter
+    (fun ((_ : T.eval), (v : T.validation)) ->
+      Alcotest.(check string) "event engine recorded" "event" v.T.va_engine)
+    all.T.r_validations;
+  let frontier_only =
+    T.run ~max_cu:2 ~jobs:1 ~validate:T.Frontier kernel ~grids
+  in
+  Alcotest.(check int)
+    "frontier scope validates the frontier only"
+    (List.length frontier_only.T.r_frontier)
+    (List.length frontier_only.T.r_validations);
+  Alcotest.(check bool)
+    "narrowing the scope keeps the frontier" true
+    (frontier_only.T.r_frontier = all.T.r_frontier);
+  let top = T.run ~max_cu:2 ~jobs:1 ~validate:(T.Top 1) kernel ~grids in
+  Alcotest.(check bool)
+    "top-1 still validates the whole frontier" true
+    (List.length top.T.r_validations >= List.length top.T.r_frontier);
+  Alcotest.(check bool)
+    "top-1 adds at most one extra point" true
+    (List.length top.T.r_validations
+    <= List.length top.T.r_frontier + 1)
+
+let test_validate_scope_parse () =
+  Alcotest.(check bool)
+    "frontier parses" true
+    (T.validate_scope_of_string "frontier" = Ok T.Frontier);
+  Alcotest.(check bool)
+    "all parses" true
+    (T.validate_scope_of_string "all" = Ok T.All);
+  Alcotest.(check bool)
+    "counts parse" true
+    (T.validate_scope_of_string "3" = Ok (T.Top 3));
+  Alcotest.(check bool)
+    "garbage rejected" true
+    (Result.is_error (T.validate_scope_of_string "some"));
+  Alcotest.(check string)
+    "round-trip" "frontier"
+    (T.validate_scope_to_string T.Frontier)
+
 let test_jobs_invariance () =
   let kernel = Shmls_kernels.Didactic.laplace_2d in
   let r1 = T.run ~max_cu:3 ~jobs:1 kernel ~grids:[ [ 12; 12 ] ] in
@@ -196,6 +248,10 @@ let () =
         [
           Alcotest.test_case "paper kernels: validated frontier" `Quick
             test_paper_kernels_frontier;
+          Alcotest.test_case "validation scopes (all/frontier/top-n)" `Quick
+            test_validate_scope;
+          Alcotest.test_case "validate-scope CLI parsing" `Quick
+            test_validate_scope_parse;
           Alcotest.test_case "jobs-invariant results" `Quick
             test_jobs_invariance;
           Alcotest.test_case "infeasible budget empties the frontier" `Quick
