@@ -656,7 +656,24 @@ let micro_tests () =
   let cycle_design =
     (Shmls.compile_cached PW.kernel ~grid:[ 24; 16; 8 ]).c_design
   in
+  (* multi-device scaling: ensemble cycle estimate of the same heat_3d
+     grid decomposed over 1/2/4 slabs (plans prebuilt, compile cache
+     hot) — the CI bench gate checks these rows stay present *)
+  let md_plan devices =
+    Shmls_host.Multi_device.plan ~sweeps:2 Shmls_kernels.Didactic.heat_3d
+      ~grid:[ 96; 8; 6 ] ~devices
+  in
+  let md1 = md_plan 1 and md2 = md_plan 2 and md4 = md_plan 4 in
   [
+    Test.make ~name:"multi_device_scaling_1slab"
+      (Staged.stage (fun () ->
+           ignore (Shmls_host.Multi_device.estimate md1)));
+    Test.make ~name:"multi_device_scaling_2slab"
+      (Staged.stage (fun () ->
+           ignore (Shmls_host.Multi_device.estimate md2)));
+    Test.make ~name:"multi_device_scaling_4slab"
+      (Staged.stage (fun () ->
+           ignore (Shmls_host.Multi_device.estimate md4)));
     Test.make ~name:"pipeline_cycle_sim"
       (Staged.stage (fun () ->
            ignore (Shmls.Cycle_sim.run ~engine:Shmls.Cycle_sim.Tick cycle_design)));
@@ -833,6 +850,21 @@ let emit_json ~path rows =
     | Some j1, Some jn when jn > 0.0 -> Some (j1 /. jn)
     | _ -> None
   in
+  (* modelled multi-device throughput scaling (deterministic, not a
+     timing): aggregate MPt/s of heat_3d 96x8x6 over 4 slabs vs 1 —
+     super-unity means the link charge does not swallow the split *)
+  let md_scaling =
+    let mpts devices =
+      let p =
+        Shmls_host.Multi_device.plan ~sweeps:2 Shmls_kernels.Didactic.heat_3d
+          ~grid:[ 96; 8; 6 ] ~devices
+      in
+      Shmls_host.Multi_device.aggregate_mpts p
+        (Shmls_host.Multi_device.estimate p)
+    in
+    let one = mpts 1 in
+    if one > 0.0 then Some (mpts 4 /. one) else None
+  in
   (* tick oracle vs event-driven engine on the same design (PW 24x16x8) *)
   let cycle_speedup =
     match
@@ -883,6 +915,11 @@ let emit_json ~path rows =
   | Some s ->
     Buffer.add_string buf
       (Printf.sprintf "    \"cycle_sim_speedup\": %.1f,\n" s)
+  | None -> ());
+  (match md_scaling with
+  | Some s ->
+    Buffer.add_string buf
+      (Printf.sprintf "    \"multi_device_mpts_scaling_4slab\": %.2f,\n" s)
   | None -> ());
   (match full_compiled with
   | Some c when c > 0.0 ->

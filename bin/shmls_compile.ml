@@ -50,8 +50,26 @@ let write_file dir name contents =
   close_out oc;
   Printf.printf "wrote %s\n" path
 
+(* Deterministic text dump of the reassembled interior of every written
+   field: byte-identical across device counts iff the results are
+   bit-exact (the CI multi-device determinism gate compares these). *)
+let dump_interiors path grid (outputs : (string * Shmls_interp.Grid.t) list) =
+  let oc = open_out path in
+  let interior =
+    Shmls.Ty.make_bounds ~lb:(List.map (fun _ -> 0) grid) ~ub:grid
+  in
+  List.iter
+    (fun (name, g) ->
+      Printf.fprintf oc "field %s\n" name;
+      Shmls_interp.Grid.iter_bounds interior (fun idx ->
+          Printf.fprintf oc "%.17g\n" (Shmls_interp.Grid.get g idx)))
+    outputs;
+  close_out oc;
+  Printf.printf "wrote %s\n" path
+
 let run_tool kernel_spec grid_spec variant_spec emit outdir verify evaluate
-    report trace pass_stats sim cycle_engine jobs =
+    report trace pass_stats sim cycle_engine jobs devices link_spec sweeps
+    dump_grids =
   try
     let kernel = load_kernel kernel_spec in
     let grid = parse_grid grid_spec in
@@ -68,6 +86,13 @@ let run_tool kernel_spec grid_spec variant_spec emit outdir verify evaluate
       | Ok v -> v
       | Error m -> failwith m
     in
+    if devices < 1 then failwith "bad --devices (want >= 1)";
+    if sweeps < 1 then failwith "bad --sweeps (want >= 1)";
+    let link =
+      match Shmls.Link.of_string link_spec with
+      | Ok l -> l
+      | Error m -> failwith m
+    in
     let c = Shmls.compile ~variant kernel ~grid in
     Printf.printf
       "kernel %s on %s (variant %s): %d CU(s) x %d AXI ports, %d dataflow \
@@ -77,6 +102,27 @@ let run_tool kernel_spec grid_spec variant_spec emit outdir verify evaluate
       c.c_cu c.c_ports_per_cu
       (List.length c.c_design.d_stages)
       (List.length c.c_design.d_streams);
+    (* The multi-device path also serves --dump-grids at one device, so
+       device counts produce comparable (byte-identical iff bit-exact)
+       interior dumps. *)
+    let plan =
+      if devices > 1 || sweeps > 1 || dump_grids <> "" then
+        Some
+          (Shmls_host.Multi_device.plan ~variant ~sweeps ~link kernel ~grid
+             ~devices)
+      else None
+    in
+    (match plan with
+    | Some p ->
+      print_string (Shmls_host.Multi_device.summarise p);
+      let mr = Shmls_host.Multi_device.estimate ~engine p in
+      Printf.printf
+        "ensemble: %.0f cycles makespan (exchange: %.0f charged, %.0f \
+         hidden), %.2f MPt/s aggregate\n"
+        mr.Shmls.Cycle_sim.mr_cycles mr.Shmls.Cycle_sim.mr_exchange_charged
+        mr.Shmls.Cycle_sim.mr_exchange_hidden
+        (Shmls_host.Multi_device.aggregate_mpts p mr)
+    | None -> ());
     if pass_stats then begin
       print_endline "HLS lowering pass statistics:";
       List.iter
@@ -117,13 +163,30 @@ let run_tool kernel_spec grid_spec variant_spec emit outdir verify evaluate
       print_string (Shmls.Trace.to_ascii t c.c_design)
     end;
     if verify then begin
-      let v = Shmls.verify ~sim c in
+      let v =
+        match plan with
+        | Some p -> Shmls_host.Multi_device.verify_vs_reference ~sim p
+        | None -> Shmls.verify ~sim c
+      in
       List.iter
         (fun (f, d) -> Printf.printf "verify %-12s max |diff| = %g\n" f d)
         v.v_fields;
       if v.v_max_diff > 1e-9 then failwith "verification FAILED"
-      else print_endline "verification OK (simulated design matches the reference interpreter)"
+      else
+        print_endline
+          (match plan with
+          | Some _ ->
+            "verification OK (reassembled multi-device result matches the \
+             reference interpreter)"
+          | None ->
+            "verification OK (simulated design matches the reference \
+             interpreter)")
     end;
+    (match (dump_grids, plan) with
+    | "", _ | _, None -> ()
+    | path, Some p ->
+      let r = Shmls_host.Multi_device.run ~sim p in
+      dump_interiors path grid r.Shmls_host.Multi_device.rr_outputs);
     if evaluate then begin
       Printf.printf "\nevaluation on %s (all flows):\n" grid_spec;
       List.iter
@@ -232,8 +295,9 @@ let config_key ~variant (k : Shmls.Ast.kernel) grid =
   ^ Shmls.Variant.to_string variant
 
 let run_sweep kernel_specs grids_spec variant_spec sim verify seed jobs chunk
-    out resume =
+    out resume devices =
   try
+    if devices < 1 then failwith "bad --devices (want >= 1)";
     let kernels = List.map load_kernel kernel_specs in
     let grids =
       String.split_on_char ',' grids_spec
@@ -283,8 +347,27 @@ let run_sweep kernel_specs grids_spec variant_spec sim verify seed jobs chunk
     if skipped > 0 then
       Printf.printf "resuming %s: %d configuration(s) already swept\n%!" out
         skipped;
+    let multi_bad = ref false in
     let emit idx row =
       let name, grid = names_grids.(idx) in
+      (* multi-device sweeps verify the reassembled slab ensemble instead
+         of the single design; model and measured cycles stay those of
+         the single-chip design, so a bit-exact multi-device sweep's
+         JSONL is byte-identical to the single-device one *)
+      let row =
+        match row with
+        | outcomes, None when verify && devices > 1 ->
+          let p =
+            Shmls_host.Multi_device.plan ~variant kernels_arr.(idx) ~grid
+              ~devices
+          in
+          let v =
+            Shmls_host.Multi_device.verify_vs_reference ~seed ~sim p
+          in
+          if v.Shmls.v_max_diff > 1e-9 then multi_bad := true;
+          (outcomes, Some v)
+        | _ -> row
+      in
       (* verified rows also get measured cycles: the compile is a cache
          hit (the sweep compiled every configuration up front) and the
          event-driven engine fast-forwards the steady state, so this
@@ -321,7 +404,8 @@ let run_sweep kernel_specs grids_spec variant_spec sim verify seed jobs chunk
     Fun.protect ~finally (fun () ->
         let chunk = if chunk > 0 then Some chunk else None in
         let results =
-          Shmls.sweep ~jobs ?chunk ~on_result:emit ~sim ~verify_designs:verify
+          Shmls.sweep ~jobs ?chunk ~on_result:emit ~sim
+            ~verify_designs:(verify && devices = 1)
             ~seed ~variant configs
         in
         let failures =
@@ -345,7 +429,8 @@ let run_sweep kernel_specs grids_spec variant_spec sim verify seed jobs chunk
         Printf.printf "swept %d configuration(s): %d flow failure(s)\n"
           (List.length results) (List.length failures);
         if out <> "" then Printf.printf "wrote %s\n" out;
-        if bad_verify then failwith "verification FAILED for some configuration");
+        if bad_verify || !multi_bad then
+          failwith "verification FAILED for some configuration");
     `Ok ()
   with
   | Shmls_support.Err.Error e -> `Error (false, Shmls_support.Err.to_string e)
@@ -454,12 +539,51 @@ let jobs_arg =
            one-core machine. 1 forces sequential execution; results are \
            byte-identical either way.")
 
+let devices_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "devices" ] ~docv:"N"
+        ~doc:
+          "Decompose the grid into N contiguous slabs along the first \
+           dimension, compile one design per slab, and exchange halo planes \
+           between neighbours over the modelled inter-device link. With \
+           --verify, the reassembled result is checked bit-exact against \
+           the single-grid reference.")
+
+let link_arg =
+  Arg.(
+    value & opt string (Shmls.Link.to_string Shmls.Link.default)
+    & info [ "link" ] ~docv:"GBPS[@LATENCY]"
+        ~doc:
+          "Inter-device link model: payload bandwidth in Gbit/s, optionally \
+           @ a fixed per-exchange latency in device cycles (default \
+           100@250). Only multi-device runs are charged.")
+
+let sweeps_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "sweeps" ] ~docv:"N"
+        ~doc:
+          "Host-level time steps: after each sweep, output fields feed back \
+           into their input fields and (multi-device) halos are \
+           re-exchanged before the next sweep.")
+
+let dump_grids_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "dump-grids" ] ~docv:"FILE"
+        ~doc:
+          "Write the reassembled interior of every written field as \
+           deterministic text: byte-identical across --devices counts iff \
+           the results are bit-exact.")
+
 let compile_term =
   Term.(
     ret
       (const run_tool $ kernel_arg $ grid_arg $ variant_arg $ emit_arg
      $ outdir_arg $ verify_arg $ evaluate_arg $ report_arg $ trace_arg
-     $ pass_stats_arg $ sim_arg $ cycle_engine_arg $ jobs_arg))
+     $ pass_stats_arg $ sim_arg $ cycle_engine_arg $ jobs_arg $ devices_arg
+     $ link_arg $ sweeps_arg $ dump_grids_arg))
 
 let sweep_kernels_arg =
   Arg.(
@@ -506,6 +630,16 @@ let resume_arg =
            interrupted sweep picks up where it left off, and re-running a \
            finished one writes nothing.")
 
+let sweep_devices_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "devices" ] ~docv:"N"
+        ~doc:
+          "With --verify, verify each configuration's reassembled N-slab \
+           multi-device run instead of the single design. Model and \
+           measured cycles stay those of the single-chip design, so a \
+           bit-exact multi-device sweep writes byte-identical JSONL.")
+
 let sweep_cmd =
   let doc =
     "evaluate the cross product of kernels and grids on the work-stealing \
@@ -517,7 +651,7 @@ let sweep_cmd =
       ret
         (const run_sweep $ sweep_kernels_arg $ grids_arg $ variant_arg
        $ sim_arg $ verify_arg $ seed_arg $ jobs_arg $ chunk_arg $ out_arg
-       $ resume_arg))
+       $ resume_arg $ sweep_devices_arg))
 
 let cmd =
   let doc = "compile stencil kernels through the Stencil-HMLS pipeline" in

@@ -45,9 +45,24 @@ let load_kernel spec =
            (String.concat ", " (List.map fst builtin_kernels)))
 
 let run_tune kernel_spec grids_spec budget_spec max_cu tolerance validate_spec
-    out resume jobs =
+    out resume jobs devices_spec link_spec =
   try
     let kernel = load_kernel kernel_spec in
+    let devices =
+      String.split_on_char ',' devices_spec
+      |> List.map String.trim
+      |> List.filter (fun s -> s <> "")
+      |> List.map (fun s ->
+             match int_of_string_opt s with
+             | Some n when n >= 1 -> n
+             | _ -> failwith ("bad --devices count: " ^ s))
+    in
+    if devices = [] then failwith "empty --devices";
+    let link =
+      match Shmls.Link.of_string link_spec with
+      | Ok l -> l
+      | Error m -> failwith m
+    in
     let validate =
       match Shmls_tune.Tune.validate_scope_of_string validate_spec with
       | Ok v -> v
@@ -68,7 +83,7 @@ let run_tune kernel_spec grids_spec budget_spec max_cu tolerance validate_spec
     let state = if out = "" then None else Some out in
     let r =
       Shmls_tune.Tune.run ~budget ~max_cu ~jobs ?state ~resume
-        ~divergence_tolerance:tolerance ~validate kernel ~grids
+        ~divergence_tolerance:tolerance ~validate ~devices ~link kernel ~grids
     in
     Format.printf "%a@." Shmls_tune.Tune.pp_report r;
     if out <> "" then Printf.printf "search state: %s\n" out;
@@ -180,16 +195,38 @@ let jobs_arg =
            default) is adaptive; 1 forces sequential. Results are \
            byte-identical either way.")
 
+let devices_arg =
+  Arg.(
+    value & opt string "1"
+    & info [ "devices" ] ~docv:"LIST"
+        ~doc:
+          "Comma-separated slab counts to explore, e.g. 1,2,4: each count \
+           prices the kernel decomposed over that many devices (the largest \
+           slab's design plus the inter-device link charge) and validates \
+           multi-device points by the reassembled slab run against the \
+           global reference. Counts exceeding a grid's first dimension are \
+           pruned.")
+
+let link_arg =
+  Arg.(
+    value & opt string (Shmls.Link.to_string Shmls.Link.default)
+    & info [ "link" ] ~docv:"GBPS[@LATENCY]"
+        ~doc:
+          "Inter-device link model for multi-device points: payload \
+           bandwidth in Gbit/s, optionally @ a fixed per-exchange latency \
+           in device cycles (default 100@250).")
+
 let cmd =
   let doc =
-    "search the variant x cu x grid design space and report the validated \
-     Pareto frontier"
+    "search the variant x cu x grid x devices design space and report the \
+     validated Pareto frontier"
   in
   Cmd.v
     (Cmd.info "shmls-tune" ~doc)
     Term.(
       ret
         (const run_tune $ kernel_arg $ grids_arg $ budget_arg $ max_cu_arg
-       $ tolerance_arg $ validate_arg $ out_arg $ resume_arg $ jobs_arg))
+       $ tolerance_arg $ validate_arg $ out_arg $ resume_arg $ jobs_arg
+       $ devices_arg $ link_arg))
 
 let () = exit (Cmd.eval cmd)

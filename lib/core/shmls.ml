@@ -35,6 +35,7 @@ module Perf_model = Shmls_fpga.Perf_model
 module Resources = Shmls_fpga.Resources
 module Power = Shmls_fpga.Power
 module U280 = Shmls_fpga.U280
+module Link = Shmls_fpga.Link
 module Report = Shmls_fpga.Report
 module Trace = Shmls_fpga.Trace
 module Flow = Shmls_baselines.Flow
@@ -61,6 +62,49 @@ module Cost_model = struct
     ]
 
   let evaluate_design ?cu d = evaluate ?cu stack d
+
+  (* Distinct declared fields the kernel reads — the planes a slab
+     device must receive from its neighbours before each run.  Derived
+     from the kernel, not the design: every pipeline variant of the
+     same kernel consumes the same field data, whether through a
+     load_data stage (split designs) or external reads from a fused
+     compute (no-split). *)
+  let loaded_fields (k : Ast.kernel) =
+    let read =
+      List.concat_map
+        (fun (s : Ast.stencil_def) -> List.map fst (Ast.field_refs s.sd_expr))
+        k.Ast.k_stencils
+    in
+    List.length
+      (List.filter
+         (fun (fd : Ast.field_decl) -> List.mem fd.Ast.fd_name read)
+         k.Ast.k_fields)
+
+  (* Insert the inter-device link model into a stack, directly after
+     the head (performance) model, so the later models (power) read
+     the exchange-adjusted cycle count.  Identity for one device: a
+     single chip exchanges nothing and its interior is the global
+     interior, so the stack's own throughput stands. *)
+  let with_link_model ~devices ~link ~global_grid ~fields
+      (d : Shmls_fpga.Design.t) models =
+    if devices <= 1 then models
+    else begin
+      let exchange_bytes =
+        Shmls_fpga.Link.exchange_bytes ~grid:d.Shmls_fpga.Design.d_grid
+          ~halo:d.Shmls_fpga.Design.d_halo ~fields
+          ~neighbours:(min (devices - 1) 2)
+      in
+      let lm =
+        Shmls_fpga.Link.cost_model ~link ~exchange_bytes
+          ~global_interior:(List.fold_left ( * ) 1 global_grid)
+          ~fill:(Shmls_fpga.Perf_model.design_fill d)
+      in
+      match models with [] -> [ lm ] | perf :: rest -> perf :: lm :: rest
+    end
+
+  let evaluate_multi_device ?cu ?(link = Shmls_fpga.Link.default) ~devices
+      ~global_grid ~fields d =
+    evaluate ?cu (with_link_model ~devices ~link ~global_grid ~fields d stack) d
 end
 
 let () = Shmls_transforms.Register.all ()
@@ -316,6 +360,9 @@ let runner_of_sim sim (c : compiled) =
     (* Stage_compiler.run uses a per-domain cached run state, so this
        runner is safe to call concurrently from several domains *)
     fun ~args -> Stage_compiler.run plan ~args
+
+let run_design ?(sim = Interp) (c : compiled) ~args =
+  (runner_of_sim sim c) ~args
 
 let verify ?(seed = 7) ?(sim = Interp) (c : compiled) =
   verify_with ~seed ~run_design:(runner_of_sim sim c) c

@@ -26,6 +26,7 @@ module Perf_model = Shmls_fpga.Perf_model
 module Resources = Shmls_fpga.Resources
 module Power = Shmls_fpga.Power
 module U280 = Shmls_fpga.U280
+module Link = Shmls_fpga.Link
 module Report = Shmls_fpga.Report
 module Trace = Shmls_fpga.Trace
 module Flow = Shmls_baselines.Flow
@@ -55,6 +56,42 @@ module Cost_model : sig
 
   (** Evaluate a design through the canonical stack. *)
   val evaluate_design : ?cu:int -> Shmls_fpga.Design.t -> Shmls_fpga.Cost.t
+
+  (** Distinct declared fields the kernel reads — the per-run halo
+      planes a slab device receives from its neighbours.  Kernel-based
+      so every pipeline variant of a kernel prices the same exchange,
+      whether it loads through a load_data stage or a fused compute's
+      external reads. *)
+  val loaded_fields : Ast.kernel -> int
+
+  (** Insert the {!Shmls_fpga.Link} cost model for a [devices]-slab
+      decomposition of [global_grid] into a stack, directly after the
+      head (performance) model; identity when [devices <= 1].  The
+      design is the (largest) slab design; [fields] is the loaded-field
+      count ({!loaded_fields}); exchange bytes follow from it plus the
+      design's halo and the neighbour count. *)
+  val with_link_model :
+    devices:int ->
+    link:Shmls_fpga.Link.t ->
+    global_grid:int list ->
+    fields:int ->
+    Shmls_fpga.Design.t ->
+    Shmls_fpga.Cost.model list ->
+    Shmls_fpga.Cost.model list
+
+  (** Evaluate a slab design through the canonical stack with the link
+      model inserted: cycles include the charged halo exchange, and the
+      throughput counts the {e global} interior completed jointly by
+      the [devices] slabs per run.  [devices = 1] is exactly
+      {!evaluate_design}. *)
+  val evaluate_multi_device :
+    ?cu:int ->
+    ?link:Shmls_fpga.Link.t ->
+    devices:int ->
+    global_grid:int list ->
+    fields:int ->
+    Shmls_fpga.Design.t ->
+    Shmls_fpga.Cost.t
 end
 
 (** Everything the pipeline produced for one kernel at one grid. *)
@@ -128,6 +165,12 @@ val sim_to_string : sim -> string
 
 (** Parse a [--sim] CLI argument ("interp" | "compiled" | "batched"). *)
 val sim_of_string : string -> (sim, string) result
+
+(** Execute the compiled design once on the given argument values with
+    the chosen functional-simulation engine (default the interpreter).
+    Plan-backed engines force the shared plan safely; the call is safe
+    from several domains at once. *)
+val run_design : ?sim:sim -> compiled -> args:Functional.value array -> unit
 
 (** Execute the generated design in the functional simulator against the
     reference interpreter on identical inputs. The reference state is

@@ -936,3 +936,76 @@ let run ?(engine = Event) ?on_cycle (d : Design.t) =
   match engine with
   | Tick -> run_tick ?on_cycle d
   | Event -> run_event ?on_cycle d
+
+(* ------------------------------------------------------------------ *)
+(* Multi-device runs: one design per slab device, joined by an
+   inter-device link (DESIGN.md section 16).  Each device runs its own
+   (independent) cycle simulation; every sweep is preceded by a halo
+   delivery over the link, whose charged cycles come from the link
+   model (latency never hidden, serialisation overlapped with the
+   design's fill ramp — computed here from the stream delays, the same
+   quantity {!Perf_model.design_fill} reports).  The makespan is the
+   slowest device's total: compute and exchange of different devices
+   overlap freely, neighbours' exchanges are concurrent on distinct
+   links. *)
+
+type device_lane = {
+  dl_result : result;
+  dl_exchange_bytes : int;  (** received per exchange phase *)
+  dl_exchange_cycles : float;  (** link transfer per phase (unhidden) *)
+  dl_exchange_charged : float;  (** per phase, after fill overlap *)
+  dl_total : float;  (** sweeps x (compute + charged exchange) *)
+}
+
+type multi_result = {
+  mr_link : Link.t;
+  mr_sweeps : int;
+  mr_lanes : device_lane list;
+  mr_cycles : float;  (** makespan: the slowest lane's total *)
+  mr_exchange_charged : float;  (** makespan lane, per phase *)
+  mr_exchange_hidden : float;  (** makespan lane: transfer - charged *)
+  mr_deadlocked : bool;
+}
+
+let design_fill (d : Design.t) =
+  let delays = Depth_balance.stream_delays d in
+  Hashtbl.fold (fun _ v acc -> max v acc) delays 0
+
+let run_multi ?(engine = Event) ?(sweeps = 1) ~link
+    (devices : (Design.t * int) list) =
+  if devices = [] then Err.raise_error "cycle_sim: run_multi needs a device";
+  if sweeps < 1 then Err.raise_error "cycle_sim: run_multi needs sweeps >= 1";
+  let lanes =
+    List.map
+      (fun (d, bytes) ->
+        let r = run ~engine d in
+        let fill = design_fill d in
+        let transfer =
+          if bytes <= 0 then 0.0 else Link.transfer_cycles link ~bytes
+        in
+        let charged = Link.charged_cycles link ~bytes ~fill in
+        {
+          dl_result = r;
+          dl_exchange_bytes = bytes;
+          dl_exchange_cycles = transfer;
+          dl_exchange_charged = charged;
+          dl_total =
+            float_of_int sweeps *. (float_of_int r.cycles +. charged);
+        })
+      devices
+  in
+  let slowest =
+    List.fold_left
+      (fun acc l -> if l.dl_total > acc.dl_total then l else acc)
+      (List.hd lanes) lanes
+  in
+  {
+    mr_link = link;
+    mr_sweeps = sweeps;
+    mr_lanes = lanes;
+    mr_cycles = slowest.dl_total;
+    mr_exchange_charged = slowest.dl_exchange_charged;
+    mr_exchange_hidden =
+      slowest.dl_exchange_cycles -. slowest.dl_exchange_charged;
+    mr_deadlocked = List.exists (fun l -> l.dl_result.deadlocked) lanes;
+  }

@@ -37,3 +37,41 @@ val run :
   ?on_cycle:(int -> (int * int) list -> unit) ->
   Design.t ->
   result
+
+(** {2 Multi-device runs}
+
+    One cycle simulation per slab device, joined by an inter-device
+    {!Link}: every sweep is preceded by a halo delivery whose charged
+    cycles follow the link model (fixed latency never hidden,
+    serialisation overlapped with the design's fill ramp).  Devices
+    run concurrently; the makespan is the slowest lane's
+    [sweeps x (compute + charged exchange)]. *)
+
+type device_lane = {
+  dl_result : result;
+  dl_exchange_bytes : int;  (** received per exchange phase *)
+  dl_exchange_cycles : float;  (** link transfer per phase (unhidden) *)
+  dl_exchange_charged : float;  (** per phase, after fill overlap *)
+  dl_total : float;  (** sweeps x (compute + charged exchange) *)
+}
+
+type multi_result = {
+  mr_link : Link.t;
+  mr_sweeps : int;
+  mr_lanes : device_lane list;  (** device order *)
+  mr_cycles : float;  (** makespan: the slowest lane's total *)
+  mr_exchange_charged : float;  (** makespan lane, per phase *)
+  mr_exchange_hidden : float;  (** makespan lane: transfer - charged *)
+  mr_deadlocked : bool;  (** any lane deadlocked *)
+}
+
+(** [run_multi ~link devices] cycle-simulates every [(design, exchange
+    bytes received per phase)] lane with [engine] and folds in the link
+    charges.  [sweeps] (default 1) scales each lane's total — the
+    steady-state convention charges one halo delivery per sweep. *)
+val run_multi :
+  ?engine:engine ->
+  ?sweeps:int ->
+  link:Link.t ->
+  (Design.t * int) list ->
+  multi_result

@@ -1,0 +1,62 @@
+(** Inter-device link model for multi-device (slab-partitioned) designs:
+    a point-to-point connection between neighbouring devices — an Aurora
+    / QSFP-style serial link — characterised by payload bandwidth and a
+    fixed per-message latency.  Used by {!Cycle_sim.run_multi} to charge
+    halo-exchange cycles and by the cost-model stack (through
+    {!cost_model}) so the tuner can price multi-chip points. *)
+
+type t = {
+  lk_gbps : float;  (** payload bandwidth, gigabits per second *)
+  lk_latency : int;  (** per-exchange latency, device clock cycles *)
+}
+
+(** 100 Gbit/s at 250 cycles — a QSFP28 retimed link. *)
+val default : t
+
+(** Parse a [--link] CLI argument: ["GBPS@LATENCY"] (e.g. "100@250"),
+    or just ["GBPS"] with the default latency. *)
+val of_string : string -> (t, string) result
+
+val to_string : t -> string
+
+(** Payload bytes the link moves per device clock cycle
+    ([lk_gbps / 8 / U280.clock_hz] in units of 1e9). *)
+val bytes_per_cycle : t -> float
+
+(** Cycles one halo exchange of [bytes] occupies the link:
+    latency + serialisation. *)
+val transfer_cycles : t -> bytes:int -> float
+
+(** Cycles an exchange actually delays the receiving device, given the
+    design's shift-buffer fill span [fill] to hide serialisation under:
+    the fixed latency is never hidden (the first halo plane is the first
+    thing the device streams), the serialisation overlaps the fill ramp.
+    [latency + max 0 (bytes/bw - fill)]; zero when [bytes = 0] (a single
+    device exchanges nothing). *)
+val charged_cycles : t -> bytes:int -> fill:int -> float
+
+(** Bytes of one dim-0 halo plane of a design grid: 8 bytes per point
+    over the padded extents of dimensions 1..; [halo] is the design's
+    accumulated halo. *)
+val halo_plane_bytes : grid:int list -> halo:int list -> int
+
+(** Bytes one device receives per exchange phase: [fields] grid fields
+    times the dim-0 halo depth planes from each of [neighbours]
+    neighbours. *)
+val exchange_bytes :
+  grid:int list -> halo:int list -> fields:int -> neighbours:int -> int
+
+(** The link as a cost model, to be stacked after the performance model:
+    adds the charged exchange cycles of [exchange_bytes] (hidden under
+    [fill] where the serialisation overlaps) to the accumulated cycle
+    count and re-derives throughput as [global_interior] points — the
+    whole grid, completed jointly by all devices per run — over the
+    adjusted per-run time.  With one device (no neighbours, zero bytes,
+    global interior = design interior) it adds nothing and reproduces
+    the single-chip throughput. *)
+val cost_model :
+  link:t ->
+  exchange_bytes:int ->
+  global_interior:int ->
+  fill:int ->
+  Cost.model

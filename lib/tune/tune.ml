@@ -42,7 +42,7 @@ module Pool = Shmls_support.Pool
 module Err = Shmls_support.Err
 module Ast = Shmls_frontend.Ast
 
-type point = { pt_grid : int list; pt_variant : Variant.t }
+type point = { pt_grid : int list; pt_variant : Variant.t; pt_devices : int }
 
 type eval = {
   ev_point : point;
@@ -92,6 +92,7 @@ type report = {
   r_enumerated : int;
   r_pruned_ports : int;
   r_pruned_duplicate : int;
+  r_pruned_devices : int;
   r_evaluated_new : int;
   r_resumed : int;
   r_simulated : int;
@@ -116,7 +117,8 @@ let eval_key e =
   ( e.ev_frac,
     -.e.ev_cost.Cost.mpts,
     Variant.to_string e.ev_point.pt_variant,
-    e.ev_point.pt_grid )
+    e.ev_point.pt_grid,
+    e.ev_point.pt_devices )
 
 let pareto evals =
   let sorted = List.sort (fun a b -> compare (eval_key a) (eval_key b)) evals in
@@ -132,12 +134,18 @@ let pareto evals =
 (* ------------------------------------------------------------------ *)
 (* Search state rows *)
 
-let point_key ~kernel ~budget (p : point) =
+let point_key ?(link = Shmls_fpga.Link.default) ~kernel ~budget (p : point) =
   Digest.to_hex
     (Digest.string
        (Marshal.to_string
-          (kernel, p.pt_grid, Variant.to_string p.pt_variant,
-           budget.U280.bud_name)
+          ( kernel,
+            p.pt_grid,
+            Variant.to_string p.pt_variant,
+            budget.U280.bud_name,
+            p.pt_devices,
+            (* the link prices multi-device points; single-device rows
+               stay resumable across link settings *)
+            (if p.pt_devices > 1 then Shmls_fpga.Link.to_string link else "") )
           []))
 
 let point_row ~kernel key (e : eval) =
@@ -148,6 +156,7 @@ let point_row ~kernel key (e : eval) =
       ("kernel", Jsonl.Str kernel);
       ("grid", Jsonl.Ints e.ev_point.pt_grid);
       ("variant", Jsonl.Str (Variant.to_string e.ev_point.pt_variant));
+      ("devices", Jsonl.Int e.ev_point.pt_devices);
       ("cu", Jsonl.Int e.ev_cu);
       ("ports_per_cu", Jsonl.Int e.ev_ports_per_cu);
       ("cycles", Jsonl.Float e.ev_cost.Cost.cycles);
@@ -170,6 +179,7 @@ let validation_row ~kernel key (p : point) (v : validation) =
        ("kernel", Jsonl.Str kernel);
        ("grid", Jsonl.Ints p.pt_grid);
        ("variant", Jsonl.Str (Variant.to_string p.pt_variant));
+       ("devices", Jsonl.Int p.pt_devices);
        ("max_diff", Jsonl.Float v.va_max_diff);
        ("model_cycles", Jsonl.Float v.va_model_cycles);
        ("measured_cycles", Jsonl.Int v.va_measured_cycles);
@@ -251,8 +261,15 @@ let default_divergence_tolerance = 0.10
 let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
     ?(max_cu = 8) ?(jobs = 0) ?state ?(resume = false)
     ?(divergence_tolerance = default_divergence_tolerance)
-    ?(validate = All) (kernel : Ast.kernel) ~grids =
+    ?(validate = All) ?(devices = [ 1 ]) ?(link = Shmls_fpga.Link.default)
+    (kernel : Ast.kernel) ~grids =
   let kname = kernel.Ast.k_name in
+  let devices = if devices = [] then [ 1 ] else devices in
+  List.iter
+    (fun d ->
+      if d < 1 then Err.raise_error "tune: bad device count %d (want >= 1)" d)
+    devices;
+  let point_key = point_key ~link in
   let known_points, known_validations =
     match state with
     | Some path when resume -> load_state path
@@ -278,13 +295,27 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
   let enumerated = ref 0 in
   let pruned_ports = ref 0 in
   let pruned_duplicate = ref 0 in
+  let pruned_devices = ref 0 in
   let evaluated_new = ref 0 in
   let resumed = ref 0 in
   let compiled_designs : (string, Shmls.compiled) Hashtbl.t =
     Hashtbl.create 64
   in
+  (* A multi-device point is priced on its largest slab — the makespan
+     lane — with the link model charging the halo exchange. *)
+  let slab_grid_of (p : point) =
+    if p.pt_devices <= 1 then p.pt_grid
+    else
+      let n0 = List.hd p.pt_grid in
+      ((n0 + p.pt_devices - 1) / p.pt_devices) :: List.tl p.pt_grid
+  in
   let compile_point (p : point) =
-    Shmls.compile_cached ~variant:p.pt_variant kernel ~grid:p.pt_grid
+    Shmls.compile_cached ~variant:p.pt_variant kernel ~grid:(slab_grid_of p)
+  in
+  let loaded_fields = Shmls.Cost_model.loaded_fields kernel in
+  let models_for (p : point) (c : Shmls.compiled) =
+    Shmls.Cost_model.with_link_model ~devices:p.pt_devices ~link
+      ~global_grid:p.pt_grid ~fields:loaded_fields c.Shmls.c_design models
   in
   let evaluate_point key (p : point) =
     match Hashtbl.find_opt known_points key with
@@ -294,7 +325,7 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
     | None ->
       let c = compile_point p in
       Hashtbl.replace compiled_designs key c;
-      let cost = Cost.evaluate models c.Shmls.c_design in
+      let cost = Cost.evaluate (models_for p c) c.Shmls.c_design in
       let e =
         {
           ev_point = p;
@@ -317,31 +348,39 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
   let evals = ref [] in
   List.iter
     (fun grid ->
-      let group : (bool * bool, int * int) Hashtbl.t = Hashtbl.create 4 in
       List.iter
-        (fun (v : Variant.t) ->
-          incr enumerated;
-          let p = { pt_grid = grid; pt_variant = v } in
-          let key = point_key ~kernel:kname ~budget p in
-          match v.Variant.v_cu with
-          | None ->
-            let e = evaluate_point key p in
-            Hashtbl.replace group
-              (v.Variant.v_split, v.Variant.v_pack)
-              (e.ev_ports_per_cu, e.ev_cu);
-            evals := e :: !evals
-          | Some n ->
-            let ports_per_cu, derived_cu =
-              try Hashtbl.find group (v.Variant.v_split, v.Variant.v_pack)
-              with Not_found ->
-                Err.raise_error
-                  "tune: derived-CU point missing for variant group"
+        (fun nd ->
+          (* more slabs than dim-0 rows cannot tile the grid *)
+          if nd > List.hd grid then incr pruned_devices
+          else
+            let group : (bool * bool, int * int) Hashtbl.t =
+              Hashtbl.create 4
             in
-            if n = derived_cu then incr pruned_duplicate
-            else if n * ports_per_cu > budget.U280.bud_axi_ports then
-              incr pruned_ports
-            else evals := evaluate_point key p :: !evals)
-        (Variant.search_space ~max_cu))
+            List.iter
+              (fun (v : Variant.t) ->
+                incr enumerated;
+                let p = { pt_grid = grid; pt_variant = v; pt_devices = nd } in
+                let key = point_key ~kernel:kname ~budget p in
+                match v.Variant.v_cu with
+                | None ->
+                  let e = evaluate_point key p in
+                  Hashtbl.replace group
+                    (v.Variant.v_split, v.Variant.v_pack)
+                    (e.ev_ports_per_cu, e.ev_cu);
+                  evals := e :: !evals
+                | Some n ->
+                  let ports_per_cu, derived_cu =
+                    try Hashtbl.find group (v.Variant.v_split, v.Variant.v_pack)
+                    with Not_found ->
+                      Err.raise_error
+                        "tune: derived-CU point missing for variant group"
+                  in
+                  if n = derived_cu then incr pruned_duplicate
+                  else if n * ports_per_cu > budget.U280.bud_axi_ports then
+                    incr pruned_ports
+                  else evals := evaluate_point key p :: !evals)
+              (Variant.search_space ~max_cu))
+        devices)
     grids;
   let evals = List.rev !evals in
   let feasible = List.filter (fun e -> e.ev_feasible) evals in
@@ -402,29 +441,81 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
           Some (key, e, c))
       to_validate
   in
+  (* Multi-device plans are built sequentially up front for the same
+     reason the designs are compiled up front: deterministic IR ids.
+     The parallel phase only simulates. *)
+  let todo =
+    List.map
+      (fun ((_, e, _) as item) ->
+        let plan =
+          if e.ev_point.pt_devices <= 1 then None
+          else
+            Some
+              (Shmls_host.Multi_device.plan ~variant:e.ev_point.pt_variant
+                 ~link kernel ~grid:e.ev_point.pt_grid
+                 ~devices:e.ev_point.pt_devices)
+        in
+        (item, plan))
+      todo
+  in
   let fresh =
     Pool.with_pool ~jobs (fun pool ->
         Pool.map_list pool
-          (fun (key, e, c) ->
-            let verification = Shmls.verify ~sim:Shmls.Batched c in
-            let cs = Shmls_fpga.Cycle_sim.run c.Shmls.c_design in
-            if cs.Shmls_fpga.Cycle_sim.deadlocked then
+          (fun ((key, e, c), plan) ->
+            let model_cycles =
+              (Cost.evaluate ~cu:1 (models_for e.ev_point c) c.Shmls.c_design)
+                .Cost.cycles
+            in
+            let max_diff, measured, engine, deadlocked, fill_divergence =
+              match plan with
+              | None ->
+                let verification = Shmls.verify ~sim:Shmls.Batched c in
+                let cs = Shmls_fpga.Cycle_sim.run c.Shmls.c_design in
+                let fill_divergence =
+                  Option.map
+                    (fun fs -> fs.Shmls_fpga.Perf_model.fs_divergence)
+                    (Shmls_fpga.Perf_model.check_fill_steady c.Shmls.c_design
+                       cs)
+                in
+                ( verification.Shmls.v_max_diff,
+                  cs.Shmls_fpga.Cycle_sim.cycles,
+                  Shmls_fpga.Cycle_sim.engine_to_string
+                    cs.Shmls_fpga.Cycle_sim.engine,
+                  cs.Shmls_fpga.Cycle_sim.deadlocked,
+                  fill_divergence )
+              | Some plan ->
+                (* the reassembled N-slab run against the global
+                   reference, and the ensemble makespan with the link
+                   charge — the measured side of the model's own
+                   slab + link prediction *)
+                let verification =
+                  Shmls_host.Multi_device.verify_vs_reference
+                    ~sim:Shmls.Batched plan
+                in
+                let mr = Shmls_host.Multi_device.estimate plan in
+                let lane_engine =
+                  match mr.Shmls_fpga.Cycle_sim.mr_lanes with
+                  | lane :: _ ->
+                    Shmls_fpga.Cycle_sim.engine_to_string
+                      lane.Shmls_fpga.Cycle_sim.dl_result
+                        .Shmls_fpga.Cycle_sim.engine
+                  | [] -> "event"
+                in
+                ( verification.Shmls.v_max_diff,
+                  int_of_float
+                    (Float.round mr.Shmls_fpga.Cycle_sim.mr_cycles),
+                  lane_engine,
+                  mr.Shmls_fpga.Cycle_sim.mr_deadlocked,
+                  None )
+            in
+            if deadlocked then
               Err.raise_error
                 "tune: design %s on %s deadlocked in the cycle simulator"
                 (Variant.to_string e.ev_point.pt_variant)
                 (String.concat "x" (List.map string_of_int e.ev_point.pt_grid));
-            let measured = cs.Shmls_fpga.Cycle_sim.cycles in
-            let model_cycles =
-              (Cost.evaluate ~cu:1 models c.Shmls.c_design).Cost.cycles
-            in
             let divergence =
               Float.abs (model_cycles -. float_of_int measured)
               /. float_of_int (max 1 measured)
-            in
-            let fill_divergence =
-              Option.map
-                (fun fs -> fs.Shmls_fpga.Perf_model.fs_divergence)
-                (Shmls_fpga.Perf_model.check_fill_steady c.Shmls.c_design cs)
             in
             let fill_flagged =
               match fill_divergence with
@@ -433,13 +524,11 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
             in
             let v =
               {
-                va_max_diff = verification.Shmls.v_max_diff;
+                va_max_diff = max_diff;
                 va_model_cycles = model_cycles;
                 va_measured_cycles = measured;
                 va_divergence = divergence;
-                va_engine =
-                  Shmls_fpga.Cycle_sim.engine_to_string
-                    cs.Shmls_fpga.Cycle_sim.engine;
+                va_engine = engine;
                 va_fill_divergence = fill_divergence;
                 va_flagged =
                   divergence > divergence_tolerance || fill_flagged;
@@ -477,6 +566,7 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
     r_enumerated = !enumerated;
     r_pruned_ports = !pruned_ports;
     r_pruned_duplicate = !pruned_duplicate;
+    r_pruned_devices = !pruned_devices;
     r_evaluated_new = !evaluated_new;
     r_resumed = !resumed;
     r_simulated = !simulated;
@@ -492,10 +582,11 @@ let run ?(models = Shmls.Cost_model.stack) ?(budget = U280.budget)
 let pp_frontier_point ppf fp =
   let e = fp.fp_eval and v = fp.fp_validation in
   Format.fprintf ppf
-    "%-18s %-12s cu=%-2d %8.2f MPt/s  %5.1f%% %-4s %6.2f W  cycles \
+    "%-18s %-12s %-6s cu=%-2d %8.2f MPt/s  %5.1f%% %-4s %6.2f W  cycles \
      model/measured %.0f/%d (%+.1f%%)%s%s"
     (String.concat "x" (List.map string_of_int e.ev_point.pt_grid))
     (Variant.to_string e.ev_point.pt_variant)
+    (Printf.sprintf "dev=%d" e.ev_point.pt_devices)
     e.ev_cu e.ev_cost.Cost.mpts
     (100.0 *. e.ev_frac)
     (Cost.binding_resource e.ev_cost)
@@ -510,12 +601,12 @@ let pp_report ppf r =
   in
   Format.fprintf ppf
     "@[<v>tune %s (budget %s): %d points enumerated, %d pruned (ports), %d \
-     deduped (cu), %d evaluated, %d resumed@,\
+     deduped (cu), %d pruned (devices), %d evaluated, %d resumed@,\
      validated: %d point(s) (%d flagged), %d simulated, %d validation(s) \
      resumed@,\
      frontier: %d point(s)@,%a@]"
     r.r_kernel r.r_budget.U280.bud_name r.r_enumerated r.r_pruned_ports
-    r.r_pruned_duplicate r.r_evaluated_new r.r_resumed
+    r.r_pruned_duplicate r.r_pruned_devices r.r_evaluated_new r.r_resumed
     (List.length r.r_validations)
     flagged r.r_simulated r.r_validations_resumed
     (List.length r.r_frontier)

@@ -14,7 +14,11 @@ module Variant = Shmls_transforms.Variant
 module Cost = Shmls_fpga.Cost
 module U280 = Shmls_fpga.U280
 
-type point = { pt_grid : int list; pt_variant : Variant.t }
+type point = {
+  pt_grid : int list;
+  pt_variant : Variant.t;
+  pt_devices : int;  (** slab count of the multi-device decomposition *)
+}
 
 type eval = {
   ev_point : point;
@@ -59,6 +63,7 @@ type report = {
   r_enumerated : int;
   r_pruned_ports : int;  (** cu x ports beyond the shell's AXI budget *)
   r_pruned_duplicate : int;  (** explicit cu equal to the derived one *)
+  r_pruned_devices : int;  (** device counts beyond the grid's dim-0 rows *)
   r_evaluated_new : int;  (** points evaluated this run *)
   r_resumed : int;  (** points reloaded from the resume state *)
   r_simulated : int;  (** validations run this run *)
@@ -78,8 +83,14 @@ val dominates : eval -> eval -> bool
 val pareto : eval list -> eval list
 
 (** Content key of a point in the search state (digest over kernel
-    name, grid, variant and budget name). *)
-val point_key : kernel:string -> budget:U280.budget -> point -> string
+    name, grid, variant, budget name, device count — and the link
+    setting for multi-device points, which it prices). *)
+val point_key :
+  ?link:Shmls_fpga.Link.t ->
+  kernel:string ->
+  budget:U280.budget ->
+  point ->
+  string
 
 val default_divergence_tolerance : float
 
@@ -90,7 +101,16 @@ val default_divergence_tolerance : float
     overrides the cost-model stack (for differential tests); [jobs]
     sizes the validation pool ([0] adaptive, [1] sequential);
     [validate] narrows the validation scope (default [All] — the
-    frontier is validated in every scope). *)
+    frontier is validated in every scope).
+
+    [devices] adds a slab-count axis to the search (default [[1]]):
+    each listed count prices the kernel decomposed over that many
+    devices — the largest slab's design through the stack with the
+    {!Shmls_fpga.Link} model charging the halo exchange over [link] —
+    and multi-device points are validated by the reassembled
+    {!Shmls_host.Multi_device} run against the global reference plus
+    the ensemble cycle estimate.  Counts exceeding a grid's dim-0 rows
+    are pruned ([r_pruned_devices]). *)
 val run :
   ?models:Cost.model list ->
   ?budget:U280.budget ->
@@ -100,6 +120,8 @@ val run :
   ?resume:bool ->
   ?divergence_tolerance:float ->
   ?validate:validate_scope ->
+  ?devices:int list ->
+  ?link:Shmls_fpga.Link.t ->
   Shmls_frontend.Ast.kernel ->
   grids:int list list ->
   report

@@ -172,6 +172,26 @@ else
 fi
 
 # ------------------------------------------------------------------
+# Multi-device gate: the 1/2/4-slab ensemble-estimate rows must be
+# present in the NEW run whenever the baseline tracks them (their
+# slowdown bound is the generic common-row comparison above; this
+# catches the scaling rows silently disappearing from the smoke suite).
+for slabs in 1 2 4; do
+  mdbase=$(val "$BASELINE" "shmls/multi_device_scaling_${slabs}slab")
+  mdnew=$(val "$NEW" "shmls/multi_device_scaling_${slabs}slab")
+  if [[ -n $mdbase && -z $mdnew ]]; then
+    echo "MULTI-DEVICE ROW MISSING: $BASELINE tracks" \
+      "shmls/multi_device_scaling_${slabs}slab but $NEW does not carry it" >&2
+    status=1
+  elif [[ -n $mdnew ]]; then
+    echo "multi-device gate: ${slabs}-slab row present (${mdnew} ns/run)"
+  else
+    echo "multi-device gate: ${slabs}-slab row untracked in $BASELINE," \
+      "skipped" >&2
+  fi
+done
+
+# ------------------------------------------------------------------
 # Cycle-sim engine gate: the event-driven engine with steady-state
 # fast-forward must stay at least CYCLE_MIN_SPEEDUP times faster than
 # the per-cycle tick oracle on the same design (PW 24x16x8).  Checked

@@ -10,7 +10,8 @@ module Cost = Shmls_fpga.Cost
 let mk_eval ~idx ~mpts ~frac =
   {
     T.ev_point =
-      { T.pt_grid = [ idx + 1 ]; pt_variant = Shmls.Variant.default };
+      { T.pt_grid = [ idx + 1 ]; pt_variant = Shmls.Variant.default;
+        pt_devices = 1 };
     ev_cu = 1;
     ev_ports_per_cu = 1;
     ev_cost = { Cost.zero with Cost.mpts };
@@ -162,6 +163,82 @@ let test_infeasible_budget_empty_frontier () =
     "no feasible point" [] r.T.r_frontier
 
 (* ------------------------------------------------------------------ *)
+(* The devices axis: multi-device points priced via the link model,
+   validated by the reassembled slab run, competitive on the frontier. *)
+
+let test_devices_axis () =
+  let kernel = Shmls_kernels.Didactic.heat_3d in
+  let grid = [ 48; 8; 6 ] in
+  let r = T.run ~max_cu:2 ~jobs:1 ~devices:[ 1; 2; 4 ] kernel ~grids:[ grid ] in
+  let devs (e : T.eval) = e.T.ev_point.T.pt_devices in
+  Alcotest.(check bool)
+    "multi-device points evaluated" true
+    (List.exists (fun e -> devs e = 4) r.T.r_evals);
+  Alcotest.(check bool)
+    "frontier has a multi-device point" true
+    (List.exists (fun (fp : T.frontier_point) -> devs fp.T.fp_eval > 1) r.T.r_frontier);
+  (* every multi-device eval carries the link charge: strictly more
+     cycles than its slab design priced without the link *)
+  List.iter
+    (fun (e : T.eval) ->
+      if devs e > 1 then begin
+        let slab_grid =
+          ((List.hd grid + devs e - 1) / devs e) :: List.tl grid
+        in
+        let c =
+          Shmls.compile_cached ~variant:e.T.ev_point.T.pt_variant kernel
+            ~grid:slab_grid
+        in
+        let base = Shmls.Cost_model.evaluate_design c.Shmls.c_design in
+        Alcotest.(check bool)
+          "link cycles charged" true
+          (e.T.ev_cost.Cost.cycles > base.Cost.cycles)
+      end)
+    r.T.r_evals;
+  (* multi-device validations are bit-exact reassembled runs *)
+  List.iter
+    (fun ((e : T.eval), (v : T.validation)) ->
+      if devs e > 1 then
+        Alcotest.(check bool) "reassembled run bit-exact" true
+          (v.T.va_max_diff <= 1e-9))
+    r.T.r_validations;
+  (* slab counts beyond the grid's dim-0 rows are pruned *)
+  let r2 =
+    T.run ~max_cu:1 ~jobs:1 ~devices:[ 1; 64 ] kernel ~grids:[ [ 12; 8; 6 ] ]
+  in
+  Alcotest.(check bool) "oversplit pruned" true (r2.T.r_pruned_devices > 0);
+  Alcotest.(check bool)
+    "pruned counts contribute no points" true
+    (List.for_all (fun e -> devs e = 1) r2.T.r_evals)
+
+let test_devices_resume () =
+  let path = Filename.temp_file "tune_state_md" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let kernel = Shmls_kernels.Didactic.laplace_2d in
+      let grids = [ [ 24; 12 ] ] in
+      let devices = [ 1; 3 ] in
+      let r1 = T.run ~max_cu:2 ~jobs:1 ~devices ~state:path kernel ~grids in
+      Alcotest.(check bool) "first run simulates" true (r1.T.r_simulated > 0);
+      let ic = open_in_bin path in
+      let bytes1 = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      let r2 =
+        T.run ~max_cu:2 ~jobs:1 ~devices ~state:path ~resume:true kernel
+          ~grids
+      in
+      Alcotest.(check int) "zero new evaluations" 0 r2.T.r_evaluated_new;
+      Alcotest.(check int) "zero re-simulations" 0 r2.T.r_simulated;
+      let ic = open_in_bin path in
+      let bytes2 = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      Alcotest.(check string) "state byte-identical" bytes1 bytes2;
+      Alcotest.(check bool)
+        "same frontier" true
+        (r1.T.r_frontier = r2.T.r_frontier))
+
+(* ------------------------------------------------------------------ *)
 (* Resume *)
 
 let read_file path =
@@ -256,6 +333,10 @@ let () =
             test_jobs_invariance;
           Alcotest.test_case "infeasible budget empties the frontier" `Quick
             test_infeasible_budget_empty_frontier;
+          Alcotest.test_case "devices axis: priced, validated, on the frontier"
+            `Quick test_devices_axis;
+          Alcotest.test_case "devices axis resumes byte-identically" `Quick
+            test_devices_resume;
         ] );
       ( "resume",
         [
